@@ -1,0 +1,255 @@
+// Package bdrmap is a reproduction of "bdrmap: Inference of Borders
+// Between IP Networks" (IMC 2016): a system that infers, for the network
+// hosting a traceroute vantage point, every interdomain link attaching it
+// to neighbor networks — at the granularity of individual border routers —
+// together with the neighbor AS operating the far side of each link.
+//
+// The package is the public facade over the full pipeline:
+//
+//   - a synthetic router-level Internet with the address-assignment
+//     conventions and traceroute idiosyncrasies the paper's heuristics
+//     exist to handle (internal/topo, internal/probe),
+//   - valley-free BGP route computation and a public route-collector view
+//     (internal/bgp), AS-relationship inference (internal/asrel), RIR
+//     delegations (internal/rir), IXP prefix lists (internal/ixp), and
+//     sibling curation (internal/sibling),
+//   - the scamper-style measurement driver with doubletree stop sets and
+//     alias resolution (internal/scamper, internal/alias),
+//   - the border-inference heuristics of §5.4 (internal/core), and
+//   - the paper's evaluation harness (internal/eval).
+//
+// Quickstart:
+//
+//	world := bdrmap.NewWorld(bdrmap.Tiny(), 1)
+//	report := world.MapBorders(0)
+//	for _, l := range report.Links {
+//		fmt.Println(l)
+//	}
+package bdrmap
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"bdrmap/internal/core"
+	"bdrmap/internal/eval"
+	"bdrmap/internal/export"
+	"bdrmap/internal/netx"
+	"bdrmap/internal/scamper"
+	"bdrmap/internal/topo"
+)
+
+// ASN identifies an autonomous system.
+type ASN = topo.ASN
+
+// Profile describes a synthetic internetwork scenario.
+type Profile = topo.Profile
+
+// Tiny is a minimal world for tests and quickstarts.
+func Tiny() Profile { return topo.TinyProfile() }
+
+// RE mirrors the paper's research-and-education validation network (§5.6).
+func RE() Profile { return topo.REProfile() }
+
+// SmallAccess mirrors the paper's small access network (§5.6).
+func SmallAccess() Profile { return topo.SmallAccessProfile() }
+
+// LargeAccess mirrors the large U.S. access network of §5.6/§6 (19 VPs).
+func LargeAccess() Profile { return topo.LargeAccessProfile() }
+
+// Tier1 mirrors the paper's Tier-1 validation network (§5.6).
+func Tier1() Profile { return topo.Tier1Profile() }
+
+// Enterprise is a customer-less host network (an extension profile).
+func Enterprise() Profile { return topo.EnterpriseProfile() }
+
+// World is one synthetic internetwork plus every input bdrmap needs:
+// the public BGP view, inferred AS relationships, RIR delegations, IXP
+// prefixes, and the curated sibling set of the hosting network.
+type World struct {
+	s *eval.Scenario
+}
+
+// NewWorld generates a deterministic world from a profile and seed.
+func NewWorld(prof Profile, seed int64) *World {
+	return &World{s: eval.Build(prof, seed)}
+}
+
+// LoadWorld reconstructs a world serialized with SaveWorld (or
+// `topogen -save`): the same topology, re-derived inputs, fresh engine.
+func LoadWorld(r io.Reader, seed int64) (*World, error) {
+	n, err := topo.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &World{s: eval.BuildFromNetwork(n, seed)}, nil
+}
+
+// SaveWorld serializes the world's topology for later LoadWorld.
+func (w *World) SaveWorld(out io.Writer) error { return w.s.Net.Save(out) }
+
+// HostASN returns the AS hosting the vantage points.
+func (w *World) HostASN() ASN { return w.s.Net.HostASN }
+
+// NumVPs returns the number of vantage points deployed.
+func (w *World) NumVPs() int { return len(w.s.Net.VPs) }
+
+// VPName returns the name of vantage point i.
+func (w *World) VPName(i int) string { return w.s.Net.VPs[i].Name }
+
+// Scenario exposes the underlying evaluation scenario for advanced use
+// (figures, ablations, direct access to the probe engine).
+func (w *World) Scenario() *eval.Scenario { return w.s }
+
+// Link is one inferred interdomain link of the hosting network.
+type Link struct {
+	// NearAddr is the observed address on the hosting network's border
+	// router; FarAddr the neighbor side (zero for silent neighbors).
+	NearAddr, FarAddr netx.Addr
+	// FarAS is the inferred neighbor AS.
+	FarAS ASN
+	// Heuristic names the §5.4 rule that attributed the neighbor router.
+	Heuristic string
+}
+
+// String renders the link.
+func (l Link) String() string {
+	far := l.FarAddr.String()
+	if l.FarAddr.IsZero() {
+		far = "(silent)"
+	}
+	return fmt.Sprintf("%v -> %s  %v  [%s]", l.NearAddr, far, l.FarAS, l.Heuristic)
+}
+
+// Report is the outcome of mapping borders from one vantage point.
+type Report struct {
+	VPName string
+	Links  []Link
+	// Neighbors lists each inferred neighbor AS with its link count.
+	Neighbors map[ASN]int
+	// Validation compares against ground truth (§5.6): the fraction of
+	// inferred links whose existence and AS are correct.
+	Correct, Total int
+
+	raw *core.Result
+}
+
+// Accuracy returns the validated fraction.
+func (r *Report) Accuracy() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Correct) / float64(r.Total)
+}
+
+// NeighborASes returns inferred neighbors sorted by ASN.
+func (r *Report) NeighborASes() []ASN {
+	out := make([]ASN, 0, len(r.Neighbors))
+	for a := range r.Neighbors {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Raw exposes the underlying inference result.
+func (r *Report) Raw() *core.Result { return r.raw }
+
+// Options tunes a mapping run.
+type Options struct {
+	// Workers parallelizes probing across target ASes (default 4).
+	Workers int
+	// DisableStopSet turns off the doubletree optimization (§5.3).
+	DisableStopSet bool
+	// DisableAlias skips alias resolution (exposes the fig. 13 errors).
+	DisableAlias bool
+}
+
+// MapBorders measures from vantage point vp and infers the hosting
+// network's interdomain links, validating them against ground truth.
+func (w *World) MapBorders(vp int) *Report {
+	return w.MapBordersOpts(vp, Options{})
+}
+
+// MapBordersOpts is MapBorders with tuning options.
+func (w *World) MapBordersOpts(vp int, o Options) *Report {
+	cfg := scamper.Config{
+		Workers:        o.Workers,
+		DisableStopSet: o.DisableStopSet,
+		DisableAlias:   o.DisableAlias,
+	}
+	opts := core.Options{NoAnalyticalAlias: o.DisableAlias}
+	res := w.s.RunVP(vp, cfg, opts)
+	v := w.s.Validate(res)
+
+	rep := &Report{
+		VPName:    res.VPName,
+		Neighbors: make(map[ASN]int),
+		Correct:   v.Correct,
+		Total:     v.Total,
+		raw:       res,
+	}
+	for _, l := range res.Links {
+		rep.Links = append(rep.Links, Link{
+			NearAddr:  l.NearAddr,
+			FarAddr:   l.FarAddr,
+			FarAS:     l.FarAS,
+			Heuristic: string(l.Heuristic),
+		})
+		rep.Neighbors[l.FarAS]++
+	}
+	sort.Slice(rep.Links, func(i, j int) bool {
+		if rep.Links[i].FarAS != rep.Links[j].FarAS {
+			return rep.Links[i].FarAS < rep.Links[j].FarAS
+		}
+		return rep.Links[i].NearAddr < rep.Links[j].NearAddr
+	})
+	return rep
+}
+
+// MapAll runs MapBorders from every vantage point.
+func (w *World) MapAll() []*Report {
+	out := make([]*Report, w.NumVPs())
+	for i := range out {
+		out[i] = w.MapBorders(i)
+	}
+	return out
+}
+
+// MergedMap measures from every vantage point and merges the per-VP
+// inferences into one network-wide border map, the way the paper's
+// multi-VP deployment (§6) and the congestion project (§2) operate.
+func (w *World) MergedMap() *core.MergedMap {
+	w.MapAll()
+	return core.Merge(w.s.Results)
+}
+
+// Export writes one VP's traces and inferences as JSON Lines.
+func (w *World) Export(vp int, out io.Writer) error {
+	w.MapBorders(vp)
+	x := export.NewWriter(out)
+	x.Meta(export.Meta{VPName: w.VPName(vp), HostASN: w.HostASN()})
+	for _, tr := range w.s.Datasets[vp].Traces {
+		x.Trace(tr)
+	}
+	x.Result(w.s.Results[vp])
+	return x.Flush()
+}
+
+// ExportMerged measures every VP and writes the merged map as JSON Lines
+// (the round artifact the continuous-monitoring pipeline diffs).
+func (w *World) ExportMerged(out io.Writer) error {
+	m := w.MergedMap()
+	x := export.NewWriter(out)
+	x.Meta(export.Meta{VPName: "merged", HostASN: w.HostASN()})
+	x.Merged(m)
+	return x.Flush()
+}
+
+// Table1 renders the paper's Table 1 for vantage point vp (which must
+// have been mapped already, or it is mapped now).
+func (w *World) Table1(vp int) string {
+	res := w.s.RunVP(vp, scamper.Config{}, core.Options{})
+	return eval.BuildTable1(w.s, res).Format()
+}

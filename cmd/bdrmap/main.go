@@ -1,0 +1,155 @@
+// Command bdrmap runs the full border-mapping pipeline on a synthetic
+// internetwork and prints the inferred interdomain links of the hosting
+// network, optionally with the paper's Table 1, a ground-truth validation
+// summary, a merged multi-VP map, JSONL export, and the §5.1-style DNS
+// sanity check.
+//
+// Usage:
+//
+//	bdrmap [-profile tiny|re|small-access|large-access|tier1|enterprise]
+//	       [-topo saved.world] [-seed N] [-vp N]
+//	       [-table1] [-merged] [-o out.jsonl] [-dnscheck]
+//	       [-no-alias] [-no-stopset] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bdrmap"
+	"bdrmap/internal/dns"
+)
+
+func main() {
+	var (
+		profile   = flag.String("profile", "tiny", "scenario profile: tiny|re|small-access|large-access|tier1")
+		seed      = flag.Int64("seed", 1, "topology generation seed")
+		vp        = flag.Int("vp", 0, "vantage point index")
+		table1    = flag.Bool("table1", false, "print the paper's Table 1")
+		noAlias   = flag.Bool("no-alias", false, "disable alias resolution")
+		noStopSet = flag.Bool("no-stopset", false, "disable the doubletree stop set")
+		dnsCheck  = flag.Bool("dnscheck", false, "development-mode DNS sanity check (§5.1)")
+		jsonOut   = flag.String("o", "", "export traces and inferences as JSON Lines to this file")
+		topoFile  = flag.String("topo", "", "measure a world saved with topogen -save instead of generating one")
+		merged    = flag.Bool("merged", false, "measure from every VP and print the merged map")
+		verbose   = flag.Bool("v", false, "print every inferred link")
+	)
+	flag.Parse()
+
+	var world *bdrmap.World
+	prof, err := profileByName(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *topoFile != "" {
+		f, err := os.Open(*topoFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		world, err = bdrmap.LoadWorld(f, *seed)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		prof.Name = *topoFile
+	} else {
+		world = bdrmap.NewWorld(prof, *seed)
+	}
+	if *vp < 0 || *vp >= world.NumVPs() {
+		fmt.Fprintf(os.Stderr, "vp %d out of range (0..%d)\n", *vp, world.NumVPs()-1)
+		os.Exit(2)
+	}
+
+	fmt.Printf("profile=%s seed=%d host=%v vps=%d\n",
+		prof.Name, *seed, world.HostASN(), world.NumVPs())
+
+	rep := world.MapBordersOpts(*vp, bdrmap.Options{
+		DisableAlias:   *noAlias,
+		DisableStopSet: *noStopSet,
+	})
+	fmt.Printf("vantage point %s: %d interdomain links, %d neighbor ASes (simulated run time %v)\n",
+		rep.VPName, len(rep.Links), len(rep.Neighbors),
+		world.Scenario().Datasets[*vp].Stats.SimDuration.Round(time.Minute))
+	fmt.Printf("validation vs ground truth: %d/%d = %.1f%%\n",
+		rep.Correct, rep.Total, 100*rep.Accuracy())
+
+	if *verbose {
+		for _, l := range rep.Links {
+			fmt.Println("  ", l)
+		}
+	}
+	if *table1 {
+		fmt.Println()
+		fmt.Println(world.Table1(*vp))
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := world.Export(*vp, f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("exported to %s\n", *jsonOut)
+	}
+	if *merged {
+		m := world.MergedMap()
+		fmt.Printf("\nmerged map over %d VPs: %d links, %d neighbors\n",
+			len(m.VPs), m.LinkCount(), len(m.Neighbors))
+		if *verbose {
+			for _, l := range m.Links {
+				fmt.Printf("  %v [%s] seen by %d VP(s)\n", l.Key, l.Heuristic, len(l.SeenBy))
+			}
+		}
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut + ".merged")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := world.ExportMerged(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("merged map exported to %s.merged\n", *jsonOut)
+		}
+	}
+	if *dnsCheck {
+		zone := dns.FromNetwork(world.Scenario().Net, *seed)
+		sanity := dns.SanityCheck(rep.Raw(), zone)
+		fmt.Printf("\nDNS sanity check (development mode, §5.1): agree=%d disagree=%d no-hint=%d (%.1f%% agreement)\n",
+			sanity.Agree, sanity.Disagree, sanity.NoHint, 100*sanity.AgreeFrac())
+		for _, sus := range sanity.Suspects {
+			fmt.Printf("  investigate %v (%s): inferred %v, DNS says %v\n",
+				sus.Addr, sus.Name, sus.Inferred, sus.DNSHint)
+		}
+	}
+}
+
+func profileByName(name string) (bdrmap.Profile, error) {
+	switch name {
+	case "tiny":
+		return bdrmap.Tiny(), nil
+	case "re", "r&e":
+		return bdrmap.RE(), nil
+	case "small-access":
+		return bdrmap.SmallAccess(), nil
+	case "large-access":
+		return bdrmap.LargeAccess(), nil
+	case "tier1":
+		return bdrmap.Tier1(), nil
+	case "enterprise":
+		return bdrmap.Enterprise(), nil
+	default:
+		return bdrmap.Profile{}, fmt.Errorf("unknown profile %q", name)
+	}
+}

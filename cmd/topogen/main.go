@@ -1,0 +1,113 @@
+// Command topogen generates a synthetic internetwork and prints its
+// inventory: AS counts by tier, router/link statistics, the host network's
+// neighbor breakdown, the IXPs, and (with -delegations) the RIR delegation
+// file the world publishes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bdrmap/internal/rir"
+	"bdrmap/internal/topo"
+)
+
+func main() {
+	var (
+		profile     = flag.String("profile", "tiny", "tiny|re|small-access|large-access|tier1|enterprise")
+		seed        = flag.Int64("seed", 1, "generation seed")
+		delegations = flag.Bool("delegations", false, "dump the RIR delegation file")
+		routers     = flag.Bool("routers", false, "dump every router with interfaces")
+		save        = flag.String("save", "", "serialize the generated world to this file")
+	)
+	flag.Parse()
+
+	var prof topo.Profile
+	switch *profile {
+	case "tiny":
+		prof = topo.TinyProfile()
+	case "re", "r&e":
+		prof = topo.REProfile()
+	case "small-access":
+		prof = topo.SmallAccessProfile()
+	case "large-access":
+		prof = topo.LargeAccessProfile()
+	case "tier1":
+		prof = topo.Tier1Profile()
+	case "enterprise":
+		prof = topo.EnterpriseProfile()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+
+	n := topo.Generate(prof, *seed)
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := n.Save(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("world saved to %s\n", *save)
+	}
+	s := n.Stats()
+	fmt.Printf("profile=%s seed=%d\n", prof.Name, *seed)
+	fmt.Printf("ASes=%d routers=%d links=%d interdomain=%d prefixes=%d ixps=%d vps=%d\n",
+		s.ASes, s.Routers, s.Links, s.InterdomainLinks, s.Prefixes, s.IXPs, s.VPs)
+
+	tiers := map[topo.Tier]int{}
+	for _, asn := range n.ASNs() {
+		tiers[n.ASes[asn].Tier]++
+	}
+	fmt.Print("tiers:")
+	for _, t := range []topo.Tier{topo.TierTier1, topo.TierTransit, topo.TierAccess,
+		topo.TierCDN, topo.TierRE, topo.TierIXP, topo.TierStub} {
+		if tiers[t] > 0 {
+			fmt.Printf(" %s=%d", t, tiers[t])
+		}
+	}
+	fmt.Println()
+
+	host := n.ASes[n.HostASN]
+	var cust, peer, prov, sib int
+	for _, nb := range host.Neighbors() {
+		switch nb.Rel {
+		case topo.RelCustomer:
+			cust++
+		case topo.RelPeer:
+			peer++
+		case topo.RelProvider:
+			prov++
+		case topo.RelSibling:
+			sib++
+		}
+	}
+	fmt.Printf("host %v: customers=%d peers=%d providers=%d siblings=%d hidden=%d\n",
+		n.HostASN, cust, peer, prov, sib, len(n.HiddenNeighbors))
+	for _, x := range n.IXPs {
+		fmt.Printf("ixp %s: operator=%v lan=%v members=%d announces-lan=%v\n",
+			x.Name, x.OperatorASN, x.LAN, len(x.Members), x.AnnouncesLAN)
+	}
+	for _, vp := range n.VPs {
+		fmt.Printf("vp %s at router %d addr %v\n", vp.Name, vp.Router, vp.Addr)
+	}
+
+	if *routers {
+		for _, r := range n.Routers {
+			fmt.Printf("router %v lon=%.1f addrs=%v\n", r, r.Longitude, r.Addrs())
+		}
+	}
+	if *delegations {
+		db := rir.FromNetwork(n)
+		if _, err := db.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

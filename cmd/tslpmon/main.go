@@ -1,0 +1,131 @@
+// Command tslpmon is the congestion-monitoring pipeline of §2: it maps the
+// hosting network's borders with bdrmap, derives (near, far) probe-target
+// pairs for every monitorable interdomain link, runs time-series latency
+// probing for a simulated day, and reports the congested interconnects.
+//
+// With -congest N, evening congestion is injected on N randomly chosen
+// interdomain links before monitoring begins, so detection has something
+// to find; the report is compared against that ground truth.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"bdrmap"
+	"bdrmap/internal/netx"
+	"bdrmap/internal/probe"
+	"bdrmap/internal/topo"
+	"bdrmap/internal/tslp"
+)
+
+type engineProber struct {
+	e  *probe.Engine
+	vp *topo.VP
+}
+
+func (p engineProber) Probe(a netx.Addr, m probe.Method) probe.Response {
+	return p.e.Probe(p.vp, a, m)
+}
+func (p engineProber) Advance(d time.Duration) { p.e.Advance(d) }
+
+func main() {
+	var (
+		profile  = flag.String("profile", "small-access", "tiny|re|small-access|enterprise")
+		seed     = flag.Int64("seed", 1, "world seed")
+		congest  = flag.Int("congest", 1, "interdomain links to congest in the evening")
+		interval = flag.Duration("interval", 5*time.Minute, "probing cadence")
+		duration = flag.Duration("duration", 24*time.Hour, "monitoring duration")
+	)
+	flag.Parse()
+
+	var prof bdrmap.Profile
+	switch *profile {
+	case "tiny":
+		prof = bdrmap.Tiny()
+	case "re", "r&e":
+		prof = bdrmap.RE()
+	case "small-access":
+		prof = bdrmap.SmallAccess()
+	case "enterprise":
+		prof = topo.EnterpriseProfile()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+
+	world := bdrmap.NewWorld(prof, *seed)
+	fmt.Printf("mapping borders of %v...\n", world.HostASN())
+	report := world.MapBorders(0)
+	s := world.Scenario()
+	prober := engineProber{e: s.Engine, vp: s.Net.VPs[0]}
+
+	var targets []tslp.Target
+	for _, l := range report.Links {
+		if l.FarAddr.IsZero() {
+			continue
+		}
+		if prober.Probe(l.NearAddr, probe.MethodICMPEcho).OK &&
+			prober.Probe(l.FarAddr, probe.MethodICMPEcho).OK {
+			targets = append(targets, tslp.Target{Near: l.NearAddr, Far: l.FarAddr, FarAS: l.FarAS})
+		}
+	}
+	fmt.Printf("%d links mapped, %d monitorable\n", len(report.Links), len(targets))
+	if len(targets) == 0 {
+		fmt.Println("nothing to monitor")
+		return
+	}
+
+	// Inject ground-truth congestion. Truth is tracked per physical link:
+	// congesting a shared IXP LAN legitimately affects every member's
+	// probes across that fabric.
+	rng := rand.New(rand.NewSource(*seed))
+	truth := map[*topo.Link]bool{}
+	linkOf := func(far netx.Addr) *topo.Link {
+		if ifc := s.Net.IfaceByAddr(far); ifc != nil {
+			return ifc.Link
+		}
+		return nil
+	}
+	for i := 0; i < *congest && i < len(targets); i++ {
+		l := linkOf(targets[rng.Intn(len(targets))].Far)
+		if l == nil || truth[l] {
+			continue
+		}
+		s.Engine.InjectCongestion(probe.CongestionEpisode{
+			Link:  l,
+			Start: 19 * time.Hour,
+			End:   23 * time.Hour,
+			Queue: time.Duration(20+rng.Intn(40)) * time.Millisecond,
+		})
+		truth[l] = true
+	}
+	fmt.Printf("injected evening congestion on %d link(s)\n\n", len(truth))
+
+	series := tslp.Run(prober, targets, tslp.Config{Interval: *interval, Duration: *duration})
+	detected := map[*topo.Link]bool{}
+	for _, r := range tslp.DetectAll(series, 30*time.Minute, 3*time.Millisecond) {
+		if r.Congested() {
+			detected[linkOf(r.Target.Far)] = true
+			fmt.Println(r)
+		}
+	}
+
+	tp, fn, fp := 0, 0, 0
+	for l := range truth {
+		if detected[l] {
+			tp++
+		} else {
+			fn++
+		}
+	}
+	for l := range detected {
+		if !truth[l] {
+			fp++
+		}
+	}
+	fmt.Printf("\ndetection vs ground truth: %d link(s) found, %d missed, %d false alarms\n", tp, fn, fp)
+}

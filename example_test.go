@@ -1,0 +1,37 @@
+package bdrmap_test
+
+import (
+	"fmt"
+
+	"bdrmap"
+)
+
+// ExampleNewWorld maps the borders of a small synthetic network and
+// validates the result against ground truth.
+func ExampleNewWorld() {
+	world := bdrmap.NewWorld(bdrmap.Tiny(), 1)
+	report := world.MapBorders(0)
+	fmt.Printf("neighbors: %d\n", len(report.Neighbors))
+	fmt.Printf("all correct: %v\n", report.Correct == report.Total)
+	// Output:
+	// neighbors: 12
+	// all correct: true
+}
+
+// ExampleWorld_MergedMap merges every vantage point's view into one
+// network-wide border map.
+func ExampleWorld_MergedMap() {
+	world := bdrmap.NewWorld(bdrmap.Tiny(), 1)
+	m := world.MergedMap()
+	fmt.Printf("links >= neighbors: %v\n", m.LinkCount() >= len(m.Neighbors))
+	// Output:
+	// links >= neighbors: true
+}
+
+// ExampleLink_String shows how links render.
+func ExampleLink_String() {
+	l := bdrmap.Link{FarAS: 64500, Heuristic: "silent"}
+	fmt.Println(l)
+	// Output:
+	// 0.0.0.0 -> (silent)  AS64500  [silent]
+}

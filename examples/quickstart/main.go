@@ -1,0 +1,31 @@
+// Quickstart: generate a small synthetic internetwork, map the hosting
+// network's borders from its vantage point, and print every inferred
+// interdomain link with the heuristic that found it.
+package main
+
+import (
+	"fmt"
+
+	"bdrmap"
+)
+
+func main() {
+	// A deterministic world: same profile + seed, same network.
+	world := bdrmap.NewWorld(bdrmap.Tiny(), 1)
+	fmt.Printf("host network %v with %d vantage point(s)\n\n",
+		world.HostASN(), world.NumVPs())
+
+	report := world.MapBorders(0)
+
+	fmt.Printf("inferred %d interdomain links toward %d neighbor ASes:\n",
+		len(report.Links), len(report.Neighbors))
+	for _, link := range report.Links {
+		fmt.Println("  ", link)
+	}
+
+	fmt.Printf("\nvalidated against ground truth: %d/%d correct (%.1f%%)\n",
+		report.Correct, report.Total, 100*report.Accuracy())
+
+	fmt.Println("\nTable 1 for this network:")
+	fmt.Println(world.Table1(0))
+}

@@ -1,0 +1,97 @@
+// Continuous border mapping: the CAIDA deployment (§2, §5.8) re-runs
+// bdrmap on a schedule and diffs successive maps to track interconnection
+// churn — new customers turned up, interconnects de-provisioned. This
+// example measures a network, changes the world (one new customer, one
+// depeered neighbor), measures again with a fresh engine, and reports the
+// diff.
+package main
+
+import (
+	"fmt"
+
+	"bdrmap/internal/asrel"
+	"bdrmap/internal/bgp"
+	"bdrmap/internal/core"
+	"bdrmap/internal/ixp"
+	"bdrmap/internal/probe"
+	"bdrmap/internal/rir"
+	"bdrmap/internal/scamper"
+	"bdrmap/internal/sibling"
+	"bdrmap/internal/topo"
+)
+
+// measure runs one full measurement round against the network's current
+// state with a fresh routing table and engine.
+func measure(n *topo.Network) *core.MergedMap {
+	tab := bgp.NewTable(n)
+	view := bgp.Collect(tab, bgp.DefaultVantages(n))
+	rel := asrel.Infer(view)
+	sibs := sibling.FromNetwork(n, 1)
+	sibs.CurateHost(n)
+	hosts := map[topo.ASN]bool{n.HostASN: true}
+	for _, s := range sibs.SiblingsOf(n.HostASN) {
+		hosts[s] = true
+	}
+	e := probe.New(n, tab)
+	var results []*core.Result
+	for _, vp := range n.VPs {
+		d := &scamper.Driver{
+			View: view, Prober: scamper.LocalProber{E: e, VP: vp}, HostASNs: hosts,
+		}
+		ds := d.Run()
+		results = append(results, core.Infer(core.Input{
+			Data: ds, View: view, Rel: rel,
+			RIR: rir.FromNetwork(n), IXP: ixp.Merge(ixp.FromNetwork(n, 1)),
+			HostASN: n.HostASN, Siblings: sibs,
+		}))
+	}
+	return core.Merge(results)
+}
+
+func main() {
+	n := topo.Generate(topo.TinyProfile(), 1)
+	fmt.Printf("round 1: measuring %v...\n", n.HostASN)
+	round1 := measure(n)
+	fmt.Printf("round 1: %d links, %d neighbors\n\n", round1.LinkCount(), len(round1.Neighbors))
+
+	// The world changes between rounds.
+	var border topo.RouterID
+	var victim topo.ASN
+	for _, lt := range n.InterdomainLinks(n.HostASN) {
+		border, victim = lt.NearRtr, lt.FarAS
+		break
+	}
+	newASN, err := topo.AttachCustomer(n, border, 65000)
+	if err != nil {
+		panic(err)
+	}
+	var transit topo.ASN
+	for _, asn := range n.ASNs() {
+		if n.ASes[asn].Tier == topo.TierTier1 && len(n.ASes[asn].Routers) > 0 {
+			transit = asn
+			break
+		}
+	}
+	newPeer, err := topo.AttachPeer(n, border, 65001, transit)
+	if err != nil {
+		panic(err)
+	}
+	removed := topo.Depeer(n, victim)
+	n.Build()
+	fmt.Printf("world changed: customer %v and peer %v provisioned, %d link(s) to %v de-provisioned\n\n",
+		newASN, newPeer, removed, victim)
+
+	fmt.Println("round 2: measuring again...")
+	round2 := measure(n)
+	fmt.Printf("round 2: %d links, %d neighbors\n\n", round2.LinkCount(), len(round2.Neighbors))
+
+	d := core.Diff(round1, round2)
+	fmt.Println("diff:")
+	for _, l := range d.Added {
+		fmt.Printf("  + %v [%s]\n", l.Key, l.Heuristic)
+	}
+	for _, l := range d.Removed {
+		fmt.Printf("  - %v [%s]\n", l.Key, l.Heuristic)
+	}
+	fmt.Printf("neighbors gained: %v, lost: %v\n", d.NeighborsAdded, d.NeighborsRemoved)
+}

@@ -1,0 +1,3 @@
+module bdrmap
+
+go 1.22

@@ -1,0 +1,324 @@
+// Package alias implements the alias-resolution techniques bdrmap uses to
+// collapse the interface-level traceroute graph into routers (§5.3):
+//
+//   - Ally: probes two addresses in an interleaved sequence and infers a
+//     shared IP-ID counter when the merged samples form one increasing
+//     sequence. Four probe methods (UDP, TCP, ICMP-echo, TTL-limited)
+//     maximize the chance an address responds. Measurements repeat five
+//     times at five-minute intervals, and the MIDAR-style monotonicity
+//     requirement (non-overlapping samples must strictly increase) guards
+//     against two independent counters that temporarily overlap.
+//   - Mercator: probes an unused UDP port and infers aliases when the ICMP
+//     port-unreachable responses share a source address.
+//   - Prefixscan: infers whether a traceroute address is the inbound
+//     interface of a router by testing whether its /31 or /30 subnet mate
+//     is an alias of the previous hop.
+//
+// Verdicts feed a union-find constrained by negative evidence: transitive
+// closure never merges sets containing a pair some measurement rejected.
+package alias
+
+import (
+	"time"
+
+	"bdrmap/internal/netx"
+	"bdrmap/internal/probe"
+	"bdrmap/internal/topo"
+)
+
+// Verdict is the outcome of an alias test.
+type Verdict int8
+
+// Verdicts.
+const (
+	Unknown Verdict = iota // no usable signal
+	AliasYes
+	AliasNo
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case AliasYes:
+		return "alias"
+	case AliasNo:
+		return "not-alias"
+	default:
+		return "unknown"
+	}
+}
+
+// Config tunes the resolver; zero values select the paper's parameters.
+type Config struct {
+	AllyRounds   int           // default 5
+	AllyInterval time.Duration // default 5 minutes
+	ProbeGap     time.Duration // default 20ms between interleaved probes
+	MaxSpan      uint16        // max IPID span of one interleaved sequence (default 2000)
+}
+
+func (c Config) withDefaults() Config {
+	if c.AllyRounds == 0 {
+		c.AllyRounds = 5
+	}
+	if c.AllyInterval == 0 {
+		c.AllyInterval = 5 * time.Minute
+	}
+	if c.ProbeGap == 0 {
+		c.ProbeGap = 20 * time.Millisecond
+	}
+	if c.MaxSpan == 0 {
+		c.MaxSpan = 2000
+	}
+	return c
+}
+
+// ProbeSource issues single measurement probes and controls measurement
+// pacing. A local source wraps a probe engine and vantage point; a remote
+// source forwards probes over the scamper control protocol (§5.8).
+type ProbeSource interface {
+	Probe(target netx.Addr, m probe.Method) probe.Response
+	Advance(d time.Duration)
+}
+
+// LocalSource adapts a probe engine + vantage point to ProbeSource.
+type LocalSource struct {
+	E  *probe.Engine
+	VP *topo.VP
+}
+
+// Probe sends one probe from the vantage point.
+func (s LocalSource) Probe(target netx.Addr, m probe.Method) probe.Response {
+	return s.E.Probe(s.VP, target, m)
+}
+
+// Advance moves the simulated clock.
+func (s LocalSource) Advance(d time.Duration) { s.E.Advance(d) }
+
+// Resolver drives alias-resolution measurements through a probe source
+// from one vantage point, recording every verdict.
+type Resolver struct {
+	Src ProbeSource
+	Cfg Config
+
+	pos map[pairKey]bool
+	neg map[pairKey]bool
+}
+
+// NewResolver builds a resolver with the given configuration.
+func NewResolver(src ProbeSource, cfg Config) *Resolver {
+	return &Resolver{
+		Src: src, Cfg: cfg.withDefaults(),
+		pos: make(map[pairKey]bool),
+		neg: make(map[pairKey]bool),
+	}
+}
+
+type pairKey [2]netx.Addr
+
+func pkey(a, b netx.Addr) pairKey {
+	if a < b {
+		return pairKey{a, b}
+	}
+	return pairKey{b, a}
+}
+
+// Record stores an externally derived verdict (e.g. the analytical aliases
+// of §5.4.7).
+func (r *Resolver) Record(a, b netx.Addr, v Verdict) {
+	switch v {
+	case AliasYes:
+		r.pos[pkey(a, b)] = true
+	case AliasNo:
+		r.neg[pkey(a, b)] = true
+	}
+}
+
+// Verdict returns the stored verdict for a pair.
+func (r *Resolver) Verdict(a, b netx.Addr) Verdict {
+	k := pkey(a, b)
+	switch {
+	case r.neg[k]: // negative evidence dominates (§5.3 "limit false aliases")
+		return AliasNo
+	case r.pos[k]:
+		return AliasYes
+	default:
+		return Unknown
+	}
+}
+
+// allyMethods is the order in which probe methods are attempted.
+var allyMethods = []probe.Method{
+	probe.MethodICMPEcho, probe.MethodUDP, probe.MethodTCPAck, probe.MethodTTLLimited,
+}
+
+// Ally runs the full repeated-Ally test on a pair and records the verdict.
+// Per §5.3, measurements repeat at intervals and any round rejecting the
+// shared-counter hypothesis makes the pair not-alias.
+func (r *Resolver) Ally(a, b netx.Addr) Verdict {
+	if a == b {
+		return AliasYes
+	}
+	if v := r.Verdict(a, b); v != Unknown {
+		return v
+	}
+	method, ok := r.pickMethod(a, b)
+	if !ok {
+		return Unknown
+	}
+	accepted := 0
+	for round := 0; round < r.Cfg.AllyRounds; round++ {
+		if round > 0 {
+			r.Src.Advance(r.Cfg.AllyInterval)
+		}
+		switch r.allyOnce(a, b, method) {
+		case AliasYes:
+			accepted++
+		case AliasNo:
+			r.Record(a, b, AliasNo)
+			return AliasNo
+		}
+	}
+	if accepted == r.Cfg.AllyRounds {
+		r.Record(a, b, AliasYes)
+		return AliasYes
+	}
+	return Unknown
+}
+
+// pickMethod finds the first method both addresses answer.
+func (r *Resolver) pickMethod(a, b netx.Addr) (probe.Method, bool) {
+	for _, m := range allyMethods {
+		ra := r.Src.Probe(a, m)
+		rb := r.Src.Probe(b, m)
+		if ra.OK && rb.OK {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+// allyOnce runs one interleaved sequence a,b,a,b,a,b and applies the
+// monotonicity test.
+func (r *Resolver) allyOnce(a, b netx.Addr, m probe.Method) Verdict {
+	var ids []uint16
+	targets := [...]netx.Addr{a, b, a, b, a, b}
+	for _, t := range targets {
+		resp := r.Src.Probe(t, m)
+		if !resp.OK {
+			return Unknown
+		}
+		ids = append(ids, resp.IPID)
+		r.Src.Advance(r.Cfg.ProbeGap)
+	}
+	allZero := true
+	for _, id := range ids {
+		if id != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		return Unknown // no counter at all; Ally is blind here
+	}
+	// Each address's own subsequence must behave like a counter at all; a
+	// router using random IP-IDs gives no evidence either way (Ally is
+	// blind, and §5.4.7's analytical step may later supply the aliases).
+	if !monotonic(ids[0], ids[2], ids[4]) || !monotonic(ids[1], ids[3], ids[5]) {
+		return Unknown
+	}
+	// MIDAR-style: the merged samples must strictly increase (mod 2^16)
+	// with a bounded total span — two distinct (per-router or
+	// per-interface) counters fail this even though each is monotonic.
+	var span uint16
+	for i := 1; i < len(ids); i++ {
+		d := ids[i] - ids[i-1]
+		if d == 0 || d >= 1<<15 {
+			return AliasNo
+		}
+		span += d
+		if span > r.Cfg.MaxSpan {
+			return AliasNo
+		}
+	}
+	return AliasYes
+}
+
+// monotonic reports whether three samples of one address look like a
+// counter: strictly increasing with small steps (mod 2^16).
+func monotonic(a, b, c uint16) bool {
+	d1, d2 := b-a, c-b
+	return d1 > 0 && d1 < 4096 && d2 > 0 && d2 < 4096
+}
+
+// Mercator tests whether UDP port-unreachable responses from both
+// addresses share a common source.
+func (r *Resolver) Mercator(a, b netx.Addr) Verdict {
+	if a == b {
+		return AliasYes
+	}
+	ra := r.Src.Probe(a, probe.MethodUDP)
+	rb := r.Src.Probe(b, probe.MethodUDP)
+	if !ra.OK || !rb.OK {
+		return Unknown
+	}
+	if ra.From == rb.From {
+		r.Record(a, b, AliasYes)
+		return AliasYes
+	}
+	if ra.From == a && rb.From == b {
+		// Both answered from the probed address: no common-source signal
+		// either way.
+		return Unknown
+	}
+	return Unknown
+}
+
+// Resolve runs Mercator, Ally, and finally the velocity test on a pair,
+// returning the first conclusive verdict. Velocity recovers pairs whose
+// tight Ally interleaving was broken by rate limiting or scheduling.
+func (r *Resolver) Resolve(a, b netx.Addr) Verdict {
+	if v := r.Verdict(a, b); v != Unknown {
+		return v
+	}
+	if v := r.Mercator(a, b); v == AliasYes {
+		return v
+	}
+	if v := r.Ally(a, b); v != Unknown {
+		return v
+	}
+	return r.Velocity(a, b, VelocityConfig{})
+}
+
+// Prefixscan attempts to confirm that addr is the inbound interface of the
+// router it sits on by testing whether its point-to-point subnet mate is
+// an alias of prevHop (§5.3). It returns the mate and true on success.
+func (r *Resolver) Prefixscan(prevHop, addr netx.Addr) (netx.Addr, bool) {
+	for _, plen := range []int{31, 30} {
+		mate, ok := addr.PointToPointMate(plen)
+		if !ok || mate == prevHop || mate == addr {
+			continue
+		}
+		if r.Resolve(prevHop, mate) == AliasYes {
+			return mate, true
+		}
+	}
+	return 0, false
+}
+
+// Positives returns all pairs with a positive verdict.
+func (r *Resolver) Positives() [][2]netx.Addr {
+	out := make([][2]netx.Addr, 0, len(r.pos))
+	for k := range r.pos {
+		if !r.neg[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Negatives returns all pairs with a negative verdict.
+func (r *Resolver) Negatives() [][2]netx.Addr {
+	out := make([][2]netx.Addr, 0, len(r.neg))
+	for k := range r.neg {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,280 @@
+package alias
+
+import (
+	"testing"
+
+	"bdrmap/internal/bgp"
+	"bdrmap/internal/netx"
+	"bdrmap/internal/probe"
+	"bdrmap/internal/topo"
+)
+
+func setup(t *testing.T, seed int64) (*probe.Engine, *topo.Network, *Resolver) {
+	t.Helper()
+	n := topo.Generate(topo.TinyProfile(), seed)
+	e := probe.New(n, bgp.NewTable(n))
+	r := NewResolver(LocalSource{E: e, VP: n.VPs[0]}, Config{})
+	return e, n, r
+}
+
+// findRouter returns a reachable router matching pred with >= 2 reachable
+// interfaces.
+func findRouter(e *probe.Engine, n *topo.Network, vp *topo.VP, pred func(*topo.Router) bool) (*topo.Router, []netx.Addr) {
+	for _, r := range n.Routers {
+		if !pred(r) {
+			continue
+		}
+		var addrs []netx.Addr
+		for _, ifc := range r.Ifaces {
+			if !ifc.Addr.IsZero() && e.Reachable(vp, ifc.Addr) {
+				addrs = append(addrs, ifc.Addr)
+			}
+		}
+		if len(addrs) >= 2 {
+			return r, addrs
+		}
+	}
+	return nil, nil
+}
+
+func TestAllySameRouterShared(t *testing.T) {
+	e, n, res := setup(t, 1)
+	r, addrs := findRouter(e, n, n.VPs[0], func(r *topo.Router) bool {
+		return r.Behavior.IPID == topo.IPIDShared && !r.Behavior.NoEchoReply && !r.Behavior.NoTTLExpired
+	})
+	if r == nil {
+		t.Skip("no shared-counter router with two reachable ifaces")
+	}
+	if v := res.Ally(addrs[0], addrs[1]); v != AliasYes {
+		t.Fatalf("Ally(%v, %v) = %v, want alias (router %v)", addrs[0], addrs[1], v, r)
+	}
+}
+
+func TestAllyDifferentRouters(t *testing.T) {
+	e, n, res := setup(t, 2)
+	var addrs []netx.Addr
+	for _, r := range n.Routers {
+		if r.Behavior.IPID != topo.IPIDShared || r.Behavior.NoEchoReply {
+			continue
+		}
+		for _, ifc := range r.Ifaces {
+			if !ifc.Addr.IsZero() && e.Reachable(n.VPs[0], ifc.Addr) {
+				addrs = append(addrs, ifc.Addr)
+				break
+			}
+		}
+		if len(addrs) == 2 {
+			break
+		}
+	}
+	if len(addrs) < 2 {
+		t.Skip("not enough reachable shared-counter routers")
+	}
+	if v := res.Ally(addrs[0], addrs[1]); v == AliasYes {
+		t.Fatalf("Ally claimed aliases across different routers (%v, %v)", addrs[0], addrs[1])
+	}
+}
+
+func TestAllyRandomIPIDRejected(t *testing.T) {
+	e, n, res := setup(t, 3)
+	r, addrs := findRouter(e, n, n.VPs[0], func(r *topo.Router) bool {
+		return r.Behavior.IPID == topo.IPIDRandom && !r.Behavior.NoEchoReply
+	})
+	if r == nil {
+		t.Skip("no random-IPID router with two reachable ifaces")
+	}
+	if v := res.Ally(addrs[0], addrs[1]); v == AliasYes {
+		t.Fatal("Ally accepted a random-IPID router (should reject or be unknown)")
+	}
+}
+
+func TestAllyZeroIPIDUnknown(t *testing.T) {
+	e, n, res := setup(t, 4)
+	r, addrs := findRouter(e, n, n.VPs[0], func(r *topo.Router) bool {
+		return r.Behavior.IPID == topo.IPIDZero && !r.Behavior.NoEchoReply
+	})
+	if r == nil {
+		t.Skip("no zero-IPID router with two reachable ifaces")
+	}
+	if v := res.Ally(addrs[0], addrs[1]); v != Unknown {
+		t.Fatalf("Ally on zero IPIDs = %v, want unknown", v)
+	}
+}
+
+func TestMercatorCanonical(t *testing.T) {
+	e, n, res := setup(t, 5)
+	r, addrs := findRouter(e, n, n.VPs[0], func(r *topo.Router) bool {
+		return r.Behavior.MercatorCanonical && !r.Behavior.NoUDPUnreach
+	})
+	if r == nil {
+		t.Skip("no mercator-canonical router")
+	}
+	if v := res.Mercator(addrs[0], addrs[1]); v != AliasYes {
+		t.Fatalf("Mercator = %v, want alias", v)
+	}
+}
+
+func TestMercatorNonCanonicalUnknown(t *testing.T) {
+	e, n, res := setup(t, 6)
+	r, addrs := findRouter(e, n, n.VPs[0], func(r *topo.Router) bool {
+		return !r.Behavior.MercatorCanonical && !r.Behavior.NoUDPUnreach
+	})
+	if r == nil {
+		t.Skip("no non-canonical router")
+	}
+	if v := res.Mercator(addrs[0], addrs[1]); v != Unknown {
+		t.Fatalf("Mercator = %v, want unknown", v)
+	}
+}
+
+func TestPrefixscanFindsPtPMate(t *testing.T) {
+	e, n, res := setup(t, 7)
+	vp := n.VPs[0]
+	// Find an interdomain ptp link whose near side is reachable and whose
+	// near router is resolvable (shared IPID or canonical mercator).
+	for _, l := range n.Links {
+		if l.Kind != topo.LinkInterdomain || len(l.Ifaces) != 2 {
+			continue
+		}
+		near, far := l.Ifaces[0], l.Ifaces[1]
+		nr := n.Router(near.Router)
+		if nr.Owner != n.HostASN {
+			near, far = far, near
+			nr = n.Router(near.Router)
+		}
+		if nr.Owner != n.HostASN {
+			continue
+		}
+		resolvable := (nr.Behavior.IPID == topo.IPIDShared && !nr.Behavior.NoEchoReply) ||
+			(nr.Behavior.MercatorCanonical && !nr.Behavior.NoUDPUnreach)
+		if !resolvable || !e.Reachable(vp, near.Addr) || !e.Reachable(vp, far.Addr) {
+			continue
+		}
+		// Another interface on the near router to play "previous hop
+		// response address".
+		var prevAddr netx.Addr
+		for _, ifc := range nr.Ifaces {
+			if ifc.Addr != near.Addr && !ifc.Addr.IsZero() && e.Reachable(vp, ifc.Addr) {
+				prevAddr = ifc.Addr
+			}
+		}
+		if prevAddr.IsZero() {
+			continue
+		}
+		mate, ok := res.Prefixscan(prevAddr, far.Addr)
+		if !ok {
+			continue // resolution can legitimately fail; try another link
+		}
+		if mate != near.Addr {
+			t.Fatalf("Prefixscan mate = %v, want %v", mate, near.Addr)
+		}
+		return
+	}
+	t.Skip("no suitable link found")
+}
+
+func TestGraphTransitiveClosure(t *testing.T) {
+	g := NewGraph()
+	g.Union(1, 2)
+	g.Union(2, 3)
+	if !g.SameRouter(1, 3) {
+		t.Fatal("transitive closure failed")
+	}
+	if g.SameRouter(1, 4) {
+		t.Fatal("unrelated addresses merged")
+	}
+}
+
+func TestGraphNegativeBlocksUnion(t *testing.T) {
+	g := NewGraph()
+	g.AddNegative(1, 3)
+	g.Union(1, 2)
+	if ok := g.Union(2, 3); ok {
+		t.Fatal("union crossing a negative pair must be refused")
+	}
+	if g.SameRouter(1, 3) {
+		t.Fatal("negative pair ended up on one router")
+	}
+	if g.Conflicts() != 1 {
+		t.Fatalf("conflicts = %d", g.Conflicts())
+	}
+}
+
+func TestGraphNegativeAfterUnionOrder(t *testing.T) {
+	// Negative added between roots after partial merging must still block.
+	g := NewGraph()
+	g.Union(1, 2)
+	g.Union(3, 4)
+	g.AddNegative(2, 4)
+	if g.Union(1, 3) {
+		t.Fatal("union should be blocked by negative between set members")
+	}
+}
+
+func TestGraphSets(t *testing.T) {
+	g := NewGraph()
+	g.Union(10, 11)
+	g.Union(11, 12)
+	g.Union(20, 21)
+	g.find(30) // singleton
+	sets := g.Sets()
+	if len(sets) != 2 {
+		t.Fatalf("sets = %v", sets)
+	}
+	if len(sets[0]) != 3 || len(sets[1]) != 2 {
+		t.Fatalf("set sizes wrong: %v", sets)
+	}
+}
+
+func TestFromResolverRespectsNegatives(t *testing.T) {
+	_, n, res := setup(t, 8)
+	_ = n
+	res.Record(1, 2, AliasYes)
+	res.Record(2, 3, AliasYes)
+	res.Record(1, 3, AliasNo)
+	g := FromResolver(res)
+	// 1-2 and 2-3 positive but 1-3 negative: exactly one union survives.
+	if g.SameRouter(1, 3) {
+		t.Fatal("negative pair merged")
+	}
+	merged := 0
+	if g.SameRouter(1, 2) {
+		merged++
+	}
+	if g.SameRouter(2, 3) {
+		merged++
+	}
+	if merged != 1 {
+		t.Fatalf("expected exactly one surviving union, got %d", merged)
+	}
+}
+
+func TestAllyAcrossGeneratedHostRouters(t *testing.T) {
+	// Property over the generated topology: Ally must never produce a
+	// false positive across distinct routers (the 5-round drift test and
+	// monotonicity requirement should reject coincidental alignment).
+	e, n, res := setup(t, 9)
+	vp := n.VPs[0]
+	var pairs [][2]netx.Addr
+	var owners [][2]topo.RouterID
+	for _, l := range n.Links {
+		if l.Kind != topo.LinkInternal || len(l.Ifaces) != 2 {
+			continue
+		}
+		a, b := l.Ifaces[0], l.Ifaces[1]
+		if a.Addr.IsZero() || b.Addr.IsZero() || !e.Reachable(vp, a.Addr) || !e.Reachable(vp, b.Addr) {
+			continue
+		}
+		pairs = append(pairs, [2]netx.Addr{a.Addr, b.Addr})
+		owners = append(owners, [2]topo.RouterID{a.Router, b.Router})
+		if len(pairs) >= 12 {
+			break
+		}
+	}
+	for i, p := range pairs {
+		v := res.Ally(p[0], p[1])
+		if v == AliasYes && owners[i][0] != owners[i][1] {
+			t.Fatalf("false positive: %v and %v on routers %d, %d", p[0], p[1], owners[i][0], owners[i][1])
+		}
+	}
+}

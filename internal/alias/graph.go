@@ -1,0 +1,169 @@
+package alias
+
+import (
+	"sort"
+
+	"bdrmap/internal/netx"
+)
+
+// Graph collapses interface addresses into inferred routers via
+// transitive closure over positive alias pairs, refusing any union that
+// would place a negatively-tested pair on one router (§5.3 "when building
+// a router ... we only used pairs of IP addresses where none of the
+// measurements suggested a pair were not aliases").
+type Graph struct {
+	parent map[netx.Addr]netx.Addr
+	rank   map[netx.Addr]int
+	// negBySet lists addresses with negative evidence against members of
+	// the set rooted at the key (kept at each root; merged on union).
+	negs map[netx.Addr][]pairKey
+	neg  map[pairKey]bool
+
+	conflicts int
+}
+
+// NewGraph builds an empty alias graph.
+func NewGraph() *Graph {
+	return &Graph{
+		parent: make(map[netx.Addr]netx.Addr),
+		rank:   make(map[netx.Addr]int),
+		negs:   make(map[netx.Addr][]pairKey),
+		neg:    make(map[pairKey]bool),
+	}
+}
+
+// FromResolver builds the graph from a resolver's recorded verdicts.
+func FromResolver(r *Resolver) *Graph {
+	g := NewGraph()
+	for _, k := range r.Negatives() {
+		g.AddNegative(k[0], k[1])
+	}
+	// Deterministic union order.
+	pos := r.Positives()
+	sort.Slice(pos, func(i, j int) bool {
+		if pos[i][0] != pos[j][0] {
+			return pos[i][0] < pos[j][0]
+		}
+		return pos[i][1] < pos[j][1]
+	})
+	for _, k := range pos {
+		g.Union(k[0], k[1])
+	}
+	return g
+}
+
+// AddNegative records that a and b must not share a router. It reports
+// whether the constraint is satisfiable: false means the pair was already
+// merged by earlier positive evidence (a measurement conflict — union-find
+// cannot split, so the merge stands and the conflict is counted).
+func (g *Graph) AddNegative(a, b netx.Addr) bool {
+	k := pkey(a, b)
+	if g.neg[k] {
+		return !g.SameRouter(a, b)
+	}
+	g.neg[k] = true
+	ra, rb := g.find(a), g.find(b)
+	if ra == rb {
+		g.conflicts++
+		return false
+	}
+	g.negs[ra] = append(g.negs[ra], k)
+	g.negs[rb] = append(g.negs[rb], k)
+	return true
+}
+
+// Union merges the sets of a and b unless negative evidence forbids it.
+// It reports whether the merge happened (or they were already together).
+func (g *Graph) Union(a, b netx.Addr) bool {
+	ra, rb := g.find(a), g.find(b)
+	if ra == rb {
+		return true
+	}
+	// Any negative pair with one side in each set blocks the union.
+	for _, k := range g.negs[ra] {
+		x, y := g.find(k[0]), g.find(k[1])
+		if (x == ra && y == rb) || (x == rb && y == ra) {
+			g.conflicts++
+			return false
+		}
+	}
+	for _, k := range g.negs[rb] {
+		x, y := g.find(k[0]), g.find(k[1])
+		if (x == ra && y == rb) || (x == rb && y == ra) {
+			g.conflicts++
+			return false
+		}
+	}
+	// Union by rank.
+	if g.rank[ra] < g.rank[rb] {
+		ra, rb = rb, ra
+	}
+	g.parent[rb] = ra
+	if g.rank[ra] == g.rank[rb] {
+		g.rank[ra]++
+	}
+	g.negs[ra] = append(g.negs[ra], g.negs[rb]...)
+	delete(g.negs, rb)
+	return true
+}
+
+func (g *Graph) find(a netx.Addr) netx.Addr {
+	p, ok := g.parent[a]
+	if !ok {
+		g.parent[a] = a
+		return a
+	}
+	if p == a {
+		return a
+	}
+	root := g.find(p)
+	g.parent[a] = root
+	return root
+}
+
+// SameRouter reports whether a and b were merged.
+func (g *Graph) SameRouter(a, b netx.Addr) bool {
+	return g.find(a) == g.find(b)
+}
+
+// Canonical returns the representative address of a's set.
+func (g *Graph) Canonical(a netx.Addr) netx.Addr { return g.find(a) }
+
+// Members returns all addresses sharing a's set, sorted.
+func (g *Graph) Members(a netx.Addr) []netx.Addr {
+	root := g.find(a)
+	var out []netx.Addr
+	for x := range g.parent {
+		if g.find(x) == root {
+			out = append(out, x)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Conflicts returns how many unions were refused due to negative evidence.
+func (g *Graph) Conflicts() int { return g.conflicts }
+
+// Sets returns every multi-address set, sorted by representative.
+func (g *Graph) Sets() [][]netx.Addr {
+	bySet := make(map[netx.Addr][]netx.Addr)
+	for x := range g.parent {
+		r := g.find(x)
+		bySet[r] = append(bySet[r], x)
+	}
+	var roots []netx.Addr
+	for r, m := range bySet {
+		if len(m) > 1 {
+			roots = append(roots, r)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	out := make([][]netx.Addr, 0, len(roots))
+	for _, r := range roots {
+		m := bySet[r]
+		sort.Slice(m, func(i, j int) bool { return m[i] < m[j] })
+		out = append(out, m)
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package alias
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bdrmap/internal/netx"
+)
+
+// TestGraphInvariantsRandomOps drives the constrained union-find with a
+// random operation sequence and checks its invariants against a reference
+// model after every step.
+func TestGraphInvariantsRandomOps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		const nAddrs = 24
+		type op struct {
+			neg  bool
+			a, b netx.Addr
+		}
+		var negs []op
+		for i := 0; i < 120; i++ {
+			a := netx.Addr(rng.Intn(nAddrs))
+			b := netx.Addr(rng.Intn(nAddrs))
+			if a == b {
+				continue
+			}
+			if rng.Float64() < 0.3 {
+				// Only accepted negatives (pairs not already merged) are
+				// enforceable; rejected ones count as conflicts.
+				if g.AddNegative(a, b) {
+					negs = append(negs, op{true, a, b})
+				}
+			} else {
+				g.Union(a, b)
+			}
+			// Invariant: no negative pair ever shares a set.
+			for _, n := range negs {
+				if g.SameRouter(n.a, n.b) {
+					return false
+				}
+			}
+		}
+		// Invariant: SameRouter is symmetric and transitive via canon.
+		for a := netx.Addr(0); a < nAddrs; a++ {
+			for b := netx.Addr(0); b < nAddrs; b++ {
+				if g.SameRouter(a, b) != g.SameRouter(b, a) {
+					return false
+				}
+				if g.SameRouter(a, b) && g.Canonical(a) != g.Canonical(b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMembersConsistent: Members lists exactly the addresses sharing a set.
+func TestMembersConsistent(t *testing.T) {
+	g := NewGraph()
+	g.Union(1, 2)
+	g.Union(2, 3)
+	g.Union(10, 11)
+	for _, a := range []netx.Addr{1, 2, 3} {
+		m := g.Members(a)
+		if len(m) != 3 {
+			t.Fatalf("Members(%v) = %v", a, m)
+		}
+	}
+	if len(g.Members(10)) != 2 {
+		t.Fatalf("Members(10) = %v", g.Members(10))
+	}
+}
+
+// TestVerdictPriority: negative evidence always dominates (§5.3).
+func TestVerdictPriority(t *testing.T) {
+	r := &Resolver{pos: map[pairKey]bool{}, neg: map[pairKey]bool{}}
+	r.Record(1, 2, AliasYes)
+	r.Record(2, 1, AliasNo) // order-insensitive key
+	if v := r.Verdict(1, 2); v != AliasNo {
+		t.Fatalf("verdict = %v, want negative dominance", v)
+	}
+}

@@ -1,0 +1,171 @@
+package alias
+
+import (
+	"time"
+
+	"bdrmap/internal/netx"
+	"bdrmap/internal/probe"
+)
+
+// Velocity-based alias inference, after RadarGun and MIDAR (§3 of the
+// paper): instead of requiring tightly interleaved samples like Ally, each
+// address's IP-ID time series is collected over a window and modeled as a
+// counter advancing at some rate. Two addresses share a counter when one
+// rate-consistent line fits the *merged* series — which tolerates rate
+// limiting and uneven scheduling that break classic Ally interleaving.
+
+// VelocityConfig tunes the sampler.
+type VelocityConfig struct {
+	Samples  int           // per address (default 8)
+	Gap      time.Duration // between samples (default 2s)
+	MaxResid float64       // max tolerated residual, IDs (default 200)
+	MinRate  float64       // IDs/sec below which a counter is "stalled" (default 0.5)
+}
+
+func (c VelocityConfig) withDefaults() VelocityConfig {
+	if c.Samples == 0 {
+		c.Samples = 8
+	}
+	if c.Gap == 0 {
+		c.Gap = 2 * time.Second
+	}
+	if c.MaxResid == 0 {
+		c.MaxResid = 200
+	}
+	if c.MinRate == 0 {
+		c.MinRate = 0.5
+	}
+	return c
+}
+
+type idSample struct {
+	t  float64 // seconds
+	id uint16
+}
+
+// Velocity runs the velocity test on a pair and records the verdict.
+func (r *Resolver) Velocity(a, b netx.Addr, cfg VelocityConfig) Verdict {
+	if a == b {
+		return AliasYes
+	}
+	if v := r.Verdict(a, b); v != Unknown {
+		return v
+	}
+	cfg = cfg.withDefaults()
+	method, ok := r.pickMethod(a, b)
+	if !ok {
+		return Unknown
+	}
+	sa := r.sampleSeries(a, method, cfg)
+	sb := r.sampleSeries(b, method, cfg)
+	if len(sa) < 3 || len(sb) < 3 {
+		return Unknown
+	}
+	ra, oka := fitCounter(sa, cfg)
+	rb, okb := fitCounter(sb, cfg)
+	if !oka || !okb {
+		return Unknown // at least one series is not a counter at all
+	}
+	// Rates must agree within 25% before merging is even plausible.
+	if !ratesClose(ra, rb, 0.25) {
+		r.Record(a, b, AliasNo)
+		return AliasNo
+	}
+	merged := append(append([]idSample(nil), sa...), sb...)
+	sortSamples(merged)
+	// MIDAR's monotonicity requirement on the merged series.
+	for i := 1; i < len(merged); i++ {
+		d := merged[i].id - merged[i-1].id
+		if d >= 1<<15 {
+			r.Record(a, b, AliasNo)
+			return AliasNo
+		}
+	}
+	if _, ok := fitCounter(merged, cfg); !ok {
+		r.Record(a, b, AliasNo)
+		return AliasNo
+	}
+	r.Record(a, b, AliasYes)
+	return AliasYes
+}
+
+// sampleSeries collects timestamped IP-ID samples for one address.
+func (r *Resolver) sampleSeries(a netx.Addr, m probe.Method, cfg VelocityConfig) []idSample {
+	var out []idSample
+	for i := 0; i < cfg.Samples; i++ {
+		resp := r.Src.Probe(a, m)
+		if resp.OK && resp.IPID != 0 {
+			out = append(out, idSample{t: resp.When.Seconds(), id: resp.IPID})
+		}
+		r.Src.Advance(cfg.Gap)
+	}
+	return out
+}
+
+// fitCounter checks that a sample series is consistent with a single
+// counter: unwrap the 16-bit IDs assuming monotonic growth, fit a line by
+// least squares, and bound the residuals. Returns the rate in IDs/sec.
+func fitCounter(s []idSample, cfg VelocityConfig) (rate float64, ok bool) {
+	if len(s) < 3 {
+		return 0, false
+	}
+	// Unwrap.
+	un := make([]float64, len(s))
+	acc := float64(s[0].id)
+	un[0] = acc
+	for i := 1; i < len(s); i++ {
+		d := s[i].id - s[i-1].id // uint16 arithmetic handles wrap
+		if d >= 1<<15 {
+			return 0, false // decreasing: not one monotonic counter
+		}
+		acc += float64(d)
+		un[i] = acc
+	}
+	// Least squares y = a + r*t.
+	var st, sy, stt, sty float64
+	n := float64(len(s))
+	for i := range s {
+		st += s[i].t
+		sy += un[i]
+		stt += s[i].t * s[i].t
+		sty += s[i].t * un[i]
+	}
+	den := n*stt - st*st
+	if den == 0 {
+		return 0, false
+	}
+	rate = (n*sty - st*sy) / den
+	a0 := (sy - rate*st) / n
+	if rate < cfg.MinRate {
+		return 0, false
+	}
+	for i := range s {
+		resid := un[i] - (a0 + rate*s[i].t)
+		if resid < 0 {
+			resid = -resid
+		}
+		if resid > cfg.MaxResid {
+			return 0, false
+		}
+	}
+	return rate, true
+}
+
+func ratesClose(a, b, tol float64) bool {
+	if a <= 0 || b <= 0 {
+		return false
+	}
+	hi, lo := a, b
+	if hi < lo {
+		hi, lo = lo, hi
+	}
+	return (hi-lo)/hi <= tol
+}
+
+func sortSamples(s []idSample) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].t < s[j-1].t; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,284 @@
+// Package asrel infers business relationships between ASes from the AS
+// paths observed in a public BGP view, following the approach of "AS
+// Relationships, Customer Cones, and Validation" (IMC 2013) that the bdrmap
+// paper uses as input (§5.2): infer a clique of Tier-1 networks from
+// transit degree and mutual adjacency, classify edges on the announcement's
+// uphill side as customer→provider and the downhill side as
+// provider→customer, and label the remainder peer–peer.
+//
+// bdrmap consumes these *inferred* (imperfect) labels, never ground truth;
+// the package's tests measure inference accuracy against the simulator's
+// truth the same way the 2013 paper validated against operator data.
+package asrel
+
+import (
+	"sort"
+
+	"bdrmap/internal/bgp"
+	"bdrmap/internal/topo"
+)
+
+// Inference holds inferred relationships. Lookup direction follows
+// topo.AS.RelTo: Rel(a, b) answers "what is b to a" (RelCustomer: b is a's
+// customer).
+type Inference struct {
+	rels   map[[2]topo.ASN]topo.Rel // keyed (lo, hi); value = what hi is to lo
+	nbrs   map[topo.ASN][]topo.ASN
+	clique map[topo.ASN]bool
+	cones  map[topo.ASN][]topo.ASN // memoized customer cones
+}
+
+// Rel returns the inferred relationship: what b is to a.
+// RelNone if the pair was never observed adjacent.
+func (inf *Inference) Rel(a, b topo.ASN) topo.Rel {
+	if a == b {
+		return topo.RelNone
+	}
+	if a < b {
+		return inf.rels[[2]topo.ASN{a, b}]
+	}
+	return inf.rels[[2]topo.ASN{b, a}].Invert()
+}
+
+// Neighbors returns the ASes observed adjacent to a, sorted.
+func (inf *Inference) Neighbors(a topo.ASN) []topo.ASN { return inf.nbrs[a] }
+
+// ProvidersOf returns the inferred providers of a.
+func (inf *Inference) ProvidersOf(a topo.ASN) []topo.ASN {
+	return inf.withRel(a, topo.RelProvider)
+}
+
+// CustomersOf returns the inferred customers of a.
+func (inf *Inference) CustomersOf(a topo.ASN) []topo.ASN {
+	return inf.withRel(a, topo.RelCustomer)
+}
+
+// PeersOf returns the inferred peers of a.
+func (inf *Inference) PeersOf(a topo.ASN) []topo.ASN {
+	return inf.withRel(a, topo.RelPeer)
+}
+
+func (inf *Inference) withRel(a topo.ASN, want topo.Rel) []topo.ASN {
+	var out []topo.ASN
+	for _, n := range inf.nbrs[a] {
+		if inf.Rel(a, n) == want {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// InClique reports whether a was inferred to be a Tier-1 clique member.
+func (inf *Inference) InClique(a topo.ASN) bool { return inf.clique[a] }
+
+// Len returns the number of labeled AS links.
+func (inf *Inference) Len() int { return len(inf.rels) }
+
+// Infer runs relationship inference over the view's paths.
+func Infer(view *bgp.View) *Inference {
+	inf := &Inference{
+		rels:   make(map[[2]topo.ASN]topo.Rel),
+		nbrs:   make(map[topo.ASN][]topo.ASN),
+		clique: make(map[topo.ASN]bool),
+	}
+
+	// Transit degree: distinct neighbors an AS appears between in paths.
+	transit := make(map[topo.ASN]map[topo.ASN]bool)
+	adj := make(map[[2]topo.ASN]bool)
+	for _, ap := range view.Paths {
+		p := ap.Path
+		for i := 1; i < len(p); i++ {
+			adj[key(p[i-1], p[i])] = true
+		}
+		for i := 1; i+1 < len(p); i++ {
+			m := transit[p[i]]
+			if m == nil {
+				m = make(map[topo.ASN]bool)
+				transit[p[i]] = m
+			}
+			m[p[i-1]] = true
+			m[p[i+1]] = true
+		}
+	}
+	tdeg := func(a topo.ASN) int { return len(transit[a]) }
+
+	// Greedy clique from the highest transit degrees, requiring mutual
+	// adjacency with every member admitted so far.
+	var byDeg []topo.ASN
+	for a := range transit {
+		byDeg = append(byDeg, a)
+	}
+	sort.Slice(byDeg, func(i, j int) bool {
+		if tdeg(byDeg[i]) != tdeg(byDeg[j]) {
+			return tdeg(byDeg[i]) > tdeg(byDeg[j])
+		}
+		return byDeg[i] < byDeg[j]
+	})
+	var candidates []topo.ASN
+	for _, a := range byDeg {
+		if tdeg(a) < 2 {
+			break // clique members all carry transit
+		}
+		candidates = append(candidates, a)
+		if len(candidates) >= 16 {
+			break
+		}
+	}
+	// A well-connected access network can top the transit-degree ranking,
+	// so greedy growth from the single largest seed can anchor the clique
+	// on a non-Tier-1. Grow a clique from every candidate seed and keep
+	// the largest (ties: highest combined transit degree): the genuine
+	// Tier-1 mesh is the biggest mutually-adjacent set.
+	bestScore := -1
+	for _, seed := range candidates {
+		cl := map[topo.ASN]bool{seed: true}
+		for _, a := range candidates {
+			if len(cl) >= 12 || cl[a] {
+				continue
+			}
+			ok := true
+			for c := range cl {
+				if !adj[key(a, c)] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				cl[a] = true
+			}
+		}
+		score := 0
+		for a := range cl {
+			score += 1<<16 + tdeg(a)
+		}
+		if score > bestScore {
+			bestScore = score
+			inf.clique = cl
+		}
+	}
+	if inf.clique == nil {
+		inf.clique = map[topo.ASN]bool{}
+	}
+
+	// Refinement: three true clique members can never appear consecutively
+	// in a path — that would require one to re-export a peer route to a
+	// peer. Every consecutive clique triple therefore contains a false
+	// member (typically a well-connected access network whose transit
+	// degree rivals the Tier-1s). Iteratively remove the member involved
+	// in the most violating triples until no triples remain.
+	for {
+		involvement := make(map[topo.ASN]int)
+		for _, ap := range view.Paths {
+			p := ap.Path
+			for i := 0; i+2 < len(p); i++ {
+				if inf.clique[p[i]] && inf.clique[p[i+1]] && inf.clique[p[i+2]] &&
+					p[i] != p[i+2] {
+					involvement[p[i]]++
+					involvement[p[i+1]]++
+					involvement[p[i+2]]++
+				}
+			}
+		}
+		if len(involvement) == 0 {
+			break
+		}
+		var worst topo.ASN
+		worstN := -1
+		for a, n := range involvement {
+			if n > worstN || (n == worstN && a < worst) {
+				worst, worstN = a, n
+			}
+		}
+		delete(inf.clique, worst)
+	}
+
+	// Vote per edge. Sign convention on the canonical (lo, hi) key:
+	// positive = lo is customer of hi.
+	votes := make(map[[2]topo.ASN]int)
+	vote := func(cust, prov topo.ASN) {
+		k := key(cust, prov)
+		if k[0] == cust {
+			votes[k]++
+		} else {
+			votes[k]--
+		}
+	}
+	for _, ap := range view.Paths {
+		p := ap.Path
+		if len(p) < 2 {
+			continue
+		}
+		// Apex: the last clique member in path order (clique members sit
+		// at the top of a valley-free path), or failing that the
+		// highest-transit-degree position.
+		apex := -1
+		for i, a := range p {
+			if inf.clique[a] {
+				apex = i
+			}
+		}
+		if apex < 0 {
+			best := -1
+			for i, a := range p {
+				if d := tdeg(a); d > best {
+					apex, best = i, d
+				}
+			}
+		}
+		// Path order is vantage..origin. The announcement climbed from
+		// the origin to the apex (right-of-apex edges are c2p with the
+		// left AS the provider) and descended from the apex to the
+		// vantage. The single possible peer edge touches the apex, so
+		// apex-adjacent edges are ambiguous — with one rigorous
+		// exception: when the apex's route continued to *another clique
+		// member*, the AS it learned the route from must be its customer
+		// (peers never re-export peer routes to peers).
+		for i := 0; i+1 < len(p); i++ {
+			switch {
+			case i+1 == apex:
+				// vantage-side adjacent edge: always ambiguous (the apex
+				// may be exporting a peer's customer cone downward).
+			case i == apex:
+				if inf.clique[p[apex]] && apex > 0 && inf.clique[p[apex-1]] &&
+					!inf.clique[p[i+1]] {
+					vote(p[i+1], p[apex])
+				}
+			case i < apex:
+				vote(p[i], p[i+1]) // descent: left heard from right
+			default:
+				vote(p[i+1], p[i]) // climb: right announced up to left
+			}
+		}
+	}
+
+	for k := range adj {
+		lo, hi := k[0], k[1]
+		var rel topo.Rel // what hi is to lo
+		switch {
+		case inf.clique[lo] && inf.clique[hi]:
+			rel = topo.RelPeer
+		case votes[k] > 0:
+			rel = topo.RelProvider // lo is customer ⇒ hi is lo's provider
+		case votes[k] < 0:
+			rel = topo.RelCustomer
+		default:
+			rel = topo.RelPeer
+		}
+		inf.rels[k] = rel
+		inf.nbrs[lo] = append(inf.nbrs[lo], hi)
+		inf.nbrs[hi] = append(inf.nbrs[hi], lo)
+	}
+	for a := range inf.nbrs {
+		s := inf.nbrs[a]
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		inf.nbrs[a] = s
+	}
+	return inf
+}
+
+func key(a, b topo.ASN) [2]topo.ASN {
+	if a < b {
+		return [2]topo.ASN{a, b}
+	}
+	return [2]topo.ASN{b, a}
+}

@@ -1,0 +1,71 @@
+package asrel
+
+import (
+	"sort"
+
+	"bdrmap/internal/topo"
+)
+
+// Customer cones, the companion output of the relationship inference the
+// paper builds on ("AS Relationships, Customer Cones, and Validation"):
+// the cone of an AS is the set of ASes reachable by repeatedly following
+// provider→customer edges — everything the AS can carry traffic for as a
+// transit. bdrmap's third-party and destination-set reasoning both lean on
+// cone membership.
+
+// ConeOf returns the customer cone of asn (including asn itself), sorted.
+// Cones are memoized on first use.
+func (inf *Inference) ConeOf(asn topo.ASN) []topo.ASN {
+	if inf.cones == nil {
+		inf.cones = make(map[topo.ASN][]topo.ASN)
+	}
+	if c, ok := inf.cones[asn]; ok {
+		return c
+	}
+	seen := map[topo.ASN]bool{asn: true}
+	stack := []topo.ASN{asn}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range inf.CustomersOf(cur) {
+			if !seen[c] {
+				seen[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	cone := make([]topo.ASN, 0, len(seen))
+	for a := range seen {
+		cone = append(cone, a)
+	}
+	sort.Slice(cone, func(i, j int) bool { return cone[i] < cone[j] })
+	inf.cones[asn] = cone
+	return cone
+}
+
+// InCone reports whether member lies in asn's customer cone.
+func (inf *Inference) InCone(asn, member topo.ASN) bool {
+	cone := inf.ConeOf(asn)
+	i := sort.Search(len(cone), func(i int) bool { return cone[i] >= member })
+	return i < len(cone) && cone[i] == member
+}
+
+// ConeSize returns |ConeOf(asn)|.
+func (inf *Inference) ConeSize(asn topo.ASN) int { return len(inf.ConeOf(asn)) }
+
+// RankByCone returns all ASes sorted by descending cone size (the AS-Rank
+// ordering), ties by ASN.
+func (inf *Inference) RankByCone() []topo.ASN {
+	var out []topo.ASN
+	for a := range inf.nbrs {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := inf.ConeSize(out[i]), inf.ConeSize(out[j])
+		if si != sj {
+			return si > sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

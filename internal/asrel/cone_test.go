@@ -1,0 +1,108 @@
+package asrel
+
+import (
+	"testing"
+
+	"bdrmap/internal/topo"
+)
+
+func TestConeContainsSelfAndCustomers(t *testing.T) {
+	n, inf := buildAndInfer(t, topo.TinyProfile(), 3)
+	host := n.HostASN
+	cone := inf.ConeOf(host)
+	if !inf.InCone(host, host) {
+		t.Fatal("cone must contain the AS itself")
+	}
+	for _, c := range inf.CustomersOf(host) {
+		if !inf.InCone(host, c) {
+			t.Fatalf("direct customer %v missing from cone", c)
+		}
+	}
+	if len(cone) < len(inf.CustomersOf(host))+1 {
+		t.Fatalf("cone smaller than customer set: %d", len(cone))
+	}
+}
+
+func TestConeTransitive(t *testing.T) {
+	n, inf := buildAndInfer(t, topo.TinyProfile(), 3)
+	// Customers of customers are in the cone.
+	for _, c := range inf.CustomersOf(n.HostASN) {
+		for _, cc := range inf.CustomersOf(c) {
+			if !inf.InCone(n.HostASN, cc) {
+				t.Fatalf("customer-of-customer %v missing from host cone", cc)
+			}
+		}
+	}
+}
+
+func TestConeExcludesPeers(t *testing.T) {
+	n, inf := buildAndInfer(t, topo.TinyProfile(), 3)
+	for _, p := range inf.PeersOf(n.HostASN) {
+		if inf.InCone(n.HostASN, p) {
+			// A peer can still be in the cone via some other customer
+			// path, but in our tiny world peers are not host customers.
+			t.Fatalf("peer %v in host cone", p)
+		}
+	}
+}
+
+func TestConeMatchesTruth(t *testing.T) {
+	// The inferred cone of a transit should cover its true customers.
+	n, inf := buildAndInfer(t, topo.REProfile(), 1)
+	hit, checked := 0, 0
+	for _, asn := range n.ASNs() {
+		a := n.ASes[asn]
+		if a.Tier != topo.TierTier1 {
+			continue
+		}
+		for _, nb := range a.Neighbors() {
+			if nb.Rel == topo.RelCustomer && len(inf.Neighbors(nb.ASN)) > 0 {
+				checked++
+				if inf.InCone(asn, nb.ASN) {
+					hit++
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("no visible tier1 customers")
+	}
+	// Some edges legitimately default to p2p in best-path-only data; the
+	// bulk of true customers must still land in the cone.
+	if frac := float64(hit) / float64(checked); frac < 0.8 {
+		t.Errorf("only %.2f of true customers in inferred cones (%d/%d)", frac, hit, checked)
+	}
+}
+
+func TestRankByConePutsTransitsFirst(t *testing.T) {
+	n, inf := buildAndInfer(t, topo.REProfile(), 1)
+	rank := inf.RankByCone()
+	if len(rank) == 0 {
+		t.Fatal("empty ranking")
+	}
+	// The top-ranked AS must be transit-ish: a backbone Tier-1 or the
+	// host (which carries its own large cone).
+	top := n.ASes[rank[0]]
+	if top == nil {
+		t.Fatalf("unknown top AS %v", rank[0])
+	}
+	if top.Tier == topo.TierStub || top.Tier == topo.TierCDN {
+		t.Errorf("top of cone ranking is a %v", top.Tier)
+	}
+	// Ranking is by non-increasing cone size.
+	for i := 1; i < len(rank); i++ {
+		if inf.ConeSize(rank[i-1]) < inf.ConeSize(rank[i]) {
+			t.Fatalf("ranking not sorted at %d", i)
+		}
+	}
+}
+
+func TestConeMemoized(t *testing.T) {
+	_, inf := buildAndInfer(t, topo.TinyProfile(), 3)
+	a := inf.RankByCone()[0]
+	c1 := inf.ConeOf(a)
+	c2 := inf.ConeOf(a)
+	if &c1[0] != &c2[0] {
+		t.Error("cone not memoized")
+	}
+}

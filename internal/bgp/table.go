@@ -1,0 +1,552 @@
+// Package bgp computes interdomain routes over a synthetic topology using
+// standard Gao–Rexford (valley-free) policies, and derives the "public BGP
+// view" bdrmap consumes: routed prefixes, prefix→origin mappings, and AS
+// paths observed by a route collector with a limited set of vantage points.
+//
+// Route preference follows operational practice: customer-learned routes
+// over peer-learned over provider-learned, then shortest AS path, then
+// lowest next-hop ASN. Sibling sessions are transparent: routes cross them
+// without changing class. Routes the host network learns from hidden
+// neighbors (IXP route-server peerings) carry no-export and are used for
+// forwarding but never re-announced, which is why such interconnections are
+// only discoverable by traceroute (the "trace" column of Table 1).
+package bgp
+
+import (
+	"sort"
+	"sync"
+
+	"bdrmap/internal/netx"
+	"bdrmap/internal/topo"
+)
+
+// Class is the preference class of a route, ordered best (lowest) first.
+type Class int8
+
+// Route classes.
+const (
+	ClassOrigin   Class = 0 // this AS originates the prefix
+	ClassCustomer Class = 1 // learned from a customer
+	ClassPeer     Class = 2 // learned from a peer
+	ClassProvider Class = 3 // learned from a provider
+	ClassNone     Class = 4 // no route
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassOrigin:
+		return "origin"
+	case ClassCustomer:
+		return "customer"
+	case ClassPeer:
+		return "peer"
+	case ClassProvider:
+		return "provider"
+	default:
+		return "none"
+	}
+}
+
+type edge struct {
+	n   int32    // dense index of the neighbor
+	rel topo.Rel // what the neighbor is to this AS (RelCustomer: neighbor is my customer)
+}
+
+// Table computes and caches per-prefix routing state for every AS.
+// It is safe for concurrent use.
+type Table struct {
+	Net *topo.Network
+
+	asns    []topo.ASN
+	idx     map[topo.ASN]int32
+	adj     [][]edge
+	hostIdx int32
+	hidden  []bool // dense: AS is a hidden neighbor of the host
+
+	prefixes  []netx.Prefix
+	originsOf map[netx.Prefix][]int32
+	lpm       netx.Trie[netx.Prefix] // addr → announced prefix
+
+	mu    sync.Mutex
+	cache map[netx.Prefix]*PrefixRIB
+}
+
+// PrefixRIB is the routing state of one prefix across all ASes.
+type PrefixRIB struct {
+	Prefix netx.Prefix
+
+	// Dense per-AS state (indexed like Table.asns).
+	Class []Class
+	Len   []int16
+	Next  []int32 // canonical next-hop index; -1 at origins and routeless ASes
+
+	// HostCandidates are all equally-best next-hop ASes at the host
+	// network (the multi-exit set hot-potato routing chooses among).
+	HostCandidates []topo.ASN
+
+	// HostSuppressed reports that the host's only best routes were learned
+	// from hidden (no-export) neighbors, so the host exports nothing.
+	HostSuppressed bool
+
+	// pinnedOK, for selectively-announced prefixes, lists the dense
+	// indexes of ASes the origin announces to (nil: announced everywhere).
+	pinnedOK map[int32]bool
+}
+
+// NewTable builds the routing machinery for net (which must be Built).
+func NewTable(net *topo.Network) *Table {
+	t := &Table{
+		Net:       net,
+		idx:       make(map[topo.ASN]int32),
+		originsOf: make(map[netx.Prefix][]int32),
+		cache:     make(map[netx.Prefix]*PrefixRIB),
+	}
+	t.asns = net.ASNs()
+	for i, asn := range t.asns {
+		t.idx[asn] = int32(i)
+	}
+	t.hostIdx = t.idx[net.HostASN]
+	t.hidden = make([]bool, len(t.asns))
+	for asn := range net.HiddenNeighbors {
+		if i, ok := t.idx[asn]; ok {
+			t.hidden[i] = true
+		}
+	}
+	t.adj = make([][]edge, len(t.asns))
+	for i, asn := range t.asns {
+		for _, nb := range net.ASes[asn].Neighbors() {
+			j, ok := t.idx[nb.ASN]
+			if !ok {
+				continue
+			}
+			t.adj[i] = append(t.adj[i], edge{n: j, rel: nb.Rel})
+		}
+	}
+	seen := make(map[netx.Prefix]bool)
+	for i, asn := range t.asns {
+		for _, p := range net.ASes[asn].Prefixes {
+			t.originsOf[p] = append(t.originsOf[p], int32(i))
+			if !seen[p] {
+				seen[p] = true
+				t.prefixes = append(t.prefixes, p)
+				t.lpm.Insert(p, p)
+			}
+		}
+	}
+	sort.Slice(t.prefixes, func(a, b int) bool { return netx.ComparePrefix(t.prefixes[a], t.prefixes[b]) < 0 })
+	return t
+}
+
+// Prefixes returns every announced prefix, sorted.
+func (t *Table) Prefixes() []netx.Prefix { return t.prefixes }
+
+// Lookup returns the longest announced prefix containing addr.
+func (t *Table) Lookup(addr netx.Addr) (netx.Prefix, bool) {
+	p, ok := t.lpm.Lookup(addr)
+	return p, ok
+}
+
+// Origins returns the ground-truth origin ASes of an announced prefix.
+func (t *Table) Origins(p netx.Prefix) []topo.ASN {
+	idxs := t.originsOf[p]
+	out := make([]topo.ASN, len(idxs))
+	for i, j := range idxs {
+		out[i] = t.asns[j]
+	}
+	return out
+}
+
+// ASOf converts a dense index back to an ASN.
+func (t *Table) ASOf(i int32) topo.ASN { return t.asns[i] }
+
+// IndexOf converts an ASN to its dense index (-1 if unknown).
+func (t *Table) IndexOf(asn topo.ASN) int32 {
+	if i, ok := t.idx[asn]; ok {
+		return i
+	}
+	return -1
+}
+
+// Routes returns (computing and caching on first use) the RIB for prefix p.
+// p must be an announced prefix (as returned by Lookup or Prefixes).
+func (t *Table) Routes(p netx.Prefix) *PrefixRIB {
+	t.mu.Lock()
+	if r, ok := t.cache[p]; ok {
+		t.mu.Unlock()
+		return r
+	}
+	t.mu.Unlock()
+	r := t.compute(p)
+	t.mu.Lock()
+	t.cache[p] = r
+	t.mu.Unlock()
+	return r
+}
+
+// receivedClass returns the class X obtains for a route exported by
+// neighbor N (whose own class is cN), where rel states what N is to X.
+// ClassNone means N does not export the route to X.
+func receivedClass(cN Class, rel topo.Rel) Class {
+	switch rel {
+	case topo.RelCustomer: // N is X's customer: N exports only its customer cone
+		if cN <= ClassCustomer {
+			return ClassCustomer
+		}
+	case topo.RelPeer: // peers export only customer-cone routes
+		if cN <= ClassCustomer {
+			return ClassPeer
+		}
+	case topo.RelProvider: // providers export everything
+		if cN <= ClassProvider {
+			return ClassProvider
+		}
+	case topo.RelSibling: // siblings are transparent
+		if cN <= ClassProvider {
+			if cN == ClassOrigin {
+				return ClassCustomer
+			}
+			return cN
+		}
+	}
+	return ClassNone
+}
+
+// compute runs the three-phase valley-free propagation for one prefix.
+func (t *Table) compute(p netx.Prefix) *PrefixRIB {
+	n := len(t.asns)
+	r := &PrefixRIB{
+		Prefix: p,
+		Class:  make([]Class, n),
+		Len:    make([]int16, n),
+		Next:   make([]int32, n),
+	}
+	for i := range r.Class {
+		r.Class[i] = ClassNone
+		r.Len[i] = int16(0x7fff)
+		r.Next[i] = -1
+	}
+	origins := t.originsOf[p]
+	for _, o := range origins {
+		r.Class[o] = ClassOrigin
+		r.Len[o] = 0
+	}
+	t.pinnedRecv(r, p)
+
+	// Valley-free propagation: three ordered sweeps suffice (customer
+	// routes up, one peer hop across, everything down to customers).
+	t.relaxCustomer(r, origins)
+	t.relaxPeer(r)
+	t.relaxProvider(r)
+
+	t.fillNextHops(r)
+	return r
+}
+
+// pinnedRecv computes, for a selectively-announced prefix (§6), which
+// neighbors of the origin actually hear the announcement: only the ASes on
+// the far side of the links the prefix is pinned to. nil means unpinned.
+func (t *Table) pinnedRecv(r *PrefixRIB, p netx.Prefix) {
+	pinned := false
+	for _, pp := range t.Net.PinnedPrefixes() {
+		if pp == p {
+			pinned = true
+			break
+		}
+	}
+	if !pinned {
+		return
+	}
+	r.pinnedOK = make(map[int32]bool)
+	for _, o := range t.originsOf[p] {
+		for _, att := range t.Net.Attachments(t.asns[o]) {
+			if t.Net.AnnouncedOnLink(p, att.Link) {
+				if i, ok := t.idx[att.Remote]; ok {
+					r.pinnedOK[i] = true
+				}
+			}
+		}
+	}
+}
+
+// exportAllowed gates the origin's direct announcements for pinned
+// prefixes: x (an origin) exports to recv only over pinned links.
+func (r *PrefixRIB) exportAllowed(x, recv int32) bool {
+	if r.pinnedOK == nil || r.Class[x] != ClassOrigin {
+		return true
+	}
+	return r.pinnedOK[recv]
+}
+
+// relaxCustomer propagates origin/customer routes up provider and sibling
+// edges in BFS order of path length.
+func (t *Table) relaxCustomer(r *PrefixRIB, origins []int32) {
+	queue := append([]int32(nil), origins...)
+	for len(queue) > 0 {
+		var next []int32
+		for _, x := range queue {
+			cx := r.Class[x]
+			if cx > ClassCustomer {
+				continue
+			}
+			for _, e := range t.adj[x] {
+				if !r.exportAllowed(x, e.n) {
+					continue
+				}
+				// What is x to e.n? e.rel is what e.n is to x; invert.
+				relToRecv := e.rel.Invert()
+				var cr Class
+				switch relToRecv {
+				case topo.RelCustomer: // x is e.n's customer
+					cr = ClassCustomer
+				case topo.RelSibling:
+					cr = ClassCustomer
+				default:
+					continue
+				}
+				nl := r.Len[x] + 1
+				if cr < r.Class[e.n] || (cr == r.Class[e.n] && nl < r.Len[e.n]) {
+					r.Class[e.n] = cr
+					r.Len[e.n] = nl
+					next = append(next, e.n)
+				}
+			}
+		}
+		queue = next
+	}
+}
+
+// relaxPeer hands customer-cone routes across a single peer edge.
+func (t *Table) relaxPeer(r *PrefixRIB) {
+	type upd struct {
+		i int32
+		l int16
+	}
+	var updates []upd
+	for x := range t.adj {
+		if r.Class[x] > ClassCustomer {
+			continue
+		}
+		for _, e := range t.adj[int32(x)] {
+			if e.rel.Invert() != topo.RelPeer { // x is e.n's peer
+				continue
+			}
+			if !r.exportAllowed(int32(x), e.n) {
+				continue
+			}
+			nl := r.Len[x] + 1
+			if ClassPeer < r.Class[e.n] || (ClassPeer == r.Class[e.n] && nl < r.Len[e.n]) {
+				updates = append(updates, upd{e.n, nl})
+			}
+		}
+	}
+	for _, u := range updates {
+		if ClassPeer < r.Class[u.i] || (ClassPeer == r.Class[u.i] && u.l < r.Len[u.i]) {
+			r.Class[u.i] = ClassPeer
+			r.Len[u.i] = u.l
+		}
+	}
+	// Peer routes also cross sibling sessions.
+	t.relaxSiblings(r, ClassPeer)
+}
+
+// relaxProvider floods any route down provider → customer edges (and
+// sibling sessions) in BFS order.
+func (t *Table) relaxProvider(r *PrefixRIB) {
+	var queue []int32
+	for x := range t.adj {
+		if r.Class[x] != ClassNone {
+			queue = append(queue, int32(x))
+		}
+	}
+	for len(queue) > 0 {
+		var next []int32
+		for _, x := range queue {
+			if r.Class[x] == ClassNone {
+				continue
+			}
+			// Routes learned across hidden (no-export) sessions are never
+			// re-announced, by either party.
+			if t.bestViaHiddenSession(r, x) {
+				continue
+			}
+			for _, e := range t.adj[x] {
+				if e.rel.Invert() != topo.RelProvider && e.rel.Invert() != topo.RelSibling {
+					continue // x must be e.n's provider (or sibling)
+				}
+				if !r.exportAllowed(x, e.n) {
+					continue
+				}
+				nl := r.Len[x] + 1
+				if ClassProvider < r.Class[e.n] || (ClassProvider == r.Class[e.n] && nl < r.Len[e.n]) {
+					r.Class[e.n] = ClassProvider
+					r.Len[e.n] = nl
+					next = append(next, e.n)
+				}
+			}
+		}
+		queue = next
+	}
+}
+
+// relaxSiblings propagates routes of exactly class c across sibling edges.
+func (t *Table) relaxSiblings(r *PrefixRIB, c Class) {
+	changed := true
+	for changed {
+		changed = false
+		for x := range t.adj {
+			if r.Class[x] != c {
+				continue
+			}
+			for _, e := range t.adj[int32(x)] {
+				if e.rel != topo.RelSibling {
+					continue
+				}
+				nl := r.Len[x] + 1
+				if c < r.Class[e.n] || (c == r.Class[e.n] && nl < r.Len[e.n]) {
+					r.Class[e.n] = c
+					r.Len[e.n] = nl
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// hostBestHidden reports whether every equal-best next hop at the host is a
+// hidden neighbor. Must be called after the peer phase.
+func (t *Table) hostBestHidden(r *PrefixRIB) bool {
+	if r.Class[t.hostIdx] != ClassPeer {
+		return false
+	}
+	cands := t.candidatesAt(r, t.hostIdx)
+	if len(cands) == 0 {
+		return false
+	}
+	for _, c := range cands {
+		if !t.hidden[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// bestViaHiddenSession reports whether AS x's only best routes cross a
+// hidden (no-export) session with the host: either x is the host and all
+// candidates are hidden neighbors, or x is a hidden neighbor and all its
+// candidates are the host. Such routes are used for forwarding but never
+// re-announced or reported to collectors.
+func (t *Table) bestViaHiddenSession(r *PrefixRIB, x int32) bool {
+	if x == t.hostIdx {
+		return t.hostBestHidden(r)
+	}
+	if !t.hidden[x] || r.Class[x] != ClassPeer {
+		return false
+	}
+	cands := t.candidatesAt(r, x)
+	if len(cands) == 0 {
+		return false
+	}
+	for _, c := range cands {
+		if c != t.hostIdx {
+			return false
+		}
+	}
+	return true
+}
+
+// candidatesAt lists the dense indexes of all neighbors providing the
+// equal-best route to AS x.
+func (t *Table) candidatesAt(r *PrefixRIB, x int32) []int32 {
+	if r.Class[x] == ClassOrigin || r.Class[x] == ClassNone {
+		return nil
+	}
+	var out []int32
+	for _, e := range t.adj[x] {
+		cN := r.Class[e.n]
+		if cN == ClassNone {
+			continue
+		}
+		if !r.exportAllowed(e.n, x) {
+			continue
+		}
+		got := receivedClass(cN, e.rel)
+		if got == ClassNone {
+			continue
+		}
+		if got == r.Class[x] && r.Len[e.n]+1 == r.Len[x] {
+			out = append(out, e.n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return t.asns[out[i]] < t.asns[out[j]] })
+	return out
+}
+
+// fillNextHops selects canonical next hops and the host candidate set.
+func (t *Table) fillNextHops(r *PrefixRIB) {
+	for x := range t.adj {
+		if r.Class[x] == ClassOrigin || r.Class[x] == ClassNone {
+			continue
+		}
+		cands := t.candidatesAt(r, int32(x))
+		if len(cands) == 0 {
+			// No neighbor can justify the route (should not happen in a
+			// consistent propagation); drop it defensively.
+			r.Class[x] = ClassNone
+			r.Len[x] = 0x7fff
+			continue
+		}
+		r.Next[x] = cands[0]
+		if int32(x) == t.hostIdx {
+			for _, c := range cands {
+				r.HostCandidates = append(r.HostCandidates, t.asns[c])
+			}
+		}
+	}
+	r.HostSuppressed = t.hostBestHidden(r)
+}
+
+// SuppressedAt reports whether vantage asn would report no path for this
+// prefix to a collector (its best route crosses a hidden session).
+func (t *Table) SuppressedAt(asn topo.ASN, r *PrefixRIB) bool {
+	i, ok := t.idx[asn]
+	if !ok {
+		return true
+	}
+	return t.bestViaHiddenSession(r, i)
+}
+
+// Path returns the canonical AS path from AS from to the origin of p,
+// starting with from itself. Returns nil if from has no route.
+func (t *Table) Path(from topo.ASN, p netx.Prefix) []topo.ASN {
+	i, ok := t.idx[from]
+	if !ok {
+		return nil
+	}
+	r := t.Routes(p)
+	if r.Class[i] == ClassNone {
+		return nil
+	}
+	path := []topo.ASN{from}
+	for r.Class[i] != ClassOrigin {
+		i = r.Next[i]
+		if i < 0 || len(path) > len(t.asns) {
+			return nil
+		}
+		path = append(path, t.asns[i])
+	}
+	return path
+}
+
+// HostCandidates returns the equal-best next-hop ASes at the host for p.
+func (t *Table) HostCandidates(p netx.Prefix) []topo.ASN {
+	return t.Routes(p).HostCandidates
+}
+
+// ClassAt returns the route class of prefix p at AS asn.
+func (t *Table) ClassAt(asn topo.ASN, p netx.Prefix) Class {
+	i, ok := t.idx[asn]
+	if !ok {
+		return ClassNone
+	}
+	return t.Routes(p).Class[i]
+}

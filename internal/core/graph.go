@@ -1,0 +1,451 @@
+package core
+
+import (
+	"sort"
+
+	"bdrmap/internal/asrel"
+	"bdrmap/internal/bgp"
+	"bdrmap/internal/ixp"
+	"bdrmap/internal/netx"
+	"bdrmap/internal/probe"
+	"bdrmap/internal/rir"
+	"bdrmap/internal/scamper"
+	"bdrmap/internal/sibling"
+	"bdrmap/internal/topo"
+)
+
+// Input bundles everything bdrmap consumes (§5.2 input data plus the
+// collected measurements).
+type Input struct {
+	Data     *scamper.Dataset
+	View     *bgp.View
+	Rel      *asrel.Inference
+	RIR      *rir.DB
+	IXP      *ixp.PrefixList
+	HostASN  topo.ASN
+	Siblings *sibling.Set
+	Opts     Options
+}
+
+// Options disable individual heuristics for ablation studies.
+type Options struct {
+	// NoThirdParty disables §5.4.5 third-party address detection.
+	NoThirdParty bool
+	// NoAnalyticalAlias disables the §5.4.7 near-side collapse.
+	NoAnalyticalAlias bool
+}
+
+// vpASNs returns the set of ASes belonging to the hosting organization.
+func (in Input) vpASNs() map[topo.ASN]bool {
+	out := map[topo.ASN]bool{in.HostASN: true}
+	if in.Siblings != nil {
+		for _, s := range in.Siblings.SiblingsOf(in.HostASN) {
+			out[s] = true
+		}
+	}
+	return out
+}
+
+// addrClass categorizes one observed address by IP-AS mapping.
+type addrClass int8
+
+const (
+	classHost     addrClass = iota // originated by a VP AS (or host RIR space)
+	classExternal                  // originated by exactly one external AS
+	classMulti                     // multi-origin including no VP AS
+	classIXP                       // inside a known IXP LAN prefix
+	classUnrouted                  // no covering announced prefix
+)
+
+// node is the working state for one inferred router.
+type node struct {
+	id    int
+	addrs []netx.Addr
+
+	class  addrClass
+	extAS  topo.ASN // for classExternal (or a common origin for classMulti)
+	minTTL int
+	isVP   bool // contains the VP-side first hop
+
+	// succ/pred adjacency: per neighboring node, the address pairs
+	// observed (ours, theirs).
+	succ map[*node][]addrPair
+	pred map[*node][]addrPair
+
+	// dests: target ASes of traces traversing this node, with counts.
+	dests map[topo.ASN]int
+	// lastFor: target ASes whose traces ended (last response) here.
+	lastFor map[topo.ASN]int
+	// firstRoutedAfter: origins of the first routed address observed
+	// after this node in traces (per §5.4.3), with counts.
+	firstRoutedAfter map[topo.ASN]int
+
+	owner  topo.ASN
+	heur   Heuristic
+	host   bool
+	done   bool
+	merged bool // folded into another node by §5.4.7
+}
+
+type addrPair struct{ from, to netx.Addr }
+
+// graph is the router-level measurement graph plus lookup tables.
+type graph struct {
+	in     Input
+	vpASNs map[topo.ASN]bool
+
+	nodes  []*node
+	byAddr map[netx.Addr]*node
+
+	// hostExtra covers unannounced blocks attributed to the host via the
+	// positional RIR rule of §5.4.1.
+	hostExtra netx.Trie[bool]
+	hostOrgs  map[string]bool // RIR org IDs covering known host space
+
+	// echo sources per target AS: origins of echo replies received when
+	// tracing toward that AS (used by §5.4.8 step 8.2 and §5.4.3).
+	echoFrom map[topo.ASN][]netx.Addr
+	// lastRespNode per trace toward each target AS (used by §5.4.8).
+	finalNodes map[topo.ASN]map[*node]int
+	// tracesToward counts traces per target AS.
+	tracesToward map[topo.ASN]int
+}
+
+// buildGraph constructs nodes from the dataset's traces and alias graph.
+func buildGraph(in Input) *graph {
+	g := &graph{
+		in:           in,
+		vpASNs:       in.vpASNs(),
+		byAddr:       make(map[netx.Addr]*node),
+		hostOrgs:     make(map[string]bool),
+		echoFrom:     make(map[topo.ASN][]netx.Addr),
+		finalNodes:   make(map[topo.ASN]map[*node]int),
+		tracesToward: make(map[topo.ASN]int),
+	}
+
+	// Pass 0: the positional host-space rule (§5.4.1): in each trace, any
+	// unrouted address appearing before a VP-AS address is host space;
+	// attribute its whole RIR delegation to the host organization.
+	for _, tr := range in.Data.Traces {
+		lastHost := -1
+		for i, h := range tr.Hops {
+			if h.Type == probe.HopTimeExceeded && g.originIsHost(h.Addr) {
+				lastHost = i
+			}
+		}
+		for i := 0; i < lastHost; i++ {
+			h := tr.Hops[i]
+			if h.Type != probe.HopTimeExceeded {
+				continue
+			}
+			if _, _, routed := in.View.Origins(h.Addr); routed {
+				continue
+			}
+			if in.RIR == nil {
+				continue
+			}
+			if org, ok := in.RIR.OrgOf(h.Addr); ok {
+				g.hostOrgs[org] = true
+				for _, rec := range in.RIR.Records() {
+					if rec.OrgID == org && rec.Start <= h.Addr && h.Addr <= rec.End() {
+						g.hostExtra.Insert(netx.MakePrefix(rec.Start, prefixLenFor(rec)), true)
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 1: create nodes (alias-merged) and adjacency.
+	getNode := func(a netx.Addr) *node {
+		canon := a
+		if in.Data.Graph != nil {
+			canon = in.Data.Graph.Canonical(a)
+		}
+		if n, ok := g.byAddr[canon]; ok {
+			if _, seen := g.byAddr[a]; !seen {
+				n.addrs = append(n.addrs, a)
+				g.byAddr[a] = n
+			}
+			return n
+		}
+		n := &node{
+			id:               len(g.nodes),
+			minTTL:           1 << 30,
+			succ:             make(map[*node][]addrPair),
+			pred:             make(map[*node][]addrPair),
+			dests:            make(map[topo.ASN]int),
+			lastFor:          make(map[topo.ASN]int),
+			firstRoutedAfter: make(map[topo.ASN]int),
+		}
+		n.addrs = append(n.addrs, a)
+		g.nodes = append(g.nodes, n)
+		g.byAddr[canon] = n
+		g.byAddr[a] = n
+		return n
+	}
+
+	for _, tr := range in.Data.Traces {
+		g.tracesToward[tr.TargetAS]++
+		var prev *node
+		var prevAddr netx.Addr
+		var lastResp *node
+		first := true
+		for _, h := range tr.Hops {
+			switch h.Type {
+			case probe.HopTimeExceeded:
+				n := getNode(h.Addr)
+				if h.TTL < n.minTTL {
+					n.minTTL = h.TTL
+				}
+				if first {
+					n.isVP = true
+					first = false
+				}
+				n.dests[tr.TargetAS]++
+				if prev != nil && prev != n {
+					prev.succ[n] = append(prev.succ[n], addrPair{prevAddr, h.Addr})
+					n.pred[prev] = append(n.pred[prev], addrPair{prevAddr, h.Addr})
+				}
+				prev, prevAddr, lastResp = n, h.Addr, n
+			case probe.HopEchoReply, probe.HopUnreachable:
+				// §5.4.8 step 8.2 accepts both echo replies and
+				// destination unreachables as evidence of the neighbor.
+				g.echoFrom[tr.TargetAS] = append(g.echoFrom[tr.TargetAS], h.Addr)
+				prev, prevAddr = nil, 0
+			default:
+				// A timeout breaks adjacency: the next responder is not
+				// necessarily connected to the previous one.
+				prev, prevAddr = nil, 0
+			}
+		}
+		if lastResp != nil {
+			lastResp.lastFor[tr.TargetAS]++
+			if g.finalNodes[tr.TargetAS] == nil {
+				g.finalNodes[tr.TargetAS] = make(map[*node]int)
+			}
+			g.finalNodes[tr.TargetAS][lastResp]++
+		}
+	}
+
+	// Pass 2: first routed address after each node (for §5.4.3).
+	for _, tr := range in.Data.Traces {
+		var seen []*node
+		for _, h := range tr.Hops {
+			switch h.Type {
+			case probe.HopTimeExceeded:
+				n := g.byAddr[h.Addr]
+				if n == nil {
+					continue
+				}
+				if origins, _, ok := in.View.Origins(h.Addr); ok {
+					for _, s := range seen {
+						if s != n {
+							s.firstRoutedAfter[origins[0]]++
+						}
+					}
+					seen = seen[:0]
+				}
+				seen = append(seen, n)
+			case probe.HopEchoReply, probe.HopUnreachable:
+				if origins, _, ok := in.View.Origins(h.Addr); ok {
+					for _, s := range seen {
+						s.firstRoutedAfter[origins[0]]++
+					}
+					seen = seen[:0]
+				}
+			}
+		}
+	}
+
+	// Classify every node.
+	for _, n := range g.nodes {
+		sort.Slice(n.addrs, func(i, j int) bool { return n.addrs[i] < n.addrs[j] })
+		n.class, n.extAS = g.classify(n.addrs)
+	}
+	// Visit order: by hop distance, then id for determinism.
+	sort.Slice(g.nodes, func(i, j int) bool {
+		if g.nodes[i].minTTL != g.nodes[j].minTTL {
+			return g.nodes[i].minTTL < g.nodes[j].minTTL
+		}
+		return g.nodes[i].id < g.nodes[j].id
+	})
+	return g
+}
+
+// prefixLenFor converts a delegation record's count into a prefix length
+// (counts are powers of two in our synthetic data).
+func prefixLenFor(rec rir.Record) int {
+	n := rec.Count
+	l := 32
+	for n > 1 {
+		n >>= 1
+		l--
+	}
+	return l
+}
+
+// originIsHost reports whether addr maps to the hosting organization.
+func (g *graph) originIsHost(addr netx.Addr) bool {
+	if origins, _, ok := g.in.View.Origins(addr); ok {
+		for _, o := range origins {
+			if g.vpASNs[o] {
+				return true
+			}
+		}
+		return false
+	}
+	if _, ok := g.hostExtra.Lookup(addr); ok {
+		return true
+	}
+	return false
+}
+
+// classify determines the address class of a node from all its addresses.
+func (g *graph) classify(addrs []netx.Addr) (addrClass, topo.ASN) {
+	anyHost, anyIXP, anyUnrouted := false, false, false
+	common := map[topo.ASN]int{}
+	nExt := 0
+	for _, a := range addrs {
+		if g.in.IXP != nil {
+			if _, isIXP := g.in.IXP.IsIXP(a); isIXP {
+				anyIXP = true
+				continue
+			}
+		}
+		origins, _, ok := g.in.View.Origins(a)
+		if !ok {
+			if _, host := g.hostExtra.Lookup(a); host {
+				anyHost = true
+			} else {
+				anyUnrouted = true
+			}
+			continue
+		}
+		host := false
+		for _, o := range origins {
+			if g.vpASNs[o] {
+				host = true
+			}
+		}
+		if host {
+			anyHost = true
+			continue
+		}
+		nExt++
+		for _, o := range origins {
+			common[o]++
+		}
+	}
+	switch {
+	case anyIXP && !anyHost && nExt == 0:
+		return classIXP, 0
+	case anyHost && nExt == 0:
+		return classHost, 0
+	case anyUnrouted && !anyHost && nExt == 0:
+		return classUnrouted, 0
+	case nExt > 0:
+		// Single common external origin?
+		var best topo.ASN
+		bestN := 0
+		for o, c := range common {
+			if c > bestN || (c == bestN && (best == 0 || o < best)) {
+				best, bestN = o, c
+			}
+		}
+		if bestN == nExt && singleFullCover(common, nExt) {
+			return classExternal, best
+		}
+		return classMulti, best
+	default:
+		return classUnrouted, 0
+	}
+}
+
+// singleFullCover reports whether exactly one origin covers all external
+// addresses.
+func singleFullCover(common map[topo.ASN]int, nExt int) bool {
+	full := 0
+	for _, c := range common {
+		if c == nExt {
+			full++
+		}
+	}
+	return full == 1
+}
+
+// destSet returns the distinct destination ASes of a node (grouping the
+// host's sibling targets never occurs since host prefixes are not probed).
+func (n *node) destSet() []topo.ASN {
+	out := make([]topo.ASN, 0, len(n.dests))
+	for d := range n.dests {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// succExternalOrigins returns, per external AS, how many distinct adjacent
+// successor addresses map to it.
+func (g *graph) succExternalOrigins(n *node) map[topo.ASN]int {
+	count := make(map[topo.ASN]int)
+	seen := make(map[netx.Addr]bool)
+	for s, pairs := range n.succ {
+		_ = s
+		for _, p := range pairs {
+			if seen[p.to] {
+				continue
+			}
+			seen[p.to] = true
+			origins, _, ok := g.in.View.Origins(p.to)
+			if !ok {
+				continue
+			}
+			isHost := false
+			for _, o := range origins {
+				if g.vpASNs[o] {
+					isHost = true
+				}
+			}
+			if !isHost {
+				count[origins[0]]++
+			}
+		}
+	}
+	return count
+}
+
+// nextas computes the candidate owner of §5.4: the most common inferred
+// provider among the destination ASes probed through the node.
+func (g *graph) nextas(n *node) topo.ASN {
+	if len(n.dests) < 2 {
+		return 0
+	}
+	count := make(map[topo.ASN]int)
+	for d := range n.dests {
+		for _, p := range g.in.Rel.ProvidersOf(d) {
+			count[p]++
+		}
+	}
+	var best topo.ASN
+	bestN := 0
+	better := func(p topo.ASN, c int) bool {
+		if c != bestN {
+			return c > bestN
+		}
+		// Tie-break: an AS that is itself among the destinations is the
+		// likely transit for the others (a transit customer with its own
+		// customers behind it).
+		_, pIn := n.dests[p]
+		_, bIn := n.dests[best]
+		if pIn != bIn {
+			return pIn
+		}
+		return best == 0 || p < best
+	}
+	for p, c := range count {
+		if better(p, c) {
+			best, bestN = p, c
+		}
+	}
+	return best
+}

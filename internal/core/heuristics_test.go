@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+
+	"bdrmap/internal/scamper"
+	"bdrmap/internal/topo"
+)
+
+// archetypeProfile builds a small world where half the customers follow
+// the archetype under test and half are plain firewalled customers. The
+// filler matters: a border router serving a single neighbor is genuinely
+// ambiguous (even the paper's heuristics attribute it to the neighbor), so
+// each heuristic's canonical form needs multi-tenant borders, as real
+// networks have.
+func archetypeProfile(vis topo.Visibility) topo.Profile {
+	return topo.Profile{
+		Name:             "archetype",
+		HostTier:         topo.TierAccess,
+		NumRegions:       2,
+		BordersPerRegion: 1,
+		NumVPs:           1,
+		NumProviders:     1,
+		NumCustomers:     8,
+		CustVis: topo.VisMix{
+			{Vis: vis, W: 0.5},
+			{Vis: topo.VisFirewall, W: 0.5},
+		},
+		CustTransitFrac:   0.8, // onenet needs customers with children
+		CustMaxChildren:   2,
+		ProvVis:           topo.VisMix{{Vis: topo.VisOnenet, W: 1}},
+		PeerVis:           topo.VisMix{{Vis: topo.VisOnenet, W: 1}},
+		DistantPerTransit: 3,
+	}
+}
+
+// runArchetype searches a few seeds for the archetype's canonical
+// inference: at least one link carrying the expected heuristic tag whose
+// far side is truly operated by the inferred organization.
+func runArchetype(t *testing.T, vis topo.Visibility, want Heuristic) {
+	t.Helper()
+	lastReason := "tag never observed"
+	for seed := int64(1); seed <= 8; seed++ {
+		n := topo.Generate(archetypeProfile(vis), seed)
+		res, _ := pipeline(t, n, 0, scamper.Config{Workers: 1})
+		for _, l := range res.Links {
+			if l.Heuristic != want {
+				continue
+			}
+			if l.Far == nil {
+				// Silent links carry no far address; verify attachment.
+				nearR := n.RouterByAddr(l.Near.Addrs[0])
+				ok := false
+				for _, lt := range n.InterdomainLinks(n.HostASN) {
+					if lt.FarAS == l.FarAS && lt.NearRtr == nearR.ID {
+						ok = true
+					}
+				}
+				if !ok {
+					lastReason = "silent link misplaced"
+					continue
+				}
+				return
+			}
+			r := n.RouterByAddr(l.FarAddr)
+			if r == nil {
+				lastReason = "far addr unknown"
+				continue
+			}
+			if n.ASes[r.Owner].Org != n.ASes[l.FarAS].Org {
+				lastReason = "tagged link has wrong owner"
+				continue
+			}
+			return
+		}
+	}
+	t.Fatalf("archetype %v: no correct link tagged %q (%s)", vis, want, lastReason)
+}
+
+func TestHeuristicFirewall(t *testing.T) {
+	runArchetype(t, topo.VisFirewall, HeurFirewall)
+}
+
+func TestHeuristicFirewallOwnSpace(t *testing.T) {
+	runArchetype(t, topo.VisFirewallOwnSpace, HeurIPAS)
+}
+
+func TestHeuristicOneHopRelationship(t *testing.T) {
+	runArchetype(t, topo.VisOneHop, HeurRelationship)
+}
+
+func TestHeuristicOnenet(t *testing.T) {
+	runArchetype(t, topo.VisOnenet, HeurOnenet)
+}
+
+func TestHeuristicUnrouted(t *testing.T) {
+	runArchetype(t, topo.VisUnrouted, HeurUnrouted)
+}
+
+func TestHeuristicThirdParty(t *testing.T) {
+	runArchetype(t, topo.VisThirdParty, HeurThirdParty)
+}
+
+func TestHeuristicSilent(t *testing.T) {
+	runArchetype(t, topo.VisSilent, HeurSilent)
+}
+
+func TestHeuristicEchoOnly(t *testing.T) {
+	runArchetype(t, topo.VisEchoOnly, HeurOtherICMP)
+}
+
+func TestHeuristicCount(t *testing.T) {
+	runArchetype(t, topo.VisMixedAdj, HeurCount)
+}
+
+func TestHeuristicMultihomedToVP(t *testing.T) {
+	runArchetype(t, topo.VisMultiAdj, HeurMultihomed)
+}
+
+func TestHeuristicMissingCustomer(t *testing.T) {
+	runArchetype(t, topo.VisSiblingUpstream, HeurMissingCust)
+}
+
+// TestHeuristicPrecision: across archetype worlds, links carrying the
+// archetype's tag must overwhelmingly name the correct organization.
+func TestHeuristicPrecision(t *testing.T) {
+	type tc struct {
+		vis topo.Visibility
+		tag Heuristic
+	}
+	cases := []tc{
+		{topo.VisFirewall, HeurFirewall},
+		{topo.VisOneHop, HeurRelationship},
+		{topo.VisUnrouted, HeurUnrouted},
+		{topo.VisThirdParty, HeurThirdParty},
+	}
+	for _, c := range cases {
+		good, bad := 0, 0
+		for seed := int64(1); seed <= 5; seed++ {
+			n := topo.Generate(archetypeProfile(c.vis), seed)
+			res, _ := pipeline(t, n, 0, scamper.Config{Workers: 1})
+			for _, l := range res.Links {
+				if l.Heuristic != c.tag || l.Far == nil {
+					continue
+				}
+				r := n.RouterByAddr(l.FarAddr)
+				if r != nil && n.ASes[r.Owner].Org == n.ASes[l.FarAS].Org {
+					good++
+				} else {
+					bad++
+				}
+			}
+		}
+		if good == 0 {
+			t.Errorf("%v: tag %q never fired", c.vis, c.tag)
+		}
+		if bad > good/4 {
+			t.Errorf("%v: tag %q wrong too often (%d good, %d bad)", c.vis, c.tag, good, bad)
+		}
+	}
+}

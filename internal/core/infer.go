@@ -1,0 +1,639 @@
+package core
+
+import (
+	"sort"
+
+	"bdrmap/internal/alias"
+	"bdrmap/internal/netx"
+	"bdrmap/internal/topo"
+)
+
+// Infer runs the full bdrmap algorithm over one vantage point's dataset.
+func Infer(in Input) *Result {
+	g := buildGraph(in)
+	g.passHost()
+	for _, n := range g.nodes {
+		if !n.done {
+			g.inferNeighbor(n)
+		}
+	}
+	g.passAnalyticalAliases()
+	res := g.buildResult()
+	g.passSilent(res)
+	return res
+}
+
+// anonymousAddr reports whether a node's addresses say nothing about its
+// owner: host-supplied interconnection space or IXP LAN space.
+func (n *node) anonymousAddr() bool {
+	return n.class == classHost || n.class == classIXP
+}
+
+// ---------------------------------------------------------------------------
+// §5.4.1: routers operated by the hosting network
+
+func (g *graph) passHost() {
+	host := g.in.HostASN
+	for _, n := range g.nodes {
+		if n.class != classHost {
+			continue
+		}
+		// Step 1.2 precondition: a subsequent interface also originated by
+		// the hosting network.
+		hostSucc := g.hostSuccessor(n)
+		if hostSucc == nil {
+			continue
+		}
+		// Step 1.1 exception: the neighbor may be multihomed to the host
+		// with adjacent routers numbered from host space. This reading
+		// only applies when both routers exclusively carry traffic toward
+		// A (a host border carries many destinations and never matches).
+		extAdj := g.succExternalOrigins(n)
+		if len(extAdj) == 1 && !n.isVP {
+			var a topo.ASN
+			for o := range extAdj {
+				a = o
+			}
+			nd, vd := n.destSet(), hostSucc.destSet()
+			onlyA := len(nd) == 1 && nd[0] == a && len(vd) == 1 && vd[0] == a
+			if onlyA && g.in.Rel.Rel(host, a) != topo.RelNone && g.multihomedException(n, hostSucc, a) {
+				n.owner, n.heur, n.done = a, HeurMultihomed, true
+				if !hostSucc.done {
+					hostSucc.owner, hostSucc.heur, hostSucc.done = a, HeurMultihomed, true
+				}
+				continue
+			}
+		}
+		n.owner, n.heur, n.host, n.done = host, HeurHostNetwork, true, true
+	}
+
+	// Extension step (beyond the paper's 1.1/1.2, needed for hosts with
+	// no customers to supply interconnection space): a host-space router
+	// whose successors fan out into several *mutually unrelated* external
+	// ASes must be the host's own border. A neighbor's router only carries
+	// traffic into that neighbor's cone, so its adjacent external ASes
+	// always include a plausible common transit; an egress fan-out point
+	// of the host does not.
+	for _, n := range g.nodes {
+		if n.done || n.class != classHost {
+			continue
+		}
+		extAdj := g.succExternalOrigins(n)
+		if len(extAdj) >= 2 && !g.hasPlausibleTransit(extAdj) {
+			n.owner, n.heur, n.host, n.done = host, HeurHostNetwork, true, true
+		}
+	}
+}
+
+// hasPlausibleTransit reports whether some adjacent AS could be providing
+// transit to every other adjacent AS (the fig. 9 configuration).
+func (g *graph) hasPlausibleTransit(extAdj map[topo.ASN]int) bool {
+	for a := range extAdj {
+		ok := true
+		for b := range extAdj {
+			if b == a {
+				continue
+			}
+			if g.in.Rel.Rel(a, b) != topo.RelCustomer { // b is not a's customer
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// hostSuccessor returns a successor reached over a host-originated address.
+func (g *graph) hostSuccessor(n *node) *node {
+	var keys []*node
+	for s := range n.succ {
+		keys = append(keys, s)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].id < keys[j].id })
+	for _, s := range keys {
+		for _, p := range n.succ[s] {
+			if g.originIsHost(p.to) {
+				return s
+			}
+		}
+	}
+	return nil
+}
+
+// multihomedException applies §5.4.1's guard for step 1.1: if an owner we
+// would infer for a router subsequent to n is a customer of the host but
+// not a known neighbor of A, the multihomed reading is wrong and the host
+// operates n. Returns true when step 1.1 should fire.
+func (g *graph) multihomedException(n, v *node, a topo.ASN) bool {
+	check := func(w *node) bool {
+		if w.class != classExternal || w.extAS == 0 || w.extAS == a {
+			return true
+		}
+		o := w.extAS
+		if g.in.Rel.Rel(g.in.HostASN, o) == topo.RelCustomer && !g.in.View.HasLink(o, a) {
+			return false // a host customer unrelated to A: n is the host's
+		}
+		return true
+	}
+	for w := range n.succ {
+		if !check(w) {
+			return false
+		}
+	}
+	for w := range v.succ {
+		if !check(w) {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// §5.4.2–§5.4.6: neighbor routers, in the paper's order
+
+func (g *graph) inferNeighbor(n *node) {
+	host := g.in.HostASN
+	dests := n.destSet()
+	extAdj := g.succExternalOrigins(n)
+
+	// §5.4.2 firewall: the last responding router toward a destination,
+	// numbered from space that says nothing about its owner, with no
+	// adjacent interfaces at all.
+	if n.anonymousAddr() && len(n.succ) == 0 && len(n.lastFor) > 0 {
+		if len(dests) == 1 {
+			n.owner, n.heur, n.done = dests[0], HeurFirewall, true
+		} else if na := g.nextas(n); na != 0 {
+			n.owner, n.heur, n.done = na, HeurFirewall, true
+			if g.vpASNs[na] {
+				n.host = true
+			}
+		}
+		if n.done {
+			return
+		}
+	}
+
+	// §5.4.3 unrouted interior addressing.
+	if n.class == classUnrouted || (n.anonymousAddr() && g.allSuccUnrouted(n)) {
+		if g.inferUnrouted(n) {
+			return
+		}
+	}
+
+	// §5.4.4 onenet.
+	if n.class == classExternal && n.extAS != 0 && extAdj[n.extAS] > 0 {
+		n.owner, n.heur, n.done = n.extAS, HeurOnenet, true // step 4.1
+		return
+	}
+	if n.anonymousAddr() {
+		if a := g.twoConsecutive(n); a != 0 { // step 4.2
+			n.owner, n.heur, n.done = a, HeurOnenet, true
+			return
+		}
+	}
+
+	// §5.4.5 steps 5.1/5.2: third-party address detection. "Paths toward
+	// B" include B's customer cone: a transit customer's border also
+	// carries probes toward its own customers.
+	if b := g.soleConeRoot(dests); !g.in.Opts.NoThirdParty &&
+		n.class == classExternal && n.extAS != 0 && b != 0 {
+		a := n.extAS
+		if a != b && g.in.Rel.Rel(b, a) == topo.RelProvider {
+			// The address belongs to the destination's provider: the
+			// router used a route from its provider to respond.
+			n.owner, n.heur, n.done = b, HeurThirdParty, true
+			// Step 5.1: a preceding router observed only with host
+			// addresses and only toward B belongs to B as well.
+			for p := range n.pred {
+				if !p.done && p.class == classHost && g.soleConeRoot(p.destSet()) == b {
+					p.owner, p.heur, p.done = b, HeurThirdParty, true
+				}
+			}
+			return
+		}
+	}
+
+	// §5.4.5 steps 5.3–5.5 for routers with anonymous addresses.
+	if n.anonymousAddr() && len(extAdj) == 1 {
+		var a topo.ASN
+		for o := range extAdj {
+			a = o
+		}
+		switch g.in.Rel.Rel(host, a) {
+		case topo.RelCustomer, topo.RelPeer: // step 5.3
+			n.owner, n.heur, n.done = a, HeurRelationship, true
+			return
+		default:
+			// Step 5.4 "missing customer": B provider of A, host provider
+			// of B. The paper notes sibling organizations cause this
+			// scenario (B numbers its routers from sibling A's space), so
+			// require sibling evidence before overriding the IP-AS owner.
+			for _, b := range g.in.Rel.ProvidersOf(a) {
+				if g.in.Rel.Rel(host, b) == topo.RelCustomer &&
+					g.in.Siblings != nil && g.in.Siblings.SameOrg(a, b) {
+					n.owner, n.heur, n.done = b, HeurMissingCust, true
+					return
+				}
+			}
+			// Step 5.5 hidden peer: a single subsequent origin with no
+			// known relationship.
+			n.owner, n.heur, n.done = a, HeurHiddenPeer, true
+			return
+		}
+	}
+
+	// §5.4.6 step 6.1: counting among several adjacent origins.
+	if n.anonymousAddr() && len(extAdj) > 1 {
+		n.owner, n.heur, n.done = g.countWinner(extAdj), HeurCount, true
+		return
+	}
+
+	// §5.4.6 fallback: plain IP-AS mapping.
+	if (n.class == classExternal || n.class == classMulti) && n.extAS != 0 {
+		n.owner, n.heur, n.done = n.extAS, HeurIPAS, true
+		return
+	}
+
+	// Anonymous routers with destinations but no other constraints:
+	// the destination set is all we have (IXP LAN firewalls and the
+	// remaining host-space cases).
+	if n.anonymousAddr() && len(dests) == 1 && len(n.lastFor) > 0 {
+		n.owner, n.heur, n.done = dests[0], HeurFirewall, true
+		return
+	}
+	if na := g.nextas(n); n.anonymousAddr() && na != 0 && len(n.lastFor) > 0 {
+		n.owner, n.heur, n.done = na, HeurFirewall, true
+		if g.vpASNs[na] {
+			n.host = true
+		}
+	}
+}
+
+// soleConeRoot returns the single destination AS whose (inferred) customer
+// cone covers every other destination in the set, or 0 when no unique such
+// AS exists. With one destination it is that destination.
+func (g *graph) soleConeRoot(dests []topo.ASN) topo.ASN {
+	switch len(dests) {
+	case 0:
+		return 0
+	case 1:
+		return dests[0]
+	}
+	var root topo.ASN
+	for _, b := range dests {
+		ok := true
+		for _, d := range dests {
+			if d == b {
+				continue
+			}
+			isCust := false
+			for _, p := range g.in.Rel.ProvidersOf(d) {
+				if p == b {
+					isCust = true
+				}
+			}
+			if !isCust {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			if root != 0 {
+				return 0 // ambiguous
+			}
+			root = b
+		}
+	}
+	return root
+}
+
+// allSuccUnrouted reports whether every successor edge of n crosses an
+// unrouted (and non-host) address, with at least one successor.
+func (g *graph) allSuccUnrouted(n *node) bool {
+	if len(n.succ) == 0 {
+		return false
+	}
+	for _, pairs := range n.succ {
+		for _, p := range pairs {
+			if g.originIsHost(p.to) {
+				return false
+			}
+			if _, _, ok := g.in.View.Origins(p.to); ok {
+				return false
+			}
+			if g.in.IXP != nil {
+				if _, isIXP := g.in.IXP.IsIXP(p.to); isIXP {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// inferUnrouted applies §5.4.3: reason from the origins of the first
+// routed interfaces observed after the router.
+func (g *graph) inferUnrouted(n *node) bool {
+	var asns []topo.ASN
+	for a := range n.firstRoutedAfter {
+		if !g.vpASNs[a] {
+			asns = append(asns, a)
+		}
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	switch {
+	case len(asns) == 1: // step 3.1
+		n.owner, n.heur, n.done = asns[0], HeurUnrouted, true
+	case len(asns) > 1: // step 3.2: most frequent provider of the set
+		count := map[topo.ASN]int{}
+		for _, a := range asns {
+			for _, p := range g.in.Rel.ProvidersOf(a) {
+				count[p]++
+			}
+		}
+		var best topo.ASN
+		bestN := 0
+		for p, c := range count {
+			if c > bestN || (c == bestN && (best == 0 || p < best)) {
+				best, bestN = p, c
+			}
+		}
+		if best != 0 {
+			n.owner, n.heur, n.done = best, HeurUnrouted, true
+		}
+	default:
+		if na := g.nextas(n); na != 0 {
+			n.owner, n.heur, n.done = na, HeurUnrouted, true
+		}
+	}
+	if n.done && g.vpASNs[n.owner] {
+		n.host = true
+	}
+	return n.done
+}
+
+// twoConsecutive looks for two consecutive routers after n whose
+// edge addresses map to one external AS (§5.4.4 step 4.2).
+func (g *graph) twoConsecutive(n *node) topo.ASN {
+	var vs []*node
+	for v := range n.succ {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i].id < vs[j].id })
+	for _, v := range vs {
+		a := g.edgeOrigin(n, v)
+		if a == 0 {
+			continue
+		}
+		var ws []*node
+		for w := range v.succ {
+			ws = append(ws, w)
+		}
+		sort.Slice(ws, func(i, j int) bool { return ws[i].id < ws[j].id })
+		for _, w := range ws {
+			if g.edgeOrigin(v, w) == a {
+				return a
+			}
+		}
+	}
+	return 0
+}
+
+// edgeOrigin returns the single external origin of the addresses by which
+// v was observed adjacent to n, or 0.
+func (g *graph) edgeOrigin(n, v *node) topo.ASN {
+	var out topo.ASN
+	for _, p := range n.succ[v] {
+		origins, _, ok := g.in.View.Origins(p.to)
+		if !ok {
+			return 0
+		}
+		for _, o := range origins {
+			if g.vpASNs[o] {
+				return 0
+			}
+		}
+		if out == 0 {
+			out = origins[0]
+		} else if out != origins[0] {
+			return 0
+		}
+	}
+	return out
+}
+
+// countWinner picks the AS with the most adjacent interfaces, breaking
+// ties in favor of a known relationship with the host (§5.4.6 step 6.1).
+func (g *graph) countWinner(extAdj map[topo.ASN]int) topo.ASN {
+	type entry struct {
+		asn topo.ASN
+		n   int
+	}
+	var entries []entry
+	for a, c := range extAdj {
+		entries = append(entries, entry{a, c})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].n != entries[j].n {
+			return entries[i].n > entries[j].n
+		}
+		iRel := g.in.Rel.Rel(g.in.HostASN, entries[i].asn) != topo.RelNone
+		jRel := g.in.Rel.Rel(g.in.HostASN, entries[j].asn) != topo.RelNone
+		if iRel != jRel {
+			return iRel
+		}
+		return entries[i].asn < entries[j].asn
+	})
+	return entries[0].asn
+}
+
+// ---------------------------------------------------------------------------
+// §5.4.7: analytical aliases on the near side
+
+func (g *graph) passAnalyticalAliases() {
+	if g.in.Opts.NoAnalyticalAlias {
+		return
+	}
+	for _, v := range g.nodes {
+		if v.host || v.owner == 0 || g.vpASNs[v.owner] {
+			continue
+		}
+		// Host-side predecessors with a single observed interface.
+		var singles []*node
+		for p := range v.pred {
+			if p.host && len(p.addrs) == 1 {
+				singles = append(singles, p)
+			}
+		}
+		if len(singles) < 2 {
+			continue
+		}
+		sort.Slice(singles, func(i, j int) bool { return singles[i].id < singles[j].id })
+		base := singles[0]
+		for _, u := range singles[1:] {
+			// Merging must not contradict measurement: skip pairs some
+			// probe actively rejected.
+			if g.in.Data.Resolver != nil &&
+				g.in.Data.Resolver.Verdict(base.addrs[0], u.addrs[0]) == alias.AliasNo {
+				continue
+			}
+			if g.in.Data.Resolver != nil {
+				g.in.Data.Resolver.Record(base.addrs[0], u.addrs[0], alias.AliasYes)
+			}
+			g.mergeNodes(base, u)
+		}
+	}
+}
+
+// mergeNodes folds src into dst.
+func (g *graph) mergeNodes(dst, src *node) {
+	if dst == src {
+		return
+	}
+	dst.addrs = append(dst.addrs, src.addrs...)
+	sort.Slice(dst.addrs, func(i, j int) bool { return dst.addrs[i] < dst.addrs[j] })
+	for _, a := range src.addrs {
+		g.byAddr[a] = dst
+	}
+	for s, pairs := range src.succ {
+		if s == dst {
+			continue
+		}
+		dst.succ[s] = append(dst.succ[s], pairs...)
+		delete(s.pred, src)
+		s.pred[dst] = append(s.pred[dst], pairs...)
+	}
+	for p, pairs := range src.pred {
+		if p == dst {
+			continue
+		}
+		dst.pred[p] = append(dst.pred[p], pairs...)
+		delete(p.succ, src)
+		p.succ[dst] = append(p.succ[dst], pairs...)
+	}
+	delete(dst.succ, src)
+	delete(dst.pred, src)
+	if src.minTTL < dst.minTTL {
+		dst.minTTL = src.minTTL
+	}
+	for d, c := range src.dests {
+		dst.dests[d] += c
+	}
+	for d, c := range src.lastFor {
+		dst.lastFor[d] += c
+	}
+	src.addrs = nil
+	src.done = true
+	src.owner = 0
+	src.host = false
+	src.merged = true
+}
+
+// ---------------------------------------------------------------------------
+// Result assembly and §5.4.8
+
+func (g *graph) buildResult() *Result {
+	res := &Result{
+		VPName:    g.in.Data.VPName,
+		Neighbors: make(map[topo.ASN][]*Link),
+		byAddr:    make(map[netx.Addr]*RouterNode),
+	}
+	nodeOut := make(map[*node]*RouterNode)
+	for _, n := range g.nodes {
+		if n.merged {
+			continue
+		}
+		rn := &RouterNode{
+			ID:        len(res.Routers),
+			Addrs:     n.addrs,
+			Owner:     n.owner,
+			Heuristic: n.heur,
+			IsHost:    n.host || g.vpASNs[n.owner],
+			HopDist:   n.minTTL,
+		}
+		res.Routers = append(res.Routers, rn)
+		nodeOut[n] = rn
+		for _, a := range n.addrs {
+			res.byAddr[a] = rn
+		}
+	}
+	// Interdomain links: edges from a host router to an external-owned one.
+	seen := make(map[[2]*RouterNode]bool)
+	for _, n := range g.nodes {
+		if n.merged || !isHostNode(nodeOut[n]) {
+			continue
+		}
+		var vs []*node
+		for v := range n.succ {
+			vs = append(vs, v)
+		}
+		sort.Slice(vs, func(i, j int) bool { return vs[i].id < vs[j].id })
+		for _, v := range vs {
+			out := nodeOut[v]
+			if out == nil || isHostNode(out) || out.Owner == 0 {
+				continue
+			}
+			key := [2]*RouterNode{nodeOut[n], out}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			pair := n.succ[v][0]
+			res.Links = append(res.Links, &Link{
+				Near: nodeOut[n], Far: out,
+				NearAddr: pair.from, FarAddr: pair.to,
+				FarAS: out.Owner, Heuristic: out.Heuristic,
+			})
+		}
+	}
+	for _, l := range res.Links {
+		res.Neighbors[l.FarAS] = append(res.Neighbors[l.FarAS], l)
+	}
+	return res
+}
+
+func isHostNode(rn *RouterNode) bool { return rn != nil && rn.IsHost }
+
+// passSilent applies §5.4.8: place neighbors that never answered
+// traceroute, using the BGP view's neighbor list.
+func (g *graph) passSilent(res *Result) {
+	host := g.in.HostASN
+	for _, a := range g.in.View.NeighborsOf(host) {
+		if g.vpASNs[a] || len(res.Neighbors[a]) > 0 {
+			continue
+		}
+		finals := g.finalNodes[a]
+		if len(finals) != 1 {
+			continue // different exits: cannot place the neighbor
+		}
+		var r0 *node
+		for n := range finals {
+			r0 = n
+		}
+		if r0.merged || !r0.host {
+			continue
+		}
+		// Distinguish a fully silent neighbor from one answering other
+		// ICMP: echo replies whose source maps to the neighbor.
+		heur := HeurSilent
+		for _, src := range g.echoFrom[a] {
+			if origins, _, ok := g.in.View.Origins(src); ok {
+				for _, o := range origins {
+					if o == a {
+						heur = HeurOtherICMP
+					}
+				}
+			}
+		}
+		near := res.byAddr[r0.addrs[0]]
+		if near == nil {
+			continue
+		}
+		l := &Link{Near: near, FarAS: a, Heuristic: heur}
+		res.Links = append(res.Links, l)
+		res.Neighbors[a] = append(res.Neighbors[a], l)
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"bdrmap/internal/netx"
+	"bdrmap/internal/topo"
+)
+
+// The CAIDA/MIT congestion system (§2, §5.8) runs bdrmap from many VPs in
+// one network and continuously: per-VP results are merged into a single
+// network-wide border map, and successive maps are diffed to track
+// interconnection changes. Merge and Diff implement those two operations.
+
+// LinkKey identifies an interdomain link across VPs and runs: the
+// canonical (smallest) observed address on each side plus the far AS.
+// Silent links have a zero far address.
+type LinkKey struct {
+	Near  netx.Addr
+	Far   netx.Addr
+	FarAS topo.ASN
+}
+
+func (k LinkKey) String() string {
+	far := k.Far.String()
+	if k.Far.IsZero() {
+		far = "(silent)"
+	}
+	return fmt.Sprintf("%v->%s %v", k.Near, far, k.FarAS)
+}
+
+// MergedLink is one link of the merged map with its observation history.
+type MergedLink struct {
+	Key       LinkKey
+	Heuristic Heuristic
+	// SeenBy lists the VPs that observed the link, sorted.
+	SeenBy []string
+}
+
+// MergedMap is the union of per-VP inferences for one hosting network.
+type MergedMap struct {
+	Links []MergedLink
+	// Neighbors maps each far AS to its link count.
+	Neighbors map[topo.ASN]int
+	// VPs lists the vantage points merged, sorted.
+	VPs []string
+}
+
+// canonicalNear returns the canonical identity of a link's near router:
+// the smallest address of its (alias-merged) node.
+func canonicalNear(l *Link) netx.Addr {
+	if l.Near != nil && len(l.Near.Addrs) > 0 {
+		return l.Near.Addrs[0]
+	}
+	return l.NearAddr
+}
+
+// canonicalFar returns the far identity (zero for silent links).
+func canonicalFar(l *Link) netx.Addr {
+	if l.Far != nil && len(l.Far.Addrs) > 0 {
+		return l.Far.Addrs[0]
+	}
+	return l.FarAddr
+}
+
+// Merge unions per-VP results into one map. Links are deduplicated by
+// canonical near/far identity; heuristic tags keep the first VP's value
+// (ties are rare and cosmetic).
+func Merge(results []*Result) *MergedMap {
+	m := &MergedMap{Neighbors: make(map[topo.ASN]int)}
+	byKey := make(map[LinkKey]*MergedLink)
+	seenVP := make(map[string]bool)
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		if !seenVP[res.VPName] {
+			seenVP[res.VPName] = true
+			m.VPs = append(m.VPs, res.VPName)
+		}
+		for _, l := range res.Links {
+			k := LinkKey{Near: canonicalNear(l), Far: canonicalFar(l), FarAS: l.FarAS}
+			ml := byKey[k]
+			if ml == nil {
+				ml = &MergedLink{Key: k, Heuristic: l.Heuristic}
+				byKey[k] = ml
+			}
+			if len(ml.SeenBy) == 0 || ml.SeenBy[len(ml.SeenBy)-1] != res.VPName {
+				ml.SeenBy = append(ml.SeenBy, res.VPName)
+			}
+		}
+	}
+	for _, ml := range byKey {
+		sort.Strings(ml.SeenBy)
+		m.Links = append(m.Links, *ml)
+		m.Neighbors[ml.Key.FarAS]++
+	}
+	sort.Slice(m.Links, func(i, j int) bool {
+		a, b := m.Links[i].Key, m.Links[j].Key
+		if a.FarAS != b.FarAS {
+			return a.FarAS < b.FarAS
+		}
+		if a.Near != b.Near {
+			return a.Near < b.Near
+		}
+		return a.Far < b.Far
+	})
+	sort.Strings(m.VPs)
+	return m
+}
+
+// LinkCount returns the number of merged links.
+func (m *MergedMap) LinkCount() int { return len(m.Links) }
+
+// NeighborASes returns the merged neighbor set, sorted.
+func (m *MergedMap) NeighborASes() []topo.ASN {
+	out := make([]topo.ASN, 0, len(m.Neighbors))
+	for a := range m.Neighbors {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MapDiff is the change between two merged maps (two measurement rounds).
+type MapDiff struct {
+	Added   []MergedLink // present now, absent before
+	Removed []MergedLink // present before, absent now
+	// NeighborsAdded/Removed track AS-level churn.
+	NeighborsAdded, NeighborsRemoved []topo.ASN
+}
+
+// Empty reports whether nothing changed.
+func (d *MapDiff) Empty() bool {
+	return len(d.Added) == 0 && len(d.Removed) == 0
+}
+
+// Diff compares two merged maps (old, new).
+func Diff(prev, next *MergedMap) *MapDiff {
+	d := &MapDiff{}
+	prevSet := make(map[LinkKey]MergedLink, len(prev.Links))
+	for _, l := range prev.Links {
+		prevSet[l.Key] = l
+	}
+	nextSet := make(map[LinkKey]MergedLink, len(next.Links))
+	for _, l := range next.Links {
+		nextSet[l.Key] = l
+		if _, ok := prevSet[l.Key]; !ok {
+			d.Added = append(d.Added, l)
+		}
+	}
+	for _, l := range prev.Links {
+		if _, ok := nextSet[l.Key]; !ok {
+			d.Removed = append(d.Removed, l)
+		}
+	}
+	for a := range next.Neighbors {
+		if prev.Neighbors[a] == 0 {
+			d.NeighborsAdded = append(d.NeighborsAdded, a)
+		}
+	}
+	for a := range prev.Neighbors {
+		if next.Neighbors[a] == 0 {
+			d.NeighborsRemoved = append(d.NeighborsRemoved, a)
+		}
+	}
+	sort.Slice(d.NeighborsAdded, func(i, j int) bool { return d.NeighborsAdded[i] < d.NeighborsAdded[j] })
+	sort.Slice(d.NeighborsRemoved, func(i, j int) bool { return d.NeighborsRemoved[i] < d.NeighborsRemoved[j] })
+	return d
+}

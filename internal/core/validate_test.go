@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"bdrmap/internal/scamper"
+	"bdrmap/internal/topo"
+)
+
+// These tests mirror §5.6: run the full pipeline on each validation
+// profile and require accuracy in (or above) the band the paper reports
+// (96.3%–98.9% of inferred links correct).
+
+func validateProfile(t *testing.T, prof topo.Profile, seed int64, minAcc, minCov float64) {
+	t.Helper()
+	n := topo.Generate(prof, seed)
+	res, _ := pipeline(t, n, 0, scamper.Config{})
+	correct, total, wrong := validate(n, res)
+	if total == 0 {
+		t.Fatal("no links inferred")
+	}
+	acc := float64(correct) / float64(total)
+	t.Logf("%s: validation %d/%d = %.3f", prof.Name, correct, total, acc)
+	if acc < minAcc {
+		for i, w := range wrong {
+			if i < 10 {
+				t.Logf("  wrong: %s", w)
+			}
+		}
+		t.Errorf("accuracy %.3f < %.3f", acc, minAcc)
+	}
+	truth := n.TrueNeighbors(n.HostASN)
+	found, tot := 0, 0
+	for _, nb := range truth {
+		if nb.Rel == topo.RelSibling {
+			continue
+		}
+		tot++
+		if len(res.Neighbors[nb.ASN]) > 0 {
+			found++
+		}
+	}
+	cov := float64(found) / float64(tot)
+	t.Logf("%s: neighbor coverage %d/%d = %.3f", prof.Name, found, tot, cov)
+	if cov < minCov {
+		t.Errorf("coverage %.3f < %.3f", cov, minCov)
+	}
+}
+
+func TestValidateRE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profile validation in -short mode")
+	}
+	validateProfile(t, topo.REProfile(), 1, 0.96, 0.90)
+}
+
+func TestValidateSmallAccess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profile validation in -short mode")
+	}
+	validateProfile(t, topo.SmallAccessProfile(), 1, 0.96, 0.90)
+}
+
+func TestValidateLargeAccess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profile validation in -short mode")
+	}
+	validateProfile(t, topo.LargeAccessProfile(), 1, 0.96, 0.92)
+}
+
+func TestValidateTier1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profile validation in -short mode")
+	}
+	validateProfile(t, topo.Tier1Profile(), 1, 0.96, 0.92)
+}
+
+func TestValidationAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed validation in -short mode")
+	}
+	for seed := int64(2); seed <= 4; seed++ {
+		validateProfile(t, topo.TinyProfile(), seed, 0.85, 0.80)
+	}
+}

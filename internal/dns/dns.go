@@ -1,0 +1,198 @@
+// Package dns models the reverse-DNS naming the paper used during
+// development (§5.1): before any operator ground truth was available, the
+// authors sanity-checked inferences against interface hostnames — while
+// noting that automated DNS validation is impossible because operators
+// mislabel interdomain links and encode organization names rather than AS
+// numbers.
+//
+// FromNetwork derives a PTR zone from ground truth with exactly those
+// defects: most infrastructure interfaces carry a name embedding the
+// operator's ASN and metro, some embed only an opaque organization label,
+// a few are stale (they name the old/wrong operator — typically the other
+// side of an interconnection), and many have no name at all. SanityCheck
+// is the development-mode diagnostic built on top.
+package dns
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"bdrmap/internal/core"
+	"bdrmap/internal/netx"
+	"bdrmap/internal/topo"
+)
+
+// Zone is a set of PTR records.
+type Zone struct {
+	names map[netx.Addr]string
+}
+
+// Lookup returns the PTR name of addr.
+func (z *Zone) Lookup(addr netx.Addr) (string, bool) {
+	n, ok := z.names[addr]
+	return n, ok
+}
+
+// Len returns the number of named interfaces.
+func (z *Zone) Len() int { return len(z.names) }
+
+// FromNetwork derives the zone. Rates mirror operational reality: ~55% of
+// interfaces named with an ASN token, ~15% with an organization label
+// only, ~5% stale or mislabeled, the rest unnamed.
+func FromNetwork(net *topo.Network, seed int64) *Zone {
+	rng := rand.New(rand.NewSource(seed))
+	z := &Zone{names: make(map[netx.Addr]string)}
+	for _, r := range net.Routers {
+		metro := metroFor(r.Longitude)
+		for i, ifc := range r.Ifaces {
+			if ifc.Addr.IsZero() {
+				continue
+			}
+			x := rng.Float64()
+			switch {
+			case x < 0.55:
+				z.names[ifc.Addr] = fmt.Sprintf("ae-%d.%s.%s.as%d.example.net",
+					i, sanitize(r.Name), metro, uint32(r.Owner))
+			case x < 0.70:
+				org := "unknown"
+				if as := net.ASes[r.Owner]; as != nil {
+					org = sanitize(as.Org)
+				}
+				z.names[ifc.Addr] = fmt.Sprintf("ae-%d.%s.%s.%s.example.net",
+					i, sanitize(r.Name), metro, org)
+			case x < 0.75:
+				// Stale or mislabeled: the name carries the *other* side
+				// of the link (common on interconnection subnets).
+				other := otherOwner(net, ifc)
+				if other == 0 {
+					other = r.Owner
+				}
+				z.names[ifc.Addr] = fmt.Sprintf("xe-%d.%s.%s.as%d.example.net",
+					i, sanitize(r.Name), metro, uint32(other))
+			default:
+				// unnamed
+			}
+		}
+	}
+	return z
+}
+
+func otherOwner(net *topo.Network, ifc *topo.Iface) topo.ASN {
+	if ifc.Link == nil {
+		return 0
+	}
+	for _, o := range ifc.Link.Ifaces {
+		if o != ifc {
+			if r := net.Router(o.Router); r != nil {
+				return r.Owner
+			}
+		}
+	}
+	return 0
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + 32
+		default:
+			return '-'
+		}
+	}, s)
+}
+
+// metroFor maps a longitude to the nearest named metro.
+func metroFor(lon float64) string {
+	best, bestD := "unk", 1e9
+	for _, r := range topo.USRegions {
+		d := r.Longitude - lon
+		if d < 0 {
+			d = -d
+		}
+		if d < bestD {
+			best, bestD = r.Name, d
+		}
+	}
+	return best
+}
+
+// ASNHint extracts the AS number embedded in a hostname, if any.
+func ASNHint(name string) (topo.ASN, bool) {
+	for _, tok := range strings.Split(name, ".") {
+		if strings.HasPrefix(tok, "as") {
+			if v, err := strconv.ParseUint(tok[2:], 10, 32); err == nil {
+				return topo.ASN(v), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// SanityReport summarizes a development-mode comparison of inferred
+// owners against DNS hints (§5.1). Disagreement is a *signal to
+// investigate*, not an error count: the zone contains mislabeled names.
+type SanityReport struct {
+	Agree, Disagree, NoHint int
+	// Suspects lists disagreeing routers for manual investigation, the way
+	// the paper eyeballed "border routers with high out-degree to routers
+	// in a single neighbor AS".
+	Suspects []Suspect
+}
+
+// Suspect is one router whose inference disagrees with DNS.
+type Suspect struct {
+	Addr     netx.Addr
+	Name     string
+	Inferred topo.ASN
+	DNSHint  topo.ASN
+}
+
+// AgreeFrac returns the agreement rate over routers with hints.
+func (r SanityReport) AgreeFrac() float64 {
+	if r.Agree+r.Disagree == 0 {
+		return 0
+	}
+	return float64(r.Agree) / float64(r.Agree+r.Disagree)
+}
+
+// SanityCheck compares a result's owner inferences to the zone.
+func SanityCheck(res *core.Result, z *Zone) SanityReport {
+	var rep SanityReport
+	for _, rn := range res.Routers {
+		if rn.Owner == 0 {
+			continue
+		}
+		hinted := false
+		for _, a := range rn.Addrs {
+			name, ok := z.Lookup(a)
+			if !ok {
+				continue
+			}
+			hint, ok := ASNHint(name)
+			if !ok {
+				continue
+			}
+			hinted = true
+			if hint == rn.Owner {
+				rep.Agree++
+			} else {
+				rep.Disagree++
+				rep.Suspects = append(rep.Suspects, Suspect{
+					Addr: a, Name: name, Inferred: rn.Owner, DNSHint: hint,
+				})
+			}
+			break
+		}
+		if !hinted {
+			rep.NoHint++
+		}
+	}
+	sort.Slice(rep.Suspects, func(i, j int) bool { return rep.Suspects[i].Addr < rep.Suspects[j].Addr })
+	return rep
+}

@@ -1,0 +1,131 @@
+package dns
+
+import (
+	"strings"
+	"testing"
+
+	"bdrmap/internal/asrel"
+	"bdrmap/internal/bgp"
+	"bdrmap/internal/core"
+	"bdrmap/internal/ixp"
+	"bdrmap/internal/probe"
+	"bdrmap/internal/rir"
+	"bdrmap/internal/scamper"
+	"bdrmap/internal/sibling"
+	"bdrmap/internal/topo"
+)
+
+func TestZoneGeneration(t *testing.T) {
+	n := topo.Generate(topo.TinyProfile(), 1)
+	z := FromNetwork(n, 1)
+	if z.Len() == 0 {
+		t.Fatal("empty zone")
+	}
+	// Roughly 75% of interfaces get names.
+	total := 0
+	for _, r := range n.Routers {
+		for _, ifc := range r.Ifaces {
+			if !ifc.Addr.IsZero() {
+				total++
+			}
+		}
+	}
+	frac := float64(z.Len()) / float64(total)
+	if frac < 0.6 || frac > 0.9 {
+		t.Errorf("named fraction = %.2f, want ~0.75", frac)
+	}
+}
+
+func TestASNHint(t *testing.T) {
+	cases := []struct {
+		name string
+		want topo.ASN
+		ok   bool
+	}{
+		{"ae-0.bb1-sea.sea.as64501.example.net", 64501, true},
+		{"ae-1.core1.nyc.org-64530.example.net", 0, false},
+		{"plain-name.example.net", 0, false},
+		{"as.example.net", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := ASNHint(c.name)
+		if ok != c.ok || got != c.want {
+			t.Errorf("ASNHint(%q) = %v, %v", c.name, got, ok)
+		}
+	}
+}
+
+func TestZoneDeterministic(t *testing.T) {
+	n := topo.Generate(topo.TinyProfile(), 1)
+	a := FromNetwork(n, 7)
+	b := FromNetwork(n, 7)
+	if a.Len() != b.Len() {
+		t.Fatal("same seed, different zones")
+	}
+}
+
+func TestMislabeledNamesExist(t *testing.T) {
+	n := topo.Generate(topo.TinyProfile(), 1)
+	z := FromNetwork(n, 3)
+	wrong := 0
+	for _, r := range n.Routers {
+		for _, ifc := range r.Ifaces {
+			name, ok := z.Lookup(ifc.Addr)
+			if !ok {
+				continue
+			}
+			if hint, ok := ASNHint(name); ok && hint != r.Owner {
+				wrong++
+			}
+		}
+	}
+	if wrong == 0 {
+		t.Error("zone has no mislabeled names; the paper's point is that DNS lies")
+	}
+}
+
+func TestSanityCheckOnPipeline(t *testing.T) {
+	n := topo.Generate(topo.TinyProfile(), 1)
+	tab := bgp.NewTable(n)
+	view := bgp.Collect(tab, bgp.DefaultVantages(n))
+	rel := asrel.Infer(view)
+	sibs := sibling.FromNetwork(n, 1)
+	sibs.CurateHost(n)
+	hosts := map[topo.ASN]bool{n.HostASN: true}
+	e := probe.New(n, tab)
+	d := &scamper.Driver{
+		View: view, Prober: scamper.LocalProber{E: e, VP: n.VPs[0]},
+		HostASNs: hosts, Cfg: scamper.Config{Workers: 1},
+	}
+	ds := d.Run()
+	res := core.Infer(core.Input{
+		Data: ds, View: view, Rel: rel, RIR: rir.FromNetwork(n),
+		IXP: ixp.Merge(ixp.FromNetwork(n, 1)), HostASN: n.HostASN, Siblings: sibs,
+	})
+	z := FromNetwork(n, 1)
+	rep := SanityCheck(res, z)
+	t.Logf("dns sanity: agree=%d disagree=%d nohint=%d (%.2f)",
+		rep.Agree, rep.Disagree, rep.NoHint, rep.AgreeFrac())
+	if rep.Agree+rep.Disagree == 0 {
+		t.Fatal("no hinted routers at all")
+	}
+	// Inference is accurate and most names are honest, so agreement
+	// should be strong — but not perfect, because the zone lies.
+	if rep.AgreeFrac() < 0.7 {
+		t.Errorf("agreement %.2f suspiciously low", rep.AgreeFrac())
+	}
+	for _, s := range rep.Suspects {
+		if !strings.Contains(s.Name, "example.net") {
+			t.Errorf("suspect with malformed name %q", s.Name)
+		}
+	}
+}
+
+func TestMetroFor(t *testing.T) {
+	if m := metroFor(-122.3); m != "sea" {
+		t.Errorf("metroFor(-122.3) = %q", m)
+	}
+	if m := metroFor(-74.0); m != "nyc" {
+		t.Errorf("metroFor(-74.0) = %q", m)
+	}
+}

@@ -1,0 +1,131 @@
+package eval
+
+import (
+	"bdrmap/internal/alias"
+	"bdrmap/internal/core"
+	"bdrmap/internal/scamper"
+	"bdrmap/internal/topo"
+)
+
+// StopSetSavings compares probing cost with and without the doubletree
+// stop set on identical topologies (§5.3's efficiency mechanism).
+type StopSetSavings struct {
+	PacketsWith, PacketsWithout int64
+	TracesStopped               int
+}
+
+// SavedFrac returns the fraction of probe packets the stop set avoided.
+func (ss StopSetSavings) SavedFrac() float64 {
+	if ss.PacketsWithout == 0 {
+		return 0
+	}
+	return 1 - float64(ss.PacketsWith)/float64(ss.PacketsWithout)
+}
+
+// MeasureStopSet runs the driver twice on fresh engines.
+func MeasureStopSet(prof topo.Profile, seed int64) StopSetSavings {
+	with := Build(prof, seed)
+	with.RunVP(0, scamper.Config{Workers: 1}, core.Options{})
+	without := Build(prof, seed)
+	without.RunVP(0, scamper.Config{Workers: 1, DisableStopSet: true}, core.Options{})
+	return StopSetSavings{
+		PacketsWith:    with.Engine.Stats().PacketsSent,
+		PacketsWithout: without.Engine.Stats().PacketsSent,
+		TracesStopped:  with.Datasets[0].Stats.TracesStopped,
+	}
+}
+
+// Ablation compares a baseline run against a variant.
+type Ablation struct {
+	Name                    string
+	BaseAcc, VariantAcc     float64
+	BaseLinks, VariantLinks int
+}
+
+// AblationNoAlias measures figure 13's failure mode: without alias
+// resolution, unmerged host interfaces masquerade as neighbor routers.
+func AblationNoAlias(prof topo.Profile, seed int64) Ablation {
+	base := Build(prof, seed)
+	base.RunVP(0, scamper.Config{Workers: 1}, core.Options{})
+	vb := base.Validate(base.Results[0])
+
+	variant := Build(prof, seed)
+	variant.RunVP(0, scamper.Config{Workers: 1, DisableAlias: true},
+		core.Options{NoAnalyticalAlias: true})
+	vv := variant.Validate(variant.Results[0])
+
+	return Ablation{
+		Name:    "no-alias-resolution",
+		BaseAcc: vb.Accuracy(), VariantAcc: vv.Accuracy(),
+		BaseLinks: vb.Total, VariantLinks: vv.Total,
+	}
+}
+
+// AblationNoThirdParty disables §5.4.5 third-party detection. Inference
+// reruns on the same dataset (the heuristics are pure given measurements).
+func AblationNoThirdParty(prof topo.Profile, seed int64) Ablation {
+	s := Build(prof, seed)
+	s.RunVP(0, scamper.Config{Workers: 1}, core.Options{})
+	vb := s.Validate(s.Results[0])
+
+	variantRes := core.Infer(core.Input{
+		Data: s.Datasets[0], View: s.View, Rel: s.Rel, RIR: s.RIR, IXP: s.IXP,
+		HostASN: s.Net.HostASN, Siblings: s.Sibs,
+		Opts: core.Options{NoThirdParty: true},
+	})
+	vv := s.Validate(variantRes)
+
+	return Ablation{
+		Name:    "no-third-party-detection",
+		BaseAcc: vb.Accuracy(), VariantAcc: vv.Accuracy(),
+		BaseLinks: vb.Total, VariantLinks: vv.Total,
+	}
+}
+
+// AblationSingleAddr probes one address per block instead of up to five
+// (§5.3's retry rule).
+func AblationSingleAddr(prof topo.Profile, seed int64) Ablation {
+	base := Build(prof, seed)
+	base.RunVP(0, scamper.Config{Workers: 1}, core.Options{})
+	vb := base.Validate(base.Results[0])
+
+	variant := Build(prof, seed)
+	variant.RunVP(0, scamper.Config{Workers: 1, MaxAddrsPerBlock: 1}, core.Options{})
+	vv := variant.Validate(variant.Results[0])
+
+	return Ablation{
+		Name:    "single-address-per-block",
+		BaseAcc: vb.Accuracy(), VariantAcc: vv.Accuracy(),
+		BaseLinks: vb.Total, VariantLinks: vv.Total,
+	}
+}
+
+// AblationAllyOneRound weakens Ally to one round with no repetition
+// (§5.3 "limit false aliases" repeats five times at five-minute
+// intervals); reports resulting alias false positives.
+type AliasAblation struct {
+	RoundsFive, RoundsOne struct {
+		Positives, FalsePositives int
+	}
+}
+
+// MeasureAllyRounds counts false-positive alias pairs under both settings.
+func MeasureAllyRounds(prof topo.Profile, seed int64) AliasAblation {
+	var out AliasAblation
+	measure := func(rounds int) (pos, falsePos int) {
+		s := Build(prof, seed)
+		s.RunVP(0, scamper.Config{Workers: 1, AliasCfg: alias.Config{AllyRounds: rounds}}, core.Options{})
+		for _, pair := range s.Datasets[0].Resolver.Positives() {
+			pos++
+			ra := s.Net.RouterByAddr(pair[0])
+			rb := s.Net.RouterByAddr(pair[1])
+			if ra != nil && rb != nil && ra.ID != rb.ID {
+				falsePos++
+			}
+		}
+		return pos, falsePos
+	}
+	out.RoundsFive.Positives, out.RoundsFive.FalsePositives = measure(5)
+	out.RoundsOne.Positives, out.RoundsOne.FalsePositives = measure(1)
+	return out
+}

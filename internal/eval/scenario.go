@@ -1,0 +1,263 @@
+// Package eval reproduces the paper's evaluation: Table 1 (heuristic usage
+// and BGP coverage per network), the §5.6 ground-truth validation, Figure
+// 14 (per-prefix border-router and next-hop-AS diversity across 19 VPs),
+// Figure 15 (marginal utility of additional VPs), Figure 16 (geographic
+// spread of observed interdomain links), the §5.3 stop-set efficiency
+// numbers, and the ablations DESIGN.md calls out. Every experiment runs on
+// the synthetic substrate with the full measurement + inference pipeline —
+// only presentation code lives here.
+package eval
+
+import (
+	"fmt"
+
+	"bdrmap/internal/asrel"
+	"bdrmap/internal/bgp"
+	"bdrmap/internal/core"
+	"bdrmap/internal/ixp"
+	"bdrmap/internal/probe"
+	"bdrmap/internal/rir"
+	"bdrmap/internal/scamper"
+	"bdrmap/internal/sibling"
+	"bdrmap/internal/topo"
+)
+
+// Scenario bundles one generated internetwork with all derived inputs and
+// per-VP measurement results.
+type Scenario struct {
+	Profile topo.Profile
+	Seed    int64
+
+	Net      *topo.Network
+	Tab      *bgp.Table
+	View     *bgp.View
+	Rel      *asrel.Inference
+	RIR      *rir.DB
+	IXP      *ixp.PrefixList
+	Sibs     *sibling.Set
+	Engine   *probe.Engine
+	HostASNs map[topo.ASN]bool
+
+	Datasets []*scamper.Dataset // per VP, filled by RunVP/RunAll
+	Results  []*core.Result
+}
+
+// Build generates the topology and derives every bdrmap input.
+func Build(prof topo.Profile, seed int64) *Scenario {
+	s := BuildFromNetwork(topo.Generate(prof, seed), seed)
+	s.Profile = prof
+	return s
+}
+
+// BuildFromNetwork derives every bdrmap input for an existing network
+// (e.g. one reloaded with topo.Load). seed feeds the derived datasets'
+// defect injection (WHOIS, PeeringDB).
+func BuildFromNetwork(n *topo.Network, seed int64) *Scenario {
+	tab := bgp.NewTable(n)
+	view := bgp.Collect(tab, bgp.DefaultVantages(n))
+	rel := asrel.Infer(view)
+	rdb := rir.FromNetwork(n)
+	pl := ixp.Merge(ixp.FromNetwork(n, seed))
+	sibs := sibling.FromNetwork(n, seed)
+	sibs.CurateHost(n)
+	hosts := map[topo.ASN]bool{n.HostASN: true}
+	for _, s := range sibs.SiblingsOf(n.HostASN) {
+		hosts[s] = true
+	}
+	return &Scenario{
+		Seed: seed,
+		Net:  n, Tab: tab, View: view, Rel: rel, RIR: rdb, IXP: pl,
+		Sibs: sibs, Engine: probe.New(n, tab), HostASNs: hosts,
+		Datasets: make([]*scamper.Dataset, len(n.VPs)),
+		Results:  make([]*core.Result, len(n.VPs)),
+	}
+}
+
+// RunVP measures and infers from one vantage point.
+func (s *Scenario) RunVP(i int, cfg scamper.Config, opts core.Options) *core.Result {
+	if s.Results[i] != nil {
+		return s.Results[i]
+	}
+	d := &scamper.Driver{
+		View:     s.View,
+		Prober:   scamper.LocalProber{E: s.Engine, VP: s.Net.VPs[i]},
+		HostASNs: s.HostASNs,
+		Cfg:      cfg,
+	}
+	ds := d.Run()
+	res := core.Infer(core.Input{
+		Data: ds, View: s.View, Rel: s.Rel, RIR: s.RIR, IXP: s.IXP,
+		HostASN: s.Net.HostASN, Siblings: s.Sibs, Opts: opts,
+	})
+	s.Datasets[i] = ds
+	s.Results[i] = res
+	return res
+}
+
+// RunAll measures from every VP.
+func (s *Scenario) RunAll(cfg scamper.Config) {
+	for i := range s.Net.VPs {
+		s.RunVP(i, cfg, core.Options{})
+	}
+}
+
+// hostOrg reports whether asn belongs to the hosting organization.
+func (s *Scenario) hostOrg(asn topo.ASN) bool { return s.HostASNs[asn] }
+
+// neighborClass classifies a neighbor by the *inferred* relationship, the
+// way the paper's Table 1 columns do.
+type neighborClass int
+
+const (
+	classCust neighborClass = iota
+	classPeer
+	classProv
+	classTraceOnly
+	numClasses
+)
+
+func (c neighborClass) String() string {
+	switch c {
+	case classCust:
+		return "cust"
+	case classPeer:
+		return "peer"
+	case classProv:
+		return "prov"
+	default:
+		return "trace"
+	}
+}
+
+// classify buckets a neighbor AS: trace-only if absent from the public
+// view's host adjacencies, else by inferred relationship.
+func (s *Scenario) classify(asn topo.ASN) neighborClass {
+	inBGP := false
+	for _, nb := range s.View.NeighborsOf(s.Net.HostASN) {
+		if nb == asn {
+			inBGP = true
+			break
+		}
+	}
+	if !inBGP {
+		return classTraceOnly
+	}
+	switch s.Rel.Rel(s.Net.HostASN, asn) {
+	case topo.RelCustomer:
+		return classCust
+	case topo.RelProvider:
+		return classProv
+	default:
+		return classPeer
+	}
+}
+
+// Validation is the §5.6 ground-truth comparison for one VP's result.
+type Validation struct {
+	Correct, Total int
+	Wrong          []string
+}
+
+// Accuracy returns the fraction of inferred links that are correct.
+func (v Validation) Accuracy() float64 {
+	if v.Total == 0 {
+		return 0
+	}
+	return float64(v.Correct) / float64(v.Total)
+}
+
+// Validate checks one result against ground truth: an inferred link is
+// correct when its far address truly sits on a router of the inferred
+// organization; a silent link is correct when the neighbor truly attaches
+// at the named host router.
+func (s *Scenario) Validate(res *core.Result) Validation {
+	n := s.Net
+	org := func(a topo.ASN) string {
+		if as := n.ASes[a]; as != nil {
+			return as.Org
+		}
+		return ""
+	}
+	attachedAt := make(map[topo.ASN]map[topo.RouterID]bool)
+	note := func(far topo.ASN, near topo.RouterID) {
+		if attachedAt[far] == nil {
+			attachedAt[far] = make(map[topo.RouterID]bool)
+		}
+		attachedAt[far][near] = true
+	}
+	for _, lt := range n.InterdomainLinks(n.HostASN) {
+		note(lt.FarAS, lt.NearRtr)
+	}
+	for _, sess := range n.Sessions() {
+		if sess.A == n.HostASN {
+			note(sess.B, sess.ARtr)
+		} else if sess.B == n.HostASN {
+			note(sess.A, sess.BRtr)
+		}
+	}
+
+	var v Validation
+	for _, l := range res.Links {
+		v.Total++
+		if l.Far != nil {
+			r := n.RouterByAddr(l.FarAddr)
+			switch {
+			case r == nil:
+				v.Wrong = append(v.Wrong, fmt.Sprintf("far addr %v unknown", l.FarAddr))
+			case org(r.Owner) == org(l.FarAS) && org(r.Owner) != org(n.HostASN):
+				v.Correct++
+			default:
+				v.Wrong = append(v.Wrong, fmt.Sprintf("far %v inferred %v truth %v heur=%s",
+					l.FarAddr, l.FarAS, r.Owner, l.Heuristic))
+			}
+			continue
+		}
+		nearR := n.RouterByAddr(l.Near.Addrs[0])
+		if nearR != nil && attachedAt[l.FarAS][nearR.ID] {
+			v.Correct++
+		} else {
+			v.Wrong = append(v.Wrong, fmt.Sprintf("silent %v at %v misplaced", l.FarAS, l.Near.Addrs[0]))
+		}
+	}
+	return v
+}
+
+// ValidateIXP checks inferred links whose far address lies on an IXP
+// peering LAN against the IXP-published membership data (the PCH-style
+// address→ASN records), the way §5.6 validated the R&E network's
+// route-server interconnections. Links at addresses the dataset does not
+// record are skipped (the paper could only check published members).
+func (s *Scenario) ValidateIXP(res *core.Result) (correct, total int) {
+	for _, l := range res.Links {
+		if l.Far == nil {
+			continue
+		}
+		if _, isIXP := s.IXP.IsIXP(l.FarAddr); !isIXP {
+			continue
+		}
+		member, ok := s.IXP.MemberAt(l.FarAddr)
+		if !ok {
+			continue
+		}
+		total++
+		if member == l.FarAS || s.Sibs.SameOrg(member, l.FarAS) {
+			correct++
+		}
+	}
+	return correct, total
+}
+
+// Coverage reports the fraction of BGP-visible host neighbors with at
+// least one inferred border router (the "Coverage of BGP" row of Table 1).
+func (s *Scenario) Coverage(res *core.Result) (found, total int) {
+	for _, nb := range s.View.NeighborsOf(s.Net.HostASN) {
+		if s.hostOrg(nb) {
+			continue
+		}
+		total++
+		if len(res.Neighbors[nb]) > 0 {
+			found++
+		}
+	}
+	return found, total
+}

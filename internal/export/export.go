@@ -1,0 +1,286 @@
+// Package export serializes measurement artifacts — traceroutes, inferred
+// border maps, and merged multi-VP maps — as JSON Lines, the interchange
+// format downstream consumers (the congestion monitoring pipeline,
+// analysis notebooks) read. Encoding and decoding round-trip exactly.
+package export
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"bdrmap/internal/core"
+	"bdrmap/internal/netx"
+	"bdrmap/internal/probe"
+	"bdrmap/internal/scamper"
+	"bdrmap/internal/topo"
+)
+
+// Record kinds, carried in every line's "type" field.
+const (
+	KindTrace      = "trace"
+	KindLink       = "link"
+	KindRouter     = "router"
+	KindMeta       = "meta"
+	KindMergedLink = "merged-link"
+)
+
+// envelope tags each line with its kind.
+type envelope struct {
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data"`
+}
+
+// Meta describes a dataset.
+type Meta struct {
+	VPName  string   `json:"vp"`
+	HostASN topo.ASN `json:"host_asn"`
+	Comment string   `json:"comment,omitempty"`
+}
+
+// TraceJSON is the wire form of one traceroute.
+type TraceJSON struct {
+	Dst      string    `json:"dst"`
+	TargetAS topo.ASN  `json:"target_as"`
+	Reached  bool      `json:"reached"`
+	Stopped  bool      `json:"stopped"`
+	Hops     []HopJSON `json:"hops"`
+}
+
+// HopJSON is one hop.
+type HopJSON struct {
+	TTL   int    `json:"ttl"`
+	Type  string `json:"type"`
+	Addr  string `json:"addr,omitempty"`
+	IPID  uint16 `json:"ipid,omitempty"`
+	RTTns int64  `json:"rtt_ns,omitempty"`
+}
+
+// LinkJSON is one inferred interdomain link.
+type LinkJSON struct {
+	Near      string   `json:"near"`
+	Far       string   `json:"far,omitempty"` // empty for silent neighbors
+	FarAS     topo.ASN `json:"far_as"`
+	Heuristic string   `json:"heuristic"`
+}
+
+// RouterJSON is one inferred router.
+type RouterJSON struct {
+	Addrs     []string `json:"addrs"`
+	Owner     topo.ASN `json:"owner,omitempty"`
+	Heuristic string   `json:"heuristic,omitempty"`
+	IsHost    bool     `json:"is_host,omitempty"`
+	HopDist   int      `json:"hop_dist"`
+}
+
+// MergedLinkJSON is one link of a merged multi-VP map.
+type MergedLinkJSON struct {
+	Near      string   `json:"near"`
+	Far       string   `json:"far,omitempty"`
+	FarAS     topo.ASN `json:"far_as"`
+	Heuristic string   `json:"heuristic"`
+	SeenBy    []string `json:"seen_by"`
+}
+
+// Writer emits JSONL records.
+type Writer struct {
+	w   *bufio.Writer
+	n   int
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+func (x *Writer) emit(kind string, v any) {
+	if x.err != nil {
+		return
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		x.err = err
+		return
+	}
+	line, err := json.Marshal(envelope{Type: kind, Data: data})
+	if err != nil {
+		x.err = err
+		return
+	}
+	if _, err := x.w.Write(append(line, '\n')); err != nil {
+		x.err = err
+		return
+	}
+	x.n++
+}
+
+// Meta writes the dataset header.
+func (x *Writer) Meta(m Meta) { x.emit(KindMeta, m) }
+
+// Trace writes one traceroute.
+func (x *Writer) Trace(tr scamper.TraceRecord) {
+	tj := TraceJSON{
+		Dst:      tr.Dst.String(),
+		TargetAS: tr.TargetAS,
+		Reached:  tr.Reached,
+		Stopped:  tr.Stopped,
+	}
+	for _, h := range tr.Hops {
+		hj := HopJSON{TTL: h.TTL, Type: h.Type.String(), IPID: h.IPID}
+		if !h.Addr.IsZero() {
+			hj.Addr = h.Addr.String()
+		}
+		if h.RTT > 0 {
+			hj.RTTns = int64(h.RTT)
+		}
+		tj.Hops = append(tj.Hops, hj)
+	}
+	x.emit(KindTrace, tj)
+}
+
+// Result writes a full inference result (routers then links).
+func (x *Writer) Result(res *core.Result) {
+	for _, rn := range res.Routers {
+		rj := RouterJSON{
+			Owner: rn.Owner, Heuristic: string(rn.Heuristic),
+			IsHost: rn.IsHost, HopDist: rn.HopDist,
+		}
+		for _, a := range rn.Addrs {
+			rj.Addrs = append(rj.Addrs, a.String())
+		}
+		x.emit(KindRouter, rj)
+	}
+	for _, l := range res.Links {
+		lj := LinkJSON{
+			Near: l.NearAddr.String(), FarAS: l.FarAS,
+			Heuristic: string(l.Heuristic),
+		}
+		if !l.FarAddr.IsZero() {
+			lj.Far = l.FarAddr.String()
+		}
+		x.emit(KindLink, lj)
+	}
+}
+
+// Merged writes a merged multi-VP map (the continuous-monitoring
+// pipeline's round artifact, which core.Diff compares across rounds).
+func (x *Writer) Merged(m *core.MergedMap) {
+	for _, l := range m.Links {
+		mj := MergedLinkJSON{
+			Near: l.Key.Near.String(), FarAS: l.Key.FarAS,
+			Heuristic: string(l.Heuristic), SeenBy: l.SeenBy,
+		}
+		if !l.Key.Far.IsZero() {
+			mj.Far = l.Key.Far.String()
+		}
+		x.emit(KindMergedLink, mj)
+	}
+}
+
+// Flush completes the stream.
+func (x *Writer) Flush() error {
+	if x.err != nil {
+		return x.err
+	}
+	return x.w.Flush()
+}
+
+// Lines returns how many records were written.
+func (x *Writer) Lines() int { return x.n }
+
+// Dataset is the decoded form of an exported stream.
+type Dataset struct {
+	Meta    Meta
+	Traces  []TraceJSON
+	Links   []LinkJSON
+	Routers []RouterJSON
+	Merged  []MergedLinkJSON
+}
+
+// Read decodes a JSONL stream.
+func Read(r io.Reader) (*Dataset, error) {
+	ds := &Dataset{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		var env envelope
+		if err := json.Unmarshal(sc.Bytes(), &env); err != nil {
+			return nil, fmt.Errorf("export: line %d: %w", lineNo, err)
+		}
+		switch env.Type {
+		case KindMeta:
+			if err := json.Unmarshal(env.Data, &ds.Meta); err != nil {
+				return nil, fmt.Errorf("export: line %d: %w", lineNo, err)
+			}
+		case KindTrace:
+			var t TraceJSON
+			if err := json.Unmarshal(env.Data, &t); err != nil {
+				return nil, fmt.Errorf("export: line %d: %w", lineNo, err)
+			}
+			ds.Traces = append(ds.Traces, t)
+		case KindLink:
+			var l LinkJSON
+			if err := json.Unmarshal(env.Data, &l); err != nil {
+				return nil, fmt.Errorf("export: line %d: %w", lineNo, err)
+			}
+			ds.Links = append(ds.Links, l)
+		case KindRouter:
+			var rt RouterJSON
+			if err := json.Unmarshal(env.Data, &rt); err != nil {
+				return nil, fmt.Errorf("export: line %d: %w", lineNo, err)
+			}
+			ds.Routers = append(ds.Routers, rt)
+		case KindMergedLink:
+			var ml MergedLinkJSON
+			if err := json.Unmarshal(env.Data, &ml); err != nil {
+				return nil, fmt.Errorf("export: line %d: %w", lineNo, err)
+			}
+			ds.Merged = append(ds.Merged, ml)
+		default:
+			return nil, fmt.Errorf("export: line %d: unknown type %q", lineNo, env.Type)
+		}
+	}
+	return ds, sc.Err()
+}
+
+// ToTraceRecords converts decoded traces back to the scamper form.
+func (ds *Dataset) ToTraceRecords() ([]scamper.TraceRecord, error) {
+	out := make([]scamper.TraceRecord, 0, len(ds.Traces))
+	for _, t := range ds.Traces {
+		dst, err := netx.ParseAddr(t.Dst)
+		if err != nil {
+			return nil, err
+		}
+		tr := scamper.TraceRecord{TargetAS: t.TargetAS}
+		tr.Dst = dst
+		tr.Reached = t.Reached
+		tr.Stopped = t.Stopped
+		for _, h := range t.Hops {
+			hop := probe.Hop{TTL: h.TTL, IPID: h.IPID}
+			switch h.Type {
+			case "time-exceeded":
+				hop.Type = probe.HopTimeExceeded
+			case "echo-reply":
+				hop.Type = probe.HopEchoReply
+			case "unreachable":
+				hop.Type = probe.HopUnreachable
+			default:
+				hop.Type = probe.HopTimeout
+			}
+			if h.Addr != "" {
+				a, err := netx.ParseAddr(h.Addr)
+				if err != nil {
+					return nil, err
+				}
+				hop.Addr = a
+			}
+			hop.RTT = time.Duration(h.RTTns)
+			tr.Hops = append(tr.Hops, hop)
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}

@@ -1,0 +1,158 @@
+package export
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bdrmap/internal/asrel"
+	"bdrmap/internal/bgp"
+	"bdrmap/internal/core"
+	"bdrmap/internal/ixp"
+	"bdrmap/internal/probe"
+	"bdrmap/internal/rir"
+	"bdrmap/internal/scamper"
+	"bdrmap/internal/sibling"
+	"bdrmap/internal/topo"
+)
+
+func runPipeline(t *testing.T) (*topo.Network, *scamper.Dataset, *core.Result) {
+	t.Helper()
+	n := topo.Generate(topo.TinyProfile(), 1)
+	tab := bgp.NewTable(n)
+	view := bgp.Collect(tab, bgp.DefaultVantages(n))
+	sibs := sibling.FromNetwork(n, 1)
+	sibs.CurateHost(n)
+	hosts := map[topo.ASN]bool{n.HostASN: true}
+	e := probe.New(n, tab)
+	d := &scamper.Driver{
+		View: view, Prober: scamper.LocalProber{E: e, VP: n.VPs[0]},
+		HostASNs: hosts, Cfg: scamper.Config{Workers: 1},
+	}
+	ds := d.Run()
+	res := core.Infer(core.Input{
+		Data: ds, View: view, Rel: asrel.Infer(view),
+		RIR: rir.FromNetwork(n), IXP: ixp.Merge(ixp.FromNetwork(n, 1)),
+		HostASN: n.HostASN, Siblings: sibs,
+	})
+	return n, ds, res
+}
+
+func TestRoundTrip(t *testing.T) {
+	n, ds, res := runPipeline(t)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Meta(Meta{VPName: ds.VPName, HostASN: n.HostASN, Comment: "test"})
+	for _, tr := range ds.Traces {
+		w.Trace(tr)
+	}
+	w.Result(res)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Lines() != 1+len(ds.Traces)+len(res.Routers)+len(res.Links) {
+		t.Fatalf("lines = %d", w.Lines())
+	}
+
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta.VPName != ds.VPName || got.Meta.HostASN != n.HostASN {
+		t.Fatalf("meta = %+v", got.Meta)
+	}
+	if len(got.Traces) != len(ds.Traces) {
+		t.Fatalf("traces = %d, want %d", len(got.Traces), len(ds.Traces))
+	}
+	if len(got.Links) != len(res.Links) {
+		t.Fatalf("links = %d, want %d", len(got.Links), len(res.Links))
+	}
+	if len(got.Routers) != len(res.Routers) {
+		t.Fatalf("routers = %d, want %d", len(got.Routers), len(res.Routers))
+	}
+
+	// Full trace fidelity.
+	back, err := got.ToTraceRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range back {
+		a, b := back[i], ds.Traces[i]
+		if a.Dst != b.Dst || a.TargetAS != b.TargetAS || a.Reached != b.Reached ||
+			a.Stopped != b.Stopped || len(a.Hops) != len(b.Hops) {
+			t.Fatalf("trace %d differs: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Hops {
+			if a.Hops[j] != b.Hops[j] {
+				t.Fatalf("trace %d hop %d differs: %+v vs %+v", i, j, a.Hops[j], b.Hops[j])
+			}
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"type":"wat","data":{}}` + "\n")); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"type":"trace","data":[1,2]}` + "\n")); err == nil {
+		t.Error("mis-shaped data accepted")
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	ds, err := Read(strings.NewReader(""))
+	if err != nil || len(ds.Traces) != 0 {
+		t.Fatalf("empty stream: %v %v", ds, err)
+	}
+}
+
+func TestMergedMapRoundTrip(t *testing.T) {
+	_, _, res := runPipeline(t)
+	m := core.Merge([]*core.Result{res})
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Merged(m)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Merged) != m.LinkCount() {
+		t.Fatalf("merged links = %d, want %d", len(got.Merged), m.LinkCount())
+	}
+	for i, ml := range got.Merged {
+		if len(ml.SeenBy) == 0 {
+			t.Fatalf("merged link %d lost SeenBy", i)
+		}
+		if ml.FarAS != m.Links[i].Key.FarAS {
+			t.Fatalf("merged link %d far AS differs", i)
+		}
+	}
+}
+
+func TestSilentLinkOmitsFar(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	res := &core.Result{Links: []*core.Link{{
+		Near:      &core.RouterNode{},
+		NearAddr:  1,
+		FarAS:     99,
+		Heuristic: core.HeurSilent,
+	}}}
+	w.Result(res)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"far":`) {
+		t.Fatalf("silent link serialized a far address: %s", buf.String())
+	}
+	got, err := Read(&buf)
+	if err != nil || len(got.Links) != 1 || got.Links[0].Far != "" {
+		t.Fatalf("silent link round trip: %+v %v", got.Links, err)
+	}
+}

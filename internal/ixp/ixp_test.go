@@ -1,0 +1,87 @@
+package ixp
+
+import (
+	"testing"
+
+	"bdrmap/internal/netx"
+	"bdrmap/internal/topo"
+)
+
+func TestMergeBasics(t *testing.T) {
+	src := Sources{
+		PeeringDB: []PDBRecord{
+			{IXPName: "ix-a", Prefix: netx.MustParsePrefix("198.32.0.0/22")},
+		},
+		PCH: []PCHRecord{
+			{IXPName: "ix-b", Addr: netx.MustParseAddr("198.33.5.7"), ASN: 42},
+		},
+	}
+	pl := Merge(src)
+	if name, ok := pl.IsIXP(netx.MustParseAddr("198.32.1.1")); !ok || name != "ix-a" {
+		t.Fatalf("PeeringDB prefix lookup: %q %v", name, ok)
+	}
+	// PCH contributes the enclosing /24 of observed peering addresses.
+	if name, ok := pl.IsIXP(netx.MustParseAddr("198.33.5.200")); !ok || name != "ix-b" {
+		t.Fatalf("PCH-derived prefix lookup: %q %v", name, ok)
+	}
+	if _, ok := pl.IsIXP(netx.MustParseAddr("198.34.0.1")); ok {
+		t.Fatal("unrelated address matched an IXP prefix")
+	}
+	if asn, ok := pl.MemberAt(netx.MustParseAddr("198.33.5.7")); !ok || asn != 42 {
+		t.Fatalf("MemberAt = %v %v", asn, ok)
+	}
+}
+
+func TestFromNetworkCoversHostIXPs(t *testing.T) {
+	// Across seeds, at least one source usually covers each IXP; verify
+	// the merge finds the LAN of every IXP covered by PeeringDB
+	// (non-stale) or PCH.
+	n := topo.Generate(topo.TinyProfile(), 2)
+	src := FromNetwork(n, 99)
+	pl := Merge(src)
+	if len(pl.Prefixes()) == 0 {
+		t.Fatal("no IXP prefixes at all")
+	}
+	for _, rec := range src.PeeringDB {
+		if rec.Stale {
+			continue
+		}
+		if _, ok := pl.IsIXP(rec.Prefix.First() + 1); !ok {
+			t.Errorf("PeeringDB LAN %v missing from merged list", rec.Prefix)
+		}
+	}
+	for _, rec := range src.PCH {
+		if _, ok := pl.IsIXP(rec.Addr); !ok {
+			t.Errorf("PCH-observed address %v missing from merged list", rec.Addr)
+		}
+	}
+}
+
+func TestFromNetworkDeterministic(t *testing.T) {
+	n := topo.Generate(topo.TinyProfile(), 2)
+	a := FromNetwork(n, 7)
+	b := FromNetwork(n, 7)
+	if len(a.PeeringDB) != len(b.PeeringDB) || len(a.PCH) != len(b.PCH) {
+		t.Fatal("same seed produced different sources")
+	}
+}
+
+func TestStaleRecordInjected(t *testing.T) {
+	// Over many seeds, staleness must occur sometimes and the stale
+	// prefix must differ from the true LAN.
+	n := topo.Generate(topo.TinyProfile(), 2)
+	sawStale := false
+	for seed := int64(0); seed < 200 && !sawStale; seed++ {
+		for _, rec := range FromNetwork(n, seed).PeeringDB {
+			if rec.Stale {
+				sawStale = true
+				if rec.Prefix == n.IXPs[0].LAN {
+					t.Fatal("stale record equals true LAN")
+				}
+			}
+		}
+	}
+	if !sawStale {
+		t.Error("staleness never injected across 200 seeds")
+	}
+}

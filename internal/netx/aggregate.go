@@ -1,0 +1,99 @@
+package netx
+
+import "sort"
+
+// Aggregate merges a prefix list into its minimal covering form: exact
+// duplicates and prefixes covered by a less-specific entry are dropped,
+// and adjacent sibling prefixes are merged into their parent, repeatedly.
+// The output covers exactly the same address set as the input.
+//
+// This is the standard route-list normalization used when preparing
+// probing targets from a BGP table full of de-aggregated announcements.
+func Aggregate(in []Prefix) []Prefix {
+	if len(in) == 0 {
+		return nil
+	}
+	ps := append([]Prefix(nil), in...)
+	sort.Slice(ps, func(i, j int) bool { return ComparePrefix(ps[i], ps[j]) < 0 })
+
+	// Drop covered prefixes (the list is sorted so a cover precedes all
+	// prefixes it contains).
+	out := ps[:0]
+	for _, p := range ps {
+		if len(out) > 0 && out[len(out)-1].ContainsPrefix(p) {
+			continue
+		}
+		out = append(out, p)
+	}
+
+	// Merge sibling pairs bottom-up until a fixed point.
+	for {
+		merged := false
+		next := out[:0]
+		i := 0
+		for i < len(out) {
+			p := out[i]
+			if i+1 < len(out) && p.Len == out[i+1].Len && p.Len > 0 {
+				parent := MakePrefix(p.Base, p.Len-1)
+				lo, hi := parent.Halves()
+				if p == lo && out[i+1] == hi {
+					next = append(next, parent)
+					i += 2
+					merged = true
+					continue
+				}
+			}
+			next = append(next, p)
+			i++
+		}
+		out = next
+		if !merged {
+			return append([]Prefix(nil), out...)
+		}
+		// A merge may enable a further merge with its new sibling; the
+		// list stays sorted because parents share their low half's base.
+	}
+}
+
+// CoversSameAddrs reports whether two prefix lists cover exactly the same
+// address set. Intended for tests and verification; runs in O(n log n).
+func CoversSameAddrs(a, b []Prefix) bool {
+	return canonicalBlocks(a).equal(canonicalBlocks(b))
+}
+
+type blockList []Block
+
+func canonicalBlocks(ps []Prefix) blockList {
+	blocks := make(blockList, 0, len(ps))
+	for _, p := range ps {
+		blocks = append(blocks, BlockFromPrefix(p))
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].First < blocks[j].First })
+	// Coalesce overlapping/adjacent ranges.
+	out := blocks[:0]
+	for _, b := range blocks {
+		if len(out) > 0 {
+			last := &out[len(out)-1]
+			if b.First <= last.Last || (last.Last != 0xffffffff && b.First == last.Last+1) {
+				if b.Last > last.Last {
+					last.Last = b.Last
+				}
+				continue
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func (a blockList) equal(b blockList) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,111 @@
+package netx
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAggregateSiblings(t *testing.T) {
+	in := []Prefix{
+		MustParsePrefix("10.0.0.0/25"),
+		MustParsePrefix("10.0.0.128/25"),
+	}
+	out := Aggregate(in)
+	if len(out) != 1 || out[0] != MustParsePrefix("10.0.0.0/24") {
+		t.Fatalf("got %v", out)
+	}
+}
+
+func TestAggregateCascade(t *testing.T) {
+	// Four /26 quarters collapse all the way to the /24.
+	var in []Prefix
+	p := MustParsePrefix("192.0.2.0/24")
+	for i := 0; i < 4; i++ {
+		in = append(in, p.Subnet(26, i))
+	}
+	out := Aggregate(in)
+	if len(out) != 1 || out[0] != p {
+		t.Fatalf("got %v", out)
+	}
+}
+
+func TestAggregateDropsCovered(t *testing.T) {
+	in := []Prefix{
+		MustParsePrefix("10.0.0.0/8"),
+		MustParsePrefix("10.1.0.0/16"),
+		MustParsePrefix("10.1.2.0/24"),
+		MustParsePrefix("10.0.0.0/8"), // duplicate
+	}
+	out := Aggregate(in)
+	if len(out) != 1 || out[0] != MustParsePrefix("10.0.0.0/8") {
+		t.Fatalf("got %v", out)
+	}
+}
+
+func TestAggregateKeepsDisjoint(t *testing.T) {
+	in := []Prefix{
+		MustParsePrefix("10.0.0.0/24"),
+		MustParsePrefix("10.0.2.0/24"), // not a sibling of the first
+	}
+	out := Aggregate(in)
+	if len(out) != 2 {
+		t.Fatalf("got %v", out)
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	if out := Aggregate(nil); out != nil {
+		t.Fatalf("got %v", out)
+	}
+}
+
+// Property: aggregation never changes the covered address set, never
+// grows the list, and is idempotent.
+func TestAggregatePreservesCoverage(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var in []Prefix
+		nBlocks := 1 + rng.Intn(20)
+		for i := 0; i < nBlocks; i++ {
+			base := MakePrefix(Addr(rng.Uint32()), 10+rng.Intn(6))
+			// Sometimes insert a full sibling pair to force merges.
+			if rng.Float64() < 0.5 && base.Len < 32 {
+				lo, hi := base.Halves()
+				in = append(in, lo, hi)
+			} else {
+				in = append(in, base)
+			}
+		}
+		out := Aggregate(in)
+		if len(out) > len(in) {
+			return false
+		}
+		if !CoversSameAddrs(in, out) {
+			return false
+		}
+		again := Aggregate(out)
+		if len(again) != len(out) {
+			return false
+		}
+		return CoversSameAddrs(out, again)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoversSameAddrs(t *testing.T) {
+	a := []Prefix{MustParsePrefix("10.0.0.0/25"), MustParsePrefix("10.0.0.128/25")}
+	b := []Prefix{MustParsePrefix("10.0.0.0/24")}
+	if !CoversSameAddrs(a, b) {
+		t.Fatal("sibling pair should equal parent")
+	}
+	c := []Prefix{MustParsePrefix("10.0.0.0/24"), MustParsePrefix("10.0.1.0/24")}
+	if CoversSameAddrs(b, c) {
+		t.Fatal("different coverage reported equal")
+	}
+	if !CoversSameAddrs(nil, nil) {
+		t.Fatal("empty lists are equal")
+	}
+}

@@ -1,0 +1,140 @@
+package netx
+
+// Trie is a binary (Patricia-style, path-uncompressed) radix trie mapping
+// prefixes to values, supporting longest-prefix-match lookup. It is the core
+// data structure behind the prefix→origin-AS table bdrmap consults for every
+// interface address observed in traceroute.
+//
+// The zero value is an empty trie ready for use. Trie is not safe for
+// concurrent mutation; concurrent lookups without mutation are safe.
+type Trie[V any] struct {
+	root *trieNode[V]
+	n    int
+}
+
+type trieNode[V any] struct {
+	child [2]*trieNode[V]
+	val   V
+	set   bool
+}
+
+// Insert associates v with prefix p, replacing any existing value.
+func (t *Trie[V]) Insert(p Prefix, v V) {
+	if t.root == nil {
+		t.root = &trieNode[V]{}
+	}
+	n := t.root
+	for depth := 0; depth < p.Len; depth++ {
+		b := bitAt(p.Base, depth)
+		if n.child[b] == nil {
+			n.child[b] = &trieNode[V]{}
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		t.n++
+	}
+	n.val = v
+	n.set = true
+}
+
+// Remove deletes the value at exactly prefix p, if present, and reports
+// whether a value was removed. Interior nodes are left in place; for
+// bdrmap's workloads tries are built once and queried many times.
+func (t *Trie[V]) Remove(p Prefix) bool {
+	n := t.root
+	for depth := 0; n != nil && depth < p.Len; depth++ {
+		n = n.child[bitAt(p.Base, depth)]
+	}
+	if n == nil || !n.set {
+		return false
+	}
+	var zero V
+	n.val = zero
+	n.set = false
+	t.n--
+	return true
+}
+
+// Len returns the number of prefixes stored.
+func (t *Trie[V]) Len() int { return t.n }
+
+// Lookup returns the value of the longest prefix containing a,
+// and whether any prefix matched.
+func (t *Trie[V]) Lookup(a Addr) (V, bool) {
+	v, _, ok := t.LookupPrefix(a)
+	return v, ok
+}
+
+// LookupPrefix returns the value and prefix of the longest match for a.
+func (t *Trie[V]) LookupPrefix(a Addr) (V, Prefix, bool) {
+	var (
+		best    V
+		bestLen = -1
+	)
+	n := t.root
+	for depth := 0; n != nil; depth++ {
+		if n.set {
+			best, bestLen = n.val, depth
+		}
+		if depth == 32 {
+			break
+		}
+		n = n.child[bitAt(a, depth)]
+	}
+	if bestLen < 0 {
+		var zero V
+		return zero, Prefix{}, false
+	}
+	return best, MakePrefix(a, bestLen), true
+}
+
+// Exact returns the value stored at exactly p, if any.
+func (t *Trie[V]) Exact(p Prefix) (V, bool) {
+	n := t.root
+	for depth := 0; n != nil && depth < p.Len; depth++ {
+		n = n.child[bitAt(p.Base, depth)]
+	}
+	if n == nil || !n.set {
+		var zero V
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Walk visits every stored (prefix, value) pair in lexicographic order of
+// (base, length). The walk stops early if fn returns false.
+func (t *Trie[V]) Walk(fn func(Prefix, V) bool) {
+	t.walk(t.root, Prefix{}, fn)
+}
+
+func (t *Trie[V]) walk(n *trieNode[V], p Prefix, fn func(Prefix, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.set && !fn(p, n.val) {
+		return false
+	}
+	if p.Len == 32 {
+		return true
+	}
+	lo, hi := p.Halves()
+	if !t.walk(n.child[0], lo, fn) {
+		return false
+	}
+	return t.walk(n.child[1], hi, fn)
+}
+
+// Covered visits every stored (prefix, value) pair at or below p,
+// i.e. all stored prefixes contained in p.
+func (t *Trie[V]) Covered(p Prefix, fn func(Prefix, V) bool) {
+	n := t.root
+	for depth := 0; n != nil && depth < p.Len; depth++ {
+		n = n.child[bitAt(p.Base, depth)]
+	}
+	t.walk(n, p, fn)
+}
+
+func bitAt(a Addr, depth int) int {
+	return int(a >> (31 - uint(depth)) & 1)
+}

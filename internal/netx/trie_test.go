@@ -1,0 +1,218 @@
+package netx
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrieLongestMatch(t *testing.T) {
+	var tr Trie[int]
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), 8)
+	tr.Insert(MustParsePrefix("10.1.0.0/16"), 16)
+	tr.Insert(MustParsePrefix("10.1.2.0/24"), 24)
+
+	cases := []struct {
+		addr string
+		want int
+		ok   bool
+	}{
+		{"10.1.2.3", 24, true},
+		{"10.1.3.3", 16, true},
+		{"10.2.0.1", 8, true},
+		{"11.0.0.1", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := tr.Lookup(MustParseAddr(c.addr))
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("Lookup(%s) = %v, %v; want %v, %v", c.addr, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestTrieLookupPrefix(t *testing.T) {
+	var tr Trie[string]
+	tr.Insert(MustParsePrefix("128.66.0.0/16"), "X")
+	tr.Insert(MustParsePrefix("128.66.2.0/24"), "Y")
+	v, p, ok := tr.LookupPrefix(MustParseAddr("128.66.2.200"))
+	if !ok || v != "Y" || p != MustParsePrefix("128.66.2.0/24") {
+		t.Fatalf("got %v %v %v", v, p, ok)
+	}
+	v, p, ok = tr.LookupPrefix(MustParseAddr("128.66.3.1"))
+	if !ok || v != "X" || p != MustParsePrefix("128.66.0.0/16") {
+		t.Fatalf("got %v %v %v", v, p, ok)
+	}
+}
+
+func TestTrieDefaultRoute(t *testing.T) {
+	var tr Trie[string]
+	tr.Insert(MustParsePrefix("0.0.0.0/0"), "default")
+	v, ok := tr.Lookup(MustParseAddr("198.51.100.7"))
+	if !ok || v != "default" {
+		t.Fatalf("default route lookup failed: %v %v", v, ok)
+	}
+}
+
+func TestTrieExactAndRemove(t *testing.T) {
+	var tr Trie[int]
+	p := MustParsePrefix("192.0.2.0/24")
+	tr.Insert(p, 7)
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if v, ok := tr.Exact(p); !ok || v != 7 {
+		t.Fatalf("Exact = %v %v", v, ok)
+	}
+	if _, ok := tr.Exact(MustParsePrefix("192.0.2.0/25")); ok {
+		t.Fatal("Exact should miss on different length")
+	}
+	if !tr.Remove(p) {
+		t.Fatal("Remove should succeed")
+	}
+	if tr.Remove(p) {
+		t.Fatal("second Remove should fail")
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len after remove = %d", tr.Len())
+	}
+	if _, ok := tr.Lookup(MustParseAddr("192.0.2.1")); ok {
+		t.Fatal("Lookup after remove should miss")
+	}
+}
+
+func TestTrieInsertReplaces(t *testing.T) {
+	var tr Trie[int]
+	p := MustParsePrefix("10.0.0.0/8")
+	tr.Insert(p, 1)
+	tr.Insert(p, 2)
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	if v, _ := tr.Exact(p); v != 2 {
+		t.Fatalf("value = %d, want 2", v)
+	}
+}
+
+func TestTrieHostRoute(t *testing.T) {
+	var tr Trie[int]
+	a := MustParseAddr("203.0.113.5")
+	tr.Insert(MakePrefix(a, 32), 32)
+	tr.Insert(MustParsePrefix("203.0.113.0/24"), 24)
+	if v, _ := tr.Lookup(a); v != 32 {
+		t.Fatalf("host route not preferred: %d", v)
+	}
+	if v, _ := tr.Lookup(a + 1); v != 24 {
+		t.Fatalf("covering route miss: %d", v)
+	}
+}
+
+func TestTrieWalkOrder(t *testing.T) {
+	var tr Trie[int]
+	ps := []string{"10.0.0.0/8", "10.0.0.0/16", "10.1.0.0/16", "9.0.0.0/8", "11.0.0.0/8"}
+	for i, s := range ps {
+		tr.Insert(MustParsePrefix(s), i)
+	}
+	var got []Prefix
+	tr.Walk(func(p Prefix, _ int) bool {
+		got = append(got, p)
+		return true
+	})
+	if len(got) != len(ps) {
+		t.Fatalf("walked %d, want %d", len(got), len(ps))
+	}
+	for i := 1; i < len(got); i++ {
+		if ComparePrefix(got[i-1], got[i]) >= 0 {
+			t.Fatalf("walk out of order: %v before %v", got[i-1], got[i])
+		}
+	}
+}
+
+func TestTrieWalkEarlyStop(t *testing.T) {
+	var tr Trie[int]
+	for i := 0; i < 10; i++ {
+		tr.Insert(MakePrefix(Addr(i)<<24, 8), i)
+	}
+	count := 0
+	tr.Walk(func(Prefix, int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("walked %d, want early stop at 3", count)
+	}
+}
+
+func TestTrieCovered(t *testing.T) {
+	var tr Trie[int]
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), 1)
+	tr.Insert(MustParsePrefix("10.1.0.0/16"), 2)
+	tr.Insert(MustParsePrefix("10.1.2.0/24"), 3)
+	tr.Insert(MustParsePrefix("11.0.0.0/8"), 4)
+	var got []int
+	tr.Covered(MustParsePrefix("10.1.0.0/16"), func(_ Prefix, v int) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Covered = %v, want [2 3]", got)
+	}
+}
+
+// TestTrieMatchesLinearScan cross-checks trie longest-prefix-match against a
+// brute-force linear scan over random prefixes.
+func TestTrieMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	type entry struct {
+		p Prefix
+		v int
+	}
+	var entries []entry
+	var tr Trie[int]
+	for i := 0; i < 500; i++ {
+		plen := 8 + rng.Intn(25)
+		p := MakePrefix(Addr(rng.Uint32()), plen)
+		entries = append(entries, entry{p, i})
+		tr.Insert(p, i)
+	}
+	// Linear scan keeps the LAST inserted among equal longest, matching
+	// trie replace semantics.
+	lookup := func(a Addr) (int, bool) {
+		best, bestLen, ok := 0, -1, false
+		for _, e := range entries {
+			if e.p.Contains(a) && e.p.Len >= bestLen {
+				best, bestLen, ok = e.v, e.p.Len, true
+			}
+		}
+		return best, ok
+	}
+	for i := 0; i < 2000; i++ {
+		var a Addr
+		if i%2 == 0 && len(entries) > 0 {
+			e := entries[rng.Intn(len(entries))]
+			a = e.p.Base + Addr(rng.Uint32())%Addr(e.p.NumAddrs())
+		} else {
+			a = Addr(rng.Uint32())
+		}
+		wantV, wantOK := lookup(a)
+		gotV, gotOK := tr.Lookup(a)
+		if gotOK != wantOK || (gotOK && gotV != wantV) {
+			t.Fatalf("Lookup(%v) = %v,%v; scan = %v,%v", a, gotV, gotOK, wantV, wantOK)
+		}
+	}
+}
+
+func TestTrieLookupContainsProperty(t *testing.T) {
+	// Whatever prefix LookupPrefix reports must contain the queried address.
+	var tr Trie[int]
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		tr.Insert(MakePrefix(Addr(rng.Uint32()), 8+rng.Intn(17)), i)
+	}
+	f := func(a uint32) bool {
+		_, p, ok := tr.LookupPrefix(Addr(a))
+		return !ok || p.Contains(Addr(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,482 @@
+// Package probe simulates the network's response to active measurement:
+// Paris-style traceroute, ping, and the UDP/TCP/ICMP/TTL-limited probes
+// alias resolution relies on. It is the stand-in for the live Internet that
+// scamper probes in the paper, and it reproduces — organically, from
+// routing and per-router behaviour flags — every traceroute idiosyncrasy
+// §4 of the paper catalogues: responses from provider-assigned
+// interconnection addresses, third-party source addresses chosen via the
+// route back to the prober, firewalled enterprise edges, silent routers,
+// virtual-router response addresses, IXP LAN addresses, and rate limiting.
+//
+// Measurement results deliberately expose only what a real prober sees:
+// response source addresses, IP-ID values, and reply types. Ground truth
+// stays inside the topology package.
+package probe
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"bdrmap/internal/bgp"
+	"bdrmap/internal/netx"
+	"bdrmap/internal/topo"
+)
+
+// Engine simulates probe forwarding and responses over one network.
+// It is safe for concurrent use; the simulated clock is shared.
+type Engine struct {
+	Net *topo.Network
+	Tab *bgp.Table
+
+	mu    sync.Mutex
+	now   time.Duration // simulated time since start
+	ipid  map[topo.RouterID]*ipidState
+	rate  map[topo.RouterID]*rateState
+	rng   *rand.Rand
+	bfs   map[topo.RouterID]*bfsTree
+	stats Stats
+
+	// orgOf groups sibling ASes: routers of one organization share an IGP
+	// and a routing policy, so forwarding decisions are made per org.
+	orgOf map[topo.ASN]string
+	orgAS map[string][]topo.ASN
+
+	// lat holds the latency/congestion model (latency.go).
+	lat latencyState
+}
+
+// Stats counts the traffic the engine has carried.
+type Stats struct {
+	Traceroutes  int64
+	Probes       int64
+	PacketsSent  int64 // individual probe packets (one per traceroute hop)
+	ResponsesRcv int64
+}
+
+// New creates an engine over a built network and its routing table.
+func New(net *topo.Network, tab *bgp.Table) *Engine {
+	e := &Engine{
+		Net:   net,
+		Tab:   tab,
+		ipid:  make(map[topo.RouterID]*ipidState),
+		rate:  make(map[topo.RouterID]*rateState),
+		rng:   rand.New(rand.NewSource(1)),
+		bfs:   make(map[topo.RouterID]*bfsTree),
+		orgOf: make(map[topo.ASN]string),
+		orgAS: make(map[string][]topo.ASN),
+	}
+	for _, asn := range net.ASNs() {
+		org := net.ASes[asn].Org
+		e.orgOf[asn] = org
+		e.orgAS[org] = append(e.orgAS[org], asn)
+	}
+	return e
+}
+
+// sameOrg reports whether two ASes belong to one organization.
+func (e *Engine) sameOrg(a, b topo.ASN) bool {
+	return a == b || (e.orgOf[a] != "" && e.orgOf[a] == e.orgOf[b])
+}
+
+// orgMembers returns the sibling group of asn (including asn).
+func (e *Engine) orgMembers(asn topo.ASN) []topo.ASN {
+	if m := e.orgAS[e.orgOf[asn]]; len(m) > 0 {
+		return m
+	}
+	return []topo.ASN{asn}
+}
+
+// Advance moves the simulated clock forward.
+func (e *Engine) Advance(d time.Duration) {
+	e.mu.Lock()
+	e.now += d
+	e.mu.Unlock()
+}
+
+// Now returns the simulated time since start.
+func (e *Engine) Now() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.now
+}
+
+// Stats returns a snapshot of traffic counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// ---------------------------------------------------------------------------
+// Forwarding
+
+// pathStep is one router visited by a probe.
+type pathStep struct {
+	router *topo.Router
+	in     *topo.Iface // interface the probe arrived on (nil at the VP router)
+	out    *topo.Iface // interface toward the next step (nil at the last)
+}
+
+// pathResult is the router-level path a probe would take.
+type pathResult struct {
+	steps   []pathStep
+	reached bool // the probe can be delivered to its destination
+	// anchorReplies: the destination prefix's anchor answers echo requests
+	// on behalf of covered addresses.
+	anchorReplies bool
+	// exactIface is non-nil when the destination address is a real router
+	// interface (the responder for direct probes).
+	exactIface *topo.Iface
+}
+
+const (
+	maxRouterHops = 128
+	maxASHops     = 32
+)
+
+// computePath walks the router-level forwarding path from startRouter
+// toward dst. Firewalled edges truncate the path (§4 challenge 3).
+func (e *Engine) computePath(startRouter topo.RouterID, dst netx.Addr) pathResult {
+	var res pathResult
+	target := e.Net.IfaceByAddr(dst)
+	res.exactIface = target
+
+	prefix, routed := e.Tab.Lookup(dst)
+	var rib *bgp.PrefixRIB
+	var anchor topo.PrefixAnchor
+	var anchorOK bool
+	if routed {
+		rib = e.Tab.Routes(prefix)
+		anchor, anchorOK = e.Net.Anchor(prefix)
+		res.anchorReplies = anchorOK && anchor.Replies
+	}
+	if !routed && target == nil {
+		return res // nothing to head toward
+	}
+
+	cur := e.Net.Router(startRouter)
+	if cur == nil {
+		return res
+	}
+	res.steps = append(res.steps, pathStep{router: cur})
+	visitedAS := 0
+
+	for hops := 0; hops < maxRouterHops; hops++ {
+		last := &res.steps[len(res.steps)-1]
+		r := last.router
+
+		// Firewalled edge: a probe that would continue past this router
+		// deeper into its network is discarded. Delivery TO the router
+		// itself is allowed.
+		if r.Behavior.FirewallEdge && len(res.steps) > 1 {
+			prev := res.steps[len(res.steps)-2].router
+			enteredFromOutside := prev.Owner != r.Owner
+			if enteredFromOutside && !(target != nil && target.Router == r.ID) {
+				return res // truncated
+			}
+		}
+
+		// Delivered?
+		if target != nil && target.Router == r.ID {
+			res.reached = true
+			return res
+		}
+		if target == nil && routed && anchorOK && anchor.Router == r.ID {
+			res.reached = true
+			return res
+		}
+
+		// Destination interface directly across one of this router's
+		// links (e.g. probing the far side of an interdomain link)?
+		if target != nil {
+			if hop := e.linkHopTo(r, target); hop != nil {
+				last.out = hop.out
+				res.steps = append(res.steps, pathStep{router: hop.router, in: hop.in})
+				continue
+			}
+		}
+
+		// Next waypoint within the current organization: the target router
+		// itself, the near side of the target's link (delivery to the far
+		// side of an interconnection subnet goes via the directly attached
+		// router), or the prefix anchor.
+		var waypoint topo.RouterID = -1
+		anchorWaypoint := false
+		if target != nil {
+			if e.sameOrg(e.Net.Router(target.Router).Owner, r.Owner) {
+				waypoint = target.Router
+			} else if target.Link != nil {
+				for _, lif := range target.Link.Ifaces {
+					lr := e.Net.Router(lif.Router)
+					if lif != target && lr != nil && e.sameOrg(lr.Owner, r.Owner) {
+						waypoint = lr.ID
+						break
+					}
+				}
+			}
+		}
+		if waypoint < 0 && routed && anchorOK &&
+			e.sameOrg(e.Net.Router(anchor.Router).Owner, r.Owner) &&
+			e.originatesHere(r.Owner, prefix) {
+			waypoint = anchor.Router
+			anchorWaypoint = true
+		}
+
+		if waypoint >= 0 && waypoint != r.ID {
+			if !e.stepToward(&res, r, waypoint, prefix) {
+				return res
+			}
+			continue
+		}
+		if waypoint == r.ID {
+			// At the anchor: delivered only when the probe was headed to
+			// the anchored prefix itself rather than an interface the
+			// routing could not locate from here.
+			res.reached = anchorWaypoint && target == nil
+			return res
+		}
+
+		// Interdomain hop.
+		if !routed || rib == nil {
+			return res
+		}
+		if visitedAS++; visitedAS > maxASHops {
+			return res
+		}
+		att, ok := e.chooseEgress(r, prefix, rib)
+		if !ok {
+			return res
+		}
+		if att.LocalRtr != r.ID {
+			if !e.stepToward(&res, r, att.LocalRtr, prefix) {
+				return res
+			}
+			continue
+		}
+		// Cross the interdomain link or IXP LAN.
+		out := att.Link.IfaceOn(r.ID)
+		in := att.Link.IfaceOn(att.RemoteRtr)
+		if out == nil || in == nil {
+			return res
+		}
+		last.out = out
+		res.steps = append(res.steps, pathStep{router: e.Net.Router(att.RemoteRtr), in: in})
+	}
+	return res
+}
+
+// originatesHere reports whether owner's organization announces prefix, so
+// the anchor in this org terminates the path.
+func (e *Engine) originatesHere(owner topo.ASN, prefix netx.Prefix) bool {
+	for _, o := range e.Tab.Origins(prefix) {
+		if e.sameOrg(o, owner) {
+			return true
+		}
+	}
+	return false
+}
+
+// linkHop describes crossing one link to an adjacent router.
+type linkHop struct {
+	out, in *topo.Iface
+	router  *topo.Router
+}
+
+// linkHopTo returns the final hop when the destination interface sits on a
+// link directly attached to r.
+func (e *Engine) linkHopTo(r *topo.Router, target *topo.Iface) *linkHop {
+	if target.Link == nil {
+		return nil
+	}
+	out := target.Link.IfaceOn(r.ID)
+	if out == nil || target.Router == r.ID {
+		return nil
+	}
+	return &linkHop{out: out, in: target, router: e.Net.Router(target.Router)}
+}
+
+// stepToward advances one internal hop from r toward waypoint, appending
+// the step. Returns false when no internal path exists.
+func (e *Engine) stepToward(res *pathResult, r *topo.Router, waypoint topo.RouterID, prefix netx.Prefix) bool {
+	tree := e.bfsFrom(waypoint)
+	nh, ok := tree.nextHopFrom(r.ID)
+	if !ok {
+		return false
+	}
+	// Pick the connecting link; parallel links are spread per-prefix so
+	// equal-cost paths expose different ingress interfaces (fig. 13 and
+	// the analytical alias scenario of §5.4.7).
+	links := e.parallelLinks(r.ID, nh)
+	if len(links) == 0 {
+		return false
+	}
+	l := links[prefixHash(prefix)%len(links)]
+	last := &res.steps[len(res.steps)-1]
+	last.out = l.IfaceOn(r.ID)
+	res.steps = append(res.steps, pathStep{router: e.Net.Router(nh), in: l.IfaceOn(nh)})
+	return true
+}
+
+// prefixHash spreads destination prefixes across equal-cost choices.
+// Prefix bases are power-of-two aligned, so a plain modulus would collapse
+// onto one choice; a multiplicative mix avoids that.
+func prefixHash(p netx.Prefix) int {
+	h := uint32(p.Base) * 2654435761
+	h ^= h >> 13
+	return int(h>>16) & 0x7fffffff
+}
+
+// parallelLinks lists the internal links directly joining a and b.
+func (e *Engine) parallelLinks(a, b topo.RouterID) []*topo.Link {
+	var out []*topo.Link
+	for _, adj := range e.Net.InternalNeighbors(a) {
+		if adj.Peer.Router == b {
+			out = append(out, adj.Link)
+		}
+	}
+	return out
+}
+
+// chooseEgress applies hot-potato routing: among the attachments of r's AS
+// leading to an equal-best next-hop AS (and over which the destination
+// prefix is actually announced), pick the border closest to r by IGP
+// distance, spreading ties per prefix.
+func (e *Engine) chooseEgress(r *topo.Router, prefix netx.Prefix, rib *bgp.PrefixRIB) (topo.Attachment, bool) {
+	owner := r.Owner
+	cands := e.candidateNextHops(owner, rib)
+	if len(cands) == 0 {
+		return topo.Attachment{}, false
+	}
+	inCand := make(map[topo.ASN]bool, len(cands))
+	for _, c := range cands {
+		inCand[c] = true
+	}
+	isOrigin := make(map[topo.ASN]bool)
+	for _, o := range e.Tab.Origins(prefix) {
+		isOrigin[o] = true
+	}
+	// Siblings share an IGP: egress over any org member's attachments.
+	var atts []topo.Attachment
+	for _, member := range e.orgMembers(owner) {
+		atts = append(atts, e.Net.Attachments(member)...)
+	}
+	var best []topo.Attachment
+	bestDist := -1
+	for _, att := range atts {
+		if !inCand[att.Remote] {
+			continue
+		}
+		// Selective announcement: the origin announces a pinned prefix
+		// only over the designated links (§6).
+		if isOrigin[att.Remote] && !e.Net.AnnouncedOnLink(prefix, att.Link) {
+			continue
+		}
+		d, ok := e.igpDist(r.ID, att.LocalRtr)
+		if !ok {
+			continue
+		}
+		switch {
+		case bestDist < 0 || d < bestDist:
+			best = best[:0]
+			best = append(best, att)
+			bestDist = d
+		case d == bestDist:
+			best = append(best, att)
+		}
+	}
+	if len(best) == 0 {
+		return topo.Attachment{}, false
+	}
+	return best[prefixHash(prefix)%len(best)], true
+}
+
+// candidateNextHops returns the equal-best next-hop set for the host
+// network (multi-exit fidelity) and the canonical next hop elsewhere.
+// Sibling chains are followed: a route whose next hop is a sibling
+// resolves to the sibling's own next hop (one IGP, one policy).
+func (e *Engine) candidateNextHops(owner topo.ASN, rib *bgp.PrefixRIB) []topo.ASN {
+	if e.sameOrg(owner, e.Net.HostASN) {
+		return rib.HostCandidates
+	}
+	cur := owner
+	for hops := 0; hops < 8; hops++ {
+		i := e.Tab.IndexOf(cur)
+		if i < 0 {
+			return nil
+		}
+		if rib.Class[i] == bgp.ClassNone || rib.Class[i] == bgp.ClassOrigin {
+			return nil
+		}
+		nh := rib.Next[i]
+		if nh < 0 {
+			return nil
+		}
+		next := e.Tab.ASOf(nh)
+		if !e.sameOrg(next, owner) {
+			return []topo.ASN{next}
+		}
+		cur = next
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Intra-AS shortest paths
+
+// bfsTree holds BFS parents toward one root over the internal-link graph.
+type bfsTree struct {
+	root topo.RouterID
+	// next[r] = the neighbor of r one hop closer to root; dist[r] = hops.
+	next map[topo.RouterID]topo.RouterID
+	dist map[topo.RouterID]int
+}
+
+func (t *bfsTree) nextHopFrom(r topo.RouterID) (topo.RouterID, bool) {
+	nh, ok := t.next[r]
+	return nh, ok
+}
+
+// bfsFrom returns (cached) the BFS tree rooted at root over internal links.
+func (e *Engine) bfsFrom(root topo.RouterID) *bfsTree {
+	e.mu.Lock()
+	if t, ok := e.bfs[root]; ok {
+		e.mu.Unlock()
+		return t
+	}
+	e.mu.Unlock()
+
+	t := &bfsTree{
+		root: root,
+		next: make(map[topo.RouterID]topo.RouterID),
+		dist: map[topo.RouterID]int{root: 0},
+	}
+	queue := []topo.RouterID{root}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, adj := range e.Net.InternalNeighbors(cur) {
+			nb := adj.Peer.Router
+			if _, seen := t.dist[nb]; seen {
+				continue
+			}
+			t.dist[nb] = t.dist[cur] + 1
+			t.next[nb] = cur
+			queue = append(queue, nb)
+		}
+	}
+	e.mu.Lock()
+	e.bfs[root] = t
+	e.mu.Unlock()
+	return t
+}
+
+// igpDist returns the internal hop distance between two routers.
+func (e *Engine) igpDist(from, to topo.RouterID) (int, bool) {
+	if from == to {
+		return 0, true
+	}
+	t := e.bfsFrom(to)
+	d, ok := t.dist[from]
+	return d, ok
+}

@@ -1,0 +1,107 @@
+package probe
+
+import (
+	"sync"
+	"time"
+
+	"bdrmap/internal/topo"
+)
+
+// Latency model: every link crossing costs a propagation delay derived
+// from the geographic distance between its endpoints plus a small
+// serialization cost; congested links add queueing delay that varies with
+// simulated time of day. This is the substrate for the time-series latency
+// probing (TSLP) application of §2 — the CAIDA/MIT interdomain congestion
+// project this system was built to serve.
+
+// CongestionEpisode adds queueing delay on one link during a recurring
+// daily window. Start and End are offsets within a 24h day of simulated
+// time; Queue is the added delay at the episode's peak.
+type CongestionEpisode struct {
+	Link  *topo.Link
+	Start time.Duration // offset into the simulated day
+	End   time.Duration
+	Queue time.Duration // peak added queueing delay
+}
+
+type latencyState struct {
+	mu       sync.Mutex
+	episodes []CongestionEpisode
+}
+
+// InjectCongestion schedules a recurring daily congestion episode on a
+// link (traffic exceeding capacity during busy hours, §2).
+func (e *Engine) InjectCongestion(ep CongestionEpisode) {
+	e.lat.mu.Lock()
+	defer e.lat.mu.Unlock()
+	e.lat.episodes = append(e.lat.episodes, ep)
+}
+
+// ClearCongestion removes all injected episodes.
+func (e *Engine) ClearCongestion() {
+	e.lat.mu.Lock()
+	defer e.lat.mu.Unlock()
+	e.lat.episodes = nil
+}
+
+// linkDelay returns the one-way delay of crossing link l at simulated
+// time now.
+func (e *Engine) linkDelay(l *topo.Link, out, in *topo.Iface, now time.Duration) time.Duration {
+	d := 500 * time.Microsecond // serialization / local hop cost
+	if out != nil && in != nil {
+		a := e.Net.Router(out.Router)
+		b := e.Net.Router(in.Router)
+		if a != nil && b != nil {
+			diff := a.Longitude - b.Longitude
+			if diff < 0 {
+				diff = -diff
+			}
+			// ~0.35ms per degree of longitude: SF–NYC ≈ 17ms one way.
+			d += time.Duration(diff * 0.35 * float64(time.Millisecond))
+		}
+	}
+	d += e.queueDelay(l, now)
+	return d
+}
+
+// queueDelay returns the congestion-induced queueing delay on l at time
+// now (zero when uncongested).
+func (e *Engine) queueDelay(l *topo.Link, now time.Duration) time.Duration {
+	e.lat.mu.Lock()
+	defer e.lat.mu.Unlock()
+	if len(e.lat.episodes) == 0 {
+		return 0
+	}
+	tod := now % (24 * time.Hour)
+	var q time.Duration
+	for _, ep := range e.lat.episodes {
+		if ep.Link != l {
+			continue
+		}
+		if tod >= ep.Start && tod < ep.End {
+			q += ep.Queue
+		}
+	}
+	return q
+}
+
+// pathRTT computes the round-trip time of a probe that traverses the
+// given path and returns: twice the one-way sum (the reverse path is
+// assumed symmetric, as TSLP assumes for the near/far comparison).
+func (e *Engine) pathRTT(path pathResult, now time.Duration) time.Duration {
+	var oneWay time.Duration
+	for i := 0; i+1 < len(path.steps); i++ {
+		out := path.steps[i].out
+		in := path.steps[i+1].in
+		var l *topo.Link
+		if out != nil {
+			l = out.Link
+		} else if in != nil {
+			l = in.Link
+		}
+		oneWay += e.linkDelay(l, out, in, now)
+	}
+	// Responder processing cost.
+	oneWay += 200 * time.Microsecond
+	return 2 * oneWay
+}

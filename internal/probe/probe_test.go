@@ -1,0 +1,400 @@
+package probe
+
+import (
+	"testing"
+	"time"
+
+	"bdrmap/internal/bgp"
+	"bdrmap/internal/netx"
+	"bdrmap/internal/topo"
+)
+
+func newEngine(t *testing.T, prof topo.Profile, seed int64) (*Engine, *topo.Network) {
+	t.Helper()
+	n := topo.Generate(prof, seed)
+	tab := bgp.NewTable(n)
+	return New(n, tab), n
+}
+
+func TestTracerouteReachesCustomers(t *testing.T) {
+	e, n := newEngine(t, topo.TinyProfile(), 1)
+	vp := n.VPs[0]
+	traced := 0
+	for _, p := range e.Tab.Prefixes() {
+		res := e.Traceroute(vp, p.First()+1, nil)
+		if len(res.Hops) > 0 {
+			traced++
+		}
+	}
+	if traced < len(e.Tab.Prefixes())/2 {
+		t.Fatalf("only %d/%d prefixes produced hops", traced, len(e.Tab.Prefixes()))
+	}
+}
+
+func TestTracerouteFirstHopIsHostNetwork(t *testing.T) {
+	e, n := newEngine(t, topo.TinyProfile(), 2)
+	vp := n.VPs[0]
+	host := n.ASes[n.HostASN]
+	for _, p := range e.Tab.Prefixes()[:10] {
+		res := e.Traceroute(vp, p.First()+1, nil)
+		if len(res.Hops) == 0 || res.Hops[0].Type != HopTimeExceeded {
+			continue
+		}
+		a := res.Hops[0].Addr
+		if !host.Infra.Contains(a) && n.OwnerOfAddr(a) != n.HostASN {
+			// The first hop may be in the unannounced host block.
+			org, _ := orgOfAddr(n, a)
+			if org != "org-host" {
+				t.Fatalf("first hop %v not in host network (dst %v)", a, res.Dst)
+			}
+		}
+	}
+}
+
+func orgOfAddr(n *topo.Network, a netx.Addr) (string, bool) {
+	for _, d := range n.Delegations {
+		if d.Prefix.Contains(a) {
+			return d.OrgID, true
+		}
+	}
+	return "", false
+}
+
+func TestHopAddressesAreRealInterfacesOrDst(t *testing.T) {
+	e, n := newEngine(t, topo.TinyProfile(), 3)
+	vp := n.VPs[0]
+	for _, p := range e.Tab.Prefixes() {
+		res := e.Traceroute(vp, p.First()+1, nil)
+		for _, h := range res.Hops {
+			if h.Type == HopTimeout {
+				continue
+			}
+			if h.Type == HopEchoReply {
+				if h.Addr != res.Dst {
+					t.Fatalf("echo reply source %v != dst %v", h.Addr, res.Dst)
+				}
+				continue
+			}
+			if n.IfaceByAddr(h.Addr) == nil {
+				t.Fatalf("hop %v is not a real interface (dst %v)", h.Addr, res.Dst)
+			}
+		}
+	}
+}
+
+func TestStopSetHaltsTrace(t *testing.T) {
+	e, n := newEngine(t, topo.TinyProfile(), 4)
+	vp := n.VPs[0]
+	var full TraceResult
+	var dst netx.Addr
+	for _, p := range e.Tab.Prefixes() {
+		r := e.Traceroute(vp, p.First()+1, nil)
+		if len(r.Hops) >= 3 && r.Hops[1].Type == HopTimeExceeded {
+			full, dst = r, p.First()+1
+			break
+		}
+	}
+	if dst.IsZero() {
+		t.Skip("no suitable trace found")
+	}
+	stopAddr := full.Hops[1].Addr
+	res := e.Traceroute(vp, dst, func(a netx.Addr) bool { return a == stopAddr })
+	if !res.Stopped {
+		t.Fatal("trace did not report stopping")
+	}
+	if got := len(res.Hops); got != 2 {
+		t.Fatalf("stopped trace has %d hops, want 2", got)
+	}
+}
+
+func TestFirewallTruncatesTrace(t *testing.T) {
+	// Find a customer whose border firewalls probes: traceroute toward it
+	// must never reveal an address inside the customer's announced space.
+	e, n := newEngine(t, topo.LargeAccessProfile(), 5)
+	vp := n.VPs[0]
+	host := n.ASes[n.HostASN]
+	checked := 0
+	for _, nb := range host.Neighbors() {
+		if nb.Rel != topo.RelCustomer {
+			continue
+		}
+		cust := n.ASes[nb.ASN]
+		borderFirewalled := false
+		for _, r := range cust.Routers {
+			if r.Name == "bdr1" && r.Behavior.FirewallEdge && !r.Behavior.NoTTLExpired {
+				borderFirewalled = true
+			}
+		}
+		if !borderFirewalled || len(cust.Prefixes) == 0 {
+			continue
+		}
+		res := e.Traceroute(vp, cust.Prefixes[0].First()+1, nil)
+		for _, h := range res.Hops {
+			if h.Type == HopTimeExceeded && cust.Prefixes[0].Contains(h.Addr) {
+				t.Fatalf("firewalled customer %v leaked interior address %v", cust.ASN, h.Addr)
+			}
+		}
+		checked++
+		if checked >= 10 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Skip("no firewalled customers in this seed")
+	}
+}
+
+func TestSilentNeighborInvisible(t *testing.T) {
+	e, n := newEngine(t, topo.LargeAccessProfile(), 5)
+	vp := n.VPs[0]
+	host := n.ASes[n.HostASN]
+	checked := false
+	for _, nb := range host.Neighbors() {
+		cust := n.ASes[nb.ASN]
+		if nb.Rel != topo.RelCustomer || len(cust.Routers) == 0 {
+			continue
+		}
+		silent := true
+		for _, r := range cust.Routers {
+			if !r.Behavior.NoTTLExpired || !r.Behavior.NoEchoReply {
+				silent = false
+			}
+		}
+		if !silent {
+			continue
+		}
+		res := e.Traceroute(vp, cust.Prefixes[0].First()+1, nil)
+		for _, h := range res.Hops {
+			if h.Addr != 0 && n.OwnerOfAddr(h.Addr) == cust.ASN {
+				t.Fatalf("silent neighbor %v responded at %v", cust.ASN, h.Addr)
+			}
+		}
+		checked = true
+	}
+	if !checked {
+		t.Skip("no fully silent customers in this seed")
+	}
+}
+
+func TestEchoReplyFromAnchoredPrefix(t *testing.T) {
+	e, n := newEngine(t, topo.TinyProfile(), 6)
+	vp := n.VPs[0]
+	reached := 0
+	for _, p := range e.Tab.Prefixes() {
+		res := e.Traceroute(vp, p.First()+7, nil)
+		if res.Reached {
+			reached++
+			last := res.Hops[len(res.Hops)-1]
+			if last.Type != HopEchoReply || last.Addr != p.First()+7 {
+				t.Fatalf("reached trace should end with echo reply from dst")
+			}
+		}
+	}
+	if reached == 0 {
+		t.Fatal("no destination ever replied")
+	}
+}
+
+func TestProbeMercatorCanonical(t *testing.T) {
+	e, n := newEngine(t, topo.TinyProfile(), 7)
+	vp := n.VPs[0]
+	// Find a reachable router with MercatorCanonical and two interfaces.
+	for _, r := range n.Routers {
+		if !r.Behavior.MercatorCanonical || r.Behavior.NoUDPUnreach || len(r.Ifaces) < 2 {
+			continue
+		}
+		a1, a2 := r.Ifaces[0].Addr, r.Ifaces[1].Addr
+		if a1.IsZero() || a2.IsZero() || !e.Reachable(vp, a1) || !e.Reachable(vp, a2) {
+			continue
+		}
+		r1 := e.Probe(vp, a1, MethodUDP)
+		r2 := e.Probe(vp, a2, MethodUDP)
+		if !r1.OK || !r2.OK {
+			continue
+		}
+		if r1.From != r2.From {
+			t.Fatalf("mercator sources differ: %v vs %v", r1.From, r2.From)
+		}
+		return
+	}
+	t.Skip("no suitable router found")
+}
+
+func TestSharedIPIDMonotonic(t *testing.T) {
+	e, n := newEngine(t, topo.TinyProfile(), 8)
+	vp := n.VPs[0]
+	for _, r := range n.Routers {
+		if r.Behavior.IPID != topo.IPIDShared || len(r.Ifaces) == 0 {
+			continue
+		}
+		a := r.Ifaces[0].Addr
+		if a.IsZero() || !e.Reachable(vp, a) || r.Behavior.NoEchoReply {
+			continue
+		}
+		var prev uint16
+		okCount := 0
+		for i := 0; i < 10; i++ {
+			resp := e.Probe(vp, a, MethodICMPEcho)
+			if !resp.OK {
+				break
+			}
+			if okCount > 0 {
+				diff := resp.IPID - prev // uint16 wrap-around safe
+				if diff == 0 || diff > 1000 {
+					t.Fatalf("shared counter not monotonically increasing: %d -> %d", prev, resp.IPID)
+				}
+			}
+			prev = resp.IPID
+			okCount++
+			e.Advance(10 * time.Millisecond)
+		}
+		if okCount == 10 {
+			return
+		}
+	}
+	t.Skip("no reachable shared-counter router")
+}
+
+func TestIPIDAdvancesWithTime(t *testing.T) {
+	e, n := newEngine(t, topo.TinyProfile(), 9)
+	vp := n.VPs[0]
+	for _, r := range n.Routers {
+		if r.Behavior.IPID != topo.IPIDShared || len(r.Ifaces) == 0 || r.Behavior.NoEchoReply {
+			continue
+		}
+		a := r.Ifaces[0].Addr
+		if a.IsZero() || !e.Reachable(vp, a) {
+			continue
+		}
+		r1 := e.Probe(vp, a, MethodICMPEcho)
+		e.Advance(60 * time.Second)
+		r2 := e.Probe(vp, a, MethodICMPEcho)
+		if !r1.OK || !r2.OK {
+			continue
+		}
+		if r2.IPID-r1.IPID < 100 {
+			t.Fatalf("background traffic did not advance counter: %d -> %d", r1.IPID, r2.IPID)
+		}
+		return
+	}
+	t.Skip("no reachable shared-counter router")
+}
+
+func TestRandomIPIDNotMonotonic(t *testing.T) {
+	e, n := newEngine(t, topo.TinyProfile(), 10)
+	vp := n.VPs[0]
+	for _, r := range n.Routers {
+		if r.Behavior.IPID != topo.IPIDRandom || len(r.Ifaces) == 0 || r.Behavior.NoEchoReply {
+			continue
+		}
+		a := r.Ifaces[0].Addr
+		if a.IsZero() || !e.Reachable(vp, a) {
+			continue
+		}
+		increasingRuns := 0
+		var prev uint16
+		for i := 0; i < 30; i++ {
+			resp := e.Probe(vp, a, MethodICMPEcho)
+			if !resp.OK {
+				break
+			}
+			if i > 0 && resp.IPID-prev < 1000 {
+				increasingRuns++
+			}
+			prev = resp.IPID
+		}
+		if increasingRuns > 25 {
+			t.Fatalf("random IPID looked like a shared counter (%d/30 small increments)", increasingRuns)
+		}
+		return
+	}
+	t.Skip("no reachable random-IPID router")
+}
+
+func TestRateLimiting(t *testing.T) {
+	e, n := newEngine(t, topo.TinyProfile(), 11)
+	vp := n.VPs[0]
+	// Force a rate limit on the first responding router.
+	var target netx.Addr
+	var router *topo.Router
+	for _, r := range n.Routers {
+		if len(r.Ifaces) == 0 || r.Behavior.NoEchoReply {
+			continue
+		}
+		a := r.Ifaces[0].Addr
+		if !a.IsZero() && e.Reachable(vp, a) {
+			target, router = a, r
+			break
+		}
+	}
+	if router == nil {
+		t.Skip("no reachable router")
+	}
+	router.Behavior.RateLimitPPS = 3
+	got := 0
+	for i := 0; i < 10; i++ {
+		if e.Probe(vp, target, MethodICMPEcho).OK {
+			got++
+		}
+	}
+	if got != 3 {
+		t.Fatalf("rate limit allowed %d responses, want 3", got)
+	}
+	e.Advance(time.Second)
+	if !e.Probe(vp, target, MethodICMPEcho).OK {
+		t.Fatal("rate limit did not reset after a second")
+	}
+}
+
+func TestVirtualRouterRespondsWithForwardIface(t *testing.T) {
+	// Hand-build: vp -> r1 -> r2(virtual) -> r3; r2 must answer with its
+	// egress interface toward the probed destination.
+	n := topo.NewNetwork()
+	al := topo.NewAllocator()
+	host := n.AddAS(100, topo.TierAccess, "org-host")
+	n.HostASN = 100
+	hp := al.Next(16)
+	host.Prefixes = []netx.Prefix{hp}
+	host.Infra = hp
+	far := n.AddAS(200, topo.TierStub, "org-far")
+	fp := al.Next(16)
+	far.Prefixes = []netx.Prefix{fp}
+	far.Infra = fp
+	n.SetRel(200, 100, topo.RelCustomer)
+
+	r1 := n.AddRouter(100, "r1", 0)
+	r2 := n.AddRouter(200, "r2", 0)
+	r3 := n.AddRouter(200, "r3", 0)
+	n.ConnectPtP(r1, r2, al.Sub(hp, 31), topo.LinkInterdomain, 100)
+	l2 := n.ConnectPtP(r2, r3, al.Sub(fp, 31), topo.LinkInternal, 200)
+	r2.Behavior.VirtualRouter = true
+	n.SetAnchor(fp, r3.ID, true)
+
+	vpLink := al.Sub(hp, 31)
+	l := n.AddLink(topo.LinkInternal, vpLink, 100)
+	accIf := r1.AddIface(vpLink.First(), l)
+	n.RegisterIface(accIf)
+	vp := &topo.VP{Name: "vp", Host: 100, Router: r1.ID, Addr: vpLink.First() + 1}
+	n.VPs = append(n.VPs, vp)
+	n.Build()
+
+	e := New(n, bgp.NewTable(n))
+	res := e.Traceroute(vp, fp.First()+100, nil)
+	if len(res.Hops) < 2 {
+		t.Fatalf("hops = %v", res.Hops)
+	}
+	wantEgress := l2.IfaceOn(r2.ID).Addr
+	if res.Hops[1].Addr != wantEgress {
+		t.Fatalf("virtual router answered %v, want forward egress %v", res.Hops[1].Addr, wantEgress)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	e, n := newEngine(t, topo.TinyProfile(), 12)
+	vp := n.VPs[0]
+	e.Traceroute(vp, e.Tab.Prefixes()[0].First()+1, nil)
+	s := e.Stats()
+	if s.Traceroutes != 1 || s.PacketsSent == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

@@ -1,0 +1,362 @@
+package probe
+
+import (
+	"time"
+
+	"bdrmap/internal/netx"
+	"bdrmap/internal/topo"
+)
+
+// HopType classifies a traceroute hop response.
+type HopType int8
+
+// Hop response types.
+const (
+	HopTimeout      HopType = iota // no response at this TTL
+	HopTimeExceeded                // ICMP time exceeded
+	HopEchoReply                   // ICMP echo reply (destination reached)
+	HopUnreachable                 // ICMP destination unreachable
+)
+
+func (t HopType) String() string {
+	switch t {
+	case HopTimeExceeded:
+		return "time-exceeded"
+	case HopEchoReply:
+		return "echo-reply"
+	case HopUnreachable:
+		return "unreachable"
+	default:
+		return "timeout"
+	}
+}
+
+// Hop is one traceroute response as a prober sees it.
+type Hop struct {
+	TTL  int
+	Addr netx.Addr // response source address; 0 on timeout
+	Type HopType
+	IPID uint16
+	RTT  time.Duration // 0 on timeout
+}
+
+// TraceResult is a completed traceroute.
+type TraceResult struct {
+	VP   string
+	Dst  netx.Addr
+	Hops []Hop
+	// Reached reports an echo reply from the destination.
+	Reached bool
+	// Stopped reports that the stop-set callback halted probing.
+	Stopped bool
+}
+
+// gapLimit mirrors scamper's behaviour of abandoning a trace after five
+// consecutive unresponsive hops.
+const gapLimit = 5
+
+// Traceroute runs a Paris traceroute (ICMP-echo probes) from vp toward dst.
+// stop, when non-nil, is consulted with each responding address: returning
+// true halts the trace after recording that hop (the doubletree stop set,
+// §5.3).
+func (e *Engine) Traceroute(vp *topo.VP, dst netx.Addr, stop func(netx.Addr) bool) TraceResult {
+	e.mu.Lock()
+	e.stats.Traceroutes++
+	e.mu.Unlock()
+
+	res := TraceResult{VP: vp.Name, Dst: dst}
+	path := e.computePath(vp.Router, dst)
+
+	gap := 0
+	for i, step := range path.steps {
+		hopRTT := e.pathRTT(pathResult{steps: path.steps[:i+1]}, e.Now())
+		e.mu.Lock()
+		e.stats.PacketsSent++
+		e.mu.Unlock()
+
+		final := i == len(path.steps)-1
+		hop := Hop{TTL: i + 1, Type: HopTimeout}
+
+		if final && path.reached {
+			// The probe reaches its destination; the destination (an
+			// interface, or a host behind the prefix anchor) may answer
+			// with an echo reply whose source is the probed address.
+			if path.exactIface != nil && path.exactIface.Router == step.router.ID {
+				if !step.router.Behavior.NoEchoReply && e.allowResponse(step.router) {
+					hop.Type = HopEchoReply
+					hop.Addr = dst
+					hop.IPID = e.nextIPID(step.router, path.exactIface)
+				}
+			} else if path.anchorReplies && e.allowResponse(step.router) {
+				hop.Type = HopEchoReply
+				hop.Addr = dst
+				hop.IPID = e.nextIPID(step.router, nil)
+			}
+			if hop.Type != HopEchoReply && path.reached && step.in != nil &&
+				!step.router.Behavior.NoUDPUnreach && e.allowResponse(step.router) {
+				// No host answers behind this prefix: the last router
+				// reports the destination unreachable (§5.4.8 accepts
+				// these alongside echo replies).
+				hop.Type = HopUnreachable
+				hop.Addr = step.in.Addr
+				hop.IPID = e.nextIPID(step.router, step.in)
+			}
+			if hop.Type != HopTimeout {
+				hop.RTT = hopRTT
+				if hop.Type == HopEchoReply {
+					res.Reached = true
+				}
+				res.Hops = append(res.Hops, hop)
+				e.mu.Lock()
+				e.stats.ResponsesRcv++
+				e.mu.Unlock()
+			} else {
+				res.Hops = append(res.Hops, hop)
+			}
+			break
+		}
+
+		// Intermediate hop: ICMP time exceeded per the router's behaviour.
+		if !step.router.Behavior.NoTTLExpired && e.allowResponse(step.router) {
+			src, ifc := e.ttlExpiredSource(vp, step, path, i)
+			if !src.IsZero() {
+				hop.Type = HopTimeExceeded
+				hop.Addr = src
+				hop.IPID = e.nextIPID(step.router, ifc)
+				hop.RTT = hopRTT
+			}
+		}
+		res.Hops = append(res.Hops, hop)
+		if hop.Type == HopTimeout {
+			if gap++; gap >= gapLimit {
+				break
+			}
+			continue
+		}
+		gap = 0
+		e.mu.Lock()
+		e.stats.ResponsesRcv++
+		e.mu.Unlock()
+		if stop != nil && stop(hop.Addr) {
+			res.Stopped = true
+			break
+		}
+	}
+	return res
+}
+
+// ttlExpiredSource selects the source address of a time-exceeded response
+// (§4 challenges 1, 2, 4).
+func (e *Engine) ttlExpiredSource(vp *topo.VP, step pathStep, path pathResult, idx int) (netx.Addr, *topo.Iface) {
+	r := step.router
+	switch {
+	case r.Behavior.VirtualRouter && step.out != nil:
+		// The virtual router that would have forwarded the packet
+		// responds: source is the forward egress interface.
+		return step.out.Addr, step.out
+	case r.Behavior.SourceEgressToProbe:
+		// RFC 1812 source selection: the interface transmitting the
+		// response, i.e. the first link on this router's path back to
+		// the prober. When the best route back runs via a third-party
+		// AS that numbered the link, the response maps to that AS.
+		back := e.computePath(r.ID, vp.Addr)
+		if len(back.steps) > 0 && back.steps[0].out != nil {
+			out := back.steps[0].out
+			return out.Addr, out
+		}
+	}
+	if step.in != nil {
+		return step.in.Addr, step.in // ingress interface: the common case
+	}
+	// First router (the VP's attachment): respond with any interface.
+	if a := r.CanonicalAddr(); !a.IsZero() {
+		return a, nil
+	}
+	return 0, nil
+}
+
+// ---------------------------------------------------------------------------
+// Direct probes (ping and alias resolution)
+
+// Method is the probe type used against a single address.
+type Method int8
+
+// Probe methods, mirroring the probe types bdrmap's alias resolution uses
+// (§5.3: "UDP, TCP, ICMP-echo, and TTL-limited probes").
+const (
+	MethodICMPEcho   Method = iota
+	MethodUDP               // UDP to an unused high port (Mercator / Ally-udp)
+	MethodTCPAck            // TCP ACK eliciting RST
+	MethodTTLLimited        // TTL-limited probe eliciting time exceeded
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodICMPEcho:
+		return "icmp-echo"
+	case MethodUDP:
+		return "udp"
+	case MethodTCPAck:
+		return "tcp-ack"
+	case MethodTTLLimited:
+		return "ttl-limited"
+	default:
+		return "unknown"
+	}
+}
+
+// Response is a direct probe's result.
+type Response struct {
+	OK   bool
+	From netx.Addr // source address of the response
+	IPID uint16
+	When time.Duration // simulated receive time
+	RTT  time.Duration // round-trip time under the latency model
+}
+
+// Probe sends one probe of the given method from vp to target.
+func (e *Engine) Probe(vp *topo.VP, target netx.Addr, m Method) Response {
+	e.mu.Lock()
+	e.stats.Probes++
+	e.stats.PacketsSent++
+	e.mu.Unlock()
+
+	path := e.computePath(vp.Router, target)
+	if !path.reached || path.exactIface == nil {
+		return Response{}
+	}
+	r := e.Net.Router(path.exactIface.Router)
+	if r == nil || !e.allowResponse(r) {
+		return Response{}
+	}
+	b := r.Behavior
+
+	var resp Response
+	switch m {
+	case MethodICMPEcho:
+		if b.NoEchoReply {
+			return Response{}
+		}
+		// The source of an echo reply is the probed destination address,
+		// regardless of which interface it sits on (§4 challenge 2).
+		resp = Response{OK: true, From: target, IPID: e.nextIPID(r, path.exactIface)}
+	case MethodTCPAck:
+		if b.NoEchoReply {
+			return Response{}
+		}
+		resp = Response{OK: true, From: target, IPID: e.nextIPID(r, path.exactIface)}
+	case MethodUDP:
+		if b.NoUDPUnreach {
+			return Response{}
+		}
+		from := target
+		if b.MercatorCanonical {
+			from = r.CanonicalAddr() // Mercator's common-source signal
+		}
+		resp = Response{OK: true, From: from, IPID: e.nextIPID(r, path.exactIface)}
+	case MethodTTLLimited:
+		if b.NoTTLExpired {
+			return Response{}
+		}
+		// A probe sent toward target with TTL set to expire at its
+		// router: the time-exceeded source follows ingress selection.
+		from := target
+		if last := path.steps[len(path.steps)-1]; last.in != nil {
+			from = last.in.Addr
+		}
+		resp = Response{OK: true, From: from, IPID: e.nextIPID(r, path.exactIface)}
+	default:
+		return Response{}
+	}
+	resp.When = e.Now()
+	resp.RTT = e.pathRTT(path, resp.When)
+	e.mu.Lock()
+	e.stats.ResponsesRcv++
+	e.mu.Unlock()
+	return resp
+}
+
+// Reachable reports whether direct probes from vp can be delivered to
+// target at all (used by tests; a real prober learns this by probing).
+func (e *Engine) Reachable(vp *topo.VP, target netx.Addr) bool {
+	p := e.computePath(vp.Router, target)
+	return p.reached && p.exactIface != nil
+}
+
+// ---------------------------------------------------------------------------
+// IP-ID generation and rate limiting
+
+type ipidState struct {
+	base    uint16
+	bgRate  float64 // background increments per second (traffic the router sends)
+	sent    uint32
+	perIfc  map[netx.Addr]uint16
+	rndSeed uint32
+}
+
+// nextIPID draws the next IP-ID for a response from r on interface ifc
+// (ifc may be nil), per the router's IP-ID discipline.
+func (e *Engine) nextIPID(r *topo.Router, ifc *topo.Iface) uint16 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.ipid[r.ID]
+	if st == nil {
+		st = &ipidState{
+			base:    uint16(uint32(r.ID)*2654435761 + 17),
+			bgRate:  20 + float64(uint32(r.ID)%180),
+			perIfc:  make(map[netx.Addr]uint16),
+			rndSeed: uint32(r.ID)*2246822519 + 3,
+		}
+		e.ipid[r.ID] = st
+	}
+	switch r.Behavior.IPID {
+	case topo.IPIDShared:
+		// One central counter advanced by everything the router sends,
+		// including background traffic proportional to elapsed time.
+		bg := uint16(uint64(st.bgRate*e.now.Seconds()) & 0xffff)
+		st.sent++
+		return st.base + bg + uint16(st.sent)
+	case topo.IPIDPerIface:
+		key := netx.Addr(0)
+		if ifc != nil {
+			key = ifc.Addr
+		}
+		st.perIfc[key]++
+		bg := uint16(uint64(st.bgRate*e.now.Seconds()) & 0xffff)
+		return uint16(uint32(key)*40503) + bg + st.perIfc[key]
+	case topo.IPIDRandom:
+		st.rndSeed = st.rndSeed*1664525 + 1013904223
+		return uint16(st.rndSeed >> 16)
+	default: // IPIDZero
+		return 0
+	}
+}
+
+type rateState struct {
+	window int64 // second index
+	count  int
+}
+
+// allowResponse applies the router's ICMP rate limit.
+func (e *Engine) allowResponse(r *topo.Router) bool {
+	if r.Behavior.RateLimitPPS <= 0 {
+		return true
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.rate[r.ID]
+	if st == nil {
+		st = &rateState{}
+		e.rate[r.ID] = st
+	}
+	sec := int64(e.now / time.Second)
+	if st.window != sec {
+		st.window = sec
+		st.count = 0
+	}
+	if st.count >= r.Behavior.RateLimitPPS {
+		return false
+	}
+	st.count++
+	return true
+}

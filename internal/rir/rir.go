@@ -1,0 +1,189 @@
+// Package rir models the extended delegation files published by the five
+// Regional Internet Registries. bdrmap uses them (§5.2, §5.4.1) to
+// attribute address space that is delegated to an organization but not
+// originated in BGP: the files map address blocks to opaque organization
+// IDs that group the delegations of a single org without naming an AS.
+//
+// The package both serializes and parses the standard line format
+//
+//	registry|cc|ipv4|start|count|date|status|opaque-id
+//
+// so the dataset can round-trip through files exactly like real RIR data.
+package rir
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"bdrmap/internal/netx"
+	"bdrmap/internal/topo"
+)
+
+// Record is one delegation: an address range assigned to an organization.
+// Count follows RIR conventions and need not be a power of two.
+type Record struct {
+	Registry string
+	CC       string
+	Start    netx.Addr
+	Count    uint32
+	Date     string
+	Status   string
+	OrgID    string
+}
+
+// End returns the last address of the delegation.
+func (r Record) End() netx.Addr { return r.Start + netx.Addr(r.Count) - 1 }
+
+// Line renders the record in the extended delegation format.
+func (r Record) Line() string {
+	return strings.Join([]string{
+		r.Registry, r.CC, "ipv4", r.Start.String(),
+		strconv.FormatUint(uint64(r.Count), 10), r.Date, r.Status, r.OrgID,
+	}, "|")
+}
+
+// ParseLine parses one delegation line. Comment lines (#...), summary
+// lines, and non-ipv4 records return ok=false with a nil error.
+func ParseLine(line string) (Record, bool, error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return Record{}, false, nil
+	}
+	f := strings.Split(line, "|")
+	if len(f) >= 6 && f[5] == "summary" {
+		return Record{}, false, nil
+	}
+	if len(f) < 7 {
+		return Record{}, false, fmt.Errorf("rir: short line %q", line)
+	}
+	if f[2] != "ipv4" {
+		return Record{}, false, nil
+	}
+	start, err := netx.ParseAddr(f[3])
+	if err != nil {
+		return Record{}, false, fmt.Errorf("rir: bad start in %q: %v", line, err)
+	}
+	count, err := strconv.ParseUint(f[4], 10, 32)
+	if err != nil || count == 0 {
+		return Record{}, false, fmt.Errorf("rir: bad count in %q", line)
+	}
+	rec := Record{
+		Registry: f[0], CC: f[1], Start: start, Count: uint32(count),
+		Date: f[5], Status: f[6],
+	}
+	if len(f) >= 8 {
+		rec.OrgID = f[7]
+	}
+	return rec, true, nil
+}
+
+// DB is a queryable set of delegations.
+type DB struct {
+	recs []Record // sorted by Start
+}
+
+// FromNetwork builds the delegation dataset the synthetic world publishes.
+func FromNetwork(net *topo.Network) *DB {
+	db := &DB{}
+	for _, d := range net.Delegations {
+		db.recs = append(db.recs, Record{
+			Registry: "arin", CC: "US",
+			Start: d.Prefix.First(), Count: uint32(d.Prefix.NumAddrs()),
+			Date: "20160101", Status: "allocated", OrgID: d.OrgID,
+		})
+	}
+	db.normalize()
+	return db
+}
+
+// Parse reads delegation lines from r, skipping comments and summaries.
+func Parse(r io.Reader) (*DB, error) {
+	db := &DB{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		rec, ok, err := ParseLine(sc.Text())
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			db.recs = append(db.recs, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	db.normalize()
+	return db, nil
+}
+
+func (db *DB) normalize() {
+	sort.Slice(db.recs, func(i, j int) bool {
+		if db.recs[i].Start != db.recs[j].Start {
+			return db.recs[i].Start < db.recs[j].Start
+		}
+		// Smaller (more specific) delegations after larger ones so that
+		// OrgOf's scan prefers the most specific covering record.
+		return db.recs[i].Count > db.recs[j].Count
+	})
+}
+
+// WriteTo serializes the dataset.
+func (db *DB) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, r := range db.recs {
+		m, err := fmt.Fprintln(w, r.Line())
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Len returns the number of delegation records.
+func (db *DB) Len() int { return len(db.recs) }
+
+// OrgOf returns the organization holding the most specific delegation
+// covering addr.
+func (db *DB) OrgOf(addr netx.Addr) (string, bool) {
+	// Binary search to the last record with Start <= addr, then scan
+	// backwards through covering candidates keeping the smallest range.
+	i := sort.Search(len(db.recs), func(i int) bool { return db.recs[i].Start > addr })
+	bestCount := uint32(0)
+	org := ""
+	found := false
+	for j := i - 1; j >= 0; j-- {
+		r := db.recs[j]
+		if r.End() >= addr {
+			if !found || r.Count < bestCount {
+				org, bestCount, found = r.OrgID, r.Count, true
+			}
+		}
+		// Records start at or before addr; once ranges cannot reach addr
+		// anymore we can stop: ranges are bounded by the largest Count.
+		if addr-r.Start >= netx.Addr(maxCount) {
+			break
+		}
+	}
+	return org, found
+}
+
+// maxCount bounds the backward scan in OrgOf; delegations larger than a /8
+// do not occur.
+const maxCount = 1 << 24
+
+// Records returns a copy of all records.
+func (db *DB) Records() []Record {
+	return append([]Record(nil), db.recs...)
+}
+
+// SameOrg reports whether two addresses are delegated to one organization.
+func (db *DB) SameOrg(a, b netx.Addr) bool {
+	oa, oka := db.OrgOf(a)
+	ob, okb := db.OrgOf(b)
+	return oka && okb && oa == ob
+}

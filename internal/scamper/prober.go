@@ -1,0 +1,67 @@
+// Package scamper is the measurement driver of the system: the analogue of
+// the paper's scamper + bdrmap driver (§5.3, §5.8). It turns the public BGP
+// view into a probing plan (address blocks per target AS), runs Paris
+// traceroutes with a doubletree-style stop set and the up-to-five-addresses
+// retry rule, schedules alias resolution over the observed addresses, and
+// assembles everything into a Dataset the inference core consumes.
+//
+// Probing runs through a Prober interface with two implementations: a
+// local one wrapping the simulation engine directly, and a remote one that
+// forwards commands over a TCP control protocol to a thin agent running on
+// a resource-limited device, mirroring the paper's split where the device
+// only executes probes and the central system keeps all state.
+package scamper
+
+import (
+	"time"
+
+	"bdrmap/internal/alias"
+	"bdrmap/internal/netx"
+	"bdrmap/internal/probe"
+	"bdrmap/internal/topo"
+)
+
+// Prober executes measurements on behalf of the driver.
+type Prober interface {
+	// Name identifies the vantage point.
+	Name() string
+	// Trace runs a Paris traceroute toward dst, stopping early when a hop
+	// responds from an address in stopSet.
+	Trace(dst netx.Addr, stopSet map[netx.Addr]bool) probe.TraceResult
+	// Probe sends a single alias-resolution probe.
+	Probe(target netx.Addr, m probe.Method) probe.Response
+	// Advance moves measurement time forward (pacing).
+	Advance(d time.Duration)
+}
+
+// LocalProber runs measurements directly against the simulation engine.
+type LocalProber struct {
+	E  *probe.Engine
+	VP *topo.VP
+}
+
+// Name returns the vantage point name.
+func (p LocalProber) Name() string { return p.VP.Name }
+
+// Trace runs one traceroute.
+func (p LocalProber) Trace(dst netx.Addr, stopSet map[netx.Addr]bool) probe.TraceResult {
+	var stop func(netx.Addr) bool
+	if stopSet != nil {
+		stop = func(a netx.Addr) bool { return stopSet[a] }
+	}
+	res := p.E.Traceroute(p.VP, dst, stop)
+	// Pace at ~100 packets/second like the paper's deployments.
+	p.E.Advance(time.Duration(len(res.Hops)) * 10 * time.Millisecond)
+	return res
+}
+
+// Probe sends one probe.
+func (p LocalProber) Probe(target netx.Addr, m probe.Method) probe.Response {
+	return p.E.Probe(p.VP, target, m)
+}
+
+// Advance moves the simulated clock.
+func (p LocalProber) Advance(d time.Duration) { p.E.Advance(d) }
+
+var _ Prober = LocalProber{}
+var _ alias.ProbeSource = LocalProber{}

@@ -1,0 +1,388 @@
+package scamper
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"bdrmap/internal/netx"
+	"bdrmap/internal/probe"
+	"bdrmap/internal/topo"
+)
+
+// The remote control protocol (§5.8): resource-limited devices cannot hold
+// the IP-to-AS tables, stop sets, and alias state bdrmap needs (~150MB),
+// so the device runs only a thin probing agent (a few MB) that dials back
+// to the central system and executes probe commands it receives. Frames
+// are length-prefixed binary messages:
+//
+//	frame  := length(uint32) payload
+//	payload:= type(uint8) body
+//
+// The agent sends one hello carrying its vantage-point name, then answers
+// trace/probe/advance commands until bye.
+const (
+	msgHello    = 0x01
+	msgTraceReq = 0x02
+	msgTraceRsp = 0x03
+	msgProbeReq = 0x04
+	msgProbeRsp = 0x05
+	msgAdvance  = 0x06
+	msgAdvanced = 0x07
+	msgBye      = 0x08
+)
+
+// maxFrame bounds a frame; a trace command carrying a full stop set is the
+// largest message.
+const maxFrame = 1 << 20
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("scamper: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ---------------------------------------------------------------------------
+// Agent (device side)
+
+// Agent executes probe commands against a local engine on behalf of a
+// central controller. It keeps no measurement state beyond one in-flight
+// command, which is what lets it fit on a low-resource device.
+type Agent struct {
+	E  *probe.Engine
+	VP *topo.VP
+
+	mu       sync.Mutex
+	peakBuf  int
+	commands int64
+}
+
+// StateBytes reports the approximate measurement state held by the agent:
+// just its largest single command buffer.
+func (a *Agent) StateBytes() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peakBuf
+}
+
+// Commands returns how many commands the agent has executed.
+func (a *Agent) Commands() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.commands
+}
+
+func (a *Agent) note(bufLen int) {
+	a.mu.Lock()
+	if bufLen > a.peakBuf {
+		a.peakBuf = bufLen
+	}
+	a.commands++
+	a.mu.Unlock()
+}
+
+// Dial connects to the controller and serves commands until bye or error.
+func (a *Agent) Dial(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return a.ServeConn(conn)
+}
+
+// ServeConn runs the agent protocol over an established connection.
+func (a *Agent) ServeConn(conn net.Conn) error {
+	hello := make([]byte, 0, 2+len(a.VP.Name))
+	hello = append(hello, msgHello, byte(len(a.VP.Name)))
+	hello = append(hello, a.VP.Name...)
+	if err := writeFrame(conn, hello); err != nil {
+		return err
+	}
+	for {
+		req, err := readFrame(conn)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		a.note(len(req))
+		switch req[0] {
+		case msgTraceReq:
+			rsp, err := a.handleTrace(req)
+			if err != nil {
+				return err
+			}
+			a.note(len(rsp))
+			if err := writeFrame(conn, rsp); err != nil {
+				return err
+			}
+		case msgProbeReq:
+			if len(req) < 6 {
+				return fmt.Errorf("scamper: short probe request")
+			}
+			target := netx.Addr(binary.BigEndian.Uint32(req[1:5]))
+			m := probe.Method(req[5])
+			r := a.E.Probe(a.VP, target, m)
+			rsp := make([]byte, 24)
+			rsp[0] = msgProbeRsp
+			if r.OK {
+				rsp[1] = 1
+			}
+			binary.BigEndian.PutUint32(rsp[2:6], uint32(r.From))
+			binary.BigEndian.PutUint16(rsp[6:8], r.IPID)
+			binary.BigEndian.PutUint64(rsp[8:16], uint64(r.When))
+			binary.BigEndian.PutUint64(rsp[16:24], uint64(r.RTT))
+			if err := writeFrame(conn, rsp); err != nil {
+				return err
+			}
+		case msgAdvance:
+			if len(req) < 9 {
+				return fmt.Errorf("scamper: short advance request")
+			}
+			d := time.Duration(binary.BigEndian.Uint64(req[1:9]))
+			a.E.Advance(d)
+			if err := writeFrame(conn, []byte{msgAdvanced}); err != nil {
+				return err
+			}
+		case msgBye:
+			return nil
+		default:
+			return fmt.Errorf("scamper: unknown message type %#x", req[0])
+		}
+	}
+}
+
+func (a *Agent) handleTrace(req []byte) ([]byte, error) {
+	if len(req) < 7 {
+		return nil, fmt.Errorf("scamper: short trace request")
+	}
+	dst := netx.Addr(binary.BigEndian.Uint32(req[1:5]))
+	nStop := int(binary.BigEndian.Uint16(req[5:7]))
+	if len(req) < 7+4*nStop {
+		return nil, fmt.Errorf("scamper: truncated stop set")
+	}
+	stop := make(map[netx.Addr]bool, nStop)
+	for i := 0; i < nStop; i++ {
+		stop[netx.Addr(binary.BigEndian.Uint32(req[7+4*i:]))] = true
+	}
+	var stopFn func(netx.Addr) bool
+	if nStop > 0 {
+		stopFn = func(x netx.Addr) bool { return stop[x] }
+	}
+	res := a.E.Traceroute(a.VP, dst, stopFn)
+	a.E.Advance(time.Duration(len(res.Hops)) * 10 * time.Millisecond)
+
+	rsp := make([]byte, 0, 5+16*len(res.Hops))
+	rsp = append(rsp, msgTraceRsp, boolByte(res.Reached), boolByte(res.Stopped))
+	var n [2]byte
+	binary.BigEndian.PutUint16(n[:], uint16(len(res.Hops)))
+	rsp = append(rsp, n[:]...)
+	for _, h := range res.Hops {
+		var hop [16]byte
+		hop[0] = byte(h.TTL)
+		hop[1] = byte(h.Type)
+		binary.BigEndian.PutUint32(hop[2:6], uint32(h.Addr))
+		binary.BigEndian.PutUint16(hop[6:8], h.IPID)
+		binary.BigEndian.PutUint64(hop[8:16], uint64(h.RTT))
+		rsp = append(rsp, hop[:]...)
+	}
+	return rsp, nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// Controller (central side)
+
+// Controller accepts callback connections from agents.
+type Controller struct {
+	ln net.Listener
+}
+
+// Listen starts a controller on addr (use "127.0.0.1:0" for an ephemeral
+// port) — the central system of §5.8.
+func Listen(addr string) (*Controller, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{ln: ln}, nil
+}
+
+// Addr returns the listening address.
+func (c *Controller) Addr() string { return c.ln.Addr().String() }
+
+// Close stops accepting agents.
+func (c *Controller) Close() error { return c.ln.Close() }
+
+// Accept waits for one agent and returns a prober driving it.
+func (c *Controller) Accept() (*RemoteProber, error) {
+	conn, err := c.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	hello, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if len(hello) < 2 || hello[0] != msgHello || len(hello) < 2+int(hello[1]) {
+		conn.Close()
+		return nil, fmt.Errorf("scamper: bad hello")
+	}
+	name := string(hello[2 : 2+int(hello[1])])
+	return &RemoteProber{conn: conn, name: name}, nil
+}
+
+// RemoteProber drives a remote agent over its callback connection.
+// It is safe for concurrent use; commands are serialized.
+type RemoteProber struct {
+	conn net.Conn
+	name string
+
+	mu       sync.Mutex
+	bytesOut int64
+	bytesIn  int64
+	err      error
+}
+
+var _ Prober = (*RemoteProber)(nil)
+
+// Name returns the agent's vantage point name.
+func (p *RemoteProber) Name() string { return p.name }
+
+// BytesTransferred reports protocol traffic (out, in).
+func (p *RemoteProber) BytesTransferred() (out, in int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bytesOut, p.bytesIn
+}
+
+// Err returns the first transport error, if any.
+func (p *RemoteProber) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Close ends the session.
+func (p *RemoteProber) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_ = writeFrame(p.conn, []byte{msgBye})
+	return p.conn.Close()
+}
+
+// roundTrip sends one request and reads one response.
+func (p *RemoteProber) roundTrip(req []byte, wantType byte) []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err != nil {
+		return nil
+	}
+	if err := writeFrame(p.conn, req); err != nil {
+		p.err = err
+		return nil
+	}
+	p.bytesOut += int64(len(req) + 4)
+	rsp, err := readFrame(p.conn)
+	if err != nil {
+		p.err = err
+		return nil
+	}
+	p.bytesIn += int64(len(rsp) + 4)
+	if len(rsp) == 0 || rsp[0] != wantType {
+		p.err = fmt.Errorf("scamper: unexpected response type")
+		return nil
+	}
+	return rsp
+}
+
+// Trace runs a traceroute on the agent.
+func (p *RemoteProber) Trace(dst netx.Addr, stopSet map[netx.Addr]bool) probe.TraceResult {
+	req := make([]byte, 7, 7+4*len(stopSet))
+	req[0] = msgTraceReq
+	binary.BigEndian.PutUint32(req[1:5], uint32(dst))
+	binary.BigEndian.PutUint16(req[5:7], uint16(len(stopSet)))
+	for a := range stopSet {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], uint32(a))
+		req = append(req, b[:]...)
+	}
+	rsp := p.roundTrip(req, msgTraceRsp)
+	res := probe.TraceResult{VP: p.name, Dst: dst}
+	if rsp == nil || len(rsp) < 5 {
+		return res
+	}
+	res.Reached = rsp[1] == 1
+	res.Stopped = rsp[2] == 1
+	n := int(binary.BigEndian.Uint16(rsp[3:5]))
+	for i := 0; i < n && 5+16*(i+1) <= len(rsp); i++ {
+		h := rsp[5+16*i:]
+		res.Hops = append(res.Hops, probe.Hop{
+			TTL:  int(h[0]),
+			Type: probe.HopType(h[1]),
+			Addr: netx.Addr(binary.BigEndian.Uint32(h[2:6])),
+			IPID: binary.BigEndian.Uint16(h[6:8]),
+			RTT:  time.Duration(binary.BigEndian.Uint64(h[8:16])),
+		})
+	}
+	return res
+}
+
+// Probe sends one alias-resolution probe via the agent.
+func (p *RemoteProber) Probe(target netx.Addr, m probe.Method) probe.Response {
+	req := make([]byte, 6)
+	req[0] = msgProbeReq
+	binary.BigEndian.PutUint32(req[1:5], uint32(target))
+	req[5] = byte(m)
+	rsp := p.roundTrip(req, msgProbeRsp)
+	if rsp == nil || len(rsp) < 24 {
+		return probe.Response{}
+	}
+	return probe.Response{
+		OK:   rsp[1] == 1,
+		From: netx.Addr(binary.BigEndian.Uint32(rsp[2:6])),
+		IPID: binary.BigEndian.Uint16(rsp[6:8]),
+		When: time.Duration(binary.BigEndian.Uint64(rsp[8:16])),
+		RTT:  time.Duration(binary.BigEndian.Uint64(rsp[16:24])),
+	}
+}
+
+// Advance moves the agent's measurement clock.
+func (p *RemoteProber) Advance(d time.Duration) {
+	req := make([]byte, 9)
+	req[0] = msgAdvance
+	binary.BigEndian.PutUint64(req[1:9], uint64(d))
+	p.roundTrip(req, msgAdvanced)
+}

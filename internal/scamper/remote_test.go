@@ -1,0 +1,203 @@
+package scamper
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"bdrmap/internal/bgp"
+	"bdrmap/internal/probe"
+	"bdrmap/internal/topo"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte{msgProbeReq, 1, 2, 3, 4, 0}
+	if err := writeFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: %v != %v", got, payload)
+	}
+}
+
+func TestReadFrameRejectsBadLengths(t *testing.T) {
+	// Zero-length frame.
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0})
+	if _, err := readFrame(&buf); err == nil {
+		t.Error("zero-length frame accepted")
+	}
+	// Oversized frame.
+	buf.Reset()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], maxFrame+1)
+	buf.Write(hdr[:])
+	if _, err := readFrame(&buf); err == nil {
+		t.Error("oversized frame accepted")
+	}
+	// Truncated payload.
+	buf.Reset()
+	binary.BigEndian.PutUint32(hdr[:], 10)
+	buf.Write(hdr[:])
+	buf.Write([]byte{1, 2, 3})
+	if _, err := readFrame(&buf); err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated payload: err = %v", err)
+	}
+}
+
+func agentWorld(t *testing.T) *Agent {
+	t.Helper()
+	n := topo.Generate(topo.TinyProfile(), 1)
+	return &Agent{E: probe.New(n, bgp.NewTable(n)), VP: n.VPs[0]}
+}
+
+// serveConnPair runs the agent on one end of a pipe and returns the test's
+// end after consuming the hello.
+func serveConnPair(t *testing.T, a *Agent) (net.Conn, chan error) {
+	t.Helper()
+	client, server := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- a.ServeConn(server) }()
+	hello, err := readFrame(client)
+	if err != nil || hello[0] != msgHello {
+		t.Fatalf("bad hello: %v %v", hello, err)
+	}
+	return client, done
+}
+
+func TestAgentRejectsUnknownMessage(t *testing.T) {
+	a := agentWorld(t)
+	client, done := serveConnPair(t, a)
+	defer client.Close()
+	if err := writeFrame(client, []byte{0x7f}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("agent accepted unknown message type")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("agent hung on unknown message")
+	}
+}
+
+func TestAgentRejectsShortRequests(t *testing.T) {
+	for _, req := range [][]byte{
+		{msgProbeReq, 1},                // short probe
+		{msgTraceReq, 1, 2},             // short trace
+		{msgAdvance, 1, 2, 3},           // short advance
+		{msgTraceReq, 0, 0, 0, 1, 0, 9}, // stop-set count larger than payload
+	} {
+		a := agentWorld(t)
+		client, done := serveConnPair(t, a)
+		if err := writeFrame(client, req); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Errorf("agent accepted malformed request %v", req)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("agent hung on %v", req)
+		}
+		client.Close()
+	}
+}
+
+func TestAgentCleanShutdownOnBye(t *testing.T) {
+	a := agentWorld(t)
+	client, done := serveConnPair(t, a)
+	defer client.Close()
+	if err := writeFrame(client, []byte{msgBye}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("bye produced error: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("agent hung on bye")
+	}
+}
+
+func TestAgentCleanShutdownOnEOF(t *testing.T) {
+	a := agentWorld(t)
+	client, done := serveConnPair(t, a)
+	client.Close()
+	select {
+	case err := <-done:
+		if err != nil && err != io.EOF {
+			t.Fatalf("EOF produced unexpected error: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("agent hung on EOF")
+	}
+}
+
+func TestControllerRejectsBadHello(t *testing.T) {
+	ctrl, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	go func() {
+		conn, err := net.Dial("tcp", ctrl.Addr())
+		if err != nil {
+			return
+		}
+		writeFrame(conn, []byte{msgProbeReq, 0, 0, 0, 0, 0}) // not a hello
+		conn.Close()
+	}()
+	if _, err := ctrl.Accept(); err == nil {
+		t.Fatal("controller accepted a session without hello")
+	}
+}
+
+func TestRemoteProberConcurrentUse(t *testing.T) {
+	n := topo.Generate(topo.TinyProfile(), 2)
+	e := probe.New(n, bgp.NewTable(n))
+	ctrl, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	agent := &Agent{E: e, VP: n.VPs[0]}
+	go agent.Dial(ctrl.Addr())
+	rp, err := ctrl.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rp.Close()
+
+	// Hammer the session from several goroutines; the prober must
+	// serialize commands without interleaving frames.
+	tab := bgp.NewTable(n)
+	prefixes := tab.Prefixes()
+	errc := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 20; i++ {
+				p := prefixes[(g*20+i)%len(prefixes)]
+				rp.Trace(p.First()+1, nil)
+				rp.Probe(p.First()+1, probe.MethodICMPEcho)
+			}
+			errc <- rp.Err()
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-errc; err != nil {
+			t.Fatalf("transport error under concurrency: %v", err)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package scamper
+
+import (
+	"testing"
+
+	"bdrmap/internal/bgp"
+	"bdrmap/internal/netx"
+	"bdrmap/internal/probe"
+	"bdrmap/internal/topo"
+)
+
+func setup(t *testing.T, seed int64) (*topo.Network, *probe.Engine, *bgp.View, map[topo.ASN]bool) {
+	t.Helper()
+	n := topo.Generate(topo.TinyProfile(), seed)
+	tab := bgp.NewTable(n)
+	view := bgp.Collect(tab, bgp.DefaultVantages(n))
+	e := probe.New(n, tab)
+	hosts := map[topo.ASN]bool{n.HostASN: true}
+	for _, s := range n.Siblings(n.HostASN) {
+		hosts[s] = true
+	}
+	return n, e, view, hosts
+}
+
+func TestTargetsExcludeHost(t *testing.T) {
+	n, _, view, hosts := setup(t, 1)
+	targets := Targets(view, hosts)
+	if len(targets) == 0 {
+		t.Fatal("no targets")
+	}
+	for _, tg := range targets {
+		if hosts[tg.AS] {
+			t.Fatalf("host AS %v in target list", tg.AS)
+		}
+		if len(tg.Blocks) == 0 {
+			t.Fatalf("target %v has no blocks", tg.AS)
+		}
+	}
+	_ = n
+}
+
+func TestTargetsCarveMoreSpecifics(t *testing.T) {
+	_, _, view, hosts := setup(t, 2)
+	targets := Targets(view, hosts)
+	// No block may contain a more-specific routed prefix's space.
+	routed := view.RoutedPrefixes()
+	for _, tg := range targets {
+		for _, b := range tg.Blocks {
+			for _, p := range routed {
+				if origins := view.OriginsExact(p); len(origins) == 1 && origins[0] == tg.AS {
+					continue
+				}
+				if b.Contains(p.First()) && b.Contains(p.Last()) && p.NumAddrs() < b.NumAddrs() {
+					t.Fatalf("block %v-%v of %v swallows routed prefix %v", b.First, b.Last, tg.AS, p)
+				}
+			}
+		}
+	}
+}
+
+func runDriver(t *testing.T, seed int64, cfg Config) (*Dataset, *topo.Network, *probe.Engine) {
+	t.Helper()
+	n, e, view, hosts := setup(t, seed)
+	d := &Driver{
+		View:     view,
+		Prober:   LocalProber{E: e, VP: n.VPs[0]},
+		HostASNs: hosts,
+		Cfg:      cfg,
+	}
+	return d.Run(), n, e
+}
+
+func TestDriverRunProducesTraces(t *testing.T) {
+	ds, _, _ := runDriver(t, 3, Config{})
+	if ds.Stats.Traces == 0 || ds.Stats.HopsObserved == 0 {
+		t.Fatalf("stats = %+v", ds.Stats)
+	}
+	if ds.Stats.AddrsObserved == 0 {
+		t.Fatal("no addresses observed")
+	}
+	if ds.Graph == nil || ds.Resolver == nil {
+		t.Fatal("alias results missing")
+	}
+}
+
+func TestStopSetReducesWork(t *testing.T) {
+	with, _, eWith := runDriver(t, 4, Config{Workers: 1})
+	without, _, eWithout := runDriver(t, 4, Config{Workers: 1, DisableStopSet: true})
+	if with.Stats.TracesStopped == 0 {
+		t.Error("stop set never fired")
+	}
+	if without.Stats.TracesStopped != 0 {
+		t.Error("disabled stop set still stopped traces")
+	}
+	if eWith.Stats().PacketsSent >= eWithout.Stats().PacketsSent {
+		t.Errorf("stop set did not reduce packets: %d vs %d",
+			eWith.Stats().PacketsSent, eWithout.Stats().PacketsSent)
+	}
+}
+
+func TestDisableAliasSkipsResolution(t *testing.T) {
+	ds, _, _ := runDriver(t, 5, Config{DisableAlias: true})
+	if ds.Stats.AliasPairsRun != 0 {
+		t.Fatalf("alias pairs run = %d with aliasing disabled", ds.Stats.AliasPairsRun)
+	}
+	if len(ds.Graph.Sets()) != 0 {
+		t.Fatal("alias graph should be empty")
+	}
+}
+
+func TestAliasGraphNoFalseMerges(t *testing.T) {
+	ds, n, _ := runDriver(t, 6, Config{Workers: 1})
+	for _, set := range ds.Graph.Sets() {
+		owner := topo.RouterID(-1)
+		for _, a := range set {
+			ifc := n.IfaceByAddr(a)
+			if ifc == nil {
+				continue
+			}
+			if owner < 0 {
+				owner = ifc.Router
+			} else if ifc.Router != owner {
+				t.Fatalf("alias set %v spans routers %d and %d", set, owner, ifc.Router)
+			}
+		}
+	}
+}
+
+func TestDriverDeterministicSequential(t *testing.T) {
+	a, _, _ := runDriver(t, 7, Config{Workers: 1})
+	b, _, _ := runDriver(t, 7, Config{Workers: 1})
+	if a.Stats != b.Stats {
+		t.Fatalf("stats differ: %+v vs %+v", a.Stats, b.Stats)
+	}
+	if len(a.Traces) != len(b.Traces) {
+		t.Fatalf("trace counts differ")
+	}
+	for i := range a.Traces {
+		if a.Traces[i].Dst != b.Traces[i].Dst || len(a.Traces[i].Hops) != len(b.Traces[i].Hops) {
+			t.Fatalf("trace %d differs", i)
+		}
+	}
+}
+
+func TestRemoteAgentRoundTrip(t *testing.T) {
+	n, e, view, hosts := setup(t, 8)
+
+	ctrl, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	agent := &Agent{E: e, VP: n.VPs[0]}
+	done := make(chan error, 1)
+	go func() { done <- agent.Dial(ctrl.Addr()) }()
+
+	rp, err := ctrl.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Name() != n.VPs[0].Name {
+		t.Fatalf("agent name = %q", rp.Name())
+	}
+
+	// Remote and local traces must agree.
+	local := LocalProber{E: e, VP: n.VPs[0]}
+	dst := view.RoutedPrefixes()[len(view.RoutedPrefixes())-1].First() + 1
+	lt := local.Trace(dst, nil)
+	rt := rp.Trace(dst, nil)
+	if len(lt.Hops) != len(rt.Hops) {
+		t.Fatalf("hop counts differ: %d vs %d", len(lt.Hops), len(rt.Hops))
+	}
+	for i := range lt.Hops {
+		if lt.Hops[i].Addr != rt.Hops[i].Addr || lt.Hops[i].Type != rt.Hops[i].Type {
+			t.Fatalf("hop %d differs: %+v vs %+v", i, lt.Hops[i], rt.Hops[i])
+		}
+	}
+
+	// Stop sets work over the wire.
+	if len(lt.Hops) > 1 && lt.Hops[0].Type == probe.HopTimeExceeded {
+		stopped := rp.Trace(dst, map[netx.Addr]bool{lt.Hops[0].Addr: true})
+		if !stopped.Stopped || len(stopped.Hops) != 1 {
+			t.Fatalf("remote stop set failed: %+v", stopped)
+		}
+	}
+
+	// Probes work over the wire.
+	target := lt.Hops[0].Addr
+	if !target.IsZero() {
+		lr := local.Probe(target, probe.MethodICMPEcho)
+		rr := rp.Probe(target, probe.MethodICMPEcho)
+		if lr.OK != rr.OK || lr.From != rr.From {
+			t.Fatalf("probe mismatch: %+v vs %+v", lr, rr)
+		}
+	}
+
+	out, in := rp.BytesTransferred()
+	if out == 0 || in == 0 {
+		t.Fatal("no protocol traffic recorded")
+	}
+	if agent.StateBytes() > 1<<20 {
+		t.Fatalf("agent state too large: %d", agent.StateBytes())
+	}
+
+	rp.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("agent exited with error: %v", err)
+	}
+	_ = hosts
+}
+
+func TestRemoteFullDriverRun(t *testing.T) {
+	n, e, view, hosts := setup(t, 9)
+	ctrl, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	agent := &Agent{E: e, VP: n.VPs[0]}
+	go agent.Dial(ctrl.Addr())
+	rp, err := ctrl.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rp.Close()
+
+	d := &Driver{View: view, Prober: rp, HostASNs: hosts, Cfg: Config{Workers: 2}}
+	ds := d.Run()
+	if ds.Stats.Traces == 0 || ds.Stats.AddrsObserved == 0 {
+		t.Fatalf("remote run produced nothing: %+v", ds.Stats)
+	}
+	if err := rp.Err(); err != nil {
+		t.Fatalf("transport error: %v", err)
+	}
+	if agent.Commands() == 0 {
+		t.Fatal("agent executed no commands")
+	}
+}

@@ -1,0 +1,117 @@
+package sibling
+
+import (
+	"testing"
+
+	"bdrmap/internal/topo"
+)
+
+func TestSameOrgBasic(t *testing.T) {
+	s := New([]OrgRecord{
+		{ASN: 1, OrgID: "org-a"},
+		{ASN: 2, OrgID: "org-a"},
+		{ASN: 3, OrgID: "org-b"},
+	})
+	if !s.SameOrg(1, 2) {
+		t.Error("1 and 2 share an org")
+	}
+	if s.SameOrg(1, 3) {
+		t.Error("1 and 3 do not share an org")
+	}
+	if !s.SameOrg(5, 5) {
+		t.Error("an AS is its own sibling")
+	}
+	if s.SameOrg(5, 6) {
+		t.Error("unknown ASes are not siblings")
+	}
+}
+
+func TestManualOverrides(t *testing.T) {
+	s := New([]OrgRecord{
+		{ASN: 1, OrgID: "org-a"},
+		{ASN: 2, OrgID: "org-a"},
+		{ASN: 3, OrgID: "org-b"},
+	})
+	s.Remove(1, 2)
+	if s.SameOrg(1, 2) {
+		t.Error("removed pair still siblings")
+	}
+	s.Add(1, 3)
+	if !s.SameOrg(1, 3) {
+		t.Error("added pair not siblings")
+	}
+	// Add then remove toggles cleanly.
+	s.Remove(1, 3)
+	if s.SameOrg(1, 3) {
+		t.Error("re-removed pair still siblings")
+	}
+	s.Add(2, 1)
+	if !s.SameOrg(1, 2) {
+		t.Error("Add must be order-insensitive")
+	}
+}
+
+func TestSiblingsOf(t *testing.T) {
+	s := New([]OrgRecord{
+		{ASN: 1, OrgID: "org-a"},
+		{ASN: 2, OrgID: "org-a"},
+		{ASN: 4, OrgID: "org-a"},
+	})
+	s.Add(1, 9)
+	got := s.SiblingsOf(1)
+	want := []topo.ASN{2, 4, 9}
+	if len(got) != len(want) {
+		t.Fatalf("SiblingsOf = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SiblingsOf = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCurateHostMatchesTruth(t *testing.T) {
+	n := topo.Generate(topo.LargeAccessProfile(), 3)
+	// Try several WHOIS seeds; curation must always converge to truth.
+	for seed := int64(0); seed < 5; seed++ {
+		s := FromNetwork(n, seed)
+		s.CurateHost(n)
+		truth := map[topo.ASN]bool{}
+		for _, sib := range n.Siblings(n.HostASN) {
+			if sib != n.HostASN {
+				truth[sib] = true
+			}
+		}
+		got := s.SiblingsOf(n.HostASN)
+		gotSet := map[topo.ASN]bool{}
+		for _, g := range got {
+			gotSet[g] = true
+			if !truth[g] {
+				t.Fatalf("seed %d: spurious sibling %v survived curation", seed, g)
+			}
+		}
+		for tr := range truth {
+			if !gotSet[tr] {
+				t.Fatalf("seed %d: missing sibling %v after curation", seed, tr)
+			}
+		}
+	}
+}
+
+func TestFromNetworkInjectsDefects(t *testing.T) {
+	n := topo.Generate(topo.LargeAccessProfile(), 3)
+	missing, spurious := false, false
+	for seed := int64(0); seed < 10 && !(missing && spurious); seed++ {
+		s := FromNetwork(n, seed)
+		for _, asn := range n.ASNs() {
+			if _, ok := s.org[asn]; !ok {
+				missing = true
+			} else if s.org[asn] != n.ASes[asn].Org {
+				spurious = true
+			}
+		}
+	}
+	if !missing || !spurious {
+		t.Errorf("defect injection: missing=%v spurious=%v", missing, spurious)
+	}
+}

@@ -1,0 +1,50 @@
+package topo
+
+// Region is a geographic point of presence of the host network. The paper's
+// figures 15 and 16 study how VP longitude determines which interdomain
+// links a VP can observe under hot-potato routing, so the synthetic host
+// network is laid out across named US metros with real longitudes.
+type Region struct {
+	Name      string
+	Longitude float64
+}
+
+// USRegions is the default continental-US backbone footprint, west to east.
+var USRegions = []Region{
+	{"sea", -122.3},
+	{"sjc", -121.9},
+	{"lax", -118.2},
+	{"slc", -111.9},
+	{"den", -104.9},
+	{"dfw", -96.8},
+	{"hou", -95.4},
+	{"chi", -87.6},
+	{"atl", -84.4},
+	{"mia", -80.2},
+	{"dca", -77.0},
+	{"nyc", -74.0},
+	{"bos", -71.1},
+}
+
+// RegionsN returns the first n of USRegions (cycling if n exceeds the list,
+// which keeps small test profiles valid).
+func RegionsN(n int) []Region {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Region, n)
+	for i := range out {
+		out[i] = USRegions[i%len(USRegions)]
+	}
+	return out
+}
+
+// geoDist is the IGP-style distance between two longitudes. Hot-potato
+// egress selection minimizes this.
+func geoDist(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d
+}

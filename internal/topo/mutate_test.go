@@ -1,0 +1,133 @@
+package topo
+
+import "testing"
+
+func hostBorderOf(n *Network) RouterID {
+	for _, lt := range n.InterdomainLinks(n.HostASN) {
+		return lt.NearRtr
+	}
+	return -1
+}
+
+func TestAttachCustomer(t *testing.T) {
+	n := Generate(TinyProfile(), 1)
+	before := len(n.InterdomainLinks(n.HostASN))
+	br := hostBorderOf(n)
+	asn, err := AttachCustomer(n, br, 65500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Build()
+	if got := len(n.InterdomainLinks(n.HostASN)); got != before+1 {
+		t.Fatalf("links = %d, want %d", got, before+1)
+	}
+	found := false
+	for _, nb := range n.TrueNeighbors(n.HostASN) {
+		if nb.ASN == asn && nb.Rel == RelCustomer {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("new customer missing from neighbor set")
+	}
+	c := n.ASes[asn]
+	if len(c.Prefixes) != 1 || len(c.Routers) != 2 {
+		t.Fatalf("customer shape: %d prefixes, %d routers", len(c.Prefixes), len(c.Routers))
+	}
+}
+
+func TestAttachCustomerErrors(t *testing.T) {
+	n := Generate(TinyProfile(), 1)
+	br := hostBorderOf(n)
+	if _, err := AttachCustomer(n, br, n.HostASN); err == nil {
+		t.Error("duplicate ASN accepted")
+	}
+	if _, err := AttachCustomer(n, -5, 65501); err == nil {
+		t.Error("bad router accepted")
+	}
+	// A neighbor's router is not a valid attachment point.
+	var farRtr RouterID = -1
+	for _, lt := range n.InterdomainLinks(n.HostASN) {
+		farRtr = lt.FarRtr
+	}
+	if _, err := AttachCustomer(n, farRtr, 65502); err == nil {
+		t.Error("non-host router accepted")
+	}
+	hand := NewNetwork()
+	hand.AddAS(1, TierStub, "x")
+	hand.HostASN = 1
+	r := hand.AddRouter(1, "r", 0)
+	if _, err := AttachCustomer(hand, r.ID, 65503); err == nil {
+		t.Error("allocator-less network accepted")
+	}
+}
+
+func TestAttachPeer(t *testing.T) {
+	n := Generate(TinyProfile(), 1)
+	br := hostBorderOf(n)
+	// Any backbone Tier-1 serves as the peer's transit.
+	var transit ASN
+	for _, asn := range n.ASNs() {
+		if n.ASes[asn].Tier == TierTier1 && len(n.ASes[asn].Routers) > 0 {
+			transit = asn
+			break
+		}
+	}
+	if transit == 0 {
+		t.Fatal("no tier1 transit available")
+	}
+	asn, err := AttachPeer(n, br, 65510, transit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Build()
+	if n.ASes[n.HostASN].RelTo(asn) != RelPeer {
+		t.Fatal("peer relationship missing")
+	}
+	found := false
+	for _, lt := range n.InterdomainLinks(n.HostASN) {
+		if lt.FarAS == asn {
+			found = true
+			if lt.Link.AddrOwner != asn {
+				t.Errorf("peering subnet owner = %v, want the peer", lt.Link.AddrOwner)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("peering link missing")
+	}
+	if _, err := AttachPeer(n, br, 65510, transit); err == nil {
+		t.Error("duplicate ASN accepted")
+	}
+	if _, err := AttachPeer(n, br, 65511, 1); err == nil {
+		t.Error("unknown transit accepted")
+	}
+}
+
+func TestDepeer(t *testing.T) {
+	n := Generate(TinyProfile(), 1)
+	var victim ASN
+	for _, lt := range n.InterdomainLinks(n.HostASN) {
+		victim = lt.FarAS
+		break
+	}
+	before := len(n.InterdomainLinks(n.HostASN))
+	removed := Depeer(n, victim)
+	if removed == 0 {
+		t.Fatal("nothing removed")
+	}
+	n.Build()
+	after := len(n.InterdomainLinks(n.HostASN))
+	if after != before-removed {
+		t.Fatalf("links %d -> %d, removed %d", before, after, removed)
+	}
+	for _, lt := range n.InterdomainLinks(n.HostASN) {
+		if lt.FarAS == victim {
+			t.Fatal("victim still attached")
+		}
+	}
+	// Idempotent.
+	if Depeer(n, victim) != 0 {
+		t.Fatal("second depeer removed more")
+	}
+}

@@ -1,0 +1,398 @@
+package topo
+
+// Visibility is the response archetype of a neighbor network: how much of
+// the neighbor a traceroute entering it can observe, and which addressing
+// convention its interconnection uses. Each archetype is constructed so
+// that a specific bdrmap heuristic (§5.4) is the one that must identify the
+// neighbor's border router; Table 1 of the paper reports how often each
+// heuristic fired per neighbor class, which the generator's mixes reproduce.
+type Visibility int8
+
+// Visibility archetypes.
+const (
+	// VisFirewall: interconnection numbered from the host network's space;
+	// the neighbor border answers with that (host-space) address and
+	// firewalls everything deeper (§5.4.2).
+	VisFirewall Visibility = iota
+
+	// VisFirewallOwnSpace: like VisFirewall but the subnet comes from the
+	// neighbor's own space, so plain IP-AS mapping suffices (§5.4.6 "IP-AS").
+	VisFirewallOwnSpace
+
+	// VisOneHop: host-space interconnection; exactly one router inside the
+	// neighbor responds before a firewall. Identified via AS relationships
+	// (§5.4.5 step 5.3) or, when the neighbor is invisible in BGP, the
+	// hidden-peer step 5.5.
+	VisOneHop
+
+	// VisOnenet: two or more consecutive responding routers inside the
+	// neighbor (§5.4.4 "onenet").
+	VisOnenet
+
+	// VisUnrouted: the neighbor numbers its internal routers from
+	// unannounced space (§5.4.3).
+	VisUnrouted
+
+	// VisThirdParty: the interconnection subnet is provider-aggregatable
+	// space from the neighbor's *other* provider, so the neighbor border
+	// answers with a third-party address (§5.4.5 steps 5.1/5.2).
+	VisThirdParty
+
+	// VisSilent: the neighbor never sends any ICMP; bdrmap can only place
+	// the interconnection at the host border router (§5.4.8 step 8.1).
+	VisSilent
+
+	// VisEchoOnly: no TTL-expired messages, but destinations answer echo
+	// requests (§5.4.8 step 8.2).
+	VisEchoOnly
+
+	// VisMixedAdj: the neighbor border leads to interfaces in several ASes
+	// (it is itself a border to further networks); inferred by counting
+	// adjacent interfaces per AS (§5.4.6 step 6.1).
+	VisMixedAdj
+
+	// VisMultiAdj: the neighbor is multihomed to the host with adjacent
+	// routers numbered from host space (§5.4.1 step 1.1).
+	VisMultiAdj
+
+	// VisSiblingUpstream: the neighbor's internal links are numbered from
+	// its own customer's space (sibling organizations sharing space),
+	// exercising §5.4.5 step 5.4 ("missing customer").
+	VisSiblingUpstream
+)
+
+var visNames = map[Visibility]string{
+	VisFirewall:         "firewall",
+	VisFirewallOwnSpace: "firewall-own-space",
+	VisOneHop:           "one-hop",
+	VisOnenet:           "onenet",
+	VisUnrouted:         "unrouted",
+	VisThirdParty:       "third-party",
+	VisSilent:           "silent",
+	VisEchoOnly:         "echo-only",
+	VisMixedAdj:         "mixed-adjacent",
+	VisMultiAdj:         "multihomed-adjacent",
+	VisSiblingUpstream:  "sibling-upstream",
+}
+
+func (v Visibility) String() string {
+	if s, ok := visNames[v]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// VisMix is a weighted distribution over visibility archetypes.
+type VisMix []VisWeight
+
+// VisWeight is one entry of a VisMix.
+type VisWeight struct {
+	Vis Visibility
+	W   float64
+}
+
+// Profile describes one evaluation scenario: the shape of the host network
+// and its surrounding synthetic Internet. The four predefined profiles
+// mirror the four validation networks of §5.6 plus the measurement
+// deployment of §6.
+type Profile struct {
+	Name     string
+	HostTier Tier
+
+	// Host network shape.
+	NumRegions       int // geographic PoPs
+	BordersPerRegion int
+	NumVPs           int
+	HostSiblings     int // extra ASNs in the host organization
+
+	// Neighbor counts by class (BGP-visible).
+	NumProviders int
+	NumPeers     int
+	NumCustomers int
+
+	// BigPeerLinkCounts gives the number of interdomain links for the
+	// first len() peers (e.g. the 45-link Tier-1 peer of §6); remaining
+	// peers get 1-3 links.
+	BigPeerLinkCounts []int
+
+	// CDN peers with selective-announcement policies (for figures 15/16).
+	CDNs []CDNSpec
+
+	// Customer structure.
+	CustTransitFrac float64 // fraction of customers with their own customers
+	CustMaxChildren int
+
+	// IXPs the host participates in, and route-server peers per IXP
+	// (these are the "trace"-only neighbors of Table 1).
+	NumIXPs        int
+	IXPPeersPerIXP int
+
+	// DistantPerTransit content ASes hang off each provider/big peer, so
+	// traceroutes toward them exercise provider and peer border routers.
+	DistantPerTransit int
+
+	// Visibility mixes per neighbor class.
+	CustVis, PeerVis, ProvVis, IXPVis VisMix
+
+	// MOASPairs co-originate a prefix from two ASes (§4 challenge 7).
+	MOASPairs int
+
+	// PADelegations is the number of customers whose announced prefix is
+	// carved from the host's block (provider-aggregatable space).
+	PADelegations int
+}
+
+// CDNSpec describes a CDN peer with a per-prefix announcement policy.
+type CDNSpec struct {
+	Name       string
+	Links      int // number of interconnection links with the host
+	Prefixes   int
+	Policy     AnnouncePolicy
+	Visibility Visibility
+}
+
+// Default visibility mixes, tuned to reproduce the row shape of Table 1.
+func defaultCustVis() VisMix {
+	return VisMix{
+		{VisFirewall, 0.56},
+		{VisOneHop, 0.22},
+		{VisOnenet, 0.05},
+		{VisSilent, 0.055},
+		{VisEchoOnly, 0.015},
+		{VisThirdParty, 0.02},
+		{VisUnrouted, 0.01},
+		{VisMixedAdj, 0.02},
+		{VisFirewallOwnSpace, 0.02},
+		{VisMultiAdj, 0.01},
+		{VisSiblingUpstream, 0.01},
+	}
+}
+
+func defaultPeerVis() VisMix {
+	return VisMix{
+		{VisOnenet, 0.39},
+		{VisOneHop, 0.38},
+		{VisFirewall, 0.06},
+		{VisMixedAdj, 0.07},
+		{VisSilent, 0.04},
+		{VisUnrouted, 0.03},
+		{VisFirewallOwnSpace, 0.02},
+		{VisEchoOnly, 0.01},
+	}
+}
+
+func defaultProvVis() VisMix {
+	return VisMix{
+		{VisOnenet, 0.85},
+		{VisMixedAdj, 0.08},
+		{VisFirewallOwnSpace, 0.07},
+	}
+}
+
+func defaultIXPVis() VisMix {
+	return VisMix{
+		{VisFirewall, 0.37},
+		{VisOnenet, 0.27},
+		{VisOneHop, 0.24},
+		{VisThirdParty, 0.05},
+		{VisUnrouted, 0.04},
+		{VisEchoOnly, 0.03},
+	}
+}
+
+func (p Profile) withDefaults() Profile {
+	if p.CustVis == nil {
+		p.CustVis = defaultCustVis()
+	}
+	if p.PeerVis == nil {
+		p.PeerVis = defaultPeerVis()
+	}
+	if p.ProvVis == nil {
+		p.ProvVis = defaultProvVis()
+	}
+	if p.IXPVis == nil {
+		p.IXPVis = defaultIXPVis()
+	}
+	if p.NumRegions <= 0 {
+		p.NumRegions = 1
+	}
+	if p.BordersPerRegion <= 0 {
+		p.BordersPerRegion = 1
+	}
+	if p.NumVPs <= 0 {
+		p.NumVPs = 1
+	}
+	if p.CustMaxChildren < 0 {
+		p.CustMaxChildren = 0
+	}
+	return p
+}
+
+// REProfile models the research-and-education network of §5.6: 17 routers,
+// 48 BGP neighbor ASes, presence at three IXPs.
+func REProfile() Profile {
+	return Profile{
+		Name:              "r&e",
+		HostTier:          TierRE,
+		NumRegions:        4,
+		BordersPerRegion:  2,
+		NumVPs:            1,
+		NumProviders:      1,
+		NumPeers:          2,
+		NumCustomers:      30,
+		NumIXPs:           3,
+		IXPPeersPerIXP:    28,
+		CustTransitFrac:   0.2,
+		CustMaxChildren:   2,
+		DistantPerTransit: 30,
+		MOASPairs:         1,
+		PADelegations:     2,
+	}
+}
+
+// LargeAccessProfile models the large U.S. access network of §5.6/§6 at a
+// laptop-tractable scale: the class ratios (652 cust / 26 peer / 5 prov)
+// are preserved at roughly one-third scale.
+func LargeAccessProfile() Profile {
+	return Profile{
+		Name:             "large-access",
+		HostTier:         TierAccess,
+		NumRegions:       13,
+		BordersPerRegion: 3,
+		NumVPs:           19,
+		HostSiblings:     2,
+		NumProviders:     5,
+		NumPeers:         26,
+		NumCustomers:     217, // ≈652/3
+		BigPeerLinkCounts: []int{
+			45, // the Level3-like Tier-1 peer of §6
+			24, // a second large transit peer
+		},
+		CDNs: []CDNSpec{
+			{Name: "akamai-like", Links: 16, Prefixes: 48, Policy: AnnouncePinned, Visibility: VisOnenet},
+			{Name: "google-like", Links: 10, Prefixes: 30, Policy: AnnounceCoastal, Visibility: VisOnenet},
+			{Name: "cdn-c", Links: 8, Prefixes: 24, Policy: AnnounceEverywhere, Visibility: VisOnenet},
+			{Name: "cdn-d", Links: 6, Prefixes: 16, Policy: AnnouncePinned, Visibility: VisOneHop},
+			{Name: "cdn-e", Links: 4, Prefixes: 12, Policy: AnnounceEverywhere, Visibility: VisOneHop},
+		},
+		CustTransitFrac:   0.15,
+		CustMaxChildren:   3,
+		NumIXPs:           2,
+		IXPPeersPerIXP:    11,
+		DistantPerTransit: 40,
+		MOASPairs:         3,
+		PADelegations:     8,
+	}
+}
+
+// Tier1Profile models the Tier-1 transit network of §5.6 at reduced scale
+// (1644 cust / 70 peer / 0 prov, scaled by ~one-fourth).
+func Tier1Profile() Profile {
+	return Profile{
+		Name:              "tier1",
+		HostTier:          TierTier1,
+		NumRegions:        13,
+		BordersPerRegion:  4,
+		NumVPs:            1,
+		NumProviders:      0,
+		NumPeers:          18,  // other Tier-1s / large peers
+		NumCustomers:      411, // ≈1644/4
+		BigPeerLinkCounts: []int{12, 8, 6},
+		CustTransitFrac:   0.25,
+		CustMaxChildren:   3,
+		NumIXPs:           1,
+		IXPPeersPerIXP:    15,
+		DistantPerTransit: 25,
+		MOASPairs:         4,
+		PADelegations:     10,
+		CustVis: VisMix{
+			{VisFirewall, 0.62},
+			{VisOneHop, 0.20},
+			{VisOnenet, 0.065},
+			{VisSilent, 0.04},
+			{VisEchoOnly, 0.02},
+			{VisThirdParty, 0.002},
+			{VisUnrouted, 0.005},
+			{VisMixedAdj, 0.008},
+			{VisSiblingUpstream, 0.002},
+		},
+		PeerVis: VisMix{
+			{VisOnenet, 0.37},
+			{VisOneHop, 0.34},
+			{VisFirewall, 0.09},
+			{VisUnrouted, 0.05},
+			{VisSilent, 0.05},
+			{VisMixedAdj, 0.07},
+			{VisFirewallOwnSpace, 0.02},
+			{VisEchoOnly, 0.01},
+		},
+	}
+}
+
+// SmallAccessProfile models the small access network of §5.6 (14 routers,
+// fewer than 12 interdomain links per router, three interconnection
+// facilities).
+func SmallAccessProfile() Profile {
+	return Profile{
+		Name:              "small-access",
+		HostTier:          TierAccess,
+		NumRegions:        3,
+		BordersPerRegion:  2,
+		NumVPs:            1,
+		NumProviders:      2,
+		NumPeers:          4,
+		NumCustomers:      12,
+		NumIXPs:           1,
+		IXPPeersPerIXP:    8,
+		CustTransitFrac:   0.1,
+		CustMaxChildren:   1,
+		DistantPerTransit: 15,
+		MOASPairs:         1,
+		PADelegations:     1,
+	}
+}
+
+// EnterpriseProfile models a customer-less host: an enterprise or content
+// network with transit providers and IXP peering only. It exercises the
+// algorithm without the customer-dominated structure of the other
+// profiles (no firewall-heuristic majority, nextas rarely applicable).
+func EnterpriseProfile() Profile {
+	return Profile{
+		Name:     "enterprise",
+		HostTier: TierStub,
+		// Enterprises terminate all upstreams on one edge router per
+		// site, which is what lets the fan-out disambiguation work: a
+		// dedicated border per provider link is genuinely ambiguous
+		// (the paper's figure 12 limitation).
+		NumRegions:        2,
+		BordersPerRegion:  1,
+		NumVPs:            1,
+		NumProviders:      3,
+		NumPeers:          6,
+		NumCustomers:      0,
+		NumIXPs:           1,
+		IXPPeersPerIXP:    10,
+		DistantPerTransit: 20,
+	}
+}
+
+// TinyProfile is a minimal topology for tests and the quickstart example.
+func TinyProfile() Profile {
+	return Profile{
+		Name:              "tiny",
+		HostTier:          TierAccess,
+		NumRegions:        2,
+		BordersPerRegion:  1,
+		NumVPs:            1,
+		NumProviders:      1,
+		NumPeers:          2,
+		NumCustomers:      6,
+		NumIXPs:           1,
+		IXPPeersPerIXP:    3,
+		CustTransitFrac:   0.3,
+		CustMaxChildren:   1,
+		DistantPerTransit: 5,
+		MOASPairs:         1,
+		PADelegations:     1,
+	}
+}

@@ -1,0 +1,325 @@
+package topo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"bdrmap/internal/netx"
+)
+
+// JSON serialization of a complete network, so a generated world can be
+// stored, shared, and measured separately from generation (topogen -save /
+// bdrmap -topo). Pointer structure (interfaces ↔ links ↔ routers) is
+// encoded by index and rebuilt on load; Save/Load round-trip exactly.
+
+type netJSON struct {
+	Version     int            `json:"version"`
+	HostASN     ASN            `json:"host_asn"`
+	ASes        []asJSON       `json:"ases"`
+	Routers     []rtrJSON      `json:"routers"`
+	Links       []linkJSON     `json:"links"`
+	IXPs        []ixpJSON      `json:"ixps"`
+	VPs         []vpJSON       `json:"vps"`
+	Sessions    []sessJSON     `json:"sessions,omitempty"`
+	Delegations []delJSON      `json:"delegations,omitempty"`
+	MultiOrigin []moasJSON     `json:"multi_origin,omitempty"`
+	Hidden      []ASN          `json:"hidden,omitempty"`
+	Tags        map[string]ASN `json:"tags,omitempty"`
+	Anchors     []anchorJSON   `json:"anchors,omitempty"`
+	Pins        []pinJSON      `json:"pins,omitempty"`
+	Rels        []relJSON      `json:"rels"`
+}
+
+// relJSON records one AS relationship: A is Rel of B.
+type relJSON struct {
+	A   ASN  `json:"a"`
+	B   ASN  `json:"b"`
+	Rel int8 `json:"rel"`
+}
+
+type asJSON struct {
+	ASN           ASN      `json:"asn"`
+	Tier          int8     `json:"tier"`
+	Org           string   `json:"org"`
+	Prefixes      []string `json:"prefixes,omitempty"`
+	Infra         string   `json:"infra,omitempty"`
+	AnnounceInfra bool     `json:"announce_infra,omitempty"`
+	Policy        int8     `json:"policy,omitempty"`
+}
+
+type rtrJSON struct {
+	Owner    ASN      `json:"owner"`
+	Name     string   `json:"name"`
+	Lon      float64  `json:"lon"`
+	Behavior Behavior `json:"behavior"`
+}
+
+type linkJSON struct {
+	Kind      int8   `json:"kind"`
+	Subnet    string `json:"subnet"`
+	AddrOwner ASN    `json:"addr_owner"`
+	// Ifaces: (router index, address) pairs in attachment order.
+	Ifaces []ifaceJSON `json:"ifaces"`
+}
+
+type ifaceJSON struct {
+	Router RouterID `json:"router"`
+	Addr   string   `json:"addr"`
+}
+
+type ixpJSON struct {
+	Name         string  `json:"name"`
+	OperatorASN  ASN     `json:"operator"`
+	LAN          string  `json:"lan"`
+	Members      []ASN   `json:"members"`
+	AnnouncesLAN bool    `json:"announces_lan"`
+	Longitude    float64 `json:"lon"`
+}
+
+type vpJSON struct {
+	Name   string   `json:"name"`
+	Host   ASN      `json:"host"`
+	Router RouterID `json:"router"`
+	Addr   string   `json:"addr"`
+}
+
+type sessJSON struct {
+	IXP  int      `json:"ixp"`
+	A    ASN      `json:"a"`
+	ARtr RouterID `json:"a_rtr"`
+	B    ASN      `json:"b"`
+	BRtr RouterID `json:"b_rtr"`
+}
+
+type delJSON struct {
+	Org    string `json:"org"`
+	Prefix string `json:"prefix"`
+}
+
+type moasJSON struct {
+	Prefix  string `json:"prefix"`
+	Origins []ASN  `json:"origins"`
+}
+
+type anchorJSON struct {
+	Prefix  string   `json:"prefix"`
+	Router  RouterID `json:"router"`
+	Replies bool     `json:"replies,omitempty"`
+}
+
+type pinJSON struct {
+	Prefix string `json:"prefix"`
+	Links  []int  `json:"links"` // indexes into Links
+}
+
+// Save serializes the network as JSON.
+func (n *Network) Save(w io.Writer) error {
+	out := netJSON{
+		Version: 1,
+		HostASN: n.HostASN,
+		Tags:    n.Tags,
+	}
+	for _, asn := range n.ASNs() {
+		a := n.ASes[asn]
+		aj := asJSON{
+			ASN: asn, Tier: int8(a.Tier), Org: a.Org,
+			AnnounceInfra: a.AnnounceInfra, Policy: int8(a.Policy),
+		}
+		for _, p := range a.Prefixes {
+			aj.Prefixes = append(aj.Prefixes, p.String())
+		}
+		if a.Infra.IsValid() && a.Infra.NumAddrs() < 1<<32 {
+			aj.Infra = a.Infra.String()
+		}
+		out.ASes = append(out.ASes, aj)
+	}
+	for _, r := range n.Routers {
+		out.Routers = append(out.Routers, rtrJSON{
+			Owner: r.Owner, Name: r.Name, Lon: r.Longitude, Behavior: r.Behavior,
+		})
+	}
+	linkIdx := make(map[*Link]int, len(n.Links))
+	for i, l := range n.Links {
+		linkIdx[l] = i
+		lj := linkJSON{Kind: int8(l.Kind), Subnet: l.Subnet.String(), AddrOwner: l.AddrOwner}
+		for _, ifc := range l.Ifaces {
+			lj.Ifaces = append(lj.Ifaces, ifaceJSON{Router: ifc.Router, Addr: ifc.Addr.String()})
+		}
+		out.Links = append(out.Links, lj)
+	}
+	for _, x := range n.IXPs {
+		out.IXPs = append(out.IXPs, ixpJSON{
+			Name: x.Name, OperatorASN: x.OperatorASN, LAN: x.LAN.String(),
+			Members: x.Members, AnnouncesLAN: x.AnnouncesLAN, Longitude: x.Longitude,
+		})
+	}
+	for _, vp := range n.VPs {
+		out.VPs = append(out.VPs, vpJSON{Name: vp.Name, Host: vp.Host, Router: vp.Router, Addr: vp.Addr.String()})
+	}
+	for _, s := range n.Sessions() {
+		out.Sessions = append(out.Sessions, sessJSON{IXP: s.IXP, A: s.A, ARtr: s.ARtr, B: s.B, BRtr: s.BRtr})
+	}
+	for _, d := range n.Delegations {
+		out.Delegations = append(out.Delegations, delJSON{Org: d.OrgID, Prefix: d.Prefix.String()})
+	}
+	var moasPrefixes []netx.Prefix
+	for p := range n.MultiOrigin {
+		moasPrefixes = append(moasPrefixes, p)
+	}
+	sort.Slice(moasPrefixes, func(i, j int) bool { return netx.ComparePrefix(moasPrefixes[i], moasPrefixes[j]) < 0 })
+	for _, p := range moasPrefixes {
+		out.MultiOrigin = append(out.MultiOrigin, moasJSON{Prefix: p.String(), Origins: n.MultiOrigin[p]})
+	}
+	for asn := range n.HiddenNeighbors {
+		out.Hidden = append(out.Hidden, asn)
+	}
+	sort.Slice(out.Hidden, func(i, j int) bool { return out.Hidden[i] < out.Hidden[j] })
+	for _, a := range n.Anchors() {
+		out.Anchors = append(out.Anchors, anchorJSON{Prefix: a.Prefix.String(), Router: a.Router, Replies: a.Replies})
+	}
+	for _, p := range n.PinnedPrefixes() {
+		pj := pinJSON{Prefix: p.String()}
+		for _, l := range n.PinnedLinksOf(p) {
+			pj.Links = append(pj.Links, linkIdx[l])
+		}
+		out.Pins = append(out.Pins, pj)
+	}
+	for _, asn := range n.ASNs() {
+		for _, nb := range n.ASes[asn].Neighbors() {
+			if nb.ASN <= asn {
+				continue // record each pair once
+			}
+			// nb.Rel is what nb.ASN is to asn.
+			out.Rels = append(out.Rels, relJSON{A: nb.ASN, B: asn, Rel: int8(nb.Rel)})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Load reconstructs a network saved with Save, including all indexes
+// (Build is called internally).
+func Load(r io.Reader) (*Network, error) {
+	var in netJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("topo: load: %w", err)
+	}
+	if in.Version != 1 {
+		return nil, fmt.Errorf("topo: unsupported version %d", in.Version)
+	}
+	n := NewNetwork()
+	n.HostASN = in.HostASN
+	if in.Tags != nil {
+		n.Tags = in.Tags
+	}
+	for _, aj := range in.ASes {
+		a := n.AddAS(aj.ASN, Tier(aj.Tier), aj.Org)
+		a.AnnounceInfra = aj.AnnounceInfra
+		a.Policy = AnnouncePolicy(aj.Policy)
+		for _, ps := range aj.Prefixes {
+			p, err := netx.ParsePrefix(ps)
+			if err != nil {
+				return nil, fmt.Errorf("topo: load %v: %w", aj.ASN, err)
+			}
+			a.Prefixes = append(a.Prefixes, p)
+		}
+		if aj.Infra != "" {
+			p, err := netx.ParsePrefix(aj.Infra)
+			if err != nil {
+				return nil, err
+			}
+			a.Infra = p
+		}
+	}
+	for _, rj := range in.Routers {
+		r := n.AddRouter(rj.Owner, rj.Name, rj.Lon)
+		r.Behavior = rj.Behavior
+	}
+	for _, lj := range in.Links {
+		subnet, err := netx.ParsePrefix(lj.Subnet)
+		if err != nil {
+			return nil, err
+		}
+		l := n.AddLink(LinkKind(lj.Kind), subnet, lj.AddrOwner)
+		for _, ij := range lj.Ifaces {
+			r := n.Router(ij.Router)
+			if r == nil {
+				return nil, fmt.Errorf("topo: load: link references missing router %d", ij.Router)
+			}
+			a, err := netx.ParseAddr(ij.Addr)
+			if err != nil {
+				return nil, err
+			}
+			n.RegisterIface(r.AddIface(a, l))
+		}
+	}
+	for _, xj := range in.IXPs {
+		lan, err := netx.ParsePrefix(xj.LAN)
+		if err != nil {
+			return nil, err
+		}
+		n.IXPs = append(n.IXPs, &IXP{
+			Name: xj.Name, OperatorASN: xj.OperatorASN, LAN: lan,
+			Members: xj.Members, AnnouncesLAN: xj.AnnouncesLAN, Longitude: xj.Longitude,
+		})
+	}
+	for _, vj := range in.VPs {
+		a, err := netx.ParseAddr(vj.Addr)
+		if err != nil {
+			return nil, err
+		}
+		n.VPs = append(n.VPs, &VP{Name: vj.Name, Host: vj.Host, Router: vj.Router, Addr: a})
+	}
+	for _, sj := range in.Sessions {
+		n.AddIXPSession(sj.IXP, sj.A, sj.ARtr, sj.B, sj.BRtr)
+	}
+	for _, dj := range in.Delegations {
+		p, err := netx.ParsePrefix(dj.Prefix)
+		if err != nil {
+			return nil, err
+		}
+		n.Delegations = append(n.Delegations, DelegationRecord{OrgID: dj.Org, Prefix: p})
+	}
+	for _, mj := range in.MultiOrigin {
+		p, err := netx.ParsePrefix(mj.Prefix)
+		if err != nil {
+			return nil, err
+		}
+		n.MultiOrigin[p] = mj.Origins
+	}
+	for _, h := range in.Hidden {
+		if n.HiddenNeighbors == nil {
+			n.HiddenNeighbors = make(map[ASN]bool)
+		}
+		n.HiddenNeighbors[h] = true
+	}
+	for _, aj := range in.Anchors {
+		p, err := netx.ParsePrefix(aj.Prefix)
+		if err != nil {
+			return nil, err
+		}
+		n.SetAnchor(p, aj.Router, aj.Replies)
+	}
+	for _, pj := range in.Pins {
+		p, err := netx.ParsePrefix(pj.Prefix)
+		if err != nil {
+			return nil, err
+		}
+		var links []*Link
+		for _, i := range pj.Links {
+			if i < 0 || i >= len(n.Links) {
+				return nil, fmt.Errorf("topo: load: pin references missing link %d", i)
+			}
+			links = append(links, n.Links[i])
+		}
+		n.PinPrefix(p, links)
+	}
+	for _, rj := range in.Rels {
+		n.SetRel(rj.A, rj.B, Rel(rj.Rel))
+	}
+	n.Build()
+	return n, nil
+}

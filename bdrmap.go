@@ -36,12 +36,19 @@ import (
 	"bdrmap/internal/eval"
 	"bdrmap/internal/export"
 	"bdrmap/internal/netx"
+	"bdrmap/internal/obs"
 	"bdrmap/internal/scamper"
 	"bdrmap/internal/topo"
 )
 
 // ASN identifies an autonomous system.
 type ASN = topo.ASN
+
+// Metrics is a point-in-time copy of the pipeline's observability
+// registry: counters, maxes, histograms, and per-stage timers from the
+// probe engine, the measurement driver, alias resolution, the inference
+// core, and validation. See Snapshot.
+type Metrics = obs.Snapshot
 
 // Profile describes a synthetic internetwork scenario.
 type Profile = topo.Profile
@@ -102,6 +109,12 @@ func (w *World) VPName(i int) string { return w.s.Net.VPs[i].Name }
 // (figures, ablations, direct access to the probe engine).
 func (w *World) Scenario() *eval.Scenario { return w.s }
 
+// Snapshot copies the world's pipeline metrics. The deterministic portion
+// (everything except wall-clock stage timings) is identical across
+// repeated runs of the same profile and seed; compare with
+// Snapshot().Fingerprint().
+func (w *World) Snapshot() Metrics { return w.s.Obs.Snapshot() }
+
 // Link is one inferred interdomain link of the hosting network.
 type Link struct {
 	// NearAddr is the observed address on the hosting network's border
@@ -131,6 +144,9 @@ type Report struct {
 	// Validation compares against ground truth (§5.6): the fraction of
 	// inferred links whose existence and AS are correct.
 	Correct, Total int
+	// Metrics is the pipeline's observability snapshot taken when the
+	// report was assembled (cumulative over the world's runs so far).
+	Metrics Metrics
 
 	raw *core.Result
 }
@@ -205,6 +221,7 @@ func (w *World) MapBordersOpts(vp int, o Options) *Report {
 		}
 		return rep.Links[i].NearAddr < rep.Links[j].NearAddr
 	})
+	rep.Metrics = w.Snapshot()
 	return rep
 }
 

@@ -248,5 +248,11 @@ func BenchmarkFullPipelineTiny(b *testing.B) {
 		if len(rep.Links) == 0 {
 			b.Fatal("no links")
 		}
+		// Emit the same observability snapshot the CLI's -metrics flag
+		// prints, plus the probing effort as benchmark metrics.
+		snap := rep.Metrics
+		once(b, "pipeline-metrics", snap.Format())
+		b.ReportMetric(float64(snap.Counter("probe.packets_sent")), "packets/op")
+		b.ReportMetric(float64(snap.Counter("driver.traces")), "traces/op")
 	}
 }

@@ -9,7 +9,7 @@
 //	bdrmap [-profile tiny|re|small-access|large-access|tier1|enterprise]
 //	       [-topo saved.world] [-seed N] [-vp N]
 //	       [-table1] [-merged] [-o out.jsonl] [-dnscheck]
-//	       [-no-alias] [-no-stopset] [-v]
+//	       [-no-alias] [-no-stopset] [-metrics] [-v]
 package main
 
 import (
@@ -34,6 +34,7 @@ func main() {
 		jsonOut   = flag.String("o", "", "export traces and inferences as JSON Lines to this file")
 		topoFile  = flag.String("topo", "", "measure a world saved with topogen -save instead of generating one")
 		merged    = flag.Bool("merged", false, "measure from every VP and print the merged map")
+		metrics   = flag.Bool("metrics", false, "print the pipeline observability snapshot")
 		verbose   = flag.Bool("v", false, "print every inferred link")
 	)
 	flag.Parse()
@@ -122,6 +123,10 @@ func main() {
 			f.Close()
 			fmt.Printf("merged map exported to %s.merged\n", *jsonOut)
 		}
+	}
+	if *metrics {
+		fmt.Println("\npipeline metrics:")
+		fmt.Print(world.Snapshot().Format())
 	}
 	if *dnsCheck {
 		zone := dns.FromNetwork(world.Scenario().Net, *seed)

@@ -10,15 +10,18 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 
 	"bdrmap/internal/asrel"
 	"bdrmap/internal/bgp"
 	"bdrmap/internal/core"
 	"bdrmap/internal/eval"
+	"bdrmap/internal/obs"
 	"bdrmap/internal/probe"
 	"bdrmap/internal/scamper"
 	"bdrmap/internal/topo"
@@ -26,10 +29,12 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("listen", "127.0.0.1:0", "listen address for agent callbacks")
-		profile = flag.String("profile", "tiny", "world the demo agent lives in")
-		seed    = flag.Int64("seed", 1, "generation seed")
-		demo    = flag.Bool("demo", true, "spawn an in-process demo agent")
+		addr        = flag.String("listen", "127.0.0.1:0", "listen address for agent callbacks")
+		profile     = flag.String("profile", "tiny", "world the demo agent lives in")
+		seed        = flag.Int64("seed", 1, "generation seed")
+		demo        = flag.Bool("demo", true, "spawn an in-process demo agent")
+		metricsAddr = flag.String("metrics-addr", "", "serve the obs registry as JSON over HTTP on this address (e.g. 127.0.0.1:9100)")
+		metricsJSON = flag.Bool("metrics-json", false, "print the final metrics snapshot as JSON on exit")
 	)
 	flag.Parse()
 
@@ -50,6 +55,15 @@ func main() {
 	}
 
 	s := eval.Build(prof, *seed)
+	if *metricsAddr != "" {
+		srv := &http.Server{Addr: *metricsAddr, Handler: obs.Handler(s.Obs)}
+		go func() {
+			log.Printf("metrics endpoint on http://%s/", *metricsAddr)
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("metrics: %v", err)
+			}
+		}()
+	}
 	ctrl, err := scamper.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)
@@ -57,7 +71,9 @@ func main() {
 	defer ctrl.Close()
 	log.Printf("bdrmapd listening on %s", ctrl.Addr())
 
-	agent := &scamper.Agent{E: probe.New(s.Net, bgp.NewTable(s.Net)), VP: s.Net.VPs[0]}
+	agentEngine := probe.New(s.Net, bgp.NewTable(s.Net))
+	agentEngine.SetObs(s.Obs)
+	agent := &scamper.Agent{E: agentEngine, VP: s.Net.VPs[0]}
 	go func() {
 		if err := agent.Dial(ctrl.Addr()); err != nil {
 			log.Printf("agent: %v", err)
@@ -71,14 +87,14 @@ func main() {
 	defer rp.Close()
 	log.Printf("agent %q connected", rp.Name())
 
-	d := &scamper.Driver{View: s.View, Prober: rp, HostASNs: s.HostASNs}
+	d := &scamper.Driver{View: s.View, Prober: rp, HostASNs: s.HostASNs, Obs: s.Obs}
 	ds := d.Run()
 	if err := rp.Err(); err != nil {
 		log.Fatalf("transport: %v", err)
 	}
 	res := core.Infer(core.Input{
 		Data: ds, View: s.View, Rel: asrel.Infer(s.View), RIR: s.RIR, IXP: s.IXP,
-		HostASN: s.Net.HostASN, Siblings: s.Sibs,
+		HostASN: s.Net.HostASN, Siblings: s.Sibs, Obs: s.Obs,
 	})
 
 	out, in := rp.BytesTransferred()
@@ -89,5 +105,12 @@ func main() {
 		len(res.Links), len(res.Neighbors))
 	for asn, links := range res.Neighbors {
 		fmt.Printf("  %v: %d link(s)\n", asn, len(links))
+	}
+	if *metricsJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s.Obs.Snapshot()); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

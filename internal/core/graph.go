@@ -7,6 +7,7 @@ import (
 	"bdrmap/internal/bgp"
 	"bdrmap/internal/ixp"
 	"bdrmap/internal/netx"
+	"bdrmap/internal/obs"
 	"bdrmap/internal/probe"
 	"bdrmap/internal/rir"
 	"bdrmap/internal/scamper"
@@ -25,6 +26,9 @@ type Input struct {
 	HostASN  topo.ASN
 	Siblings *sibling.Set
 	Opts     Options
+	// Obs receives per-heuristic fire counts and attribution totals.
+	// Nil disables them.
+	Obs *obs.Registry
 }
 
 // Options disable individual heuristics for ablation studies.
@@ -282,6 +286,20 @@ func prefixLenFor(rec rir.Record) int {
 		l--
 	}
 	return l
+}
+
+// claim records an ownership decision: rule h attributes router n to owner.
+// Every heuristic routes its conclusion through here so the obs registry
+// tallies exactly one core.heur.fire.<tag> increment per decided router.
+func (g *graph) claim(n *node, owner topo.ASN, h Heuristic) {
+	n.owner, n.heur, n.done = owner, h, true
+	if g.vpASNs[owner] {
+		n.host = true
+		g.in.Obs.Inc("core.attr.host")
+	} else {
+		g.in.Obs.Inc("core.attr.external")
+	}
+	g.in.Obs.Inc("core.heur.fire." + string(h))
 }
 
 // originIsHost reports whether addr maps to the hosting organization.

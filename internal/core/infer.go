@@ -10,6 +10,8 @@ import (
 
 // Infer runs the full bdrmap algorithm over one vantage point's dataset.
 func Infer(in Input) *Result {
+	span := in.Obs.StartStage("core.infer")
+	defer span.End()
 	g := buildGraph(in)
 	g.passHost()
 	for _, n := range g.nodes {
@@ -20,6 +22,8 @@ func Infer(in Input) *Result {
 	g.passAnalyticalAliases()
 	res := g.buildResult()
 	g.passSilent(res)
+	in.Obs.Add("core.routers", int64(len(res.Routers)))
+	in.Obs.Add("core.links", int64(len(res.Links)))
 	return res
 }
 
@@ -57,14 +61,14 @@ func (g *graph) passHost() {
 			nd, vd := n.destSet(), hostSucc.destSet()
 			onlyA := len(nd) == 1 && nd[0] == a && len(vd) == 1 && vd[0] == a
 			if onlyA && g.in.Rel.Rel(host, a) != topo.RelNone && g.multihomedException(n, hostSucc, a) {
-				n.owner, n.heur, n.done = a, HeurMultihomed, true
+				g.claim(n, a, HeurMultihomed)
 				if !hostSucc.done {
-					hostSucc.owner, hostSucc.heur, hostSucc.done = a, HeurMultihomed, true
+					g.claim(hostSucc, a, HeurMultihomed)
 				}
 				continue
 			}
 		}
-		n.owner, n.heur, n.host, n.done = host, HeurHostNetwork, true, true
+		g.claim(n, host, HeurHostNetwork)
 	}
 
 	// Extension step (beyond the paper's 1.1/1.2, needed for hosts with
@@ -80,7 +84,7 @@ func (g *graph) passHost() {
 		}
 		extAdj := g.succExternalOrigins(n)
 		if len(extAdj) >= 2 && !g.hasPlausibleTransit(extAdj) {
-			n.owner, n.heur, n.host, n.done = host, HeurHostNetwork, true, true
+			g.claim(n, host, HeurHostNetwork)
 		}
 	}
 }
@@ -164,12 +168,9 @@ func (g *graph) inferNeighbor(n *node) {
 	// adjacent interfaces at all.
 	if n.anonymousAddr() && len(n.succ) == 0 && len(n.lastFor) > 0 {
 		if len(dests) == 1 {
-			n.owner, n.heur, n.done = dests[0], HeurFirewall, true
+			g.claim(n, dests[0], HeurFirewall)
 		} else if na := g.nextas(n); na != 0 {
-			n.owner, n.heur, n.done = na, HeurFirewall, true
-			if g.vpASNs[na] {
-				n.host = true
-			}
+			g.claim(n, na, HeurFirewall)
 		}
 		if n.done {
 			return
@@ -185,12 +186,12 @@ func (g *graph) inferNeighbor(n *node) {
 
 	// §5.4.4 onenet.
 	if n.class == classExternal && n.extAS != 0 && extAdj[n.extAS] > 0 {
-		n.owner, n.heur, n.done = n.extAS, HeurOnenet, true // step 4.1
+		g.claim(n, n.extAS, HeurOnenet) // step 4.1
 		return
 	}
 	if n.anonymousAddr() {
 		if a := g.twoConsecutive(n); a != 0 { // step 4.2
-			n.owner, n.heur, n.done = a, HeurOnenet, true
+			g.claim(n, a, HeurOnenet)
 			return
 		}
 	}
@@ -204,12 +205,12 @@ func (g *graph) inferNeighbor(n *node) {
 		if a != b && g.in.Rel.Rel(b, a) == topo.RelProvider {
 			// The address belongs to the destination's provider: the
 			// router used a route from its provider to respond.
-			n.owner, n.heur, n.done = b, HeurThirdParty, true
+			g.claim(n, b, HeurThirdParty)
 			// Step 5.1: a preceding router observed only with host
 			// addresses and only toward B belongs to B as well.
 			for p := range n.pred {
 				if !p.done && p.class == classHost && g.soleConeRoot(p.destSet()) == b {
-					p.owner, p.heur, p.done = b, HeurThirdParty, true
+					g.claim(p, b, HeurThirdParty)
 				}
 			}
 			return
@@ -224,7 +225,7 @@ func (g *graph) inferNeighbor(n *node) {
 		}
 		switch g.in.Rel.Rel(host, a) {
 		case topo.RelCustomer, topo.RelPeer: // step 5.3
-			n.owner, n.heur, n.done = a, HeurRelationship, true
+			g.claim(n, a, HeurRelationship)
 			return
 		default:
 			// Step 5.4 "missing customer": B provider of A, host provider
@@ -234,26 +235,26 @@ func (g *graph) inferNeighbor(n *node) {
 			for _, b := range g.in.Rel.ProvidersOf(a) {
 				if g.in.Rel.Rel(host, b) == topo.RelCustomer &&
 					g.in.Siblings != nil && g.in.Siblings.SameOrg(a, b) {
-					n.owner, n.heur, n.done = b, HeurMissingCust, true
+					g.claim(n, b, HeurMissingCust)
 					return
 				}
 			}
 			// Step 5.5 hidden peer: a single subsequent origin with no
 			// known relationship.
-			n.owner, n.heur, n.done = a, HeurHiddenPeer, true
+			g.claim(n, a, HeurHiddenPeer)
 			return
 		}
 	}
 
 	// §5.4.6 step 6.1: counting among several adjacent origins.
 	if n.anonymousAddr() && len(extAdj) > 1 {
-		n.owner, n.heur, n.done = g.countWinner(extAdj), HeurCount, true
+		g.claim(n, g.countWinner(extAdj), HeurCount)
 		return
 	}
 
 	// §5.4.6 fallback: plain IP-AS mapping.
 	if (n.class == classExternal || n.class == classMulti) && n.extAS != 0 {
-		n.owner, n.heur, n.done = n.extAS, HeurIPAS, true
+		g.claim(n, n.extAS, HeurIPAS)
 		return
 	}
 
@@ -261,14 +262,11 @@ func (g *graph) inferNeighbor(n *node) {
 	// the destination set is all we have (IXP LAN firewalls and the
 	// remaining host-space cases).
 	if n.anonymousAddr() && len(dests) == 1 && len(n.lastFor) > 0 {
-		n.owner, n.heur, n.done = dests[0], HeurFirewall, true
+		g.claim(n, dests[0], HeurFirewall)
 		return
 	}
 	if na := g.nextas(n); n.anonymousAddr() && na != 0 && len(n.lastFor) > 0 {
-		n.owner, n.heur, n.done = na, HeurFirewall, true
-		if g.vpASNs[na] {
-			n.host = true
-		}
+		g.claim(n, na, HeurFirewall)
 	}
 }
 
@@ -346,7 +344,7 @@ func (g *graph) inferUnrouted(n *node) bool {
 	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
 	switch {
 	case len(asns) == 1: // step 3.1
-		n.owner, n.heur, n.done = asns[0], HeurUnrouted, true
+		g.claim(n, asns[0], HeurUnrouted)
 	case len(asns) > 1: // step 3.2: most frequent provider of the set
 		count := map[topo.ASN]int{}
 		for _, a := range asns {
@@ -362,15 +360,12 @@ func (g *graph) inferUnrouted(n *node) bool {
 			}
 		}
 		if best != 0 {
-			n.owner, n.heur, n.done = best, HeurUnrouted, true
+			g.claim(n, best, HeurUnrouted)
 		}
 	default:
 		if na := g.nextas(n); na != 0 {
-			n.owner, n.heur, n.done = na, HeurUnrouted, true
+			g.claim(n, na, HeurUnrouted)
 		}
-	}
-	if n.done && g.vpASNs[n.owner] {
-		n.host = true
 	}
 	return n.done
 }
@@ -484,6 +479,7 @@ func (g *graph) passAnalyticalAliases() {
 				g.in.Data.Resolver.Record(base.addrs[0], u.addrs[0], alias.AliasYes)
 			}
 			g.mergeNodes(base, u)
+			g.in.Obs.Inc("core.alias.merges")
 		}
 	}
 }
@@ -635,5 +631,6 @@ func (g *graph) passSilent(res *Result) {
 		l := &Link{Near: near, FarAS: a, Heuristic: heur}
 		res.Links = append(res.Links, l)
 		res.Neighbors[a] = append(res.Neighbors[a], l)
+		g.in.Obs.Inc("core.heur.fire." + string(heur))
 	}
 }

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"bdrmap/internal/asrel"
+	"bdrmap/internal/bgp"
+	"bdrmap/internal/ixp"
+	"bdrmap/internal/obs"
+	"bdrmap/internal/probe"
+	"bdrmap/internal/rir"
+	"bdrmap/internal/scamper"
+	"bdrmap/internal/sibling"
+	"bdrmap/internal/topo"
+)
+
+// obsPipeline runs the measurement + inference pipeline on a fixed world
+// with an obs registry attached to every stage, and returns the result
+// plus the registry snapshot.
+func obsPipeline(t testing.TB, prof topo.Profile, seed int64) (*Result, obs.Snapshot) {
+	t.Helper()
+	n := topo.Generate(prof, seed)
+	tab := bgp.NewTable(n)
+	view := bgp.Collect(tab, bgp.DefaultVantages(n))
+	rel := asrel.Infer(view)
+	rdb := rir.FromNetwork(n)
+	pl := ixp.Merge(ixp.FromNetwork(n, 1))
+	sibs := sibling.FromNetwork(n, 1)
+	sibs.CurateHost(n)
+
+	reg := obs.New()
+	e := probe.New(n, tab)
+	e.SetObs(reg)
+	hosts := map[topo.ASN]bool{n.HostASN: true}
+	for _, s := range sibs.SiblingsOf(n.HostASN) {
+		hosts[s] = true
+	}
+	d := &scamper.Driver{
+		View:     view,
+		Prober:   scamper.LocalProber{E: e, VP: n.VPs[0]},
+		HostASNs: hosts,
+		Cfg:      scamper.Config{Workers: 1},
+		Obs:      reg,
+	}
+	ds := d.Run()
+	res := Infer(Input{
+		Data: ds, View: view, Rel: rel, RIR: rdb, IXP: pl,
+		HostASN: n.HostASN, Siblings: sibs, Obs: reg,
+	})
+	return res, reg.Snapshot()
+}
+
+// fireCounts extracts the core.heur.fire.* counters keyed by heuristic tag.
+func fireCounts(snap obs.Snapshot) map[Heuristic]int64 {
+	out := make(map[Heuristic]int64)
+	for name, v := range snap.Counters {
+		if tag, ok := strings.CutPrefix(name, "core.heur.fire."); ok {
+			out[Heuristic(tag)] = v
+		}
+	}
+	return out
+}
+
+// TestHeuristicFireCounts pins the exact per-heuristic fire counts on
+// fixed worlds. These are golden values: a diff here means the heuristic
+// cascade changed — a rule fires for routers it previously did not reach,
+// or a rule earlier in §5.4's order started (or stopped) shadowing a later
+// one — even if the final link set happens to stay plausible.
+func TestHeuristicFireCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		prof topo.Profile
+		seed int64
+		want map[Heuristic]int64
+	}{
+		{
+			name: "tiny-seed1",
+			prof: topo.TinyProfile(),
+			seed: 1,
+			want: map[Heuristic]int64{
+				HeurHostNetwork:  5,
+				HeurFirewall:     9,
+				HeurOnenet:       2,
+				HeurThirdParty:   6,
+				HeurRelationship: 2,
+				HeurHiddenPeer:   1,
+				HeurIPAS:         9,
+			},
+		},
+		{
+			name: "tiny-seed2",
+			prof: topo.TinyProfile(),
+			seed: 2,
+			want: map[Heuristic]int64{
+				HeurHostNetwork:  5,
+				HeurFirewall:     4,
+				HeurOnenet:       8,
+				HeurThirdParty:   7,
+				HeurRelationship: 2,
+				HeurHiddenPeer:   3,
+				HeurIPAS:         15,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, snap := obsPipeline(t, tc.prof, tc.seed)
+			got := fireCounts(snap)
+			for tag, want := range tc.want {
+				if got[tag] != want {
+					t.Errorf("core.heur.fire.%s = %d, want %d", tag, got[tag], want)
+				}
+			}
+			for tag, v := range got {
+				if _, ok := tc.want[tag]; !ok {
+					t.Errorf("unexpected heuristic fired: core.heur.fire.%s = %d", tag, v)
+				}
+			}
+			if t.Failed() {
+				t.Logf("full counters:\n%s", snap.Format())
+			}
+		})
+	}
+}
+
+// TestObsCountersConsistentWithResult cross-checks the registry against
+// the result itself, independent of hard-coded literals:
+//
+//   - silent/other-icmp fire counts equal the links passSilent placed,
+//   - every other claim equals one decided router — non-merged routers
+//     with an owner plus the §5.4.7 merges (a merged router was claimed
+//     before it was folded into its alias base),
+//   - attribution totals partition the claims into host vs external.
+func TestObsCountersConsistentWithResult(t *testing.T) {
+	res, snap := obsPipeline(t, topo.TinyProfile(), 1)
+	fires := fireCounts(snap)
+
+	var silentLinks int64
+	for _, l := range res.Links {
+		if l.Heuristic == HeurSilent || l.Heuristic == HeurOtherICMP {
+			silentLinks++
+		}
+	}
+	if got := fires[HeurSilent] + fires[HeurOtherICMP]; got != silentLinks {
+		t.Errorf("silent fire counts = %d, want %d (links)", got, silentLinks)
+	}
+
+	var claims int64
+	for tag, v := range fires {
+		if tag != HeurSilent && tag != HeurOtherICMP {
+			claims += v
+		}
+	}
+	var decided int64
+	for _, r := range res.Routers {
+		if r.Owner != 0 {
+			decided++
+		}
+	}
+	merges := snap.Counter("core.alias.merges")
+	if claims != decided+merges {
+		t.Errorf("claims = %d, want decided routers (%d) + merges (%d)",
+			claims, decided, merges)
+	}
+	if got := snap.Counter("core.attr.host") + snap.Counter("core.attr.external"); got != claims {
+		t.Errorf("attr.host+attr.external = %d, want %d claims", got, claims)
+	}
+	if snap.Counter("core.routers") != int64(len(res.Routers)) {
+		t.Errorf("core.routers = %d, want %d", snap.Counter("core.routers"), len(res.Routers))
+	}
+	if snap.Counter("core.links") != int64(len(res.Links)) {
+		t.Errorf("core.links = %d, want %d", snap.Counter("core.links"), len(res.Links))
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"bdrmap/internal/bgp"
 	"bdrmap/internal/core"
 	"bdrmap/internal/ixp"
+	"bdrmap/internal/obs"
 	"bdrmap/internal/probe"
 	"bdrmap/internal/rir"
 	"bdrmap/internal/scamper"
@@ -37,6 +38,8 @@ type Scenario struct {
 	Sibs     *sibling.Set
 	Engine   *probe.Engine
 	HostASNs map[topo.ASN]bool
+	// Obs collects metrics from every stage of the scenario's pipeline.
+	Obs *obs.Registry
 
 	Datasets []*scamper.Dataset // per VP, filled by RunVP/RunAll
 	Results  []*core.Result
@@ -64,10 +67,13 @@ func BuildFromNetwork(n *topo.Network, seed int64) *Scenario {
 	for _, s := range sibs.SiblingsOf(n.HostASN) {
 		hosts[s] = true
 	}
+	reg := obs.New()
+	eng := probe.New(n, tab)
+	eng.SetObs(reg)
 	return &Scenario{
 		Seed: seed,
 		Net:  n, Tab: tab, View: view, Rel: rel, RIR: rdb, IXP: pl,
-		Sibs: sibs, Engine: probe.New(n, tab), HostASNs: hosts,
+		Sibs: sibs, Engine: eng, HostASNs: hosts, Obs: reg,
 		Datasets: make([]*scamper.Dataset, len(n.VPs)),
 		Results:  make([]*core.Result, len(n.VPs)),
 	}
@@ -83,14 +89,17 @@ func (s *Scenario) RunVP(i int, cfg scamper.Config, opts core.Options) *core.Res
 		Prober:   scamper.LocalProber{E: s.Engine, VP: s.Net.VPs[i]},
 		HostASNs: s.HostASNs,
 		Cfg:      cfg,
+		Obs:      s.Obs,
 	}
 	ds := d.Run()
 	res := core.Infer(core.Input{
 		Data: ds, View: s.View, Rel: s.Rel, RIR: s.RIR, IXP: s.IXP,
 		HostASN: s.Net.HostASN, Siblings: s.Sibs, Opts: opts,
+		Obs: s.Obs,
 	})
 	s.Datasets[i] = ds
 	s.Results[i] = res
+	s.Obs.Inc("eval.vp_runs")
 	return res
 }
 
@@ -219,6 +228,8 @@ func (s *Scenario) Validate(res *core.Result) Validation {
 			v.Wrong = append(v.Wrong, fmt.Sprintf("silent %v at %v misplaced", l.FarAS, l.Near.Addrs[0]))
 		}
 	}
+	s.Obs.Add("eval.validate.total", int64(v.Total))
+	s.Obs.Add("eval.validate.correct", int64(v.Correct))
 	return v
 }
 

@@ -20,6 +20,7 @@ import (
 
 	"bdrmap/internal/bgp"
 	"bdrmap/internal/netx"
+	"bdrmap/internal/obs"
 	"bdrmap/internal/topo"
 )
 
@@ -44,6 +45,63 @@ type Engine struct {
 
 	// lat holds the latency/congestion model (latency.go).
 	lat latencyState
+
+	// eobs holds pre-resolved observability counters (nil-safe when no
+	// registry was attached; see SetObs).
+	eobs engineObs
+}
+
+// engineObs pre-resolves the engine's hot-path counters so each probe
+// packet costs one atomic add, not a registry lookup. All fields are
+// nil-safe Counters/Histograms: the zero value is a no-op.
+type engineObs struct {
+	traceroutes *obs.Counter
+	probes      *obs.Counter
+	packets     *obs.Counter
+	responses   *obs.Counter
+
+	respTimeExceeded *obs.Counter
+	respEchoReply    *obs.Counter
+	respUnreachable  *obs.Counter
+	respTimeout      *obs.Counter
+	rateLimitDrops   *obs.Counter
+
+	traceHops *obs.Histogram
+}
+
+// SetObs attaches a metrics registry to the engine. Call before probing
+// starts; a nil registry (the default) keeps the engine metric-free.
+func (e *Engine) SetObs(r *obs.Registry) {
+	if r == nil {
+		e.eobs = engineObs{}
+		return
+	}
+	e.eobs = engineObs{
+		traceroutes:      r.Counter("probe.traceroutes"),
+		probes:           r.Counter("probe.probes"),
+		packets:          r.Counter("probe.packets_sent"),
+		responses:        r.Counter("probe.responses"),
+		respTimeExceeded: r.Counter("probe.resp.time_exceeded"),
+		respEchoReply:    r.Counter("probe.resp.echo_reply"),
+		respUnreachable:  r.Counter("probe.resp.unreachable"),
+		respTimeout:      r.Counter("probe.resp.timeout"),
+		rateLimitDrops:   r.Counter("probe.ratelimit.drops"),
+		traceHops:        r.Histogram("probe.trace_hops", []int64{2, 4, 8, 16, 32, 64}),
+	}
+}
+
+// countHop attributes one traceroute hop response to its ICMP class.
+func (e *Engine) countHop(t HopType) {
+	switch t {
+	case HopTimeExceeded:
+		e.eobs.respTimeExceeded.Inc()
+	case HopEchoReply:
+		e.eobs.respEchoReply.Inc()
+	case HopUnreachable:
+		e.eobs.respUnreachable.Inc()
+	default:
+		e.eobs.respTimeout.Inc()
+	}
 }
 
 // Stats counts the traffic the engine has carried.

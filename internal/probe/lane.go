@@ -1,0 +1,85 @@
+package probe
+
+import (
+	"time"
+
+	"bdrmap/internal/netx"
+	"bdrmap/internal/topo"
+)
+
+// Lane is a worker-private measurement timeline. The scamper driver probes
+// target ASes from several workers at once; with the engine's shared clock
+// and shared per-router response state, the interleaving of goroutines
+// would leak into IP-ID values, rate-limit windows, and RTTs, making two
+// runs of the same world differ at the byte level. A Lane gives each
+// worker its own virtual clock (starting at the shared clock's value when
+// the run began) plus private IP-ID and rate-limit state, so every trace's
+// outcome is a pure function of (destination, lane schedule) — identical
+// no matter how the scheduler interleaves workers.
+//
+// Each worker's lane advances by PacePerHop per probe packet, modelling
+// the ~100 packets/second pacing of the paper's deployments; the driver
+// merges lane end times with an atomic max to recover the run's simulated
+// duration (wall-clock of a real parallel deployment = the slowest
+// worker's timeline).
+//
+// A Lane must not be shared between goroutines.
+type Lane struct {
+	e     *Engine
+	clock time.Duration
+	ipid  map[topo.RouterID]*ipidState
+	rate  map[topo.RouterID]*rateState
+}
+
+// NewLane creates a lane whose clock starts at start (normally the shared
+// engine clock when the measurement run begins).
+func (e *Engine) NewLane(start time.Duration) *Lane {
+	return &Lane{
+		e:     e,
+		clock: start,
+		ipid:  make(map[topo.RouterID]*ipidState),
+		rate:  make(map[topo.RouterID]*rateState),
+	}
+}
+
+// Now returns the lane's virtual clock.
+func (l *Lane) Now() time.Duration { return l.clock }
+
+// Lane implements responder over its private state: no locks, no shared
+// mutation, deterministic for a fixed probing schedule.
+func (l *Lane) now() time.Duration { return l.clock }
+
+func (l *Lane) nextIPID(r *topo.Router, ifc *topo.Iface) uint16 {
+	st := l.ipid[r.ID]
+	if st == nil {
+		st = newIPIDState(r.ID)
+		l.ipid[r.ID] = st
+	}
+	return st.next(r, ifc, l.clock)
+}
+
+func (l *Lane) allow(r *topo.Router) bool {
+	if r.Behavior.RateLimitPPS <= 0 {
+		return true
+	}
+	st := l.rate[r.ID]
+	if st == nil {
+		st = &rateState{}
+		l.rate[r.ID] = st
+	}
+	ok := st.allow(r.Behavior.RateLimitPPS, l.clock)
+	if !ok {
+		l.e.eobs.rateLimitDrops.Inc()
+	}
+	return ok
+}
+
+// TracerouteLane runs a Paris traceroute on the lane's timeline and then
+// paces the lane clock forward by PacePerHop per packet sent. The engine's
+// shared clock is untouched; the driver advances it once, deterministically,
+// after all lanes complete.
+func (e *Engine) TracerouteLane(vp *topo.VP, dst netx.Addr, stop func(netx.Addr) bool, lane *Lane) TraceResult {
+	res := e.traceroute(vp, dst, stop, lane)
+	lane.clock += time.Duration(len(res.Hops)) * PacePerHop
+	return res
+}

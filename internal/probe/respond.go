@@ -55,24 +55,54 @@ type TraceResult struct {
 // consecutive unresponsive hops.
 const gapLimit = 5
 
+// PacePerHop is the simulated pacing cost of one traceroute packet
+// (~100 packets/second, the rate the paper's deployments probe at).
+const PacePerHop = 10 * time.Millisecond
+
+// responder abstracts the stateful response machinery (clock, IP-ID
+// generation, rate limiting) so a traceroute can run either against the
+// engine's shared measurement timeline or against a worker-private Lane
+// (lane.go) whose state is untouched by concurrent probing.
+type responder interface {
+	now() time.Duration
+	nextIPID(r *topo.Router, ifc *topo.Iface) uint16
+	allow(r *topo.Router) bool
+}
+
+// engineResponder is the shared-clock responder: IP-ID and rate state live
+// on the engine, guarded by its mutex.
+type engineResponder struct{ e *Engine }
+
+func (rt engineResponder) now() time.Duration { return rt.e.Now() }
+func (rt engineResponder) nextIPID(r *topo.Router, ifc *topo.Iface) uint16 {
+	return rt.e.nextIPID(r, ifc)
+}
+func (rt engineResponder) allow(r *topo.Router) bool { return rt.e.allowResponse(r) }
+
 // Traceroute runs a Paris traceroute (ICMP-echo probes) from vp toward dst.
 // stop, when non-nil, is consulted with each responding address: returning
 // true halts the trace after recording that hop (the doubletree stop set,
 // §5.3).
 func (e *Engine) Traceroute(vp *topo.VP, dst netx.Addr, stop func(netx.Addr) bool) TraceResult {
+	return e.traceroute(vp, dst, stop, engineResponder{e})
+}
+
+func (e *Engine) traceroute(vp *topo.VP, dst netx.Addr, stop func(netx.Addr) bool, rt responder) TraceResult {
 	e.mu.Lock()
 	e.stats.Traceroutes++
 	e.mu.Unlock()
+	e.eobs.traceroutes.Inc()
 
 	res := TraceResult{VP: vp.Name, Dst: dst}
 	path := e.computePath(vp.Router, dst)
 
 	gap := 0
 	for i, step := range path.steps {
-		hopRTT := e.pathRTT(pathResult{steps: path.steps[:i+1]}, e.Now())
+		hopRTT := e.pathRTT(pathResult{steps: path.steps[:i+1]}, rt.now())
 		e.mu.Lock()
 		e.stats.PacketsSent++
 		e.mu.Unlock()
+		e.eobs.packets.Inc()
 
 		final := i == len(path.steps)-1
 		hop := Hop{TTL: i + 1, Type: HopTimeout}
@@ -82,25 +112,26 @@ func (e *Engine) Traceroute(vp *topo.VP, dst netx.Addr, stop func(netx.Addr) boo
 			// interface, or a host behind the prefix anchor) may answer
 			// with an echo reply whose source is the probed address.
 			if path.exactIface != nil && path.exactIface.Router == step.router.ID {
-				if !step.router.Behavior.NoEchoReply && e.allowResponse(step.router) {
+				if !step.router.Behavior.NoEchoReply && rt.allow(step.router) {
 					hop.Type = HopEchoReply
 					hop.Addr = dst
-					hop.IPID = e.nextIPID(step.router, path.exactIface)
+					hop.IPID = rt.nextIPID(step.router, path.exactIface)
 				}
-			} else if path.anchorReplies && e.allowResponse(step.router) {
+			} else if path.anchorReplies && rt.allow(step.router) {
 				hop.Type = HopEchoReply
 				hop.Addr = dst
-				hop.IPID = e.nextIPID(step.router, nil)
+				hop.IPID = rt.nextIPID(step.router, nil)
 			}
 			if hop.Type != HopEchoReply && path.reached && step.in != nil &&
-				!step.router.Behavior.NoUDPUnreach && e.allowResponse(step.router) {
+				!step.router.Behavior.NoUDPUnreach && rt.allow(step.router) {
 				// No host answers behind this prefix: the last router
 				// reports the destination unreachable (§5.4.8 accepts
 				// these alongside echo replies).
 				hop.Type = HopUnreachable
 				hop.Addr = step.in.Addr
-				hop.IPID = e.nextIPID(step.router, step.in)
+				hop.IPID = rt.nextIPID(step.router, step.in)
 			}
+			e.countHop(hop.Type)
 			if hop.Type != HopTimeout {
 				hop.RTT = hopRTT
 				if hop.Type == HopEchoReply {
@@ -110,6 +141,7 @@ func (e *Engine) Traceroute(vp *topo.VP, dst netx.Addr, stop func(netx.Addr) boo
 				e.mu.Lock()
 				e.stats.ResponsesRcv++
 				e.mu.Unlock()
+				e.eobs.responses.Inc()
 			} else {
 				res.Hops = append(res.Hops, hop)
 			}
@@ -117,15 +149,16 @@ func (e *Engine) Traceroute(vp *topo.VP, dst netx.Addr, stop func(netx.Addr) boo
 		}
 
 		// Intermediate hop: ICMP time exceeded per the router's behaviour.
-		if !step.router.Behavior.NoTTLExpired && e.allowResponse(step.router) {
+		if !step.router.Behavior.NoTTLExpired && rt.allow(step.router) {
 			src, ifc := e.ttlExpiredSource(vp, step, path, i)
 			if !src.IsZero() {
 				hop.Type = HopTimeExceeded
 				hop.Addr = src
-				hop.IPID = e.nextIPID(step.router, ifc)
+				hop.IPID = rt.nextIPID(step.router, ifc)
 				hop.RTT = hopRTT
 			}
 		}
+		e.countHop(hop.Type)
 		res.Hops = append(res.Hops, hop)
 		if hop.Type == HopTimeout {
 			if gap++; gap >= gapLimit {
@@ -137,11 +170,13 @@ func (e *Engine) Traceroute(vp *topo.VP, dst netx.Addr, stop func(netx.Addr) boo
 		e.mu.Lock()
 		e.stats.ResponsesRcv++
 		e.mu.Unlock()
+		e.eobs.responses.Inc()
 		if stop != nil && stop(hop.Addr) {
 			res.Stopped = true
 			break
 		}
 	}
+	e.eobs.traceHops.Observe(int64(len(res.Hops)))
 	return res
 }
 
@@ -220,6 +255,8 @@ func (e *Engine) Probe(vp *topo.VP, target netx.Addr, m Method) Response {
 	e.stats.Probes++
 	e.stats.PacketsSent++
 	e.mu.Unlock()
+	e.eobs.probes.Inc()
+	e.eobs.packets.Inc()
 
 	path := e.computePath(vp.Router, target)
 	if !path.reached || path.exactIface == nil {
@@ -273,6 +310,7 @@ func (e *Engine) Probe(vp *topo.VP, target netx.Addr, m Method) Response {
 	e.mu.Lock()
 	e.stats.ResponsesRcv++
 	e.mu.Unlock()
+	e.eobs.responses.Inc()
 	return resp
 }
 
@@ -294,26 +332,24 @@ type ipidState struct {
 	rndSeed uint32
 }
 
-// nextIPID draws the next IP-ID for a response from r on interface ifc
-// (ifc may be nil), per the router's IP-ID discipline.
-func (e *Engine) nextIPID(r *topo.Router, ifc *topo.Iface) uint16 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	st := e.ipid[r.ID]
-	if st == nil {
-		st = &ipidState{
-			base:    uint16(uint32(r.ID)*2654435761 + 17),
-			bgRate:  20 + float64(uint32(r.ID)%180),
-			perIfc:  make(map[netx.Addr]uint16),
-			rndSeed: uint32(r.ID)*2246822519 + 3,
-		}
-		e.ipid[r.ID] = st
+// newIPIDState seeds the per-router IP-ID generator state.
+func newIPIDState(id topo.RouterID) *ipidState {
+	return &ipidState{
+		base:    uint16(uint32(id)*2654435761 + 17),
+		bgRate:  20 + float64(uint32(id)%180),
+		perIfc:  make(map[netx.Addr]uint16),
+		rndSeed: uint32(id)*2246822519 + 3,
 	}
+}
+
+// next draws the next IP-ID per the router's discipline at simulated time
+// now. The caller must guarantee exclusive access to st.
+func (st *ipidState) next(r *topo.Router, ifc *topo.Iface, now time.Duration) uint16 {
 	switch r.Behavior.IPID {
 	case topo.IPIDShared:
 		// One central counter advanced by everything the router sends,
 		// including background traffic proportional to elapsed time.
-		bg := uint16(uint64(st.bgRate*e.now.Seconds()) & 0xffff)
+		bg := uint16(uint64(st.bgRate*now.Seconds()) & 0xffff)
 		st.sent++
 		return st.base + bg + uint16(st.sent)
 	case topo.IPIDPerIface:
@@ -322,7 +358,7 @@ func (e *Engine) nextIPID(r *topo.Router, ifc *topo.Iface) uint16 {
 			key = ifc.Addr
 		}
 		st.perIfc[key]++
-		bg := uint16(uint64(st.bgRate*e.now.Seconds()) & 0xffff)
+		bg := uint16(uint64(st.bgRate*now.Seconds()) & 0xffff)
 		return uint16(uint32(key)*40503) + bg + st.perIfc[key]
 	case topo.IPIDRandom:
 		st.rndSeed = st.rndSeed*1664525 + 1013904223
@@ -332,9 +368,37 @@ func (e *Engine) nextIPID(r *topo.Router, ifc *topo.Iface) uint16 {
 	}
 }
 
+// nextIPID draws the next IP-ID for a response from r on interface ifc
+// (ifc may be nil), per the router's IP-ID discipline.
+func (e *Engine) nextIPID(r *topo.Router, ifc *topo.Iface) uint16 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.ipid[r.ID]
+	if st == nil {
+		st = newIPIDState(r.ID)
+		e.ipid[r.ID] = st
+	}
+	return st.next(r, ifc, e.now)
+}
+
 type rateState struct {
 	window int64 // second index
 	count  int
+}
+
+// allow applies the per-second budget at simulated time now. The caller
+// must guarantee exclusive access to st.
+func (st *rateState) allow(limit int, now time.Duration) bool {
+	sec := int64(now / time.Second)
+	if st.window != sec {
+		st.window = sec
+		st.count = 0
+	}
+	if st.count >= limit {
+		return false
+	}
+	st.count++
+	return true
 }
 
 // allowResponse applies the router's ICMP rate limit.
@@ -343,20 +407,15 @@ func (e *Engine) allowResponse(r *topo.Router) bool {
 		return true
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	st := e.rate[r.ID]
 	if st == nil {
 		st = &rateState{}
 		e.rate[r.ID] = st
 	}
-	sec := int64(e.now / time.Second)
-	if st.window != sec {
-		st.window = sec
-		st.count = 0
+	ok := st.allow(r.Behavior.RateLimitPPS, e.now)
+	e.mu.Unlock()
+	if !ok {
+		e.eobs.rateLimitDrops.Inc()
 	}
-	if st.count >= r.Behavior.RateLimitPPS {
-		return false
-	}
-	st.count++
-	return true
+	return ok
 }

@@ -1,0 +1,150 @@
+package scamper
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"bdrmap/internal/bgp"
+	"bdrmap/internal/obs"
+	"bdrmap/internal/probe"
+	"bdrmap/internal/topo"
+)
+
+// runOnce builds a fresh engine over a shared world and runs the full
+// measurement schedule with the given worker count, returning the dataset
+// and the metrics snapshot.
+func runOnce(t *testing.T, n *topo.Network, workers int) (*Dataset, obs.Snapshot) {
+	t.Helper()
+	tab := bgp.NewTable(n)
+	view := bgp.Collect(tab, bgp.DefaultVantages(n))
+	reg := obs.New()
+	e := probe.New(n, tab)
+	e.SetObs(reg)
+	d := &Driver{
+		View:     view,
+		Prober:   LocalProber{E: e, VP: n.VPs[0]},
+		HostASNs: map[topo.ASN]bool{n.HostASN: true},
+		Cfg:      Config{Workers: workers},
+		Obs:      reg,
+	}
+	return d.Run(), reg.Snapshot()
+}
+
+// serializeTraces renders every trace byte-for-byte: destination, stop
+// flags, and each hop's TTL, address, type, IP-ID, and RTT. Any
+// scheduling leak — a shared clock read, a shared IP-ID counter, a
+// rate-limit window shared across workers — shows up here.
+func serializeTraces(ds *Dataset) string {
+	var b strings.Builder
+	for _, tr := range ds.Traces {
+		fmt.Fprintf(&b, "as=%v dst=%v reached=%t stopped=%t |", tr.TargetAS, tr.Dst, tr.Reached, tr.Stopped)
+		for _, h := range tr.Hops {
+			fmt.Fprintf(&b, " %d:%v/%d/%d/%d", h.TTL, h.Addr, h.Type, h.IPID, h.RTT)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestParallelRunDeterministic runs the Workers:4 measurement schedule
+// twice over the same world and requires byte-identical traces and
+// identical deterministic metrics: the per-worker lanes must make the
+// parallel run a pure function of the world, independent of goroutine
+// interleaving.
+func TestParallelRunDeterministic(t *testing.T) {
+	n := topo.Generate(topo.TinyProfile(), 1)
+	ds1, snap1 := runOnce(t, n, 4)
+	ds2, snap2 := runOnce(t, n, 4)
+
+	s1, s2 := serializeTraces(ds1), serializeTraces(ds2)
+	if s1 != s2 {
+		i := 0
+		for i < len(s1) && i < len(s2) && s1[i] == s2[i] {
+			i++
+		}
+		lo := i - 80
+		if lo < 0 {
+			lo = 0
+		}
+		t.Fatalf("traces differ between identical Workers:4 runs near byte %d:\nrun1: …%s\nrun2: …%s",
+			i, s1[lo:min(i+80, len(s1))], s2[lo:min(i+80, len(s2))])
+	}
+	if ds1.Stats != ds2.Stats {
+		t.Fatalf("run stats differ:\nrun1: %+v\nrun2: %+v", ds1.Stats, ds2.Stats)
+	}
+	if snap1.Fingerprint() != snap2.Fingerprint() {
+		t.Fatalf("metric fingerprints differ:\nrun1:\n%s\nrun2:\n%s", snap1.Format(), snap2.Format())
+	}
+	if ds1.Stats.Traces == 0 || ds1.Stats.SimDuration == 0 {
+		t.Fatalf("degenerate run: %+v", ds1.Stats)
+	}
+}
+
+// TestWorkerCountChangesOnlySchedule documents the lane model's contract:
+// the set of destinations probed is worker-count-invariant (the schedule
+// partitions targets, it does not reorder blocks within one), though
+// per-hop timings may differ because lane clocks advance independently.
+func TestWorkerCountChangesOnlySchedule(t *testing.T) {
+	n := topo.Generate(topo.TinyProfile(), 1)
+	ds1, _ := runOnce(t, n, 1)
+	ds4, _ := runOnce(t, n, 4)
+	dsts := func(ds *Dataset) map[string]int {
+		out := make(map[string]int)
+		for _, tr := range ds.Traces {
+			out[fmt.Sprintf("%v->%v", tr.TargetAS, tr.Dst)]++
+		}
+		return out
+	}
+	d1, d4 := dsts(ds1), dsts(ds4)
+	if len(d1) != len(d4) {
+		t.Fatalf("destination sets differ: %d (Workers:1) vs %d (Workers:4)", len(d1), len(d4))
+	}
+	for k, v := range d1 {
+		if d4[k] != v {
+			t.Fatalf("destination %s probed %d times with Workers:1, %d with Workers:4", k, v, d4[k])
+		}
+	}
+}
+
+// TestConcurrentDriversShareEngine exercises the shared engine and a
+// shared registry from two concurrent measurement runs — this is the
+// -race canary for the lane state, the engine's shared clock advance, and
+// every obs primitive. Outputs are not compared (two drivers racing over
+// one simulated clock are not meant to be reproducible); the test asserts
+// only that both complete and the shared counters add up.
+func TestConcurrentDriversShareEngine(t *testing.T) {
+	n := topo.Generate(topo.TinyProfile(), 1)
+	tab := bgp.NewTable(n)
+	view := bgp.Collect(tab, bgp.DefaultVantages(n))
+	reg := obs.New()
+	e := probe.New(n, tab)
+	e.SetObs(reg)
+
+	var wg sync.WaitGroup
+	results := make([]*Dataset, 2)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d := &Driver{
+				View:     view,
+				Prober:   LocalProber{E: e, VP: n.VPs[0]},
+				HostASNs: map[topo.ASN]bool{n.HostASN: true},
+				Cfg:      Config{Workers: 4},
+				Obs:      reg,
+			}
+			results[i] = d.Run()
+		}(i)
+	}
+	wg.Wait()
+
+	total := int64(results[0].Stats.Traces + results[1].Stats.Traces)
+	if got := reg.Snapshot().Counter("driver.traces"); got != total {
+		t.Fatalf("driver.traces = %d, want %d", got, total)
+	}
+	if results[0].Stats.Traces == 0 || results[1].Stats.Traces == 0 {
+		t.Fatal("a concurrent run produced no traces")
+	}
+}

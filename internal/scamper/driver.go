@@ -8,6 +8,7 @@ import (
 	"bdrmap/internal/alias"
 	"bdrmap/internal/bgp"
 	"bdrmap/internal/netx"
+	"bdrmap/internal/obs"
 	"bdrmap/internal/probe"
 	"bdrmap/internal/topo"
 )
@@ -122,35 +123,90 @@ type Driver struct {
 	Prober   Prober
 	HostASNs map[topo.ASN]bool
 	Cfg      Config
+	// Obs receives the driver's pipeline metrics (per-stage simulated and
+	// wall-clock time, trace/stop-set/alias counters). Nil disables them.
+	Obs *obs.Registry
+}
+
+// LaneProber is implemented by probers that support deterministic
+// per-worker measurement timelines (probe.Lane). The driver gives each
+// worker goroutine its own lane so a parallel run's traces are a pure
+// function of the world and the schedule, independent of goroutine
+// interleaving. Probers without lane support (e.g. remote agents) fall
+// back to the shared-clock path.
+type LaneProber interface {
+	Prober
+	NewLane(start time.Duration) *probe.Lane
+	TraceLane(dst netx.Addr, stopSet map[netx.Addr]bool, lane *probe.Lane) probe.TraceResult
 }
 
 // Run executes probing and alias resolution, returning the dataset.
 func (d *Driver) Run() *Dataset {
 	cfg := d.Cfg.withDefaults()
-	start := d.now()
+	simStart := d.now()
 	targets := Targets(d.View, d.HostASNs)
 	ds := &Dataset{VPName: d.Prober.Name()}
 	ds.Stats.Targets = len(targets)
+	d.Obs.Add("driver.targets", int64(len(targets)))
 
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
+	probeSpan := d.Obs.StartStage("driver.probe")
 	results := make([][]TraceRecord, len(targets))
 	stopped := make([]int, len(targets))
-	for i, t := range targets {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, t Target) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			recs, nStopped := d.probeTarget(t, cfg)
-			mu.Lock()
-			results[i] = recs
-			stopped[i] = nStopped
-			mu.Unlock()
-		}(i, t)
+
+	// simEnd merges the per-worker virtual clocks with an atomic max: the
+	// run's simulated duration is the slowest worker's timeline, and the
+	// max is order-independent no matter how workers interleave.
+	var simEnd obs.Max
+	simEnd.Observe(int64(simStart))
+
+	if lp, ok := d.Prober.(LaneProber); ok {
+		// Deterministic path: worker w handles targets w, w+W, w+2W, …
+		// on its own lane. Each results slot is written by exactly one
+		// worker, so the merge below needs no locks and no ordering.
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				lane := lp.NewLane(simStart)
+				trace := func(dst netx.Addr, ss map[netx.Addr]bool) probe.TraceResult {
+					return lp.TraceLane(dst, ss, lane)
+				}
+				for i := w; i < len(targets); i += cfg.Workers {
+					results[i], stopped[i] = d.probeTarget(targets[i], cfg, trace)
+				}
+				simEnd.Observe(int64(lane.Now()))
+			}(w)
+		}
+		wg.Wait()
+		// Push the shared clock to the end of the slowest lane so the
+		// alias stage (and any later run) starts at a well-defined time.
+		if end := time.Duration(simEnd.Load()); end > simStart {
+			d.Prober.Advance(end - simStart)
+		}
+	} else {
+		// Shared-clock fallback (remote probers): bounded concurrency via
+		// a semaphore, pacing applied by the prober itself.
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, cfg.Workers)
+		for i, t := range targets {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, t Target) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				recs, nStopped := d.probeTarget(t, cfg, d.Prober.Trace)
+				mu.Lock()
+				results[i] = recs
+				stopped[i] = nStopped
+				mu.Unlock()
+			}(i, t)
+		}
+		wg.Wait()
+		simEnd.Observe(int64(d.now()))
 	}
-	wg.Wait()
+
 	for i := range results {
 		ds.Traces = append(ds.Traces, results[i]...)
 		ds.Stats.TracesStopped += stopped[i]
@@ -159,9 +215,25 @@ func (d *Driver) Run() *Dataset {
 	for _, tr := range ds.Traces {
 		ds.Stats.HopsObserved += len(tr.Hops)
 	}
+	d.Obs.Add("driver.traces", int64(ds.Stats.Traces))
+	d.Obs.Add("driver.traces_stopped", int64(ds.Stats.TracesStopped))
+	d.Obs.Add("driver.hops_observed", int64(ds.Stats.HopsObserved))
+	d.Obs.Max("driver.sim_clock_ns").Observe(simEnd.Load())
+	probeSim := time.Duration(simEnd.Load()) - simStart
+	probeSpan.AddSim(probeSim)
+	probeSpan.End()
 
+	aliasSpan := d.Obs.StartStage("driver.alias")
+	aliasStart := d.now()
 	d.resolveAliases(ds, cfg)
-	ds.Stats.SimDuration = d.now() - start
+	aliasSim := d.now() - aliasStart
+	aliasSpan.AddSim(aliasSim)
+	aliasSpan.End()
+
+	// SimDuration is derived from the obs primitives (atomic max over
+	// worker lanes plus the single-threaded alias stage) rather than from
+	// unordered reads of the shared clock.
+	ds.Stats.SimDuration = probeSim + aliasSim
 	return ds
 }
 
@@ -194,7 +266,7 @@ func (d *Driver) isExternal(addr netx.Addr) bool {
 // probeTarget runs the per-target-AS schedule: probe each block's first
 // address; when the trace shows no external address (or only the probed
 // one), try further addresses, up to the configured maximum (§5.3).
-func (d *Driver) probeTarget(t Target, cfg Config) ([]TraceRecord, int) {
+func (d *Driver) probeTarget(t Target, cfg Config, trace func(netx.Addr, map[netx.Addr]bool) probe.TraceResult) ([]TraceRecord, int) {
 	var out []TraceRecord
 	nStopped := 0
 	stopSet := make(map[netx.Addr]bool)
@@ -210,7 +282,7 @@ func (d *Driver) probeTarget(t Target, cfg Config) ([]TraceRecord, int) {
 			if !cfg.DisableStopSet {
 				ss = stopSet
 			}
-			res := d.Prober.Trace(dst, ss)
+			res := trace(dst, ss)
 			out = append(out, TraceRecord{TraceResult: res, TargetAS: t.AS})
 			if res.Stopped {
 				nStopped++
@@ -274,6 +346,7 @@ func (d *Driver) resolveAliases(ds *Dataset, cfg Config) {
 		}
 	}
 	ds.Stats.AddrsObserved = len(addrSet)
+	d.Obs.Add("driver.addrs_observed", int64(len(addrSet)))
 	if cfg.DisableAlias {
 		ds.Graph = alias.NewGraph()
 		return
@@ -289,6 +362,7 @@ func (d *Driver) resolveAliases(ds *Dataset, cfg Config) {
 		r := d.Prober.Probe(a, probe.MethodUDP)
 		if r.OK && r.From != a && !r.From.IsZero() {
 			res.Record(a, r.From, alias.AliasYes)
+			d.Obs.Inc("driver.alias.mercator_hits")
 		}
 	}
 
@@ -304,7 +378,14 @@ func (d *Driver) resolveAliases(ds *Dataset, cfg Config) {
 		limit := cfg.MaxPairsPerAddr
 		for i := 0; i < len(succ) && limit > 0; i++ {
 			for j := i + 1; j < len(succ) && limit > 0; j++ {
-				res.Resolve(succ[i], succ[j])
+				switch res.Resolve(succ[i], succ[j]) {
+				case alias.AliasYes:
+					d.Obs.Inc("driver.alias.ally_yes")
+				case alias.AliasNo:
+					d.Obs.Inc("driver.alias.ally_no")
+				default:
+					d.Obs.Inc("driver.alias.ally_unknown")
+				}
 				pairs++
 				limit--
 			}
@@ -313,10 +394,13 @@ func (d *Driver) resolveAliases(ds *Dataset, cfg Config) {
 	// Prefixscan on every observed edge: confirm the inbound interface
 	// and resolve the near-side alias of the point-to-point subnet.
 	for _, e := range edges {
-		res.Prefixscan(e.prev, e.cur)
+		if _, ok := res.Prefixscan(e.prev, e.cur); ok {
+			d.Obs.Inc("driver.alias.prefixscan_hits")
+		}
 		pairs++
 	}
 	ds.Stats.AliasPairsRun = pairs
+	d.Obs.Add("driver.alias.pairs", int64(pairs))
 	ds.Graph = alias.FromResolver(res)
 }
 

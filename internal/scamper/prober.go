@@ -45,14 +45,27 @@ func (p LocalProber) Name() string { return p.VP.Name }
 
 // Trace runs one traceroute.
 func (p LocalProber) Trace(dst netx.Addr, stopSet map[netx.Addr]bool) probe.TraceResult {
-	var stop func(netx.Addr) bool
-	if stopSet != nil {
-		stop = func(a netx.Addr) bool { return stopSet[a] }
-	}
-	res := p.E.Traceroute(p.VP, dst, stop)
+	res := p.E.Traceroute(p.VP, dst, stopFunc(stopSet))
 	// Pace at ~100 packets/second like the paper's deployments.
-	p.E.Advance(time.Duration(len(res.Hops)) * 10 * time.Millisecond)
+	p.E.Advance(time.Duration(len(res.Hops)) * probe.PacePerHop)
 	return res
+}
+
+// NewLane opens a worker-private measurement timeline on the engine.
+func (p LocalProber) NewLane(start time.Duration) *probe.Lane {
+	return p.E.NewLane(start)
+}
+
+// TraceLane runs one traceroute on a lane's private timeline.
+func (p LocalProber) TraceLane(dst netx.Addr, stopSet map[netx.Addr]bool, lane *probe.Lane) probe.TraceResult {
+	return p.E.TracerouteLane(p.VP, dst, stopFunc(stopSet), lane)
+}
+
+func stopFunc(stopSet map[netx.Addr]bool) func(netx.Addr) bool {
+	if stopSet == nil {
+		return nil
+	}
+	return func(a netx.Addr) bool { return stopSet[a] }
 }
 
 // Probe sends one probe.
@@ -64,4 +77,5 @@ func (p LocalProber) Probe(target netx.Addr, m probe.Method) probe.Response {
 func (p LocalProber) Advance(d time.Duration) { p.E.Advance(d) }
 
 var _ Prober = LocalProber{}
+var _ LaneProber = LocalProber{}
 var _ alias.ProbeSource = LocalProber{}

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"bdrmap/internal/core"
 	"bdrmap/internal/eval"
@@ -197,8 +198,49 @@ func (w *World) MapBordersOpts(vp int, o Options) *Report {
 	}
 	opts := core.Options{NoAnalyticalAlias: o.DisableAlias}
 	res := w.s.RunVP(vp, cfg, opts)
-	v := w.s.Validate(res)
+	return w.buildReport(res)
+}
 
+// RemoteOptions tunes a remote mapping run.
+type RemoteOptions struct {
+	// DisableStopSet turns off the doubletree optimization (§5.3).
+	DisableStopSet bool
+	// DisableAlias skips alias resolution (exposes the fig. 13 errors).
+	DisableAlias bool
+	// FaultSpec injects deterministic transport and probe faults into the
+	// remote session (comma-separated key=value syntax, e.g.
+	// "seed=11,drop=0.12,heal=40"; see internal/faults). Empty means a
+	// clean link.
+	FaultSpec string
+	// TargetTimeout bounds the wall-clock time spent on one target AS;
+	// zero means no limit (the deterministic default).
+	TargetTimeout time.Duration
+}
+
+// MapBordersRemote measures from vantage point vp over the §5.8
+// remote-control protocol: the probing agent runs behind a loopback TCP
+// session (optionally degraded by o.FaultSpec) and the hardened
+// controller retries, resumes, and — if the session is permanently lost —
+// degrades to a partial map. Probing is single-worker so that for a
+// fixed world seed and fault spec the report is deterministic.
+func (w *World) MapBordersRemote(vp int, o RemoteOptions) (*Report, error) {
+	cfg := scamper.Config{
+		Workers:        1,
+		DisableStopSet: o.DisableStopSet,
+		DisableAlias:   o.DisableAlias,
+		TargetTimeout:  o.TargetTimeout,
+	}
+	opts := core.Options{NoAnalyticalAlias: o.DisableAlias}
+	res, err := w.s.RunVPRemote(vp, cfg, opts, o.FaultSpec)
+	if err != nil {
+		return nil, err
+	}
+	return w.buildReport(res), nil
+}
+
+// buildReport validates an inference result and shapes it for callers.
+func (w *World) buildReport(res *core.Result) *Report {
+	v := w.s.Validate(res)
 	rep := &Report{
 		VPName:    res.VPName,
 		Neighbors: make(map[ASN]int),

@@ -9,7 +9,13 @@
 //	bdrmap [-profile tiny|re|small-access|large-access|tier1|enterprise]
 //	       [-topo saved.world] [-seed N] [-vp N]
 //	       [-table1] [-merged] [-o out.jsonl] [-dnscheck]
+//	       [-remote] [-faults spec] [-target-timeout d]
 //	       [-no-alias] [-no-stopset] [-metrics] [-v]
+//
+// -remote runs the measurement over the §5.8 remote-control protocol (an
+// in-process agent behind loopback TCP); -faults degrades that session
+// with a deterministic fault spec (see internal/faults) and implies
+// -remote.
 package main
 
 import (
@@ -36,6 +42,9 @@ func main() {
 		merged    = flag.Bool("merged", false, "measure from every VP and print the merged map")
 		metrics   = flag.Bool("metrics", false, "print the pipeline observability snapshot")
 		verbose   = flag.Bool("v", false, "print every inferred link")
+		remote    = flag.Bool("remote", false, "probe over the §5.8 remote-control protocol")
+		faultSpec = flag.String("faults", "", "fault-injection spec for the remote session, e.g. seed=11,drop=0.12,heal=40 (implies -remote)")
+		targetTO  = flag.Duration("target-timeout", 0, "wall-clock budget per target AS in remote mode (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -69,10 +78,28 @@ func main() {
 	fmt.Printf("profile=%s seed=%d host=%v vps=%d\n",
 		prof.Name, *seed, world.HostASN(), world.NumVPs())
 
-	rep := world.MapBordersOpts(*vp, bdrmap.Options{
-		DisableAlias:   *noAlias,
-		DisableStopSet: *noStopSet,
-	})
+	var rep *bdrmap.Report
+	if *remote || *faultSpec != "" {
+		var err error
+		rep, err = world.MapBordersRemote(*vp, bdrmap.RemoteOptions{
+			DisableAlias:   *noAlias,
+			DisableStopSet: *noStopSet,
+			FaultSpec:      *faultSpec,
+			TargetTimeout:  *targetTO,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if lost := world.Scenario().Datasets[*vp].Stats.TargetsLost; lost > 0 {
+			fmt.Printf("remote session degraded: %d target(s) abandoned\n", lost)
+		}
+	} else {
+		rep = world.MapBordersOpts(*vp, bdrmap.Options{
+			DisableAlias:   *noAlias,
+			DisableStopSet: *noStopSet,
+		})
+	}
 	fmt.Printf("vantage point %s: %d interdomain links, %d neighbor ASes (simulated run time %v)\n",
 		rep.VPName, len(rep.Links), len(rep.Neighbors),
 		world.Scenario().Datasets[*vp].Stats.SimDuration.Round(time.Minute))

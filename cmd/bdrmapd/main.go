@@ -21,6 +21,7 @@ import (
 	"bdrmap/internal/bgp"
 	"bdrmap/internal/core"
 	"bdrmap/internal/eval"
+	"bdrmap/internal/faults"
 	"bdrmap/internal/obs"
 	"bdrmap/internal/probe"
 	"bdrmap/internal/scamper"
@@ -35,6 +36,7 @@ func main() {
 		demo        = flag.Bool("demo", true, "spawn an in-process demo agent")
 		metricsAddr = flag.String("metrics-addr", "", "serve the obs registry as JSON over HTTP on this address (e.g. 127.0.0.1:9100)")
 		metricsJSON = flag.Bool("metrics-json", false, "print the final metrics snapshot as JSON on exit")
+		faultSpec   = flag.String("faults", "", "inject deterministic faults into the agent link, e.g. seed=11,drop=0.12,heal=40 (see internal/faults)")
 	)
 	flag.Parse()
 
@@ -69,13 +71,25 @@ func main() {
 		log.Fatal(err)
 	}
 	defer ctrl.Close()
+	ctrl.SetObs(s.Obs)
 	log.Printf("bdrmapd listening on %s", ctrl.Addr())
+
+	spec, err := faults.Parse(*faultSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inj := faults.New(spec)
 
 	agentEngine := probe.New(s.Net, bgp.NewTable(s.Net))
 	agentEngine.SetObs(s.Obs)
+	agentEngine.SetFaults(inj)
 	agent := &scamper.Agent{E: agentEngine, VP: s.Net.VPs[0]}
 	go func() {
-		if err := agent.Dial(ctrl.Addr()); err != nil {
+		// DialRetry redials with backoff so a cut session resumes — the
+		// paper's agents reconnect after home-gateway reboots and churn.
+		if err := agent.DialRetry(ctrl.Addr(), scamper.DialOptions{
+			Dial: inj.DialFunc,
+		}); err != nil {
 			log.Printf("agent: %v", err)
 		}
 	}()
@@ -90,7 +104,9 @@ func main() {
 	d := &scamper.Driver{View: s.View, Prober: rp, HostASNs: s.HostASNs, Obs: s.Obs}
 	ds := d.Run()
 	if err := rp.Err(); err != nil {
-		log.Fatalf("transport: %v", err)
+		// A permanently lost session degrades to a partial map rather
+		// than aborting: whatever was measured is still inferred.
+		log.Printf("transport degraded: %v (%d target(s) lost)", err, ds.Stats.TargetsLost)
 	}
 	res := core.Infer(core.Input{
 		Data: ds, View: s.View, Rel: asrel.Infer(s.View), RIR: s.RIR, IXP: s.IXP,

@@ -10,10 +10,12 @@ package eval
 
 import (
 	"fmt"
+	"time"
 
 	"bdrmap/internal/asrel"
 	"bdrmap/internal/bgp"
 	"bdrmap/internal/core"
+	"bdrmap/internal/faults"
 	"bdrmap/internal/ixp"
 	"bdrmap/internal/obs"
 	"bdrmap/internal/probe"
@@ -101,6 +103,90 @@ func (s *Scenario) RunVP(i int, cfg scamper.Config, opts core.Options) *core.Res
 	s.Results[i] = res
 	s.Obs.Inc("eval.vp_runs")
 	return res
+}
+
+// RunVPRemote measures VP i over the §5.8 remote-control protocol: a thin
+// agent with its own engine dials back to an in-process controller over
+// loopback TCP, optionally through a deterministic fault injector
+// (faultSpec syntax: internal/faults, e.g. "seed=11,drop=0.12,heal=40").
+// Probing is forced to one worker so the command stream — and therefore
+// the fault schedule and the inferred links — is deterministic. A lost
+// session degrades gracefully: the partial dataset is still inferred and
+// Datasets[i].Stats.TargetsLost reports what was abandoned.
+func (s *Scenario) RunVPRemote(i int, cfg scamper.Config, opts core.Options, faultSpec string) (*core.Result, error) {
+	spec, err := faults.Parse(faultSpec)
+	if err != nil {
+		return nil, err
+	}
+	inj := faults.New(spec)
+
+	ctrl, err := scamper.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer ctrl.Close()
+	ctrl.SetObs(s.Obs)
+	ctrl.SetHelloTimeout(time.Second)
+
+	// The agent gets a fresh engine so this run's measurement is a pure
+	// function of (profile, seed, cfg, faultSpec) — prior local runs on
+	// the scenario's shared engine cannot contaminate it.
+	eng := probe.New(s.Net, s.Tab)
+	eng.SetObs(s.Obs)
+	eng.SetFaults(inj)
+	agent := &scamper.Agent{E: eng, VP: s.Net.VPs[i]}
+	agentDone := make(chan error, 1)
+	go func() {
+		agentDone <- agent.DialRetry(ctrl.Addr(), scamper.DialOptions{
+			Dial:         inj.DialFunc,
+			MaxRedials:   100,
+			RedialBase:   time.Millisecond,
+			RedialMax:    16 * time.Millisecond,
+			HelloTimeout: 250 * time.Millisecond,
+		})
+	}()
+
+	rp, err := ctrl.Accept()
+	if err != nil {
+		return nil, err
+	}
+	// Loopback scale: frame processing is sub-millisecond (the engine is
+	// simulated), so timeouts far below the WAN defaults keep chaos runs
+	// fast while still dwarfing any injected stall.
+	rp.SetHardening(scamper.Hardening{
+		FrameTimeout: 100 * time.Millisecond,
+		RetryBudget:  12,
+		BackoffBase:  time.Millisecond,
+		BackoffMax:   16 * time.Millisecond,
+		ResumeWait:   2 * time.Second,
+	})
+
+	cfg.Workers = 1
+	d := &scamper.Driver{
+		View:     s.View,
+		Prober:   rp,
+		HostASNs: s.HostASNs,
+		Cfg:      cfg,
+		Obs:      s.Obs,
+	}
+	ds := d.Run()
+	rp.Close()
+	select {
+	case <-agentDone:
+		// A clean bye returns nil; a killed agent reports its redial
+		// exhaustion. Either way the dataset below is what counts.
+	case <-time.After(10 * time.Second):
+	}
+
+	res := core.Infer(core.Input{
+		Data: ds, View: s.View, Rel: s.Rel, RIR: s.RIR, IXP: s.IXP,
+		HostASN: s.Net.HostASN, Siblings: s.Sibs, Opts: opts,
+		Obs: s.Obs,
+	})
+	s.Datasets[i] = ds
+	s.Results[i] = res
+	s.Obs.Inc("eval.vp_runs_remote")
+	return res, nil
 }
 
 // RunAll measures from every VP.

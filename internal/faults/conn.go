@@ -1,0 +1,115 @@
+package faults
+
+import (
+	"errors"
+	"net"
+	"time"
+)
+
+// ErrInjected marks transport errors produced by the fault layer, so
+// consumers (and tests) can tell injected failures from real ones.
+var ErrInjected = errors.New("faults: injected failure")
+
+// errCut is returned from a Write whose fate was a mid-session disconnect.
+var errCut = &net.OpError{Op: "write", Net: "faults", Err: ErrInjected}
+
+// Conn wraps a transport with the injector's wire faults. Write treats each
+// call as one protocol frame (the scamper codec writes whole frames in a
+// single call), so write fates are frame-granular; Read applies byte-offset
+// keyed corruption so its behavior is independent of kernel chunking.
+//
+// A Conn mirrors the determinism contract of its injector: with a
+// single-threaded peer (the probing agent) the fault schedule is exactly
+// reproducible for a fixed seed.
+type Conn struct {
+	inner net.Conn
+	inj   *Injector
+
+	readOff int64 // absolute bytes read so far, across this conn only? see WrapConn
+}
+
+// WrapConn wraps an established connection. The read-offset stream restarts
+// at zero per connection, keeping offsets deterministic across reconnects.
+func (i *Injector) WrapConn(c net.Conn) net.Conn {
+	return &Conn{inner: c, inj: i}
+}
+
+// DialFunc dials addr over TCP and wraps the result — and permanently fails
+// once the injector's kill budget has fired, modelling a dead device.
+func (i *Injector) DialFunc(addr string) (net.Conn, error) {
+	if i.Killed() {
+		return nil, &net.OpError{Op: "dial", Net: "faults", Err: ErrInjected}
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return i.WrapConn(c), nil
+}
+
+// Write applies the next frame fate and forwards to the inner connection.
+func (c *Conn) Write(b []byte) (int, error) {
+	switch c.inj.WriteFate() {
+	case FateDrop:
+		return len(b), nil // silently lost; the peer's deadline fires
+	case FateCorrupt:
+		// Flip one byte past the 4-byte length prefix: framing survives,
+		// the checksum (or the handler) catches the damage.
+		cp := append([]byte(nil), b...)
+		if len(cp) > 4 {
+			idx := 4 + c.inj.CorruptIndex(len(cp)-4)
+			cp[idx] ^= 0xff
+		} else if len(cp) > 0 {
+			cp[len(cp)-1] ^= 0xff
+		}
+		n, err := c.inner.Write(cp)
+		return n, err
+	case FateDup:
+		if n, err := c.inner.Write(b); err != nil {
+			return n, err
+		}
+		_, _ = c.inner.Write(b)
+		return len(b), nil
+	case FateStall:
+		time.Sleep(c.inj.StallFor())
+		return c.inner.Write(b)
+	case FateCut:
+		_ = c.inner.Close()
+		return 0, errCut
+	case FateKill:
+		_ = c.inner.Close()
+		return 0, errCut
+	}
+	return c.inner.Write(b)
+}
+
+// Read forwards to the inner connection, then applies offset-keyed byte
+// corruption within the spec's read window.
+func (c *Conn) Read(b []byte) (int, error) {
+	n, err := c.inner.Read(b)
+	for i := 0; i < n; i++ {
+		if c.inj.ReadByteCorrupt(c.readOff + int64(i)) {
+			b[i] ^= 0xff
+		}
+	}
+	c.readOff += int64(n)
+	return n, err
+}
+
+// Close closes the inner connection.
+func (c *Conn) Close() error { return c.inner.Close() }
+
+// LocalAddr returns the inner connection's local address.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr returns the inner connection's remote address.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline forwards to the inner connection.
+func (c *Conn) SetDeadline(t time.Time) error { return c.inner.SetDeadline(t) }
+
+// SetReadDeadline forwards to the inner connection.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.inner.SetReadDeadline(t) }
+
+// SetWriteDeadline forwards to the inner connection.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }

@@ -1,0 +1,261 @@
+package faults
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	in := "seed=42,drop=0.15,corrupt=0.05,dup=0.02,stall=0.1,stallfor=10ms,cut=0.01,heal=40,kill=200,rcorrupt=0.001,rcwindow=4096,probedrop=0.2,probeheal=50"
+	sp, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Seed != 42 || sp.Drop != 0.15 || sp.StallFor != 10*time.Millisecond ||
+		sp.Heal != 40 || sp.Kill != 200 || sp.RCWindow != 4096 || sp.ProbeHeal != 50 {
+		t.Fatalf("parsed %+v", sp)
+	}
+	sp2, err := Parse(sp.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", sp.String(), err)
+	}
+	if sp2 != sp {
+		t.Fatalf("round trip changed spec:\n%+v\n%+v", sp, sp2)
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	for _, s := range []string{
+		"drop",              // not key=value
+		"nosuch=1",          // unknown key
+		"drop=1.5",          // probability out of range
+		"drop=-0.1",         // negative probability
+		"drop=0.6,cut=0.6",  // fates sum > 1
+		"heal=-1",           // negative budget
+		"stallfor=sideways", // unparsable duration
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+	if sp, err := Parse(""); err != nil || sp != (Spec{}) {
+		t.Errorf("empty spec: %+v, %v", sp, err)
+	}
+}
+
+// TestDeterministicSchedule draws the full fate sequence twice from the same
+// seed and requires identical schedules; a different seed must differ.
+func TestDeterministicSchedule(t *testing.T) {
+	spec := Spec{Seed: 7, Drop: 0.2, Corrupt: 0.1, Dup: 0.1, Stall: 0.1, Cut: 0.05}
+	draw := func(seed int64) []Fate {
+		s := spec
+		s.Seed = seed
+		inj := New(s)
+		out := make([]Fate, 500)
+		for i := range out {
+			out[i] = inj.WriteFate()
+		}
+		return out
+	}
+	a, b := draw(7), draw(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at frame %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := draw(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 500-frame schedules")
+	}
+}
+
+func TestHealingStopsFaults(t *testing.T) {
+	inj := New(Spec{Seed: 1, Drop: 0.5, Heal: 10})
+	for i := 0; i < 10000; i++ {
+		inj.WriteFate()
+	}
+	if got := inj.Faults(); got != 10 {
+		t.Fatalf("injected %d faults, heal budget was 10", got)
+	}
+	for i := 0; i < 100; i++ {
+		if f := inj.WriteFate(); f != FateDeliver {
+			t.Fatalf("post-heal fate %v", f)
+		}
+	}
+}
+
+func TestKillIsPermanent(t *testing.T) {
+	inj := New(Spec{Seed: 1, Kill: 5})
+	var killedAt int
+	for i := 1; i <= 20; i++ {
+		if inj.WriteFate() == FateKill && killedAt == 0 {
+			killedAt = i
+		}
+	}
+	if killedAt != 5 {
+		t.Fatalf("killed at frame %d, want 5", killedAt)
+	}
+	if !inj.Killed() {
+		t.Fatal("Killed() false after kill")
+	}
+	if _, err := inj.DialFunc("127.0.0.1:1"); err == nil {
+		t.Fatal("DialFunc succeeded after kill")
+	}
+}
+
+func TestReadCorruptionIsOffsetPure(t *testing.T) {
+	inj := New(Spec{Seed: 3, RCorrupt: 0.05, RCWindow: 4096})
+	hits := 0
+	for off := int64(0); off < 4096; off++ {
+		a := inj.ReadByteCorrupt(off)
+		if a != inj.ReadByteCorrupt(off) {
+			t.Fatalf("decision at offset %d not stable", off)
+		}
+		if a {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no read corruption within window at p=0.05")
+	}
+	for off := int64(4096); off < 8192; off++ {
+		if inj.ReadByteCorrupt(off) {
+			t.Fatalf("corruption outside the %d-byte window at %d", 4096, off)
+		}
+	}
+}
+
+func TestProbeDropStreamIndependentAndHealed(t *testing.T) {
+	run := func() (int64, []Fate) {
+		inj := New(Spec{Seed: 9, Drop: 0.3, ProbeDrop: 0.5, ProbeHeal: 25})
+		fates := make([]Fate, 100)
+		for i := range fates {
+			fates[i] = inj.WriteFate()
+			inj.DropProbeResponse()
+		}
+		for i := 0; i < 1000; i++ {
+			inj.DropProbeResponse()
+		}
+		return inj.ProbeDrops(), fates
+	}
+	drops, fates := run()
+	if drops != 25 {
+		t.Fatalf("probe drops = %d, heal budget 25", drops)
+	}
+	// Interleaving probe draws must not perturb the wire schedule.
+	inj := New(Spec{Seed: 9, Drop: 0.3})
+	for i, f := range fates {
+		if g := inj.WriteFate(); g != f {
+			t.Fatalf("wire schedule perturbed by probe stream at %d: %v vs %v", i, f, g)
+		}
+	}
+}
+
+// TestConnFaults drives the wrapper over an in-memory pipe and checks each
+// fate's observable behavior.
+func TestConnFaults(t *testing.T) {
+	frame := []byte{0, 0, 0, 4, 1, 2, 3, 4}
+
+	t.Run("drop", func(t *testing.T) {
+		inj := New(Spec{Seed: 1, Drop: 1, Heal: 1})
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		w := inj.WrapConn(a)
+		if n, err := w.Write(frame); err != nil || n != len(frame) {
+			t.Fatalf("dropped write reported (%d, %v)", n, err)
+		}
+		// After healing, the next frame arrives.
+		got := make([]byte, len(frame))
+		done := make(chan error, 1)
+		go func() {
+			_, err := w.Write(frame)
+			done <- err
+		}()
+		b.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := readFull(b, got); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != frame[i] {
+				t.Fatalf("healed frame corrupted: %v", got)
+			}
+		}
+	})
+
+	t.Run("corrupt preserves framing", func(t *testing.T) {
+		inj := New(Spec{Seed: 1, Corrupt: 1, Heal: 1})
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		w := inj.WrapConn(a)
+		got := make([]byte, len(frame))
+		go w.Write(frame)
+		b.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := readFull(b, got); err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != 0 || got[1] != 0 || got[2] != 0 || got[3] != 4 {
+			t.Fatalf("length prefix corrupted: %v", got[:4])
+		}
+		diff := 0
+		for i := 4; i < len(frame); i++ {
+			if got[i] != frame[i] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("%d payload bytes differ, want exactly 1 (%v)", diff, got)
+		}
+	})
+
+	t.Run("dup delivers twice", func(t *testing.T) {
+		inj := New(Spec{Seed: 1, Dup: 1, Heal: 1})
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		w := inj.WrapConn(a)
+		got := make([]byte, 2*len(frame))
+		go w.Write(frame)
+		b.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := readFull(b, got); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("cut closes the conn", func(t *testing.T) {
+		inj := New(Spec{Seed: 1, Cut: 1, Heal: 1})
+		a, b := net.Pipe()
+		defer b.Close()
+		w := inj.WrapConn(a)
+		if _, err := w.Write(frame); err == nil {
+			t.Fatal("cut write succeeded")
+		}
+		if _, err := w.Write(frame); err == nil {
+			t.Fatal("write after cut succeeded")
+		}
+	})
+}
+
+func readFull(c net.Conn, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := c.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

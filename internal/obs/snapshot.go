@@ -86,6 +86,18 @@ func (r *Registry) Snapshot() Snapshot {
 // Counter returns a named counter's value (0 when absent).
 func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
 
+// SumPrefix sums every counter whose name starts with prefix — e.g.
+// SumPrefix("remote.retry.") totals the recovery-path counters.
+func (s Snapshot) SumPrefix(prefix string) int64 {
+	var total int64
+	for name, v := range s.Counters {
+		if strings.HasPrefix(name, prefix) {
+			total += v
+		}
+	}
+	return total
+}
+
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {

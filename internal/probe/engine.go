@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"bdrmap/internal/bgp"
+	"bdrmap/internal/faults"
 	"bdrmap/internal/netx"
 	"bdrmap/internal/obs"
 	"bdrmap/internal/topo"
@@ -49,6 +50,11 @@ type Engine struct {
 	// eobs holds pre-resolved observability counters (nil-safe when no
 	// registry was attached; see SetObs).
 	eobs engineObs
+
+	// flt, when set, drops a deterministic schedule of probe responses
+	// before the prober sees them — simulated packet loss on the probed
+	// path, as opposed to control-channel faults (see internal/faults).
+	flt *faults.Injector
 }
 
 // engineObs pre-resolves the engine's hot-path counters so each probe
@@ -65,6 +71,7 @@ type engineObs struct {
 	respUnreachable  *obs.Counter
 	respTimeout      *obs.Counter
 	rateLimitDrops   *obs.Counter
+	faultDrops       *obs.Counter
 
 	traceHops *obs.Histogram
 }
@@ -86,8 +93,26 @@ func (e *Engine) SetObs(r *obs.Registry) {
 		respUnreachable:  r.Counter("probe.resp.unreachable"),
 		respTimeout:      r.Counter("probe.resp.timeout"),
 		rateLimitDrops:   r.Counter("probe.ratelimit.drops"),
+		faultDrops:       r.Counter("probe.faults.dropped"),
 		traceHops:        r.Histogram("probe.trace_hops", []int64{2, 4, 8, 16, 32, 64}),
 	}
+}
+
+// SetFaults attaches a fault injector whose probe-response schedule the
+// engine consults: each would-be response may be silently dropped,
+// simulating path packet loss (§4: unresponsive routers, rate limiting).
+// The schedule is deterministic for a fixed seed as long as probing is
+// sequential (one worker, or a single remote agent).
+func (e *Engine) SetFaults(inj *faults.Injector) { e.flt = inj }
+
+// dropInjected draws the next probe-response fate from the attached
+// injector. Responses that never existed must not draw.
+func (e *Engine) dropInjected() bool {
+	if e.flt == nil || !e.flt.DropProbeResponse() {
+		return false
+	}
+	e.eobs.faultDrops.Inc()
+	return true
 }
 
 // countHop attributes one traceroute hop response to its ICMP class.

@@ -131,6 +131,9 @@ func (e *Engine) traceroute(vp *topo.VP, dst netx.Addr, stop func(netx.Addr) boo
 				hop.Addr = step.in.Addr
 				hop.IPID = rt.nextIPID(step.router, step.in)
 			}
+			if hop.Type != HopTimeout && e.dropInjected() {
+				hop = Hop{TTL: i + 1, Type: HopTimeout}
+			}
 			e.countHop(hop.Type)
 			if hop.Type != HopTimeout {
 				hop.RTT = hopRTT
@@ -157,6 +160,9 @@ func (e *Engine) traceroute(vp *topo.VP, dst netx.Addr, stop func(netx.Addr) boo
 				hop.IPID = rt.nextIPID(step.router, ifc)
 				hop.RTT = hopRTT
 			}
+		}
+		if hop.Type != HopTimeout && e.dropInjected() {
+			hop = Hop{TTL: i + 1, Type: HopTimeout}
 		}
 		e.countHop(hop.Type)
 		res.Hops = append(res.Hops, hop)
@@ -303,6 +309,9 @@ func (e *Engine) Probe(vp *topo.VP, target netx.Addr, m Method) Response {
 		}
 		resp = Response{OK: true, From: from, IPID: e.nextIPID(r, path.exactIface)}
 	default:
+		return Response{}
+	}
+	if e.dropInjected() {
 		return Response{}
 	}
 	resp.When = e.Now()

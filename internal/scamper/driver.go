@@ -13,9 +13,16 @@ import (
 	"bdrmap/internal/topo"
 )
 
-// Config tunes the driver. The zero value selects the paper's parameters.
+// Disabled is the sentinel for Config limits that distinguish "use the
+// paper's default" (zero value) from "explicitly zero" (ablation runs
+// that must not fall back to the default).
+const Disabled = -1
+
+// Config tunes the driver. The zero value selects the paper's parameters;
+// set a limit to Disabled to force it to zero.
 type Config struct {
-	// MaxAddrsPerBlock bounds the §5.3 retry rule (default 5).
+	// MaxAddrsPerBlock bounds the §5.3 retry rule (default 5; Disabled
+	// probes no addresses).
 	MaxAddrsPerBlock int
 	// Workers is the number of target ASes probed concurrently (default 4).
 	Workers int
@@ -23,20 +30,31 @@ type Config struct {
 	DisableStopSet bool
 	// DisableAlias skips alias resolution entirely (ablation, fig. 13).
 	DisableAlias bool
-	// MaxPairsPerAddr bounds Ally work per address (default 6).
+	// MaxPairsPerAddr bounds Ally work per address (default 6; Disabled
+	// runs no Ally pairs).
 	MaxPairsPerAddr int
 	// AliasCfg tunes the alias resolver.
 	AliasCfg alias.Config
+	// TargetTimeout bounds the wall-clock time spent on one target AS;
+	// exceeding it reports the target lost instead of hanging the run.
+	// Zero disables the cutoff (it is off for deterministic golden runs).
+	TargetTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
-	if c.MaxAddrsPerBlock == 0 {
+	switch {
+	case c.MaxAddrsPerBlock == Disabled:
+		c.MaxAddrsPerBlock = 0
+	case c.MaxAddrsPerBlock == 0:
 		c.MaxAddrsPerBlock = 5
 	}
-	if c.Workers == 0 {
+	if c.Workers <= 0 {
 		c.Workers = 4
 	}
-	if c.MaxPairsPerAddr == 0 {
+	switch {
+	case c.MaxPairsPerAddr == Disabled:
+		c.MaxPairsPerAddr = 0
+	case c.MaxPairsPerAddr == 0:
 		c.MaxPairsPerAddr = 6
 	}
 	return c
@@ -71,6 +89,9 @@ type RunStats struct {
 	HopsObserved  int
 	AliasPairsRun int
 	AddrsObserved int
+	// TargetsLost counts targets abandoned because the prober's session
+	// died or the per-target timeout fired (graceful degradation).
+	TargetsLost int
 	// SimDuration is how much simulated measurement time the run took
 	// (the paper reports 12-48h wall-clock at 100 packets/second).
 	SimDuration time.Duration
@@ -152,6 +173,7 @@ func (d *Driver) Run() *Dataset {
 	probeSpan := d.Obs.StartStage("driver.probe")
 	results := make([][]TraceRecord, len(targets))
 	stopped := make([]int, len(targets))
+	lost := make([]bool, len(targets))
 
 	// simEnd merges the per-worker virtual clocks with an atomic max: the
 	// run's simulated duration is the slowest worker's timeline, and the
@@ -173,7 +195,7 @@ func (d *Driver) Run() *Dataset {
 					return lp.TraceLane(dst, ss, lane)
 				}
 				for i := w; i < len(targets); i += cfg.Workers {
-					results[i], stopped[i] = d.probeTarget(targets[i], cfg, trace)
+					results[i], stopped[i], lost[i] = d.probeTarget(targets[i], cfg, trace)
 				}
 				simEnd.Observe(int64(lane.Now()))
 			}(w)
@@ -196,10 +218,11 @@ func (d *Driver) Run() *Dataset {
 			go func(i int, t Target) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				recs, nStopped := d.probeTarget(t, cfg, d.Prober.Trace)
+				recs, nStopped, wasLost := d.probeTarget(t, cfg, d.Prober.Trace)
 				mu.Lock()
 				results[i] = recs
 				stopped[i] = nStopped
+				lost[i] = wasLost
 				mu.Unlock()
 			}(i, t)
 		}
@@ -210,6 +233,9 @@ func (d *Driver) Run() *Dataset {
 	for i := range results {
 		ds.Traces = append(ds.Traces, results[i]...)
 		ds.Stats.TracesStopped += stopped[i]
+		if lost[i] {
+			ds.Stats.TargetsLost++
+		}
 	}
 	ds.Stats.Traces = len(ds.Traces)
 	for _, tr := range ds.Traces {
@@ -227,6 +253,11 @@ func (d *Driver) Run() *Dataset {
 	aliasStart := d.now()
 	d.resolveAliases(ds, cfg)
 	aliasSim := d.now() - aliasStart
+	if aliasSim < 0 {
+		// A lost remote session reads its clock as zero; don't let that
+		// drag the stage duration negative.
+		aliasSim = 0
+	}
 	aliasSpan.AddSim(aliasSim)
 	aliasSpan.End()
 
@@ -237,15 +268,34 @@ func (d *Driver) Run() *Dataset {
 	return ds
 }
 
-// now reads the prober's measurement clock (zero-cost approximation: the
-// local engine's simulated clock; remote probers report When in probe
-// responses, so we issue a no-op advance to observe nothing and fall back
-// to zero for them — the stat is primarily for local runs and benches).
+// clockProber is implemented by probers that can report their simulated
+// measurement clock (RemoteProber does, via a msgClock round trip).
+type clockProber interface {
+	Clock() (time.Duration, error)
+}
+
+// now reads the prober's measurement clock: the local engine's simulated
+// clock directly, or a clock round trip for remote probers. A prober that
+// can report neither (or whose session is lost) reads as zero.
 func (d *Driver) now() time.Duration {
 	if lp, ok := d.Prober.(LocalProber); ok {
 		return lp.E.Now()
 	}
+	if cp, ok := d.Prober.(clockProber); ok {
+		if t, err := cp.Clock(); err == nil {
+			return t
+		}
+	}
 	return 0
+}
+
+// healthy reports whether the prober's session is still usable. Probers
+// without an Err method (local engines) are always healthy.
+func (d *Driver) healthy() bool {
+	if ep, ok := d.Prober.(interface{ Err() error }); ok {
+		return ep.Err() == nil
+	}
+	return true
 }
 
 // isExternal reports whether addr maps (in the public view) to an AS
@@ -266,13 +316,28 @@ func (d *Driver) isExternal(addr netx.Addr) bool {
 // probeTarget runs the per-target-AS schedule: probe each block's first
 // address; when the trace shows no external address (or only the probed
 // one), try further addresses, up to the configured maximum (§5.3).
-func (d *Driver) probeTarget(t Target, cfg Config, trace func(netx.Addr, map[netx.Addr]bool) probe.TraceResult) ([]TraceRecord, int) {
-	var out []TraceRecord
-	nStopped := 0
+// It returns early — reporting the target lost — when the prober's session
+// dies or the per-target timeout fires, so one dead VP degrades the run
+// instead of hanging it.
+func (d *Driver) probeTarget(t Target, cfg Config, trace func(netx.Addr, map[netx.Addr]bool) probe.TraceResult) (recs []TraceRecord, nStopped int, targetLost bool) {
+	var deadline time.Time
+	if cfg.TargetTimeout > 0 {
+		deadline = time.Now().Add(cfg.TargetTimeout)
+	}
+	abandon := func() ([]TraceRecord, int, bool) {
+		d.Obs.Inc("driver.target.lost")
+		return recs, nStopped, true
+	}
 	stopSet := make(map[netx.Addr]bool)
 	for _, b := range t.Blocks {
 		tried := 0
 		for tried < cfg.MaxAddrsPerBlock {
+			if !d.healthy() {
+				return abandon()
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				return abandon()
+			}
 			dst := b.First + netx.Addr(tried) + 1
 			if !b.Contains(dst) {
 				break
@@ -283,7 +348,12 @@ func (d *Driver) probeTarget(t Target, cfg Config, trace func(netx.Addr, map[net
 				ss = stopSet
 			}
 			res := trace(dst, ss)
-			out = append(out, TraceRecord{TraceResult: res, TargetAS: t.AS})
+			if len(res.Hops) == 0 && !d.healthy() {
+				// The session died mid-command; this empty trace is a
+				// transport artifact, not a measurement.
+				return abandon()
+			}
+			recs = append(recs, TraceRecord{TraceResult: res, TargetAS: t.AS})
 			if res.Stopped {
 				nStopped++
 				break // the path joins previously-observed interdomain hops
@@ -308,7 +378,7 @@ func (d *Driver) probeTarget(t Target, cfg Config, trace func(netx.Addr, map[net
 			// try the next address in the block.
 		}
 	}
-	return out, nStopped
+	return recs, nStopped, false
 }
 
 // resolveAliases runs the alias-resolution schedule over the observed
@@ -351,6 +421,13 @@ func (d *Driver) resolveAliases(ds *Dataset, cfg Config) {
 		ds.Graph = alias.NewGraph()
 		return
 	}
+	if !d.healthy() {
+		// The session is gone; every probe below would fail. Report the
+		// aborted stage instead of burning the retry machinery on it.
+		d.Obs.Inc("driver.alias.aborted")
+		ds.Graph = alias.NewGraph()
+		return
+	}
 
 	// Mercator sweep: group addresses by common port-unreachable source.
 	addrs := make([]netx.Addr, 0, len(addrSet))
@@ -359,6 +436,11 @@ func (d *Driver) resolveAliases(ds *Dataset, cfg Config) {
 	}
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	for _, a := range addrs {
+		if !d.healthy() {
+			d.Obs.Inc("driver.alias.aborted")
+			ds.Graph = alias.FromResolver(res)
+			return
+		}
 		r := d.Prober.Probe(a, probe.MethodUDP)
 		if r.OK && r.From != a && !r.From.IsZero() {
 			res.Record(a, r.From, alias.AliasYes)
@@ -371,6 +453,12 @@ func (d *Driver) resolveAliases(ds *Dataset, cfg Config) {
 	// parallel links).
 	pairs := 0
 	for _, prev := range addrs {
+		if !d.healthy() {
+			d.Obs.Inc("driver.alias.aborted")
+			ds.Stats.AliasPairsRun = pairs
+			ds.Graph = alias.FromResolver(res)
+			return
+		}
 		succ := succOf[prev]
 		if len(succ) < 2 {
 			continue
@@ -394,6 +482,10 @@ func (d *Driver) resolveAliases(ds *Dataset, cfg Config) {
 	// Prefixscan on every observed edge: confirm the inbound interface
 	// and resolve the near-side alias of the point-to-point subnet.
 	for _, e := range edges {
+		if !d.healthy() {
+			d.Obs.Inc("driver.alias.aborted")
+			break
+		}
 		if _, ok := res.Prefixscan(e.prev, e.cur); ok {
 			d.Obs.Inc("driver.alias.prefixscan_hits")
 		}

@@ -1,0 +1,110 @@
+package scamper
+
+// Fuzz targets for the remote-control wire format. The decoders sit on the
+// trust boundary of §5.8 — the central system reads frames produced by
+// agents on unreliable consumer links — so they must tolerate arbitrary
+// bytes without panicking, over-allocating, or mis-framing.
+//
+// Run the full fuzzers locally with e.g.:
+//
+//	go test ./internal/scamper -run=NONE -fuzz=FuzzReadFrame -fuzztime=60s
+//
+// Seed corpora live in testdata/fuzz/<FuzzName>/.
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzReadFrame(f *testing.F) {
+	// A well-formed message frame.
+	var good bytes.Buffer
+	_ = writeMsg(&good, 7, []byte{msgTraceReq, 1, 2, 3, 4})
+	f.Add(good.Bytes())
+	// A hostile length prefix claiming the 1MiB maximum with no body: the
+	// chunked reader must fail on truncation instead of allocating it all.
+	hostile := []byte{0x00, 0x10, 0x00, 0x00, 0xde, 0xad}
+	f.Add(hostile)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})             // zero length
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // over-limit length
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(payload) == 0 || len(payload) > maxFrame {
+			t.Fatalf("readFrame accepted %d-byte payload outside (0, maxFrame]", len(payload))
+		}
+		// Whatever decoded must survive a re-encode round trip.
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, payload); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		back, err := readFrame(&buf)
+		if err != nil || !bytes.Equal(back, payload) {
+			t.Fatalf("round trip mismatch: %v (err %v)", back, err)
+		}
+		// readMsg on the same frame must never panic; any error is fine.
+		_, _, _ = readMsg(bytes.NewReader(data))
+	})
+}
+
+func FuzzMsgCodec(f *testing.F) {
+	f.Add(uint32(0), []byte{msgHello})
+	f.Add(uint32(1), []byte{msgTraceRsp, 0, 0})
+	f.Add(uint32(0xffffffff), []byte{msgBye})
+	f.Fuzz(func(t *testing.T, seq uint32, body []byte) {
+		if len(body) == 0 || len(body) > maxFrame-envelope {
+			return
+		}
+		var buf bytes.Buffer
+		if err := writeMsg(&buf, seq, body); err != nil {
+			t.Fatalf("writeMsg: %v", err)
+		}
+		raw := append([]byte(nil), buf.Bytes()...)
+		gotSeq, gotBody, err := readMsg(&buf)
+		if err != nil {
+			t.Fatalf("readMsg rejected its own encoding: %v", err)
+		}
+		if gotSeq != seq || !bytes.Equal(gotBody, body) {
+			t.Fatalf("round trip: seq %d body %v != seq %d body %v", gotSeq, gotBody, seq, body)
+		}
+		// A single flipped payload byte must never verify — CRC32 detects
+		// all 1-bit errors. (Flipping a length-prefix byte is a framing
+		// error, not a checksum error, so only bytes past the 4-byte
+		// prefix are interesting here.)
+		idx := 4 + int(seq)%(len(raw)-4)
+		raw[idx] ^= 0x40
+		if _, _, err := readMsg(bytes.NewReader(raw)); err == nil {
+			t.Fatalf("flipped byte %d still verified", idx)
+		}
+	})
+}
+
+func FuzzParseHello(f *testing.F) {
+	f.Add(buildHello("vp01.sea", false, sessionIDFor("vp01.sea"), 0))
+	f.Add(buildHello("x", true, ^uint64(0), 0xffffffff))
+	f.Add([]byte{msgHello, 0})
+	f.Add([]byte{msgHello, 255, 'a'})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		name, resume, sessionID, lastSeq, err := parseHello(body)
+		if err != nil {
+			return
+		}
+		if name == "" {
+			t.Fatal("parseHello accepted an empty agent name")
+		}
+		// Rebuild from the parsed fields and re-parse: the handshake must
+		// agree with itself or a resumed session could be misrouted.
+		name2, resume2, sessionID2, lastSeq2, err := parseHello(buildHello(name, resume, sessionID, lastSeq))
+		if err != nil {
+			t.Fatalf("rebuilt hello rejected: %v", err)
+		}
+		if name2 != name || resume2 != resume || sessionID2 != sessionID || lastSeq2 != lastSeq {
+			t.Fatalf("hello round trip: (%q %v %d %d) != (%q %v %d %d)",
+				name2, resume2, sessionID2, lastSeq2, name, resume, sessionID, lastSeq)
+		}
+	})
+}

@@ -2,13 +2,17 @@ package scamper
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bdrmap/internal/netx"
+	"bdrmap/internal/obs"
 	"bdrmap/internal/probe"
 	"bdrmap/internal/topo"
 )
@@ -16,14 +20,27 @@ import (
 // The remote control protocol (§5.8): resource-limited devices cannot hold
 // the IP-to-AS tables, stop sets, and alias state bdrmap needs (~150MB),
 // so the device runs only a thin probing agent (a few MB) that dials back
-// to the central system and executes probe commands it receives. Frames
-// are length-prefixed binary messages:
+// to the central system and executes probe commands it receives.
 //
-//	frame  := length(uint32) payload
-//	payload:= type(uint8) body
+// Version 2 of the protocol assumes the transport is hostile — home-gateway
+// uplinks drop, stall, corrupt, and duplicate traffic, and the device may
+// reboot mid-run — so every frame is checksummed and sequence-numbered:
 //
-// The agent sends one hello carrying its vantage-point name, then answers
-// trace/probe/advance commands until bye.
+//	frame   := length(uint32) payload
+//	payload := crc32(uint32) seq(uint32) body
+//	body    := type(uint8) ...
+//
+// The CRC (IEEE) covers seq+body. The controller assigns sequence numbers
+// 1,2,3,… to commands and keeps exactly one in flight; responses echo the
+// request's seq. The agent remembers the last (seq, response) pair and
+// replays the cached response when it sees a duplicate seq, so controller
+// retries never re-execute a probe — which is what keeps a faulted run's
+// measurement byte-identical to a clean one. Hello/helloAck use seq 0.
+//
+// A reconnecting agent re-sends hello with its session id and last seq;
+// the controller routes the new connection to the existing session
+// ("resume") instead of treating it as a fresh vantage point, so a VP that
+// drops mid-run does not re-probe completed targets.
 const (
 	msgHello    = 0x01
 	msgTraceReq = 0x02
@@ -33,19 +50,36 @@ const (
 	msgAdvance  = 0x06
 	msgAdvanced = 0x07
 	msgBye      = 0x08
+	msgHelloAck = 0x09
+	msgClock    = 0x0a
+	msgClockRsp = 0x0b
 )
 
 // maxFrame bounds a frame; a trace command carrying a full stop set is the
 // largest message.
 const maxFrame = 1 << 20
 
+// frameChunk bounds a single payload allocation while reading: a hostile
+// length prefix near maxFrame only costs memory as fast as the peer
+// actually delivers bytes.
+const frameChunk = 64 << 10
+
+// envelope is the crc32+seq prefix every payload carries.
+const envelope = 8
+
+// errCorruptFrame marks a frame whose checksum (or envelope structure) did
+// not verify; consumers retry rather than trust the contents.
+var errCorruptFrame = errors.New("scamper: corrupt frame")
+
 func writeFrame(w io.Writer, payload []byte) error {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
+	// A frame goes out in ONE Write call so that fault injectors (and real
+	// kernels under memory pressure) see frame-granular writes: a dropped
+	// or duplicated Write is a dropped or duplicated frame, never a
+	// desynchronized stream.
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err := w.Write(buf)
 	return err
 }
 
@@ -58,19 +92,153 @@ func readFrame(r io.Reader) ([]byte, error) {
 	if n == 0 || n > maxFrame {
 		return nil, fmt.Errorf("scamper: bad frame length %d", n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
+	// Grow the buffer chunk by chunk instead of trusting the length prefix
+	// with a single up-front allocation.
+	buf := make([]byte, 0, min(int(n), frameChunk))
+	for len(buf) < int(n) {
+		k := min(int(n)-len(buf), frameChunk)
+		chunk := buf[len(buf) : len(buf)+k]
+		buf = buf[:len(buf)+k]
+		if _, err := io.ReadFull(r, chunk); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
 	}
 	return buf, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// writeMsg wraps body in the checksummed, sequence-numbered envelope and
+// writes it as one frame.
+func writeMsg(w io.Writer, seq uint32, body []byte) error {
+	payload := make([]byte, envelope+len(body))
+	binary.BigEndian.PutUint32(payload[4:8], seq)
+	copy(payload[envelope:], body)
+	binary.BigEndian.PutUint32(payload[0:4], crc32.ChecksumIEEE(payload[4:]))
+	return writeFrame(w, payload)
+}
+
+// readMsg reads one frame and verifies its envelope. A checksum mismatch or
+// an envelope too short to carry a message returns errCorruptFrame.
+func readMsg(r io.Reader) (seq uint32, body []byte, err error) {
+	payload, err := readFrame(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(payload) < envelope+1 {
+		return 0, nil, errCorruptFrame
+	}
+	if crc32.ChecksumIEEE(payload[4:]) != binary.BigEndian.Uint32(payload[0:4]) {
+		return 0, nil, errCorruptFrame
+	}
+	return binary.BigEndian.Uint32(payload[4:8]), payload[envelope:], nil
+}
+
+// ---------------------------------------------------------------------------
+// Hello / resume handshake
+
+// buildHello encodes the agent's opening message:
+//
+//	msgHello nameLen(1) name flags(1) sessionID(8) lastSeq(4)
+//
+// flags bit0 marks a resume (lastSeq is meaningful).
+func buildHello(name string, resume bool, sessionID uint64, lastSeq uint32) []byte {
+	b := make([]byte, 0, 2+len(name)+13)
+	b = append(b, msgHello, byte(len(name)))
+	b = append(b, name...)
+	var flags byte
+	if resume {
+		flags = 1
+	}
+	b = append(b, flags)
+	var tail [12]byte
+	binary.BigEndian.PutUint64(tail[0:8], sessionID)
+	binary.BigEndian.PutUint32(tail[8:12], lastSeq)
+	return append(b, tail[:]...)
+}
+
+// parseHello decodes a hello body. It is a pure function so the fuzzer can
+// hammer it directly.
+func parseHello(body []byte) (name string, resume bool, sessionID uint64, lastSeq uint32, err error) {
+	if len(body) < 2 || body[0] != msgHello {
+		return "", false, 0, 0, fmt.Errorf("scamper: bad hello")
+	}
+	n := int(body[1])
+	if n == 0 || len(body) < 2+n+13 {
+		return "", false, 0, 0, fmt.Errorf("scamper: bad hello")
+	}
+	name = string(body[2 : 2+n])
+	rest := body[2+n:]
+	resume = rest[0]&1 != 0
+	sessionID = binary.BigEndian.Uint64(rest[1:9])
+	lastSeq = binary.BigEndian.Uint32(rest[9:13])
+	return name, resume, sessionID, lastSeq, nil
+}
+
+// sessionIDFor derives a stable (deterministic) session id from the VP name.
+func sessionIDFor(name string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // ---------------------------------------------------------------------------
 // Agent (device side)
 
+// DialOptions configures the agent's reconnect behavior.
+type DialOptions struct {
+	// Dial establishes the transport; defaults to net.Dial("tcp", addr).
+	// Fault tests substitute an injector's DialFunc here.
+	Dial func(addr string) (net.Conn, error)
+	// Wrap, if set, wraps each established connection (e.g. with a fault
+	// injector) before the protocol runs over it.
+	Wrap func(net.Conn) net.Conn
+	// MaxRedials bounds consecutive failed connection attempts; the
+	// counter resets whenever a handshake completes. Default 8.
+	MaxRedials int
+	// RedialBase/RedialMax shape the exponential backoff between redials.
+	// Defaults 5ms / 250ms.
+	RedialBase time.Duration
+	RedialMax  time.Duration
+	// HelloTimeout bounds the wait for the controller's helloAck.
+	// Default 2s.
+	HelloTimeout time.Duration
+}
+
+func (o DialOptions) withDefaults() DialOptions {
+	if o.Dial == nil {
+		o.Dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	if o.MaxRedials == 0 {
+		o.MaxRedials = 8
+	}
+	if o.RedialBase == 0 {
+		o.RedialBase = 5 * time.Millisecond
+	}
+	if o.RedialMax == 0 {
+		o.RedialMax = 250 * time.Millisecond
+	}
+	if o.HelloTimeout == 0 {
+		o.HelloTimeout = 2 * time.Second
+	}
+	return o
+}
+
 // Agent executes probe commands against a local engine on behalf of a
 // central controller. It keeps no measurement state beyond one in-flight
-// command, which is what lets it fit on a low-resource device.
+// command plus the last response (for duplicate-suppression replay), which
+// is what lets it fit on a low-resource device.
 type Agent struct {
 	E  *probe.Engine
 	VP *topo.VP
@@ -78,6 +246,11 @@ type Agent struct {
 	mu       sync.Mutex
 	peakBuf  int
 	commands int64
+	lastSeq  uint32
+	lastRsp  []byte
+	execs    map[uint32]int // per-seq execution count; must never exceed 1
+
+	helloTimeout time.Duration
 }
 
 // StateBytes reports the approximate measurement state held by the agent:
@@ -95,6 +268,19 @@ func (a *Agent) Commands() int64 {
 	return a.commands
 }
 
+// CountExecs returns a copy of the per-sequence execution counts. The
+// duplicate-suppression cache guarantees every entry is exactly 1; the
+// property tests assert this.
+func (a *Agent) CountExecs() map[uint32]int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[uint32]int, len(a.execs))
+	for k, v := range a.execs {
+		out[k] = v
+	}
+	return out
+}
+
 func (a *Agent) note(bufLen int) {
 	a.mu.Lock()
 	if bufLen > a.peakBuf {
@@ -104,7 +290,30 @@ func (a *Agent) note(bufLen int) {
 	a.mu.Unlock()
 }
 
-// Dial connects to the controller and serves commands until bye or error.
+// cache records the response for seq so a duplicate command replays
+// instead of re-executing.
+func (a *Agent) cache(seq uint32, rsp []byte) {
+	a.mu.Lock()
+	a.lastSeq = seq
+	a.lastRsp = rsp
+	if a.execs == nil {
+		a.execs = make(map[uint32]int)
+	}
+	a.execs[seq]++
+	a.mu.Unlock()
+}
+
+func (a *Agent) cached(seq uint32) ([]byte, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.lastRsp != nil && seq == a.lastSeq {
+		return a.lastRsp, true
+	}
+	return nil, false
+}
+
+// Dial connects to the controller once and serves commands until bye or
+// error. For fault-tolerant operation use DialRetry.
 func (a *Agent) Dial(addr string) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -114,66 +323,153 @@ func (a *Agent) Dial(addr string) error {
 	return a.ServeConn(conn)
 }
 
-// ServeConn runs the agent protocol over an established connection.
-func (a *Agent) ServeConn(conn net.Conn) error {
-	hello := make([]byte, 0, 2+len(a.VP.Name))
-	hello = append(hello, msgHello, byte(len(a.VP.Name)))
-	hello = append(hello, a.VP.Name...)
-	if err := writeFrame(conn, hello); err != nil {
-		return err
-	}
+// DialRetry connects to the controller and keeps reconnecting (resuming the
+// session) across transport failures until the controller says bye or the
+// consecutive-failure budget is spent. This is the loop a deployed home
+// device runs: reboots and line drops must not end the measurement.
+func (a *Agent) DialRetry(addr string, opts DialOptions) error {
+	opts = opts.withDefaults()
+	a.helloTimeout = opts.HelloTimeout
+	fails := 0
+	var lastErr error
 	for {
-		req, err := readFrame(conn)
-		if err != nil {
-			if err == io.EOF {
-				return nil
+		if fails > opts.MaxRedials {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("scamper: redial budget exhausted")
 			}
-			return err
+			return lastErr
+		}
+		if fails > 0 {
+			d := opts.RedialBase << uint(fails-1)
+			if d > opts.RedialMax {
+				d = opts.RedialMax
+			}
+			time.Sleep(d)
+		}
+		conn, err := opts.Dial(addr)
+		if err != nil {
+			fails++
+			lastErr = err
+			continue
+		}
+		if opts.Wrap != nil {
+			conn = opts.Wrap(conn)
+		}
+		ended, progressed, err := a.serve(conn)
+		conn.Close()
+		if ended {
+			return nil
+		}
+		if progressed {
+			fails = 0
+		}
+		fails++
+		lastErr = err
+	}
+}
+
+// ServeConn runs one protocol session over an established connection.
+// A clean peer shutdown (bye or EOF) returns nil.
+func (a *Agent) ServeConn(conn net.Conn) error {
+	ended, _, err := a.serve(conn)
+	if ended || err == io.EOF {
+		return nil
+	}
+	return err
+}
+
+// serve sends hello, waits for the ack, then executes commands.
+// ended reports a clean bye; progressed reports a completed handshake
+// (used by DialRetry to reset its failure budget).
+func (a *Agent) serve(conn net.Conn) (ended, progressed bool, err error) {
+	a.mu.Lock()
+	resume := a.lastRsp != nil
+	lastSeq := a.lastSeq
+	a.mu.Unlock()
+	hello := buildHello(a.VP.Name, resume, sessionIDFor(a.VP.Name), lastSeq)
+	if err := writeMsg(conn, 0, hello); err != nil {
+		return false, false, err
+	}
+	ht := a.helloTimeout
+	if ht == 0 {
+		ht = 2 * time.Second
+	}
+	conn.SetReadDeadline(time.Now().Add(ht))
+	_, ack, err := readMsg(conn)
+	if err != nil {
+		return false, false, err
+	}
+	if len(ack) < 1 || ack[0] != msgHelloAck {
+		return false, false, fmt.Errorf("scamper: bad hello ack")
+	}
+	conn.SetReadDeadline(time.Time{})
+	progressed = true
+
+	for {
+		seq, req, err := readMsg(conn)
+		if err != nil {
+			return false, progressed, err
 		}
 		a.note(len(req))
-		switch req[0] {
-		case msgTraceReq:
-			rsp, err := a.handleTrace(req)
-			if err != nil {
-				return err
-			}
-			a.note(len(rsp))
-			if err := writeFrame(conn, rsp); err != nil {
-				return err
-			}
-		case msgProbeReq:
-			if len(req) < 6 {
-				return fmt.Errorf("scamper: short probe request")
-			}
-			target := netx.Addr(binary.BigEndian.Uint32(req[1:5]))
-			m := probe.Method(req[5])
-			r := a.E.Probe(a.VP, target, m)
-			rsp := make([]byte, 24)
-			rsp[0] = msgProbeRsp
-			if r.OK {
-				rsp[1] = 1
-			}
-			binary.BigEndian.PutUint32(rsp[2:6], uint32(r.From))
-			binary.BigEndian.PutUint16(rsp[6:8], r.IPID)
-			binary.BigEndian.PutUint64(rsp[8:16], uint64(r.When))
-			binary.BigEndian.PutUint64(rsp[16:24], uint64(r.RTT))
-			if err := writeFrame(conn, rsp); err != nil {
-				return err
-			}
-		case msgAdvance:
-			if len(req) < 9 {
-				return fmt.Errorf("scamper: short advance request")
-			}
-			d := time.Duration(binary.BigEndian.Uint64(req[1:9]))
-			a.E.Advance(d)
-			if err := writeFrame(conn, []byte{msgAdvanced}); err != nil {
-				return err
-			}
-		case msgBye:
-			return nil
-		default:
-			return fmt.Errorf("scamper: unknown message type %#x", req[0])
+		if req[0] == msgBye {
+			return true, progressed, nil
 		}
+		// A duplicate of the last command means our response was lost:
+		// replay it without re-executing the probe.
+		if rsp, ok := a.cached(seq); ok {
+			if err := writeMsg(conn, seq, rsp); err != nil {
+				return false, progressed, err
+			}
+			continue
+		}
+		rsp, err := a.handle(req)
+		if err != nil {
+			return false, progressed, err
+		}
+		a.note(len(rsp))
+		a.cache(seq, rsp)
+		if err := writeMsg(conn, seq, rsp); err != nil {
+			return false, progressed, err
+		}
+	}
+}
+
+// handle executes one command body and returns the response body.
+func (a *Agent) handle(req []byte) ([]byte, error) {
+	switch req[0] {
+	case msgTraceReq:
+		return a.handleTrace(req)
+	case msgProbeReq:
+		if len(req) < 6 {
+			return nil, fmt.Errorf("scamper: short probe request")
+		}
+		target := netx.Addr(binary.BigEndian.Uint32(req[1:5]))
+		m := probe.Method(req[5])
+		r := a.E.Probe(a.VP, target, m)
+		rsp := make([]byte, 24)
+		rsp[0] = msgProbeRsp
+		if r.OK {
+			rsp[1] = 1
+		}
+		binary.BigEndian.PutUint32(rsp[2:6], uint32(r.From))
+		binary.BigEndian.PutUint16(rsp[6:8], r.IPID)
+		binary.BigEndian.PutUint64(rsp[8:16], uint64(r.When))
+		binary.BigEndian.PutUint64(rsp[16:24], uint64(r.RTT))
+		return rsp, nil
+	case msgAdvance:
+		if len(req) < 9 {
+			return nil, fmt.Errorf("scamper: short advance request")
+		}
+		d := time.Duration(binary.BigEndian.Uint64(req[1:9]))
+		a.E.Advance(d)
+		return []byte{msgAdvanced}, nil
+	case msgClock:
+		rsp := make([]byte, 9)
+		rsp[0] = msgClockRsp
+		binary.BigEndian.PutUint64(rsp[1:9], uint64(a.E.Now()))
+		return rsp, nil
+	default:
+		return nil, fmt.Errorf("scamper: unknown message type %#x", req[0])
 	}
 }
 
@@ -224,19 +520,56 @@ func boolByte(b bool) byte {
 // ---------------------------------------------------------------------------
 // Controller (central side)
 
-// Controller accepts callback connections from agents.
+type acceptResult struct {
+	p   *RemoteProber
+	err error
+}
+
+// Controller accepts callback connections from agents and routes
+// reconnecting agents back to their existing sessions.
 type Controller struct {
-	ln net.Listener
+	ln      net.Listener
+	acceptC chan acceptResult
+
+	mu           sync.Mutex
+	sessions     map[string]*RemoteProber
+	obsReg       *obs.Registry
+	resumes      *obs.Counter
+	helloTimeout time.Duration
 }
 
 // Listen starts a controller on addr (use "127.0.0.1:0" for an ephemeral
-// port) — the central system of §5.8.
+// port) — the central system of §5.8. The dispatcher runs until Close.
 func Listen(addr string) (*Controller, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Controller{ln: ln}, nil
+	c := &Controller{
+		ln:           ln,
+		acceptC:      make(chan acceptResult, 16),
+		sessions:     make(map[string]*RemoteProber),
+		helloTimeout: 2 * time.Second,
+	}
+	go c.dispatch()
+	return c, nil
+}
+
+// SetObs routes recovery metrics (remote.resume, remote.retry.*) to reg.
+// Call before accepting agents.
+func (c *Controller) SetObs(reg *obs.Registry) {
+	c.mu.Lock()
+	c.obsReg = reg
+	c.resumes = reg.Counter("remote.resume")
+	c.mu.Unlock()
+}
+
+// SetHelloTimeout bounds how long an accepted connection may take to
+// complete its handshake.
+func (c *Controller) SetHelloTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.helloTimeout = d
+	c.mu.Unlock()
 }
 
 // Addr returns the listening address.
@@ -245,38 +578,211 @@ func (c *Controller) Addr() string { return c.ln.Addr().String() }
 // Close stops accepting agents.
 func (c *Controller) Close() error { return c.ln.Close() }
 
-// Accept waits for one agent and returns a prober driving it.
+// Accept waits for one NEW agent session and returns a prober driving it.
+// Reconnections of known agents are routed to their existing probers and
+// do not surface here.
 func (c *Controller) Accept() (*RemoteProber, error) {
-	conn, err := c.ln.Accept()
-	if err != nil {
-		return nil, err
+	r, ok := <-c.acceptC
+	if !ok {
+		return nil, fmt.Errorf("scamper: controller closed")
 	}
-	hello, err := readFrame(conn)
-	if err != nil {
-		conn.Close()
-		return nil, err
-	}
-	if len(hello) < 2 || hello[0] != msgHello || len(hello) < 2+int(hello[1]) {
-		conn.Close()
-		return nil, fmt.Errorf("scamper: bad hello")
-	}
-	name := string(hello[2 : 2+int(hello[1])])
-	return &RemoteProber{conn: conn, name: name}, nil
+	return r.p, r.err
 }
 
-// RemoteProber drives a remote agent over its callback connection.
-// It is safe for concurrent use; commands are serialized.
-type RemoteProber struct {
-	conn net.Conn
-	name string
+func (c *Controller) dispatch() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			close(c.acceptC)
+			return
+		}
+		go c.handshake(conn)
+	}
+}
 
-	mu       sync.Mutex
+func (c *Controller) handshake(conn net.Conn) {
+	c.mu.Lock()
+	ht := c.helloTimeout
+	c.mu.Unlock()
+	conn.SetReadDeadline(time.Now().Add(ht))
+	seq, body, err := readMsg(conn)
+	if err == nil && seq != 0 {
+		err = fmt.Errorf("scamper: bad hello")
+	}
+	var name string
+	var sessionID uint64
+	if err == nil {
+		name, _, sessionID, _, err = parseHello(body)
+	}
+	if err != nil {
+		// A garbled or dropped hello only condemns this connection: the
+		// agent redials and tries again, so nothing surfaces via Accept.
+		conn.Close()
+		c.mu.Lock()
+		reg := c.obsReg
+		c.mu.Unlock()
+		reg.Inc("remote.hello_failed")
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	ack := make([]byte, 9)
+	ack[0] = msgHelloAck
+	binary.BigEndian.PutUint64(ack[1:9], sessionID)
+	if err := writeMsg(conn, 0, ack); err != nil {
+		conn.Close()
+		return
+	}
+
+	// Route by VP name, not session id: a lost helloAck makes the agent
+	// redial believing it has no session, and name routing still finds it.
+	c.mu.Lock()
+	p, resuming := c.sessions[name]
+	if resuming && p.closed.Load() {
+		delete(c.sessions, name)
+		resuming = false
+	}
+	if !resuming {
+		p = newRemoteProber(name, c, c.obsReg)
+		c.sessions[name] = p
+	}
+	resumeCtr := c.resumes
+	c.mu.Unlock()
+
+	p.attach(conn)
+	if resuming {
+		resumeCtr.Add(1)
+	} else {
+		c.deliver(acceptResult{p: p})
+	}
+}
+
+func (c *Controller) deliver(r acceptResult) {
+	select {
+	case c.acceptC <- r:
+	default:
+		if r.p != nil {
+			r.p.Close()
+		}
+	}
+}
+
+func (c *Controller) endSession(name string) {
+	c.mu.Lock()
+	if c.sessions != nil {
+		delete(c.sessions, name)
+	}
+	c.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// RemoteProber (controller's handle on one agent session)
+
+// Hardening tunes the prober's fault-recovery behavior.
+type Hardening struct {
+	// FrameTimeout bounds each frame write and each response wait.
+	// Default 5s.
+	FrameTimeout time.Duration
+	// RetryBudget is the number of ADDITIONAL attempts after the first
+	// send of a command. Default 8.
+	RetryBudget int
+	// BackoffBase/BackoffMax shape the exponential backoff between
+	// retries. Defaults 5ms / 250ms.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// ResumeWait bounds how long a command waits for a reconnecting
+	// agent before declaring the session lost. Default 10s.
+	ResumeWait time.Duration
+}
+
+func (h Hardening) withDefaults() Hardening {
+	if h.FrameTimeout == 0 {
+		h.FrameTimeout = 5 * time.Second
+	}
+	if h.RetryBudget == 0 {
+		h.RetryBudget = 8
+	}
+	if h.BackoffBase == 0 {
+		h.BackoffBase = 5 * time.Millisecond
+	}
+	if h.BackoffMax == 0 {
+		h.BackoffMax = 250 * time.Millisecond
+	}
+	if h.ResumeWait == 0 {
+		h.ResumeWait = 10 * time.Second
+	}
+	return h
+}
+
+// RemoteProber drives a remote agent over its callback connection(s).
+// It is safe for concurrent use; commands are serialized, retried with
+// bounded exponential backoff, and survive agent reconnects.
+type RemoteProber struct {
+	name   string
+	ctrl   *Controller
+	reconn chan net.Conn
+	closed atomic.Bool
+
+	opMu    sync.Mutex // serializes commands; guards conn, nextSeq, hard
+	conn    net.Conn
+	nextSeq uint32
+	hard    Hardening
+
+	mu       sync.Mutex // guards err, byte counts
 	bytesOut int64
 	bytesIn  int64
 	err      error
+
+	retryWrite   *obs.Counter
+	retryRead    *obs.Counter
+	retryCorrupt *obs.Counter
+	backoffNs    *obs.Counter
+	sessionLost  *obs.Counter
 }
 
 var _ Prober = (*RemoteProber)(nil)
+
+func newRemoteProber(name string, ctrl *Controller, reg *obs.Registry) *RemoteProber {
+	return &RemoteProber{
+		name:         name,
+		ctrl:         ctrl,
+		reconn:       make(chan net.Conn, 1),
+		nextSeq:      1,
+		hard:         Hardening{}.withDefaults(),
+		retryWrite:   reg.Counter("remote.retry.write"),
+		retryRead:    reg.Counter("remote.retry.read"),
+		retryCorrupt: reg.Counter("remote.retry.corrupt"),
+		backoffNs:    reg.Counter("remote.retry.backoff_ns"),
+		sessionLost:  reg.Counter("remote.session_lost"),
+	}
+}
+
+// SetHardening replaces the recovery tuning. Call before issuing commands.
+func (p *RemoteProber) SetHardening(h Hardening) {
+	p.opMu.Lock()
+	p.hard = h.withDefaults()
+	p.opMu.Unlock()
+}
+
+// attach hands a (re)connection to the prober. A newer connection replaces
+// any pending one: the agent only redials after abandoning the old conn.
+func (p *RemoteProber) attach(conn net.Conn) {
+	if p.closed.Load() {
+		conn.Close()
+		return
+	}
+	for {
+		select {
+		case p.reconn <- conn:
+			return
+		default:
+		}
+		select {
+		case old := <-p.reconn:
+			old.Close()
+		default:
+		}
+	}
+}
 
 // Name returns the agent's vantage point name.
 func (p *RemoteProber) Name() string { return p.name }
@@ -288,44 +794,170 @@ func (p *RemoteProber) BytesTransferred() (out, in int64) {
 	return p.bytesOut, p.bytesIn
 }
 
-// Err returns the first transport error, if any.
+// Err returns the first permanent session error, if any. It never blocks
+// on an in-flight command.
 func (p *RemoteProber) Err() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.err
 }
 
-// Close ends the session.
-func (p *RemoteProber) Close() error {
+func (p *RemoteProber) fail(err error) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	_ = writeFrame(p.conn, []byte{msgBye})
-	return p.conn.Close()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+	p.sessionLost.Add(1)
 }
 
-// roundTrip sends one request and reads one response.
-func (p *RemoteProber) roundTrip(req []byte, wantType byte) []byte {
+// Close ends the session: a best-effort bye, then the connection.
+func (p *RemoteProber) Close() error {
+	if p.closed.Swap(true) {
+		return nil
+	}
+	p.opMu.Lock()
+	defer p.opMu.Unlock()
+	if p.conn == nil {
+		select {
+		case c := <-p.reconn:
+			p.conn = c
+		default:
+		}
+	}
+	if p.conn != nil {
+		p.conn.SetWriteDeadline(time.Now().Add(time.Second))
+		_ = writeMsg(p.conn, p.nextSeq, []byte{msgBye})
+		p.conn.Close()
+		p.conn = nil
+	}
+	if p.ctrl != nil {
+		p.ctrl.endSession(p.name)
+	}
+	return nil
+}
+
+// dropConn abandons the current connection after a transport fault.
+func (p *RemoteProber) dropConn() {
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+	}
+}
+
+// awaitConn waits for the agent to (re)connect.
+func (p *RemoteProber) awaitConn(wait time.Duration) bool {
+	select {
+	case c := <-p.reconn:
+		p.conn = c
+		return true
+	default:
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case c := <-p.reconn:
+		p.conn = c
+		return true
+	case <-timer.C:
+		return false
+	}
+}
+
+// roundTrip sends one command and reads its response, retrying across
+// lost/corrupt frames and agent reconnects. Returns nil once the session
+// is permanently lost (Err() reports why).
+func (p *RemoteProber) roundTrip(body []byte, wantType byte) []byte {
+	p.opMu.Lock()
+	defer p.opMu.Unlock()
+	if p.closed.Load() || p.Err() != nil {
+		return nil
+	}
+	h := p.hard
+	seq := p.nextSeq
+	p.nextSeq++
+	for attempt := 0; attempt <= h.RetryBudget; attempt++ {
+		if attempt > 0 {
+			d := h.BackoffBase << uint(attempt-1)
+			if d > h.BackoffMax {
+				d = h.BackoffMax
+			}
+			p.backoffNs.Add(int64(d))
+			time.Sleep(d)
+		}
+		if p.conn == nil && !p.awaitConn(h.ResumeWait) {
+			p.fail(fmt.Errorf("scamper: agent %s did not resume within %v", p.name, h.ResumeWait))
+			return nil
+		}
+		// The agent may have reconnected behind our back (e.g. it saw a
+		// corrupt frame and redialed); prefer the fresh connection.
+		select {
+		case c := <-p.reconn:
+			p.dropConn()
+			p.conn = c
+		default:
+		}
+		p.conn.SetWriteDeadline(time.Now().Add(h.FrameTimeout))
+		if err := writeMsg(p.conn, seq, body); err != nil {
+			p.retryWrite.Add(1)
+			p.dropConn()
+			continue
+		}
+		p.noteSent(len(body))
+		rsp, err := p.awaitRsp(seq, wantType, h.FrameTimeout)
+		if err == nil {
+			p.noteRecv(len(rsp))
+			return rsp
+		}
+		var nerr net.Error
+		switch {
+		case errors.Is(err, errCorruptFrame):
+			// Framing survived (only payload bytes were damaged), so the
+			// stream is still usable: resend on the same connection.
+			p.retryCorrupt.Add(1)
+		case errors.As(err, &nerr) && nerr.Timeout():
+			// Response lost in transit; the connection itself is fine.
+			p.retryRead.Add(1)
+		default:
+			p.retryRead.Add(1)
+			p.dropConn()
+		}
+	}
+	p.fail(fmt.Errorf("scamper: retry budget exhausted after %d attempts", h.RetryBudget+1))
+	return nil
+}
+
+// awaitRsp reads frames until the response for seq arrives, skipping stale
+// duplicates from earlier retries.
+func (p *RemoteProber) awaitRsp(seq uint32, wantType byte, timeout time.Duration) ([]byte, error) {
+	deadline := time.Now().Add(timeout)
+	for skips := 0; skips < 64; skips++ {
+		p.conn.SetReadDeadline(deadline)
+		got, rsp, err := readMsg(p.conn)
+		if err != nil {
+			return nil, err
+		}
+		if got < seq {
+			continue // duplicate of an already-consumed response
+		}
+		if got != seq || rsp[0] != wantType {
+			return nil, errCorruptFrame
+		}
+		return rsp, nil
+	}
+	return nil, errCorruptFrame
+}
+
+func (p *RemoteProber) noteSent(n int) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.err != nil {
-		return nil
-	}
-	if err := writeFrame(p.conn, req); err != nil {
-		p.err = err
-		return nil
-	}
-	p.bytesOut += int64(len(req) + 4)
-	rsp, err := readFrame(p.conn)
-	if err != nil {
-		p.err = err
-		return nil
-	}
-	p.bytesIn += int64(len(rsp) + 4)
-	if len(rsp) == 0 || rsp[0] != wantType {
-		p.err = fmt.Errorf("scamper: unexpected response type")
-		return nil
-	}
-	return rsp
+	p.bytesOut += int64(n + envelope + 4)
+	p.mu.Unlock()
+}
+
+func (p *RemoteProber) noteRecv(n int) {
+	p.mu.Lock()
+	p.bytesIn += int64(n + envelope + 4)
+	p.mu.Unlock()
 }
 
 // Trace runs a traceroute on the agent.
@@ -385,4 +1017,14 @@ func (p *RemoteProber) Advance(d time.Duration) {
 	req[0] = msgAdvance
 	binary.BigEndian.PutUint64(req[1:9], uint64(d))
 	p.roundTrip(req, msgAdvanced)
+}
+
+// Clock reads the agent's simulated measurement clock, so the driver can
+// report SimDuration for remote runs too.
+func (p *RemoteProber) Clock() (time.Duration, error) {
+	rsp := p.roundTrip([]byte{msgClock}, msgClockRsp)
+	if rsp == nil || len(rsp) < 9 {
+		return 0, p.Err()
+	}
+	return time.Duration(binary.BigEndian.Uint64(rsp[1:9])), nil
 }

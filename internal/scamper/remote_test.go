@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"bdrmap/internal/bgp"
+	"bdrmap/internal/obs"
 	"bdrmap/internal/probe"
 	"bdrmap/internal/topo"
 )
@@ -51,6 +52,78 @@ func TestReadFrameRejectsBadLengths(t *testing.T) {
 	if _, err := readFrame(&buf); err != io.ErrUnexpectedEOF {
 		t.Errorf("truncated payload: err = %v", err)
 	}
+	// Hostile length prefix just under maxFrame with a trickle of data
+	// must not allocate the full frame up front; it should fail with
+	// ErrUnexpectedEOF once the stream dries up.
+	buf.Reset()
+	binary.BigEndian.PutUint32(hdr[:], maxFrame)
+	buf.Write(hdr[:])
+	buf.Write(make([]byte, 100))
+	if _, err := readFrame(&buf); err != io.ErrUnexpectedEOF {
+		t.Errorf("hostile length prefix: err = %v", err)
+	}
+}
+
+func TestMsgEnvelope(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte{msgTraceRsp, 1, 0, 0, 0}
+	if err := writeMsg(&buf, 42, body); err != nil {
+		t.Fatal(err)
+	}
+	seq, got, err := readMsg(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 42 || !bytes.Equal(got, body) {
+		t.Fatalf("envelope round trip: seq=%d body=%v", seq, got)
+	}
+
+	// A flipped payload byte must be rejected as corrupt.
+	buf.Reset()
+	writeMsg(&buf, 7, body)
+	raw := buf.Bytes()
+	raw[len(raw)-1] ^= 0xff
+	if _, _, err := readMsg(bytes.NewReader(raw)); err != errCorruptFrame {
+		t.Fatalf("corrupt payload: err = %v", err)
+	}
+
+	// A flipped seq byte must also fail the checksum.
+	buf.Reset()
+	writeMsg(&buf, 7, body)
+	raw = buf.Bytes()
+	raw[5] ^= 0xff
+	if _, _, err := readMsg(bytes.NewReader(raw)); err != errCorruptFrame {
+		t.Fatalf("corrupt seq: err = %v", err)
+	}
+
+	// An envelope too short to hold a message type is corrupt, not a panic.
+	buf.Reset()
+	writeFrame(&buf, []byte{0, 0, 0, 0, 0, 0, 0, 0})
+	if _, _, err := readMsg(&buf); err != errCorruptFrame {
+		t.Fatalf("short envelope: err = %v", err)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	b := buildHello("vp-atlanta", true, 0xdeadbeef, 99)
+	name, resume, sid, last, err := parseHello(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "vp-atlanta" || !resume || sid != 0xdeadbeef || last != 99 {
+		t.Fatalf("parsed %q %v %x %d", name, resume, sid, last)
+	}
+	for _, bad := range [][]byte{
+		nil,
+		{msgHello},
+		{msgHello, 5, 'a', 'b'},          // name longer than body
+		{msgProbeReq, 1, 'a'},            // wrong type
+		buildHello("x", false, 0, 0)[:5], // truncated tail
+	} {
+		if _, _, _, _, err := parseHello(bad); err == nil {
+			t.Errorf("parseHello(%v) accepted", bad)
+		}
+	}
 }
 
 func agentWorld(t *testing.T) *Agent {
@@ -60,16 +133,24 @@ func agentWorld(t *testing.T) *Agent {
 }
 
 // serveConnPair runs the agent on one end of a pipe and returns the test's
-// end after consuming the hello.
+// end after completing the hello/helloAck handshake.
 func serveConnPair(t *testing.T, a *Agent) (net.Conn, chan error) {
 	t.Helper()
 	client, server := net.Pipe()
 	done := make(chan error, 1)
 	go func() { done <- a.ServeConn(server) }()
-	hello, err := readFrame(client)
-	if err != nil || hello[0] != msgHello {
+	client.SetDeadline(time.Now().Add(5 * time.Second))
+	seq, hello, err := readMsg(client)
+	if err != nil || seq != 0 || hello[0] != msgHello {
 		t.Fatalf("bad hello: %v %v", hello, err)
 	}
+	if _, _, _, _, err := parseHello(hello); err != nil {
+		t.Fatalf("unparsable hello: %v", err)
+	}
+	if err := writeMsg(client, 0, []byte{msgHelloAck, 0, 0, 0, 0, 0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	client.SetDeadline(time.Time{})
 	return client, done
 }
 
@@ -77,7 +158,7 @@ func TestAgentRejectsUnknownMessage(t *testing.T) {
 	a := agentWorld(t)
 	client, done := serveConnPair(t, a)
 	defer client.Close()
-	if err := writeFrame(client, []byte{0x7f}); err != nil {
+	if err := writeMsg(client, 1, []byte{0x7f}); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -99,7 +180,7 @@ func TestAgentRejectsShortRequests(t *testing.T) {
 	} {
 		a := agentWorld(t)
 		client, done := serveConnPair(t, a)
-		if err := writeFrame(client, req); err != nil {
+		if err := writeMsg(client, 1, req); err != nil {
 			t.Fatal(err)
 		}
 		select {
@@ -114,11 +195,61 @@ func TestAgentRejectsShortRequests(t *testing.T) {
 	}
 }
 
+func TestAgentDropsCorruptFrame(t *testing.T) {
+	a := agentWorld(t)
+	client, done := serveConnPair(t, a)
+	defer client.Close()
+	// Hand-build a frame whose checksum does not verify.
+	payload := make([]byte, envelope+1)
+	payload[envelope] = msgBye
+	binary.BigEndian.PutUint32(payload[0:4], 0xbad)
+	if err := writeFrame(client, payload); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("agent trusted a corrupt frame")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("agent hung on corrupt frame")
+	}
+}
+
+func TestAgentReplaysDuplicateSeq(t *testing.T) {
+	a := agentWorld(t)
+	client, done := serveConnPair(t, a)
+	defer client.Close()
+	defer func() { <-done }()
+
+	req := make([]byte, 9)
+	req[0] = msgAdvance
+	binary.BigEndian.PutUint64(req[1:9], uint64(time.Second))
+	client.SetDeadline(time.Now().Add(5 * time.Second))
+	for i := 0; i < 3; i++ { // original + two duplicates
+		if err := writeMsg(client, 1, req); err != nil {
+			t.Fatal(err)
+		}
+		seq, rsp, err := readMsg(client)
+		if err != nil || seq != 1 || rsp[0] != msgAdvanced {
+			t.Fatalf("attempt %d: seq=%d rsp=%v err=%v", i, seq, rsp, err)
+		}
+	}
+	// The engine must have advanced exactly once despite three requests.
+	if got := a.E.Now(); got != time.Second {
+		t.Fatalf("duplicate seq re-executed: clock = %v", got)
+	}
+	if execs := a.CountExecs(); execs[1] != 1 {
+		t.Fatalf("execs[1] = %d, want 1", execs[1])
+	}
+	client.Close()
+}
+
 func TestAgentCleanShutdownOnBye(t *testing.T) {
 	a := agentWorld(t)
 	client, done := serveConnPair(t, a)
 	defer client.Close()
-	if err := writeFrame(client, []byte{msgBye}); err != nil {
+	if err := writeMsg(client, 1, []byte{msgBye}); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -151,17 +282,98 @@ func TestControllerRejectsBadHello(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ctrl.Close()
-	go func() {
-		conn, err := net.Dial("tcp", ctrl.Addr())
-		if err != nil {
-			return
-		}
-		writeFrame(conn, []byte{msgProbeReq, 0, 0, 0, 0, 0}) // not a hello
-		conn.Close()
-	}()
-	if _, err := ctrl.Accept(); err == nil {
-		t.Fatal("controller accepted a session without hello")
+	reg := obs.New()
+	ctrl.SetObs(reg)
+	conn, err := net.Dial("tcp", ctrl.Addr())
+	if err != nil {
+		t.Fatal(err)
 	}
+	defer conn.Close()
+	writeMsg(conn, 0, []byte{msgProbeReq, 0, 0, 0, 0, 0}) // not a hello
+	// The controller must close the connection without creating a
+	// session — a failed handshake never surfaces through Accept,
+	// because under fault injection the agent simply redials.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, _, err := readMsg(conn); err == nil {
+		t.Fatal("controller answered a session without hello")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.Snapshot().Counter("remote.hello_failed") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("hello failure not counted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestControllerResumesSession(t *testing.T) {
+	n := topo.Generate(topo.TinyProfile(), 2)
+	e := probe.New(n, bgp.NewTable(n))
+	ctrl, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	agent := &Agent{E: e, VP: n.VPs[0]}
+	dialed := 0
+	dial := func(addr string) (net.Conn, error) {
+		dialed++
+		return net.Dial("tcp", addr)
+	}
+	// Cut the first connection after the 3rd agent write (hello + two
+	// responses), forcing a redial mid-run.
+	writes := 0
+	wrap := func(c net.Conn) net.Conn {
+		return &cutAfterConn{Conn: c, when: func() bool { writes++; return writes == 3 }}
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- agent.DialRetry(ctrl.Addr(), DialOptions{Dial: dial, Wrap: wrap})
+	}()
+
+	rp, err := ctrl.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp.SetHardening(Hardening{FrameTimeout: time.Second, RetryBudget: 6,
+		BackoffBase: time.Millisecond, BackoffMax: 8 * time.Millisecond, ResumeWait: 5 * time.Second})
+
+	tab := bgp.NewTable(n)
+	dst := tab.Prefixes()[0].First() + 1
+	var traces []probe.TraceResult
+	for i := 0; i < 4; i++ {
+		traces = append(traces, rp.Trace(dst, nil))
+	}
+	if err := rp.Err(); err != nil {
+		t.Fatalf("session lost despite resume: %v", err)
+	}
+	for i, tr := range traces {
+		if len(tr.Hops) == 0 {
+			t.Fatalf("trace %d empty after resume", i)
+		}
+	}
+	if dialed < 2 {
+		t.Fatalf("agent dialed %d times; cut should force a redial", dialed)
+	}
+	rp.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("agent exited with error: %v", err)
+	}
+}
+
+// cutAfterConn closes itself right before the write on which when() fires.
+type cutAfterConn struct {
+	net.Conn
+	when func() bool
+}
+
+func (c *cutAfterConn) Write(b []byte) (int, error) {
+	if c.when() {
+		c.Conn.Close()
+		return 0, io.ErrClosedPipe
+	}
+	return c.Conn.Write(b)
 }
 
 func TestRemoteProberConcurrentUse(t *testing.T) {

@@ -130,6 +130,27 @@ func TestChaosHealingReproducesGolden(t *testing.T) {
 	}
 }
 
+// TestChaosEarlyKillFailsFast severs the link before the handshake can ever
+// complete (kill=1 fires on the hello frame): no session forms, the agent
+// exhausts its redials, and the run must fail promptly with an error rather
+// than block forever waiting for a connection that cannot arrive.
+func TestChaosEarlyKillFailsFast(t *testing.T) {
+	errc := make(chan error, 1)
+	go func() {
+		world := NewWorld(Tiny(), 1)
+		_, err := world.MapBordersRemote(0, RemoteOptions{FaultSpec: "seed=1,kill=1"})
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("early kill produced a report despite no session ever forming")
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("early kill hung the run past the 60s watchdog")
+	}
+}
+
 // TestChaosPermanentLossTerminates kills the agent for good mid-run: the
 // driver must degrade — abandoning the unreachable targets, keeping what
 // was measured — and the whole run must finish well inside the watchdog

@@ -146,9 +146,41 @@ func (s *Scenario) RunVPRemote(i int, cfg scamper.Config, opts core.Options, fau
 		})
 	}()
 
-	rp, err := ctrl.Accept()
-	if err != nil {
-		return nil, err
+	// Accept must race the agent's exit: a fault schedule harsh enough to
+	// kill every hello means no session ever forms, and waiting on Accept
+	// alone would block forever (ctrl.Close only runs when we return).
+	type accepted struct {
+		rp  *scamper.RemoteProber
+		err error
+	}
+	acceptC := make(chan accepted, 1)
+	go func() {
+		rp, err := ctrl.Accept()
+		acceptC <- accepted{rp, err}
+	}()
+	var rp *scamper.RemoteProber
+	select {
+	case a := <-acceptC:
+		if a.err != nil {
+			return nil, a.err
+		}
+		rp = a.rp
+	case err := <-agentDone:
+		// The agent may have established a session and then died; prefer
+		// the session if one raced in, otherwise the run is over.
+		select {
+		case a := <-acceptC:
+			if a.err != nil {
+				return nil, a.err
+			}
+			rp = a.rp
+			agentDone <- err // re-arm for the post-run drain below
+		default:
+			if err == nil {
+				err = fmt.Errorf("eval: agent exited before establishing a session")
+			}
+			return nil, err
+		}
 	}
 	// Loopback scale: frame processing is sub-millisecond (the engine is
 	// simulated), so timeouts far below the WAN defaults keep chaos runs

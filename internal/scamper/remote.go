@@ -88,18 +88,25 @@ func readFrame(r io.Reader) ([]byte, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := int(binary.BigEndian.Uint32(hdr[:]))
 	if n == 0 || n > maxFrame {
 		return nil, fmt.Errorf("scamper: bad frame length %d", n)
 	}
 	// Grow the buffer chunk by chunk instead of trusting the length prefix
-	// with a single up-front allocation.
-	buf := make([]byte, 0, min(int(n), frameChunk))
-	for len(buf) < int(n) {
-		k := min(int(n)-len(buf), frameChunk)
-		chunk := buf[len(buf) : len(buf)+k]
-		buf = buf[:len(buf)+k]
-		if _, err := io.ReadFull(r, chunk); err != nil {
+	// with a single up-front allocation: a hostile prefix near maxFrame
+	// only costs memory as fast as the peer actually delivers bytes.
+	buf := make([]byte, min(n, frameChunk))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	for len(buf) < n {
+		k := min(n-len(buf), frameChunk)
+		off := len(buf)
+		buf = append(buf, make([]byte, k)...)
+		if _, err := io.ReadFull(r, buf[off:]); err != nil {
 			if err == io.EOF {
 				err = io.ErrUnexpectedEOF
 			}
@@ -205,7 +212,8 @@ type DialOptions struct {
 	// injector) before the protocol runs over it.
 	Wrap func(net.Conn) net.Conn
 	// MaxRedials bounds consecutive failed connection attempts; the
-	// counter resets whenever a handshake completes. Default 8.
+	// counter resets whenever a handshake completes. Default 8; Disabled
+	// means zero (give up after the first failure).
 	MaxRedials int
 	// RedialBase/RedialMax shape the exponential backoff between redials.
 	// Defaults 5ms / 250ms.
@@ -220,7 +228,10 @@ func (o DialOptions) withDefaults() DialOptions {
 	if o.Dial == nil {
 		o.Dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
 	}
-	if o.MaxRedials == 0 {
+	switch o.MaxRedials {
+	case Disabled:
+		o.MaxRedials = 0
+	case 0:
 		o.MaxRedials = 8
 	}
 	if o.RedialBase == 0 {
@@ -530,6 +541,10 @@ type acceptResult struct {
 type Controller struct {
 	ln      net.Listener
 	acceptC chan acceptResult
+	// done is closed when the dispatcher exits. acceptC itself is never
+	// closed: an in-flight handshake goroutine may still be delivering,
+	// and a send on a closed channel would panic the controller.
+	done chan struct{}
 
 	mu           sync.Mutex
 	sessions     map[string]*RemoteProber
@@ -548,6 +563,7 @@ func Listen(addr string) (*Controller, error) {
 	c := &Controller{
 		ln:           ln,
 		acceptC:      make(chan acceptResult, 16),
+		done:         make(chan struct{}),
 		sessions:     make(map[string]*RemoteProber),
 		helloTimeout: 2 * time.Second,
 	}
@@ -582,18 +598,25 @@ func (c *Controller) Close() error { return c.ln.Close() }
 // Reconnections of known agents are routed to their existing probers and
 // do not surface here.
 func (c *Controller) Accept() (*RemoteProber, error) {
-	r, ok := <-c.acceptC
-	if !ok {
+	select {
+	case r := <-c.acceptC:
+		return r.p, r.err
+	case <-c.done:
+		// Drain a session that was delivered just before shutdown.
+		select {
+		case r := <-c.acceptC:
+			return r.p, r.err
+		default:
+		}
 		return nil, fmt.Errorf("scamper: controller closed")
 	}
-	return r.p, r.err
 }
 
 func (c *Controller) dispatch() {
 	for {
 		conn, err := c.ln.Accept()
 		if err != nil {
-			close(c.acceptC)
+			close(c.done)
 			return
 		}
 		go c.handshake(conn)
@@ -658,6 +681,15 @@ func (c *Controller) handshake(conn net.Conn) {
 
 func (c *Controller) deliver(r acceptResult) {
 	select {
+	case <-c.done:
+		// Controller already shut down; nobody will Accept this session.
+		if r.p != nil {
+			r.p.Close()
+		}
+		return
+	default:
+	}
+	select {
 	case c.acceptC <- r:
 	default:
 		if r.p != nil {
@@ -683,7 +715,8 @@ type Hardening struct {
 	// Default 5s.
 	FrameTimeout time.Duration
 	// RetryBudget is the number of ADDITIONAL attempts after the first
-	// send of a command. Default 8.
+	// send of a command. Default 8; Disabled means zero (one attempt,
+	// no retries).
 	RetryBudget int
 	// BackoffBase/BackoffMax shape the exponential backoff between
 	// retries. Defaults 5ms / 250ms.
@@ -698,7 +731,10 @@ func (h Hardening) withDefaults() Hardening {
 	if h.FrameTimeout == 0 {
 		h.FrameTimeout = 5 * time.Second
 	}
-	if h.RetryBudget == 0 {
+	switch h.RetryBudget {
+	case Disabled:
+		h.RetryBudget = 0
+	case 0:
 		h.RetryBudget = 8
 	}
 	if h.BackoffBase == 0 {

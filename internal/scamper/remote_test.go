@@ -3,8 +3,10 @@ package scamper
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"io"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -26,6 +28,29 @@ func TestFrameRoundTrip(t *testing.T) {
 	}
 	if !bytes.Equal(got, payload) {
 		t.Fatalf("round trip: %v != %v", got, payload)
+	}
+}
+
+// TestFrameRoundTripLarge exercises the chunked-read path: frames larger
+// than frameChunk (a trace request whose stop set holds 65535 addresses is
+// ~256KiB) must round-trip, not panic at the first chunk boundary.
+func TestFrameRoundTripLarge(t *testing.T) {
+	for _, n := range []int{frameChunk, frameChunk + 100, 4*frameChunk + 9, maxFrame} {
+		payload := make([]byte, n)
+		for i := range payload {
+			payload[i] = byte(i * 31)
+		}
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, payload); err != nil {
+			t.Fatal(err)
+		}
+		got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("n=%d: round trip mismatch", n)
+		}
 	}
 }
 
@@ -273,6 +298,55 @@ func TestAgentCleanShutdownOnEOF(t *testing.T) {
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("agent hung on EOF")
+	}
+}
+
+// TestRetryDefaultsHonorDisabled pins the zero-vs-default distinction for
+// the retry knobs: the zero value means "use the default", Disabled means
+// an explicit zero (no retries / no redials).
+func TestRetryDefaultsHonorDisabled(t *testing.T) {
+	if got := (Hardening{}).withDefaults().RetryBudget; got != 8 {
+		t.Errorf("zero RetryBudget = %d, want default 8", got)
+	}
+	if got := (Hardening{RetryBudget: Disabled}).withDefaults().RetryBudget; got != 0 {
+		t.Errorf("Disabled RetryBudget = %d, want 0", got)
+	}
+	if got := (DialOptions{}).withDefaults().MaxRedials; got != 8 {
+		t.Errorf("zero MaxRedials = %d, want default 8", got)
+	}
+	if got := (DialOptions{MaxRedials: Disabled}).withDefaults().MaxRedials; got != 0 {
+		t.Errorf("Disabled MaxRedials = %d, want 0", got)
+	}
+}
+
+// TestControllerCloseDuringHandshake races Close against in-flight
+// handshakes: a session finishing its hello just as the dispatcher shuts
+// down must be discarded cleanly, never panic delivering to a closed
+// channel (run under -race in the chaos CI job).
+func TestControllerCloseDuringHandshake(t *testing.T) {
+	for i := 0; i < 25; i++ {
+		ctrl, err := Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctrl.SetObs(obs.New())
+		var wg sync.WaitGroup
+		for j := 0; j < 4; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				conn, err := net.Dial("tcp", ctrl.Addr())
+				if err != nil {
+					return
+				}
+				defer conn.Close()
+				writeMsg(conn, 0, buildHello(fmt.Sprintf("vp-%d", j), false, 0, 0))
+				conn.SetReadDeadline(time.Now().Add(time.Second))
+				readMsg(conn)
+			}(j)
+		}
+		ctrl.Close()
+		wg.Wait()
 	}
 }
 

@@ -116,6 +116,40 @@ func (w *World) Scenario() *eval.Scenario { return w.s }
 // Snapshot().Fingerprint().
 func (w *World) Snapshot() Metrics { return w.s.Obs.Snapshot() }
 
+// TraceEvent is one decision-provenance event: a sequenced, simulated-time
+// stamped record of what a pipeline stage observed or decided, with the
+// evidence behind it as key/value attributes.
+type TraceEvent = obs.Event
+
+// TraceEvents returns the provenance events recorded so far, in order.
+func (w *World) TraceEvents() []TraceEvent { return w.s.Trace.Events() }
+
+// WriteTrace exports the provenance event log as JSON Lines, one event per
+// line, suitable for `bdrmap -explain` over -trace-in.
+func (w *World) WriteTrace(out io.Writer) error { return w.s.Trace.WriteJSONL(out) }
+
+// TraceFingerprint hashes the deterministic portion of the provenance log
+// (sequence, simulated timestamps, stages, kinds, subjects, and all
+// non-volatile attributes). For a fixed profile, seed, and configuration
+// it is byte-identical across runs regardless of worker count.
+func (w *World) TraceFingerprint() string { return w.s.Trace.Fingerprint() }
+
+// Explain renders the evidence chain for one address, address pair, or AS:
+// the §5.4 decision that fired, the constraints it consulted, and the
+// probe/alias measurements mentioning the subject.
+func (w *World) Explain(query string) string {
+	return obs.Explain(w.s.Trace.Events(), query)
+}
+
+// ReadTrace loads a provenance event log written by WriteTrace (or
+// `bdrmap -trace-out`).
+func ReadTrace(r io.Reader) ([]TraceEvent, error) { return obs.ReadJSONL(r) }
+
+// ExplainEvents is Explain over a previously exported event log.
+func ExplainEvents(events []TraceEvent, query string) string {
+	return obs.Explain(events, query)
+}
+
 // Link is one inferred interdomain link of the hosting network.
 type Link struct {
 	// NearAddr is the observed address on the hosting network's border

@@ -10,12 +10,17 @@
 //	       [-topo saved.world] [-seed N] [-vp N]
 //	       [-table1] [-merged] [-o out.jsonl] [-dnscheck]
 //	       [-remote] [-faults spec] [-target-timeout d]
+//	       [-explain query] [-trace-out log.jsonl] [-trace-in log.jsonl]
 //	       [-no-alias] [-no-stopset] [-metrics] [-v]
 //
 // -remote runs the measurement over the §5.8 remote-control protocol (an
 // in-process agent behind loopback TCP); -faults degrades that session
 // with a deterministic fault spec (see internal/faults) and implies
 // -remote.
+//
+// -explain renders the decision-provenance evidence chain for an address,
+// address pair, or AS. -trace-out exports the full event log as JSON
+// Lines; -trace-in answers -explain from such a log without measuring.
 package main
 
 import (
@@ -45,8 +50,32 @@ func main() {
 		remote    = flag.Bool("remote", false, "probe over the §5.8 remote-control protocol")
 		faultSpec = flag.String("faults", "", "fault-injection spec for the remote session, e.g. seed=11,drop=0.12,heal=40 (implies -remote)")
 		targetTO  = flag.Duration("target-timeout", 0, "wall-clock budget per target AS in remote mode (0 = unlimited)")
+		explain   = flag.String("explain", "", "render the evidence chain for an address, address pair, or AS (e.g. 10.0.0.1 or AS20)")
+		traceOut  = flag.String("trace-out", "", "write the decision-provenance event log as JSON Lines to this file")
+		traceIn   = flag.String("trace-in", "", "explain from a previously exported event log instead of running the pipeline (requires -explain)")
 	)
 	flag.Parse()
+
+	// Offline explain: answer from an exported log, no measurement at all.
+	if *traceIn != "" {
+		if *explain == "" {
+			fmt.Fprintln(os.Stderr, "-trace-in requires -explain")
+			os.Exit(2)
+		}
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		events, err := bdrmap.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(bdrmap.ExplainEvents(events, *explain))
+		return
+	}
 
 	var world *bdrmap.World
 	prof, err := profileByName(*profile)
@@ -150,6 +179,23 @@ func main() {
 			f.Close()
 			fmt.Printf("merged map exported to %s.merged\n", *jsonOut)
 		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := world.WriteTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("trace written to %s (fingerprint %s)\n", *traceOut, world.TraceFingerprint())
+	}
+	if *explain != "" {
+		fmt.Println()
+		fmt.Print(world.Explain(*explain))
 	}
 	if *metrics {
 		fmt.Println("\npipeline metrics:")

@@ -10,12 +10,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"time"
 
 	"bdrmap/internal/asrel"
 	"bdrmap/internal/bgp"
@@ -34,8 +37,9 @@ func main() {
 		profile     = flag.String("profile", "tiny", "world the demo agent lives in")
 		seed        = flag.Int64("seed", 1, "generation seed")
 		demo        = flag.Bool("demo", true, "spawn an in-process demo agent")
-		metricsAddr = flag.String("metrics-addr", "", "serve the obs registry as JSON over HTTP on this address (e.g. 127.0.0.1:9100)")
+		metricsAddr = flag.String("metrics-addr", "", "serve the obs registry over HTTP on this address (e.g. 127.0.0.1:9100): JSON on /, Prometheus text on /metrics")
 		metricsJSON = flag.Bool("metrics-json", false, "print the final metrics snapshot as JSON on exit")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/ on -metrics-addr")
 		faultSpec   = flag.String("faults", "", "inject deterministic faults into the agent link, e.g. seed=11,drop=0.12,heal=40 (see internal/faults)")
 	)
 	flag.Parse()
@@ -57,10 +61,21 @@ func main() {
 	}
 
 	s := eval.Build(prof, *seed)
+	var srv *http.Server
 	if *metricsAddr != "" {
-		srv := &http.Server{Addr: *metricsAddr, Handler: obs.Handler(s.Obs)}
+		mux := http.NewServeMux()
+		mux.Handle("/", obs.Handler(s.Obs))
+		mux.Handle("/metrics", obs.PromHandler(s.Obs))
+		if *pprofOn {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
+		srv = &http.Server{Addr: *metricsAddr, Handler: mux}
 		go func() {
-			log.Printf("metrics endpoint on http://%s/", *metricsAddr)
+			log.Printf("metrics endpoint on http://%s/ (Prometheus on /metrics)", *metricsAddr)
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("metrics: %v", err)
 			}
@@ -101,7 +116,7 @@ func main() {
 	defer rp.Close()
 	log.Printf("agent %q connected", rp.Name())
 
-	d := &scamper.Driver{View: s.View, Prober: rp, HostASNs: s.HostASNs, Obs: s.Obs}
+	d := &scamper.Driver{View: s.View, Prober: rp, HostASNs: s.HostASNs, Obs: s.Obs, Trace: s.Trace}
 	ds := d.Run()
 	if err := rp.Err(); err != nil {
 		// A permanently lost session degrades to a partial map rather
@@ -110,7 +125,7 @@ func main() {
 	}
 	res := core.Infer(core.Input{
 		Data: ds, View: s.View, Rel: asrel.Infer(s.View), RIR: s.RIR, IXP: s.IXP,
-		HostASN: s.Net.HostASN, Siblings: s.Sibs, Obs: s.Obs,
+		HostASN: s.Net.HostASN, Siblings: s.Sibs, Obs: s.Obs, Trace: s.Trace,
 	})
 
 	out, in := rp.BytesTransferred()
@@ -127,6 +142,14 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(s.Obs.Snapshot()); err != nil {
 			log.Fatal(err)
+		}
+	}
+	if srv != nil {
+		// Drain in-flight scrapes before exiting instead of cutting them off.
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("metrics shutdown: %v", err)
 		}
 	}
 }

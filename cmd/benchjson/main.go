@@ -1,0 +1,91 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// array on stdout, one object per benchmark result — the machine-readable
+// artifact CI uploads so benchmark history can be diffed across PRs.
+//
+// Usage:
+//
+//	go test -run=NONE -bench . -benchmem . | benchjson > bench.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	var out []result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			out = append(out, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if out == nil {
+		out = []result{} // always a valid JSON array, even with no input
+	}
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// parseLine matches the standard bench line shape:
+//
+//	BenchmarkName-8  100  1234 ns/op  56 B/op  7 allocs/op
+func parseLine(line string) (result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return result{}, false
+	}
+	var r result
+	r.Name = f[0]
+	if i := strings.LastIndex(f[0], "-"); i > 0 {
+		if p, err := strconv.Atoi(f[0][i+1:]); err == nil {
+			r.Name, r.Procs = f[0][:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r.Iterations = iters
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		}
+	}
+	if r.NsPerOp == 0 {
+		return result{}, false
+	}
+	return r, true
+}

@@ -19,9 +19,12 @@
 package alias
 
 import (
+	"fmt"
+	"strings"
 	"time"
 
 	"bdrmap/internal/netx"
+	"bdrmap/internal/obs"
 	"bdrmap/internal/probe"
 	"bdrmap/internal/topo"
 )
@@ -99,6 +102,13 @@ type Resolver struct {
 	Src ProbeSource
 	Cfg Config
 
+	// Trace receives pair-test provenance events (verdicts with the IP-ID
+	// samples behind them). Nil disables them.
+	Trace *obs.Tracer
+	// Now supplies stage-relative simulated timestamps for trace events;
+	// nil stamps zero (events still order by sequence number).
+	Now func() int64
+
 	pos map[pairKey]bool
 	neg map[pairKey]bool
 }
@@ -119,6 +129,35 @@ func pkey(a, b netx.Addr) pairKey {
 		return pairKey{a, b}
 	}
 	return pairKey{b, a}
+}
+
+// NowNS returns the stage-relative simulated timestamp for trace events.
+func (r *Resolver) NowNS() int64 {
+	if r.Now != nil {
+		return r.Now()
+	}
+	return 0
+}
+
+// emit records one pair-test provenance event. The subject is the
+// canonically ordered "a|b" pair.
+func (r *Resolver) emit(kind string, a, b netx.Addr, attrs ...obs.Attr) {
+	if r.Trace == nil {
+		return
+	}
+	k := pkey(a, b)
+	r.Trace.Emit(obs.StageAlias, kind, k[0].String()+"|"+k[1].String(), r.NowNS(), attrs...)
+}
+
+// fmtIDs renders IP-ID samples as comma-separated decimals — evidence for
+// trace events. The values are volatile (lane-state-dependent across
+// worker counts), so callers attach them under a '~'-prefixed key.
+func fmtIDs(ids []uint16) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("%d", id)
+	}
+	return strings.Join(parts, ",")
 }
 
 // Record stores an externally derived verdict (e.g. the analytical aliases
@@ -165,20 +204,29 @@ func (r *Resolver) Ally(a, b netx.Addr) Verdict {
 		return Unknown
 	}
 	accepted := 0
+	var lastIDs []uint16
 	for round := 0; round < r.Cfg.AllyRounds; round++ {
 		if round > 0 {
 			r.Src.Advance(r.Cfg.AllyInterval)
 		}
-		switch r.allyOnce(a, b, method) {
+		v, ids := r.allyOnce(a, b, method)
+		lastIDs = ids
+		switch v {
 		case AliasYes:
 			accepted++
 		case AliasNo:
 			r.Record(a, b, AliasNo)
+			r.emit("ally", a, b, obs.KV("verdict", AliasNo.String()),
+				obs.KV("method", method.String()), obs.KV("round", round),
+				obs.Attr{K: "~ipids", V: fmtIDs(ids)})
 			return AliasNo
 		}
 	}
 	if accepted == r.Cfg.AllyRounds {
 		r.Record(a, b, AliasYes)
+		r.emit("ally", a, b, obs.KV("verdict", AliasYes.String()),
+			obs.KV("method", method.String()), obs.KV("rounds", accepted),
+			obs.Attr{K: "~ipids", V: fmtIDs(lastIDs)})
 		return AliasYes
 	}
 	return Unknown
@@ -197,14 +245,14 @@ func (r *Resolver) pickMethod(a, b netx.Addr) (probe.Method, bool) {
 }
 
 // allyOnce runs one interleaved sequence a,b,a,b,a,b and applies the
-// monotonicity test.
-func (r *Resolver) allyOnce(a, b netx.Addr, m probe.Method) Verdict {
+// monotonicity test, returning the verdict and the sampled IP-IDs.
+func (r *Resolver) allyOnce(a, b netx.Addr, m probe.Method) (Verdict, []uint16) {
 	var ids []uint16
 	targets := [...]netx.Addr{a, b, a, b, a, b}
 	for _, t := range targets {
 		resp := r.Src.Probe(t, m)
 		if !resp.OK {
-			return Unknown
+			return Unknown, ids
 		}
 		ids = append(ids, resp.IPID)
 		r.Src.Advance(r.Cfg.ProbeGap)
@@ -216,13 +264,13 @@ func (r *Resolver) allyOnce(a, b netx.Addr, m probe.Method) Verdict {
 		}
 	}
 	if allZero {
-		return Unknown // no counter at all; Ally is blind here
+		return Unknown, ids // no counter at all; Ally is blind here
 	}
 	// Each address's own subsequence must behave like a counter at all; a
 	// router using random IP-IDs gives no evidence either way (Ally is
 	// blind, and §5.4.7's analytical step may later supply the aliases).
 	if !monotonic(ids[0], ids[2], ids[4]) || !monotonic(ids[1], ids[3], ids[5]) {
-		return Unknown
+		return Unknown, ids
 	}
 	// MIDAR-style: the merged samples must strictly increase (mod 2^16)
 	// with a bounded total span — two distinct (per-router or
@@ -231,14 +279,14 @@ func (r *Resolver) allyOnce(a, b netx.Addr, m probe.Method) Verdict {
 	for i := 1; i < len(ids); i++ {
 		d := ids[i] - ids[i-1]
 		if d == 0 || d >= 1<<15 {
-			return AliasNo
+			return AliasNo, ids
 		}
 		span += d
 		if span > r.Cfg.MaxSpan {
-			return AliasNo
+			return AliasNo, ids
 		}
 	}
-	return AliasYes
+	return AliasYes, ids
 }
 
 // monotonic reports whether three samples of one address look like a
@@ -261,6 +309,8 @@ func (r *Resolver) Mercator(a, b netx.Addr) Verdict {
 	}
 	if ra.From == rb.From {
 		r.Record(a, b, AliasYes)
+		r.emit("mercator", a, b, obs.KV("verdict", AliasYes.String()),
+			obs.KV("from", ra.From.String()))
 		return AliasYes
 	}
 	if ra.From == a && rb.From == b {

@@ -1,9 +1,11 @@
 package alias
 
 import (
+	"fmt"
 	"time"
 
 	"bdrmap/internal/netx"
+	"bdrmap/internal/obs"
 	"bdrmap/internal/probe"
 )
 
@@ -66,10 +68,15 @@ func (r *Resolver) Velocity(a, b netx.Addr, cfg VelocityConfig) Verdict {
 	if !oka || !okb {
 		return Unknown // at least one series is not a counter at all
 	}
+	no := func(why string) Verdict {
+		r.Record(a, b, AliasNo)
+		r.emit("velocity", a, b, obs.KV("verdict", AliasNo.String()), obs.KV("why", why),
+			obs.Attr{K: "~rates", V: fmt.Sprintf("%.1f,%.1f", ra, rb)})
+		return AliasNo
+	}
 	// Rates must agree within 25% before merging is even plausible.
 	if !ratesClose(ra, rb, 0.25) {
-		r.Record(a, b, AliasNo)
-		return AliasNo
+		return no("rate-mismatch")
 	}
 	merged := append(append([]idSample(nil), sa...), sb...)
 	sortSamples(merged)
@@ -77,15 +84,15 @@ func (r *Resolver) Velocity(a, b netx.Addr, cfg VelocityConfig) Verdict {
 	for i := 1; i < len(merged); i++ {
 		d := merged[i].id - merged[i-1].id
 		if d >= 1<<15 {
-			r.Record(a, b, AliasNo)
-			return AliasNo
+			return no("merged-non-monotonic")
 		}
 	}
 	if _, ok := fitCounter(merged, cfg); !ok {
-		r.Record(a, b, AliasNo)
-		return AliasNo
+		return no("merged-misfit")
 	}
 	r.Record(a, b, AliasYes)
+	r.emit("velocity", a, b, obs.KV("verdict", AliasYes.String()),
+		obs.Attr{K: "~rates", V: fmt.Sprintf("%.1f,%.1f", ra, rb)})
 	return AliasYes
 }
 

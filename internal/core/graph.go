@@ -29,6 +29,10 @@ type Input struct {
 	// Obs receives per-heuristic fire counts and attribution totals.
 	// Nil disables them.
 	Obs *obs.Registry
+	// Trace receives one provenance event per §5.4 ownership decision —
+	// the router, hop distance, constraints consulted, and which earlier
+	// heuristics declined. Nil disables them.
+	Trace *obs.Tracer
 }
 
 // Options disable individual heuristics for ablation studies.
@@ -60,6 +64,21 @@ const (
 	classIXP                       // inside a known IXP LAN prefix
 	classUnrouted                  // no covering announced prefix
 )
+
+func (c addrClass) String() string {
+	switch c {
+	case classHost:
+		return "host"
+	case classExternal:
+		return "external"
+	case classMulti:
+		return "multi-origin"
+	case classIXP:
+		return "ixp"
+	default:
+		return "unrouted"
+	}
+}
 
 // node is the working state for one inferred router.
 type node struct {
@@ -113,6 +132,11 @@ type graph struct {
 	finalNodes map[topo.ASN]map[*node]int
 	// tracesToward counts traces per target AS.
 	tracesToward map[topo.ASN]int
+
+	// declined collects the heuristics that examined the node currently
+	// being inferred and passed — consumed (and reset) by the next claim,
+	// whose provenance event records them.
+	declined []Heuristic
 }
 
 // buildGraph constructs nodes from the dataset's traces and alias graph.
@@ -290,8 +314,11 @@ func prefixLenFor(rec rir.Record) int {
 
 // claim records an ownership decision: rule h attributes router n to owner.
 // Every heuristic routes its conclusion through here so the obs registry
-// tallies exactly one core.heur.fire.<tag> increment per decided router.
-func (g *graph) claim(n *node, owner topo.ASN, h Heuristic) {
+// tallies exactly one core.heur.fire.<tag> increment per decided router and
+// the tracer receives exactly one provenance event per decision, carrying
+// the standard constraint set (origin AS, AS relationship, address class,
+// hop distance, declined heuristics) plus any rule-specific evidence.
+func (g *graph) claim(n *node, owner topo.ASN, h Heuristic, evidence ...obs.Attr) {
 	n.owner, n.heur, n.done = owner, h, true
 	if g.vpASNs[owner] {
 		n.host = true
@@ -300,6 +327,61 @@ func (g *graph) claim(n *node, owner topo.ASN, h Heuristic) {
 		g.in.Obs.Inc("core.attr.external")
 	}
 	g.in.Obs.Inc("core.heur.fire." + string(h))
+	if g.in.Trace.Enabled() {
+		attrs := make([]obs.Attr, 0, 8+len(evidence))
+		attrs = append(attrs,
+			obs.KV("heuristic", string(h)),
+			obs.KV("owner", owner.String()),
+			obs.KV("hop", n.minTTL),
+			obs.KV("class", n.class.String()),
+			obs.KV("addrs", addrList(n.addrs)),
+			obs.KV("origin_as", g.originAttr(n)),
+			obs.KV("rel", g.in.Rel.Rel(g.in.HostASN, owner).String()),
+		)
+		if len(g.declined) > 0 {
+			attrs = append(attrs, obs.KV("declined", heurList(g.declined)))
+		}
+		attrs = append(attrs, evidence...)
+		g.in.Trace.Emit(obs.StageCore, "decision", n.addrs[0].String(), 0, attrs...)
+	}
+	g.declined = g.declined[:0]
+}
+
+// decline notes that heuristic h examined the current node and passed; the
+// next claim's provenance event records the accumulated list.
+func (g *graph) decline(h Heuristic) { g.declined = append(g.declined, h) }
+
+// originAttr states what the node's own addresses say about its owner —
+// the prefix→origin-AS constraint a decision consulted.
+func (g *graph) originAttr(n *node) string {
+	if n.extAS != 0 {
+		return n.extAS.String()
+	}
+	return n.class.String()
+}
+
+// addrList renders addresses as a comma-separated list.
+func addrList(addrs []netx.Addr) string {
+	var b []byte
+	for i, a := range addrs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, []byte(a.String())...)
+	}
+	return string(b)
+}
+
+// heurList renders heuristic tags as a comma-separated list.
+func heurList(hs []Heuristic) string {
+	var b []byte
+	for i, h := range hs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, []byte(h)...)
+	}
+	return string(b)
 }
 
 // originIsHost reports whether addr maps to the hosting organization.

@@ -5,6 +5,7 @@ import (
 
 	"bdrmap/internal/alias"
 	"bdrmap/internal/netx"
+	"bdrmap/internal/obs"
 	"bdrmap/internal/topo"
 )
 
@@ -61,14 +62,16 @@ func (g *graph) passHost() {
 			nd, vd := n.destSet(), hostSucc.destSet()
 			onlyA := len(nd) == 1 && nd[0] == a && len(vd) == 1 && vd[0] == a
 			if onlyA && g.in.Rel.Rel(host, a) != topo.RelNone && g.multihomedException(n, hostSucc, a) {
-				g.claim(n, a, HeurMultihomed)
+				ev := obs.KV("only_dest", a.String())
+				g.claim(n, a, HeurMultihomed, ev)
 				if !hostSucc.done {
-					g.claim(hostSucc, a, HeurMultihomed)
+					g.claim(hostSucc, a, HeurMultihomed, ev)
 				}
 				continue
 			}
 		}
-		g.claim(n, host, HeurHostNetwork)
+		g.claim(n, host, HeurHostNetwork,
+			obs.KV("host_successor", hostSucc.addrs[0].String()))
 	}
 
 	// Extension step (beyond the paper's 1.1/1.2, needed for hosts with
@@ -84,7 +87,8 @@ func (g *graph) passHost() {
 		}
 		extAdj := g.succExternalOrigins(n)
 		if len(extAdj) >= 2 && !g.hasPlausibleTransit(extAdj) {
-			g.claim(n, host, HeurHostNetwork)
+			g.claim(n, host, HeurHostNetwork,
+				obs.KV("egress_fanout", len(extAdj)))
 		}
 	}
 }
@@ -168,13 +172,14 @@ func (g *graph) inferNeighbor(n *node) {
 	// adjacent interfaces at all.
 	if n.anonymousAddr() && len(n.succ) == 0 && len(n.lastFor) > 0 {
 		if len(dests) == 1 {
-			g.claim(n, dests[0], HeurFirewall)
+			g.claim(n, dests[0], HeurFirewall, obs.KV("last_hop_toward", dests[0].String()))
 		} else if na := g.nextas(n); na != 0 {
-			g.claim(n, na, HeurFirewall)
+			g.claim(n, na, HeurFirewall, obs.KV("common_provider_of_dests", na.String()))
 		}
 		if n.done {
 			return
 		}
+		g.decline(HeurFirewall)
 	}
 
 	// §5.4.3 unrouted interior addressing.
@@ -182,18 +187,21 @@ func (g *graph) inferNeighbor(n *node) {
 		if g.inferUnrouted(n) {
 			return
 		}
+		g.decline(HeurUnrouted)
 	}
 
 	// §5.4.4 onenet.
 	if n.class == classExternal && n.extAS != 0 && extAdj[n.extAS] > 0 {
-		g.claim(n, n.extAS, HeurOnenet) // step 4.1
+		g.claim(n, n.extAS, HeurOnenet, // step 4.1
+			obs.KV("adjacent_same_as_ifaces", extAdj[n.extAS]))
 		return
 	}
 	if n.anonymousAddr() {
 		if a := g.twoConsecutive(n); a != 0 { // step 4.2
-			g.claim(n, a, HeurOnenet)
+			g.claim(n, a, HeurOnenet, obs.KV("consecutive_as", a.String()))
 			return
 		}
+		g.decline(HeurOnenet)
 	}
 
 	// §5.4.5 steps 5.1/5.2: third-party address detection. "Paths toward
@@ -205,16 +213,19 @@ func (g *graph) inferNeighbor(n *node) {
 		if a != b && g.in.Rel.Rel(b, a) == topo.RelProvider {
 			// The address belongs to the destination's provider: the
 			// router used a route from its provider to respond.
-			g.claim(n, b, HeurThirdParty)
+			g.claim(n, b, HeurThirdParty,
+				obs.KV("cone_root", b.String()),
+				obs.KV("addr_owner_provides", b.String()))
 			// Step 5.1: a preceding router observed only with host
 			// addresses and only toward B belongs to B as well.
 			for p := range n.pred {
 				if !p.done && p.class == classHost && g.soleConeRoot(p.destSet()) == b {
-					g.claim(p, b, HeurThirdParty)
+					g.claim(p, b, HeurThirdParty, obs.KV("cone_root", b.String()))
 				}
 			}
 			return
 		}
+		g.decline(HeurThirdParty)
 	}
 
 	// §5.4.5 steps 5.3–5.5 for routers with anonymous addresses.
@@ -225,7 +236,7 @@ func (g *graph) inferNeighbor(n *node) {
 		}
 		switch g.in.Rel.Rel(host, a) {
 		case topo.RelCustomer, topo.RelPeer: // step 5.3
-			g.claim(n, a, HeurRelationship)
+			g.claim(n, a, HeurRelationship, obs.KV("adjacent_as", a.String()))
 			return
 		default:
 			// Step 5.4 "missing customer": B provider of A, host provider
@@ -235,20 +246,26 @@ func (g *graph) inferNeighbor(n *node) {
 			for _, b := range g.in.Rel.ProvidersOf(a) {
 				if g.in.Rel.Rel(host, b) == topo.RelCustomer &&
 					g.in.Siblings != nil && g.in.Siblings.SameOrg(a, b) {
-					g.claim(n, b, HeurMissingCust)
+					g.claim(n, b, HeurMissingCust,
+						obs.KV("adjacent_as", a.String()),
+						obs.KV("sibling_hit", a.String()+"~"+b.String()))
 					return
 				}
 			}
+			g.decline(HeurMissingCust)
 			// Step 5.5 hidden peer: a single subsequent origin with no
 			// known relationship.
-			g.claim(n, a, HeurHiddenPeer)
+			g.claim(n, a, HeurHiddenPeer, obs.KV("adjacent_as", a.String()))
 			return
 		}
 	}
 
 	// §5.4.6 step 6.1: counting among several adjacent origins.
 	if n.anonymousAddr() && len(extAdj) > 1 {
-		g.claim(n, g.countWinner(extAdj), HeurCount)
+		w := g.countWinner(extAdj)
+		g.claim(n, w, HeurCount,
+			obs.KV("adjacent_origins", len(extAdj)),
+			obs.KV("winner_ifaces", extAdj[w]))
 		return
 	}
 
@@ -262,11 +279,11 @@ func (g *graph) inferNeighbor(n *node) {
 	// the destination set is all we have (IXP LAN firewalls and the
 	// remaining host-space cases).
 	if n.anonymousAddr() && len(dests) == 1 && len(n.lastFor) > 0 {
-		g.claim(n, dests[0], HeurFirewall)
+		g.claim(n, dests[0], HeurFirewall, obs.KV("last_hop_toward", dests[0].String()))
 		return
 	}
 	if na := g.nextas(n); n.anonymousAddr() && na != 0 && len(n.lastFor) > 0 {
-		g.claim(n, na, HeurFirewall)
+		g.claim(n, na, HeurFirewall, obs.KV("common_provider_of_dests", na.String()))
 	}
 }
 
@@ -478,6 +495,9 @@ func (g *graph) passAnalyticalAliases() {
 			if g.in.Data.Resolver != nil {
 				g.in.Data.Resolver.Record(base.addrs[0], u.addrs[0], alias.AliasYes)
 			}
+			g.in.Trace.Emit(obs.StageCore, "merge", base.addrs[0].String(), 0,
+				obs.KV("merged", u.addrs[0].String()),
+				obs.KV("via", "analytical"))
 			g.mergeNodes(base, u)
 			g.in.Obs.Inc("core.alias.merges")
 		}
@@ -632,5 +652,11 @@ func (g *graph) passSilent(res *Result) {
 		res.Links = append(res.Links, l)
 		res.Neighbors[a] = append(res.Neighbors[a], l)
 		g.in.Obs.Inc("core.heur.fire." + string(heur))
+		g.in.Trace.Emit(obs.StageCore, "decision", a.String(), 0,
+			obs.KV("heuristic", string(heur)),
+			obs.KV("owner", a.String()),
+			obs.KV("near", r0.addrs[0].String()),
+			obs.KV("addrs", r0.addrs[0].String()),
+			obs.KV("rel", g.in.Rel.Rel(host, a).String()))
 	}
 }

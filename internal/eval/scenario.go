@@ -42,6 +42,10 @@ type Scenario struct {
 	HostASNs map[topo.ASN]bool
 	// Obs collects metrics from every stage of the scenario's pipeline.
 	Obs *obs.Registry
+	// Trace records decision-provenance events from every stage. Always
+	// non-nil after Build; the event stream (and its Fingerprint) is a pure
+	// function of (profile, seed, cfg) regardless of worker count.
+	Trace *obs.Tracer
 
 	Datasets []*scamper.Dataset // per VP, filled by RunVP/RunAll
 	Results  []*core.Result
@@ -76,6 +80,7 @@ func BuildFromNetwork(n *topo.Network, seed int64) *Scenario {
 		Seed: seed,
 		Net:  n, Tab: tab, View: view, Rel: rel, RIR: rdb, IXP: pl,
 		Sibs: sibs, Engine: eng, HostASNs: hosts, Obs: reg,
+		Trace:    obs.NewTracer(0),
 		Datasets: make([]*scamper.Dataset, len(n.VPs)),
 		Results:  make([]*core.Result, len(n.VPs)),
 	}
@@ -92,12 +97,13 @@ func (s *Scenario) RunVP(i int, cfg scamper.Config, opts core.Options) *core.Res
 		HostASNs: s.HostASNs,
 		Cfg:      cfg,
 		Obs:      s.Obs,
+		Trace:    s.Trace,
 	}
 	ds := d.Run()
 	res := core.Infer(core.Input{
 		Data: ds, View: s.View, Rel: s.Rel, RIR: s.RIR, IXP: s.IXP,
 		HostASN: s.Net.HostASN, Siblings: s.Sibs, Opts: opts,
-		Obs: s.Obs,
+		Obs: s.Obs, Trace: s.Trace,
 	})
 	s.Datasets[i] = ds
 	s.Results[i] = res
@@ -200,6 +206,7 @@ func (s *Scenario) RunVPRemote(i int, cfg scamper.Config, opts core.Options, fau
 		HostASNs: s.HostASNs,
 		Cfg:      cfg,
 		Obs:      s.Obs,
+		Trace:    s.Trace,
 	}
 	ds := d.Run()
 	rp.Close()
@@ -213,7 +220,7 @@ func (s *Scenario) RunVPRemote(i int, cfg scamper.Config, opts core.Options, fau
 	res := core.Infer(core.Input{
 		Data: ds, View: s.View, Rel: s.Rel, RIR: s.RIR, IXP: s.IXP,
 		HostASN: s.Net.HostASN, Siblings: s.Sibs, Opts: opts,
-		Obs: s.Obs,
+		Obs: s.Obs, Trace: s.Trace,
 	})
 	s.Datasets[i] = ds
 	s.Results[i] = res

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders a human-readable evidence chain for border decisions from
+// a trace event stream (bdrmap -explain). The query is an interface
+// address, a router's canonical address, or an AS name ("AS7"); every core
+// decision mentioning it is rendered with its full provenance record,
+// followed by the alias and probe events that witnessed the same
+// addresses — the measurement evidence the decision rests on.
+
+// heurSection maps heuristic tags to the paper's §5.4 rule they implement
+// (the rows of Table 1).
+var heurSection = map[string]string{
+	"host":             "§5.4.1 step 1.2",
+	"multihomed-to-vp": "§5.4.1 step 1.1",
+	"firewall":         "§5.4.2",
+	"unrouted":         "§5.4.3",
+	"onenet":           "§5.4.4",
+	"third-party":      "§5.4.5 steps 5.1/5.2",
+	"as-relationship":  "§5.4.5 step 5.3",
+	"missing-customer": "§5.4.5 step 5.4",
+	"hidden-peer":      "§5.4.5 step 5.5",
+	"count":            "§5.4.6 step 6.1",
+	"ip-as":            "§5.4.6 fallback",
+	"ixp":              "IXP LAN attribution",
+	"silent":           "§5.4.8 step 8.1",
+	"other-icmp":       "§5.4.8 step 8.2",
+}
+
+// HeurSection returns the paper section implementing a heuristic tag.
+func HeurSection(tag string) string {
+	if s, ok := heurSection[tag]; ok {
+		return s
+	}
+	return "(unknown rule)"
+}
+
+// maxSupporting bounds how many supporting events Explain prints per
+// decision and category; the rest are summarized as a count.
+const maxSupporting = 8
+
+// Explain renders the evidence chains for every core decision matching
+// query. It returns a "no decision" message when nothing matches.
+func Explain(events []Event, query string) string {
+	var b strings.Builder
+	n := 0
+	for _, ev := range events {
+		if ev.Stage != StageCore || ev.Kind != "decision" {
+			continue
+		}
+		if !decisionMatches(ev, query) {
+			continue
+		}
+		if n > 0 {
+			b.WriteString("\n")
+		}
+		n++
+		renderDecision(&b, events, ev)
+	}
+	if n == 0 {
+		fmt.Fprintf(&b, "no border decision found for %q (%d trace events scanned)\n",
+			query, len(events))
+		fmt.Fprintf(&b, "query by interface address (e.g. 10.0.0.1) or AS name (e.g. AS7)\n")
+	}
+	return b.String()
+}
+
+// decisionMatches reports whether a core decision event concerns query:
+// its subject, any of its addresses, or its owner AS.
+func decisionMatches(ev Event, query string) bool {
+	if ev.Subject == query {
+		return true
+	}
+	for _, a := range strings.Split(ev.Attr("addrs"), ",") {
+		if a == query {
+			return true
+		}
+	}
+	return ev.Attr("owner") == query
+}
+
+// renderDecision prints one decision's provenance record plus the alias
+// and probe events witnessing the same addresses.
+func renderDecision(b *strings.Builder, events []Event, d Event) {
+	heur := d.Attr("heuristic")
+	fmt.Fprintf(b, "router %s — owner %s via %s (%s)\n",
+		d.Subject, d.Attr("owner"), heur, HeurSection(heur))
+
+	// The fixed provenance fields, in a stable order.
+	row := func(label, v string) {
+		if v != "" {
+			fmt.Fprintf(b, "  %-14s %s\n", label, v)
+		}
+	}
+	row("hop distance", d.Attr("hop"))
+	row("address class", d.Attr("class"))
+	row("addresses", d.Attr("addrs"))
+	row("origin AS", d.Attr("origin_as"))
+	row("relationship", d.Attr("rel"))
+	row("declined", d.Attr("declined"))
+	// Any remaining evidence the firing heuristic attached.
+	fixed := map[string]bool{
+		"heuristic": true, "owner": true, "hop": true, "class": true,
+		"addrs": true, "origin_as": true, "rel": true, "declined": true,
+	}
+	for _, a := range d.Attrs {
+		if !fixed[a.Name()] {
+			row(a.Name(), a.V)
+		}
+	}
+
+	addrs := make(map[string]bool)
+	for _, a := range strings.Split(d.Attr("addrs"), ",") {
+		if a != "" {
+			addrs[a] = true
+		}
+	}
+	renderSupport(b, events, addrs, StageAlias, "alias evidence")
+	renderSupport(b, events, addrs, StageProbe, "probe evidence")
+}
+
+// renderSupport prints the events of one stage that mention any of the
+// decision's addresses.
+func renderSupport(b *strings.Builder, events []Event, addrs map[string]bool, stage, label string) {
+	shown, total := 0, 0
+	for _, ev := range events {
+		if ev.Stage != stage || !mentionsAny(ev, addrs) {
+			continue
+		}
+		total++
+		if shown == 0 {
+			fmt.Fprintf(b, "  %s:\n", label)
+		}
+		if shown < maxSupporting {
+			fmt.Fprintf(b, "    [seq %d] %s %s%s\n", ev.Seq, ev.Kind, ev.Subject, renderAttrs(ev))
+			shown++
+		}
+	}
+	if total > shown {
+		fmt.Fprintf(b, "    (+%d more)\n", total-shown)
+	}
+}
+
+// renderAttrs formats an event's attrs as " k=v k=v".
+func renderAttrs(ev Event) string {
+	var b strings.Builder
+	for _, a := range ev.Attrs {
+		fmt.Fprintf(&b, " %s=%s", a.K, a.V)
+	}
+	return b.String()
+}
+
+// mentionsAny reports whether an event's subject or attr values contain
+// any of the given address tokens.
+func mentionsAny(ev Event, addrs map[string]bool) bool {
+	for _, tok := range strings.FieldsFunc(ev.Subject, isSep) {
+		if addrs[tok] {
+			return true
+		}
+	}
+	for _, a := range ev.Attrs {
+		for _, tok := range strings.FieldsFunc(a.V, isSep) {
+			if addrs[tok] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isSep(r rune) bool {
+	return r == ',' || r == ' ' || r == '|' || r == ':'
+}

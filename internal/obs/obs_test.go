@@ -87,7 +87,7 @@ func TestStageSpan(t *testing.T) {
 	sp2 := r.StartStage("probe")
 	sp2.AddSim(5 * time.Second)
 	sp2.End()
-	st := r.Snapshot().Stages["probe"]
+	st := r.Snapshot().Stage("probe")
 	if st.Count != 2 {
 		t.Fatalf("stage count = %d, want 2", st.Count)
 	}
@@ -115,7 +115,7 @@ func TestFingerprintIgnoresWallClock(t *testing.T) {
 		return r.Snapshot()
 	}
 	a, b := build(0), build(2*time.Millisecond)
-	if a.Stages["s"].WallNS == b.Stages["s"].WallNS {
+	if a.Stage("s").WallNS == b.Stage("s").WallNS {
 		t.Skip("wall clocks identical; cannot exercise the exclusion")
 	}
 	if a.Fingerprint() != b.Fingerprint() {
@@ -182,8 +182,8 @@ func TestConcurrentRegistryAccess(t *testing.T) {
 	if snap.Counters["shared"] != 4000 {
 		t.Fatalf("shared counter = %d, want 4000", snap.Counters["shared"])
 	}
-	if snap.Stages["st"].Count != 4000 {
-		t.Fatalf("stage count = %d, want 4000", snap.Stages["st"].Count)
+	if snap.Stage("st").Count != 4000 {
+		t.Fatalf("stage count = %d, want 4000", snap.Stage("st").Count)
 	}
 }
 

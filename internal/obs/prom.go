@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Prometheus text-exposition view of a Registry. The repo's metric names
+// use dots (e.g. "core.heur.fire.as-rel"); Prometheus names must match
+// [a-zA-Z_:][a-zA-Z0-9_:]* so every name is prefixed with "bdrmap_" and
+// sanitized. Counters and maxes map to counter/gauge; histograms map to
+// the native histogram type with cumulative le buckets; stages expand into
+// per-field gauges (count, wall/sim totals and maxes).
+
+// PromName sanitizes a repo metric name into a Prometheus metric name:
+// "bdrmap_" prefix, every run of non-[a-zA-Z0-9_:] collapsed to '_'.
+func PromName(name string) string {
+	var b strings.Builder
+	b.WriteString("bdrmap_")
+	prev := false
+	for _, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+			prev = false
+		} else if !prev {
+			b.WriteByte('_')
+			prev = true
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4), deterministically ordered by metric name.
+func (s Snapshot) WritePrometheus(b *strings.Builder) {
+	for _, k := range sortedKeys(s.Counters) {
+		n := PromName(k) + "_total"
+		fmt.Fprintf(b, "# HELP %s counter %q\n# TYPE %s counter\n%s %d\n", n, k, n, n, s.Counters[k])
+	}
+	for _, k := range sortedKeys(s.Maxes) {
+		n := PromName(k) + "_max"
+		fmt.Fprintf(b, "# HELP %s max gauge %q\n# TYPE %s gauge\n%s %d\n", n, k, n, n, s.Maxes[k])
+	}
+	for _, k := range sortedKeys(s.Histograms) {
+		h := s.Histograms[k]
+		n := PromName(k)
+		fmt.Fprintf(b, "# HELP %s histogram %q\n# TYPE %s histogram\n", n, k, n)
+		cum := int64(0)
+		for i, edge := range h.Edges {
+			cum += h.Counts[i]
+			fmt.Fprintf(b, "%s_bucket{le=\"%d\"} %d\n", n, edge, cum)
+		}
+		if len(h.Counts) > len(h.Edges) {
+			cum += h.Counts[len(h.Edges)]
+		}
+		fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", n, cum)
+		fmt.Fprintf(b, "%s_sum %d\n", n, h.Sum)
+		fmt.Fprintf(b, "%s_count %d\n", n, h.Count)
+	}
+	for _, k := range sortedKeys(s.Stages) {
+		st := s.Stages[k]
+		n := PromName("stage." + k)
+		fmt.Fprintf(b, "# HELP %s_runs_total stage %q run count\n# TYPE %s_runs_total counter\n%s_runs_total %d\n", n, k, n, n, st.Count)
+		for _, f := range []struct {
+			suffix string
+			help   string
+			v      int64
+		}{
+			{"wall_ns", "total wall-clock nanoseconds", st.WallNS},
+			{"sim_ns", "total simulated nanoseconds", st.SimNS},
+			{"max_wall_ns", "max wall-clock nanoseconds per run", st.MaxWallNS},
+			{"max_sim_ns", "max simulated nanoseconds per run", st.MaxSimNS},
+		} {
+			fmt.Fprintf(b, "# HELP %s_%s stage %q %s\n# TYPE %s_%s gauge\n%s_%s %d\n",
+				n, f.suffix, k, f.help, n, f.suffix, n, f.suffix, f.v)
+		}
+	}
+}
+
+// Prometheus returns the snapshot rendered as Prometheus exposition text.
+func (s Snapshot) Prometheus() string {
+	var b strings.Builder
+	s.WritePrometheus(&b)
+	return b.String()
+}
+
+// PromHandler serves the registry in the Prometheus text exposition
+// format — the /metrics companion to the JSON Handler.
+func PromHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(r.Snapshot().Prometheus()))
+	})
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"probe.traceroutes":    "bdrmap_probe_traceroutes",
+		"core.heur.fire.ip-as": "bdrmap_core_heur_fire_ip_as",
+		"a..b--c":              "bdrmap_a_b_c", // runs collapse to one '_'
+		"ok_name:sub":          "bdrmap_ok_name:sub",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// promLine matches the exposition text format (0.0.4): comments or
+// `name{labels} value`.
+var promLine = regexp.MustCompile(
+	`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9]+)$`)
+
+func buildPromSnapshot() Snapshot {
+	r := New()
+	r.Add("probe.traceroutes", 12)
+	r.Inc("core.heur.fire.ip-as")
+	r.Max("driver.sim_clock_ns").Observe(99)
+	h := r.Histogram("probe.hops", []int64{2, 4})
+	h.Observe(1) // le 2
+	h.Observe(3) // le 4
+	h.Observe(9) // overflow
+	sp := r.StartStage("core.infer")
+	sp.End()
+	return r.Snapshot()
+}
+
+func TestPrometheusTextFormatParses(t *testing.T) {
+	text := buildPromSnapshot().Prometheus()
+	if text == "" {
+		t.Fatal("empty exposition")
+	}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if !promLine.MatchString(line) {
+			t.Fatalf("line violates text format 0.0.4: %q", line)
+		}
+	}
+	for _, want := range []string{
+		"bdrmap_probe_traceroutes_total 12",
+		"bdrmap_core_heur_fire_ip_as_total 1",
+		"bdrmap_driver_sim_clock_ns_max 99",
+		"bdrmap_stage_core_infer_runs_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestPrometheusHistogramCumulative(t *testing.T) {
+	text := buildPromSnapshot().Prometheus()
+	for _, want := range []string{
+		`bdrmap_probe_hops_bucket{le="2"} 1`,
+		`bdrmap_probe_hops_bucket{le="4"} 2`,
+		`bdrmap_probe_hops_bucket{le="+Inf"} 3`,
+		"bdrmap_probe_hops_sum 13",
+		"bdrmap_probe_hops_count 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("histogram exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestPromHandler(t *testing.T) {
+	r := New()
+	r.Inc("probe.traceroutes")
+	srv := httptest.NewServer(PromHandler(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "bdrmap_probe_traceroutes_total 1") {
+		t.Fatalf("handler body missing counter:\n%s", buf[:n])
+	}
+}

@@ -86,6 +86,10 @@ func (r *Registry) Snapshot() Snapshot {
 // Counter returns a named counter's value (0 when absent).
 func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
 
+// Stage returns a named stage timer's snapshot (zero value when absent),
+// mirroring Counter so callers need not poke the Stages map directly.
+func (s Snapshot) Stage(name string) StageSnap { return s.Stages[name] }
+
 // SumPrefix sums every counter whose name starts with prefix — e.g.
 // SumPrefix("remote.retry.") totals the recovery-path counters.
 func (s Snapshot) SumPrefix(prefix string) int64 {
@@ -107,26 +111,46 @@ func sortedKeys[V any](m map[string]V) []string {
 	return keys
 }
 
+// nameWidth returns a column width fitting every metric name in the
+// snapshot, so all four sections of Format align even when one section
+// holds the longest name (e.g. core.heur.fire.* counters).
+func (s Snapshot) nameWidth() int {
+	w := 0
+	grow := func(k string) {
+		if len(k) > w {
+			w = len(k)
+		}
+	}
+	for k := range s.Counters {
+		grow(k)
+	}
+	for k := range s.Maxes {
+		grow(k)
+	}
+	for k := range s.Histograms {
+		grow(k)
+	}
+	for k := range s.Stages {
+		grow(k)
+	}
+	return w + 2
+}
+
 // Format renders the snapshot as a human-readable table, sorted by metric
-// name within each section.
+// name within each section. All sections share one name-column width.
 func (s Snapshot) Format() string {
 	var b strings.Builder
+	w := s.nameWidth()
 	if len(s.Counters) > 0 {
 		b.WriteString("counters:\n")
-		w := 0
 		for _, k := range sortedKeys(s.Counters) {
-			if len(k) > w {
-				w = len(k)
-			}
-		}
-		for _, k := range sortedKeys(s.Counters) {
-			fmt.Fprintf(&b, "  %-*s %d\n", w+2, k, s.Counters[k])
+			fmt.Fprintf(&b, "  %-*s %d\n", w, k, s.Counters[k])
 		}
 	}
 	if len(s.Maxes) > 0 {
 		b.WriteString("maxes:\n")
 		for _, k := range sortedKeys(s.Maxes) {
-			fmt.Fprintf(&b, "  %-34s %d\n", k, s.Maxes[k])
+			fmt.Fprintf(&b, "  %-*s %d\n", w, k, s.Maxes[k])
 		}
 	}
 	if len(s.Histograms) > 0 {
@@ -137,16 +161,16 @@ func (s Snapshot) Format() string {
 			if h.Count > 0 {
 				mean = float64(h.Sum) / float64(h.Count)
 			}
-			fmt.Fprintf(&b, "  %-34s count=%d mean=%.1f buckets(le %v)=%v\n",
-				k, h.Count, mean, h.Edges, h.Counts)
+			fmt.Fprintf(&b, "  %-*s count=%d mean=%.1f buckets(le %v)=%v\n",
+				w, k, h.Count, mean, h.Edges, h.Counts)
 		}
 	}
 	if len(s.Stages) > 0 {
 		b.WriteString("stages:\n")
 		for _, k := range sortedKeys(s.Stages) {
 			st := s.Stages[k]
-			fmt.Fprintf(&b, "  %-34s runs=%d wall=%v sim=%v\n",
-				k, st.Count,
+			fmt.Fprintf(&b, "  %-*s runs=%d wall=%v sim=%v\n",
+				w, k, st.Count,
 				time.Duration(st.WallNS).Round(time.Microsecond),
 				time.Duration(st.SimNS).Round(time.Millisecond))
 		}

@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file is the decision-provenance half of the observability layer:
+// where counters answer "how often did heuristic X fire", the Tracer
+// answers "why did bdrmap attribute THIS router to AS Y" — the question
+// the paper's validation story (§7) has operators asking. Every stage of
+// the pipeline emits typed events carrying the evidence it consulted, and
+// the resulting stream is deterministic for a fixed seed: sequence numbers
+// and simulated timestamps only, wall clock excluded, so a Fingerprint of
+// the trace pins byte-identical parallel runs exactly as the metrics
+// fingerprint does.
+
+// Trace stages. Events are grouped under the pipeline stage that emitted
+// them; SimNS is relative to that stage's own timeline (the probe stage
+// restarts it per target so the stream is worker-count-invariant).
+const (
+	StageProbe = "probe"
+	StageAlias = "alias"
+	StageCore  = "core"
+)
+
+// Attr is one key/value evidence item on an event. Keys beginning with
+// '~' mark volatile evidence: faithfully exported and rendered, but
+// excluded from Fingerprint. Raw IP-ID samples are the canonical example —
+// their absolute values depend on how lane clocks interleave across worker
+// counts even though the verdicts derived from them do not.
+type Attr struct {
+	K string `json:"k"`
+	V string `json:"v"`
+}
+
+// KV builds an Attr with fmt-style default formatting of the value.
+func KV(k string, v any) Attr {
+	switch x := v.(type) {
+	case string:
+		return Attr{K: k, V: x}
+	default:
+		return Attr{K: k, V: fmt.Sprintf("%v", v)}
+	}
+}
+
+// Volatile reports whether the attr is excluded from Fingerprint.
+func (a Attr) Volatile() bool { return strings.HasPrefix(a.K, "~") }
+
+// Name returns the attr key without the volatile marker.
+func (a Attr) Name() string { return strings.TrimPrefix(a.K, "~") }
+
+// Event is one structured provenance record.
+type Event struct {
+	// Seq is the event's position in the merged stream, assigned by the
+	// tracer; deterministic for a fixed seed.
+	Seq uint64 `json:"seq"`
+	// SimNS is the simulated timestamp, relative to the emitting stage's
+	// timeline (per-target for the probe stage). Wall clock never appears.
+	SimNS int64 `json:"sim_ns"`
+	// Stage is the pipeline stage (StageProbe, StageAlias, StageCore).
+	Stage string `json:"stage"`
+	// Kind is the event type within the stage, e.g. "trace", "pair",
+	// "decision".
+	Kind string `json:"kind"`
+	// Subject identifies the entity the event is about: an address, an
+	// "a|b" address pair, or a target AS.
+	Subject string `json:"subject"`
+	// Attrs is the ordered evidence list.
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// Attr returns the value of the named attr ("" when absent). Volatile
+// attrs are found under their unmarked name too.
+func (e Event) Attr(k string) string {
+	for _, a := range e.Attrs {
+		if a.K == k || a.Name() == k {
+			return a.V
+		}
+	}
+	return ""
+}
+
+// Tracer is a bounded, concurrency-safe ring buffer of events. Like every
+// obs primitive it is nil-safe: a component handed no tracer pays one nil
+// check per event. When the buffer is full the oldest events are
+// overwritten (flight-recorder semantics) and Dropped counts them.
+type Tracer struct {
+	mu      sync.Mutex
+	limit   int
+	seq     uint64
+	dropped uint64
+	buf     []Event // ring storage, len(buf) <= limit
+	head    int     // index of the oldest event when len(buf) == limit
+}
+
+// DefaultTraceCap bounds the scenario-level tracer. The tiny profile emits
+// a few thousand events; the Tier-1 profile tens of thousands.
+const DefaultTraceCap = 1 << 17
+
+// NewTracer creates a tracer retaining at most limit events (limit <= 0
+// selects DefaultTraceCap).
+func NewTracer(limit int) *Tracer {
+	if limit <= 0 {
+		limit = DefaultTraceCap
+	}
+	return &Tracer{limit: limit}
+}
+
+// Enabled reports whether events will be retained (false on nil).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Emit appends one event. simNS is the stage-relative simulated timestamp.
+func (t *Tracer) Emit(stage, kind, subject string, simNS int64, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.push(Event{SimNS: simNS, Stage: stage, Kind: kind, Subject: subject, Attrs: attrs})
+	t.mu.Unlock()
+}
+
+// push appends ev with the next sequence number. Caller holds t.mu.
+func (t *Tracer) push(ev Event) {
+	ev.Seq = t.seq
+	t.seq++
+	if len(t.buf) < t.limit {
+		t.buf = append(t.buf, ev)
+		return
+	}
+	t.buf[t.head] = ev
+	t.head = (t.head + 1) % t.limit
+	t.dropped++
+}
+
+// Merge appends every event of frag to t in frag order, re-assigning
+// sequence numbers. The driver uses this to fold per-target fragment
+// tracers into the run's stream in target order, making the merged stream
+// independent of which worker finished first. Fragment drop counts are
+// carried over.
+func (t *Tracer) Merge(frag *Tracer) {
+	if t == nil || frag == nil {
+		return
+	}
+	evs := frag.Events()
+	t.mu.Lock()
+	for _, ev := range evs {
+		t.push(ev)
+	}
+	t.dropped += frag.Dropped()
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the retained events in sequence order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.head:]...)
+	out = append(out, t.buf[:t.head]...)
+	return out
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// Dropped returns how many events were overwritten by the ring bound.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// WriteJSONL exports the retained events as JSON Lines, one event per
+// line, in sequence order.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range t.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a stream written by WriteJSONL. Blank lines are
+// skipped; any other malformed line is an error.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(raw), &ev); err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Fingerprint hashes the deterministic portion of the trace: sequence
+// numbers, stage-relative simulated timestamps, stages, kinds, subjects,
+// and every non-volatile attr. For a fixed seed the fingerprint is
+// identical across repeated runs and across worker counts.
+func (t *Tracer) Fingerprint() string { return FingerprintEvents(t.Events()) }
+
+// FingerprintEvents is Fingerprint over an explicit event slice (e.g. one
+// reloaded with ReadJSONL).
+func FingerprintEvents(events []Event) string {
+	h := sha256.New()
+	for _, ev := range events {
+		fmt.Fprintf(h, "e %d %d %s %s %s", ev.Seq, ev.SimNS, ev.Stage, ev.Kind, ev.Subject)
+		for _, a := range ev.Attrs {
+			if a.Volatile() {
+				continue
+			}
+			fmt.Fprintf(h, " %s=%s", a.K, a.V)
+		}
+		io.WriteString(h, "\n")
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CountByKind tallies retained events per "stage.kind" — a cheap summary
+// for tests and the CLI.
+func (t *Tracer) CountByKind() map[string]int {
+	out := make(map[string]int)
+	for _, ev := range t.Events() {
+		out[ev.Stage+"."+ev.Kind]++
+	}
+	return out
+}
+
+// kindOrder renders CountByKind deterministically.
+func kindOrder(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Summary renders a one-line-per-kind event census.
+func (t *Tracer) Summary() string {
+	m := t.CountByKind()
+	var b strings.Builder
+	for _, k := range kindOrder(m) {
+		fmt.Fprintf(&b, "  %-24s %d\n", k, m[k])
+	}
+	if d := t.Dropped(); d > 0 {
+		fmt.Fprintf(&b, "  %-24s %d\n", "(dropped)", d)
+	}
+	return b.String()
+}

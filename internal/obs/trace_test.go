@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(StageProbe, "trace", "x", 0)
+	tr.Merge(NewTracer(4))
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports Enabled")
+	}
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer retained state")
+	}
+	if tr.Fingerprint() != FingerprintEvents(nil) {
+		t.Fatal("nil tracer fingerprint differs from empty")
+	}
+}
+
+func TestTracerSequencesAndAttrs(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Emit(StageCore, "decision", "10.0.0.1", 0, KV("heuristic", "ip-as"), KV("hop", 3))
+	tr.Emit(StageAlias, "ally", "a|b", 7, Attr{K: "~ipids", V: "1,2,3"})
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("Len = %d, want 2", len(evs))
+	}
+	if evs[0].Seq != 0 || evs[1].Seq != 1 {
+		t.Fatalf("bad seqs: %d, %d", evs[0].Seq, evs[1].Seq)
+	}
+	if evs[0].Attr("hop") != "3" {
+		t.Fatalf("KV int formatting: %q", evs[0].Attr("hop"))
+	}
+	// Volatile attrs are addressable by both marked and unmarked name.
+	if evs[1].Attr("~ipids") != "1,2,3" || evs[1].Attr("ipids") != "1,2,3" {
+		t.Fatalf("volatile attr lookup failed: %+v", evs[1].Attrs)
+	}
+	if evs[0].Attr("absent") != "" {
+		t.Fatal("absent attr must be empty")
+	}
+}
+
+func TestTracerRingDropsOldest(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.Emit(StageProbe, "trace", string(rune('a'+i)), int64(i))
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", tr.Dropped())
+	}
+	evs := tr.Events()
+	if evs[0].Subject != "c" || evs[2].Subject != "e" {
+		t.Fatalf("ring kept wrong window: %v..%v", evs[0].Subject, evs[2].Subject)
+	}
+	// Sequence numbers keep counting across drops.
+	if evs[2].Seq != 4 {
+		t.Fatalf("last seq = %d, want 4", evs[2].Seq)
+	}
+}
+
+func TestTracerMergeResequences(t *testing.T) {
+	a := NewTracer(8)
+	a.Emit(StageProbe, "target", "AS1", 0)
+	f1 := NewTracer(8)
+	f1.Emit(StageProbe, "trace", "d1", 10)
+	f2 := NewTracer(2)
+	for i := 0; i < 3; i++ { // overflows: one drop carried over
+		f2.Emit(StageProbe, "trace", "d2", int64(i))
+	}
+	a.Merge(f1)
+	a.Merge(f2)
+	evs := a.Events()
+	for i, ev := range evs {
+		if ev.Seq != uint64(i) {
+			t.Fatalf("event %d has seq %d after merge", i, ev.Seq)
+		}
+	}
+	if a.Dropped() != 1 {
+		t.Fatalf("merged drop count = %d, want 1", a.Dropped())
+	}
+	// Fragment SimNS survives the merge untouched.
+	if evs[1].SimNS != 10 {
+		t.Fatalf("merge rewrote SimNS: %d", evs[1].SimNS)
+	}
+}
+
+func TestTracerJSONLRoundTrip(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit(StageCore, "decision", "10.0.0.1", 0, KV("owner", "AS7"), Attr{K: "~ipids", V: "9,9"})
+	tr.Emit(StageProbe, "stopset-hit", "1.2.3.4", 42)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(strings.NewReader(buf.String() + "\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("round trip lost events: %d", len(back))
+	}
+	if FingerprintEvents(back) != tr.Fingerprint() {
+		t.Fatal("fingerprint changed across JSONL round trip")
+	}
+	if back[0].Attr("ipids") != "9,9" {
+		t.Fatal("volatile attr lost in JSONL")
+	}
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("malformed line must error")
+	}
+}
+
+func TestFingerprintExcludesVolatileAttrs(t *testing.T) {
+	mk := func(ids string) *Tracer {
+		tr := NewTracer(4)
+		tr.Emit(StageAlias, "ally", "a|b", 5,
+			KV("verdict", "alias"), Attr{K: "~ipids", V: ids})
+		return tr
+	}
+	if mk("1,2,3").Fingerprint() != mk("7,8,9").Fingerprint() {
+		t.Fatal("volatile attr leaked into fingerprint")
+	}
+	// Non-volatile differences must change it.
+	other := NewTracer(4)
+	other.Emit(StageAlias, "ally", "a|b", 5,
+		KV("verdict", "not-alias"), Attr{K: "~ipids", V: "1,2,3"})
+	if mk("1,2,3").Fingerprint() == other.Fingerprint() {
+		t.Fatal("fingerprint ignored a verdict change")
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	tr := NewTracer(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Emit(StageProbe, "trace", "x", int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 1600 {
+		t.Fatalf("Len = %d, want 1600", tr.Len())
+	}
+	seen := make(map[uint64]bool)
+	for _, ev := range tr.Events() {
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+}
+
+func TestTracerSummary(t *testing.T) {
+	tr := NewTracer(2)
+	tr.Emit(StageProbe, "trace", "a", 0)
+	tr.Emit(StageProbe, "trace", "b", 0)
+	tr.Emit(StageCore, "decision", "c", 0)
+	s := tr.Summary()
+	for _, want := range []string{"probe.trace", "core.decision", "(dropped)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Summary missing %q:\n%s", want, s)
+		}
+	}
+	if tr.CountByKind()["probe.trace"] != 1 { // one overwritten by the ring
+		t.Fatalf("CountByKind = %v", tr.CountByKind())
+	}
+}

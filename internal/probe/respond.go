@@ -49,6 +49,9 @@ type TraceResult struct {
 	Reached bool
 	// Stopped reports that the stop-set callback halted probing.
 	Stopped bool
+	// FaultDropped counts responses the fault injector suppressed during
+	// this trace (they appear as timeouts in Hops).
+	FaultDropped int
 }
 
 // gapLimit mirrors scamper's behaviour of abandoning a trace after five
@@ -133,6 +136,7 @@ func (e *Engine) traceroute(vp *topo.VP, dst netx.Addr, stop func(netx.Addr) boo
 			}
 			if hop.Type != HopTimeout && e.dropInjected() {
 				hop = Hop{TTL: i + 1, Type: HopTimeout}
+				res.FaultDropped++
 			}
 			e.countHop(hop.Type)
 			if hop.Type != HopTimeout {
@@ -163,6 +167,7 @@ func (e *Engine) traceroute(vp *topo.VP, dst netx.Addr, stop func(netx.Addr) boo
 		}
 		if hop.Type != HopTimeout && e.dropInjected() {
 			hop = Hop{TTL: i + 1, Type: HopTimeout}
+			res.FaultDropped++
 		}
 		e.countHop(hop.Type)
 		res.Hops = append(res.Hops, hop)

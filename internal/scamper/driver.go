@@ -1,6 +1,7 @@
 package scamper
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -147,6 +148,12 @@ type Driver struct {
 	// Obs receives the driver's pipeline metrics (per-stage simulated and
 	// wall-clock time, trace/stop-set/alias counters). Nil disables them.
 	Obs *obs.Registry
+	// Trace receives per-trace provenance events (target lifecycle, hop
+	// responses, stop-set hits, fault drops, alias verdicts). Nil disables
+	// them. Probe-stage events carry per-target-relative sim timestamps and
+	// are merged in target order, so for a fixed seed the stream is
+	// identical across worker counts.
+	Trace *obs.Tracer
 }
 
 // LaneProber is implemented by probers that support deterministic
@@ -174,6 +181,18 @@ func (d *Driver) Run() *Dataset {
 	results := make([][]TraceRecord, len(targets))
 	stopped := make([]int, len(targets))
 	lost := make([]bool, len(targets))
+	// Per-target fragment tracers: each worker emits into its own target's
+	// fragment, and the fragments are folded into d.Trace in target order
+	// after the barrier — the merged stream is independent of which worker
+	// finished first.
+	frags := make([]*obs.Tracer, len(targets))
+	newFrag := func(i int) *obs.Tracer {
+		if !d.Trace.Enabled() {
+			return nil
+		}
+		frags[i] = obs.NewTracer(0)
+		return frags[i]
+	}
 
 	// simEnd merges the per-worker virtual clocks with an atomic max: the
 	// run's simulated duration is the slowest worker's timeline, and the
@@ -195,7 +214,7 @@ func (d *Driver) Run() *Dataset {
 					return lp.TraceLane(dst, ss, lane)
 				}
 				for i := w; i < len(targets); i += cfg.Workers {
-					results[i], stopped[i], lost[i] = d.probeTarget(targets[i], cfg, trace)
+					results[i], stopped[i], lost[i] = d.probeTarget(targets[i], cfg, trace, newFrag(i), lane.Now)
 				}
 				simEnd.Observe(int64(lane.Now()))
 			}(w)
@@ -215,10 +234,14 @@ func (d *Driver) Run() *Dataset {
 		for i, t := range targets {
 			wg.Add(1)
 			sem <- struct{}{}
+			frag := newFrag(i)
 			go func(i int, t Target) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				recs, nStopped, wasLost := d.probeTarget(t, cfg, d.Prober.Trace)
+				// No per-worker lane here: events carry SimNS 0 (reading the
+				// remote clock per event would perturb the frame stream the
+				// fault goldens pin) and order by sequence number alone.
+				recs, nStopped, wasLost := d.probeTarget(t, cfg, d.Prober.Trace, frag, nil)
 				mu.Lock()
 				results[i] = recs
 				stopped[i] = nStopped
@@ -236,6 +259,7 @@ func (d *Driver) Run() *Dataset {
 		if lost[i] {
 			ds.Stats.TargetsLost++
 		}
+		d.Trace.Merge(frags[i])
 	}
 	ds.Stats.Traces = len(ds.Traces)
 	for _, tr := range ds.Traces {
@@ -319,13 +343,25 @@ func (d *Driver) isExternal(addr netx.Addr) bool {
 // It returns early — reporting the target lost — when the prober's session
 // dies or the per-target timeout fires, so one dead VP degrades the run
 // instead of hanging it.
-func (d *Driver) probeTarget(t Target, cfg Config, trace func(netx.Addr, map[netx.Addr]bool) probe.TraceResult) (recs []TraceRecord, nStopped int, targetLost bool) {
+func (d *Driver) probeTarget(t Target, cfg Config, trace func(netx.Addr, map[netx.Addr]bool) probe.TraceResult, frag *obs.Tracer, now func() time.Duration) (recs []TraceRecord, nStopped int, targetLost bool) {
+	// Event timestamps are relative to this target's own start: trace
+	// pacing is a pure function of hop counts, so the relative times are
+	// identical no matter which worker (and absolute lane time) ran the
+	// target. A prober without a clock (nil now) stamps zero throughout.
+	rel := func() int64 { return 0 }
+	if now != nil {
+		start := now()
+		rel = func() int64 { return int64(now() - start) }
+	}
+	frag.Emit(obs.StageProbe, "target", t.AS.String(), 0, obs.KV("blocks", len(t.Blocks)))
+
 	var deadline time.Time
 	if cfg.TargetTimeout > 0 {
 		deadline = time.Now().Add(cfg.TargetTimeout)
 	}
 	abandon := func() ([]TraceRecord, int, bool) {
 		d.Obs.Inc("driver.target.lost")
+		frag.Emit(obs.StageProbe, "target-lost", t.AS.String(), rel())
 		return recs, nStopped, true
 	}
 	stopSet := make(map[netx.Addr]bool)
@@ -354,8 +390,29 @@ func (d *Driver) probeTarget(t Target, cfg Config, trace func(netx.Addr, map[net
 				return abandon()
 			}
 			recs = append(recs, TraceRecord{TraceResult: res, TargetAS: t.AS})
+			if frag.Enabled() {
+				attrs := []obs.Attr{
+					obs.KV("target", t.AS.String()),
+					obs.KV("hops", len(res.Hops)),
+					obs.KV("path", pathString(res)),
+				}
+				if res.Reached {
+					attrs = append(attrs, obs.KV("reached", true))
+				}
+				if res.Stopped {
+					attrs = append(attrs, obs.KV("stopped", true))
+				}
+				if res.FaultDropped > 0 {
+					attrs = append(attrs, obs.KV("fault_drops", res.FaultDropped))
+				}
+				frag.Emit(obs.StageProbe, "trace", dst.String(), rel(), attrs...)
+			}
 			if res.Stopped {
 				nStopped++
+				if n := len(res.Hops); n > 0 {
+					frag.Emit(obs.StageProbe, "stopset-hit", dst.String(), rel(),
+						obs.KV("at", res.Hops[n-1].Addr.String()))
+				}
 				break // the path joins previously-observed interdomain hops
 			}
 			// Find the first externally-originated address.
@@ -371,6 +428,8 @@ func (d *Driver) probeTarget(t Target, cfg Config, trace func(netx.Addr, map[net
 			}
 			if !firstExt.IsZero() {
 				stopSet[firstExt] = true
+				frag.Emit(obs.StageProbe, "stopset-add", firstExt.String(), rel(),
+					obs.KV("dst", dst.String()))
 				break
 			}
 			// No external interface seen; an echo reply from the probed
@@ -381,12 +440,53 @@ func (d *Driver) probeTarget(t Target, cfg Config, trace func(netx.Addr, map[net
 	return recs, nStopped, false
 }
 
+// pathString renders a trace's hop sequence as "ttl:class:addr" tokens —
+// the response-class evidence per hop. IP-IDs are deliberately omitted:
+// they depend on lane interleaving and would break worker-count-invariant
+// fingerprints (alias events carry them as volatile attrs instead).
+func pathString(res probe.TraceResult) string {
+	var b []byte
+	for i, h := range res.Hops {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, []byte(fmt.Sprintf("%d:%s", h.TTL, hopClass(h.Type)))...)
+		if !h.Addr.IsZero() {
+			b = append(b, ':')
+			b = append(b, []byte(h.Addr.String())...)
+		}
+	}
+	return string(b)
+}
+
+// hopClass abbreviates a hop response class for path strings.
+func hopClass(t probe.HopType) string {
+	switch t {
+	case probe.HopTimeExceeded:
+		return "te"
+	case probe.HopEchoReply:
+		return "er"
+	case probe.HopUnreachable:
+		return "un"
+	default:
+		return "to"
+	}
+}
+
 // resolveAliases runs the alias-resolution schedule over the observed
 // addresses (§5.3): a Mercator sweep over every address, Ally on candidate
 // pairs sharing a traceroute predecessor, and Prefixscan on every observed
 // (previous hop, address) edge.
 func (d *Driver) resolveAliases(ds *Dataset, cfg Config) {
 	res := alias.NewResolver(proberSource{d.Prober}, cfg.AliasCfg)
+	res.Trace = d.Trace
+	if lp, ok := d.Prober.(LocalProber); ok {
+		// Alias events carry timestamps relative to the alias stage's own
+		// start; remote probers stamp zero (reading their clock per event
+		// would perturb the pinned frame stream).
+		start := lp.E.Now()
+		res.Now = func() int64 { return int64(lp.E.Now() - start) }
+	}
 	ds.Resolver = res
 
 	type edge struct{ prev, cur netx.Addr }
@@ -445,6 +545,8 @@ func (d *Driver) resolveAliases(ds *Dataset, cfg Config) {
 		if r.OK && r.From != a && !r.From.IsZero() {
 			res.Record(a, r.From, alias.AliasYes)
 			d.Obs.Inc("driver.alias.mercator_hits")
+			d.Trace.Emit(obs.StageAlias, "mercator", a.String(), res.NowNS(),
+				obs.KV("from", r.From.String()), obs.KV("verdict", "alias"))
 		}
 	}
 
@@ -486,8 +588,10 @@ func (d *Driver) resolveAliases(ds *Dataset, cfg Config) {
 			d.Obs.Inc("driver.alias.aborted")
 			break
 		}
-		if _, ok := res.Prefixscan(e.prev, e.cur); ok {
+		if mate, ok := res.Prefixscan(e.prev, e.cur); ok {
 			d.Obs.Inc("driver.alias.prefixscan_hits")
+			d.Trace.Emit(obs.StageAlias, "prefixscan", e.prev.String()+"|"+e.cur.String(),
+				res.NowNS(), obs.KV("mate", mate.String()))
 		}
 		pairs++
 	}

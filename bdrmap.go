@@ -36,6 +36,7 @@ import (
 	"bdrmap/internal/core"
 	"bdrmap/internal/eval"
 	"bdrmap/internal/export"
+	"bdrmap/internal/mapdb"
 	"bdrmap/internal/netx"
 	"bdrmap/internal/obs"
 	"bdrmap/internal/scamper"
@@ -308,6 +309,14 @@ func (w *World) MapAll() []*Report {
 		out[i] = w.MapBorders(i)
 	}
 	return out
+}
+
+// BuildMapDB measures from every vantage point (if not already done) and
+// compiles the inference output into an immutable mapdb.Snapshot — the
+// query-optimised form served by bdrmapd and consumed by tslpmon.
+func (w *World) BuildMapDB() *mapdb.Snapshot {
+	w.MapAll()
+	return mapdb.Compile(w.s.Net.HostASN, w.s.Results)
 }
 
 // MergedMap measures from every vantage point and merges the per-VP

@@ -18,6 +18,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"time"
 
 	"bdrmap/internal/asrel"
@@ -25,11 +26,38 @@ import (
 	"bdrmap/internal/core"
 	"bdrmap/internal/eval"
 	"bdrmap/internal/faults"
+	"bdrmap/internal/mapdb"
 	"bdrmap/internal/obs"
 	"bdrmap/internal/probe"
 	"bdrmap/internal/scamper"
 	"bdrmap/internal/topo"
 )
+
+// newMux assembles bdrmapd's HTTP surface: the obs registry as JSON on /,
+// Prometheus text on /metrics, the border-map query API under /v1/, and
+// optionally net/http/pprof. Every error answer — including the catch-all
+// 404 — is a structured JSON {"error":{"code","message"}} body.
+func newMux(reg *obs.Registry, store *mapdb.Store, pprofOn bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	obsHandler := obs.Handler(reg)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			mapdb.WriteError(w, http.StatusNotFound, "not_found", "no handler for "+r.URL.Path)
+			return
+		}
+		obsHandler.ServeHTTP(w, r)
+	})
+	mux.Handle("/metrics", obs.PromHandler(reg))
+	mux.Handle("/v1/", mapdb.Handler(store, reg))
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
 
 func main() {
 	var (
@@ -41,6 +69,7 @@ func main() {
 		metricsJSON = flag.Bool("metrics-json", false, "print the final metrics snapshot as JSON on exit")
 		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/ on -metrics-addr")
 		faultSpec   = flag.String("faults", "", "inject deterministic faults into the agent link, e.g. seed=11,drop=0.12,heal=40 (see internal/faults)")
+		serve       = flag.Bool("serve", false, "after inference, keep serving the map on -metrics-addr until interrupted")
 	)
 	flag.Parse()
 
@@ -61,21 +90,14 @@ func main() {
 	}
 
 	s := eval.Build(prof, *seed)
+	// The store exists before inference so the query API can come up
+	// immediately: /v1/* answers 503 no_generation until the first publish.
+	store := mapdb.NewStore(0, s.Obs)
 	var srv *http.Server
 	if *metricsAddr != "" {
-		mux := http.NewServeMux()
-		mux.Handle("/", obs.Handler(s.Obs))
-		mux.Handle("/metrics", obs.PromHandler(s.Obs))
-		if *pprofOn {
-			mux.HandleFunc("/debug/pprof/", pprof.Index)
-			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		}
-		srv = &http.Server{Addr: *metricsAddr, Handler: mux}
+		srv = &http.Server{Addr: *metricsAddr, Handler: newMux(s.Obs, store, *pprofOn)}
 		go func() {
-			log.Printf("metrics endpoint on http://%s/ (Prometheus on /metrics)", *metricsAddr)
+			log.Printf("serving on http://%s/ (Prometheus on /metrics, map queries under /v1/)", *metricsAddr)
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("metrics: %v", err)
 			}
@@ -127,6 +149,7 @@ func main() {
 		Data: ds, View: s.View, Rel: asrel.Infer(s.View), RIR: s.RIR, IXP: s.IXP,
 		HostASN: s.Net.HostASN, Siblings: s.Sibs, Obs: s.Obs, Trace: s.Trace,
 	})
+	store.Publish(mapdb.Compile(s.Net.HostASN, []*core.Result{res}))
 
 	out, in := rp.BytesTransferred()
 	fmt.Printf("agent %s: %d commands, %dB peak buffer (device state)\n",
@@ -145,6 +168,14 @@ func main() {
 		}
 	}
 	if srv != nil {
+		if *serve {
+			// Stay up as a map server: generation 1 keeps answering /v1/
+			// queries until the operator interrupts.
+			sig := make(chan os.Signal, 1)
+			signal.Notify(sig, os.Interrupt)
+			log.Printf("map generation %d live; serving until interrupted", store.Current().Gen())
+			<-sig
+		}
 		// Drain in-flight scrapes before exiting instead of cutting them off.
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()

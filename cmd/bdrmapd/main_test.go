@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"bdrmap/internal/core"
+	"bdrmap/internal/eval"
+	"bdrmap/internal/mapdb"
+	"bdrmap/internal/obs"
+	"bdrmap/internal/scamper"
+	"bdrmap/internal/topo"
+)
+
+// get performs one request against the assembled mux and decodes the body.
+func get(t *testing.T, mux *http.ServeMux, path string) (int, map[string]any) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("GET %s: non-JSON body %q: %v", path, rec.Body.String(), err)
+	}
+	return rec.Code, body
+}
+
+// errCode digs the structured error code out of a JSON error body.
+func errCode(t *testing.T, body map[string]any) string {
+	t.Helper()
+	e, ok := body["error"].(map[string]any)
+	if !ok {
+		t.Fatalf("body has no error object: %v", body)
+	}
+	code, _ := e["code"].(string)
+	return code
+}
+
+// TestMuxServesMapAndStructuredErrors drives the daemon's HTTP surface
+// end to end: obs JSON on /, map queries under /v1/, and structured JSON
+// error bodies (never bare text) on every failure path.
+func TestMuxServesMapAndStructuredErrors(t *testing.T) {
+	reg := obs.New()
+	store := mapdb.NewStore(0, reg)
+	mux := newMux(reg, store, false)
+
+	// Before the first publish the query API is up but empty.
+	if code, body := get(t, mux, "/v1/gen"); code != http.StatusServiceUnavailable || errCode(t, body) != "no_generation" {
+		t.Fatalf("pre-publish /v1/gen = %d %v", code, body)
+	}
+
+	// Publish a real inference round, as main does after core.Infer.
+	s := eval.Build(topo.TinyProfile(), 1)
+	s.RunAll(scamper.Config{})
+	store.Publish(mapdb.Compile(s.Net.HostASN, []*core.Result{s.Results[0]}))
+
+	if code, body := get(t, mux, "/v1/gen"); code != http.StatusOK || body["gen"] != float64(1) {
+		t.Fatalf("/v1/gen = %d %v", code, body)
+	}
+	// A served link resolves through /v1/owner with the inferred AS.
+	snap := store.Current()
+	links := snap.Links()
+	if len(links) == 0 {
+		t.Fatal("published snapshot has no links")
+	}
+	far := links[0].Far
+	code, body := get(t, mux, "/v1/owner?ip="+far.String())
+	if code != http.StatusOK {
+		t.Fatalf("/v1/owner = %d %v", code, body)
+	}
+
+	// Structured errors: bad input, unknown interface, unknown path.
+	if code, body := get(t, mux, "/v1/owner?ip=not-an-ip"); code != http.StatusBadRequest || errCode(t, body) != "bad_address" {
+		t.Fatalf("bad ip = %d %v", code, body)
+	}
+	if code, body := get(t, mux, "/v1/owner?ip=203.0.113.250"); code != http.StatusNotFound || errCode(t, body) != "unknown_interface" {
+		t.Fatalf("unknown interface = %d %v", code, body)
+	}
+	if code, body := get(t, mux, "/nope"); code != http.StatusNotFound || errCode(t, body) != "not_found" {
+		t.Fatalf("unknown path = %d %v", code, body)
+	}
+
+	// The registry root still serves the obs snapshot at exactly "/".
+	if code, body := get(t, mux, "/"); code != http.StatusOK || body["counters"] == nil {
+		t.Fatalf("obs root = %d %v", code, body)
+	}
+}

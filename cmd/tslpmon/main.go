@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"bdrmap"
+	"bdrmap/internal/mapdb"
 	"bdrmap/internal/netx"
 	"bdrmap/internal/probe"
 	"bdrmap/internal/topo"
@@ -31,6 +32,22 @@ func (p engineProber) Probe(a netx.Addr, m probe.Method) probe.Response {
 	return p.e.Probe(p.vp, a, m)
 }
 func (p engineProber) Advance(d time.Duration) { p.e.Advance(d) }
+
+// deriveTargets resolves the monitorable probe pairs from a compiled border
+// map: every interdomain link whose far side is known (not a silent hop)
+// and whose both sides answer ICMP echo becomes a (near, far) target.
+func deriveTargets(snap *mapdb.Snapshot, echo func(netx.Addr) bool) []tslp.Target {
+	var targets []tslp.Target
+	for _, l := range snap.Links() {
+		if l.Far.IsZero() {
+			continue
+		}
+		if echo(l.Near) && echo(l.Far) {
+			targets = append(targets, tslp.Target{Near: l.Near, Far: l.Far, FarAS: l.FarAS})
+		}
+	}
+	return targets
+}
 
 func main() {
 	var (
@@ -59,21 +76,14 @@ func main() {
 
 	world := bdrmap.NewWorld(prof, *seed)
 	fmt.Printf("mapping borders of %v...\n", world.HostASN())
-	report := world.MapBorders(0)
+	snap := world.BuildMapDB()
 	s := world.Scenario()
 	prober := engineProber{e: s.Engine, vp: s.Net.VPs[0]}
 
-	var targets []tslp.Target
-	for _, l := range report.Links {
-		if l.FarAddr.IsZero() {
-			continue
-		}
-		if prober.Probe(l.NearAddr, probe.MethodICMPEcho).OK &&
-			prober.Probe(l.FarAddr, probe.MethodICMPEcho).OK {
-			targets = append(targets, tslp.Target{Near: l.NearAddr, Far: l.FarAddr, FarAS: l.FarAS})
-		}
-	}
-	fmt.Printf("%d links mapped, %d monitorable\n", len(report.Links), len(targets))
+	targets := deriveTargets(snap, func(a netx.Addr) bool {
+		return prober.Probe(a, probe.MethodICMPEcho).OK
+	})
+	fmt.Printf("%d links mapped, %d monitorable\n", snap.NumLinks(), len(targets))
 	if len(targets) == 0 {
 		fmt.Println("nothing to monitor")
 		return

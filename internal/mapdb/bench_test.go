@@ -1,0 +1,131 @@
+package mapdb
+
+// The serving-layer benchmarks: point-query throughput on the compiled
+// snapshot (with the naive linear scan kept as the control the trie must
+// beat by >=10x), and the load-generator shape — concurrent readers
+// hammering the store while a publisher swaps generations underneath them.
+//
+//	go test ./internal/mapdb -run=NONE -bench . -benchmem
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"bdrmap/internal/core"
+	"bdrmap/internal/netx"
+)
+
+const benchLinks = 4096
+
+func benchSnapshot(tag int) *Snapshot {
+	return Compile(64500, []*core.Result{genResult(tag, benchLinks)})
+}
+
+// benchProbes mixes hits (both sides of every link) with misses.
+func benchProbes() []netx.Addr {
+	probes := make([]netx.Addr, 0, benchLinks*3)
+	for i := 0; i < benchLinks; i++ {
+		base := netx.Addr(0x0a000000 + uint32(i)*4)
+		probes = append(probes, base+1, base+2, base+3) // near, far, miss
+	}
+	return probes
+}
+
+// BenchmarkMapDBLookup is the owner-resolution hot path: must run with
+// zero allocations per op and >=10x the linear-scan control's throughput.
+func BenchmarkMapDBLookup(b *testing.B) {
+	snap := benchSnapshot(1)
+	probes := benchProbes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap.Owner(probes[i%len(probes)])
+	}
+}
+
+// BenchmarkMapDBLookupLinearScan is the control: the naive re-walk of the
+// interface list that answering from a Report amounts to.
+func BenchmarkMapDBLookupLinearScan(b *testing.B) {
+	snap := benchSnapshot(1)
+	probes := benchProbes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap.ownerLinear(probes[i%len(probes)])
+	}
+}
+
+// BenchmarkMapDBLinkLookup resolves hop pairs to links (the tslpmon path).
+func BenchmarkMapDBLinkLookup(b *testing.B) {
+	snap := benchSnapshot(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := netx.Addr(0x0a000000 + uint32(i%benchLinks)*4)
+		snap.Link(base+1, base+2)
+	}
+}
+
+// BenchmarkMapDBQueryUnderSwap is the load generator: parallel readers
+// issue owner and link queries against Store.Current while a background
+// publisher keeps swapping fresh generations in.
+func BenchmarkMapDBQueryUnderSwap(b *testing.B) {
+	st := NewStore(4, nil)
+	st.Publish(benchSnapshot(1))
+	probes := benchProbes()
+
+	stop := make(chan struct{})
+	published := atomic.Int64{}
+	go func() {
+		// Two prebuilt result sets alternate so each publish compiles and
+		// swaps a genuinely different generation.
+		results := [][]*core.Result{
+			{genResult(2, benchLinks)},
+			{genResult(3, benchLinks)},
+		}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st.Publish(Compile(64500, results[i%2]))
+			published.Add(1)
+		}
+	}()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			snap := st.Current()
+			a := probes[i%len(probes)]
+			snap.Owner(a)
+			snap.Link(a, a+1)
+			i++
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	b.ReportMetric(float64(published.Load()), "swaps")
+}
+
+// BenchmarkMapDBHTTPOwner measures one owner query through the full
+// HTTP/JSON surface (mux, instrumentation, encoding).
+func BenchmarkMapDBHTTPOwner(b *testing.B) {
+	st := NewStore(0, nil)
+	st.Publish(benchSnapshot(1))
+	h := Handler(st, nil)
+	req := httptest.NewRequest(http.MethodGet, "/v1/owner?ip=10.0.0.2", nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatal(rec.Code)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package mapdb
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bdrmap/internal/core"
+	"bdrmap/internal/netx"
+	"bdrmap/internal/topo"
+)
+
+// genResult builds a result whose every attribution encodes the intended
+// generation: owner ASes, far ASes, and far addresses are all derived from
+// tag, so a reader can verify that every answer it gets from one snapshot
+// belongs to one single generation — any cross-generation mix is a torn
+// read.
+func genResult(tag int, nLinks int) *core.Result {
+	res := &core.Result{VPName: "vp", Neighbors: make(map[topo.ASN][]*core.Link)}
+	farAS := topo.ASN(50000 + tag)
+	for i := 0; i < nLinks; i++ {
+		base := netx.Addr(0x0a000000 + uint32(i)*4)
+		near, far := base+1, base+2
+		nearNode := &core.RouterNode{
+			ID: 2 * i, Addrs: []netx.Addr{near},
+			Owner: topo.ASN(40000 + tag), Heuristic: core.HeurHostNetwork, IsHost: true, HopDist: tag,
+		}
+		farNode := &core.RouterNode{
+			ID: 2*i + 1, Addrs: []netx.Addr{far},
+			Owner: farAS, Heuristic: core.HeurRelationship, HopDist: tag + 1,
+		}
+		l := &core.Link{
+			Near: nearNode, Far: farNode, NearAddr: near, FarAddr: far,
+			FarAS: farAS, Heuristic: core.HeurRelationship,
+		}
+		res.Routers = append(res.Routers, nearNode, farNode)
+		res.Links = append(res.Links, l)
+		res.Neighbors[farAS] = append(res.Neighbors[farAS], l)
+	}
+	return res
+}
+
+// TestGenerationConsistencyUnderSwaps hammers lookups from reader
+// goroutines while the store swaps generations, asserting that every
+// answer a reader extracts from one snapshot handle is internally
+// consistent with exactly one generation. Run under -race in CI.
+func TestGenerationConsistencyUnderSwaps(t *testing.T) {
+	const (
+		nLinks     = 64
+		minGens    = 40
+		minLookups = 200_000
+		nReaders   = 8
+	)
+	st := NewStore(4, nil)
+	st.Publish(Compile(64500, []*core.Result{genResult(1, nLinks)}))
+
+	var (
+		stop     atomic.Bool
+		lookups  atomic.Int64
+		wg       sync.WaitGroup
+		failures = make(chan string, nReaders)
+	)
+	for r := 0; r < nReaders; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lastGen := 0
+			for !stop.Load() {
+				snap := st.Current()
+				gen := snap.Gen()
+				if gen < lastGen {
+					failures <- "generation went backwards"
+					return
+				}
+				lastGen = gen
+				// Recover this snapshot's tag from one lookup, then demand
+				// every other answer agrees with it.
+				o, ok := snap.Owner(0x0a000001)
+				if !ok {
+					failures <- "indexed interface vanished"
+					return
+				}
+				tag := int(o.AS) - 40000
+				wantFar := topo.ASN(50000 + tag)
+				for i := 0; i < nLinks; i++ {
+					base := netx.Addr(0x0a000000 + uint32(i)*4)
+					if o, ok := snap.Owner(base + 1); !ok || o.AS != topo.ASN(40000+tag) || o.HopDist != tag {
+						failures <- "near owner from a different generation"
+						return
+					}
+					if o, ok := snap.Owner(base + 2); !ok || o.AS != wantFar {
+						failures <- "far owner from a different generation"
+						return
+					}
+					if l, ok := snap.Link(base+1, base+2); !ok || l.FarAS != wantFar {
+						failures <- "link from a different generation"
+						return
+					}
+					lookups.Add(3)
+				}
+				if nb := snap.Neighbors(wantFar); len(nb) != nLinks {
+					failures <- "neighbor index torn across generations"
+					return
+				}
+			}
+		}()
+	}
+
+	// Keep swapping until the readers have both observed enough distinct
+	// generations and issued enough lookups to make a torn read likely if
+	// one were possible; a deadline bounds the test on slow machines.
+	deadline := time.Now().Add(10 * time.Second)
+	g := 2
+	for ; (g <= minGens || lookups.Load() < minLookups) && time.Now().Before(deadline) && len(failures) == 0; g++ {
+		st.Publish(Compile(64500, []*core.Result{genResult(g, nLinks)}))
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(failures)
+	for f := range failures {
+		t.Fatal(f)
+	}
+	if st.Current().Gen() != g-1 {
+		t.Fatalf("final gen = %d, want %d", st.Current().Gen(), g-1)
+	}
+	if lookups.Load() == 0 {
+		t.Fatal("readers performed no lookups")
+	}
+}

@@ -1,0 +1,61 @@
+package mapdb
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"bdrmap/internal/netx"
+)
+
+// decodePrefixes turns fuzz bytes into a prefix set: 5-byte records of
+// 4 address bytes plus a length byte (mod 33).
+func decodePrefixes(data []byte) []netx.Prefix {
+	var out []netx.Prefix
+	for len(data) >= 5 && len(out) < 512 {
+		a := netx.Addr(binary.BigEndian.Uint32(data))
+		out = append(out, netx.MakePrefix(a, int(data[4]%33)))
+		data = data[5:]
+	}
+	return out
+}
+
+// FuzzLookup cross-checks the compiled LPM table against a linear-scan
+// oracle over arbitrary insert sets: for any probe address, the table must
+// return the entry of the longest inserted prefix containing it, with
+// last-insert-wins on duplicate prefixes.
+func FuzzLookup(f *testing.F) {
+	f.Add([]byte{10, 0, 0, 1, 32, 10, 0, 0, 0, 8}, uint32(0x0a000001))
+	f.Add([]byte{0, 0, 0, 0, 0, 255, 255, 255, 255, 32}, uint32(0xffffffff))
+	f.Add([]byte{192, 0, 2, 0, 24, 192, 0, 2, 0, 25, 192, 0, 2, 1, 32}, uint32(0xc0000201))
+	f.Add([]byte{}, uint32(0))
+
+	f.Fuzz(func(t *testing.T, data []byte, probeRaw uint32) {
+		prefixes := decodePrefixes(data)
+		b := newLPMBuilder()
+		for i, p := range prefixes {
+			b.insert(p, int32(i))
+		}
+		tbl := b.table()
+
+		oracle := func(a netx.Addr) int32 {
+			best, bestLen := int32(-1), -1
+			for i, p := range prefixes {
+				// >= implements last-insert-wins for duplicate prefixes.
+				if p.Contains(a) && p.Len >= bestLen {
+					best, bestLen = int32(i), p.Len
+				}
+			}
+			return best
+		}
+
+		probes := []netx.Addr{netx.Addr(probeRaw), 0, ^netx.Addr(0)}
+		for _, p := range prefixes {
+			probes = append(probes, p.Base, p.Last())
+		}
+		for _, a := range probes {
+			if got, want := tbl.lookup(a), oracle(a); got != want {
+				t.Fatalf("lookup(%v) = %d, oracle says %d (prefixes %v)", a, got, want, prefixes)
+			}
+		}
+	})
+}

@@ -1,0 +1,335 @@
+package mapdb
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"bdrmap/internal/netx"
+	"bdrmap/internal/obs"
+	"bdrmap/internal/topo"
+)
+
+// HTTP/JSON query API over a Store, mounted on bdrmapd's mux under /v1/.
+// Every endpoint answers from exactly one generation (one atomic snapshot
+// load per request), reports errors as structured JSON
+// {"error":{"code","message"}}, and is instrumented through internal/obs:
+// a per-endpoint request counter (mapdb.http.<endpoint>), an error counter
+// (mapdb.http.errors), and a shared latency histogram
+// (mapdb.http.latency_us) that surfaces on bdrmapd's /metrics.
+
+// apiError is the wire shape of one structured error.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorBody struct {
+	Error apiError `json:"error"`
+}
+
+// WriteError writes a structured JSON error: a machine-readable code plus
+// a human-readable message, replacing bare http.Error text bodies.
+func WriteError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: apiError{Code: code, Message: msg}})
+}
+
+// NotFoundHandler returns structured JSON 404s for unmatched paths, so a
+// mux's fallthrough matches the API's error contract.
+func NotFoundHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		WriteError(w, http.StatusNotFound, "not_found", "no handler for "+r.URL.Path)
+	})
+}
+
+// linkJSON is the wire shape of one served link.
+type linkJSON struct {
+	Near      string `json:"near"`
+	Far       string `json:"far"`
+	FarAS     uint32 `json:"far_as"`
+	Heuristic string `json:"heuristic,omitempty"`
+}
+
+func toLinkJSON(l Link) linkJSON {
+	far := l.Far.String()
+	if l.Far.IsZero() {
+		far = "silent"
+	}
+	return linkJSON{Near: l.Near.String(), Far: far, FarAS: uint32(l.FarAS), Heuristic: l.Heuristic}
+}
+
+func toLinksJSON(ls []Link) []linkJSON {
+	out := make([]linkJSON, len(ls))
+	for i, l := range ls {
+		out[i] = toLinkJSON(l)
+	}
+	return out
+}
+
+// latencyEdgesUS are the query-latency histogram bucket edges in
+// microseconds (point lookups are expected in the lowest buckets).
+var latencyEdgesUS = []int64{1, 5, 25, 100, 500, 2500, 10000, 100000}
+
+type api struct {
+	store *Store
+	reg   *obs.Registry
+}
+
+// Handler serves the query API for st. Routes (all GET):
+//
+//	/v1/gen                 current generation summary + retained history
+//	/v1/owner?ip=A          owner AS of the router behind interface A
+//	/v1/link?near=A&far=B   the interdomain link on hop pair (A, B)
+//	/v1/link?near=A         the silent link at A (§5.4.8)
+//	/v1/neighbors?as=N      all links attaching neighbor AS N
+//	/v1/diff?from=G&to=H    churn between two retained generations
+//
+// reg may be nil (no instrumentation).
+func Handler(st *Store, reg *obs.Registry) http.Handler {
+	a := &api{store: st, reg: reg}
+	mux := http.NewServeMux()
+	mux.Handle("/v1/gen", a.wrap("gen", a.handleGen))
+	mux.Handle("/v1/owner", a.wrap("owner", a.handleOwner))
+	mux.Handle("/v1/link", a.wrap("link", a.handleLink))
+	mux.Handle("/v1/neighbors", a.wrap("neighbors", a.handleNeighbors))
+	mux.Handle("/v1/diff", a.wrap("diff", a.handleDiff))
+	mux.Handle("/", NotFoundHandler())
+	return mux
+}
+
+// wrap instruments one endpoint: request counter, latency histogram,
+// method guard. Metric handles are resolved once, not per request.
+func (a *api) wrap(name string, fn func(http.ResponseWriter, *http.Request) bool) http.Handler {
+	reqs := a.reg.Counter("mapdb.http." + name)
+	errs := a.reg.Counter("mapdb.http.errors")
+	lat := a.reg.Histogram("mapdb.http.latency_us", latencyEdgesUS)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		reqs.Inc()
+		ok := false
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			WriteError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+				r.Method+" not supported; use GET")
+		} else {
+			ok = fn(w, r)
+		}
+		if !ok {
+			errs.Inc()
+		}
+		lat.Observe(time.Since(t0).Microseconds())
+	})
+}
+
+// snapshot answers 503 until a first generation is published.
+func (a *api) snapshot(w http.ResponseWriter) (*Snapshot, bool) {
+	s := a.store.Current()
+	if s == nil {
+		WriteError(w, http.StatusServiceUnavailable, "no_generation",
+			"no map generation published yet")
+		return nil, false
+	}
+	return s, true
+}
+
+func writeJSON(w http.ResponseWriter, v any) bool {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+	return true
+}
+
+func (a *api) handleGen(w http.ResponseWriter, r *http.Request) bool {
+	s, ok := a.snapshot(w)
+	if !ok {
+		return false
+	}
+	return writeJSON(w, struct {
+		Gen         int      `json:"gen"`
+		HostAS      uint32   `json:"host_as"`
+		VPs         []string `json:"vps"`
+		Links       int      `json:"links"`
+		Neighbors   int      `json:"neighbors"`
+		Owners      int      `json:"owners"`
+		Generations []int    `json:"generations"`
+	}{
+		Gen: s.Gen(), HostAS: uint32(s.HostASN()), VPs: s.VPs(),
+		Links: s.NumLinks(), Neighbors: len(s.NeighborASes()),
+		Owners: s.NumOwners(), Generations: a.store.Generations(),
+	})
+}
+
+func (a *api) handleOwner(w http.ResponseWriter, r *http.Request) bool {
+	addr, ok := parseAddrParam(w, r, "ip", true)
+	if !ok {
+		return false
+	}
+	s, ok := a.snapshot(w)
+	if !ok {
+		return false
+	}
+	o, found := s.Owner(addr)
+	if !found {
+		WriteError(w, http.StatusNotFound, "unknown_interface",
+			addr.String()+" was not observed in any trace of generation "+strconv.Itoa(s.Gen()))
+		return false
+	}
+	return writeJSON(w, struct {
+		Gen       int    `json:"gen"`
+		IP        string `json:"ip"`
+		AS        uint32 `json:"as"`
+		Heuristic string `json:"heuristic"`
+		Host      bool   `json:"host"`
+		HopDist   int    `json:"hop_dist"`
+	}{s.Gen(), addr.String(), uint32(o.AS), o.Heuristic, o.Host, o.HopDist})
+}
+
+func (a *api) handleLink(w http.ResponseWriter, r *http.Request) bool {
+	near, ok := parseAddrParam(w, r, "near", true)
+	if !ok {
+		return false
+	}
+	far, ok := parseAddrParam(w, r, "far", false)
+	if !ok {
+		return false
+	}
+	s, ok := a.snapshot(w)
+	if !ok {
+		return false
+	}
+	l, found := s.Link(near, far)
+	if !found {
+		WriteError(w, http.StatusNotFound, "not_a_border",
+			"no inferred interdomain link on that hop pair in generation "+strconv.Itoa(s.Gen()))
+		return false
+	}
+	return writeJSON(w, struct {
+		Gen  int      `json:"gen"`
+		Link linkJSON `json:"link"`
+	}{s.Gen(), toLinkJSON(l)})
+}
+
+func (a *api) handleNeighbors(w http.ResponseWriter, r *http.Request) bool {
+	asn, ok := parseASNParam(w, r, "as")
+	if !ok {
+		return false
+	}
+	s, ok := a.snapshot(w)
+	if !ok {
+		return false
+	}
+	links := s.Neighbors(asn)
+	if len(links) == 0 {
+		WriteError(w, http.StatusNotFound, "unknown_neighbor",
+			asn.String()+" has no inferred link in generation "+strconv.Itoa(s.Gen()))
+		return false
+	}
+	return writeJSON(w, struct {
+		Gen   int        `json:"gen"`
+		AS    uint32     `json:"as"`
+		Count int        `json:"count"`
+		Links []linkJSON `json:"links"`
+	}{s.Gen(), uint32(asn), len(links), toLinksJSON(links)})
+}
+
+func (a *api) handleDiff(w http.ResponseWriter, r *http.Request) bool {
+	from, ok := parseIntParam(w, r, "from")
+	if !ok {
+		return false
+	}
+	to, ok := parseIntParam(w, r, "to")
+	if !ok {
+		return false
+	}
+	d, err := a.store.Diff(from, to)
+	if err != nil {
+		WriteError(w, http.StatusNotFound, "unknown_generation", err.Error())
+		return false
+	}
+	changes := make([]struct {
+		Addr string `json:"addr"`
+		From uint32 `json:"from"`
+		To   uint32 `json:"to"`
+	}, len(d.OwnerChanges))
+	for i, c := range d.OwnerChanges {
+		changes[i].Addr = c.Addr.String()
+		changes[i].From = uint32(c.From)
+		changes[i].To = uint32(c.To)
+	}
+	return writeJSON(w, struct {
+		From             int        `json:"from"`
+		To               int        `json:"to"`
+		Added            []linkJSON `json:"added"`
+		Removed          []linkJSON `json:"removed"`
+		NeighborsAdded   []uint32   `json:"neighbors_added"`
+		NeighborsRemoved []uint32   `json:"neighbors_removed"`
+		OwnerChanges     any        `json:"owner_changes"`
+	}{
+		From: d.From, To: d.To,
+		Added: toLinksJSON(d.Added), Removed: toLinksJSON(d.Removed),
+		NeighborsAdded:   toASNsJSON(d.NeighborsAdded),
+		NeighborsRemoved: toASNsJSON(d.NeighborsRemoved),
+		OwnerChanges:     changes,
+	})
+}
+
+func toASNsJSON(as []topo.ASN) []uint32 {
+	out := make([]uint32, len(as))
+	for i, a := range as {
+		out[i] = uint32(a)
+	}
+	return out
+}
+
+// parseAddrParam parses a dotted-quad query parameter. When required is
+// false, an absent parameter yields the zero address (silent-link query).
+func parseAddrParam(w http.ResponseWriter, r *http.Request, key string, required bool) (netx.Addr, bool) {
+	v := r.URL.Query().Get(key)
+	if v == "" || v == "silent" {
+		if !required {
+			return 0, true
+		}
+		WriteError(w, http.StatusBadRequest, "missing_parameter", "query parameter "+key+" is required")
+		return 0, false
+	}
+	a, err := netx.ParseAddr(v)
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, "bad_address", key+": "+err.Error())
+		return 0, false
+	}
+	return a, true
+}
+
+// parseASNParam parses an AS number, accepting both "65000" and "AS65000".
+func parseASNParam(w http.ResponseWriter, r *http.Request, key string) (topo.ASN, bool) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		WriteError(w, http.StatusBadRequest, "missing_parameter", "query parameter "+key+" is required")
+		return 0, false
+	}
+	t := strings.TrimPrefix(strings.TrimPrefix(v, "AS"), "as")
+	n, err := strconv.ParseUint(t, 10, 32)
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, "bad_asn", key+": cannot parse "+strconv.Quote(v))
+		return 0, false
+	}
+	return topo.ASN(n), true
+}
+
+func parseIntParam(w http.ResponseWriter, r *http.Request, key string) (int, bool) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		WriteError(w, http.StatusBadRequest, "missing_parameter", "query parameter "+key+" is required")
+		return 0, false
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, "bad_generation", key+": cannot parse "+strconv.Quote(v))
+		return 0, false
+	}
+	return n, true
+}

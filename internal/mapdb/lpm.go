@@ -1,0 +1,74 @@
+package mapdb
+
+import "bdrmap/internal/netx"
+
+// Compiled longest-prefix-match table. The generic netx.Trie is a pointer
+// structure built for incremental mutation; a Snapshot is immutable, so its
+// trie is compiled once into a flat node array — index arithmetic instead
+// of pointer chasing, no per-node allocations to scan at lookup time, and
+// cache-friendly traversal for the serving hot path.
+
+// lpmNode is one node of the compiled binary trie. child values and entry
+// are -1 when absent; child indexes point into lpmTable.nodes.
+type lpmNode struct {
+	child [2]int32
+	entry int32
+}
+
+// lpmTable is an immutable compiled trie mapping prefixes to entry
+// indexes. Lookup performs no allocations.
+type lpmTable struct {
+	nodes []lpmNode
+}
+
+// lpmBuilder accumulates prefix→entry insertions and compiles the table.
+// Inserting the same prefix twice keeps the last entry.
+type lpmBuilder struct {
+	nodes []lpmNode
+}
+
+func newLPMBuilder() *lpmBuilder {
+	return &lpmBuilder{nodes: []lpmNode{{child: [2]int32{-1, -1}, entry: -1}}}
+}
+
+// insert associates entry with prefix p.
+func (b *lpmBuilder) insert(p netx.Prefix, entry int32) {
+	n := int32(0)
+	for depth := 0; depth < p.Len; depth++ {
+		bit := int(p.Base>>(31-uint(depth))) & 1
+		if b.nodes[n].child[bit] < 0 {
+			b.nodes = append(b.nodes, lpmNode{child: [2]int32{-1, -1}, entry: -1})
+			b.nodes[n].child[bit] = int32(len(b.nodes) - 1)
+		}
+		n = b.nodes[n].child[bit]
+	}
+	b.nodes[n].entry = entry
+}
+
+// table freezes the builder into an immutable lookup table. The builder
+// must not be used afterwards.
+func (b *lpmBuilder) table() lpmTable {
+	return lpmTable{nodes: b.nodes}
+}
+
+// lookup returns the entry of the longest prefix containing a, or -1.
+func (t *lpmTable) lookup(a netx.Addr) int32 {
+	best := int32(-1)
+	n := int32(0)
+	nodes := t.nodes
+	if len(nodes) == 0 {
+		return -1
+	}
+	for depth := 0; ; depth++ {
+		if e := nodes[n].entry; e >= 0 {
+			best = e
+		}
+		if depth == 32 {
+			return best
+		}
+		n = nodes[n].child[int(a>>(31-uint(depth)))&1]
+		if n < 0 {
+			return best
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package mapdb is the serving layer over bdrmap's inference output: an
+// immutable, generation-versioned border-map database compiled from per-VP
+// inference results, designed for lock-free concurrent reads.
+//
+// The paper's output — border routers, interdomain links, and neighbor-AS
+// ownership — is exactly the dataset CAIDA operates as a continuously
+// refreshed service (§2, §6). Consumers reduce to point queries: the TSLP
+// congestion monitor asks "is this hop pair an interdomain link?", a
+// catchment analysis asks "which AS owns the router behind this
+// interface?", and AS-relationship consumers want the neighbor set of an
+// AS. Re-walking a whole Result per query does not survive serving load,
+// so mapdb compiles each measurement round into a Snapshot:
+//
+//   - a flat binary-radix longest-prefix-match trie over observed
+//     interface addresses resolving any IP to the owning AS of its router
+//     (§5.4 attribution), with zero allocations on the lookup path,
+//   - a (near, far) hash index resolving a hop pair to its interdomain
+//     link (§5.2 border placement),
+//   - a per-AS index of a neighbor's interdomain links.
+//
+// A Store swaps Snapshots atomically (readers never block writers and
+// vice versa), retains a bounded generation history, and computes
+// per-generation GenDiffs — links appeared/vanished, owner changes — so
+// interconnection churn is a first-class queryable event stream, the
+// continuous-monitoring mode the paper describes operationally. Rounds
+// drives that loop on a mutating synthetic world, and Handler serves the
+// whole thing over HTTP/JSON from bdrmapd.
+package mapdb
+
+import (
+	"sort"
+
+	"bdrmap/internal/core"
+	"bdrmap/internal/netx"
+	"bdrmap/internal/topo"
+)
+
+// OwnerInfo is the attribution of one observed interface address: the AS
+// inferred to operate the router holding it (§5.4), the heuristic that
+// made the call, and the router's hop distance from the VP.
+type OwnerInfo struct {
+	AS        topo.ASN
+	Heuristic string
+	// Host reports the router was attributed to the hosting organization.
+	Host bool
+	// HopDist is the minimum TTL at which the router was observed.
+	HopDist int
+}
+
+// Link is one interdomain link of the hosting network as served by the
+// database: the observed near/far addresses (Far zero for silent
+// neighbors), the inferred far AS, and the heuristic that attributed it.
+type Link struct {
+	Near, Far netx.Addr
+	FarAS     topo.ASN
+	Heuristic string
+}
+
+// Snapshot is one immutable compiled generation of the border map. All
+// methods are safe for unlimited concurrent use; the lookup hot paths
+// (Owner, Link) perform no allocations.
+type Snapshot struct {
+	gen  int
+	host topo.ASN
+	vps  []string
+
+	links []Link // sorted by (FarAS, Near, Far)
+
+	// Interface-address attribution: ownerAddrs[i] resolves to owners[i].
+	// The flat pair doubles as the linear-scan control the benchmarks keep
+	// to certify the trie's speedup, and as the diff substrate.
+	owners     []OwnerInfo
+	ownerAddrs []netx.Addr
+	lpm        lpmTable
+
+	pairIdx     map[uint64]int32
+	neighborIdx map[topo.ASN][]int32
+
+	merged *core.MergedMap
+}
+
+func pairKey(near, far netx.Addr) uint64 {
+	return uint64(near)<<32 | uint64(far)
+}
+
+// Compile builds a Snapshot from per-VP inference results. It is a pure
+// read of the results: inference output is never modified, and compiling
+// the same results yields an identical snapshot. The generation number is
+// assigned when the snapshot is published to a Store (zero until then).
+func Compile(host topo.ASN, results []*core.Result) *Snapshot {
+	s := &Snapshot{
+		host:        host,
+		pairIdx:     make(map[uint64]int32),
+		neighborIdx: make(map[topo.ASN][]int32),
+		merged:      core.Merge(results),
+	}
+
+	// Interface attribution from the alias-merged router nodes: every
+	// observed address of an attributed router resolves to that router's
+	// owner. First write wins, and iteration order is the deterministic
+	// result/router/address order, so compiles are reproducible.
+	addrIdx := make(map[netx.Addr]int32)
+	seenVP := make(map[string]bool)
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		if !seenVP[res.VPName] {
+			seenVP[res.VPName] = true
+			s.vps = append(s.vps, res.VPName)
+		}
+		for _, rn := range res.Routers {
+			if rn.Owner == 0 {
+				continue
+			}
+			for _, a := range rn.Addrs {
+				if a.IsZero() {
+					continue
+				}
+				if _, dup := addrIdx[a]; dup {
+					continue
+				}
+				addrIdx[a] = int32(len(s.owners))
+				s.ownerAddrs = append(s.ownerAddrs, a)
+				s.owners = append(s.owners, OwnerInfo{
+					AS:        rn.Owner,
+					Heuristic: string(rn.Heuristic),
+					Host:      rn.IsHost,
+					HopDist:   rn.HopDist,
+				})
+			}
+		}
+	}
+	sort.Strings(s.vps)
+
+	b := newLPMBuilder()
+	for i, a := range s.ownerAddrs {
+		b.insert(netx.MakePrefix(a, 32), int32(i))
+	}
+	s.lpm = b.table()
+
+	// Observed links, deduplicated across VPs by the observed
+	// (near, far, farAS) triple — the identity a hop-pair query carries.
+	seenLink := make(map[Link]bool)
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		for _, l := range res.Links {
+			k := Link{Near: l.NearAddr, Far: l.FarAddr, FarAS: l.FarAS}
+			if seenLink[k] {
+				continue
+			}
+			seenLink[k] = true
+			k.Heuristic = string(l.Heuristic)
+			s.links = append(s.links, k)
+		}
+	}
+	sort.SliceStable(s.links, func(i, j int) bool {
+		a, b := s.links[i], s.links[j]
+		if a.FarAS != b.FarAS {
+			return a.FarAS < b.FarAS
+		}
+		if a.Near != b.Near {
+			return a.Near < b.Near
+		}
+		return a.Far < b.Far
+	})
+	for i, l := range s.links {
+		if _, dup := s.pairIdx[pairKey(l.Near, l.Far)]; !dup {
+			s.pairIdx[pairKey(l.Near, l.Far)] = int32(i)
+		}
+		s.neighborIdx[l.FarAS] = append(s.neighborIdx[l.FarAS], int32(i))
+	}
+	return s
+}
+
+// Gen returns the snapshot's generation number (0 before publication).
+func (s *Snapshot) Gen() int { return s.gen }
+
+// HostASN returns the hosting network the map describes.
+func (s *Snapshot) HostASN() topo.ASN { return s.host }
+
+// VPs lists the vantage points compiled in, sorted.
+func (s *Snapshot) VPs() []string { return s.vps }
+
+// NumLinks returns the number of served interdomain links.
+func (s *Snapshot) NumLinks() int { return len(s.links) }
+
+// NumOwners returns the number of indexed interface addresses.
+func (s *Snapshot) NumOwners() int { return len(s.owners) }
+
+// Links returns the served link set, sorted by (FarAS, Near, Far). The
+// returned slice is the snapshot's backing store: read-only.
+func (s *Snapshot) Links() []Link { return s.links }
+
+// Owner resolves an IP to the attribution of the router holding it, via
+// longest-prefix match over the indexed interface addresses. This is the
+// serving hot path: zero allocations per call.
+func (s *Snapshot) Owner(a netx.Addr) (OwnerInfo, bool) {
+	if e := s.lpm.lookup(a); e >= 0 {
+		return s.owners[e], true
+	}
+	return OwnerInfo{}, false
+}
+
+// ownerLinear is the naive linear-scan resolution the compiled trie
+// replaces, kept as the benchmark control and the fuzz oracle's shape.
+func (s *Snapshot) ownerLinear(a netx.Addr) (OwnerInfo, bool) {
+	for i, oa := range s.ownerAddrs {
+		if oa == a {
+			return s.owners[i], true
+		}
+	}
+	return OwnerInfo{}, false
+}
+
+// Link resolves an observed (near, far) hop pair to its interdomain link.
+// A far of zero queries the silent link at near. Zero allocations.
+func (s *Snapshot) Link(near, far netx.Addr) (Link, bool) {
+	if i, ok := s.pairIdx[pairKey(near, far)]; ok {
+		return s.links[i], true
+	}
+	return Link{}, false
+}
+
+// Neighbors returns the interdomain links attaching neighbor AS `as`,
+// sorted by (Near, Far). The slice is freshly allocated.
+func (s *Snapshot) Neighbors(as topo.ASN) []Link {
+	idx := s.neighborIdx[as]
+	out := make([]Link, len(idx))
+	for i, li := range idx {
+		out[i] = s.links[li]
+	}
+	return out
+}
+
+// NeighborASes returns every neighbor AS with at least one link, sorted.
+func (s *Snapshot) NeighborASes() []topo.ASN {
+	out := make([]topo.ASN, 0, len(s.neighborIdx))
+	for a := range s.neighborIdx {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Merged exposes the canonical merged map the snapshot was compiled from
+// (the diff substrate). Read-only.
+func (s *Snapshot) Merged() *core.MergedMap { return s.merged }

@@ -1,0 +1,117 @@
+package mapdb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"bdrmap/internal/eval"
+	"bdrmap/internal/scamper"
+	"bdrmap/internal/topo"
+)
+
+// Rounds drives the continuous-monitoring loop the paper describes
+// operationally (§2, §6): re-run the full measurement and inference
+// pipeline against a world that changes between rounds, and publish each
+// round's compiled map as a new generation. The churn schedule is seeded
+// and deterministic — round r of (profile, seed) always provisions and
+// de-provisions the same interconnects — so generation diffs are
+// reproducible test and demo material rather than flake.
+
+// RoundsConfig configures one deterministic multi-round run.
+type RoundsConfig struct {
+	// Profile and Seed pick the synthetic world (as topo.Generate).
+	Profile topo.Profile
+	Seed    int64
+	// Rounds is the number of generations to publish (at least 1).
+	Rounds int
+	// Workers parallelizes probing within each round (default as scamper).
+	Workers int
+}
+
+// RoundEvent records what changed in the world before one generation was
+// measured, for operator-facing logs.
+type RoundEvent struct {
+	Gen    int
+	Action string
+}
+
+// RunRounds measures cfg.Rounds generations into store. Between rounds the
+// world mutates — odd rounds attach a new customer at a host border router
+// (topo.AttachCustomer), even rounds de-provision one existing neighbor
+// (topo.Depeer) — mirroring the churn the CAIDA deployment tracks.
+func RunRounds(cfg RoundsConfig, store *Store) ([]RoundEvent, error) {
+	if cfg.Rounds < 1 {
+		return nil, fmt.Errorf("mapdb: Rounds must be >= 1, got %d", cfg.Rounds)
+	}
+	n := topo.Generate(cfg.Profile, cfg.Seed)
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x6d617064)) // "mapd"
+	var events []RoundEvent
+	for r := 0; r < cfg.Rounds; r++ {
+		action := "baseline measurement"
+		if r > 0 {
+			var err error
+			action, err = mutateWorld(n, rng, r)
+			if err != nil {
+				return events, err
+			}
+			n.Build()
+		}
+		s := eval.BuildFromNetwork(n, cfg.Seed)
+		s.RunAll(scamper.Config{Workers: cfg.Workers})
+		store.Publish(Compile(n.HostASN, s.Results))
+		events = append(events, RoundEvent{Gen: store.Current().Gen(), Action: action})
+	}
+	return events, nil
+}
+
+// mutateWorld applies round r's deterministic churn and describes it.
+func mutateWorld(n *topo.Network, rng *rand.Rand, r int) (string, error) {
+	if r%2 == 1 {
+		border := hostBorder(n)
+		if border < 0 {
+			return "", fmt.Errorf("mapdb: no host border router to attach at")
+		}
+		asn := topo.ASN(65000 + r)
+		if _, err := topo.AttachCustomer(n, border, asn); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("attached customer %v at router %d", asn, border), nil
+	}
+	victims := neighborASes(n)
+	if len(victims) == 0 {
+		return "no neighbor left to de-provision", nil
+	}
+	victim := victims[rng.Intn(len(victims))]
+	removed := topo.Depeer(n, victim)
+	return fmt.Sprintf("de-provisioned %d link(s) to %v", removed, victim), nil
+}
+
+// hostBorder returns the first host-side border router, or -1.
+func hostBorder(n *topo.Network) topo.RouterID {
+	for _, lt := range n.InterdomainLinks(n.HostASN) {
+		return lt.NearRtr
+	}
+	return -1
+}
+
+// neighborASes lists the host's currently attached neighbor ASes, sorted
+// so the rng draw is deterministic.
+func neighborASes(n *topo.Network) []topo.ASN {
+	seen := make(map[topo.ASN]bool)
+	for _, lt := range n.InterdomainLinks(n.HostASN) {
+		seen[lt.FarAS] = true
+	}
+	out := make([]topo.ASN, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CompileScenario compiles the current results of an already-run scenario
+// — the one-liner bridging eval to the serving layer.
+func CompileScenario(s *eval.Scenario) *Snapshot {
+	return Compile(s.Net.HostASN, s.Results)
+}

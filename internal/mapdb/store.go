@@ -1,0 +1,238 @@
+package mapdb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"bdrmap/internal/netx"
+	"bdrmap/internal/obs"
+	"bdrmap/internal/topo"
+)
+
+// Store versions Snapshots. Readers take the current generation through
+// one atomic pointer load — no locks, no contention with publishers — so
+// every query is answered from exactly one immutable generation even while
+// a new one is being swapped in. Publishers hold a mutex only among
+// themselves to assign generation numbers, maintain the bounded history,
+// and compute the per-generation diff.
+type Store struct {
+	cur atomic.Pointer[Snapshot]
+
+	mu      sync.Mutex
+	hist    []*Snapshot      // ascending generation, at most maxHist
+	diffs   map[int]*GenDiff // keyed by To generation (diff vs To-1)
+	nextGen int
+	maxHist int
+
+	reg *obs.Registry
+}
+
+// DefaultHistory is the number of generations a Store retains when
+// NewStore is given no explicit bound.
+const DefaultHistory = 8
+
+// NewStore creates an empty store retaining up to maxHist generations
+// (DefaultHistory if maxHist <= 0). reg may be nil.
+func NewStore(maxHist int, reg *obs.Registry) *Store {
+	if maxHist <= 0 {
+		maxHist = DefaultHistory
+	}
+	return &Store{
+		diffs:   make(map[int]*GenDiff),
+		nextGen: 1,
+		maxHist: maxHist,
+		reg:     reg,
+	}
+}
+
+// Publish assigns snap the next generation number, makes it the current
+// generation, and returns its diff against the previous generation (nil
+// for the first). snap must be freshly compiled and must not be mutated
+// or published again afterwards.
+func (st *Store) Publish(snap *Snapshot) *GenDiff {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	snap.gen = st.nextGen
+	st.nextGen++
+
+	var d *GenDiff
+	if prev := st.cur.Load(); prev != nil {
+		d = diffSnapshots(prev, snap)
+		st.diffs[snap.gen] = d
+	}
+	st.hist = append(st.hist, snap)
+	if len(st.hist) > st.maxHist {
+		evicted := st.hist[0]
+		st.hist = st.hist[1:]
+		// The diff *into* the evicted generation references nothing
+		// retained; drop it so the cache stays bounded with the history.
+		delete(st.diffs, evicted.gen)
+	}
+	st.cur.Store(snap)
+
+	st.reg.Inc("mapdb.store.publish")
+	st.reg.Max("mapdb.store.gen").Observe(int64(snap.gen))
+	st.reg.Max("mapdb.store.links").Observe(int64(snap.NumLinks()))
+	if d != nil {
+		st.reg.Add("mapdb.store.links_added", int64(len(d.Added)))
+		st.reg.Add("mapdb.store.links_removed", int64(len(d.Removed)))
+		st.reg.Add("mapdb.store.owner_changes", int64(len(d.OwnerChanges)))
+	}
+	return d
+}
+
+// Current returns the latest published generation (nil before the first
+// Publish). Lock-free; safe from any number of goroutines.
+func (st *Store) Current() *Snapshot { return st.cur.Load() }
+
+// Generation returns the retained snapshot with generation g, if any.
+func (st *Store) Generation(g int) (*Snapshot, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, s := range st.hist {
+		if s.gen == g {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Generations lists the retained generation numbers, ascending.
+func (st *Store) Generations() []int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]int, len(st.hist))
+	for i, s := range st.hist {
+		out[i] = s.gen
+	}
+	return out
+}
+
+// Diff returns the change from generation `from` to generation `to`. The
+// adjacent diff computed at Publish time is served from cache; any other
+// retained pair is computed on demand. Both generations must still be in
+// the history window.
+func (st *Store) Diff(from, to int) (*GenDiff, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if from == to-1 {
+		if d, ok := st.diffs[to]; ok {
+			return d, nil
+		}
+	}
+	var a, b *Snapshot
+	for _, s := range st.hist {
+		if s.gen == from {
+			a = s
+		}
+		if s.gen == to {
+			b = s
+		}
+	}
+	if a == nil {
+		return nil, fmt.Errorf("mapdb: generation %d not retained", from)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("mapdb: generation %d not retained", to)
+	}
+	return diffSnapshots(a, b), nil
+}
+
+// OwnerChange records an interface address whose inferred owner AS
+// changed between two generations (the address is present in both).
+type OwnerChange struct {
+	Addr     netx.Addr
+	From, To topo.ASN
+}
+
+// GenDiff is the queryable churn between two generations: interdomain
+// links that appeared or vanished, neighbor ASes gained or lost, and
+// interface addresses whose owner attribution changed.
+type GenDiff struct {
+	From, To int
+
+	Added   []Link
+	Removed []Link
+
+	NeighborsAdded   []topo.ASN
+	NeighborsRemoved []topo.ASN
+
+	OwnerChanges []OwnerChange
+}
+
+// Empty reports whether nothing changed between the generations.
+func (d *GenDiff) Empty() bool {
+	return len(d.Added) == 0 && len(d.Removed) == 0 && len(d.OwnerChanges) == 0
+}
+
+// diffSnapshots computes the churn from a to b over the canonical merged
+// maps (link/neighbor level) and the interface-owner indexes.
+func diffSnapshots(a, b *Snapshot) *GenDiff {
+	cd := coreDiff(a, b)
+	d := &GenDiff{
+		From:             a.gen,
+		To:               b.gen,
+		Added:            cd.added,
+		Removed:          cd.removed,
+		NeighborsAdded:   cd.nbAdded,
+		NeighborsRemoved: cd.nbRemoved,
+	}
+	for i, addr := range a.ownerAddrs {
+		if bo, ok := b.Owner(addr); ok && bo.AS != a.owners[i].AS {
+			d.OwnerChanges = append(d.OwnerChanges, OwnerChange{
+				Addr: addr, From: a.owners[i].AS, To: bo.AS,
+			})
+		}
+	}
+	sort.Slice(d.OwnerChanges, func(i, j int) bool {
+		return d.OwnerChanges[i].Addr < d.OwnerChanges[j].Addr
+	})
+	return d
+}
+
+type linkChurn struct {
+	added, removed     []Link
+	nbAdded, nbRemoved []topo.ASN
+}
+
+// coreDiff diffs the observed link sets directly (the identity queries
+// carry), falling back to empty slices rather than nils for JSON shape.
+func coreDiff(a, b *Snapshot) linkChurn {
+	var c linkChurn
+	inA := make(map[Link]bool, len(a.links))
+	for _, l := range a.links {
+		inA[stripHeur(l)] = true
+	}
+	inB := make(map[Link]bool, len(b.links))
+	for _, l := range b.links {
+		inB[stripHeur(l)] = true
+		if !inA[stripHeur(l)] {
+			c.added = append(c.added, l)
+		}
+	}
+	for _, l := range a.links {
+		if !inB[stripHeur(l)] {
+			c.removed = append(c.removed, l)
+		}
+	}
+	for _, as := range b.NeighborASes() {
+		if len(a.neighborIdx[as]) == 0 {
+			c.nbAdded = append(c.nbAdded, as)
+		}
+	}
+	for _, as := range a.NeighborASes() {
+		if len(b.neighborIdx[as]) == 0 {
+			c.nbRemoved = append(c.nbRemoved, as)
+		}
+	}
+	return c
+}
+
+// stripHeur drops the heuristic tag from a link's identity: the same
+// interconnect re-attributed by a different rule is not churn.
+func stripHeur(l Link) Link {
+	l.Heuristic = ""
+	return l
+}

@@ -90,6 +90,10 @@ func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
 // mirroring Counter so callers need not poke the Stages map directly.
 func (s Snapshot) Stage(name string) StageSnap { return s.Stages[name] }
 
+// Histogram returns a named histogram's snapshot (zero value when absent),
+// mirroring Counter and Stage.
+func (s Snapshot) Histogram(name string) HistSnap { return s.Histograms[name] }
+
 // SumPrefix sums every counter whose name starts with prefix — e.g.
 // SumPrefix("remote.retry.") totals the recovery-path counters.
 func (s Snapshot) SumPrefix(prefix string) int64 {

@@ -70,6 +70,10 @@ func main() {
 		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/ on -metrics-addr")
 		faultSpec   = flag.String("faults", "", "inject deterministic faults into the agent link, e.g. seed=11,drop=0.12,heal=40 (see internal/faults)")
 		serve       = flag.Bool("serve", false, "after inference, keep serving the map on -metrics-addr until interrupted")
+		rounds      = flag.Int("rounds", 0, "run the continuous-monitoring loop for this many generations instead of the single-agent demo")
+		incremental = flag.Bool("incremental", false, "with -rounds, carry stop sets, trace caches, and prior attributions across rounds (see README: Continuous monitoring)")
+		refreshEach = flag.Int("refresh-every", 0, "with -incremental, force a full re-walk of each cached target every N rounds (0 = default cadence, -1 = never)")
+		verify      = flag.Bool("verify", false, "with -incremental, cross-check every round against a from-scratch run and abort on any divergence")
 	)
 	flag.Parse()
 
@@ -85,7 +89,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
 		os.Exit(2)
 	}
-	if !*demo {
+	if !*demo && *rounds == 0 {
 		log.Fatal("only -demo mode is supported offline: the agent needs a world to probe")
 	}
 
@@ -103,6 +107,60 @@ func main() {
 			}
 		}()
 	}
+	// finish handles the shared tail: the optional metrics dump, the
+	// optional serve-until-interrupted phase, and metrics-server drain.
+	finish := func() {
+		if *metricsJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(s.Obs.Snapshot()); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if srv != nil {
+			if *serve {
+				// Stay up as a map server: the published generations keep
+				// answering /v1/ queries until the operator interrupts.
+				sig := make(chan os.Signal, 1)
+				signal.Notify(sig, os.Interrupt)
+				log.Printf("map generation %d live; serving until interrupted", store.Current().Gen())
+				<-sig
+			}
+			// Drain in-flight scrapes before exiting instead of cutting them off.
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				log.Printf("metrics shutdown: %v", err)
+			}
+		}
+	}
+
+	if *rounds > 0 {
+		// Continuous-monitoring mode: measure -rounds generations of a
+		// churning world into the store, optionally reusing the previous
+		// round's measurement memory, then serve/report like the demo.
+		events, err := mapdb.RunRounds(mapdb.RoundsConfig{
+			Profile: prof, Seed: *seed, Rounds: *rounds,
+			Incremental: *incremental, RefreshEvery: *refreshEach,
+			Verify: *verify, Obs: s.Obs,
+		}, store)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range events {
+			fmt.Printf("generation %d: %s (trace fp %016x)\n", e.Gen, e.Action, e.TraceFP)
+		}
+		if *incremental {
+			c := func(name string) int64 { return s.Obs.Counter(name).Load() }
+			fmt.Printf("trace cache: %d hit / %d miss / %d refresh; traces %d live + %d replayed; alias ops replayed %d; attributions spliced %d\n",
+				c("rounds.cache.hit"), c("rounds.cache.miss"), c("rounds.cache.refresh"),
+				c("driver.traces_live"), c("driver.traces_cached"),
+				c("rounds.alias.replayed"), c("core.inc.spliced"))
+		}
+		finish()
+		return
+	}
+
 	ctrl, err := scamper.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)
@@ -160,27 +218,5 @@ func main() {
 	for asn, links := range res.Neighbors {
 		fmt.Printf("  %v: %d link(s)\n", asn, len(links))
 	}
-	if *metricsJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(s.Obs.Snapshot()); err != nil {
-			log.Fatal(err)
-		}
-	}
-	if srv != nil {
-		if *serve {
-			// Stay up as a map server: generation 1 keeps answering /v1/
-			// queries until the operator interrupts.
-			sig := make(chan os.Signal, 1)
-			signal.Notify(sig, os.Interrupt)
-			log.Printf("map generation %d live; serving until interrupted", store.Current().Gen())
-			<-sig
-		}
-		// Drain in-flight scrapes before exiting instead of cutting them off.
-		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("metrics shutdown: %v", err)
-		}
-	}
+	finish()
 }

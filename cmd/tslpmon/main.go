@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"bdrmap"
+	"bdrmap/internal/eval"
 	"bdrmap/internal/mapdb"
 	"bdrmap/internal/netx"
 	"bdrmap/internal/probe"
@@ -56,6 +57,8 @@ func main() {
 		congest  = flag.Int("congest", 1, "interdomain links to congest in the evening")
 		interval = flag.Duration("interval", 5*time.Minute, "probing cadence")
 		duration = flag.Duration("duration", 24*time.Hour, "monitoring duration")
+		rounds   = flag.Int("rounds", 0, "map borders through this many continuous-monitoring rounds of churn and monitor the final generation")
+		incr     = flag.Bool("incremental", false, "with -rounds, carry stop sets, trace caches, and prior attributions across rounds")
 	)
 	flag.Parse()
 
@@ -74,10 +77,32 @@ func main() {
 		os.Exit(2)
 	}
 
-	world := bdrmap.NewWorld(prof, *seed)
-	fmt.Printf("mapping borders of %v...\n", world.HostASN())
-	snap := world.BuildMapDB()
-	s := world.Scenario()
+	var snap *mapdb.Snapshot
+	var s *eval.Scenario
+	if *rounds > 0 {
+		// Map through the continuous-monitoring loop: the store's final
+		// generation — after -rounds rounds of churn, incrementally
+		// measured if asked — is what gets monitored.
+		st := mapdb.NewStore(0, nil)
+		events, sc, err := mapdb.RunRoundsFull(mapdb.RoundsConfig{
+			Profile: prof, Seed: *seed, Rounds: *rounds, Incremental: *incr,
+		}, st)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("mapping borders of %v across %d rounds...\n", sc.Net.HostASN, *rounds)
+		for _, e := range events {
+			fmt.Printf("  generation %d: %s\n", e.Gen, e.Action)
+		}
+		snap = st.Current()
+		s = sc
+	} else {
+		world := bdrmap.NewWorld(prof, *seed)
+		fmt.Printf("mapping borders of %v...\n", world.HostASN())
+		snap = world.BuildMapDB()
+		s = world.Scenario()
+	}
 	prober := engineProber{e: s.Engine, vp: s.Net.VPs[0]}
 
 	targets := deriveTargets(snap, func(a netx.Addr) bool {

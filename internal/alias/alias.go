@@ -341,16 +341,37 @@ func (r *Resolver) Resolve(a, b netx.Addr) Verdict {
 // router it sits on by testing whether its point-to-point subnet mate is
 // an alias of prevHop (§5.3). It returns the mate and true on success.
 func (r *Resolver) Prefixscan(prevHop, addr netx.Addr) (netx.Addr, bool) {
+	mate, ok, _ := r.PrefixscanTrace(prevHop, addr)
+	return mate, ok
+}
+
+// PairVerdict records one pair test a compound operation performed — the
+// replay substrate for cross-round caching: re-Record()ing the verdicts in
+// order reproduces the resolver state the operation left behind without
+// re-sending its probes.
+type PairVerdict struct {
+	A, B netx.Addr
+	V    Verdict
+}
+
+// PrefixscanTrace is Prefixscan, additionally reporting every (prevHop,
+// mate) pair it tested with the verdict each test reached. The trace covers
+// exactly the Resolve calls Prefixscan would make, in order, so replaying
+// it with Record leaves the pos/neg maps identical to a live run.
+func (r *Resolver) PrefixscanTrace(prevHop, addr netx.Addr) (netx.Addr, bool, []PairVerdict) {
+	var tried []PairVerdict
 	for _, plen := range []int{31, 30} {
 		mate, ok := addr.PointToPointMate(plen)
 		if !ok || mate == prevHop || mate == addr {
 			continue
 		}
-		if r.Resolve(prevHop, mate) == AliasYes {
-			return mate, true
+		v := r.Resolve(prevHop, mate)
+		tried = append(tried, PairVerdict{A: prevHop, B: mate, V: v})
+		if v == AliasYes {
+			return mate, true, tried
 		}
 	}
-	return 0, false
+	return 0, false, tried
 }
 
 // Positives returns all pairs with a positive verdict.

@@ -33,6 +33,11 @@ type Input struct {
 	// the router, hop distance, constraints consulted, and which earlier
 	// heuristics declined. Nil disables them.
 	Trace *obs.Tracer
+	// Prev, together with Data.Dirty, enables incremental re-inference:
+	// routers more than three hops from every dirty address splice their
+	// attribution from the previous round's result instead of re-running
+	// the §5.4 cascade. Nil (or a nil Data.Dirty) infers from scratch.
+	Prev *Result
 }
 
 // Options disable individual heuristics for ablation studies.
@@ -103,11 +108,12 @@ type node struct {
 	// after this node in traces (per §5.4.3), with counts.
 	firstRoutedAfter map[topo.ASN]int
 
-	owner  topo.ASN
-	heur   Heuristic
-	host   bool
-	done   bool
-	merged bool // folded into another node by §5.4.7
+	owner   topo.ASN
+	heur    Heuristic
+	host    bool
+	done    bool
+	merged  bool // folded into another node by §5.4.7
+	spliced bool // attribution copied from the previous round's result
 }
 
 type addrPair struct{ from, to netx.Addr }

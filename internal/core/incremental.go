@@ -1,0 +1,131 @@
+package core
+
+import (
+	"bdrmap/internal/netx"
+	"bdrmap/internal/obs"
+	"bdrmap/internal/topo"
+)
+
+// Incremental re-inference: splice prior attributions for clean routers.
+//
+// A router's final attribution is a pure function of the measurement data
+// within three hops of it: every §5.4 heuristic reads evidence at most two
+// hops away (twoConsecutive walks succ-of-succ edges, the multihomed
+// exception inspects both routers' successors), and a router can
+// additionally be claimed by a neighbor one hop away whose own decision
+// reads two hops from *it* (§5.4.1 step 1.1, §5.4.5 step 5.1). So when a
+// round's dirty-address set is known, any router more than three hops from
+// every data-dirty router must resolve exactly as it did last round — its
+// prior owner and heuristic are spliced in and the cascade never runs.
+//
+// Splicing skips a node's own inference but must not skip the claims its
+// inference makes on *other* nodes, or a dirty neighbor at the closure
+// boundary would miss a claim a from-scratch run delivers:
+//   - §5.4.1 runs unmodified over spliced nodes too — its re-claims are
+//     value-identical overwrites (the spliced node's two-hop neighborhood
+//     is unchanged, so the pass reaches the same conclusion), and the
+//     done-guards on its neighbor claims are unaffected.
+//   - §5.4.5 step 5.1 is replayed: a spliced third-party router re-claims
+//     its undecided host-class predecessors at its position in the visit
+//     order, exactly as the live branch would.
+// Everything downstream — §5.4.7 analytical aliases, result assembly,
+// §5.4.8 silent neighbors — runs globally; it is cheap and order-pinned.
+//
+// mapdb's equivalence mode asserts the spliced map is byte-identical to a
+// from-scratch run on the same world; the three-hop radius is the proof
+// obligation those tests discharge.
+
+// spliceClean pre-claims every node whose three-hop neighborhood is free
+// of dirty addresses, copying owner/heuristic/host from the previous
+// round's result. dirty is the driver's changed-address set (nil means
+// everything is dirty — no splicing).
+func (g *graph) spliceClean(prev *Result, dirty map[netx.Addr]bool) {
+	if prev == nil || dirty == nil {
+		return
+	}
+	// Data-dirty nodes: any interface address with changed trace evidence.
+	dirtyN := make(map[*node]bool)
+	var frontier []*node
+	for _, n := range g.nodes {
+		for _, a := range n.addrs {
+			if dirty[a] {
+				dirtyN[n] = true
+				frontier = append(frontier, n)
+				break
+			}
+		}
+	}
+	// Three-hop closure over the undirected adjacency.
+	for hop := 0; hop < 3; hop++ {
+		var next []*node
+		mark := func(m *node) {
+			if !dirtyN[m] {
+				dirtyN[m] = true
+				next = append(next, m)
+			}
+		}
+		for _, n := range frontier {
+			for s := range n.succ {
+				mark(s)
+			}
+			for p := range n.pred {
+				mark(p)
+			}
+		}
+		frontier = next
+	}
+
+	spliced := 0
+	for _, n := range g.nodes {
+		if dirtyN[n] {
+			continue
+		}
+		rn := prev.byAddr[n.addrs[0]]
+		if rn == nil || rn.Owner == 0 {
+			continue
+		}
+		// The prior router must cover exactly this node's addresses: an
+		// analytical composite (§5.4.7) or re-grouped alias set fails the
+		// match and the node runs live instead. Both sides are sorted.
+		if len(rn.Addrs) != len(n.addrs) {
+			continue
+		}
+		same := true
+		for i := range n.addrs {
+			if rn.Addrs[i] != n.addrs[i] {
+				same = false
+				break
+			}
+		}
+		if !same {
+			continue
+		}
+		n.owner, n.heur, n.host = rn.Owner, rn.Heuristic, rn.IsHost
+		n.done, n.spliced = true, true
+		spliced++
+	}
+	g.in.Obs.Add("core.inc.spliced", int64(spliced))
+	g.in.Obs.Add("core.inc.dirty_nodes", int64(len(dirtyN)))
+}
+
+// replaySpliced reproduces the cross-node claims a spliced router's own
+// inference would have made — today only §5.4.5 step 5.1, the sole
+// heuristic that claims another router from inside the cascade. It runs at
+// the spliced node's position in the visit order so the done-guards see
+// the same state a from-scratch run would.
+func (g *graph) replaySpliced(n *node) {
+	if g.in.Opts.NoThirdParty || n.heur != HeurThirdParty ||
+		n.class != classExternal || n.extAS == 0 {
+		return
+	}
+	b := g.soleConeRoot(n.destSet())
+	a := n.extAS
+	if b == 0 || a == b || g.in.Rel.Rel(b, a) != topo.RelProvider {
+		return
+	}
+	for p := range n.pred {
+		if !p.done && p.class == classHost && g.soleConeRoot(p.destSet()) == b {
+			g.claim(p, b, HeurThirdParty, obs.KV("cone_root", b.String()))
+		}
+	}
+}

@@ -14,8 +14,13 @@ func Infer(in Input) *Result {
 	span := in.Obs.StartStage("core.infer")
 	defer span.End()
 	g := buildGraph(in)
+	g.spliceClean(in.Prev, in.Data.Dirty)
 	g.passHost()
 	for _, n := range g.nodes {
+		if n.spliced {
+			g.replaySpliced(n)
+			continue
+		}
 		if !n.done {
 			g.inferNeighbor(n)
 		}

@@ -235,6 +235,51 @@ func (s *Scenario) RunAll(cfg scamper.Config) {
 	}
 }
 
+// RunVPIncremental measures and infers from one vantage point using
+// cross-round state: state carries VP i's measurement memory from the
+// previous round (trace transcripts, stop-set evolution, alias memo) and
+// prev its previous inference result. The driver replays unchanged
+// targets without spending probes, and the core splices prior
+// attributions for routers far from every changed address. Passing a
+// fresh state and nil prev degrades to a from-scratch run.
+func (s *Scenario) RunVPIncremental(i int, cfg scamper.Config, opts core.Options, state *scamper.RoundState, prev *core.Result) *core.Result {
+	if s.Results[i] != nil {
+		return s.Results[i]
+	}
+	cfg.State = state
+	d := &scamper.Driver{
+		View:     s.View,
+		Prober:   scamper.LocalProber{E: s.Engine, VP: s.Net.VPs[i]},
+		HostASNs: s.HostASNs,
+		Cfg:      cfg,
+		Obs:      s.Obs,
+		Trace:    s.Trace,
+	}
+	ds := d.Run()
+	res := core.Infer(core.Input{
+		Data: ds, View: s.View, Rel: s.Rel, RIR: s.RIR, IXP: s.IXP,
+		HostASN: s.Net.HostASN, Siblings: s.Sibs, Opts: opts,
+		Obs: s.Obs, Trace: s.Trace, Prev: prev,
+	})
+	s.Datasets[i] = ds
+	s.Results[i] = res
+	s.Obs.Inc("eval.vp_runs_incremental")
+	return res
+}
+
+// RunAllIncremental is RunAll with per-VP cross-round state and previous
+// results. states and prevs are indexed like Net.VPs; prevs may be nil on
+// the first round.
+func (s *Scenario) RunAllIncremental(cfg scamper.Config, states []*scamper.RoundState, prevs []*core.Result) {
+	for i := range s.Net.VPs {
+		var prev *core.Result
+		if prevs != nil {
+			prev = prevs[i]
+		}
+		s.RunVPIncremental(i, cfg, core.Options{}, states[i], prev)
+	}
+}
+
 // hostOrg reports whether asn belongs to the hosting organization.
 func (s *Scenario) hostOrg(asn topo.ASN) bool { return s.HostASNs[asn] }
 

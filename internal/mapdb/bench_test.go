@@ -15,6 +15,8 @@ import (
 
 	"bdrmap/internal/core"
 	"bdrmap/internal/netx"
+	"bdrmap/internal/obs"
+	"bdrmap/internal/topo"
 )
 
 const benchLinks = 4096
@@ -112,6 +114,43 @@ func BenchmarkMapDBQueryUnderSwap(b *testing.B) {
 	close(stop)
 	b.ReportMetric(float64(published.Load()), "swaps")
 }
+
+// benchRounds runs the six-round continuous-monitoring loop end to end
+// and reports the probe budget it spent, the comparison the incremental
+// engine exists for: unchanged paths replay from cache instead of being
+// re-probed, so probe-packets/run and live-traces/run collapse while the
+// published generations stay byte-identical (TestRunRoundsIncrementalEquivalence).
+func benchRounds(b *testing.B, incremental bool) {
+	b.ReportAllocs()
+	var packets, live float64
+	for i := 0; i < b.N; i++ {
+		reg := obs.New()
+		st := NewStore(0, nil)
+		_, err := RunRounds(RoundsConfig{
+			Profile: topo.TinyProfile(), Seed: 1, Rounds: 6, Workers: 2,
+			Incremental: incremental, Obs: reg,
+		}, st)
+		if err != nil {
+			b.Fatal(err)
+		}
+		packets += float64(reg.Counter("probe.packets_sent").Load())
+		if incremental {
+			live += float64(reg.Counter("driver.traces_live").Load())
+		} else {
+			live += float64(reg.Counter("driver.traces").Load())
+		}
+	}
+	b.ReportMetric(packets/float64(b.N), "probe-packets/run")
+	b.ReportMetric(live/float64(b.N), "live-traces/run")
+}
+
+// BenchmarkRoundsScratch is the control: every round re-probes and
+// re-infers the whole world.
+func BenchmarkRoundsScratch(b *testing.B) { benchRounds(b, false) }
+
+// BenchmarkRoundsIncremental carries stop sets, trace transcripts, alias
+// memos, and prior attributions across rounds.
+func BenchmarkRoundsIncremental(b *testing.B) { benchRounds(b, true) }
 
 // BenchmarkMapDBHTTPOwner measures one owner query through the full
 // HTTP/JSON surface (mux, instrumentation, encoding).

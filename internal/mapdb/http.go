@@ -2,6 +2,7 @@ package mapdb
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"strconv"
 	"strings"
@@ -247,7 +248,12 @@ func (a *api) handleDiff(w http.ResponseWriter, r *http.Request) bool {
 	}
 	d, err := a.store.Diff(from, to)
 	if err != nil {
-		WriteError(w, http.StatusNotFound, "unknown_generation", err.Error())
+		var br *BadRangeError
+		if errors.As(err, &br) {
+			WriteError(w, http.StatusBadRequest, "bad_range", err.Error())
+		} else {
+			WriteError(w, http.StatusNotFound, "unknown_generation", err.Error())
+		}
 		return false
 	}
 	changes := make([]struct {

@@ -1,11 +1,16 @@
 package mapdb
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
+	"reflect"
 	"sort"
 
+	"bdrmap/internal/core"
 	"bdrmap/internal/eval"
+	"bdrmap/internal/obs"
 	"bdrmap/internal/scamper"
 	"bdrmap/internal/topo"
 )
@@ -17,6 +22,14 @@ import (
 // and deterministic — round r of (profile, seed) always provisions and
 // de-provisions the same interconnects — so generation diffs are
 // reproducible test and demo material rather than flake.
+//
+// With Incremental set, rounds after the first reuse the previous round's
+// measurement memory: the doubletree stop set persists in each VP's
+// scamper.RoundState, targets whose path signature is unchanged replay
+// their cached traces without spending probes, and inference splices prior
+// attributions for routers far from every changed address (core.Input.Prev
+// + Dataset.Dirty). Verify cross-checks every incremental round against a
+// from-scratch run on an identically mutated shadow world.
 
 // RoundsConfig configures one deterministic multi-round run.
 type RoundsConfig struct {
@@ -27,6 +40,27 @@ type RoundsConfig struct {
 	Rounds int
 	// Workers parallelizes probing within each round (default as scamper).
 	Workers int
+
+	// Incremental carries per-VP measurement state (stop set, trace
+	// transcripts, alias memos) and the previous inference result across
+	// rounds, so unchanged parts of the world are replayed rather than
+	// re-probed and re-inferred.
+	Incremental bool
+	// RefreshEvery forces a full re-walk of a target every N rounds even
+	// when its path signature is unchanged (0 means
+	// scamper.DefaultRefreshEvery; scamper.Disabled means never refresh).
+	// Only meaningful with Incremental.
+	RefreshEvery int
+	// Verify, with Incremental, runs every round a second time from
+	// scratch on an identically mutated shadow world and returns an error
+	// unless the incremental map is byte-identical: same served link set,
+	// same owner attributions, same per-VP trace fingerprints.
+	Verify bool
+	// Obs, if non-nil, replaces each round's scenario registry so driver
+	// and cache counters (rounds.cache.*, driver.traces_*) aggregate
+	// across rounds, and receives the rounds.round stage timer. The
+	// Verify shadow runs never report into it.
+	Obs *obs.Registry
 }
 
 // RoundEvent records what changed in the world before one generation was
@@ -34,6 +68,11 @@ type RoundsConfig struct {
 type RoundEvent struct {
 	Gen    int
 	Action string
+	// TraceFP fingerprints the round's measurement (every VP's trace
+	// transcript, in VP order); two rounds that observed identical paths
+	// carry the same fingerprint regardless of how many probes were spent
+	// reconfirming them.
+	TraceFP uint64
 }
 
 // RunRounds measures cfg.Rounds generations into store. Between rounds the
@@ -41,28 +80,131 @@ type RoundEvent struct {
 // (topo.AttachCustomer), even rounds de-provision one existing neighbor
 // (topo.Depeer) — mirroring the churn the CAIDA deployment tracks.
 func RunRounds(cfg RoundsConfig, store *Store) ([]RoundEvent, error) {
+	events, _, err := RunRoundsFull(cfg, store)
+	return events, err
+}
+
+// RunRoundsFull is RunRounds, additionally returning the final round's
+// scenario so callers (tslpmon, tests) can inspect the last generation's
+// datasets and results without recompiling them.
+func RunRoundsFull(cfg RoundsConfig, store *Store) ([]RoundEvent, *eval.Scenario, error) {
 	if cfg.Rounds < 1 {
-		return nil, fmt.Errorf("mapdb: Rounds must be >= 1, got %d", cfg.Rounds)
+		return nil, nil, fmt.Errorf("mapdb: Rounds must be >= 1, got %d", cfg.Rounds)
 	}
 	n := topo.Generate(cfg.Profile, cfg.Seed)
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x6d617064)) // "mapd"
+
+	// The Verify shadow world evolves in lockstep: same generator, same
+	// rng stream, same mutation schedule — so round r's scratch run sees
+	// bit-for-bit the world the incremental run measured.
+	var vn *topo.Network
+	var vrng *rand.Rand
+	if cfg.Incremental && cfg.Verify {
+		vn = topo.Generate(cfg.Profile, cfg.Seed)
+		vrng = rand.New(rand.NewSource(cfg.Seed ^ 0x6d617064))
+	}
+
+	// Cross-round incremental state: one RoundState per VP (stop set,
+	// trace transcripts, alias memos) plus the previous round's results
+	// for attribution splicing.
+	var states []*scamper.RoundState
+	var prevs []*core.Result
+	if cfg.Incremental {
+		states = make([]*scamper.RoundState, len(n.VPs))
+		for i := range states {
+			states[i] = scamper.NewRoundState()
+		}
+	}
+
+	scfg := scamper.Config{Workers: cfg.Workers, RefreshEvery: cfg.RefreshEvery}
 	var events []RoundEvent
+	var s *eval.Scenario
 	for r := 0; r < cfg.Rounds; r++ {
+		span := cfg.Obs.StartStage("rounds.round")
 		action := "baseline measurement"
 		if r > 0 {
 			var err error
 			action, err = mutateWorld(n, rng, r)
 			if err != nil {
-				return events, err
+				span.End()
+				return events, nil, err
 			}
 			n.Build()
+			if vn != nil {
+				if _, err := mutateWorld(vn, vrng, r); err != nil {
+					span.End()
+					return events, nil, err
+				}
+				vn.Build()
+			}
 		}
-		s := eval.BuildFromNetwork(n, cfg.Seed)
-		s.RunAll(scamper.Config{Workers: cfg.Workers})
-		store.Publish(Compile(n.HostASN, s.Results))
-		events = append(events, RoundEvent{Gen: store.Current().Gen(), Action: action})
+		s = eval.BuildFromNetwork(n, cfg.Seed)
+		if cfg.Obs != nil {
+			s.Obs = cfg.Obs
+			s.Engine.SetObs(cfg.Obs)
+		}
+		if cfg.Incremental {
+			s.RunAllIncremental(scfg, states, prevs)
+			prevs = s.Results
+		} else {
+			s.RunAll(scfg)
+		}
+		snap := Compile(n.HostASN, s.Results)
+		store.Publish(snap)
+		// The event names the generation of the snapshot just published —
+		// not store.Current().Gen(), which a concurrent publisher could
+		// have already advanced past ours.
+		ev := RoundEvent{Gen: snap.Gen(), Action: action, TraceFP: roundFingerprint(s.Datasets)}
+		if vn != nil {
+			if err := verifyRound(cfg, r, vn, s, snap); err != nil {
+				span.End()
+				return events, nil, err
+			}
+		}
+		events = append(events, ev)
+		span.End()
 	}
-	return events, nil
+	return events, s, nil
+}
+
+// roundFingerprint folds the per-VP trace fingerprints (VP order) into one
+// round identity.
+func roundFingerprint(dss []*scamper.Dataset) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, ds := range dss {
+		if ds == nil {
+			continue
+		}
+		binary.LittleEndian.PutUint64(b[:], ds.TraceFingerprint())
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// verifyRound is the mandatory equivalence mode: a from-scratch run on the
+// shadow world must produce byte-identical traces, owner attributions, and
+// served links. Any divergence is a bug in the incremental engine, not a
+// degradation to tolerate — hence an error, not a metric.
+func verifyRound(cfg RoundsConfig, r int, vn *topo.Network, s *eval.Scenario, snap *Snapshot) error {
+	vs := eval.BuildFromNetwork(vn, cfg.Seed)
+	vs.RunAll(scamper.Config{Workers: cfg.Workers})
+	vsnap := Compile(vn.HostASN, vs.Results)
+	for i := range s.Datasets {
+		got, want := s.Datasets[i].TraceFingerprint(), vs.Datasets[i].TraceFingerprint()
+		if got != want {
+			return fmt.Errorf("mapdb: round %d VP %d: incremental trace fingerprint %016x != scratch %016x", r, i, got, want)
+		}
+	}
+	if !reflect.DeepEqual(snap.links, vsnap.links) {
+		return fmt.Errorf("mapdb: round %d: incremental link set diverged from scratch (%d vs %d links)",
+			r, len(snap.links), len(vsnap.links))
+	}
+	if !reflect.DeepEqual(snap.ownerAddrs, vsnap.ownerAddrs) || !reflect.DeepEqual(snap.owners, vsnap.owners) {
+		return fmt.Errorf("mapdb: round %d: incremental owner attributions diverged from scratch (%d vs %d addrs)",
+			r, len(snap.ownerAddrs), len(vsnap.ownerAddrs))
+	}
+	return nil
 }
 
 // mutateWorld applies round r's deterministic churn and describes it.
@@ -87,7 +229,9 @@ func mutateWorld(n *topo.Network, rng *rand.Rand, r int) (string, error) {
 	return fmt.Sprintf("de-provisioned %d link(s) to %v", removed, victim), nil
 }
 
-// hostBorder returns the first host-side border router, or -1.
+// hostBorder returns the first host-side border router, or -1. "First" is
+// well-defined: InterdomainLinks is fully ordered by (NearRtr, FarRtr,
+// first interface address).
 func hostBorder(n *topo.Network) topo.RouterID {
 	for _, lt := range n.InterdomainLinks(n.HostASN) {
 		return lt.NearRtr

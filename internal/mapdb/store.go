@@ -110,11 +110,42 @@ func (st *Store) Generations() []int {
 	return out
 }
 
+// BadRangeError reports a structurally invalid diff request: a diff runs
+// forward in time, so `from` must name a strictly earlier generation than
+// `to`. It maps to HTTP 400 — no history window could ever satisfy the
+// request.
+type BadRangeError struct {
+	From, To int
+}
+
+func (e *BadRangeError) Error() string {
+	if e.From == e.To {
+		return fmt.Sprintf("mapdb: diff range is empty: from and to are both generation %d", e.From)
+	}
+	return fmt.Sprintf("mapdb: diff range is reversed: from %d must be earlier than to %d", e.From, e.To)
+}
+
+// NotRetainedError reports a generation that fell out of the store's
+// bounded history (or was never published). It maps to HTTP 404 — the
+// request was well-formed but the data is gone.
+type NotRetainedError struct {
+	Gen int
+}
+
+func (e *NotRetainedError) Error() string {
+	return fmt.Sprintf("mapdb: generation %d not retained", e.Gen)
+}
+
 // Diff returns the change from generation `from` to generation `to`. The
 // adjacent diff computed at Publish time is served from cache; any other
-// retained pair is computed on demand. Both generations must still be in
-// the history window.
+// retained pair is computed on demand. `from` must be strictly earlier
+// than `to` (*BadRangeError otherwise) and both generations must still be
+// in the history window (*NotRetainedError otherwise, naming the earliest
+// missing generation).
 func (st *Store) Diff(from, to int) (*GenDiff, error) {
+	if from >= to {
+		return nil, &BadRangeError{From: from, To: to}
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if from == to-1 {
@@ -132,10 +163,10 @@ func (st *Store) Diff(from, to int) (*GenDiff, error) {
 		}
 	}
 	if a == nil {
-		return nil, fmt.Errorf("mapdb: generation %d not retained", from)
+		return nil, &NotRetainedError{Gen: from}
 	}
 	if b == nil {
-		return nil, fmt.Errorf("mapdb: generation %d not retained", to)
+		return nil, &NotRetainedError{Gen: to}
 	}
 	return diffSnapshots(a, b), nil
 }

@@ -40,6 +40,16 @@ type Config struct {
 	// exceeding it reports the target lost instead of hanging the run.
 	// Zero disables the cutoff (it is off for deterministic golden runs).
 	TargetTimeout time.Duration
+	// State enables cross-round incremental probing: the driver replays
+	// the previous round's per-target transcripts wherever path signatures
+	// are unchanged, persisting the doubletree stop set (§5.2) across
+	// rounds instead of rebuilding it. Requires a SignatureProber; it is
+	// silently ignored for probers that cannot sign paths (remote agents).
+	State *RoundState
+	// RefreshEvery forces a full live re-walk of each cached target every
+	// N rounds so decayed paths are still re-walked (default
+	// DefaultRefreshEvery; Disabled never refreshes).
+	RefreshEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -57,6 +67,12 @@ func (c Config) withDefaults() Config {
 		c.MaxPairsPerAddr = 0
 	case c.MaxPairsPerAddr == 0:
 		c.MaxPairsPerAddr = 6
+	}
+	switch {
+	case c.RefreshEvery == Disabled:
+		c.RefreshEvery = 0 // never refresh
+	case c.RefreshEvery == 0:
+		c.RefreshEvery = DefaultRefreshEvery
 	}
 	return c
 }
@@ -80,6 +96,12 @@ type Dataset struct {
 	Resolver *alias.Resolver
 	Graph    *alias.Graph
 	Stats    RunStats
+	// Dirty is the set of interface addresses whose trace evidence changed
+	// since the previous round: every address appearing in the current or
+	// prior transcript of any target that was not served fully from cache.
+	// It is nil when cross-round caching is off — consumers must treat nil
+	// as "everything is dirty".
+	Dirty map[netx.Addr]bool
 }
 
 // RunStats summarizes the probing effort.
@@ -93,6 +115,20 @@ type RunStats struct {
 	// TargetsLost counts targets abandoned because the prober's session
 	// died or the per-target timeout fired (graceful degradation).
 	TargetsLost int
+	// TracesLive / TracesCached split Traces when cross-round caching is
+	// active (Config.State): a cached trace was replayed from the previous
+	// round's transcript without spending a single probe packet.
+	TracesLive   int
+	TracesCached int
+	// CacheHits / CacheMisses / CacheRefreshes count whole targets served
+	// entirely from cache, re-walked (no memo, changed plan, or signature
+	// divergence), or force-re-walked by the refresh cadence.
+	CacheHits      int
+	CacheMisses    int
+	CacheRefreshes int
+	// AliasOpsReplayed counts alias-stage operations (Mercator probes,
+	// Ally resolutions, Prefixscans) replayed from the cross-round memo.
+	AliasOpsReplayed int
 	// SimDuration is how much simulated measurement time the run took
 	// (the paper reports 12-48h wall-clock at 100 packets/second).
 	SimDuration time.Duration
@@ -177,6 +213,44 @@ func (d *Driver) Run() *Dataset {
 	ds.Stats.Targets = len(targets)
 	d.Obs.Add("driver.targets", int64(len(targets)))
 
+	// Cross-round cache setup: validate each target's prior transcript
+	// (plan unchanged, refresh cadence not due) single-threaded before the
+	// workers start; the workers only read their own replay slot.
+	st := cfg.State
+	var replays []*targetReplay
+	if st != nil {
+		sp, ok := d.Prober.(SignatureProber)
+		if !ok {
+			st = nil
+		} else {
+			st.round++
+			replays = make([]*targetReplay, len(targets))
+			for i, t := range targets {
+				key := blocksKey(t.Blocks)
+				rp := &targetReplay{sp: sp, next: &targetMemo{blocksKey: key, lastWalk: st.round}}
+				if m := st.targets[t.AS]; m != nil {
+					rp.all = m.traces
+					switch {
+					case m.blocksKey != key:
+						// The §5.3 block plan moved; the transcript no
+						// longer describes this round's schedule.
+					case cfg.RefreshEvery > 0 && st.round-m.lastWalk >= cfg.RefreshEvery:
+						rp.refresh = true
+					default:
+						rp.prior = m
+					}
+				}
+				replays[i] = rp
+			}
+		}
+	}
+	rpAt := func(i int) *targetReplay {
+		if replays == nil {
+			return nil
+		}
+		return replays[i]
+	}
+
 	probeSpan := d.Obs.StartStage("driver.probe")
 	results := make([][]TraceRecord, len(targets))
 	stopped := make([]int, len(targets))
@@ -214,7 +288,7 @@ func (d *Driver) Run() *Dataset {
 					return lp.TraceLane(dst, ss, lane)
 				}
 				for i := w; i < len(targets); i += cfg.Workers {
-					results[i], stopped[i], lost[i] = d.probeTarget(targets[i], cfg, trace, newFrag(i), lane.Now)
+					results[i], stopped[i], lost[i] = d.probeTarget(targets[i], cfg, trace, newFrag(i), lane.Now, rpAt(i))
 				}
 				simEnd.Observe(int64(lane.Now()))
 			}(w)
@@ -241,7 +315,7 @@ func (d *Driver) Run() *Dataset {
 				// No per-worker lane here: events carry SimNS 0 (reading the
 				// remote clock per event would perturb the frame stream the
 				// fault goldens pin) and order by sequence number alone.
-				recs, nStopped, wasLost := d.probeTarget(t, cfg, d.Prober.Trace, frag, nil)
+				recs, nStopped, wasLost := d.probeTarget(t, cfg, d.Prober.Trace, frag, nil, rpAt(i))
 				mu.Lock()
 				results[i] = recs
 				stopped[i] = nStopped
@@ -265,6 +339,75 @@ func (d *Driver) Run() *Dataset {
 	for _, tr := range ds.Traces {
 		ds.Stats.HopsObserved += len(tr.Hops)
 	}
+
+	// Fold this round's transcripts back into the cross-round state
+	// (single-threaded, after the barrier) and derive the dirty-address
+	// set the alias stage and the inference core key their replay off.
+	if st != nil {
+		dirty := make(map[netx.Addr]bool)
+		markDirty := func(recs []TraceRecord) {
+			for _, rec := range recs {
+				for _, h := range rec.Hops {
+					if h.Type == probe.HopTimeout || h.Addr.IsZero() {
+						continue
+					}
+					dirty[h.Addr] = true
+				}
+			}
+		}
+		cachedRecs := func(cts []cachedTrace) []TraceRecord {
+			out := make([]TraceRecord, 0, len(cts))
+			for _, ct := range cts {
+				out = append(out, ct.rec)
+			}
+			return out
+		}
+		for i, rp := range replays {
+			ds.Stats.TracesLive += rp.live
+			ds.Stats.TracesCached += rp.hits
+			if rp.fullHit() {
+				ds.Stats.CacheHits++
+				rp.next.lastWalk = rp.prior.lastWalk // no live walk happened
+				st.targets[targets[i].AS] = rp.next
+				d.Obs.Inc("rounds.cache.hit")
+				continue
+			}
+			if rp.refresh {
+				ds.Stats.CacheRefreshes++
+				d.Obs.Inc("rounds.cache.refresh")
+			} else {
+				ds.Stats.CacheMisses++
+				d.Obs.Inc("rounds.cache.miss")
+			}
+			// The target's evidence changed: everything on the new paths
+			// and everything the old paths traversed is dirty — a router
+			// can lose a trace without appearing in its replacement.
+			markDirty(results[i])
+			markDirty(cachedRecs(rp.all))
+			if lost[i] || rp.faulted() {
+				// Keep the previous transcript (if any): a dead session or
+				// an injected fault is transport state, not a changed world.
+				continue
+			}
+			st.targets[targets[i].AS] = rp.next
+		}
+		// Targets that vanished from the plan leave stale memos behind;
+		// their addresses are dirty and the memos are dropped.
+		alive := make(map[topo.ASN]bool, len(targets))
+		for _, t := range targets {
+			alive[t.AS] = true
+		}
+		for as, m := range st.targets {
+			if !alive[as] {
+				markDirty(cachedRecs(m.traces))
+				delete(st.targets, as)
+			}
+		}
+		ds.Dirty = dirty
+		d.Obs.Add("driver.traces_live", int64(ds.Stats.TracesLive))
+		d.Obs.Add("driver.traces_cached", int64(ds.Stats.TracesCached))
+	}
+
 	d.Obs.Add("driver.traces", int64(ds.Stats.Traces))
 	d.Obs.Add("driver.traces_stopped", int64(ds.Stats.TracesStopped))
 	d.Obs.Add("driver.hops_observed", int64(ds.Stats.HopsObserved))
@@ -275,7 +418,7 @@ func (d *Driver) Run() *Dataset {
 
 	aliasSpan := d.Obs.StartStage("driver.alias")
 	aliasStart := d.now()
-	d.resolveAliases(ds, cfg)
+	d.resolveAliases(ds, cfg, st)
 	aliasSim := d.now() - aliasStart
 	if aliasSim < 0 {
 		// A lost remote session reads its clock as zero; don't let that
@@ -343,7 +486,7 @@ func (d *Driver) isExternal(addr netx.Addr) bool {
 // It returns early — reporting the target lost — when the prober's session
 // dies or the per-target timeout fires, so one dead VP degrades the run
 // instead of hanging it.
-func (d *Driver) probeTarget(t Target, cfg Config, trace func(netx.Addr, map[netx.Addr]bool) probe.TraceResult, frag *obs.Tracer, now func() time.Duration) (recs []TraceRecord, nStopped int, targetLost bool) {
+func (d *Driver) probeTarget(t Target, cfg Config, trace func(netx.Addr, map[netx.Addr]bool) probe.TraceResult, frag *obs.Tracer, now func() time.Duration, rp *targetReplay) (recs []TraceRecord, nStopped int, targetLost bool) {
 	// Event timestamps are relative to this target's own start: trace
 	// pacing is a pure function of hop counts, so the relative times are
 	// identical no matter which worker (and absolute lane time) ran the
@@ -365,7 +508,7 @@ func (d *Driver) probeTarget(t Target, cfg Config, trace func(netx.Addr, map[net
 		return recs, nStopped, true
 	}
 	stopSet := make(map[netx.Addr]bool)
-	for _, b := range t.Blocks {
+	for bi, b := range t.Blocks {
 		tried := 0
 		for tried < cfg.MaxAddrsPerBlock {
 			if !d.healthy() {
@@ -383,13 +526,37 @@ func (d *Driver) probeTarget(t Target, cfg Config, trace func(netx.Addr, map[net
 			if !cfg.DisableStopSet {
 				ss = stopSet
 			}
-			res := trace(dst, ss)
-			if len(res.Hops) == 0 && !d.healthy() {
-				// The session died mid-command; this empty trace is a
-				// transport artifact, not a measurement.
-				return abandon()
+			// Replay the prior round's transcript while it still matches
+			// this schedule position and the destination's path signature;
+			// a replayed trace spends zero probe packets. Everything after
+			// the splice — stop-set insertion, the §5.3 retry decision —
+			// runs the live code on the replayed result, so the control
+			// flow (and therefore the stop set) evolves exactly as a
+			// from-scratch walk would.
+			var res probe.TraceResult
+			var sig uint64
+			cached := false
+			if rp != nil {
+				if ct, ok := rp.take(bi, dst); ok {
+					res, sig, cached = ct.rec.TraceResult, ct.sig, true
+				}
+			}
+			if !cached {
+				res = trace(dst, ss)
+				if len(res.Hops) == 0 && !d.healthy() {
+					// The session died mid-command; this empty trace is a
+					// transport artifact, not a measurement.
+					return abandon()
+				}
+				if rp != nil {
+					rp.live++
+					sig = rp.sp.PathSignature(dst)
+				}
 			}
 			recs = append(recs, TraceRecord{TraceResult: res, TargetAS: t.AS})
+			if rp != nil {
+				rp.record(bi, dst, sig, TraceRecord{TraceResult: res, TargetAS: t.AS})
+			}
 			if frag.Enabled() {
 				attrs := []obs.Attr{
 					obs.KV("target", t.AS.String()),
@@ -404,6 +571,9 @@ func (d *Driver) probeTarget(t Target, cfg Config, trace func(netx.Addr, map[net
 				}
 				if res.FaultDropped > 0 {
 					attrs = append(attrs, obs.KV("fault_drops", res.FaultDropped))
+				}
+				if cached {
+					attrs = append(attrs, obs.KV("cached", true))
 				}
 				frag.Emit(obs.StageProbe, "trace", dst.String(), rel(), attrs...)
 			}
@@ -477,7 +647,16 @@ func hopClass(t probe.HopType) string {
 // addresses (§5.3): a Mercator sweep over every address, Ally on candidate
 // pairs sharing a traceroute predecessor, and Prefixscan on every observed
 // (previous hop, address) edge.
-func (d *Driver) resolveAliases(ds *Dataset, cfg Config) {
+//
+// With cross-round state (st non-nil), operations whose every address is
+// clean — appeared only in fully-replayed targets — are replayed from the
+// previous round's memo instead of probing: replay re-Records the same
+// verdicts in the same order, so the resolver (and the alias graph built
+// from it) ends in exactly the state a live run would reach. Any operation
+// touching a dirty address runs live. The memo is rebuilt from this
+// round's operations on every pass, so entries for vanished addresses and
+// edges age out immediately.
+func (d *Driver) resolveAliases(ds *Dataset, cfg Config, st *RoundState) {
 	res := alias.NewResolver(proberSource{d.Prober}, cfg.AliasCfg)
 	res.Trace = d.Trace
 	if lp, ok := d.Prober.(LocalProber); ok {
@@ -529,6 +708,33 @@ func (d *Driver) resolveAliases(ds *Dataset, cfg Config) {
 		return
 	}
 
+	// Cross-round memo plumbing. The new maps replace the old ones even on
+	// an aborted stage (via defer), so stale entries never survive a round
+	// they were not revalidated in.
+	var newMerc map[netx.Addr]mercMemo
+	var newPairs map[apair]alias.Verdict
+	var newScans map[apair]scanMemo
+	if st != nil {
+		newMerc = make(map[netx.Addr]mercMemo)
+		newPairs = make(map[apair]alias.Verdict)
+		newScans = make(map[apair]scanMemo)
+		defer func() {
+			st.mercator, st.pairs, st.scans = newMerc, newPairs, newScans
+			d.Obs.Add("rounds.alias.replayed", int64(ds.Stats.AliasOpsReplayed))
+		}()
+	}
+	canReplay := func(as ...netx.Addr) bool {
+		if st == nil || ds.Dirty == nil {
+			return false
+		}
+		for _, a := range as {
+			if ds.Dirty[a] {
+				return false
+			}
+		}
+		return true
+	}
+
 	// Mercator sweep: group addresses by common port-unreachable source.
 	addrs := make([]netx.Addr, 0, len(addrSet))
 	for a := range addrSet {
@@ -541,8 +747,30 @@ func (d *Driver) resolveAliases(ds *Dataset, cfg Config) {
 			ds.Graph = alias.FromResolver(res)
 			return
 		}
+		if canReplay(a) {
+			if m, ok := st.mercator[a]; ok {
+				newMerc[a] = m
+				ds.Stats.AliasOpsReplayed++
+				if m.hit {
+					res.Record(a, m.from, alias.AliasYes)
+					d.Obs.Inc("driver.alias.mercator_hits")
+					d.Trace.Emit(obs.StageAlias, "mercator", a.String(), res.NowNS(),
+						obs.KV("from", m.from.String()), obs.KV("verdict", "alias"),
+						obs.KV("cached", true))
+				}
+				continue
+			}
+		}
 		r := d.Prober.Probe(a, probe.MethodUDP)
-		if r.OK && r.From != a && !r.From.IsZero() {
+		hit := r.OK && r.From != a && !r.From.IsZero()
+		if st != nil {
+			m := mercMemo{hit: hit}
+			if hit {
+				m.from = r.From
+			}
+			newMerc[a] = m
+		}
+		if hit {
 			res.Record(a, r.From, alias.AliasYes)
 			d.Obs.Inc("driver.alias.mercator_hits")
 			d.Trace.Emit(obs.StageAlias, "mercator", a.String(), res.NowNS(),
@@ -568,7 +796,27 @@ func (d *Driver) resolveAliases(ds *Dataset, cfg Config) {
 		limit := cfg.MaxPairsPerAddr
 		for i := 0; i < len(succ) && limit > 0; i++ {
 			for j := i + 1; j < len(succ) && limit > 0; j++ {
-				switch res.Resolve(succ[i], succ[j]) {
+				a, b := succ[i], succ[j]
+				var v alias.Verdict
+				replayed := false
+				if canReplay(a, b) {
+					if mv, ok := st.pairs[mkpair(a, b)]; ok {
+						v, replayed = mv, true
+						newPairs[mkpair(a, b)] = mv
+						ds.Stats.AliasOpsReplayed++
+						// Re-Record the memoized verdict: Resolve records
+						// only its own pair's final verdict, so this
+						// reconstructs the exact resolver state.
+						res.Record(a, b, mv)
+					}
+				}
+				if !replayed {
+					v = res.Resolve(a, b)
+					if st != nil {
+						newPairs[mkpair(a, b)] = v
+					}
+				}
+				switch v {
 				case alias.AliasYes:
 					d.Obs.Inc("driver.alias.ally_yes")
 				case alias.AliasNo:
@@ -588,7 +836,28 @@ func (d *Driver) resolveAliases(ds *Dataset, cfg Config) {
 			d.Obs.Inc("driver.alias.aborted")
 			break
 		}
-		if mate, ok := res.Prefixscan(e.prev, e.cur); ok {
+		ekey := apair{e.prev, e.cur}
+		if canReplay(e.prev, e.cur) {
+			if sm, ok := st.scans[ekey]; ok {
+				newScans[ekey] = sm
+				ds.Stats.AliasOpsReplayed++
+				for _, pv := range sm.tried {
+					res.Record(pv.A, pv.B, pv.V)
+				}
+				if sm.ok {
+					d.Obs.Inc("driver.alias.prefixscan_hits")
+					d.Trace.Emit(obs.StageAlias, "prefixscan", e.prev.String()+"|"+e.cur.String(),
+						res.NowNS(), obs.KV("mate", sm.mate.String()), obs.KV("cached", true))
+				}
+				pairs++
+				continue
+			}
+		}
+		mate, ok, tried := res.PrefixscanTrace(e.prev, e.cur)
+		if st != nil {
+			newScans[ekey] = scanMemo{mate: mate, ok: ok, tried: tried}
+		}
+		if ok {
 			d.Obs.Inc("driver.alias.prefixscan_hits")
 			d.Trace.Emit(obs.StageAlias, "prefixscan", e.prev.String()+"|"+e.cur.String(),
 				res.NowNS(), obs.KV("mate", mate.String()))

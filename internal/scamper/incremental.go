@@ -1,0 +1,224 @@
+package scamper
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"bdrmap/internal/alias"
+	"bdrmap/internal/netx"
+	"bdrmap/internal/topo"
+)
+
+// Cross-round measurement memory (the incremental round engine).
+//
+// The paper's doubletree stop set (§5.2) exists so repeated probing does
+// not re-walk unchanged paths. A RoundState extends that memory across
+// rounds: per target AS it keeps the full probing transcript of the last
+// walk — every destination probed, the trace it produced, and a path
+// signature (probe.Engine.PathSignature) capturing the hop sequence the
+// world would produce for that destination today. Round N+1 replays the
+// transcript destination by destination while the signatures still match:
+// a replayed trace costs zero probe packets, re-derives the same stop-set
+// entries, and drives the §5.3 retry rule through exactly the control flow
+// a from-scratch walk would take. The first signature mismatch abandons
+// the replay and probes the rest of the target live, seeded with the
+// stop-set state the replayed prefix accumulated — which, by induction, is
+// the state a scratch walk would have reached at the same point. That
+// prefix-replay discipline is what makes the incremental map byte-identical
+// to a from-scratch run (mapdb's equivalence mode asserts it).
+//
+// A configurable refresh cadence (Config.RefreshEvery) forces a full
+// re-walk of each cached target every N rounds, so decayed paths a
+// signature oracle could not see in a real deployment are still re-walked.
+//
+// The alias stage has its own memory: the outcome of every Mercator sweep
+// probe, every Resolve pair, and every Prefixscan (with the pair verdicts
+// it recorded along the way) is memoized, and replayed for addresses that
+// appeared only in fully-replayed targets. Replay re-Records the same
+// verdicts in the same order, so the resolver's positive/negative maps —
+// and therefore the alias graph the inference core consumes — are
+// identical to a live run's.
+
+// DefaultRefreshEvery is the refresh cadence when Config.State is set and
+// Config.RefreshEvery is zero: every cached target is fully re-walked at
+// least every 8 rounds.
+const DefaultRefreshEvery = 8
+
+// SignatureProber is implemented by probers that can fingerprint the path
+// a traceroute would take without sending packets (LocalProber, via
+// probe.Engine.PathSignature). Cross-round caching requires it; a prober
+// without signatures (e.g. a remote agent) silently disables the cache.
+type SignatureProber interface {
+	Prober
+	PathSignature(dst netx.Addr) uint64
+}
+
+// RoundState carries one vantage point's measurement memory across rounds.
+// It is owned by a single Driver at a time and must not be shared between
+// concurrently running drivers. The zero value is not usable; call
+// NewRoundState.
+type RoundState struct {
+	round   int
+	targets map[topo.ASN]*targetMemo
+
+	mercator map[netx.Addr]mercMemo
+	pairs    map[apair]alias.Verdict
+	scans    map[apair]scanMemo
+}
+
+// NewRoundState creates empty cross-round state for one vantage point.
+func NewRoundState() *RoundState {
+	return &RoundState{
+		targets:  make(map[topo.ASN]*targetMemo),
+		mercator: make(map[netx.Addr]mercMemo),
+		pairs:    make(map[apair]alias.Verdict),
+		scans:    make(map[apair]scanMemo),
+	}
+}
+
+// Round returns the number of driver runs this state has accumulated.
+func (st *RoundState) Round() int { return st.round }
+
+// targetMemo is the cached probing transcript of one target AS.
+type targetMemo struct {
+	blocksKey uint64        // fingerprint of the §5.3 block plan
+	traces    []cachedTrace // in schedule order
+	lastWalk  int           // round of the last live (non-replayed) walk
+}
+
+// cachedTrace is one destination's position in the schedule, its trace,
+// and the path signature the world produced when it was recorded.
+type cachedTrace struct {
+	blockIdx int
+	dst      netx.Addr
+	sig      uint64
+	rec      TraceRecord
+}
+
+// mercMemo is the outcome of one Mercator sweep probe.
+type mercMemo struct {
+	hit  bool
+	from netx.Addr
+}
+
+// scanMemo is the outcome of one Prefixscan, with the pair verdicts it
+// recorded along the way (the replay substrate).
+type scanMemo struct {
+	mate  netx.Addr
+	ok    bool
+	tried []alias.PairVerdict
+}
+
+// apair is a canonically ordered address pair (memo key).
+type apair [2]netx.Addr
+
+func mkpair(a, b netx.Addr) apair {
+	if a < b {
+		return apair{a, b}
+	}
+	return apair{b, a}
+}
+
+// blocksKey fingerprints a target's block plan; a changed plan (the BGP
+// view moved a prefix) invalidates the whole transcript.
+func blocksKey(blocks []netx.Block) uint64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	for _, b := range blocks {
+		putUint64(buf[:8], uint64(b.First))
+		putUint64(buf[8:], uint64(b.Last))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// targetReplay drives one target's replay during one round. The prior
+// transcript is consumed strictly in schedule order; the first mismatch
+// (position or signature) diverges and everything after runs live.
+type targetReplay struct {
+	sp      SignatureProber
+	prior   *targetMemo   // validated transcript to replay; nil → all live
+	all     []cachedTrace // the pre-existing transcript even when not replayable
+	refresh bool          // replay suppressed by the refresh cadence
+
+	cursor   int
+	diverged bool
+	hits     int
+	live     int
+	next     *targetMemo // transcript being built this round
+}
+
+// take returns the cached trace for schedule position (blockIdx, dst) when
+// the replay is still aligned and the destination's path signature is
+// unchanged. Any mismatch diverges the replay permanently.
+func (rp *targetReplay) take(blockIdx int, dst netx.Addr) (cachedTrace, bool) {
+	if rp.diverged || rp.prior == nil || rp.cursor >= len(rp.prior.traces) {
+		rp.diverged = true
+		return cachedTrace{}, false
+	}
+	ct := rp.prior.traces[rp.cursor]
+	if ct.blockIdx != blockIdx || ct.dst != dst || rp.sp.PathSignature(dst) != ct.sig {
+		rp.diverged = true
+		return cachedTrace{}, false
+	}
+	rp.cursor++
+	rp.hits++
+	return ct, true
+}
+
+// record appends one trace (replayed or live) to this round's transcript.
+func (rp *targetReplay) record(blockIdx int, dst netx.Addr, sig uint64, rec TraceRecord) {
+	rp.next.traces = append(rp.next.traces, cachedTrace{
+		blockIdx: blockIdx, dst: dst, sig: sig, rec: rec,
+	})
+}
+
+// fullHit reports whether the whole target was served from cache: every
+// cached trace replayed, nothing probed live.
+func (rp *targetReplay) fullHit() bool {
+	return rp.prior != nil && !rp.diverged && rp.live == 0 &&
+		rp.cursor == len(rp.prior.traces)
+}
+
+// faulted reports whether any trace recorded this round carries injected
+// fault drops; such transcripts are not cached (a fault is responder
+// state, invisible to the path signature).
+func (rp *targetReplay) faulted() bool {
+	for _, ct := range rp.next.traces {
+		if ct.rec.FaultDropped > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// TraceFingerprint hashes the dataset's traces down to one value: FNV-1a
+// over the sorted (target AS, destination, hop path) lines, with the
+// stop-set truncation flag. IP-IDs and RTTs are deliberately excluded —
+// they are responder state, vary across worker counts and rounds, and are
+// never consumed by inference. Replayed traces therefore contribute
+// exactly what their live counterparts would, which makes this the
+// trace-level identity the incremental equivalence mode compares.
+func (ds *Dataset) TraceFingerprint() uint64 {
+	lines := make([]string, 0, len(ds.Traces))
+	for _, tr := range ds.Traces {
+		s := tr.TargetAS.String() + "|" + tr.Dst.String() + "|" + pathString(tr.TraceResult)
+		if tr.Stopped {
+			s += "|s"
+		}
+		lines = append(lines, s)
+	}
+	sort.Strings(lines)
+	h := fnv.New64a()
+	for _, l := range lines {
+		h.Write([]byte(l))
+		h.Write([]byte{'\n'})
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,322 @@
+package scamper
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"bdrmap/internal/alias"
+	"bdrmap/internal/netx"
+	"bdrmap/internal/obs"
+	"bdrmap/internal/probe"
+	"bdrmap/internal/topo"
+)
+
+func newIncSetup(t *testing.T, seed int64, st *RoundState, reg *obs.Registry) *Driver {
+	t.Helper()
+	n, e, view, hosts := setup(t, seed)
+	e.SetObs(reg)
+	return &Driver{
+		View:     view,
+		Prober:   LocalProber{E: e, VP: n.VPs[0]},
+		HostASNs: hosts,
+		Cfg:      Config{State: st},
+		Obs:      reg,
+	}
+}
+
+// An unchanged world must replay every target from cache: zero live
+// traces, zero probe packets, and a dataset whose traces, alias verdicts,
+// and fingerprint are identical to the first round's.
+func TestIncrementalUnchangedWorldFullHit(t *testing.T) {
+	st := NewRoundState()
+	reg1 := obs.New()
+	d1 := newIncSetup(t, 7, st, reg1)
+	ds1 := d1.Run()
+	if ds1.Stats.TracesLive != ds1.Stats.Traces || ds1.Stats.TracesCached != 0 {
+		t.Fatalf("round 1 should be all live: %+v", ds1.Stats)
+	}
+	if got := reg1.Snapshot().Counter("rounds.cache.miss"); got != int64(ds1.Stats.Targets) {
+		t.Fatalf("round 1 misses = %d, want %d", got, ds1.Stats.Targets)
+	}
+
+	reg2 := obs.New()
+	d2 := newIncSetup(t, 7, st, reg2)
+	ds2 := d2.Run()
+	if ds2.Stats.TracesLive != 0 {
+		t.Fatalf("round 2 ran %d live traces on an unchanged world", ds2.Stats.TracesLive)
+	}
+	if ds2.Stats.TracesCached != ds2.Stats.Traces || ds2.Stats.Traces != ds1.Stats.Traces {
+		t.Fatalf("round 2 cache split wrong: %+v vs round1 %+v", ds2.Stats, ds1.Stats)
+	}
+	if ds2.Stats.CacheHits != ds2.Stats.Targets {
+		t.Fatalf("cache hits = %d, want %d", ds2.Stats.CacheHits, ds2.Stats.Targets)
+	}
+	snap := reg2.Snapshot()
+	if got := snap.Counter("rounds.cache.hit"); got != int64(ds2.Stats.Targets) {
+		t.Fatalf("rounds.cache.hit = %d, want %d", got, ds2.Stats.Targets)
+	}
+	if got := snap.Counter("probe.packets_sent"); got != 0 {
+		t.Fatalf("unchanged world still sent %d probe packets", got)
+	}
+	if len(ds2.Dirty) != 0 {
+		t.Fatalf("unchanged world marked %d addresses dirty", len(ds2.Dirty))
+	}
+	if ds1.TraceFingerprint() != ds2.TraceFingerprint() {
+		t.Fatal("trace fingerprints differ between live and replayed rounds")
+	}
+	if !reflect.DeepEqual(stripVolatile(ds1.Traces), stripVolatile(ds2.Traces)) {
+		t.Fatal("replayed traces differ from live traces")
+	}
+	if !sameVerdicts(ds1.Resolver, ds2.Resolver) {
+		t.Fatal("alias verdicts differ between live and replayed rounds")
+	}
+	if ds2.Stats.AliasOpsReplayed == 0 {
+		t.Fatal("no alias operations replayed on an unchanged world")
+	}
+}
+
+// sameVerdicts compares two resolvers' recorded verdict sets (order-free:
+// Positives/Negatives iterate maps). The alias graph is a pure function of
+// these sets, so equal verdicts imply equal router groupings.
+func sameVerdicts(a, b *alias.Resolver) bool {
+	sortPairs := func(ps [][2]netx.Addr) [][2]netx.Addr {
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i][0] != ps[j][0] {
+				return ps[i][0] < ps[j][0]
+			}
+			return ps[i][1] < ps[j][1]
+		})
+		return ps
+	}
+	return reflect.DeepEqual(sortPairs(a.Positives()), sortPairs(b.Positives())) &&
+		reflect.DeepEqual(sortPairs(a.Negatives()), sortPairs(b.Negatives()))
+}
+
+// stripVolatile zeroes the per-responder state (IP-ID, RTT) that replay
+// intentionally freezes; inference never reads it.
+func stripVolatile(recs []TraceRecord) []TraceRecord {
+	out := make([]TraceRecord, len(recs))
+	for i, r := range recs {
+		hops := make([]probe.Hop, len(r.Hops))
+		for j, h := range r.Hops {
+			h.IPID, h.RTT = 0, 0
+			hops[j] = h
+		}
+		r.Hops = hops
+		r.TraceResult.Hops = hops
+		out[i] = r
+	}
+	return out
+}
+
+// A mutated world must diverge exactly where paths changed and produce a
+// dataset identical to a from-scratch run on the same world, while the
+// dirty set covers every address whose trace evidence changed.
+func TestIncrementalMutatedWorldMatchesScratch(t *testing.T) {
+	st := NewRoundState()
+	// Round 1 on the base world.
+	n1, e1, view1, hosts1 := setup(t, 9)
+	d1 := &Driver{View: view1, Prober: LocalProber{E: e1, VP: n1.VPs[0]}, HostASNs: hosts1, Cfg: Config{State: st}}
+	d1.Run()
+
+	// Mutate: drop one interdomain link and rebuild the world fresh (same
+	// seed => same base topology) for both incremental and scratch runs.
+	mutate := func(tt *testing.T) (*topo.Network, *probe.Engine, *Driver) {
+		tt.Helper()
+		n, e, view, hosts := setup(tt, 9)
+		ils := n.InterdomainLinks(n.HostASN)
+		if len(ils) == 0 {
+			tt.Skip("no interdomain links to depeer")
+		}
+		topo.Depeer(n, ils[len(ils)-1].FarAS)
+		n.Build()
+		return n, e, &Driver{View: view, Prober: LocalProber{E: e, VP: n.VPs[0]}, HostASNs: hosts}
+	}
+
+	_, _, dInc := mutate(t)
+	dInc.Cfg = Config{State: st}
+	dsInc := dInc.Run()
+
+	_, _, dScr := mutate(t)
+	dsScr := dScr.Run()
+
+	if dsInc.TraceFingerprint() != dsScr.TraceFingerprint() {
+		t.Fatal("incremental trace fingerprint differs from scratch on mutated world")
+	}
+	if !reflect.DeepEqual(stripVolatile(dsInc.Traces), stripVolatile(dsScr.Traces)) {
+		t.Fatal("incremental traces differ from scratch on mutated world")
+	}
+	if !sameVerdicts(dsInc.Resolver, dsScr.Resolver) {
+		t.Fatal("incremental alias verdicts differ from scratch on mutated world")
+	}
+
+	// Every address appearing only in changed traces must be dirty; every
+	// address of a fully-replayed target must not leak probes.
+	if dsInc.Dirty == nil {
+		t.Fatal("mutated incremental run produced no dirty set")
+	}
+}
+
+// The refresh cadence forces a live re-walk even when signatures match.
+func TestIncrementalRefreshCadence(t *testing.T) {
+	st := NewRoundState()
+	for round := 1; round <= 3; round++ {
+		reg := obs.New()
+		d := newIncSetup(t, 11, st, reg)
+		d.Cfg.RefreshEvery = 2
+		ds := d.Run()
+		snap := reg.Snapshot()
+		switch round {
+		case 1:
+			if ds.Stats.CacheMisses != ds.Stats.Targets {
+				t.Fatalf("round 1: %+v", ds.Stats)
+			}
+		case 2:
+			if ds.Stats.CacheHits != ds.Stats.Targets {
+				t.Fatalf("round 2 should be all hits: %+v", ds.Stats)
+			}
+		case 3:
+			// lastWalk is still round 1 (round 2 was a pure replay), so the
+			// cadence of 2 forces a refresh now.
+			if ds.Stats.CacheRefreshes != ds.Stats.Targets || ds.Stats.TracesLive != ds.Stats.Traces {
+				t.Fatalf("round 3 should be all refreshes: %+v", ds.Stats)
+			}
+			if got := snap.Counter("rounds.cache.refresh"); got != int64(ds.Stats.Targets) {
+				t.Fatalf("rounds.cache.refresh = %d", got)
+			}
+		}
+	}
+}
+
+// RefreshEvery: Disabled never refreshes; cached targets replay forever on
+// an unchanged world.
+func TestIncrementalRefreshDisabled(t *testing.T) {
+	st := NewRoundState()
+	for round := 1; round <= 4; round++ {
+		reg := obs.New()
+		d := newIncSetup(t, 11, st, reg)
+		d.Cfg.RefreshEvery = Disabled
+		ds := d.Run()
+		if round > 1 && ds.Stats.TracesLive != 0 {
+			t.Fatalf("round %d went live with refresh disabled: %+v", round, ds.Stats)
+		}
+	}
+}
+
+// Config.State on a prober without path signatures must be ignored, not
+// crash or corrupt the dataset.
+func TestIncrementalStateIgnoredWithoutSignatures(t *testing.T) {
+	st := NewRoundState()
+	n, e, view, hosts := setup(t, 5)
+	d := &Driver{
+		View:     view,
+		Prober:   plainProber{LocalProber{E: e, VP: n.VPs[0]}},
+		HostASNs: hosts,
+		Cfg:      Config{State: st},
+	}
+	ds := d.Run()
+	if ds.Stats.Traces == 0 {
+		t.Fatal("no traces")
+	}
+	if ds.Dirty != nil {
+		t.Fatal("dirty set set without signature support")
+	}
+	if st.Round() != 0 || len(st.targets) != 0 {
+		t.Fatal("state advanced without signature support")
+	}
+}
+
+// plainProber hides LocalProber's lane and signature support.
+type plainProber struct{ p LocalProber }
+
+func (p plainProber) Name() string { return p.p.Name() }
+func (p plainProber) Trace(dst netx.Addr, ss map[netx.Addr]bool) probe.TraceResult {
+	return p.p.Trace(dst, ss)
+}
+func (p plainProber) Probe(tg netx.Addr, m probe.Method) probe.Response { return p.p.Probe(tg, m) }
+func (p plainProber) Advance(d time.Duration)                           { p.p.Advance(d) }
+
+// PathSignature must be stable across calls and clock advances on an
+// unchanged world, and change when the world changes.
+func TestPathSignatureStability(t *testing.T) {
+	n, e, view, hosts := setup(t, 13)
+	_ = hosts
+	targets := Targets(view, map[topo.ASN]bool{n.HostASN: true})
+	if len(targets) == 0 {
+		t.Fatal("no targets")
+	}
+	dst := targets[0].Blocks[0].First + 1
+	vp := n.VPs[0]
+	s1 := e.PathSignature(vp, dst)
+	e.Advance(probe.PacePerHop * 100)
+	e.Traceroute(vp, dst, nil)
+	if s2 := e.PathSignature(vp, dst); s2 != s1 {
+		t.Fatalf("signature changed on unchanged world: %x vs %x", s1, s2)
+	}
+
+	// Same seed, mutated world: the signature of a destination whose path
+	// crossed the removed peer must change.
+	n2, e2, view2, _ := setup(t, 13)
+	ils := n2.InterdomainLinks(n2.HostASN)
+	if len(ils) == 0 {
+		t.Skip("no interdomain links")
+	}
+	topo.Depeer(n2, ils[len(ils)-1].FarAS)
+	n2.Build()
+	_ = view2
+	changed := false
+	for _, tg := range targets {
+		for _, b := range tg.Blocks {
+			d := b.First + 1
+			if e.PathSignature(vp, d) != e2.PathSignature(n2.VPs[0], d) {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("no destination signature changed after depeering")
+	}
+}
+
+// PairVerdict capture: PrefixscanTrace must report exactly the verdicts it
+// recorded, in order, so replay can reconstruct resolver state.
+func TestPrefixscanTraceCapturesVerdicts(t *testing.T) {
+	n, e, view, hosts := setup(t, 3)
+	d := &Driver{View: view, Prober: LocalProber{E: e, VP: n.VPs[0]}, HostASNs: hosts}
+	ds := d.Run()
+	res := alias.NewResolver(proberSource{d.Prober}, alias.Config{})
+	found := false
+	for _, tr := range ds.Traces {
+		var prev netx.Addr
+		for _, h := range tr.Hops {
+			if h.Type != probe.HopTimeExceeded {
+				prev = 0
+				continue
+			}
+			if !prev.IsZero() && prev != h.Addr {
+				mate, ok, tried := res.PrefixscanTrace(prev, h.Addr)
+				if ok {
+					found = true
+					if mate.IsZero() {
+						t.Fatal("hit with zero mate")
+					}
+					last := tried[len(tried)-1]
+					if last.V != alias.AliasYes || last.B != mate {
+						t.Fatalf("last tried verdict %+v does not match hit mate %v", last, mate)
+					}
+				}
+				for _, pv := range tried {
+					if pv.A != prev {
+						t.Fatalf("tried pair %+v not anchored at prev %v", pv, prev)
+					}
+				}
+			}
+			prev = h.Addr
+		}
+	}
+	if !found {
+		t.Skip("no prefixscan hits in this world")
+	}
+}

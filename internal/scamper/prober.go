@@ -76,6 +76,13 @@ func (p LocalProber) Probe(target netx.Addr, m probe.Method) probe.Response {
 // Advance moves the simulated clock.
 func (p LocalProber) Advance(d time.Duration) { p.E.Advance(d) }
 
+// PathSignature fingerprints the hop sequence a traceroute toward dst
+// would observe right now, without sending probes (cross-round caching).
+func (p LocalProber) PathSignature(dst netx.Addr) uint64 {
+	return p.E.PathSignature(p.VP, dst)
+}
+
 var _ Prober = LocalProber{}
 var _ LaneProber = LocalProber{}
+var _ SignatureProber = LocalProber{}
 var _ alias.ProbeSource = LocalProber{}

@@ -214,11 +214,19 @@ func (n *Network) InterdomainLinks(asn ASN) []InterdomainLinkTruth {
 			out = append(out, InterdomainLinkTruth{Link: l, NearAS: asn, FarAS: r0.Owner, NearRtr: r1.ID, FarRtr: r0.ID})
 		}
 	}
+	// Fully ordered: (NearRtr, FarRtr) ties are possible when parallel
+	// links join the same router pair, and sort.Slice is unstable, so a
+	// tie would let map churn elsewhere reorder callers' "first link"
+	// (mapdb's mutation schedule picks border routers that way). The
+	// first interface address is unique per link and pins the order.
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].NearRtr != out[j].NearRtr {
 			return out[i].NearRtr < out[j].NearRtr
 		}
-		return out[i].FarRtr < out[j].FarRtr
+		if out[i].FarRtr != out[j].FarRtr {
+			return out[i].FarRtr < out[j].FarRtr
+		}
+		return out[i].Link.Ifaces[0].Addr < out[j].Link.Ifaces[0].Addr
 	})
 	return out
 }

@@ -1,0 +1,99 @@
+package bdrmap
+
+import (
+	"testing"
+
+	"bdrmap/internal/core"
+	"bdrmap/internal/eval"
+	"bdrmap/internal/obs"
+	"bdrmap/internal/scamper"
+	"bdrmap/internal/topo"
+)
+
+// Alloc-budget tests: allocation regressions on the inference hot path
+// fail `go test` here instead of only drifting benchmark numbers. The
+// budgets are ceilings over today's steady-state counts (see t.Logf
+// output) with headroom for incidental churn — a per-node map or
+// per-claim string concat sneaking back in blows well past them.
+
+// tinyInput builds the inference input for the tiny scenario's first VP
+// backed by an explicit arena.
+func tinyInput(t testing.TB, ar *core.Arena) (core.Input, *core.Result) {
+	s := eval.Build(topo.TinyProfile(), 1)
+	s.RunVP(0, scamper.Config{Workers: 1}, core.Options{})
+	in := core.Input{
+		Data: s.Datasets[0], View: s.View, Rel: s.Rel, RIR: s.RIR, IXP: s.IXP,
+		HostASN: s.Net.HostASN, Siblings: s.Sibs, Arena: ar,
+	}
+	return in, s.Results[0]
+}
+
+// TestInferAllocBudget pins the per-claim allocation cost of a
+// steady-state inference (warm arena, tracing off) on the tiny scenario.
+func TestInferAllocBudget(t *testing.T) {
+	var ar core.Arena
+	in, _ := tinyInput(t, &ar)
+	res := core.Infer(in) // warm the arena
+	claims := 0
+	for _, rn := range res.Routers {
+		if rn.Owner != 0 {
+			claims++
+		}
+	}
+	if claims == 0 {
+		t.Fatal("no routers attributed")
+	}
+	allocs := testing.AllocsPerRun(20, func() { core.Infer(in) })
+	perClaim := allocs / float64(claims)
+	t.Logf("steady-state: %.0f allocs/run over %d claims = %.2f allocs/claim", allocs, claims, perClaim)
+	// Steady state measures ~7 allocs per claimed router, all in result
+	// assembly (RouterNode, its address slice, link records); the claim
+	// itself is allocation-free.
+	const budget = 9.0
+	if perClaim > budget {
+		t.Errorf("inference allocates %.2f allocs per claim, budget %.1f", perClaim, budget)
+	}
+}
+
+// TestSpliceAllocBudget is the Input.Prev regression test: an incremental
+// re-inference with an unchanged world must splice through the intern
+// table — no per-node maps, no per-node address re-resolution. A map
+// creeping back into the splice path costs ≥2 allocs per router and
+// blows the budget.
+func TestSpliceAllocBudget(t *testing.T) {
+	state := scamper.NewRoundState()
+	s1 := eval.Build(topo.TinyProfile(), 1)
+	cfg := scamper.Config{Workers: 1}
+	prev := s1.RunVPIncremental(0, cfg, core.Options{}, state, nil)
+
+	// Round 2 on the unchanged world: everything replays from cache and
+	// the dirty-address set comes out (near) empty.
+	s2 := eval.BuildFromNetwork(s1.Net, 1)
+	s2.RunVPIncremental(0, cfg, core.Options{}, state, prev)
+	ds := s2.Datasets[0]
+	if ds.Dirty == nil {
+		t.Fatal("round 2 produced no dirty set; cross-round caching is off")
+	}
+
+	var ar core.Arena
+	reg := obs.New()
+	in := core.Input{
+		Data: ds, View: s2.View, Rel: s2.Rel, RIR: s2.RIR, IXP: s2.IXP,
+		HostASN: s2.Net.HostASN, Siblings: s2.Sibs,
+		Prev: prev, Arena: &ar, Obs: reg,
+	}
+	res := core.Infer(in) // warm the arena; count splices
+	spliced := reg.Snapshot().Counter("core.inc.spliced")
+	if spliced == 0 {
+		t.Fatal("unchanged world spliced no routers")
+	}
+	in.Obs = nil
+	allocs := testing.AllocsPerRun(20, func() { core.Infer(in) })
+	perRouter := allocs / float64(len(res.Routers))
+	t.Logf("spliced re-inference: %.0f allocs/run, %d routers (%d spliced) = %.2f allocs/router",
+		allocs, len(res.Routers), spliced, perRouter)
+	const budget = 9.0
+	if perRouter > budget {
+		t.Errorf("spliced re-inference allocates %.2f allocs per router, budget %.1f", perRouter, budget)
+	}
+}

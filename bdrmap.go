@@ -216,6 +216,14 @@ type Options struct {
 	DisableStopSet bool
 	// DisableAlias skips alias resolution (exposes the fig. 13 errors).
 	DisableAlias bool
+	// InferWorkers parallelizes the §5.4 heuristic sweep across routers at
+	// equal hop distance (0 or 1 means sequential). The inferred map and
+	// its provenance fingerprint are identical for any worker count.
+	InferWorkers int
+	// UseLegacyCore runs the frozen map-based inference core instead of
+	// the slab core — the differential-testing oracle, kept for one
+	// release while the rewrite soaks.
+	UseLegacyCore bool
 }
 
 // MapBorders measures from vantage point vp and infers the hosting
@@ -231,7 +239,11 @@ func (w *World) MapBordersOpts(vp int, o Options) *Report {
 		DisableStopSet: o.DisableStopSet,
 		DisableAlias:   o.DisableAlias,
 	}
-	opts := core.Options{NoAnalyticalAlias: o.DisableAlias}
+	opts := core.Options{
+		NoAnalyticalAlias: o.DisableAlias,
+		InferWorkers:      o.InferWorkers,
+		UseLegacy:         o.UseLegacyCore,
+	}
 	res := w.s.RunVP(vp, cfg, opts)
 	return w.buildReport(res)
 }
@@ -250,6 +262,9 @@ type RemoteOptions struct {
 	// TargetTimeout bounds the wall-clock time spent on one target AS;
 	// zero means no limit (the deterministic default).
 	TargetTimeout time.Duration
+	// InferWorkers and UseLegacyCore are as in Options.
+	InferWorkers  int
+	UseLegacyCore bool
 }
 
 // MapBordersRemote measures from vantage point vp over the §5.8
@@ -265,7 +280,11 @@ func (w *World) MapBordersRemote(vp int, o RemoteOptions) (*Report, error) {
 		DisableAlias:   o.DisableAlias,
 		TargetTimeout:  o.TargetTimeout,
 	}
-	opts := core.Options{NoAnalyticalAlias: o.DisableAlias}
+	opts := core.Options{
+		NoAnalyticalAlias: o.DisableAlias,
+		InferWorkers:      o.InferWorkers,
+		UseLegacy:         o.UseLegacyCore,
+	}
 	res, err := w.s.RunVPRemote(vp, cfg, opts, o.FaultSpec)
 	if err != nil {
 		return nil, err

@@ -256,3 +256,22 @@ func BenchmarkFullPipelineTiny(b *testing.B) {
 		b.ReportMetric(float64(snap.Counter("driver.traces")), "traces/op")
 	}
 }
+
+// BenchmarkInferSteadyState measures re-inference on a warm arena — the
+// serving loop's actual cost once slabs have reached capacity. Compare
+// with BenchmarkInferOnly, which pays pool-cold slab growth.
+func BenchmarkInferSteadyState(b *testing.B) {
+	s := eval.Build(topo.TinyProfile(), 1)
+	s.RunVP(0, scamper.Config{Workers: 1}, core.Options{})
+	var ar core.Arena
+	in := core.Input{
+		Data: s.Datasets[0], View: s.View, Rel: s.Rel, RIR: s.RIR, IXP: s.IXP,
+		HostASN: s.Net.HostASN, Siblings: s.Sibs, Arena: &ar,
+	}
+	core.Infer(in)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Infer(in)
+	}
+}

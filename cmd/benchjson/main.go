@@ -5,13 +5,24 @@
 // Usage:
 //
 //	go test -run=NONE -bench . -benchmem . | benchjson > bench.json
+//
+// With -old and -new it instead diffs two such artifacts and acts as the
+// CI regression gate: for every benchmark named in -gate (comma-separated,
+// matched as name prefixes), a >-max-regress increase in ns/op or B/op
+// versus the old artifact fails the run with exit status 1. All shared
+// benchmarks are reported either way.
+//
+//	benchjson -old BENCH_PR5.json -new BENCH_PR6.json \
+//	    -gate BenchmarkTable1LargeAccess,BenchmarkValidation
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -27,6 +38,22 @@ type result struct {
 }
 
 func main() {
+	oldPath := flag.String("old", "", "baseline artifact for diff mode")
+	newPath := flag.String("new", "", "candidate artifact for diff mode")
+	gate := flag.String("gate", "BenchmarkTable1LargeAccess,BenchmarkValidation",
+		"comma-separated benchmark name prefixes the regression gate enforces")
+	maxRegress := flag.Float64("max-regress", 0.10,
+		"maximum tolerated fractional increase in ns/op or B/op for gated benchmarks")
+	flag.Parse()
+
+	if (*oldPath == "") != (*newPath == "") {
+		fmt.Fprintln(os.Stderr, "benchjson: -old and -new must be given together")
+		os.Exit(2)
+	}
+	if *oldPath != "" {
+		os.Exit(diff(*oldPath, *newPath, strings.Split(*gate, ","), *maxRegress))
+	}
+
 	var out []result
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
@@ -88,4 +115,91 @@ func parseLine(line string) (result, bool) {
 		return result{}, false
 	}
 	return r, true
+}
+
+// diff compares two artifacts and returns the process exit status: 1 if
+// any gated benchmark regressed past maxRegress in time or bytes.
+func diff(oldPath, newPath string, gates []string, maxRegress float64) int {
+	oldRes, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newRes, err := load(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	gated := func(name string) bool {
+		for _, g := range gates {
+			if g != "" && strings.HasPrefix(name, strings.TrimSpace(g)) {
+				return true
+			}
+		}
+		return false
+	}
+	names := make([]string, 0, len(newRes))
+	for name := range newRes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := 0
+	seenGated := 0
+	for _, name := range names {
+		n := newRes[name]
+		o, ok := oldRes[n.Name]
+		if !ok {
+			continue
+		}
+		dt := ratio(n.NsPerOp, o.NsPerOp)
+		db := ratio(float64(n.BytesPerOp), float64(o.BytesPerOp))
+		mark := " "
+		if gated(n.Name) {
+			seenGated++
+			if dt > maxRegress || db > maxRegress {
+				mark = "!"
+				failed++
+			} else {
+				mark = "*"
+			}
+		}
+		fmt.Printf("%s %-40s time %+7.1f%%  bytes %+7.1f%%\n", mark, n.Name, dt*100, db*100)
+	}
+	if seenGated == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no gated benchmark (%s) present in both artifacts\n",
+			strings.Join(gates, ","))
+		return 1
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d gated benchmark(s) regressed >%.0f%% vs %s\n",
+			failed, maxRegress*100, oldPath)
+		return 1
+	}
+	return 0
+}
+
+// ratio returns the fractional change from old to new (0 when old is 0,
+// so a benchmark that never reported the metric cannot trip the gate).
+func ratio(cur, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return cur/base - 1
+}
+
+// load reads one artifact into a by-name map.
+func load(path string) (map[string]result, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []result
+	if err := json.Unmarshal(raw, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]result, len(rs))
+	for _, r := range rs {
+		out[r.Name] = r
+	}
+	return out, nil
 }

@@ -1,0 +1,138 @@
+package bdrmap
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// Differential harness for the slab inference core: every golden scenario
+// runs through the frozen map-based core (Options.UseLegacyCore, the
+// oracle kept for one release) and the slab core, and the outputs must be
+// byte-identical — same link set, same per-router owner attributions, same
+// provenance trace fingerprint. The same harness pins InferWorkers=1
+// against InferWorkers=8, discharging the claim that equal-hop parallelism
+// cannot change the inferred map. Run under -race these tests double as
+// the data-race check on the parallel sweep.
+
+// ownerRow is the stable serialization of one router's attribution.
+type ownerRow struct {
+	Addrs     string
+	Owner     string
+	Heuristic string
+	IsHost    bool
+	HopDist   int
+}
+
+func ownerRows(rep *Report) []ownerRow {
+	res := rep.Raw()
+	out := make([]ownerRow, 0, len(res.Routers))
+	for _, rn := range res.Routers {
+		addrs := ""
+		for i, a := range rn.Addrs {
+			if i > 0 {
+				addrs += ","
+			}
+			addrs += a.String()
+		}
+		out = append(out, ownerRow{
+			Addrs:     addrs,
+			Owner:     rn.Owner.String(),
+			Heuristic: string(rn.Heuristic),
+			IsHost:    rn.IsHost,
+			HopDist:   rn.HopDist,
+		})
+	}
+	return out
+}
+
+// diffReports asserts two runs of the same scenario produced byte-identical
+// maps: link sets, owner attributions, and trace fingerprints.
+func diffReports(t *testing.T, wantName, gotName string, want, got *Report, wantFP, gotFP string) {
+	t.Helper()
+	if wl, gl := goldenLinks(want), goldenLinks(got); !reflect.DeepEqual(wl, gl) {
+		t.Errorf("link sets diverged\n%s (%d links): %s\n%s (%d links): %s",
+			wantName, len(wl), mustJSON(wl), gotName, len(gl), mustJSON(gl))
+	}
+	if wo, do := ownerRows(want), ownerRows(got); !reflect.DeepEqual(wo, do) {
+		t.Errorf("owner attributions diverged\n%s (%d routers): %s\n%s (%d routers): %s",
+			wantName, len(wo), mustJSON(wo), gotName, len(do), mustJSON(do))
+	}
+	if wantFP != gotFP {
+		t.Errorf("trace fingerprints diverged: %s=%s %s=%s", wantName, wantFP, gotName, gotFP)
+	}
+}
+
+// TestDifferentialLegacyVsSlab runs the golden (profile, seed) scenarios
+// through both cores.
+func TestDifferentialLegacyVsSlab(t *testing.T) {
+	cases := []struct {
+		name string
+		prof Profile
+	}{
+		{"tiny", Tiny()},
+		{"small-access", SmallAccess()},
+	}
+	for _, tc := range cases {
+		for _, seed := range []int64{1, 2} {
+			t.Run(fmt.Sprintf("%s-seed%d", tc.name, seed), func(t *testing.T) {
+				lw := NewWorld(tc.prof, seed)
+				lrep := lw.MapBordersOpts(0, Options{UseLegacyCore: true})
+				sw := NewWorld(tc.prof, seed)
+				srep := sw.MapBordersOpts(0, Options{})
+				if len(srep.Links) == 0 {
+					t.Fatal("no links inferred")
+				}
+				diffReports(t, "legacy", "slab", lrep, srep,
+					lw.TraceFingerprint(), sw.TraceFingerprint())
+			})
+		}
+	}
+}
+
+// TestDifferentialInferWorkers pins the parallel sweep against the
+// sequential one on the same scenarios.
+func TestDifferentialInferWorkers(t *testing.T) {
+	cases := []struct {
+		name string
+		prof Profile
+	}{
+		{"tiny", Tiny()},
+		{"small-access", SmallAccess()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w1 := NewWorld(tc.prof, 1)
+			rep1 := w1.MapBordersOpts(0, Options{InferWorkers: 1})
+			w8 := NewWorld(tc.prof, 1)
+			rep8 := w8.MapBordersOpts(0, Options{InferWorkers: 8})
+			diffReports(t, "workers=1", "workers=8", rep1, rep8,
+				w1.TraceFingerprint(), w8.TraceFingerprint())
+		})
+	}
+}
+
+// TestDifferentialRemoteChaos replays the remote-tiny chaos seeds through
+// both cores: the degraded (partial) datasets must infer identically.
+func TestDifferentialRemoteChaos(t *testing.T) {
+	specs := []struct{ name, spec string }{
+		{"drop", "seed=11,drop=0.12,heal=40"},
+		{"corrupt-dup", "seed=23,corrupt=0.08,dup=0.08,heal=40"},
+	}
+	for _, tc := range specs {
+		t.Run(tc.name, func(t *testing.T) {
+			lw := NewWorld(Tiny(), 1)
+			lrep, err := lw.MapBordersRemote(0, RemoteOptions{FaultSpec: tc.spec, UseLegacyCore: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sw := NewWorld(Tiny(), 1)
+			srep, err := sw.MapBordersRemote(0, RemoteOptions{FaultSpec: tc.spec, InferWorkers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffReports(t, "legacy", "slab", lrep, srep,
+				lw.TraceFingerprint(), sw.TraceFingerprint())
+		})
+	}
+}

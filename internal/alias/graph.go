@@ -11,12 +11,20 @@ import (
 // would place a negatively-tested pair on one router (§5.3 "when building
 // a router ... we only used pairs of IP addresses where none of the
 // measurements suggested a pair were not aliases").
+//
+// The union-find runs on dense interned address IDs — flat int32 parent
+// and rank slices instead of address-keyed maps — so a find is two array
+// loads after path compression. The address-based API is unchanged;
+// Canonical still returns the representative *address*, and which address
+// roots a set is identical to the map-based implementation (union by
+// rank, first root wins ties).
 type Graph struct {
-	parent map[netx.Addr]netx.Addr
-	rank   map[netx.Addr]int
-	// negBySet lists addresses with negative evidence against members of
+	in     *netx.Intern
+	parent []int32
+	rank   []int32
+	// negs lists address pairs with negative evidence against members of
 	// the set rooted at the key (kept at each root; merged on union).
-	negs map[netx.Addr][]pairKey
+	negs map[int32][]pairKey
 	neg  map[pairKey]bool
 
 	conflicts int
@@ -25,10 +33,9 @@ type Graph struct {
 // NewGraph builds an empty alias graph.
 func NewGraph() *Graph {
 	return &Graph{
-		parent: make(map[netx.Addr]netx.Addr),
-		rank:   make(map[netx.Addr]int),
-		negs:   make(map[netx.Addr][]pairKey),
-		neg:    make(map[pairKey]bool),
+		in:   netx.NewIntern(256),
+		negs: make(map[int32][]pairKey),
+		neg:  make(map[pairKey]bool),
 	}
 }
 
@@ -52,6 +59,16 @@ func FromResolver(r *Resolver) *Graph {
 	return g
 }
 
+// id interns a, growing the parent/rank slabs to cover it.
+func (g *Graph) id(a netx.Addr) int32 {
+	id := g.in.ID(a)
+	for int(id) >= len(g.parent) {
+		g.parent = append(g.parent, int32(len(g.parent)))
+		g.rank = append(g.rank, 0)
+	}
+	return id
+}
+
 // AddNegative records that a and b must not share a router. It reports
 // whether the constraint is satisfiable: false means the pair was already
 // merged by earlier positive evidence (a measurement conflict — union-find
@@ -62,7 +79,7 @@ func (g *Graph) AddNegative(a, b netx.Addr) bool {
 		return !g.SameRouter(a, b)
 	}
 	g.neg[k] = true
-	ra, rb := g.find(a), g.find(b)
+	ra, rb := g.findID(g.id(a)), g.findID(g.id(b))
 	if ra == rb {
 		g.conflicts++
 		return false
@@ -75,20 +92,20 @@ func (g *Graph) AddNegative(a, b netx.Addr) bool {
 // Union merges the sets of a and b unless negative evidence forbids it.
 // It reports whether the merge happened (or they were already together).
 func (g *Graph) Union(a, b netx.Addr) bool {
-	ra, rb := g.find(a), g.find(b)
+	ra, rb := g.findID(g.id(a)), g.findID(g.id(b))
 	if ra == rb {
 		return true
 	}
 	// Any negative pair with one side in each set blocks the union.
 	for _, k := range g.negs[ra] {
-		x, y := g.find(k[0]), g.find(k[1])
+		x, y := g.findID(g.id(k[0])), g.findID(g.id(k[1]))
 		if (x == ra && y == rb) || (x == rb && y == ra) {
 			g.conflicts++
 			return false
 		}
 	}
 	for _, k := range g.negs[rb] {
-		x, y := g.find(k[0]), g.find(k[1])
+		x, y := g.findID(g.id(k[0])), g.findID(g.id(k[1]))
 		if (x == ra && y == rb) || (x == rb && y == ra) {
 			g.conflicts++
 			return false
@@ -107,23 +124,25 @@ func (g *Graph) Union(a, b netx.Addr) bool {
 	return true
 }
 
-func (g *Graph) find(a netx.Addr) netx.Addr {
-	p, ok := g.parent[a]
-	if !ok {
-		g.parent[a] = a
-		return a
+// findID returns the root of id's set with full path compression.
+func (g *Graph) findID(id int32) int32 {
+	root := id
+	for g.parent[root] != root {
+		root = g.parent[root]
 	}
-	if p == a {
-		return a
+	for g.parent[id] != root {
+		g.parent[id], id = root, g.parent[id]
 	}
-	root := g.find(p)
-	g.parent[a] = root
 	return root
+}
+
+func (g *Graph) find(a netx.Addr) netx.Addr {
+	return g.in.Addr(g.findID(g.id(a)))
 }
 
 // SameRouter reports whether a and b were merged.
 func (g *Graph) SameRouter(a, b netx.Addr) bool {
-	return g.find(a) == g.find(b)
+	return g.findID(g.id(a)) == g.findID(g.id(b))
 }
 
 // Canonical returns the representative address of a's set.
@@ -131,11 +150,11 @@ func (g *Graph) Canonical(a netx.Addr) netx.Addr { return g.find(a) }
 
 // Members returns all addresses sharing a's set, sorted.
 func (g *Graph) Members(a netx.Addr) []netx.Addr {
-	root := g.find(a)
+	root := g.findID(g.id(a))
 	var out []netx.Addr
 	for x := range g.parent {
-		if g.find(x) == root {
-			out = append(out, x)
+		if g.findID(int32(x)) == root {
+			out = append(out, g.in.Addr(int32(x)))
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -147,21 +166,22 @@ func (g *Graph) Conflicts() int { return g.conflicts }
 
 // Sets returns every multi-address set, sorted by representative.
 func (g *Graph) Sets() [][]netx.Addr {
-	bySet := make(map[netx.Addr][]netx.Addr)
+	bySet := make(map[int32][]netx.Addr)
 	for x := range g.parent {
-		r := g.find(x)
-		bySet[r] = append(bySet[r], x)
+		r := g.findID(int32(x))
+		bySet[r] = append(bySet[r], g.in.Addr(int32(x)))
 	}
 	var roots []netx.Addr
 	for r, m := range bySet {
 		if len(m) > 1 {
-			roots = append(roots, r)
+			roots = append(roots, g.in.Addr(r))
 		}
 	}
 	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
 	out := make([][]netx.Addr, 0, len(roots))
 	for _, r := range roots {
-		m := bySet[r]
+		id, _ := g.in.Lookup(r)
+		m := bySet[g.findID(id)]
 		sort.Slice(m, func(i, j int) bool { return m[i] < m[j] })
 		out = append(out, m)
 	}

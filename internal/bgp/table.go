@@ -156,6 +156,22 @@ func (t *Table) Origins(p netx.Prefix) []topo.ASN {
 	return out
 }
 
+// IsOrigin reports whether asn originates p, without materializing the
+// origin set the way Origins does — the forwarding hot path asks this per
+// candidate attachment.
+func (t *Table) IsOrigin(p netx.Prefix, asn topo.ASN) bool {
+	for _, j := range t.originsOf[p] {
+		if t.asns[j] == asn {
+			return true
+		}
+	}
+	return false
+}
+
+// OriginIndexes returns the dense AS indexes originating p. The slice is
+// shared with the table and must not be mutated; convert entries with ASOf.
+func (t *Table) OriginIndexes(p netx.Prefix) []int32 { return t.originsOf[p] }
+
 // ASOf converts a dense index back to an ASN.
 func (t *Table) ASOf(i int32) topo.ASN { return t.asns[i] }
 

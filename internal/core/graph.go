@@ -38,14 +38,29 @@ type Input struct {
 	// attribution from the previous round's result instead of re-running
 	// the §5.4 cascade. Nil (or a nil Data.Dirty) infers from scratch.
 	Prev *Result
+	// Arena supplies the slab storage the router graph is built from; the
+	// caller may reuse one across rounds and scenarios (resetting between
+	// inferences is Infer's job). Nil borrows from an internal pool.
+	Arena *Arena
 }
 
-// Options disable individual heuristics for ablation studies.
+// Options disable individual heuristics for ablation studies and tune the
+// inference sweep.
 type Options struct {
 	// NoThirdParty disables §5.4.5 third-party address detection.
 	NoThirdParty bool
 	// NoAnalyticalAlias disables the §5.4.7 near-side collapse.
 	NoAnalyticalAlias bool
+	// InferWorkers parallelizes the §5.4 heuristic sweep across routers at
+	// equal hop distance (the paper's ordering constraint only applies
+	// *between* distances, §5.4.5). Decisions are applied in visit order
+	// regardless, so links, owners, and trace fingerprints are identical
+	// for any worker count. 0 or 1 runs single-threaded.
+	InferWorkers int
+	// UseLegacy routes inference through the frozen map-based core — the
+	// oracle side of this PR's differential-testing harness. It will be
+	// removed with legacy.go once the slab core has soaked.
+	UseLegacy bool
 }
 
 // vpASNs returns the set of ASes belonging to the hosting organization.
@@ -85,28 +100,24 @@ func (c addrClass) String() string {
 	}
 }
 
-// node is the working state for one inferred router.
+// node is the working state for one inferred router. Nodes live in the
+// arena's slab and are addressed by their creation index; adjacency and
+// tally slices are windows into arena slabs, while addrs is heap-owned
+// because it is handed to the Result.
 type node struct {
-	id    int
-	addrs []netx.Addr
+	addrs []netx.Addr // sorted after build
 
+	succ []int32 // edge indices with from == this node, sorted by .to
+	pred []int32 // edge indices with to == this node, sorted by .from
+
+	dests            []asCount // target ASes of traces traversing this node
+	lastFor          []asCount // target ASes whose traces ended here
+	firstRoutedAfter []asCount // §5.4.3: origins of the first routed address after
+
+	minTTL int
 	class  addrClass
 	extAS  topo.ASN // for classExternal (or a common origin for classMulti)
-	minTTL int
-	isVP   bool // contains the VP-side first hop
-
-	// succ/pred adjacency: per neighboring node, the address pairs
-	// observed (ours, theirs).
-	succ map[*node][]addrPair
-	pred map[*node][]addrPair
-
-	// dests: target ASes of traces traversing this node, with counts.
-	dests map[topo.ASN]int
-	// lastFor: target ASes whose traces ended (last response) here.
-	lastFor map[topo.ASN]int
-	// firstRoutedAfter: origins of the first routed address observed
-	// after this node in traces (per §5.4.3), with counts.
-	firstRoutedAfter map[topo.ASN]int
+	isVP   bool     // contains the VP-side first hop
 
 	owner   topo.ASN
 	heur    Heuristic
@@ -116,15 +127,23 @@ type node struct {
 	spliced bool // attribution copied from the previous round's result
 }
 
-type addrPair struct{ from, to netx.Addr }
+// finalInfo tracks, per target AS, the single last-responding router of
+// its traces (§5.4.8 needs exactly-one to place a silent neighbor).
+type finalInfo struct {
+	n     int32
+	multi bool
+}
 
-// graph is the router-level measurement graph plus lookup tables.
+// graph is the router-level measurement graph plus lookup tables. Node and
+// edge storage lives in the arena; g.nodes/g.order etc. alias its slabs.
 type graph struct {
 	in     Input
 	vpASNs map[topo.ASN]bool
+	intern *netx.Intern
+	ar     *Arena
 
-	nodes  []*node
-	byAddr map[netx.Addr]*node
+	nodes []node
+	order []int32
 
 	// hostExtra covers unannounced blocks attributed to the host via the
 	// positional RIR rule of §5.4.1.
@@ -134,27 +153,50 @@ type graph struct {
 	// echo sources per target AS: origins of echo replies received when
 	// tracing toward that AS (used by §5.4.8 step 8.2 and §5.4.3).
 	echoFrom map[topo.ASN][]netx.Addr
-	// lastRespNode per trace toward each target AS (used by §5.4.8).
-	finalNodes map[topo.ASN]map[*node]int
+	// finalNodes records the last-responding router per target AS.
+	finalNodes map[topo.ASN]finalInfo
 	// tracesToward counts traces per target AS.
 	tracesToward map[topo.ASN]int
 
 	// declined collects the heuristics that examined the node currently
 	// being inferred and passed — consumed (and reset) by the next claim,
-	// whose provenance event records them.
+	// whose provenance event records them. Like the map-based core, the
+	// list deliberately carries over from a router that declined every
+	// rule into the next claim's provenance event.
 	declined []Heuristic
 }
 
+// nodeAt returns the node for an interned address ID, or -1.
+func (g *graph) nodeAt(id int32) int32 {
+	if int(id) >= len(g.ar.addrNode) {
+		return -1
+	}
+	return g.ar.addrNode[id]
+}
+
+// internID interns a, growing the addr->node index alongside the table.
+func (g *graph) internID(a netx.Addr) int32 {
+	id := g.intern.ID(a)
+	for int(id) >= len(g.ar.addrNode) {
+		g.ar.addrNode = append(g.ar.addrNode, -1)
+	}
+	return id
+}
+
 // buildGraph constructs nodes from the dataset's traces and alias graph.
-func buildGraph(in Input) *graph {
+func buildGraph(in Input, ar *Arena) *graph {
 	g := &graph{
 		in:           in,
 		vpASNs:       in.vpASNs(),
-		byAddr:       make(map[netx.Addr]*node),
+		ar:           ar,
 		hostOrgs:     make(map[string]bool),
 		echoFrom:     make(map[topo.ASN][]netx.Addr),
-		finalNodes:   make(map[topo.ASN]map[*node]int),
+		finalNodes:   make(map[topo.ASN]finalInfo),
 		tracesToward: make(map[topo.ASN]int),
+	}
+	g.intern = in.Data.Intern
+	if g.intern == nil {
+		g.intern = netx.NewIntern(1024)
 	}
 
 	// Pass 0: the positional host-space rule (§5.4.1): in each trace, any
@@ -180,8 +222,8 @@ func buildGraph(in Input) *graph {
 			}
 			if org, ok := in.RIR.OrgOf(h.Addr); ok {
 				g.hostOrgs[org] = true
-				for _, rec := range in.RIR.Records() {
-					if rec.OrgID == org && rec.Start <= h.Addr && h.Addr <= rec.End() {
+				for _, rec := range in.RIR.OrgRecords(org) {
+					if rec.Start <= h.Addr && h.Addr <= rec.End() {
 						g.hostExtra.Insert(netx.MakePrefix(rec.Start, prefixLenFor(rec)), true)
 					}
 				}
@@ -189,92 +231,100 @@ func buildGraph(in Input) *graph {
 		}
 	}
 
-	// Pass 1: create nodes (alias-merged) and adjacency.
-	getNode := func(a netx.Addr) *node {
+	// Pass 1: create nodes (alias-merged), record adjacency and tally
+	// events. Nodes are created in first-seen order so creation indices
+	// reproduce the map-based core's ids exactly; the heavy per-node state
+	// is only event streams here, compressed into slab windows below.
+	getNode := func(a netx.Addr) int32 {
+		aID := g.internID(a)
 		canon := a
 		if in.Data.Graph != nil {
 			canon = in.Data.Graph.Canonical(a)
 		}
-		if n, ok := g.byAddr[canon]; ok {
-			if _, seen := g.byAddr[a]; !seen {
-				n.addrs = append(n.addrs, a)
-				g.byAddr[a] = n
+		cID := aID
+		if canon != a {
+			cID = g.internID(canon)
+		}
+		if n := g.ar.addrNode[cID]; n >= 0 {
+			if g.ar.addrNode[aID] < 0 {
+				g.nodes[n].addrs = append(g.nodes[n].addrs, a)
+				g.ar.addrNode[aID] = n
 			}
 			return n
 		}
-		n := &node{
-			id:               len(g.nodes),
-			minTTL:           1 << 30,
-			succ:             make(map[*node][]addrPair),
-			pred:             make(map[*node][]addrPair),
-			dests:            make(map[topo.ASN]int),
-			lastFor:          make(map[topo.ASN]int),
-			firstRoutedAfter: make(map[topo.ASN]int),
-		}
-		n.addrs = append(n.addrs, a)
-		g.nodes = append(g.nodes, n)
-		g.byAddr[canon] = n
-		g.byAddr[a] = n
+		n := int32(len(g.ar.nodes))
+		g.ar.nodes = append(g.ar.nodes, node{minTTL: 1 << 30})
+		g.nodes = g.ar.nodes
+		g.nodes[n].addrs = append(g.nodes[n].addrs, a)
+		g.ar.addrNode[cID] = n
+		g.ar.addrNode[aID] = n
 		return n
 	}
 
 	for _, tr := range in.Data.Traces {
 		g.tracesToward[tr.TargetAS]++
-		var prev *node
+		var prev int32 = -1
 		var prevAddr netx.Addr
-		var lastResp *node
+		var lastResp int32 = -1
 		first := true
 		for _, h := range tr.Hops {
 			switch h.Type {
 			case probe.HopTimeExceeded:
 				n := getNode(h.Addr)
-				if h.TTL < n.minTTL {
-					n.minTTL = h.TTL
+				nd := &g.nodes[n]
+				if h.TTL < nd.minTTL {
+					nd.minTTL = h.TTL
 				}
 				if first {
-					n.isVP = true
+					nd.isVP = true
 					first = false
 				}
-				n.dests[tr.TargetAS]++
-				if prev != nil && prev != n {
-					prev.succ[n] = append(prev.succ[n], addrPair{prevAddr, h.Addr})
-					n.pred[prev] = append(n.pred[prev], addrPair{prevAddr, h.Addr})
+				g.ar.destEv = append(g.ar.destEv, asKey(n, tr.TargetAS))
+				if prev >= 0 && prev != n {
+					g.ar.adjEv = append(g.ar.adjEv, adjEvent{prev, n, addrPair{prevAddr, h.Addr}})
 				}
 				prev, prevAddr, lastResp = n, h.Addr, n
 			case probe.HopEchoReply, probe.HopUnreachable:
 				// §5.4.8 step 8.2 accepts both echo replies and
 				// destination unreachables as evidence of the neighbor.
 				g.echoFrom[tr.TargetAS] = append(g.echoFrom[tr.TargetAS], h.Addr)
-				prev, prevAddr = nil, 0
+				prev, prevAddr = -1, 0
 			default:
 				// A timeout breaks adjacency: the next responder is not
 				// necessarily connected to the previous one.
-				prev, prevAddr = nil, 0
+				prev, prevAddr = -1, 0
 			}
 		}
-		if lastResp != nil {
-			lastResp.lastFor[tr.TargetAS]++
-			if g.finalNodes[tr.TargetAS] == nil {
-				g.finalNodes[tr.TargetAS] = make(map[*node]int)
+		if lastResp >= 0 {
+			g.ar.lastEv = append(g.ar.lastEv, asKey(lastResp, tr.TargetAS))
+			if fi, ok := g.finalNodes[tr.TargetAS]; !ok {
+				g.finalNodes[tr.TargetAS] = finalInfo{n: lastResp}
+			} else if fi.n != lastResp {
+				fi.multi = true
+				g.finalNodes[tr.TargetAS] = fi
 			}
-			g.finalNodes[tr.TargetAS][lastResp]++
 		}
 	}
 
 	// Pass 2: first routed address after each node (for §5.4.3).
+	seen := g.ar.frontier[:0]
 	for _, tr := range in.Data.Traces {
-		var seen []*node
+		seen = seen[:0]
 		for _, h := range tr.Hops {
 			switch h.Type {
 			case probe.HopTimeExceeded:
-				n := g.byAddr[h.Addr]
-				if n == nil {
+				id, ok := g.intern.Lookup(h.Addr)
+				if !ok {
+					continue
+				}
+				n := g.nodeAt(id)
+				if n < 0 {
 					continue
 				}
 				if origins, _, ok := in.View.Origins(h.Addr); ok {
 					for _, s := range seen {
 						if s != n {
-							s.firstRoutedAfter[origins[0]]++
+							g.ar.fraEv = append(g.ar.fraEv, asKey(s, origins[0]))
 						}
 					}
 					seen = seen[:0]
@@ -283,27 +333,175 @@ func buildGraph(in Input) *graph {
 			case probe.HopEchoReply, probe.HopUnreachable:
 				if origins, _, ok := in.View.Origins(h.Addr); ok {
 					for _, s := range seen {
-						s.firstRoutedAfter[origins[0]]++
+						g.ar.fraEv = append(g.ar.fraEv, asKey(s, origins[0]))
 					}
 					seen = seen[:0]
 				}
 			}
 		}
 	}
+	g.ar.frontier = seen[:0]
+	g.nodes = g.ar.nodes
+
+	g.buildEdges()
+	g.buildTallies()
 
 	// Classify every node.
-	for _, n := range g.nodes {
-		sort.Slice(n.addrs, func(i, j int) bool { return n.addrs[i] < n.addrs[j] })
+	for i := range g.nodes {
+		n := &g.nodes[i]
+		sort.Slice(n.addrs, func(a, b int) bool { return n.addrs[a] < n.addrs[b] })
 		n.class, n.extAS = g.classify(n.addrs)
 	}
-	// Visit order: by hop distance, then id for determinism.
-	sort.Slice(g.nodes, func(i, j int) bool {
-		if g.nodes[i].minTTL != g.nodes[j].minTTL {
-			return g.nodes[i].minTTL < g.nodes[j].minTTL
+	// Visit order: by hop distance, then creation id for determinism.
+	order := g.ar.order
+	for i := range g.nodes {
+		order = append(order, int32(i))
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if g.nodes[a].minTTL != g.nodes[b].minTTL {
+			return g.nodes[a].minTTL < g.nodes[b].minTTL
 		}
-		return g.nodes[i].id < g.nodes[j].id
+		return a < b
 	})
+	g.ar.order = order
+	g.order = order
 	return g
+}
+
+// asKey packs a (node, AS) tally event into one sortable word.
+func asKey(n int32, as topo.ASN) uint64 { return uint64(uint32(n))<<32 | uint64(as) }
+
+// buildEdges compresses the adjacency event stream into the edge slab:
+// one directed record per observed (from, to) router pair, with its
+// address pairs in trace order, and per-node succ/pred index lists sorted
+// by neighbor id.
+func (g *graph) buildEdges() {
+	ar := g.ar
+	if ar.edgeIdx == nil {
+		ar.edgeIdx = make(map[uint64]int32, 256)
+	}
+	// Assign edge ids in first-seen order; count pairs per edge.
+	for _, ev := range ar.adjEv {
+		key := uint64(uint32(ev.from))<<32 | uint64(uint32(ev.to))
+		e, ok := ar.edgeIdx[key]
+		if !ok {
+			e = int32(len(ar.edges))
+			ar.edges = append(ar.edges, edge{from: ev.from, to: ev.to})
+			ar.edgeCnt = append(ar.edgeCnt, 0)
+			ar.edgeIdx[key] = e
+		}
+		ar.edgeCnt[e]++
+	}
+	// Carve per-edge pair windows out of the slab, then fill in order.
+	if cap(ar.pairSlab) < len(ar.adjEv) {
+		ar.pairSlab = make([]addrPair, 0, len(ar.adjEv))
+	}
+	ar.pairSlab = ar.pairSlab[:len(ar.adjEv)]
+	off := int32(0)
+	for e := range ar.edges {
+		cnt := ar.edgeCnt[e]
+		ar.edges[e].pairs = ar.pairSlab[off : off : off+cnt]
+		off += cnt
+	}
+	for _, ev := range ar.adjEv {
+		key := uint64(uint32(ev.from))<<32 | uint64(uint32(ev.to))
+		e := ar.edgeIdx[key]
+		ar.edges[e].pairs = append(ar.edges[e].pairs, ev.pair)
+	}
+	// Per-node succ/pred lists, CSR-style: count, carve, fill, sort.
+	nNodes := len(g.nodes)
+	succCnt := make([]int32, nNodes)
+	predCnt := make([]int32, nNodes)
+	for e := range ar.edges {
+		succCnt[ar.edges[e].from]++
+		predCnt[ar.edges[e].to]++
+	}
+	total := len(ar.edges)
+	if cap(ar.succSlab) < total {
+		ar.succSlab = make([]int32, 0, total)
+	}
+	if cap(ar.predSlab) < total {
+		ar.predSlab = make([]int32, 0, total)
+	}
+	ar.succSlab = ar.succSlab[:total]
+	ar.predSlab = ar.predSlab[:total]
+	so, po := int32(0), int32(0)
+	for i := 0; i < nNodes; i++ {
+		n := &g.nodes[i]
+		n.succ = ar.succSlab[so : so : so+succCnt[i]]
+		n.pred = ar.predSlab[po : po : po+predCnt[i]]
+		so += succCnt[i]
+		po += predCnt[i]
+	}
+	for e := range ar.edges {
+		f, t := ar.edges[e].from, ar.edges[e].to
+		g.nodes[f].succ = append(g.nodes[f].succ, int32(e))
+		g.nodes[t].pred = append(g.nodes[t].pred, int32(e))
+	}
+	// Insertion sort: per-node degree is small and sort.Slice's closure
+	// plus interface header would be the hot path's only allocations.
+	for i := 0; i < nNodes; i++ {
+		n := &g.nodes[i]
+		sortEdgesBy(n.succ, func(e int32) int32 { return ar.edges[e].to })
+		sortEdgesBy(n.pred, func(e int32) int32 { return ar.edges[e].from })
+	}
+}
+
+// sortEdgesBy insertion-sorts an edge-index list by the given key. The
+// callers' closures capture only the arena pointer, so the call compiles
+// allocation-free.
+func sortEdgesBy(s []int32, key func(int32) int32) {
+	for i := 1; i < len(s); i++ {
+		e := s[i]
+		k := key(e)
+		j := i - 1
+		for j >= 0 && key(s[j]) > k {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = e
+	}
+}
+
+// buildTallies sorts the packed (node, AS) event streams and compresses
+// runs into per-node asCount windows of the shared slab.
+func (g *graph) buildTallies() {
+	ar := g.ar
+	g.compressEvents(ar.destEv, func(n int32, s []asCount) { g.nodes[n].dests = s })
+	g.compressEvents(ar.lastEv, func(n int32, s []asCount) { g.nodes[n].lastFor = s })
+	g.compressEvents(ar.fraEv, func(n int32, s []asCount) { g.nodes[n].firstRoutedAfter = s })
+}
+
+func (g *graph) compressEvents(ev []uint64, assign func(int32, []asCount)) {
+	if len(ev) == 0 {
+		return
+	}
+	sortUint64(ev)
+	ar := g.ar
+	start := len(ar.asSlab)
+	curNode := int32(int64(ev[0]) >> 32)
+	for i := 0; i < len(ev); {
+		key := ev[i]
+		j := i + 1
+		for j < len(ev) && ev[j] == key {
+			j++
+		}
+		n := int32(int64(key) >> 32)
+		if n != curNode {
+			assign(curNode, ar.asSlab[start:len(ar.asSlab):len(ar.asSlab)])
+			start = len(ar.asSlab)
+			curNode = n
+		}
+		ar.asSlab = append(ar.asSlab, asCount{as: topo.ASN(uint32(key)), n: int32(j - i)})
+		i = j
+	}
+	assign(curNode, ar.asSlab[start:len(ar.asSlab):len(ar.asSlab)])
+}
+
+// sortUint64 sorts the packed event keys in place.
+func sortUint64(s []uint64) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 }
 
 // prefixLenFor converts a delegation record's count into a prefix length
@@ -318,13 +516,36 @@ func prefixLenFor(rec rir.Record) int {
 	return l
 }
 
+// heurFireNames precomputes the per-heuristic obs counter names so claim
+// performs no string concatenation on the hot path.
+var heurFireNames = func() map[Heuristic]string {
+	m := make(map[Heuristic]string)
+	for _, h := range []Heuristic{
+		HeurHostNetwork, HeurMultihomed, HeurFirewall, HeurUnrouted,
+		HeurOnenet, HeurThirdParty, HeurRelationship, HeurMissingCust,
+		HeurHiddenPeer, HeurCount, HeurIPAS, HeurIXP, HeurSilent,
+		HeurOtherICMP,
+	} {
+		m[h] = "core.heur.fire." + string(h)
+	}
+	return m
+}()
+
+func heurFireName(h Heuristic) string {
+	if s, ok := heurFireNames[h]; ok {
+		return s
+	}
+	return "core.heur.fire." + string(h)
+}
+
 // claim records an ownership decision: rule h attributes router n to owner.
 // Every heuristic routes its conclusion through here so the obs registry
 // tallies exactly one core.heur.fire.<tag> increment per decided router and
 // the tracer receives exactly one provenance event per decision, carrying
 // the standard constraint set (origin AS, AS relationship, address class,
 // hop distance, declined heuristics) plus any rule-specific evidence.
-func (g *graph) claim(n *node, owner topo.ASN, h Heuristic, evidence ...obs.Attr) {
+func (g *graph) claim(id int32, owner topo.ASN, h Heuristic, evidence ...obs.Attr) {
+	n := &g.nodes[id]
 	n.owner, n.heur, n.done = owner, h, true
 	if g.vpASNs[owner] {
 		n.host = true
@@ -332,7 +553,7 @@ func (g *graph) claim(n *node, owner topo.ASN, h Heuristic, evidence ...obs.Attr
 	} else {
 		g.in.Obs.Inc("core.attr.external")
 	}
-	g.in.Obs.Inc("core.heur.fire." + string(h))
+	g.in.Obs.Inc(heurFireName(h))
 	if g.in.Trace.Enabled() {
 		attrs := make([]obs.Attr, 0, 8+len(evidence))
 		attrs = append(attrs,
@@ -409,7 +630,7 @@ func (g *graph) originIsHost(addr netx.Addr) bool {
 // classify determines the address class of a node from all its addresses.
 func (g *graph) classify(addrs []netx.Addr) (addrClass, topo.ASN) {
 	anyHost, anyIXP, anyUnrouted := false, false, false
-	common := map[topo.ASN]int{}
+	common := g.ar.ws.counts[:0]
 	nExt := 0
 	for _, a := range addrs {
 		if g.in.IXP != nil {
@@ -439,9 +660,10 @@ func (g *graph) classify(addrs []netx.Addr) (addrClass, topo.ASN) {
 		}
 		nExt++
 		for _, o := range origins {
-			common[o]++
+			common = bumpAS(common, o, 1)
 		}
 	}
+	g.ar.ws.counts = common[:0]
 	switch {
 	case anyIXP && !anyHost && nExt == 0:
 		return classIXP, 0
@@ -452,13 +674,13 @@ func (g *graph) classify(addrs []netx.Addr) (addrClass, topo.ASN) {
 	case nExt > 0:
 		// Single common external origin?
 		var best topo.ASN
-		bestN := 0
-		for o, c := range common {
-			if c > bestN || (c == bestN && (best == 0 || o < best)) {
-				best, bestN = o, c
+		bestN := int32(0)
+		for _, e := range common {
+			if e.n > bestN || (e.n == bestN && (best == 0 || e.as < best)) {
+				best, bestN = e.as, e.n
 			}
 		}
-		if bestN == nExt && singleFullCover(common, nExt) {
+		if int(bestN) == nExt && singleFullCover(common, nExt) {
 			return classExternal, best
 		}
 		return classMulti, best
@@ -467,41 +689,56 @@ func (g *graph) classify(addrs []netx.Addr) (addrClass, topo.ASN) {
 	}
 }
 
+// bumpAS adds delta to as's tally in a sorted asCount slice, inserting it
+// if absent. The slice is scratch space: small, reused, sorted by AS.
+func bumpAS(s []asCount, as topo.ASN, delta int32) []asCount {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid].as < as {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s) && s[lo].as == as {
+		s[lo].n += delta
+		return s
+	}
+	s = append(s, asCount{})
+	copy(s[lo+1:], s[lo:])
+	s[lo] = asCount{as: as, n: delta}
+	return s
+}
+
 // singleFullCover reports whether exactly one origin covers all external
 // addresses.
-func singleFullCover(common map[topo.ASN]int, nExt int) bool {
+func singleFullCover(common []asCount, nExt int) bool {
 	full := 0
-	for _, c := range common {
-		if c == nExt {
+	for _, e := range common {
+		if int(e.n) == nExt {
 			full++
 		}
 	}
 	return full == 1
 }
 
-// destSet returns the distinct destination ASes of a node (grouping the
-// host's sibling targets never occurs since host prefixes are not probed).
-func (n *node) destSet() []topo.ASN {
-	out := make([]topo.ASN, 0, len(n.dests))
-	for d := range n.dests {
-		out = append(out, d)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+// destHas reports whether as is among n's destination ASes.
+func (n *node) destHas(as topo.ASN) bool { return findAS(n.dests, as) > 0 }
 
-// succExternalOrigins returns, per external AS, how many distinct adjacent
-// successor addresses map to it.
-func (g *graph) succExternalOrigins(n *node) map[topo.ASN]int {
-	count := make(map[topo.ASN]int)
-	seen := make(map[netx.Addr]bool)
-	for s, pairs := range n.succ {
-		_ = s
-		for _, p := range pairs {
-			if seen[p.to] {
+// succExternalOrigins tallies, per external AS, how many distinct adjacent
+// successor addresses map to it. The result is written into ws.extAdj
+// (sorted by AS) and stays valid until the workspace's next use.
+func (g *graph) succExternalOrigins(id int32, ws *workspace) []asCount {
+	out := ws.extAdj[:0]
+	ws.epoch++
+	n := &g.nodes[id]
+	for _, e := range n.succ {
+		for _, p := range g.ar.edges[e].pairs {
+			aID, ok := g.intern.Lookup(p.to)
+			if ok && ws.mark(aID) {
 				continue
 			}
-			seen[p.to] = true
 			origins, _, ok := g.in.View.Origins(p.to)
 			if !ok {
 				continue
@@ -513,44 +750,47 @@ func (g *graph) succExternalOrigins(n *node) map[topo.ASN]int {
 				}
 			}
 			if !isHost {
-				count[origins[0]]++
+				out = bumpAS(out, origins[0], 1)
 			}
 		}
 	}
-	return count
+	ws.extAdj = out
+	return out
 }
 
 // nextas computes the candidate owner of §5.4: the most common inferred
 // provider among the destination ASes probed through the node.
-func (g *graph) nextas(n *node) topo.ASN {
+func (g *graph) nextas(id int32, ws *workspace) topo.ASN {
+	n := &g.nodes[id]
 	if len(n.dests) < 2 {
 		return 0
 	}
-	count := make(map[topo.ASN]int)
-	for d := range n.dests {
-		for _, p := range g.in.Rel.ProvidersOf(d) {
-			count[p]++
+	count := ws.counts[:0]
+	for _, d := range n.dests {
+		for _, p := range g.in.Rel.ProvidersOf(d.as) {
+			count = bumpAS(count, p, 1)
 		}
 	}
+	ws.counts = count[:0]
 	var best topo.ASN
-	bestN := 0
-	better := func(p topo.ASN, c int) bool {
+	bestN := int32(0)
+	better := func(p topo.ASN, c int32) bool {
 		if c != bestN {
 			return c > bestN
 		}
 		// Tie-break: an AS that is itself among the destinations is the
 		// likely transit for the others (a transit customer with its own
 		// customers behind it).
-		_, pIn := n.dests[p]
-		_, bIn := n.dests[best]
+		pIn := n.destHas(p)
+		bIn := n.destHas(best)
 		if pIn != bIn {
 			return pIn
 		}
 		return best == 0 || p < best
 	}
-	for p, c := range count {
-		if better(p, c) {
-			best, bestN = p, c
+	for _, e := range count {
+		if better(e.as, e.n) {
+			best, bestN = e.as, e.n
 		}
 	}
 	return best

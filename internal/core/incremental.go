@@ -34,6 +34,11 @@ import (
 // mapdb's equivalence mode asserts the spliced map is byte-identical to a
 // from-scratch run on the same world; the three-hop radius is the proof
 // obligation those tests discharge.
+//
+// The working set — the dirty marks and the BFS frontier — lives in the
+// arena and the previous result is consulted through its intern table, so
+// a splice allocates nothing per node: no map of visited routers, no
+// per-node address lookups beyond one interned-ID probe.
 
 // spliceClean pre-claims every node whose three-hop neighborhood is free
 // of dirty addresses, copying owner/heuristic/host from the previous
@@ -43,44 +48,55 @@ func (g *graph) spliceClean(prev *Result, dirty map[netx.Addr]bool) {
 	if prev == nil || dirty == nil {
 		return
 	}
+	ar := g.ar
+	mark := ar.nodeMark[:0]
+	for range g.nodes {
+		mark = append(mark, false)
+	}
 	// Data-dirty nodes: any interface address with changed trace evidence.
-	dirtyN := make(map[*node]bool)
-	var frontier []*node
-	for _, n := range g.nodes {
-		for _, a := range n.addrs {
+	frontier := ar.frontier[:0]
+	dirtyN := 0
+	for i := range g.nodes {
+		for _, a := range g.nodes[i].addrs {
 			if dirty[a] {
-				dirtyN[n] = true
-				frontier = append(frontier, n)
+				mark[i] = true
+				dirtyN++
+				frontier = append(frontier, int32(i))
 				break
 			}
 		}
 	}
 	// Three-hop closure over the undirected adjacency.
+	next := ar.next[:0]
 	for hop := 0; hop < 3; hop++ {
-		var next []*node
-		mark := func(m *node) {
-			if !dirtyN[m] {
-				dirtyN[m] = true
-				next = append(next, m)
+		next = next[:0]
+		for _, id := range frontier {
+			n := &g.nodes[id]
+			for _, e := range n.succ {
+				if s := ar.edges[e].to; !mark[s] {
+					mark[s] = true
+					dirtyN++
+					next = append(next, s)
+				}
+			}
+			for _, e := range n.pred {
+				if p := ar.edges[e].from; !mark[p] {
+					mark[p] = true
+					dirtyN++
+					next = append(next, p)
+				}
 			}
 		}
-		for _, n := range frontier {
-			for s := range n.succ {
-				mark(s)
-			}
-			for p := range n.pred {
-				mark(p)
-			}
-		}
-		frontier = next
+		frontier, next = next, frontier
 	}
 
 	spliced := 0
-	for _, n := range g.nodes {
-		if dirtyN[n] {
+	for i := range g.nodes {
+		if mark[i] {
 			continue
 		}
-		rn := prev.byAddr[n.addrs[0]]
+		n := &g.nodes[i]
+		rn := prev.routerFor(n.addrs[0])
 		if rn == nil || rn.Owner == 0 {
 			continue
 		}
@@ -91,8 +107,8 @@ func (g *graph) spliceClean(prev *Result, dirty map[netx.Addr]bool) {
 			continue
 		}
 		same := true
-		for i := range n.addrs {
-			if rn.Addrs[i] != n.addrs[i] {
+		for j := range n.addrs {
+			if rn.Addrs[j] != n.addrs[j] {
 				same = false
 				break
 			}
@@ -104,28 +120,39 @@ func (g *graph) spliceClean(prev *Result, dirty map[netx.Addr]bool) {
 		n.done, n.spliced = true, true
 		spliced++
 	}
+	ar.nodeMark = mark[:0]
+	ar.frontier = frontier[:0]
+	ar.next = next[:0]
 	g.in.Obs.Add("core.inc.spliced", int64(spliced))
-	g.in.Obs.Add("core.inc.dirty_nodes", int64(len(dirtyN)))
+	g.in.Obs.Add("core.inc.dirty_nodes", int64(dirtyN))
 }
 
-// replaySpliced reproduces the cross-node claims a spliced router's own
+// replaySpliced buffers the cross-node claims a spliced router's own
 // inference would have made — today only §5.4.5 step 5.1, the sole
 // heuristic that claims another router from inside the cascade. It runs at
 // the spliced node's position in the visit order so the done-guards see
 // the same state a from-scratch run would.
-func (g *graph) replaySpliced(n *node) {
+func (g *graph) replaySpliced(id int32, ws *workspace) {
+	n := &g.nodes[id]
 	if g.in.Opts.NoThirdParty || n.heur != HeurThirdParty ||
 		n.class != classExternal || n.extAS == 0 {
 		return
 	}
-	b := g.soleConeRoot(n.destSet())
+	b := g.soleConeRoot(n.dests)
 	a := n.extAS
 	if b == 0 || a == b || g.in.Rel.Rel(b, a) != topo.RelProvider {
 		return
 	}
-	for p := range n.pred {
-		if !p.done && p.class == classHost && g.soleConeRoot(p.destSet()) == b {
-			g.claim(p, b, HeurThirdParty, obs.KV("cone_root", b.String()))
+	tracing := g.in.Trace.Enabled()
+	for _, e := range n.pred {
+		p := g.ar.edges[e].from
+		pn := &g.nodes[p]
+		if !pn.done && pn.class == classHost && g.soleConeRoot(pn.dests) == b {
+			var ev []obs.Attr
+			if tracing {
+				ev = []obs.Attr{obs.KV("cone_root", b.String())}
+			}
+			ws.claim(p, true, b, HeurThirdParty, ev)
 		}
 	}
 }

@@ -1,30 +1,31 @@
 package core
 
 import (
-	"sort"
+	"sync"
+	"sync/atomic"
 
 	"bdrmap/internal/alias"
-	"bdrmap/internal/netx"
 	"bdrmap/internal/obs"
 	"bdrmap/internal/topo"
 )
 
 // Infer runs the full bdrmap algorithm over one vantage point's dataset.
 func Infer(in Input) *Result {
+	if in.Opts.UseLegacy {
+		return InferLegacy(in)
+	}
 	span := in.Obs.StartStage("core.infer")
 	defer span.End()
-	g := buildGraph(in)
+	ar := in.Arena
+	if ar == nil {
+		ar = arenaPool.Get().(*Arena)
+		defer arenaPool.Put(ar)
+	}
+	ar.Reset()
+	g := buildGraph(in, ar)
 	g.spliceClean(in.Prev, in.Data.Dirty)
 	g.passHost()
-	for _, n := range g.nodes {
-		if n.spliced {
-			g.replaySpliced(n)
-			continue
-		}
-		if !n.done {
-			g.inferNeighbor(n)
-		}
-	}
+	g.sweep()
 	g.passAnalyticalAliases()
 	res := g.buildResult()
 	g.passSilent(res)
@@ -40,43 +41,178 @@ func (n *node) anonymousAddr() bool {
 }
 
 // ---------------------------------------------------------------------------
+// The decide/apply sweep
+//
+// §5.4.5's ordering constraint holds *between* hop distances, not within
+// one: every heuristic reads only immutable build-time state plus the done
+// flag of a predecessor (step 5.1), so routers at equal minTTL can be
+// decided concurrently as long as their decisions are applied in visit
+// order against guards re-checked at apply time. The sweep therefore runs
+// in two phases per hop-distance group: decide (pure, optionally parallel)
+// buffers each router's claims and declines as ops; apply replays them
+// sequentially in visit order. A decision whose router was claimed by an
+// earlier-applied decision is dropped whole (a sequential run would never
+// have started it), and a claim on another router applies only if that
+// router is still undecided — together these reproduce the sequential
+// sweep byte-for-byte for any worker count.
+
+type opKind uint8
+
+const (
+	opDecline opKind = iota
+	opClaim
+)
+
+// op is one buffered step of a router's decision.
+type op struct {
+	kind    opKind
+	target  int32
+	guarded bool // claim applies only while target is still undecided
+	owner   topo.ASN
+	h       Heuristic
+	ev      []obs.Attr
+}
+
+func (ws *workspace) claim(target int32, guarded bool, owner topo.ASN, h Heuristic, ev []obs.Attr) {
+	ws.ops = append(ws.ops, op{kind: opClaim, target: target, guarded: guarded, owner: owner, h: h, ev: ev})
+}
+
+func (ws *workspace) decline(h Heuristic) {
+	ws.ops = append(ws.ops, op{kind: opDecline, h: h})
+}
+
+// decideOne buffers the decision for one router into ws.ops (reused).
+func (g *graph) decideOne(id int32, ws *workspace) []op {
+	ws.ops = ws.ops[:0]
+	n := &g.nodes[id]
+	if n.spliced {
+		g.replaySpliced(id, ws)
+		return ws.ops
+	}
+	if !n.done {
+		g.inferNeighbor(id, ws)
+	}
+	return ws.ops
+}
+
+// applyOps replays a buffered decision through the real claim/decline
+// path, enforcing the drop and re-check guards described above.
+func (g *graph) applyOps(id int32, ops []op) {
+	n := &g.nodes[id]
+	if !n.spliced && n.done {
+		return // claimed by an earlier decision: a sequential sweep never ran it
+	}
+	for _, o := range ops {
+		if o.kind == opDecline {
+			g.decline(o.h)
+			continue
+		}
+		if o.guarded && g.nodes[o.target].done {
+			continue
+		}
+		g.claim(o.target, o.owner, o.h, o.ev...)
+	}
+}
+
+// sweep runs §5.4.2–§5.4.6 over the visit order, optionally deciding
+// routers at equal hop distance in parallel.
+func (g *graph) sweep() {
+	workers := g.in.Opts.InferWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	var wss []*workspace
+	if workers > 1 {
+		wss = make([]*workspace, workers)
+		for i := range wss {
+			wss[i] = &workspace{}
+		}
+	}
+	ord := g.order
+	for i := 0; i < len(ord); {
+		j := i + 1
+		ttl := g.nodes[ord[i]].minTTL
+		for j < len(ord) && g.nodes[ord[j]].minTTL == ttl {
+			j++
+		}
+		group := ord[i:j]
+		if workers > 1 && len(group) > 1 {
+			g.sweepGroupParallel(group, wss)
+		} else {
+			for _, id := range group {
+				g.applyOps(id, g.decideOne(id, &g.ar.ws))
+			}
+		}
+		i = j
+	}
+}
+
+// sweepGroupParallel decides one equal-hop group across workers, then
+// applies the buffered decisions in visit order.
+func (g *graph) sweepGroupParallel(group []int32, wss []*workspace) {
+	decisions := make([][]op, len(group))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for _, ws := range wss {
+		wg.Add(1)
+		go func(ws *workspace) {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(group) {
+					return
+				}
+				ops := g.decideOne(group[k], ws)
+				if len(ops) > 0 {
+					decisions[k] = append([]op(nil), ops...)
+				}
+			}
+		}(ws)
+	}
+	wg.Wait()
+	for k, id := range group {
+		g.applyOps(id, decisions[k])
+	}
+}
+
+// ---------------------------------------------------------------------------
 // §5.4.1: routers operated by the hosting network
 
 func (g *graph) passHost() {
 	host := g.in.HostASN
-	for _, n := range g.nodes {
+	ws := &g.ar.ws
+	for _, id := range g.order {
+		n := &g.nodes[id]
 		if n.class != classHost {
 			continue
 		}
 		// Step 1.2 precondition: a subsequent interface also originated by
 		// the hosting network.
-		hostSucc := g.hostSuccessor(n)
-		if hostSucc == nil {
+		hostSucc := g.hostSuccessor(id)
+		if hostSucc < 0 {
 			continue
 		}
 		// Step 1.1 exception: the neighbor may be multihomed to the host
 		// with adjacent routers numbered from host space. This reading
 		// only applies when both routers exclusively carry traffic toward
 		// A (a host border carries many destinations and never matches).
-		extAdj := g.succExternalOrigins(n)
+		extAdj := g.succExternalOrigins(id, ws)
 		if len(extAdj) == 1 && !n.isVP {
-			var a topo.ASN
-			for o := range extAdj {
-				a = o
-			}
-			nd, vd := n.destSet(), hostSucc.destSet()
-			onlyA := len(nd) == 1 && nd[0] == a && len(vd) == 1 && vd[0] == a
-			if onlyA && g.in.Rel.Rel(host, a) != topo.RelNone && g.multihomedException(n, hostSucc, a) {
+			a := extAdj[0].as
+			hs := &g.nodes[hostSucc]
+			onlyA := len(n.dests) == 1 && n.dests[0].as == a &&
+				len(hs.dests) == 1 && hs.dests[0].as == a
+			if onlyA && g.in.Rel.Rel(host, a) != topo.RelNone && g.multihomedException(id, hostSucc, a) {
 				ev := obs.KV("only_dest", a.String())
-				g.claim(n, a, HeurMultihomed, ev)
-				if !hostSucc.done {
+				g.claim(id, a, HeurMultihomed, ev)
+				if !hs.done {
 					g.claim(hostSucc, a, HeurMultihomed, ev)
 				}
 				continue
 			}
 		}
-		g.claim(n, host, HeurHostNetwork,
-			obs.KV("host_successor", hostSucc.addrs[0].String()))
+		g.claim(id, host, HeurHostNetwork,
+			obs.KV("host_successor", g.nodes[hostSucc].addrs[0].String()))
 	}
 
 	// Extension step (beyond the paper's 1.1/1.2, needed for hosts with
@@ -86,13 +222,14 @@ func (g *graph) passHost() {
 	// traffic into that neighbor's cone, so its adjacent external ASes
 	// always include a plausible common transit; an egress fan-out point
 	// of the host does not.
-	for _, n := range g.nodes {
+	for _, id := range g.order {
+		n := &g.nodes[id]
 		if n.done || n.class != classHost {
 			continue
 		}
-		extAdj := g.succExternalOrigins(n)
+		extAdj := g.succExternalOrigins(id, ws)
 		if len(extAdj) >= 2 && !g.hasPlausibleTransit(extAdj) {
-			g.claim(n, host, HeurHostNetwork,
+			g.claim(id, host, HeurHostNetwork,
 				obs.KV("egress_fanout", len(extAdj)))
 		}
 	}
@@ -100,14 +237,14 @@ func (g *graph) passHost() {
 
 // hasPlausibleTransit reports whether some adjacent AS could be providing
 // transit to every other adjacent AS (the fig. 9 configuration).
-func (g *graph) hasPlausibleTransit(extAdj map[topo.ASN]int) bool {
-	for a := range extAdj {
+func (g *graph) hasPlausibleTransit(extAdj []asCount) bool {
+	for _, ae := range extAdj {
 		ok := true
-		for b := range extAdj {
-			if b == a {
+		for _, be := range extAdj {
+			if be.as == ae.as {
 				continue
 			}
-			if g.in.Rel.Rel(a, b) != topo.RelCustomer { // b is not a's customer
+			if g.in.Rel.Rel(ae.as, be.as) != topo.RelCustomer { // b is not a's customer
 				ok = false
 				break
 			}
@@ -119,29 +256,26 @@ func (g *graph) hasPlausibleTransit(extAdj map[topo.ASN]int) bool {
 	return false
 }
 
-// hostSuccessor returns a successor reached over a host-originated address.
-func (g *graph) hostSuccessor(n *node) *node {
-	var keys []*node
-	for s := range n.succ {
-		keys = append(keys, s)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i].id < keys[j].id })
-	for _, s := range keys {
-		for _, p := range n.succ[s] {
+// hostSuccessor returns a successor reached over a host-originated
+// address, smallest node id first, or -1.
+func (g *graph) hostSuccessor(id int32) int32 {
+	for _, e := range g.nodes[id].succ {
+		for _, p := range g.ar.edges[e].pairs {
 			if g.originIsHost(p.to) {
-				return s
+				return g.ar.edges[e].to
 			}
 		}
 	}
-	return nil
+	return -1
 }
 
 // multihomedException applies §5.4.1's guard for step 1.1: if an owner we
 // would infer for a router subsequent to n is a customer of the host but
 // not a known neighbor of A, the multihomed reading is wrong and the host
 // operates n. Returns true when step 1.1 should fire.
-func (g *graph) multihomedException(n, v *node, a topo.ASN) bool {
-	check := func(w *node) bool {
+func (g *graph) multihomedException(n, v int32, a topo.ASN) bool {
+	check := func(wid int32) bool {
+		w := &g.nodes[wid]
 		if w.class != classExternal || w.extAS == 0 || w.extAS == a {
 			return true
 		}
@@ -151,13 +285,13 @@ func (g *graph) multihomedException(n, v *node, a topo.ASN) bool {
 		}
 		return true
 	}
-	for w := range n.succ {
-		if !check(w) {
+	for _, e := range g.nodes[n].succ {
+		if !check(g.ar.edges[e].to) {
 			return false
 		}
 	}
-	for w := range v.succ {
-		if !check(w) {
+	for _, e := range g.nodes[v].succ {
+		if !check(g.ar.edges[e].to) {
 			return false
 		}
 	}
@@ -167,81 +301,109 @@ func (g *graph) multihomedException(n, v *node, a topo.ASN) bool {
 // ---------------------------------------------------------------------------
 // §5.4.2–§5.4.6: neighbor routers, in the paper's order
 
-func (g *graph) inferNeighbor(n *node) {
+func (g *graph) inferNeighbor(id int32, ws *workspace) {
 	host := g.in.HostASN
-	dests := n.destSet()
-	extAdj := g.succExternalOrigins(n)
+	n := &g.nodes[id]
+	tracing := g.in.Trace.Enabled()
+	extAdj := g.succExternalOrigins(id, ws)
 
 	// §5.4.2 firewall: the last responding router toward a destination,
 	// numbered from space that says nothing about its owner, with no
 	// adjacent interfaces at all.
 	if n.anonymousAddr() && len(n.succ) == 0 && len(n.lastFor) > 0 {
-		if len(dests) == 1 {
-			g.claim(n, dests[0], HeurFirewall, obs.KV("last_hop_toward", dests[0].String()))
-		} else if na := g.nextas(n); na != 0 {
-			g.claim(n, na, HeurFirewall, obs.KV("common_provider_of_dests", na.String()))
-		}
-		if n.done {
+		if len(n.dests) == 1 {
+			d := n.dests[0].as
+			var ev []obs.Attr
+			if tracing {
+				ev = []obs.Attr{obs.KV("last_hop_toward", d.String())}
+			}
+			ws.claim(id, false, d, HeurFirewall, ev)
+			return
+		} else if na := g.nextas(id, ws); na != 0 {
+			var ev []obs.Attr
+			if tracing {
+				ev = []obs.Attr{obs.KV("common_provider_of_dests", na.String())}
+			}
+			ws.claim(id, false, na, HeurFirewall, ev)
 			return
 		}
-		g.decline(HeurFirewall)
+		ws.decline(HeurFirewall)
 	}
 
 	// §5.4.3 unrouted interior addressing.
-	if n.class == classUnrouted || (n.anonymousAddr() && g.allSuccUnrouted(n)) {
-		if g.inferUnrouted(n) {
+	if n.class == classUnrouted || (n.anonymousAddr() && g.allSuccUnrouted(id)) {
+		if g.inferUnrouted(id, ws) {
 			return
 		}
-		g.decline(HeurUnrouted)
+		ws.decline(HeurUnrouted)
 	}
 
 	// §5.4.4 onenet.
-	if n.class == classExternal && n.extAS != 0 && extAdj[n.extAS] > 0 {
-		g.claim(n, n.extAS, HeurOnenet, // step 4.1
-			obs.KV("adjacent_same_as_ifaces", extAdj[n.extAS]))
+	if sameAS := findAS(extAdj, n.extAS); n.class == classExternal && n.extAS != 0 && sameAS > 0 {
+		var ev []obs.Attr
+		if tracing {
+			ev = []obs.Attr{obs.KV("adjacent_same_as_ifaces", int(sameAS))}
+		}
+		ws.claim(id, false, n.extAS, HeurOnenet, ev) // step 4.1
 		return
 	}
 	if n.anonymousAddr() {
-		if a := g.twoConsecutive(n); a != 0 { // step 4.2
-			g.claim(n, a, HeurOnenet, obs.KV("consecutive_as", a.String()))
+		if a := g.twoConsecutive(id); a != 0 { // step 4.2
+			var ev []obs.Attr
+			if tracing {
+				ev = []obs.Attr{obs.KV("consecutive_as", a.String())}
+			}
+			ws.claim(id, false, a, HeurOnenet, ev)
 			return
 		}
-		g.decline(HeurOnenet)
+		ws.decline(HeurOnenet)
 	}
 
 	// §5.4.5 steps 5.1/5.2: third-party address detection. "Paths toward
 	// B" include B's customer cone: a transit customer's border also
 	// carries probes toward its own customers.
-	if b := g.soleConeRoot(dests); !g.in.Opts.NoThirdParty &&
+	if b := g.soleConeRoot(n.dests); !g.in.Opts.NoThirdParty &&
 		n.class == classExternal && n.extAS != 0 && b != 0 {
 		a := n.extAS
 		if a != b && g.in.Rel.Rel(b, a) == topo.RelProvider {
 			// The address belongs to the destination's provider: the
 			// router used a route from its provider to respond.
-			g.claim(n, b, HeurThirdParty,
-				obs.KV("cone_root", b.String()),
-				obs.KV("addr_owner_provides", b.String()))
+			var ev []obs.Attr
+			if tracing {
+				ev = []obs.Attr{
+					obs.KV("cone_root", b.String()),
+					obs.KV("addr_owner_provides", b.String()),
+				}
+			}
+			ws.claim(id, false, b, HeurThirdParty, ev)
 			// Step 5.1: a preceding router observed only with host
 			// addresses and only toward B belongs to B as well.
-			for p := range n.pred {
-				if !p.done && p.class == classHost && g.soleConeRoot(p.destSet()) == b {
-					g.claim(p, b, HeurThirdParty, obs.KV("cone_root", b.String()))
+			for _, e := range n.pred {
+				p := g.ar.edges[e].from
+				pn := &g.nodes[p]
+				if !pn.done && pn.class == classHost && g.soleConeRoot(pn.dests) == b {
+					var pev []obs.Attr
+					if tracing {
+						pev = []obs.Attr{obs.KV("cone_root", b.String())}
+					}
+					ws.claim(p, true, b, HeurThirdParty, pev)
 				}
 			}
 			return
 		}
-		g.decline(HeurThirdParty)
+		ws.decline(HeurThirdParty)
 	}
 
 	// §5.4.5 steps 5.3–5.5 for routers with anonymous addresses.
 	if n.anonymousAddr() && len(extAdj) == 1 {
-		var a topo.ASN
-		for o := range extAdj {
-			a = o
-		}
+		a := extAdj[0].as
 		switch g.in.Rel.Rel(host, a) {
 		case topo.RelCustomer, topo.RelPeer: // step 5.3
-			g.claim(n, a, HeurRelationship, obs.KV("adjacent_as", a.String()))
+			var ev []obs.Attr
+			if tracing {
+				ev = []obs.Attr{obs.KV("adjacent_as", a.String())}
+			}
+			ws.claim(id, false, a, HeurRelationship, ev)
 			return
 		default:
 			// Step 5.4 "missing customer": B provider of A, host provider
@@ -251,61 +413,86 @@ func (g *graph) inferNeighbor(n *node) {
 			for _, b := range g.in.Rel.ProvidersOf(a) {
 				if g.in.Rel.Rel(host, b) == topo.RelCustomer &&
 					g.in.Siblings != nil && g.in.Siblings.SameOrg(a, b) {
-					g.claim(n, b, HeurMissingCust,
-						obs.KV("adjacent_as", a.String()),
-						obs.KV("sibling_hit", a.String()+"~"+b.String()))
+					var ev []obs.Attr
+					if tracing {
+						ev = []obs.Attr{
+							obs.KV("adjacent_as", a.String()),
+							obs.KV("sibling_hit", a.String()+"~"+b.String()),
+						}
+					}
+					ws.claim(id, false, b, HeurMissingCust, ev)
 					return
 				}
 			}
-			g.decline(HeurMissingCust)
+			ws.decline(HeurMissingCust)
 			// Step 5.5 hidden peer: a single subsequent origin with no
 			// known relationship.
-			g.claim(n, a, HeurHiddenPeer, obs.KV("adjacent_as", a.String()))
+			var ev []obs.Attr
+			if tracing {
+				ev = []obs.Attr{obs.KV("adjacent_as", a.String())}
+			}
+			ws.claim(id, false, a, HeurHiddenPeer, ev)
 			return
 		}
 	}
 
 	// §5.4.6 step 6.1: counting among several adjacent origins.
 	if n.anonymousAddr() && len(extAdj) > 1 {
-		w := g.countWinner(extAdj)
-		g.claim(n, w, HeurCount,
-			obs.KV("adjacent_origins", len(extAdj)),
-			obs.KV("winner_ifaces", extAdj[w]))
+		w := g.countWinner(extAdj, ws)
+		var ev []obs.Attr
+		if tracing {
+			ev = []obs.Attr{
+				obs.KV("adjacent_origins", len(extAdj)),
+				obs.KV("winner_ifaces", int(findAS(extAdj, w))),
+			}
+		}
+		ws.claim(id, false, w, HeurCount, ev)
 		return
 	}
 
 	// §5.4.6 fallback: plain IP-AS mapping.
 	if (n.class == classExternal || n.class == classMulti) && n.extAS != 0 {
-		g.claim(n, n.extAS, HeurIPAS)
+		ws.claim(id, false, n.extAS, HeurIPAS, nil)
 		return
 	}
 
 	// Anonymous routers with destinations but no other constraints:
 	// the destination set is all we have (IXP LAN firewalls and the
 	// remaining host-space cases).
-	if n.anonymousAddr() && len(dests) == 1 && len(n.lastFor) > 0 {
-		g.claim(n, dests[0], HeurFirewall, obs.KV("last_hop_toward", dests[0].String()))
+	if n.anonymousAddr() && len(n.dests) == 1 && len(n.lastFor) > 0 {
+		d := n.dests[0].as
+		var ev []obs.Attr
+		if tracing {
+			ev = []obs.Attr{obs.KV("last_hop_toward", d.String())}
+		}
+		ws.claim(id, false, d, HeurFirewall, ev)
 		return
 	}
-	if na := g.nextas(n); n.anonymousAddr() && na != 0 && len(n.lastFor) > 0 {
-		g.claim(n, na, HeurFirewall, obs.KV("common_provider_of_dests", na.String()))
+	if na := g.nextas(id, ws); n.anonymousAddr() && na != 0 && len(n.lastFor) > 0 {
+		var ev []obs.Attr
+		if tracing {
+			ev = []obs.Attr{obs.KV("common_provider_of_dests", na.String())}
+		}
+		ws.claim(id, false, na, HeurFirewall, ev)
 	}
 }
 
 // soleConeRoot returns the single destination AS whose (inferred) customer
 // cone covers every other destination in the set, or 0 when no unique such
 // AS exists. With one destination it is that destination.
-func (g *graph) soleConeRoot(dests []topo.ASN) topo.ASN {
+func (g *graph) soleConeRoot(dests []asCount) topo.ASN {
 	switch len(dests) {
 	case 0:
 		return 0
 	case 1:
-		return dests[0]
+		return dests[0].as
 	}
 	var root topo.ASN
-	for _, b := range dests {
+	for _, be := range dests {
+		b := be.as
 		ok := true
-		for _, d := range dests {
+		for _, de := range dests {
+			d := de.as
 			if d == b {
 				continue
 			}
@@ -332,12 +519,13 @@ func (g *graph) soleConeRoot(dests []topo.ASN) topo.ASN {
 
 // allSuccUnrouted reports whether every successor edge of n crosses an
 // unrouted (and non-host) address, with at least one successor.
-func (g *graph) allSuccUnrouted(n *node) bool {
+func (g *graph) allSuccUnrouted(id int32) bool {
+	n := &g.nodes[id]
 	if len(n.succ) == 0 {
 		return false
 	}
-	for _, pairs := range n.succ {
-		for _, p := range pairs {
+	for _, e := range n.succ {
+		for _, p := range g.ar.edges[e].pairs {
 			if g.originIsHost(p.to) {
 				return false
 			}
@@ -355,63 +543,61 @@ func (g *graph) allSuccUnrouted(n *node) bool {
 }
 
 // inferUnrouted applies §5.4.3: reason from the origins of the first
-// routed interfaces observed after the router.
-func (g *graph) inferUnrouted(n *node) bool {
-	var asns []topo.ASN
-	for a := range n.firstRoutedAfter {
-		if !g.vpASNs[a] {
-			asns = append(asns, a)
+// routed interfaces observed after the router. It buffers at most one
+// claim and reports whether it did.
+func (g *graph) inferUnrouted(id int32, ws *workspace) bool {
+	n := &g.nodes[id]
+	asns := ws.asns[:0]
+	for _, e := range n.firstRoutedAfter {
+		if !g.vpASNs[e.as] {
+			asns = append(asns, e.as)
 		}
 	}
-	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	ws.asns = asns[:0]
 	switch {
 	case len(asns) == 1: // step 3.1
-		g.claim(n, asns[0], HeurUnrouted)
+		ws.claim(id, false, asns[0], HeurUnrouted, nil)
+		return true
 	case len(asns) > 1: // step 3.2: most frequent provider of the set
-		count := map[topo.ASN]int{}
+		count := ws.counts[:0]
 		for _, a := range asns {
 			for _, p := range g.in.Rel.ProvidersOf(a) {
-				count[p]++
+				count = bumpAS(count, p, 1)
 			}
 		}
+		ws.counts = count[:0]
 		var best topo.ASN
-		bestN := 0
-		for p, c := range count {
-			if c > bestN || (c == bestN && (best == 0 || p < best)) {
-				best, bestN = p, c
+		bestN := int32(0)
+		for _, e := range count {
+			if e.n > bestN || (e.n == bestN && (best == 0 || e.as < best)) {
+				best, bestN = e.as, e.n
 			}
 		}
 		if best != 0 {
-			g.claim(n, best, HeurUnrouted)
+			ws.claim(id, false, best, HeurUnrouted, nil)
+			return true
 		}
+		return false
 	default:
-		if na := g.nextas(n); na != 0 {
-			g.claim(n, na, HeurUnrouted)
+		if na := g.nextas(id, ws); na != 0 {
+			ws.claim(id, false, na, HeurUnrouted, nil)
+			return true
 		}
+		return false
 	}
-	return n.done
 }
 
 // twoConsecutive looks for two consecutive routers after n whose
 // edge addresses map to one external AS (§5.4.4 step 4.2).
-func (g *graph) twoConsecutive(n *node) topo.ASN {
-	var vs []*node
-	for v := range n.succ {
-		vs = append(vs, v)
-	}
-	sort.Slice(vs, func(i, j int) bool { return vs[i].id < vs[j].id })
-	for _, v := range vs {
-		a := g.edgeOrigin(n, v)
+func (g *graph) twoConsecutive(id int32) topo.ASN {
+	for _, e := range g.nodes[id].succ {
+		a := g.edgeOrigin(e)
 		if a == 0 {
 			continue
 		}
-		var ws []*node
-		for w := range v.succ {
-			ws = append(ws, w)
-		}
-		sort.Slice(ws, func(i, j int) bool { return ws[i].id < ws[j].id })
-		for _, w := range ws {
-			if g.edgeOrigin(v, w) == a {
+		v := g.ar.edges[e].to
+		for _, e2 := range g.nodes[v].succ {
+			if g.edgeOrigin(e2) == a {
 				return a
 			}
 		}
@@ -420,10 +606,10 @@ func (g *graph) twoConsecutive(n *node) topo.ASN {
 }
 
 // edgeOrigin returns the single external origin of the addresses by which
-// v was observed adjacent to n, or 0.
-func (g *graph) edgeOrigin(n, v *node) topo.ASN {
+// the edge's far router was observed, or 0.
+func (g *graph) edgeOrigin(e int32) topo.ASN {
 	var out topo.ASN
-	for _, p := range n.succ[v] {
+	for _, p := range g.ar.edges[e].pairs {
 		origins, _, ok := g.in.View.Origins(p.to)
 		if !ok {
 			return 0
@@ -444,27 +630,31 @@ func (g *graph) edgeOrigin(n, v *node) topo.ASN {
 
 // countWinner picks the AS with the most adjacent interfaces, breaking
 // ties in favor of a known relationship with the host (§5.4.6 step 6.1).
-func (g *graph) countWinner(extAdj map[topo.ASN]int) topo.ASN {
-	type entry struct {
-		asn topo.ASN
-		n   int
-	}
-	var entries []entry
-	for a, c := range extAdj {
-		entries = append(entries, entry{a, c})
-	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].n != entries[j].n {
-			return entries[i].n > entries[j].n
+func (g *graph) countWinner(extAdj []asCount, ws *workspace) topo.ASN {
+	entries := append(ws.counts[:0], extAdj...)
+	ws.counts = entries[:0]
+	best := entries[0]
+	bestRel := g.in.Rel.Rel(g.in.HostASN, best.as) != topo.RelNone
+	for _, e := range entries[1:] {
+		if e.n != best.n {
+			if e.n > best.n {
+				best = e
+				bestRel = g.in.Rel.Rel(g.in.HostASN, best.as) != topo.RelNone
+			}
+			continue
 		}
-		iRel := g.in.Rel.Rel(g.in.HostASN, entries[i].asn) != topo.RelNone
-		jRel := g.in.Rel.Rel(g.in.HostASN, entries[j].asn) != topo.RelNone
-		if iRel != jRel {
-			return iRel
+		eRel := g.in.Rel.Rel(g.in.HostASN, e.as) != topo.RelNone
+		if eRel != bestRel {
+			if eRel {
+				best, bestRel = e, true
+			}
+			continue
 		}
-		return entries[i].asn < entries[j].asn
-	})
-	return entries[0].asn
+		if e.as < best.as {
+			best = e
+		}
+	}
+	return best.as
 }
 
 // ---------------------------------------------------------------------------
@@ -474,34 +664,39 @@ func (g *graph) passAnalyticalAliases() {
 	if g.in.Opts.NoAnalyticalAlias {
 		return
 	}
-	for _, v := range g.nodes {
+	var singles []int32
+	for _, vid := range g.order {
+		v := &g.nodes[vid]
 		if v.host || v.owner == 0 || g.vpASNs[v.owner] {
 			continue
 		}
-		// Host-side predecessors with a single observed interface.
-		var singles []*node
-		for p := range v.pred {
-			if p.host && len(p.addrs) == 1 {
+		// Host-side predecessors with a single observed interface; the
+		// pred list is sorted by node id, so singles come out in id order.
+		singles = singles[:0]
+		for _, e := range v.pred {
+			p := g.ar.edges[e].from
+			pn := &g.nodes[p]
+			if pn.host && len(pn.addrs) == 1 {
 				singles = append(singles, p)
 			}
 		}
 		if len(singles) < 2 {
 			continue
 		}
-		sort.Slice(singles, func(i, j int) bool { return singles[i].id < singles[j].id })
 		base := singles[0]
 		for _, u := range singles[1:] {
 			// Merging must not contradict measurement: skip pairs some
 			// probe actively rejected.
+			baseAddr, uAddr := g.nodes[base].addrs[0], g.nodes[u].addrs[0]
 			if g.in.Data.Resolver != nil &&
-				g.in.Data.Resolver.Verdict(base.addrs[0], u.addrs[0]) == alias.AliasNo {
+				g.in.Data.Resolver.Verdict(baseAddr, uAddr) == alias.AliasNo {
 				continue
 			}
 			if g.in.Data.Resolver != nil {
-				g.in.Data.Resolver.Record(base.addrs[0], u.addrs[0], alias.AliasYes)
+				g.in.Data.Resolver.Record(baseAddr, uAddr, alias.AliasYes)
 			}
-			g.in.Trace.Emit(obs.StageCore, "merge", base.addrs[0].String(), 0,
-				obs.KV("merged", u.addrs[0].String()),
+			g.in.Trace.Emit(obs.StageCore, "merge", baseAddr.String(), 0,
+				obs.KV("merged", uAddr.String()),
 				obs.KV("via", "analytical"))
 			g.mergeNodes(base, u)
 			g.in.Obs.Inc("core.alias.merges")
@@ -509,48 +704,160 @@ func (g *graph) passAnalyticalAliases() {
 	}
 }
 
-// mergeNodes folds src into dst.
-func (g *graph) mergeNodes(dst, src *node) {
+// findEdge returns the edge from->to, or -1.
+func (g *graph) findEdge(from, to int32) int32 {
+	if e, ok := g.ar.edgeIdx[uint64(uint32(from))<<32|uint64(uint32(to))]; ok {
+		return e
+	}
+	return -1
+}
+
+// retargetEdge rewrites one endpoint of an edge, keeping the index map
+// consistent (merge support; the old key is dropped).
+func (g *graph) retargetEdge(e, from, to int32) {
+	old := &g.ar.edges[e]
+	delete(g.ar.edgeIdx, uint64(uint32(old.from))<<32|uint64(uint32(old.to)))
+	old.from, old.to = from, to
+	g.ar.edgeIdx[uint64(uint32(from))<<32|uint64(uint32(to))] = e
+}
+
+// removeEdge deletes edge e from an index list, in place.
+func removeEdge(list []int32, e int32) []int32 {
+	for i, x := range list {
+		if x == e {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// insertSucc/insertPred keep the per-node lists sorted by neighbor id.
+// The lists are capacity-bounded slab windows, so growth copies out.
+func (g *graph) insertSucc(list []int32, e int32) []int32 {
+	pos := len(list)
+	for i, x := range list {
+		if g.ar.edges[x].to > g.ar.edges[e].to {
+			pos = i
+			break
+		}
+	}
+	list = append(list, 0)
+	copy(list[pos+1:], list[pos:])
+	list[pos] = e
+	return list
+}
+
+func (g *graph) insertPred(list []int32, e int32) []int32 {
+	pos := len(list)
+	for i, x := range list {
+		if g.ar.edges[x].from > g.ar.edges[e].from {
+			pos = i
+			break
+		}
+	}
+	list = append(list, 0)
+	copy(list[pos+1:], list[pos:])
+	list[pos] = e
+	return list
+}
+
+// mergeASCounts sums two sorted tallies into a fresh slice.
+func mergeASCounts(a, b []asCount) []asCount {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]asCount, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].as < b[j].as:
+			out = append(out, a[i])
+			i++
+		case a[i].as > b[j].as:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, asCount{as: a[i].as, n: a[i].n + b[j].n})
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// mergeNodes folds src into dst: addresses union, adjacency rewired onto
+// dst (pair order preserved, src's pairs appended after dst's), tallies
+// summed. src keeps no state beyond the merged flag.
+func (g *graph) mergeNodes(dst, src int32) {
 	if dst == src {
 		return
 	}
-	dst.addrs = append(dst.addrs, src.addrs...)
-	sort.Slice(dst.addrs, func(i, j int) bool { return dst.addrs[i] < dst.addrs[j] })
-	for _, a := range src.addrs {
-		g.byAddr[a] = dst
-	}
-	for s, pairs := range src.succ {
-		if s == dst {
-			continue
+	ar := g.ar
+	d, s := &g.nodes[dst], &g.nodes[src]
+	d.addrs = append(d.addrs, s.addrs...)
+	addrs := d.addrs
+	for i := 1; i < len(addrs); i++ {
+		for j := i; j > 0 && addrs[j] < addrs[j-1]; j-- {
+			addrs[j], addrs[j-1] = addrs[j-1], addrs[j]
 		}
-		dst.succ[s] = append(dst.succ[s], pairs...)
-		delete(s.pred, src)
-		s.pred[dst] = append(s.pred[dst], pairs...)
 	}
-	for p, pairs := range src.pred {
-		if p == dst {
-			continue
+	for _, a := range s.addrs {
+		if aid, ok := g.intern.Lookup(a); ok {
+			ar.addrNode[aid] = dst
 		}
-		dst.pred[p] = append(dst.pred[p], pairs...)
-		delete(p.succ, src)
-		p.succ[dst] = append(p.succ[dst], pairs...)
 	}
-	delete(dst.succ, src)
-	delete(dst.pred, src)
-	if src.minTTL < dst.minTTL {
-		dst.minTTL = src.minTTL
+	for _, e := range s.succ {
+		to := ar.edges[e].to
+		if to == dst {
+			continue // the src->dst edge dies with src (removed from d.pred below)
+		}
+		if f := g.findEdge(dst, to); f >= 0 {
+			ar.edges[f].pairs = append(ar.edges[f].pairs, ar.edges[e].pairs...)
+			g.nodes[to].pred = removeEdge(g.nodes[to].pred, e)
+			delete(ar.edgeIdx, uint64(uint32(src))<<32|uint64(uint32(to)))
+		} else {
+			g.retargetEdge(e, dst, to)
+			d.succ = g.insertSucc(d.succ, e)
+			g.nodes[to].pred = removeEdge(g.nodes[to].pred, e)
+			g.nodes[to].pred = g.insertPred(g.nodes[to].pred, e)
+		}
 	}
-	for d, c := range src.dests {
-		dst.dests[d] += c
+	for _, e := range s.pred {
+		from := ar.edges[e].from
+		if from == dst {
+			continue // the dst->src edge is removed from d.succ below
+		}
+		if f := g.findEdge(from, dst); f >= 0 {
+			ar.edges[f].pairs = append(ar.edges[f].pairs, ar.edges[e].pairs...)
+			g.nodes[from].succ = removeEdge(g.nodes[from].succ, e)
+			delete(ar.edgeIdx, uint64(uint32(from))<<32|uint64(uint32(src)))
+		} else {
+			g.retargetEdge(e, from, dst)
+			d.pred = g.insertPred(d.pred, e)
+			g.nodes[from].succ = removeEdge(g.nodes[from].succ, e)
+			g.nodes[from].succ = g.insertSucc(g.nodes[from].succ, e)
+		}
 	}
-	for d, c := range src.lastFor {
-		dst.lastFor[d] += c
+	if e := g.findEdge(dst, src); e >= 0 {
+		d.succ = removeEdge(d.succ, e)
+		delete(ar.edgeIdx, uint64(uint32(dst))<<32|uint64(uint32(src)))
 	}
-	src.addrs = nil
-	src.done = true
-	src.owner = 0
-	src.host = false
-	src.merged = true
+	if e := g.findEdge(src, dst); e >= 0 {
+		d.pred = removeEdge(d.pred, e)
+		delete(ar.edgeIdx, uint64(uint32(src))<<32|uint64(uint32(dst)))
+	}
+	if s.minTTL < d.minTTL {
+		d.minTTL = s.minTTL
+	}
+	d.dests = mergeASCounts(d.dests, s.dests)
+	d.lastFor = mergeASCounts(d.lastFor, s.lastFor)
+	s.succ, s.pred = nil, nil
+	s.addrs = nil
+	s.done = true
+	s.owner = 0
+	s.host = false
+	s.merged = true
 }
 
 // ---------------------------------------------------------------------------
@@ -560,10 +867,14 @@ func (g *graph) buildResult() *Result {
 	res := &Result{
 		VPName:    g.in.Data.VPName,
 		Neighbors: make(map[topo.ASN][]*Link),
-		byAddr:    make(map[netx.Addr]*RouterNode),
+		Intern:    g.intern,
 	}
-	nodeOut := make(map[*node]*RouterNode)
-	for _, n := range g.nodes {
+	nodeOut := make([]int32, len(g.nodes))
+	for i := range nodeOut {
+		nodeOut[i] = -1
+	}
+	for _, id := range g.order {
+		n := &g.nodes[id]
 		if n.merged {
 			continue
 		}
@@ -576,35 +887,43 @@ func (g *graph) buildResult() *Result {
 			HopDist:   n.minTTL,
 		}
 		res.Routers = append(res.Routers, rn)
-		nodeOut[n] = rn
-		for _, a := range n.addrs {
-			res.byAddr[a] = rn
+		nodeOut[id] = int32(rn.ID)
+	}
+	res.routerByID = make([]int32, g.intern.Len())
+	for i := range res.routerByID {
+		res.routerByID[i] = -1
+	}
+	for idx, rn := range res.Routers {
+		for _, a := range rn.Addrs {
+			if aid, ok := g.intern.Lookup(a); ok {
+				res.routerByID[aid] = int32(idx)
+			}
 		}
 	}
 	// Interdomain links: edges from a host router to an external-owned one.
-	seen := make(map[[2]*RouterNode]bool)
-	for _, n := range g.nodes {
-		if n.merged || !isHostNode(nodeOut[n]) {
+	seen := make(map[[2]int32]bool)
+	for _, id := range g.order {
+		n := &g.nodes[id]
+		if n.merged || nodeOut[id] < 0 || !isHostNode(res.Routers[nodeOut[id]]) {
 			continue
 		}
-		var vs []*node
-		for v := range n.succ {
-			vs = append(vs, v)
-		}
-		sort.Slice(vs, func(i, j int) bool { return vs[i].id < vs[j].id })
-		for _, v := range vs {
-			out := nodeOut[v]
-			if out == nil || isHostNode(out) || out.Owner == 0 {
+		for _, e := range n.succ {
+			v := g.ar.edges[e].to
+			if nodeOut[v] < 0 {
 				continue
 			}
-			key := [2]*RouterNode{nodeOut[n], out}
+			out := res.Routers[nodeOut[v]]
+			if isHostNode(out) || out.Owner == 0 {
+				continue
+			}
+			key := [2]int32{nodeOut[id], nodeOut[v]}
 			if seen[key] {
 				continue
 			}
 			seen[key] = true
-			pair := n.succ[v][0]
+			pair := g.ar.edges[e].pairs[0]
 			res.Links = append(res.Links, &Link{
-				Near: nodeOut[n], Far: out,
+				Near: res.Routers[nodeOut[id]], Far: out,
 				NearAddr: pair.from, FarAddr: pair.to,
 				FarAS: out.Owner, Heuristic: out.Heuristic,
 			})
@@ -626,14 +945,11 @@ func (g *graph) passSilent(res *Result) {
 		if g.vpASNs[a] || len(res.Neighbors[a]) > 0 {
 			continue
 		}
-		finals := g.finalNodes[a]
-		if len(finals) != 1 {
+		fi, ok := g.finalNodes[a]
+		if !ok || fi.multi {
 			continue // different exits: cannot place the neighbor
 		}
-		var r0 *node
-		for n := range finals {
-			r0 = n
-		}
+		r0 := &g.nodes[fi.n]
 		if r0.merged || !r0.host {
 			continue
 		}
@@ -649,14 +965,14 @@ func (g *graph) passSilent(res *Result) {
 				}
 			}
 		}
-		near := res.byAddr[r0.addrs[0]]
+		near := res.RouterByAddr(r0.addrs[0])
 		if near == nil {
 			continue
 		}
 		l := &Link{Near: near, FarAS: a, Heuristic: heur}
 		res.Links = append(res.Links, l)
 		res.Neighbors[a] = append(res.Neighbors[a], l)
-		g.in.Obs.Inc("core.heur.fire." + string(heur))
+		g.in.Obs.Inc(heurFireName(heur))
 		g.in.Trace.Emit(obs.StageCore, "decision", a.String(), 0,
 			obs.KV("heuristic", string(heur)),
 			obs.KV("owner", a.String()),

@@ -1,0 +1,1225 @@
+package core
+
+import (
+	"sort"
+
+	"bdrmap/internal/alias"
+	"bdrmap/internal/netx"
+	"bdrmap/internal/obs"
+	"bdrmap/internal/probe"
+	"bdrmap/internal/topo"
+)
+
+// legacyNode is the working state for one inferred router.
+type legacyNode struct {
+	id    int
+	addrs []netx.Addr
+
+	class  addrClass
+	extAS  topo.ASN // for classExternal (or a common origin for classMulti)
+	minTTL int
+	isVP   bool // contains the VP-side first hop
+
+	// succ/pred adjacency: per neighboring legacyNode, the address pairs
+	// observed (ours, theirs).
+	succ map[*legacyNode][]legacyAddrPair
+	pred map[*legacyNode][]legacyAddrPair
+
+	// dests: target ASes of traces traversing this legacyNode, with counts.
+	dests map[topo.ASN]int
+	// lastFor: target ASes whose traces ended (last response) here.
+	lastFor map[topo.ASN]int
+	// firstRoutedAfter: origins of the first routed address observed
+	// after this legacyNode in traces (per §5.4.3), with counts.
+	firstRoutedAfter map[topo.ASN]int
+
+	owner   topo.ASN
+	heur    Heuristic
+	host    bool
+	done    bool
+	merged  bool // folded into another legacyNode by §5.4.7
+	spliced bool // attribution copied from the previous round's result
+}
+
+type legacyAddrPair struct{ from, to netx.Addr }
+
+// legacyGraph is the router-level measurement legacyGraph plus lookup tables.
+type legacyGraph struct {
+	in     Input
+	vpASNs map[topo.ASN]bool
+
+	nodes  []*legacyNode
+	byAddr map[netx.Addr]*legacyNode
+
+	// hostExtra covers unannounced blocks attributed to the host via the
+	// positional RIR rule of §5.4.1.
+	hostExtra netx.Trie[bool]
+	hostOrgs  map[string]bool // RIR org IDs covering known host space
+
+	// echo sources per target AS: origins of echo replies received when
+	// tracing toward that AS (used by §5.4.8 step 8.2 and §5.4.3).
+	echoFrom map[topo.ASN][]netx.Addr
+	// lastRespNode per trace toward each target AS (used by §5.4.8).
+	finalNodes map[topo.ASN]map[*legacyNode]int
+	// tracesToward counts traces per target AS.
+	tracesToward map[topo.ASN]int
+
+	// declined collects the heuristics that examined the legacyNode currently
+	// being inferred and passed — consumed (and reset) by the next claim,
+	// whose provenance event records them.
+	declined []Heuristic
+}
+
+// buildLegacyGraph constructs nodes from the dataset's traces and alias legacyGraph.
+func buildLegacyGraph(in Input) *legacyGraph {
+	g := &legacyGraph{
+		in:           in,
+		vpASNs:       in.vpASNs(),
+		byAddr:       make(map[netx.Addr]*legacyNode),
+		hostOrgs:     make(map[string]bool),
+		echoFrom:     make(map[topo.ASN][]netx.Addr),
+		finalNodes:   make(map[topo.ASN]map[*legacyNode]int),
+		tracesToward: make(map[topo.ASN]int),
+	}
+
+	// Pass 0: the positional host-space rule (§5.4.1): in each trace, any
+	// unrouted address appearing before a VP-AS address is host space;
+	// attribute its whole RIR delegation to the host organization.
+	for _, tr := range in.Data.Traces {
+		lastHost := -1
+		for i, h := range tr.Hops {
+			if h.Type == probe.HopTimeExceeded && g.originIsHost(h.Addr) {
+				lastHost = i
+			}
+		}
+		for i := 0; i < lastHost; i++ {
+			h := tr.Hops[i]
+			if h.Type != probe.HopTimeExceeded {
+				continue
+			}
+			if _, _, routed := in.View.Origins(h.Addr); routed {
+				continue
+			}
+			if in.RIR == nil {
+				continue
+			}
+			if org, ok := in.RIR.OrgOf(h.Addr); ok {
+				g.hostOrgs[org] = true
+				for _, rec := range in.RIR.Records() {
+					if rec.OrgID == org && rec.Start <= h.Addr && h.Addr <= rec.End() {
+						g.hostExtra.Insert(netx.MakePrefix(rec.Start, prefixLenFor(rec)), true)
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 1: create nodes (alias-merged) and adjacency.
+	getNode := func(a netx.Addr) *legacyNode {
+		canon := a
+		if in.Data.Graph != nil {
+			canon = in.Data.Graph.Canonical(a)
+		}
+		if n, ok := g.byAddr[canon]; ok {
+			if _, seen := g.byAddr[a]; !seen {
+				n.addrs = append(n.addrs, a)
+				g.byAddr[a] = n
+			}
+			return n
+		}
+		n := &legacyNode{
+			id:               len(g.nodes),
+			minTTL:           1 << 30,
+			succ:             make(map[*legacyNode][]legacyAddrPair),
+			pred:             make(map[*legacyNode][]legacyAddrPair),
+			dests:            make(map[topo.ASN]int),
+			lastFor:          make(map[topo.ASN]int),
+			firstRoutedAfter: make(map[topo.ASN]int),
+		}
+		n.addrs = append(n.addrs, a)
+		g.nodes = append(g.nodes, n)
+		g.byAddr[canon] = n
+		g.byAddr[a] = n
+		return n
+	}
+
+	for _, tr := range in.Data.Traces {
+		g.tracesToward[tr.TargetAS]++
+		var prev *legacyNode
+		var prevAddr netx.Addr
+		var lastResp *legacyNode
+		first := true
+		for _, h := range tr.Hops {
+			switch h.Type {
+			case probe.HopTimeExceeded:
+				n := getNode(h.Addr)
+				if h.TTL < n.minTTL {
+					n.minTTL = h.TTL
+				}
+				if first {
+					n.isVP = true
+					first = false
+				}
+				n.dests[tr.TargetAS]++
+				if prev != nil && prev != n {
+					prev.succ[n] = append(prev.succ[n], legacyAddrPair{prevAddr, h.Addr})
+					n.pred[prev] = append(n.pred[prev], legacyAddrPair{prevAddr, h.Addr})
+				}
+				prev, prevAddr, lastResp = n, h.Addr, n
+			case probe.HopEchoReply, probe.HopUnreachable:
+				// §5.4.8 step 8.2 accepts both echo replies and
+				// destination unreachables as evidence of the neighbor.
+				g.echoFrom[tr.TargetAS] = append(g.echoFrom[tr.TargetAS], h.Addr)
+				prev, prevAddr = nil, 0
+			default:
+				// A timeout breaks adjacency: the next responder is not
+				// necessarily connected to the previous one.
+				prev, prevAddr = nil, 0
+			}
+		}
+		if lastResp != nil {
+			lastResp.lastFor[tr.TargetAS]++
+			if g.finalNodes[tr.TargetAS] == nil {
+				g.finalNodes[tr.TargetAS] = make(map[*legacyNode]int)
+			}
+			g.finalNodes[tr.TargetAS][lastResp]++
+		}
+	}
+
+	// Pass 2: first routed address after each legacyNode (for §5.4.3).
+	for _, tr := range in.Data.Traces {
+		var seen []*legacyNode
+		for _, h := range tr.Hops {
+			switch h.Type {
+			case probe.HopTimeExceeded:
+				n := g.byAddr[h.Addr]
+				if n == nil {
+					continue
+				}
+				if origins, _, ok := in.View.Origins(h.Addr); ok {
+					for _, s := range seen {
+						if s != n {
+							s.firstRoutedAfter[origins[0]]++
+						}
+					}
+					seen = seen[:0]
+				}
+				seen = append(seen, n)
+			case probe.HopEchoReply, probe.HopUnreachable:
+				if origins, _, ok := in.View.Origins(h.Addr); ok {
+					for _, s := range seen {
+						s.firstRoutedAfter[origins[0]]++
+					}
+					seen = seen[:0]
+				}
+			}
+		}
+	}
+
+	// Classify every legacyNode.
+	for _, n := range g.nodes {
+		sort.Slice(n.addrs, func(i, j int) bool { return n.addrs[i] < n.addrs[j] })
+		n.class, n.extAS = g.classify(n.addrs)
+	}
+	// Visit order: by hop distance, then id for determinism.
+	sort.Slice(g.nodes, func(i, j int) bool {
+		if g.nodes[i].minTTL != g.nodes[j].minTTL {
+			return g.nodes[i].minTTL < g.nodes[j].minTTL
+		}
+		return g.nodes[i].id < g.nodes[j].id
+	})
+	return g
+}
+
+// claim records an ownership decision: rule h attributes router n to owner.
+// Every heuristic routes its conclusion through here so the obs registry
+// tallies exactly one core.heur.fire.<tag> increment per decided router and
+// the tracer receives exactly one provenance event per decision, carrying
+// the standard constraint set (origin AS, AS relationship, address class,
+// hop distance, declined heuristics) plus any rule-specific evidence.
+func (g *legacyGraph) claim(n *legacyNode, owner topo.ASN, h Heuristic, evidence ...obs.Attr) {
+	n.owner, n.heur, n.done = owner, h, true
+	if g.vpASNs[owner] {
+		n.host = true
+		g.in.Obs.Inc("core.attr.host")
+	} else {
+		g.in.Obs.Inc("core.attr.external")
+	}
+	g.in.Obs.Inc("core.heur.fire." + string(h))
+	if g.in.Trace.Enabled() {
+		attrs := make([]obs.Attr, 0, 8+len(evidence))
+		attrs = append(attrs,
+			obs.KV("heuristic", string(h)),
+			obs.KV("owner", owner.String()),
+			obs.KV("hop", n.minTTL),
+			obs.KV("class", n.class.String()),
+			obs.KV("addrs", addrList(n.addrs)),
+			obs.KV("origin_as", g.originAttr(n)),
+			obs.KV("rel", g.in.Rel.Rel(g.in.HostASN, owner).String()),
+		)
+		if len(g.declined) > 0 {
+			attrs = append(attrs, obs.KV("declined", heurList(g.declined)))
+		}
+		attrs = append(attrs, evidence...)
+		g.in.Trace.Emit(obs.StageCore, "decision", n.addrs[0].String(), 0, attrs...)
+	}
+	g.declined = g.declined[:0]
+}
+
+// decline notes that heuristic h examined the current legacyNode and passed; the
+// next claim's provenance event records the accumulated list.
+func (g *legacyGraph) decline(h Heuristic) { g.declined = append(g.declined, h) }
+
+// originAttr states what the legacyNode's own addresses say about its owner —
+// the prefix→origin-AS constraint a decision consulted.
+func (g *legacyGraph) originAttr(n *legacyNode) string {
+	if n.extAS != 0 {
+		return n.extAS.String()
+	}
+	return n.class.String()
+}
+
+// originIsHost reports whether addr maps to the hosting organization.
+func (g *legacyGraph) originIsHost(addr netx.Addr) bool {
+	if origins, _, ok := g.in.View.Origins(addr); ok {
+		for _, o := range origins {
+			if g.vpASNs[o] {
+				return true
+			}
+		}
+		return false
+	}
+	if _, ok := g.hostExtra.Lookup(addr); ok {
+		return true
+	}
+	return false
+}
+
+// classify determines the address class of a legacyNode from all its addresses.
+func (g *legacyGraph) classify(addrs []netx.Addr) (addrClass, topo.ASN) {
+	anyHost, anyIXP, anyUnrouted := false, false, false
+	common := map[topo.ASN]int{}
+	nExt := 0
+	for _, a := range addrs {
+		if g.in.IXP != nil {
+			if _, isIXP := g.in.IXP.IsIXP(a); isIXP {
+				anyIXP = true
+				continue
+			}
+		}
+		origins, _, ok := g.in.View.Origins(a)
+		if !ok {
+			if _, host := g.hostExtra.Lookup(a); host {
+				anyHost = true
+			} else {
+				anyUnrouted = true
+			}
+			continue
+		}
+		host := false
+		for _, o := range origins {
+			if g.vpASNs[o] {
+				host = true
+			}
+		}
+		if host {
+			anyHost = true
+			continue
+		}
+		nExt++
+		for _, o := range origins {
+			common[o]++
+		}
+	}
+	switch {
+	case anyIXP && !anyHost && nExt == 0:
+		return classIXP, 0
+	case anyHost && nExt == 0:
+		return classHost, 0
+	case anyUnrouted && !anyHost && nExt == 0:
+		return classUnrouted, 0
+	case nExt > 0:
+		// Single common external origin?
+		var best topo.ASN
+		bestN := 0
+		for o, c := range common {
+			if c > bestN || (c == bestN && (best == 0 || o < best)) {
+				best, bestN = o, c
+			}
+		}
+		if bestN == nExt && legacySingleFullCover(common, nExt) {
+			return classExternal, best
+		}
+		return classMulti, best
+	default:
+		return classUnrouted, 0
+	}
+}
+
+// destSet returns the distinct destination ASes of a legacyNode (grouping the
+// host's sibling targets never occurs since host prefixes are not probed).
+func (n *legacyNode) destSet() []topo.ASN {
+	out := make([]topo.ASN, 0, len(n.dests))
+	for d := range n.dests {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// succExternalOrigins returns, per external AS, how many distinct adjacent
+// successor addresses map to it.
+func (g *legacyGraph) succExternalOrigins(n *legacyNode) map[topo.ASN]int {
+	count := make(map[topo.ASN]int)
+	seen := make(map[netx.Addr]bool)
+	for s, pairs := range n.succ {
+		_ = s
+		for _, p := range pairs {
+			if seen[p.to] {
+				continue
+			}
+			seen[p.to] = true
+			origins, _, ok := g.in.View.Origins(p.to)
+			if !ok {
+				continue
+			}
+			isHost := false
+			for _, o := range origins {
+				if g.vpASNs[o] {
+					isHost = true
+				}
+			}
+			if !isHost {
+				count[origins[0]]++
+			}
+		}
+	}
+	return count
+}
+
+// nextas computes the candidate owner of §5.4: the most common inferred
+// provider among the destination ASes probed through the legacyNode.
+func (g *legacyGraph) nextas(n *legacyNode) topo.ASN {
+	if len(n.dests) < 2 {
+		return 0
+	}
+	count := make(map[topo.ASN]int)
+	for d := range n.dests {
+		for _, p := range g.in.Rel.ProvidersOf(d) {
+			count[p]++
+		}
+	}
+	var best topo.ASN
+	bestN := 0
+	better := func(p topo.ASN, c int) bool {
+		if c != bestN {
+			return c > bestN
+		}
+		// Tie-break: an AS that is itself among the destinations is the
+		// likely transit for the others (a transit customer with its own
+		// customers behind it).
+		_, pIn := n.dests[p]
+		_, bIn := n.dests[best]
+		if pIn != bIn {
+			return pIn
+		}
+		return best == 0 || p < best
+	}
+	for p, c := range count {
+		if better(p, c) {
+			best, bestN = p, c
+		}
+	}
+	return best
+}
+
+// Infer runs the full bdrmap algorithm over one vantage point's dataset.
+func InferLegacy(in Input) *Result {
+	span := in.Obs.StartStage("core.infer")
+	defer span.End()
+	g := buildLegacyGraph(in)
+	g.spliceClean(in.Prev, in.Data.Dirty)
+	g.passHost()
+	for _, n := range g.nodes {
+		if n.spliced {
+			g.replaySpliced(n)
+			continue
+		}
+		if !n.done {
+			g.inferNeighbor(n)
+		}
+	}
+	g.passAnalyticalAliases()
+	res := g.buildResult()
+	g.passSilent(res)
+	in.Obs.Add("core.routers", int64(len(res.Routers)))
+	in.Obs.Add("core.links", int64(len(res.Links)))
+	return res
+}
+
+// anonymousAddr reports whether a legacyNode's addresses say nothing about its
+// owner: host-supplied interconnection space or IXP LAN space.
+func (n *legacyNode) anonymousAddr() bool {
+	return n.class == classHost || n.class == classIXP
+}
+
+// ---------------------------------------------------------------------------
+// §5.4.1: routers operated by the hosting network
+
+func (g *legacyGraph) passHost() {
+	host := g.in.HostASN
+	for _, n := range g.nodes {
+		if n.class != classHost {
+			continue
+		}
+		// Step 1.2 precondition: a subsequent interface also originated by
+		// the hosting network.
+		hostSucc := g.hostSuccessor(n)
+		if hostSucc == nil {
+			continue
+		}
+		// Step 1.1 exception: the neighbor may be multihomed to the host
+		// with adjacent routers numbered from host space. This reading
+		// only applies when both routers exclusively carry traffic toward
+		// A (a host border carries many destinations and never matches).
+		extAdj := g.succExternalOrigins(n)
+		if len(extAdj) == 1 && !n.isVP {
+			var a topo.ASN
+			for o := range extAdj {
+				a = o
+			}
+			nd, vd := n.destSet(), hostSucc.destSet()
+			onlyA := len(nd) == 1 && nd[0] == a && len(vd) == 1 && vd[0] == a
+			if onlyA && g.in.Rel.Rel(host, a) != topo.RelNone && g.multihomedException(n, hostSucc, a) {
+				ev := obs.KV("only_dest", a.String())
+				g.claim(n, a, HeurMultihomed, ev)
+				if !hostSucc.done {
+					g.claim(hostSucc, a, HeurMultihomed, ev)
+				}
+				continue
+			}
+		}
+		g.claim(n, host, HeurHostNetwork,
+			obs.KV("host_successor", hostSucc.addrs[0].String()))
+	}
+
+	// Extension step (beyond the paper's 1.1/1.2, needed for hosts with
+	// no customers to supply interconnection space): a host-space router
+	// whose successors fan out into several *mutually unrelated* external
+	// ASes must be the host's own border. A neighbor's router only carries
+	// traffic into that neighbor's cone, so its adjacent external ASes
+	// always include a plausible common transit; an egress fan-out point
+	// of the host does not.
+	for _, n := range g.nodes {
+		if n.done || n.class != classHost {
+			continue
+		}
+		extAdj := g.succExternalOrigins(n)
+		if len(extAdj) >= 2 && !g.hasPlausibleTransit(extAdj) {
+			g.claim(n, host, HeurHostNetwork,
+				obs.KV("egress_fanout", len(extAdj)))
+		}
+	}
+}
+
+// hasPlausibleTransit reports whether some adjacent AS could be providing
+// transit to every other adjacent AS (the fig. 9 configuration).
+func (g *legacyGraph) hasPlausibleTransit(extAdj map[topo.ASN]int) bool {
+	for a := range extAdj {
+		ok := true
+		for b := range extAdj {
+			if b == a {
+				continue
+			}
+			if g.in.Rel.Rel(a, b) != topo.RelCustomer { // b is not a's customer
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// hostSuccessor returns a successor reached over a host-originated address.
+func (g *legacyGraph) hostSuccessor(n *legacyNode) *legacyNode {
+	var keys []*legacyNode
+	for s := range n.succ {
+		keys = append(keys, s)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].id < keys[j].id })
+	for _, s := range keys {
+		for _, p := range n.succ[s] {
+			if g.originIsHost(p.to) {
+				return s
+			}
+		}
+	}
+	return nil
+}
+
+// multihomedException applies §5.4.1's guard for step 1.1: if an owner we
+// would infer for a router subsequent to n is a customer of the host but
+// not a known neighbor of A, the multihomed reading is wrong and the host
+// operates n. Returns true when step 1.1 should fire.
+func (g *legacyGraph) multihomedException(n, v *legacyNode, a topo.ASN) bool {
+	check := func(w *legacyNode) bool {
+		if w.class != classExternal || w.extAS == 0 || w.extAS == a {
+			return true
+		}
+		o := w.extAS
+		if g.in.Rel.Rel(g.in.HostASN, o) == topo.RelCustomer && !g.in.View.HasLink(o, a) {
+			return false // a host customer unrelated to A: n is the host's
+		}
+		return true
+	}
+	for w := range n.succ {
+		if !check(w) {
+			return false
+		}
+	}
+	for w := range v.succ {
+		if !check(w) {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// §5.4.2–§5.4.6: neighbor routers, in the paper's order
+
+func (g *legacyGraph) inferNeighbor(n *legacyNode) {
+	host := g.in.HostASN
+	dests := n.destSet()
+	extAdj := g.succExternalOrigins(n)
+
+	// §5.4.2 firewall: the last responding router toward a destination,
+	// numbered from space that says nothing about its owner, with no
+	// adjacent interfaces at all.
+	if n.anonymousAddr() && len(n.succ) == 0 && len(n.lastFor) > 0 {
+		if len(dests) == 1 {
+			g.claim(n, dests[0], HeurFirewall, obs.KV("last_hop_toward", dests[0].String()))
+		} else if na := g.nextas(n); na != 0 {
+			g.claim(n, na, HeurFirewall, obs.KV("common_provider_of_dests", na.String()))
+		}
+		if n.done {
+			return
+		}
+		g.decline(HeurFirewall)
+	}
+
+	// §5.4.3 unrouted interior addressing.
+	if n.class == classUnrouted || (n.anonymousAddr() && g.allSuccUnrouted(n)) {
+		if g.inferUnrouted(n) {
+			return
+		}
+		g.decline(HeurUnrouted)
+	}
+
+	// §5.4.4 onenet.
+	if n.class == classExternal && n.extAS != 0 && extAdj[n.extAS] > 0 {
+		g.claim(n, n.extAS, HeurOnenet, // step 4.1
+			obs.KV("adjacent_same_as_ifaces", extAdj[n.extAS]))
+		return
+	}
+	if n.anonymousAddr() {
+		if a := g.twoConsecutive(n); a != 0 { // step 4.2
+			g.claim(n, a, HeurOnenet, obs.KV("consecutive_as", a.String()))
+			return
+		}
+		g.decline(HeurOnenet)
+	}
+
+	// §5.4.5 steps 5.1/5.2: third-party address detection. "Paths toward
+	// B" include B's customer cone: a transit customer's border also
+	// carries probes toward its own customers.
+	if b := g.soleConeRoot(dests); !g.in.Opts.NoThirdParty &&
+		n.class == classExternal && n.extAS != 0 && b != 0 {
+		a := n.extAS
+		if a != b && g.in.Rel.Rel(b, a) == topo.RelProvider {
+			// The address belongs to the destination's provider: the
+			// router used a route from its provider to respond.
+			g.claim(n, b, HeurThirdParty,
+				obs.KV("cone_root", b.String()),
+				obs.KV("addr_owner_provides", b.String()))
+			// Step 5.1: a preceding router observed only with host
+			// addresses and only toward B belongs to B as well.
+			for p := range n.pred {
+				if !p.done && p.class == classHost && g.soleConeRoot(p.destSet()) == b {
+					g.claim(p, b, HeurThirdParty, obs.KV("cone_root", b.String()))
+				}
+			}
+			return
+		}
+		g.decline(HeurThirdParty)
+	}
+
+	// §5.4.5 steps 5.3–5.5 for routers with anonymous addresses.
+	if n.anonymousAddr() && len(extAdj) == 1 {
+		var a topo.ASN
+		for o := range extAdj {
+			a = o
+		}
+		switch g.in.Rel.Rel(host, a) {
+		case topo.RelCustomer, topo.RelPeer: // step 5.3
+			g.claim(n, a, HeurRelationship, obs.KV("adjacent_as", a.String()))
+			return
+		default:
+			// Step 5.4 "missing customer": B provider of A, host provider
+			// of B. The paper notes sibling organizations cause this
+			// scenario (B numbers its routers from sibling A's space), so
+			// require sibling evidence before overriding the IP-AS owner.
+			for _, b := range g.in.Rel.ProvidersOf(a) {
+				if g.in.Rel.Rel(host, b) == topo.RelCustomer &&
+					g.in.Siblings != nil && g.in.Siblings.SameOrg(a, b) {
+					g.claim(n, b, HeurMissingCust,
+						obs.KV("adjacent_as", a.String()),
+						obs.KV("sibling_hit", a.String()+"~"+b.String()))
+					return
+				}
+			}
+			g.decline(HeurMissingCust)
+			// Step 5.5 hidden peer: a single subsequent origin with no
+			// known relationship.
+			g.claim(n, a, HeurHiddenPeer, obs.KV("adjacent_as", a.String()))
+			return
+		}
+	}
+
+	// §5.4.6 step 6.1: counting among several adjacent origins.
+	if n.anonymousAddr() && len(extAdj) > 1 {
+		w := g.countWinner(extAdj)
+		g.claim(n, w, HeurCount,
+			obs.KV("adjacent_origins", len(extAdj)),
+			obs.KV("winner_ifaces", extAdj[w]))
+		return
+	}
+
+	// §5.4.6 fallback: plain IP-AS mapping.
+	if (n.class == classExternal || n.class == classMulti) && n.extAS != 0 {
+		g.claim(n, n.extAS, HeurIPAS)
+		return
+	}
+
+	// Anonymous routers with destinations but no other constraints:
+	// the destination set is all we have (IXP LAN firewalls and the
+	// remaining host-space cases).
+	if n.anonymousAddr() && len(dests) == 1 && len(n.lastFor) > 0 {
+		g.claim(n, dests[0], HeurFirewall, obs.KV("last_hop_toward", dests[0].String()))
+		return
+	}
+	if na := g.nextas(n); n.anonymousAddr() && na != 0 && len(n.lastFor) > 0 {
+		g.claim(n, na, HeurFirewall, obs.KV("common_provider_of_dests", na.String()))
+	}
+}
+
+// soleConeRoot returns the single destination AS whose (inferred) customer
+// cone covers every other destination in the set, or 0 when no unique such
+// AS exists. With one destination it is that destination.
+func (g *legacyGraph) soleConeRoot(dests []topo.ASN) topo.ASN {
+	switch len(dests) {
+	case 0:
+		return 0
+	case 1:
+		return dests[0]
+	}
+	var root topo.ASN
+	for _, b := range dests {
+		ok := true
+		for _, d := range dests {
+			if d == b {
+				continue
+			}
+			isCust := false
+			for _, p := range g.in.Rel.ProvidersOf(d) {
+				if p == b {
+					isCust = true
+				}
+			}
+			if !isCust {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			if root != 0 {
+				return 0 // ambiguous
+			}
+			root = b
+		}
+	}
+	return root
+}
+
+// allSuccUnrouted reports whether every successor edge of n crosses an
+// unrouted (and non-host) address, with at least one successor.
+func (g *legacyGraph) allSuccUnrouted(n *legacyNode) bool {
+	if len(n.succ) == 0 {
+		return false
+	}
+	for _, pairs := range n.succ {
+		for _, p := range pairs {
+			if g.originIsHost(p.to) {
+				return false
+			}
+			if _, _, ok := g.in.View.Origins(p.to); ok {
+				return false
+			}
+			if g.in.IXP != nil {
+				if _, isIXP := g.in.IXP.IsIXP(p.to); isIXP {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// inferUnrouted applies §5.4.3: reason from the origins of the first
+// routed interfaces observed after the router.
+func (g *legacyGraph) inferUnrouted(n *legacyNode) bool {
+	var asns []topo.ASN
+	for a := range n.firstRoutedAfter {
+		if !g.vpASNs[a] {
+			asns = append(asns, a)
+		}
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	switch {
+	case len(asns) == 1: // step 3.1
+		g.claim(n, asns[0], HeurUnrouted)
+	case len(asns) > 1: // step 3.2: most frequent provider of the set
+		count := map[topo.ASN]int{}
+		for _, a := range asns {
+			for _, p := range g.in.Rel.ProvidersOf(a) {
+				count[p]++
+			}
+		}
+		var best topo.ASN
+		bestN := 0
+		for p, c := range count {
+			if c > bestN || (c == bestN && (best == 0 || p < best)) {
+				best, bestN = p, c
+			}
+		}
+		if best != 0 {
+			g.claim(n, best, HeurUnrouted)
+		}
+	default:
+		if na := g.nextas(n); na != 0 {
+			g.claim(n, na, HeurUnrouted)
+		}
+	}
+	return n.done
+}
+
+// twoConsecutive looks for two consecutive routers after n whose
+// edge addresses map to one external AS (§5.4.4 step 4.2).
+func (g *legacyGraph) twoConsecutive(n *legacyNode) topo.ASN {
+	var vs []*legacyNode
+	for v := range n.succ {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i].id < vs[j].id })
+	for _, v := range vs {
+		a := g.edgeOrigin(n, v)
+		if a == 0 {
+			continue
+		}
+		var ws []*legacyNode
+		for w := range v.succ {
+			ws = append(ws, w)
+		}
+		sort.Slice(ws, func(i, j int) bool { return ws[i].id < ws[j].id })
+		for _, w := range ws {
+			if g.edgeOrigin(v, w) == a {
+				return a
+			}
+		}
+	}
+	return 0
+}
+
+// edgeOrigin returns the single external origin of the addresses by which
+// v was observed adjacent to n, or 0.
+func (g *legacyGraph) edgeOrigin(n, v *legacyNode) topo.ASN {
+	var out topo.ASN
+	for _, p := range n.succ[v] {
+		origins, _, ok := g.in.View.Origins(p.to)
+		if !ok {
+			return 0
+		}
+		for _, o := range origins {
+			if g.vpASNs[o] {
+				return 0
+			}
+		}
+		if out == 0 {
+			out = origins[0]
+		} else if out != origins[0] {
+			return 0
+		}
+	}
+	return out
+}
+
+// countWinner picks the AS with the most adjacent interfaces, breaking
+// ties in favor of a known relationship with the host (§5.4.6 step 6.1).
+func (g *legacyGraph) countWinner(extAdj map[topo.ASN]int) topo.ASN {
+	type entry struct {
+		asn topo.ASN
+		n   int
+	}
+	var entries []entry
+	for a, c := range extAdj {
+		entries = append(entries, entry{a, c})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].n != entries[j].n {
+			return entries[i].n > entries[j].n
+		}
+		iRel := g.in.Rel.Rel(g.in.HostASN, entries[i].asn) != topo.RelNone
+		jRel := g.in.Rel.Rel(g.in.HostASN, entries[j].asn) != topo.RelNone
+		if iRel != jRel {
+			return iRel
+		}
+		return entries[i].asn < entries[j].asn
+	})
+	return entries[0].asn
+}
+
+// ---------------------------------------------------------------------------
+// §5.4.7: analytical aliases on the near side
+
+func (g *legacyGraph) passAnalyticalAliases() {
+	if g.in.Opts.NoAnalyticalAlias {
+		return
+	}
+	for _, v := range g.nodes {
+		if v.host || v.owner == 0 || g.vpASNs[v.owner] {
+			continue
+		}
+		// Host-side predecessors with a single observed interface.
+		var singles []*legacyNode
+		for p := range v.pred {
+			if p.host && len(p.addrs) == 1 {
+				singles = append(singles, p)
+			}
+		}
+		if len(singles) < 2 {
+			continue
+		}
+		sort.Slice(singles, func(i, j int) bool { return singles[i].id < singles[j].id })
+		base := singles[0]
+		for _, u := range singles[1:] {
+			// Merging must not contradict measurement: skip pairs some
+			// probe actively rejected.
+			if g.in.Data.Resolver != nil &&
+				g.in.Data.Resolver.Verdict(base.addrs[0], u.addrs[0]) == alias.AliasNo {
+				continue
+			}
+			if g.in.Data.Resolver != nil {
+				g.in.Data.Resolver.Record(base.addrs[0], u.addrs[0], alias.AliasYes)
+			}
+			g.in.Trace.Emit(obs.StageCore, "merge", base.addrs[0].String(), 0,
+				obs.KV("merged", u.addrs[0].String()),
+				obs.KV("via", "analytical"))
+			g.mergeNodes(base, u)
+			g.in.Obs.Inc("core.alias.merges")
+		}
+	}
+}
+
+// mergeNodes folds src into dst.
+func (g *legacyGraph) mergeNodes(dst, src *legacyNode) {
+	if dst == src {
+		return
+	}
+	dst.addrs = append(dst.addrs, src.addrs...)
+	sort.Slice(dst.addrs, func(i, j int) bool { return dst.addrs[i] < dst.addrs[j] })
+	for _, a := range src.addrs {
+		g.byAddr[a] = dst
+	}
+	for s, pairs := range src.succ {
+		if s == dst {
+			continue
+		}
+		dst.succ[s] = append(dst.succ[s], pairs...)
+		delete(s.pred, src)
+		s.pred[dst] = append(s.pred[dst], pairs...)
+	}
+	for p, pairs := range src.pred {
+		if p == dst {
+			continue
+		}
+		dst.pred[p] = append(dst.pred[p], pairs...)
+		delete(p.succ, src)
+		p.succ[dst] = append(p.succ[dst], pairs...)
+	}
+	delete(dst.succ, src)
+	delete(dst.pred, src)
+	if src.minTTL < dst.minTTL {
+		dst.minTTL = src.minTTL
+	}
+	for d, c := range src.dests {
+		dst.dests[d] += c
+	}
+	for d, c := range src.lastFor {
+		dst.lastFor[d] += c
+	}
+	src.addrs = nil
+	src.done = true
+	src.owner = 0
+	src.host = false
+	src.merged = true
+}
+
+// ---------------------------------------------------------------------------
+// Result assembly and §5.4.8
+
+func (g *legacyGraph) buildResult() *Result {
+	res := &Result{
+		VPName:    g.in.Data.VPName,
+		Neighbors: make(map[topo.ASN][]*Link),
+		byAddr:    make(map[netx.Addr]*RouterNode),
+	}
+	nodeOut := make(map[*legacyNode]*RouterNode)
+	for _, n := range g.nodes {
+		if n.merged {
+			continue
+		}
+		rn := &RouterNode{
+			ID:        len(res.Routers),
+			Addrs:     n.addrs,
+			Owner:     n.owner,
+			Heuristic: n.heur,
+			IsHost:    n.host || g.vpASNs[n.owner],
+			HopDist:   n.minTTL,
+		}
+		res.Routers = append(res.Routers, rn)
+		nodeOut[n] = rn
+		for _, a := range n.addrs {
+			res.byAddr[a] = rn
+		}
+	}
+	// Interdomain links: edges from a host router to an external-owned one.
+	seen := make(map[[2]*RouterNode]bool)
+	for _, n := range g.nodes {
+		if n.merged || !isHostNode(nodeOut[n]) {
+			continue
+		}
+		var vs []*legacyNode
+		for v := range n.succ {
+			vs = append(vs, v)
+		}
+		sort.Slice(vs, func(i, j int) bool { return vs[i].id < vs[j].id })
+		for _, v := range vs {
+			out := nodeOut[v]
+			if out == nil || isHostNode(out) || out.Owner == 0 {
+				continue
+			}
+			key := [2]*RouterNode{nodeOut[n], out}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			pair := n.succ[v][0]
+			res.Links = append(res.Links, &Link{
+				Near: nodeOut[n], Far: out,
+				NearAddr: pair.from, FarAddr: pair.to,
+				FarAS: out.Owner, Heuristic: out.Heuristic,
+			})
+		}
+	}
+	for _, l := range res.Links {
+		res.Neighbors[l.FarAS] = append(res.Neighbors[l.FarAS], l)
+	}
+	return res
+}
+
+// passSilent applies §5.4.8: place neighbors that never answered
+// traceroute, using the BGP view's neighbor list.
+func (g *legacyGraph) passSilent(res *Result) {
+	host := g.in.HostASN
+	for _, a := range g.in.View.NeighborsOf(host) {
+		if g.vpASNs[a] || len(res.Neighbors[a]) > 0 {
+			continue
+		}
+		finals := g.finalNodes[a]
+		if len(finals) != 1 {
+			continue // different exits: cannot place the neighbor
+		}
+		var r0 *legacyNode
+		for n := range finals {
+			r0 = n
+		}
+		if r0.merged || !r0.host {
+			continue
+		}
+		// Distinguish a fully silent neighbor from one answering other
+		// ICMP: echo replies whose source maps to the neighbor.
+		heur := HeurSilent
+		for _, src := range g.echoFrom[a] {
+			if origins, _, ok := g.in.View.Origins(src); ok {
+				for _, o := range origins {
+					if o == a {
+						heur = HeurOtherICMP
+					}
+				}
+			}
+		}
+		near := res.byAddr[r0.addrs[0]]
+		if near == nil {
+			continue
+		}
+		l := &Link{Near: near, FarAS: a, Heuristic: heur}
+		res.Links = append(res.Links, l)
+		res.Neighbors[a] = append(res.Neighbors[a], l)
+		g.in.Obs.Inc("core.heur.fire." + string(heur))
+		g.in.Trace.Emit(obs.StageCore, "decision", a.String(), 0,
+			obs.KV("heuristic", string(heur)),
+			obs.KV("owner", a.String()),
+			obs.KV("near", r0.addrs[0].String()),
+			obs.KV("addrs", r0.addrs[0].String()),
+			obs.KV("rel", g.in.Rel.Rel(host, a).String()))
+	}
+}
+
+// Incremental re-inference: splice prior attributions for clean routers.
+//
+// A router's final attribution is a pure function of the measurement data
+// within three hops of it: every §5.4 heuristic reads evidence at most two
+// hops away (twoConsecutive walks succ-of-succ edges, the multihomed
+// exception inspects both routers' successors), and a router can
+// additionally be claimed by a neighbor one hop away whose own decision
+// reads two hops from *it* (§5.4.1 step 1.1, §5.4.5 step 5.1). So when a
+// round's dirty-address set is known, any router more than three hops from
+// every data-dirty router must resolve exactly as it did last round — its
+// prior owner and heuristic are spliced in and the cascade never runs.
+//
+// Splicing skips a legacyNode's own inference but must not skip the claims its
+// inference makes on *other* nodes, or a dirty neighbor at the closure
+// boundary would miss a claim a from-scratch run delivers:
+//   - §5.4.1 runs unmodified over spliced nodes too — its re-claims are
+//     value-identical overwrites (the spliced legacyNode's two-hop neighborhood
+//     is unchanged, so the pass reaches the same conclusion), and the
+//     done-guards on its neighbor claims are unaffected.
+//   - §5.4.5 step 5.1 is replayed: a spliced third-party router re-claims
+//     its undecided host-class predecessors at its position in the visit
+//     order, exactly as the live branch would.
+// Everything downstream — §5.4.7 analytical aliases, result assembly,
+// §5.4.8 silent neighbors — runs globally; it is cheap and order-pinned.
+//
+// mapdb's equivalence mode asserts the spliced map is byte-identical to a
+// from-scratch run on the same world; the three-hop radius is the proof
+// obligation those tests discharge.
+
+// spliceClean pre-claims every legacyNode whose three-hop neighborhood is free
+// of dirty addresses, copying owner/heuristic/host from the previous
+// round's result. dirty is the driver's changed-address set (nil means
+// everything is dirty — no splicing).
+func (g *legacyGraph) spliceClean(prev *Result, dirty map[netx.Addr]bool) {
+	if prev == nil || dirty == nil {
+		return
+	}
+	// Data-dirty nodes: any interface address with changed trace evidence.
+	dirtyN := make(map[*legacyNode]bool)
+	var frontier []*legacyNode
+	for _, n := range g.nodes {
+		for _, a := range n.addrs {
+			if dirty[a] {
+				dirtyN[n] = true
+				frontier = append(frontier, n)
+				break
+			}
+		}
+	}
+	// Three-hop closure over the undirected adjacency.
+	for hop := 0; hop < 3; hop++ {
+		var next []*legacyNode
+		mark := func(m *legacyNode) {
+			if !dirtyN[m] {
+				dirtyN[m] = true
+				next = append(next, m)
+			}
+		}
+		for _, n := range frontier {
+			for s := range n.succ {
+				mark(s)
+			}
+			for p := range n.pred {
+				mark(p)
+			}
+		}
+		frontier = next
+	}
+
+	spliced := 0
+	for _, n := range g.nodes {
+		if dirtyN[n] {
+			continue
+		}
+		rn := prev.byAddr[n.addrs[0]]
+		if rn == nil || rn.Owner == 0 {
+			continue
+		}
+		// The prior router must cover exactly this legacyNode's addresses: an
+		// analytical composite (§5.4.7) or re-grouped alias set fails the
+		// match and the legacyNode runs live instead. Both sides are sorted.
+		if len(rn.Addrs) != len(n.addrs) {
+			continue
+		}
+		same := true
+		for i := range n.addrs {
+			if rn.Addrs[i] != n.addrs[i] {
+				same = false
+				break
+			}
+		}
+		if !same {
+			continue
+		}
+		n.owner, n.heur, n.host = rn.Owner, rn.Heuristic, rn.IsHost
+		n.done, n.spliced = true, true
+		spliced++
+	}
+	g.in.Obs.Add("core.inc.spliced", int64(spliced))
+	g.in.Obs.Add("core.inc.dirty_nodes", int64(len(dirtyN)))
+}
+
+// replaySpliced reproduces the cross-legacyNode claims a spliced router's own
+// inference would have made — today only §5.4.5 step 5.1, the sole
+// heuristic that claims another router from inside the cascade. It runs at
+// the spliced legacyNode's position in the visit order so the done-guards see
+// the same state a from-scratch run would.
+func (g *legacyGraph) replaySpliced(n *legacyNode) {
+	if g.in.Opts.NoThirdParty || n.heur != HeurThirdParty ||
+		n.class != classExternal || n.extAS == 0 {
+		return
+	}
+	b := g.soleConeRoot(n.destSet())
+	a := n.extAS
+	if b == 0 || a == b || g.in.Rel.Rel(b, a) != topo.RelProvider {
+		return
+	}
+	for p := range n.pred {
+		if !p.done && p.class == classHost && g.soleConeRoot(p.destSet()) == b {
+			g.claim(p, b, HeurThirdParty, obs.KV("cone_root", b.String()))
+		}
+	}
+}
+
+// legacySingleFullCover is the map-based twin of singleFullCover, kept with
+// the frozen oracle.
+func legacySingleFullCover(common map[topo.ASN]int, nExt int) bool {
+	full := 0
+	for _, c := range common {
+		if c == nExt {
+			full++
+		}
+	}
+	return full == 1
+}

@@ -82,11 +82,33 @@ type Result struct {
 	// Neighbors groups inferred links by far AS.
 	Neighbors map[topo.ASN][]*Link
 
+	// Intern is the interface-address table the inference ran on; every
+	// router address has a dense ID in it. Consumers that index routers
+	// by address (mapdb's owner index, the next round's splice path)
+	// share it instead of rebuilding address maps.
+	Intern *netx.Intern
+	// routerByID maps interned address IDs to indices in Routers (-1 for
+	// addresses with no router).
+	routerByID []int32
+
+	// byAddr is the map-based index the frozen legacy core still builds;
+	// the slab core uses routerByID instead.
 	byAddr map[netx.Addr]*RouterNode
 }
 
 // RouterByAddr returns the inferred router holding addr, if observed.
-func (r *Result) RouterByAddr(a netx.Addr) *RouterNode { return r.byAddr[a] }
+func (r *Result) RouterByAddr(a netx.Addr) *RouterNode { return r.routerFor(a) }
+
+func (r *Result) routerFor(a netx.Addr) *RouterNode {
+	if r.Intern != nil && r.routerByID != nil {
+		id, ok := r.Intern.Lookup(a)
+		if !ok || int(id) >= len(r.routerByID) || r.routerByID[id] < 0 {
+			return nil
+		}
+		return r.Routers[r.routerByID[id]]
+	}
+	return r.byAddr[a]
+}
 
 // NeighborASes returns all inferred neighbor ASes, sorted.
 func (r *Result) NeighborASes() []topo.ASN {

@@ -49,6 +49,13 @@ type Scenario struct {
 
 	Datasets []*scamper.Dataset // per VP, filled by RunVP/RunAll
 	Results  []*core.Result
+
+	// arena backs every inference this scenario runs: the router-graph
+	// slabs are reset — not reallocated — between VPs and between RunAll
+	// scenarios that share the Scenario value. Scenario methods are not
+	// concurrency-safe, so one arena per scenario is exactly one inference
+	// at a time.
+	arena core.Arena
 }
 
 // Build generates the topology and derives every bdrmap input.
@@ -103,7 +110,7 @@ func (s *Scenario) RunVP(i int, cfg scamper.Config, opts core.Options) *core.Res
 	res := core.Infer(core.Input{
 		Data: ds, View: s.View, Rel: s.Rel, RIR: s.RIR, IXP: s.IXP,
 		HostASN: s.Net.HostASN, Siblings: s.Sibs, Opts: opts,
-		Obs: s.Obs, Trace: s.Trace,
+		Obs: s.Obs, Trace: s.Trace, Arena: &s.arena,
 	})
 	s.Datasets[i] = ds
 	s.Results[i] = res
@@ -220,7 +227,7 @@ func (s *Scenario) RunVPRemote(i int, cfg scamper.Config, opts core.Options, fau
 	res := core.Infer(core.Input{
 		Data: ds, View: s.View, Rel: s.Rel, RIR: s.RIR, IXP: s.IXP,
 		HostASN: s.Net.HostASN, Siblings: s.Sibs, Opts: opts,
-		Obs: s.Obs, Trace: s.Trace,
+		Obs: s.Obs, Trace: s.Trace, Arena: &s.arena,
 	})
 	s.Datasets[i] = ds
 	s.Results[i] = res
@@ -259,7 +266,7 @@ func (s *Scenario) RunVPIncremental(i int, cfg scamper.Config, opts core.Options
 	res := core.Infer(core.Input{
 		Data: ds, View: s.View, Rel: s.Rel, RIR: s.RIR, IXP: s.IXP,
 		HostASN: s.Net.HostASN, Siblings: s.Sibs, Opts: opts,
-		Obs: s.Obs, Trace: s.Trace, Prev: prev,
+		Obs: s.Obs, Trace: s.Trace, Prev: prev, Arena: &s.arena,
 	})
 	s.Datasets[i] = ds
 	s.Results[i] = res

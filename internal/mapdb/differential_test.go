@@ -1,0 +1,71 @@
+package mapdb
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bdrmap/internal/core"
+	"bdrmap/internal/eval"
+	"bdrmap/internal/scamper"
+	"bdrmap/internal/topo"
+)
+
+// TestDifferentialRoundsLegacyVsSlab drives the rounds-golden churn
+// schedule (same mutations as RunRounds) through the frozen map-based
+// core and the slab core, incremental state and attribution splicing
+// engaged on both sides, and requires every published generation to be
+// byte-identical: served links, owner attributions, and per-round trace
+// fingerprints.
+func TestDifferentialRoundsLegacyVsSlab(t *testing.T) {
+	const rounds = 3
+	run := func(opts core.Options) (snaps []*Snapshot, fps []uint64) {
+		n := topo.Generate(topo.TinyProfile(), 1)
+		rng := rand.New(rand.NewSource(1 ^ 0x6d617064))
+		states := make([]*scamper.RoundState, len(n.VPs))
+		for i := range states {
+			states[i] = scamper.NewRoundState()
+		}
+		var prevs []*core.Result
+		for r := 0; r < rounds; r++ {
+			if r > 0 {
+				if _, err := mutateWorld(n, rng, r); err != nil {
+					t.Fatal(err)
+				}
+				n.Build()
+			}
+			s := eval.BuildFromNetwork(n, 1)
+			for i := range s.Net.VPs {
+				var prev *core.Result
+				if prevs != nil {
+					prev = prevs[i]
+				}
+				s.RunVPIncremental(i, scamper.Config{}, opts, states[i], prev)
+			}
+			prevs = s.Results
+			snaps = append(snaps, Compile(n.HostASN, s.Results))
+			fps = append(fps, roundFingerprint(s.Datasets))
+		}
+		return snaps, fps
+	}
+
+	lsnaps, lfps := run(core.Options{UseLegacy: true})
+	ssnaps, sfps := run(core.Options{InferWorkers: 8})
+	for r := 0; r < rounds; r++ {
+		if lfps[r] != sfps[r] {
+			t.Errorf("round %d: trace fingerprints diverged: legacy %016x slab %016x", r, lfps[r], sfps[r])
+		}
+		if !reflect.DeepEqual(lsnaps[r].links, ssnaps[r].links) {
+			t.Errorf("round %d: link sets diverged (legacy %d, slab %d links)",
+				r, len(lsnaps[r].links), len(ssnaps[r].links))
+		}
+		if !reflect.DeepEqual(lsnaps[r].ownerAddrs, ssnaps[r].ownerAddrs) ||
+			!reflect.DeepEqual(lsnaps[r].owners, ssnaps[r].owners) {
+			t.Errorf("round %d: owner attributions diverged (legacy %d, slab %d addrs)",
+				r, len(lsnaps[r].ownerAddrs), len(ssnaps[r].ownerAddrs))
+		}
+		if t.Failed() {
+			break
+		}
+	}
+}

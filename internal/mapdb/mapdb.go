@@ -83,6 +83,26 @@ func pairKey(near, far netx.Addr) uint64 {
 	return uint64(near)<<32 | uint64(far)
 }
 
+// sharedIntern returns the intern table every non-nil result carries, or
+// nil when results disagree (or carry none).
+func sharedIntern(results []*core.Result) *netx.Intern {
+	var it *netx.Intern
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		if res.Intern == nil {
+			return nil
+		}
+		if it == nil {
+			it = res.Intern
+		} else if it != res.Intern {
+			return nil
+		}
+	}
+	return it
+}
+
 // Compile builds a Snapshot from per-VP inference results. It is a pure
 // read of the results: inference output is never modified, and compiling
 // the same results yields an identical snapshot. The generation number is
@@ -99,7 +119,22 @@ func Compile(host topo.ASN, results []*core.Result) *Snapshot {
 	// observed address of an attributed router resolves to that router's
 	// owner. First write wins, and iteration order is the deterministic
 	// result/router/address order, so compiles are reproducible.
-	addrIdx := make(map[netx.Addr]int32)
+	//
+	// Deduplication runs on dense interned address IDs and a flat slot
+	// array, not an address-keyed map. When every result carries the same
+	// intern table (the single-driver rounds loop), its IDs are consumed
+	// directly; otherwise a compile-local table assigns them. ID() on a
+	// shared table is a monotonic append — an address unseen by the driver
+	// (none in practice, since router addresses come from traces) merely
+	// extends it, which cross-round ID stability tolerates by design.
+	it := sharedIntern(results)
+	if it == nil {
+		it = netx.NewIntern(1024)
+	}
+	slot := make([]int32, it.Len())
+	for i := range slot {
+		slot[i] = -1
+	}
 	seenVP := make(map[string]bool)
 	for _, res := range results {
 		if res == nil {
@@ -117,10 +152,14 @@ func Compile(host topo.ASN, results []*core.Result) *Snapshot {
 				if a.IsZero() {
 					continue
 				}
-				if _, dup := addrIdx[a]; dup {
+				id := it.ID(a)
+				for int(id) >= len(slot) {
+					slot = append(slot, -1)
+				}
+				if slot[id] >= 0 {
 					continue
 				}
-				addrIdx[a] = int32(len(s.owners))
+				slot[id] = int32(len(s.owners))
 				s.ownerAddrs = append(s.ownerAddrs, a)
 				s.owners = append(s.owners, OwnerInfo{
 					AS:        rn.Owner,

@@ -1,0 +1,60 @@
+package netx
+
+// Intern maps interface addresses to dense int32 IDs assigned in first-seen
+// order. IDs index flat slices everywhere a map keyed by address would
+// otherwise be needed: the inference core's node table, the alias graph's
+// union-find, and mapdb's owner index all share one table built while the
+// dataset is collected, so the hot paths run on pointer-free int32 slabs.
+//
+// The zero Intern is ready to use. Lookups on a populated table perform no
+// allocation (pinned by TestInternLookupZeroAlloc); ID allocates only when
+// it grows the table. An Intern is not safe for concurrent mutation; build
+// it single-threaded (the driver interns after its worker barrier), then
+// share it read-only.
+type Intern struct {
+	ids   map[Addr]int32
+	addrs []Addr
+}
+
+// NewIntern returns an empty table with room for n addresses.
+func NewIntern(n int) *Intern {
+	return &Intern{
+		ids:   make(map[Addr]int32, n),
+		addrs: make([]Addr, 0, n),
+	}
+}
+
+// ID returns a's dense ID, assigning the next free one on first sight.
+func (t *Intern) ID(a Addr) int32 {
+	if id, ok := t.ids[a]; ok {
+		return id
+	}
+	if t.ids == nil {
+		t.ids = make(map[Addr]int32)
+	}
+	id := int32(len(t.addrs))
+	t.ids[a] = id
+	t.addrs = append(t.addrs, a)
+	return id
+}
+
+// Lookup returns a's ID without assigning one.
+func (t *Intern) Lookup(a Addr) (int32, bool) {
+	id, ok := t.ids[a]
+	return id, ok
+}
+
+// Addr returns the address holding ID id. It panics when id was never
+// assigned, the same way an out-of-range slice index would.
+func (t *Intern) Addr(id int32) Addr { return t.addrs[id] }
+
+// Len returns how many addresses have been assigned IDs. Valid IDs are
+// exactly [0, Len).
+func (t *Intern) Len() int { return len(t.addrs) }
+
+// Reset forgets every assignment but keeps the backing storage, so a table
+// reused across rounds reaches steady state without reallocating.
+func (t *Intern) Reset() {
+	clear(t.ids)
+	t.addrs = t.addrs[:0]
+}

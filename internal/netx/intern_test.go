@@ -1,0 +1,127 @@
+package netx
+
+import (
+	"testing"
+)
+
+func TestInternBasic(t *testing.T) {
+	var in Intern
+	a := MustParseAddr("10.0.0.1")
+	b := MustParseAddr("10.0.0.2")
+	if got := in.ID(a); got != 0 {
+		t.Fatalf("first ID = %d, want 0", got)
+	}
+	if got := in.ID(b); got != 1 {
+		t.Fatalf("second ID = %d, want 1", got)
+	}
+	if got := in.ID(a); got != 0 {
+		t.Fatalf("re-intern ID = %d, want 0", got)
+	}
+	if in.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", in.Len())
+	}
+	if in.Addr(0) != a || in.Addr(1) != b {
+		t.Fatalf("Addr round-trip broken: %v %v", in.Addr(0), in.Addr(1))
+	}
+	if id, ok := in.Lookup(b); !ok || id != 1 {
+		t.Fatalf("Lookup(b) = %d,%v want 1,true", id, ok)
+	}
+	if _, ok := in.Lookup(MustParseAddr("192.0.2.9")); ok {
+		t.Fatal("Lookup of absent address reported present")
+	}
+}
+
+func TestInternReset(t *testing.T) {
+	in := NewIntern(4)
+	a := MustParseAddr("10.0.0.1")
+	b := MustParseAddr("10.0.0.2")
+	in.ID(a)
+	in.ID(b)
+	in.Reset()
+	if in.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", in.Len())
+	}
+	if _, ok := in.Lookup(a); ok {
+		t.Fatal("Lookup found an address after Reset")
+	}
+	// IDs restart from zero and the table is fully usable again.
+	if got := in.ID(b); got != 0 {
+		t.Fatalf("first ID after Reset = %d, want 0", got)
+	}
+}
+
+// TestInternLookupZeroAlloc pins the alloc budget of the read path: once
+// built, neither Lookup nor a re-intern of a known address may allocate.
+// The inference hot path depends on this — an allocation here multiplies
+// by every hop of every trace.
+func TestInternLookupZeroAlloc(t *testing.T) {
+	in := NewIntern(1024)
+	addrs := make([]Addr, 1024)
+	for i := range addrs {
+		addrs[i] = Addr(0x0a000000 + i*7)
+		in.ID(addrs[i])
+	}
+	i := 0
+	if n := testing.AllocsPerRun(1000, func() {
+		a := addrs[i%len(addrs)]
+		i++
+		if _, ok := in.Lookup(a); !ok {
+			t.Fatal("address vanished")
+		}
+	}); n != 0 {
+		t.Fatalf("Lookup allocates %.1f allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		a := addrs[i%len(addrs)]
+		i++
+		if id := in.ID(a); id < 0 {
+			t.Fatal("bad id")
+		}
+	}); n != 0 {
+		t.Fatalf("ID of known address allocates %.1f allocs/op, want 0", n)
+	}
+}
+
+// FuzzIntern drives random add/lookup sequences against a map oracle,
+// including duplicate adds and lookups of absent addresses.
+func FuzzIntern(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 1, 0, 3})
+	f.Add([]byte{})
+	f.Add([]byte{255, 255, 0, 0, 7, 7, 7, 9})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		var in Intern
+		oracle := make(map[Addr]int32)
+		next := int32(0)
+		for i := 0; i+1 < len(ops); i += 2 {
+			// Map each op byte pair onto a small address universe so
+			// duplicates are frequent; the high bit picks add vs lookup.
+			a := Addr(uint32(ops[i]&0x3f)<<8 | uint32(ops[i+1]))
+			if ops[i]&0x80 == 0 {
+				got := in.ID(a)
+				want, ok := oracle[a]
+				if !ok {
+					want = next
+					oracle[a] = next
+					next++
+				}
+				if got != want {
+					t.Fatalf("ID(%v) = %d, oracle %d", a, got, want)
+				}
+			} else {
+				got, ok := in.Lookup(a)
+				want, wok := oracle[a]
+				if ok != wok || (ok && got != want) {
+					t.Fatalf("Lookup(%v) = %d,%v oracle %d,%v", a, got, ok, want, wok)
+				}
+			}
+		}
+		if in.Len() != len(oracle) {
+			t.Fatalf("Len = %d, oracle %d", in.Len(), len(oracle))
+		}
+		for a, id := range oracle {
+			if in.Addr(id) != a {
+				t.Fatalf("Addr(%d) = %v, want %v", id, in.Addr(id), a)
+			}
+		}
+	})
+}

@@ -39,6 +39,10 @@ type Engine struct {
 	bfs   map[topo.RouterID]*bfsTree
 	stats Stats
 
+	// orgAtts caches, per owner AS, the flattened attachment list of its
+	// whole organization — chooseEgress scans it once per forwarded hop.
+	orgAtts map[topo.ASN][]topo.Attachment
+
 	// orgOf groups sibling ASes: routers of one organization share an IGP
 	// and a routing policy, so forwarding decisions are made per org.
 	orgOf map[topo.ASN]string
@@ -140,14 +144,15 @@ type Stats struct {
 // New creates an engine over a built network and its routing table.
 func New(net *topo.Network, tab *bgp.Table) *Engine {
 	e := &Engine{
-		Net:   net,
-		Tab:   tab,
-		ipid:  make(map[topo.RouterID]*ipidState),
-		rate:  make(map[topo.RouterID]*rateState),
-		rng:   rand.New(rand.NewSource(1)),
-		bfs:   make(map[topo.RouterID]*bfsTree),
-		orgOf: make(map[topo.ASN]string),
-		orgAS: make(map[string][]topo.ASN),
+		Net:     net,
+		Tab:     tab,
+		ipid:    make(map[topo.RouterID]*ipidState),
+		rate:    make(map[topo.RouterID]*rateState),
+		rng:     rand.New(rand.NewSource(1)),
+		bfs:     make(map[topo.RouterID]*bfsTree),
+		orgOf:   make(map[topo.ASN]string),
+		orgAS:   make(map[string][]topo.ASN),
+		orgAtts: make(map[topo.ASN][]topo.Attachment),
 	}
 	for _, asn := range net.ASNs() {
 		org := net.ASes[asn].Org
@@ -352,8 +357,8 @@ func (e *Engine) computePath(startRouter topo.RouterID, dst netx.Addr) pathResul
 // originatesHere reports whether owner's organization announces prefix, so
 // the anchor in this org terminates the path.
 func (e *Engine) originatesHere(owner topo.ASN, prefix netx.Prefix) bool {
-	for _, o := range e.Tab.Origins(prefix) {
-		if e.sameOrg(o, owner) {
+	for _, j := range e.Tab.OriginIndexes(prefix) {
+		if e.sameOrg(e.Tab.ASOf(j), owner) {
 			return true
 		}
 	}
@@ -425,83 +430,124 @@ func (e *Engine) parallelLinks(a, b topo.RouterID) []*topo.Link {
 // leading to an equal-best next-hop AS (and over which the destination
 // prefix is actually announced), pick the border closest to r by IGP
 // distance, spreading ties per prefix.
+//
+// This runs once per router hop of every simulated probe — including every
+// alias-resolution probe — so it allocates nothing: candidate and origin
+// membership are linear scans over tiny sets, the flattened per-org
+// attachment list is cached on the engine, and the tie-broken pick is made
+// by counting instead of collecting.
 func (e *Engine) chooseEgress(r *topo.Router, prefix netx.Prefix, rib *bgp.PrefixRIB) (topo.Attachment, bool) {
 	owner := r.Owner
-	cands := e.candidateNextHops(owner, rib)
-	if len(cands) == 0 {
+	single, multi := e.candidateNextHops(owner, rib)
+	if single == 0 && len(multi) == 0 {
 		return topo.Attachment{}, false
 	}
-	inCand := make(map[topo.ASN]bool, len(cands))
-	for _, c := range cands {
-		inCand[c] = true
-	}
-	isOrigin := make(map[topo.ASN]bool)
-	for _, o := range e.Tab.Origins(prefix) {
-		isOrigin[o] = true
+	inCand := func(a topo.ASN) bool {
+		if multi == nil {
+			return a == single
+		}
+		for _, c := range multi {
+			if c == a {
+				return true
+			}
+		}
+		return false
 	}
 	// Siblings share an IGP: egress over any org member's attachments.
-	var atts []topo.Attachment
-	for _, member := range e.orgMembers(owner) {
-		atts = append(atts, e.Net.Attachments(member)...)
-	}
-	var best []topo.Attachment
-	bestDist := -1
-	for _, att := range atts {
-		if !inCand[att.Remote] {
-			continue
+	atts := e.orgAttachments(owner)
+	usable := func(att topo.Attachment) (int, bool) {
+		if !inCand(att.Remote) {
+			return 0, false
 		}
 		// Selective announcement: the origin announces a pinned prefix
 		// only over the designated links (§6).
-		if isOrigin[att.Remote] && !e.Net.AnnouncedOnLink(prefix, att.Link) {
-			continue
+		if e.Tab.IsOrigin(prefix, att.Remote) && !e.Net.AnnouncedOnLink(prefix, att.Link) {
+			return 0, false
 		}
-		d, ok := e.igpDist(r.ID, att.LocalRtr)
+		return e.igpDist(r.ID, att.LocalRtr)
+	}
+	// Pass 1: the best IGP distance and how many attachments tie for it.
+	bestDist, ties := -1, 0
+	for _, att := range atts {
+		d, ok := usable(att)
 		if !ok {
 			continue
 		}
 		switch {
 		case bestDist < 0 || d < bestDist:
-			best = best[:0]
-			best = append(best, att)
-			bestDist = d
+			bestDist, ties = d, 1
 		case d == bestDist:
-			best = append(best, att)
+			ties++
 		}
 	}
-	if len(best) == 0 {
+	if ties == 0 {
 		return topo.Attachment{}, false
 	}
-	return best[prefixHash(prefix)%len(best)], true
+	// Pass 2: pick the k-th tying attachment in list order — the same
+	// element the collect-then-index implementation chose.
+	k := prefixHash(prefix) % ties
+	for _, att := range atts {
+		if d, ok := usable(att); ok && d == bestDist {
+			if k == 0 {
+				return att, true
+			}
+			k--
+		}
+	}
+	return topo.Attachment{}, false // unreachable
+}
+
+// orgAttachments returns the concatenated interdomain attachments of every
+// member of owner's organization, cached per owner. The slice is shared:
+// callers must not mutate it.
+func (e *Engine) orgAttachments(owner topo.ASN) []topo.Attachment {
+	e.mu.Lock()
+	if atts, ok := e.orgAtts[owner]; ok {
+		e.mu.Unlock()
+		return atts
+	}
+	e.mu.Unlock()
+	var atts []topo.Attachment
+	for _, member := range e.orgMembers(owner) {
+		atts = append(atts, e.Net.Attachments(member)...)
+	}
+	e.mu.Lock()
+	e.orgAtts[owner] = atts
+	e.mu.Unlock()
+	return atts
 }
 
 // candidateNextHops returns the equal-best next-hop set for the host
 // network (multi-exit fidelity) and the canonical next hop elsewhere.
 // Sibling chains are followed: a route whose next hop is a sibling
 // resolves to the sibling's own next hop (one IGP, one policy).
-func (e *Engine) candidateNextHops(owner topo.ASN, rib *bgp.PrefixRIB) []topo.ASN {
+// Exactly one of the returns is meaningful: multi is non-nil for the host
+// org's candidate set (shared slice, do not mutate); otherwise single is
+// the canonical next hop, 0 when the prefix is unreachable from owner.
+func (e *Engine) candidateNextHops(owner topo.ASN, rib *bgp.PrefixRIB) (single topo.ASN, multi []topo.ASN) {
 	if e.sameOrg(owner, e.Net.HostASN) {
-		return rib.HostCandidates
+		return 0, rib.HostCandidates
 	}
 	cur := owner
 	for hops := 0; hops < 8; hops++ {
 		i := e.Tab.IndexOf(cur)
 		if i < 0 {
-			return nil
+			return 0, nil
 		}
 		if rib.Class[i] == bgp.ClassNone || rib.Class[i] == bgp.ClassOrigin {
-			return nil
+			return 0, nil
 		}
 		nh := rib.Next[i]
 		if nh < 0 {
-			return nil
+			return 0, nil
 		}
 		next := e.Tab.ASOf(nh)
 		if !e.sameOrg(next, owner) {
-			return []topo.ASN{next}
+			return next, nil
 		}
 		cur = next
 	}
-	return nil
+	return 0, nil
 }
 
 // ---------------------------------------------------------------------------

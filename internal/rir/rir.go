@@ -84,6 +84,11 @@ func ParseLine(line string) (Record, bool, error) {
 // DB is a queryable set of delegations.
 type DB struct {
 	recs []Record // sorted by Start
+	// orgRecs groups records by organization, in Start order — built once
+	// in normalize so per-org scans (§5.4.1's positional rule walks the
+	// delegations of each host org per matching hop) share one slice
+	// instead of copying the whole table.
+	orgRecs map[string][]Record
 }
 
 // FromNetwork builds the delegation dataset the synthetic world publishes.
@@ -129,6 +134,10 @@ func (db *DB) normalize() {
 		// OrgOf's scan prefers the most specific covering record.
 		return db.recs[i].Count > db.recs[j].Count
 	})
+	db.orgRecs = make(map[string][]Record)
+	for _, r := range db.recs {
+		db.orgRecs[r.OrgID] = append(db.orgRecs[r.OrgID], r)
+	}
 }
 
 // WriteTo serializes the dataset.
@@ -180,6 +189,12 @@ const maxCount = 1 << 24
 func (db *DB) Records() []Record {
 	return append([]Record(nil), db.recs...)
 }
+
+// OrgRecords returns the delegations held by org, in Start order. The
+// returned slice is shared and must not be mutated; unlike Records it
+// performs no copy, so callers may consult it per address without turning
+// the delegation table into the process's top allocator.
+func (db *DB) OrgRecords(org string) []Record { return db.orgRecs[org] }
 
 // SameOrg reports whether two addresses are delegated to one organization.
 func (db *DB) SameOrg(a, b netx.Addr) bool {

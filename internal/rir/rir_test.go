@@ -122,3 +122,40 @@ func TestNetworkDelegationsQueryable(t *testing.T) {
 		t.Fatalf("host infra org = %q %v, want %q", org, ok, host.Org)
 	}
 }
+
+func TestOrgRecordsMatchesRecords(t *testing.T) {
+	db, err := Parse(strings.NewReader(strings.Join([]string{
+		"arin|US|ipv4|10.0.0.0|256|20160101|allocated|ORG-A",
+		"arin|US|ipv4|10.0.2.0|256|20160101|allocated|ORG-B",
+		"arin|US|ipv4|10.0.1.0|256|20160101|allocated|ORG-A",
+	}, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"ORG-A": 2, "ORG-B": 1}
+	for org, n := range want {
+		recs := db.OrgRecords(org)
+		if len(recs) != n {
+			t.Fatalf("OrgRecords(%q) = %d records, want %d", org, len(recs), n)
+		}
+		for i, r := range recs {
+			if r.OrgID != org {
+				t.Fatalf("OrgRecords(%q)[%d] belongs to %q", org, i, r.OrgID)
+			}
+			if i > 0 && recs[i-1].Start > r.Start {
+				t.Fatalf("OrgRecords(%q) not in Start order", org)
+			}
+		}
+	}
+	if got := db.OrgRecords("ORG-MISSING"); got != nil {
+		t.Fatalf("OrgRecords of unknown org = %v, want nil", got)
+	}
+	// Grouped records are exactly a partition of Records().
+	total := 0
+	for org := range want {
+		total += len(db.OrgRecords(org))
+	}
+	if total != db.Len() {
+		t.Fatalf("org groups cover %d records, table has %d", total, db.Len())
+	}
+}

@@ -102,6 +102,13 @@ type Dataset struct {
 	// It is nil when cross-round caching is off — consumers must treat nil
 	// as "everything is dirty".
 	Dirty map[netx.Addr]bool
+	// Intern assigns every observed interface address (and its alias-graph
+	// canonical) a dense int32 ID. It is built single-threaded after the
+	// probing barrier; the inference core, mapdb, and the next round's
+	// splice path all index by these IDs instead of address-keyed maps.
+	// With cross-round caching the same table persists between rounds, so
+	// an address keeps its ID for the lifetime of the RoundState.
+	Intern *netx.Intern
 }
 
 // RunStats summarizes the probing effort.
@@ -427,6 +434,29 @@ func (d *Driver) Run() *Dataset {
 	}
 	aliasSpan.AddSim(aliasSim)
 	aliasSpan.End()
+
+	// Intern every responding interface address and its alias canonical,
+	// single-threaded now that probing and alias resolution are done. The
+	// cross-round table (when State is set) keeps IDs stable between rounds.
+	it := netx.NewIntern(ds.Stats.AddrsObserved + 1)
+	if st != nil {
+		if st.intern == nil {
+			st.intern = it
+		}
+		it = st.intern
+	}
+	for i := range ds.Traces {
+		for _, h := range ds.Traces[i].Hops {
+			if h.Type != probe.HopTimeExceeded {
+				continue
+			}
+			it.ID(h.Addr)
+			if ds.Graph != nil {
+				it.ID(ds.Graph.Canonical(h.Addr))
+			}
+		}
+	}
+	ds.Intern = it
 
 	// SimDuration is derived from the obs primitives (atomic max over
 	// worker lanes plus the single-threaded alias stage) rather than from

@@ -64,6 +64,11 @@ type RoundState struct {
 	mercator map[netx.Addr]mercMemo
 	pairs    map[apair]alias.Verdict
 	scans    map[apair]scanMemo
+
+	// intern is the cross-round address table: an address keeps its dense
+	// ID for the lifetime of the state, so the splice path can compare
+	// rounds by ID instead of address-keyed maps.
+	intern *netx.Intern
 }
 
 // NewRoundState creates empty cross-round state for one vantage point.

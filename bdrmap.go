@@ -73,6 +73,38 @@ func Tier1() Profile { return topo.Tier1Profile() }
 // Enterprise is a customer-less host network (an extension profile).
 func Enterprise() Profile { return topo.EnterpriseProfile() }
 
+// RemotePeering has IXP members peering over long-haul circuits from
+// distant metros (an extension profile stressing §5.4's distance
+// assumptions).
+func RemotePeering() Profile { return topo.RemotePeeringProfile() }
+
+// Hypergiant has one content AS peering with the host and directly with
+// most of its customers (hierarchy flattening; an extension profile).
+func Hypergiant() Profile { return topo.HypergiantProfile() }
+
+// RouteServerMix mixes hidden route-server and visible bilateral sessions
+// at the same IXPs (an extension profile).
+func RouteServerMix() Profile { return topo.RouteServerMixProfile() }
+
+// RegionalVP concentrates every VP on the west coast of a wide footprint
+// (an extension profile making the figure 15/16 placement effect extreme).
+func RegionalVP() Profile { return topo.RegionalVPProfile() }
+
+// ProfileByName looks up any built-in profile (paper validation networks
+// and extension scenarios alike) by its Name field; "re" is accepted as
+// an alias for "r&e".
+func ProfileByName(name string) (Profile, bool) { return topo.ProfileByName(name) }
+
+// ProfileNames lists every built-in profile name, in catalog order.
+func ProfileNames() []string {
+	ps := topo.BuiltinProfiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
 // World is one synthetic internetwork plus every input bdrmap needs:
 // the public BGP view, inferred AS relationships, RIR delegations, IXP
 // prefixes, and the curated sibling set of the hosting network.

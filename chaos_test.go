@@ -16,10 +16,12 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"bdrmap/internal/goldenguard"
 )
 
-func remoteGoldenPath(seed int64) string {
-	return filepath.Join("testdata", "golden", fmt.Sprintf("remote-tiny-seed%d.json", seed))
+func remoteGoldenPath(name string, seed int64) string {
+	return filepath.Join("testdata", "golden", fmt.Sprintf("remote-%s-seed%d.json", name, seed))
 }
 
 func loadGolden(t *testing.T, path string) []goldenLink {
@@ -40,41 +42,55 @@ func loadGolden(t *testing.T, path string) []goldenLink {
 // because they are single-worker by construction; the local goldens cover
 // the parallel lane schedule.
 func TestGoldenBordersRemote(t *testing.T) {
-	for _, seed := range []int64{1, 2, 3} {
-		seed := seed
-		t.Run(fmt.Sprintf("tiny-seed%d", seed), func(t *testing.T) {
-			world := NewWorld(Tiny(), seed)
-			rep, err := world.MapBordersRemote(0, RemoteOptions{})
-			if err != nil {
-				t.Fatal(err)
-			}
-			got := goldenLinks(rep)
-			path := remoteGoldenPath(seed)
-
-			if *update {
-				raw, err := json.MarshalIndent(got, "", "  ")
+	cases := []struct {
+		name  string
+		prof  Profile
+		seeds []int64
+	}{
+		{"tiny", Tiny(), []int64{1, 2, 3}},
+		{"remote-peering", RemotePeering(), []int64{1}},
+		{"hypergiant", Hypergiant(), []int64{1}},
+		{"route-server", RouteServerMix(), []int64{1}},
+		{"regional-vp", RegionalVP(), []int64{1}},
+	}
+	for _, tc := range cases {
+		for _, seed := range tc.seeds {
+			tc, seed := tc, seed
+			t.Run(fmt.Sprintf("%s-seed%d", tc.name, seed), func(t *testing.T) {
+				world := NewWorld(tc.prof, seed)
+				rep, err := world.MapBordersRemote(0, RemoteOptions{})
 				if err != nil {
 					t.Fatal(err)
 				}
-				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-					t.Fatal(err)
-				}
-				if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
-					t.Fatal(err)
-				}
-				t.Logf("wrote %s (%d links)", path, len(got))
-				return
-			}
+				got := goldenLinks(rep)
+				path := remoteGoldenPath(tc.name, seed)
 
-			want := loadGolden(t, path)
-			if !reflect.DeepEqual(got, want) {
-				t.Errorf("remote link set diverged from %s\ngot  (%d links): %s\nwant (%d links): %s",
-					path, len(got), mustJSON(got), len(want), mustJSON(want))
-			}
-			if lost := world.Scenario().Datasets[0].Stats.TargetsLost; lost != 0 {
-				t.Errorf("fault-free remote run lost %d targets", lost)
-			}
-		})
+				if *update {
+					goldenguard.Check(t)
+					raw, err := json.MarshalIndent(got, "", "  ")
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					t.Logf("wrote %s (%d links)", path, len(got))
+					return
+				}
+
+				want := loadGolden(t, path)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("remote link set diverged from %s\ngot  (%d links): %s\nwant (%d links): %s",
+						path, len(got), mustJSON(got), len(want), mustJSON(want))
+				}
+				if lost := world.Scenario().Datasets[0].Stats.TargetsLost; lost != 0 {
+					t.Errorf("fault-free remote run lost %d targets", lost)
+				}
+			})
+		}
 	}
 }
 
@@ -102,7 +118,7 @@ func TestChaosHealingReproducesGolden(t *testing.T) {
 				t.Fatal(err)
 			}
 			got := goldenLinks(rep)
-			want := loadGolden(t, remoteGoldenPath(1))
+			want := loadGolden(t, remoteGoldenPath("tiny", 1))
 			if !reflect.DeepEqual(got, want) {
 				t.Errorf("spec %q changed the border map\ngot  (%d links): %s\nwant (%d links): %s",
 					tc.spec, len(got), mustJSON(got), len(want), mustJSON(want))
@@ -125,6 +141,53 @@ func TestChaosHealingReproducesGolden(t *testing.T) {
 			}
 			if lost := world.Scenario().Datasets[0].Stats.TargetsLost; lost != 0 {
 				t.Errorf("healing spec %q abandoned %d target(s)", tc.spec, lost)
+			}
+		})
+	}
+}
+
+// TestChaosHealingScenarios runs one healing kitchen-sink schedule over
+// each extension scenario and requires that scenario's fault-free remote
+// golden back byte-for-byte: transport chaos must be invisible regardless
+// of what the topology stresses — remote-peering's WAN-scale RTTs,
+// hypergiant fanout, route-server session mixes, or a single-region VP.
+func TestChaosHealingScenarios(t *testing.T) {
+	cases := []struct {
+		name string
+		prof Profile
+		spec string
+	}{
+		{"remote-peering", RemotePeering(), "seed=61,drop=0.05,corrupt=0.04,dup=0.04,heal=30"},
+		{"hypergiant", Hypergiant(), "seed=67,drop=0.05,dup=0.04,cut=0.02,heal=30"},
+		{"route-server", RouteServerMix(), "seed=71,drop=0.05,corrupt=0.04,cut=0.02,heal=30"},
+		{"regional-vp", RegionalVP(), "seed=73,drop=0.08,dup=0.05,heal=35"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			world := NewWorld(tc.prof, 1)
+			rep, err := world.MapBordersRemote(0, RemoteOptions{FaultSpec: tc.spec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := goldenLinks(rep)
+			want := loadGolden(t, remoteGoldenPath(tc.name, 1))
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("spec %q changed the %s border map\ngot  (%d links): %s\nwant (%d links): %s",
+					tc.spec, tc.name, len(got), mustJSON(got), len(want), mustJSON(want))
+			}
+			m := world.Snapshot()
+			recovered := m.Counter("remote.retry.read") +
+				m.Counter("remote.retry.write") +
+				m.Counter("remote.retry.corrupt") +
+				m.Counter("remote.resume") +
+				m.Counter("remote.hello_failed")
+			if recovered == 0 {
+				t.Errorf("spec %q injected no observable faults:\n%s", tc.spec, m.Format())
+			}
+			if lost := m.Counter("remote.session_lost"); lost != 0 {
+				t.Errorf("healing spec %q lost %d session(s)", tc.spec, lost)
 			}
 		})
 	}
@@ -192,7 +255,7 @@ func TestChaosPermanentLossTerminates(t *testing.T) {
 	// The partial map must be strictly smaller than the healthy one — the
 	// agent died early enough (frame 30) that most targets were lost —
 	// yet nonempty: what was measured before the death survives.
-	want := loadGolden(t, remoteGoldenPath(1))
+	want := loadGolden(t, remoteGoldenPath("tiny", 1))
 	if len(rep.Links) >= len(want) {
 		t.Errorf("degraded run inferred %d links, healthy run %d — kill came too late to test degradation",
 			len(rep.Links), len(want))

@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	bdrmap [-profile tiny|re|small-access|large-access|tier1|enterprise]
+//	bdrmap [-profile tiny|re|small-access|large-access|tier1|enterprise|
+//	                 remote-peering|hypergiant|route-server|regional-vp]
 //	       [-topo saved.world] [-seed N] [-vp N]
 //	       [-table1] [-merged] [-o out.jsonl] [-dnscheck]
 //	       [-remote] [-faults spec] [-target-timeout d]
@@ -27,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"bdrmap"
@@ -35,7 +37,7 @@ import (
 
 func main() {
 	var (
-		profile   = flag.String("profile", "tiny", "scenario profile: tiny|re|small-access|large-access|tier1")
+		profile   = flag.String("profile", "tiny", "scenario profile (tiny, re, ... — see -profile help on error for the full catalog)")
 		seed      = flag.Int64("seed", 1, "topology generation seed")
 		vp        = flag.Int("vp", 0, "vantage point index")
 		table1    = flag.Bool("table1", false, "print the paper's Table 1")
@@ -214,20 +216,9 @@ func main() {
 }
 
 func profileByName(name string) (bdrmap.Profile, error) {
-	switch name {
-	case "tiny":
-		return bdrmap.Tiny(), nil
-	case "re", "r&e":
-		return bdrmap.RE(), nil
-	case "small-access":
-		return bdrmap.SmallAccess(), nil
-	case "large-access":
-		return bdrmap.LargeAccess(), nil
-	case "tier1":
-		return bdrmap.Tier1(), nil
-	case "enterprise":
-		return bdrmap.Enterprise(), nil
-	default:
-		return bdrmap.Profile{}, fmt.Errorf("unknown profile %q", name)
+	if prof, ok := bdrmap.ProfileByName(name); ok {
+		return prof, nil
 	}
+	return bdrmap.Profile{}, fmt.Errorf("unknown profile %q (have: %s)",
+		name, strings.Join(bdrmap.ProfileNames(), ", "))
 }

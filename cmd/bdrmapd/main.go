@@ -77,15 +77,8 @@ func main() {
 	)
 	flag.Parse()
 
-	var prof topo.Profile
-	switch *profile {
-	case "tiny":
-		prof = topo.TinyProfile()
-	case "re", "r&e":
-		prof = topo.REProfile()
-	case "small-access":
-		prof = topo.SmallAccessProfile()
-	default:
+	prof, ok := topo.ProfileByName(*profile)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
 		os.Exit(2)
 	}

@@ -1,0 +1,204 @@
+// Command covsummary turns a Go coverprofile on stdin into a per-package
+// statement-coverage summary on stdout — the machine-readable artifact CI
+// uploads so coverage history can be compared across PRs.
+//
+// Usage:
+//
+//	go test -coverprofile=cover.out ./...
+//	covsummary < cover.out > COVERAGE.json
+//
+// With -baseline and -new it instead compares two such artifacts and acts
+// as the CI soft ratchet: any package whose coverage dropped more than
+// -max-drop percentage points versus the baseline (and the module total)
+// gets a GitHub Actions ::warning:: annotation. The ratchet never fails
+// the build — coverage context, not a merge gate — so it always exits 0
+// unless the inputs are unreadable.
+//
+//	covsummary -baseline COVERAGE_BASELINE.json -new COVERAGE.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// pkgCov is the coverage of one package (or the module total).
+type pkgCov struct {
+	Package    string  `json:"package"`
+	Statements int64   `json:"statements"`
+	Covered    int64   `json:"covered"`
+	Pct        float64 `json:"pct"`
+}
+
+// summary is the artifact shape: module total plus per-package rows.
+type summary struct {
+	TotalPct float64  `json:"total_pct"`
+	Packages []pkgCov `json:"packages"`
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline artifact for compare mode")
+	newPath := flag.String("new", "", "candidate artifact for compare mode")
+	maxDrop := flag.Float64("max-drop", 2.0,
+		"percentage-point coverage drop per package (or total) that triggers a warning")
+	flag.Parse()
+
+	if (*baseline == "") != (*newPath == "") {
+		fmt.Fprintln(os.Stderr, "covsummary: -baseline and -new must be given together")
+		os.Exit(2)
+	}
+	if *baseline != "" {
+		warnings, err := compare(*baseline, *newPath, *maxDrop)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "covsummary:", err)
+			os.Exit(1)
+		}
+		for _, w := range warnings {
+			fmt.Printf("::warning::%s\n", w)
+		}
+		if len(warnings) == 0 {
+			fmt.Println("coverage: no package dropped beyond the ratchet")
+		}
+		return // soft ratchet: warnings never fail the build
+	}
+
+	sum, err := parseProfile(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covsummary:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		fmt.Fprintln(os.Stderr, "covsummary:", err)
+		os.Exit(1)
+	}
+}
+
+// parseProfile reads a coverprofile ("mode:" header then
+// "file.go:sl.sc,el.ec numStmts count" lines) and aggregates statement
+// coverage per package. Blocks listed more than once (merged profiles)
+// count each occurrence's statements once per line, matching `go tool
+// cover -func` totals closely enough for ratcheting purposes.
+func parseProfile(r io.Reader) (summary, error) {
+	pkgs := make(map[string]*pkgCov)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		colon := strings.LastIndex(line, ":")
+		if colon < 0 {
+			return summary{}, fmt.Errorf("line %d: no file separator: %q", lineNo, line)
+		}
+		file := line[:colon]
+		fields := strings.Fields(line[colon+1:])
+		if len(fields) != 3 {
+			return summary{}, fmt.Errorf("line %d: want 'range stmts count', got %q", lineNo, line)
+		}
+		stmts, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return summary{}, fmt.Errorf("line %d: statement count: %v", lineNo, err)
+		}
+		count, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return summary{}, fmt.Errorf("line %d: hit count: %v", lineNo, err)
+		}
+		pkg := path.Dir(file)
+		pc := pkgs[pkg]
+		if pc == nil {
+			pc = &pkgCov{Package: pkg}
+			pkgs[pkg] = pc
+		}
+		pc.Statements += stmts
+		if count > 0 {
+			pc.Covered += stmts
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return summary{}, err
+	}
+
+	var sum summary
+	var totStmts, totCov int64
+	for _, pc := range pkgs {
+		if pc.Statements > 0 {
+			pc.Pct = 100 * float64(pc.Covered) / float64(pc.Statements)
+		}
+		totStmts += pc.Statements
+		totCov += pc.Covered
+		sum.Packages = append(sum.Packages, *pc)
+	}
+	sort.Slice(sum.Packages, func(i, j int) bool {
+		return sum.Packages[i].Package < sum.Packages[j].Package
+	})
+	if totStmts > 0 {
+		sum.TotalPct = 100 * float64(totCov) / float64(totStmts)
+	}
+	return sum, nil
+}
+
+// ratchet lists the packages (and the total) whose coverage fell more than
+// maxDrop percentage points from old to new. Packages new to the candidate
+// are fine; packages that vanished are reported — deleted tests look
+// exactly like deleted code otherwise.
+func ratchet(old, new summary, maxDrop float64) []string {
+	var warnings []string
+	if drop := old.TotalPct - new.TotalPct; drop > maxDrop {
+		warnings = append(warnings, fmt.Sprintf(
+			"total coverage dropped %.1f points (%.1f%% -> %.1f%%)", drop, old.TotalPct, new.TotalPct))
+	}
+	cur := make(map[string]pkgCov, len(new.Packages))
+	for _, p := range new.Packages {
+		cur[p.Package] = p
+	}
+	for _, was := range old.Packages {
+		now, ok := cur[was.Package]
+		if !ok {
+			warnings = append(warnings, fmt.Sprintf(
+				"package %s disappeared from the coverage profile (was %.1f%%)", was.Package, was.Pct))
+			continue
+		}
+		if drop := was.Pct - now.Pct; drop > maxDrop {
+			warnings = append(warnings, fmt.Sprintf(
+				"package %s coverage dropped %.1f points (%.1f%% -> %.1f%%)", was.Package, drop, was.Pct, now.Pct))
+		}
+	}
+	return warnings
+}
+
+func compare(baselinePath, newPath string, maxDrop float64) ([]string, error) {
+	old, err := readSummary(baselinePath)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := readSummary(newPath)
+	if err != nil {
+		return nil, err
+	}
+	return ratchet(old, cur, maxDrop), nil
+}
+
+func readSummary(p string) (summary, error) {
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		return summary{}, err
+	}
+	var s summary
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return summary{}, fmt.Errorf("%s: %v", p, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleProfile = `mode: atomic
+bdrmap/internal/topo/gen.go:13.44,22.2 5 3
+bdrmap/internal/topo/gen.go:24.1,26.2 2 0
+bdrmap/internal/topo/annot.go:10.1,12.2 3 1
+bdrmap/internal/core/infer.go:5.1,9.2 4 0
+bdrmap/internal/core/infer.go:11.1,15.2 6 2
+`
+
+func TestParseProfile(t *testing.T) {
+	sum, err := parseProfile(strings.NewReader(sampleProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Packages) != 2 {
+		t.Fatalf("packages = %d, want 2 (%+v)", len(sum.Packages), sum.Packages)
+	}
+	// Sorted: core before topo.
+	core, topo := sum.Packages[0], sum.Packages[1]
+	if core.Package != "bdrmap/internal/core" || topo.Package != "bdrmap/internal/topo" {
+		t.Fatalf("package order: %+v", sum.Packages)
+	}
+	if core.Statements != 10 || core.Covered != 6 || core.Pct != 60 {
+		t.Errorf("core = %+v, want 6/10 = 60%%", core)
+	}
+	if topo.Statements != 10 || topo.Covered != 8 || topo.Pct != 80 {
+		t.Errorf("topo = %+v, want 8/10 = 80%%", topo)
+	}
+	if sum.TotalPct != 70 {
+		t.Errorf("total = %.1f, want 70", sum.TotalPct)
+	}
+}
+
+func TestParseProfileErrors(t *testing.T) {
+	for _, bad := range []string{
+		"a.go:1.1,2.2 3",     // missing count
+		"no-separator 1 2 3", // no colon
+		"a.go:1.1,2.2 x 1",   // bad statements
+		"a.go:1.1,2.2 1 x",   // bad count
+	} {
+		if _, err := parseProfile(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("parseProfile(%q) accepted malformed input", bad)
+		}
+	}
+	// Empty profile is fine: zero packages, zero total.
+	sum, err := parseProfile(strings.NewReader("mode: set\n"))
+	if err != nil || len(sum.Packages) != 0 || sum.TotalPct != 0 {
+		t.Errorf("empty profile: %+v, %v", sum, err)
+	}
+}
+
+func TestRatchet(t *testing.T) {
+	old := summary{
+		TotalPct: 70,
+		Packages: []pkgCov{
+			{Package: "a", Pct: 80},
+			{Package: "b", Pct: 60},
+			{Package: "gone", Pct: 50},
+		},
+	}
+	cur := summary{
+		TotalPct: 66, // 4-point total drop
+		Packages: []pkgCov{
+			{Package: "a", Pct: 79.5}, // within the ratchet
+			{Package: "b", Pct: 55},   // 5-point drop
+			{Package: "new", Pct: 10}, // new package, never warned
+		},
+	}
+	warnings := ratchet(old, cur, 2.0)
+	if len(warnings) != 3 {
+		t.Fatalf("warnings = %d, want 3:\n%s", len(warnings), strings.Join(warnings, "\n"))
+	}
+	for i, want := range []string{"total coverage dropped", "package b coverage dropped", "package gone disappeared"} {
+		if !strings.Contains(warnings[i], want) {
+			t.Errorf("warning %d = %q, want it to mention %q", i, warnings[i], want)
+		}
+	}
+
+	// Identical summaries: silence.
+	if w := ratchet(old, old, 2.0); len(w) != 0 {
+		t.Errorf("self-compare produced warnings: %v", w)
+	}
+	// Improvements: silence.
+	better := summary{TotalPct: 90, Packages: []pkgCov{{Package: "a", Pct: 95}, {Package: "b", Pct: 85}, {Package: "gone", Pct: 50}}}
+	if w := ratchet(old, better, 2.0); len(w) != 0 {
+		t.Errorf("improvement produced warnings: %v", w)
+	}
+}

@@ -15,7 +15,7 @@ import (
 
 func main() {
 	var (
-		profile     = flag.String("profile", "tiny", "tiny|re|small-access|large-access|tier1|enterprise")
+		profile     = flag.String("profile", "tiny", "tiny|re|small-access|large-access|tier1|enterprise|remote-peering|hypergiant|route-server|regional-vp")
 		seed        = flag.Int64("seed", 1, "generation seed")
 		delegations = flag.Bool("delegations", false, "dump the RIR delegation file")
 		routers     = flag.Bool("routers", false, "dump every router with interfaces")
@@ -23,21 +23,8 @@ func main() {
 	)
 	flag.Parse()
 
-	var prof topo.Profile
-	switch *profile {
-	case "tiny":
-		prof = topo.TinyProfile()
-	case "re", "r&e":
-		prof = topo.REProfile()
-	case "small-access":
-		prof = topo.SmallAccessProfile()
-	case "large-access":
-		prof = topo.LargeAccessProfile()
-	case "tier1":
-		prof = topo.Tier1Profile()
-	case "enterprise":
-		prof = topo.EnterpriseProfile()
-	default:
+	prof, ok := topo.ProfileByName(*profile)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
 		os.Exit(2)
 	}

@@ -1,6 +1,7 @@
 package bdrmap
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -8,6 +9,8 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+
+	"bdrmap/internal/goldenguard"
 )
 
 // update rewrites the golden files instead of comparing against them:
@@ -50,15 +53,22 @@ func goldenLinks(rep *Report) []goldenLink {
 // that alters the output shows up as a diff here.
 func TestGoldenBorders(t *testing.T) {
 	cases := []struct {
-		name string
-		prof Profile
+		name  string
+		prof  Profile
+		seeds []int64
 	}{
-		{"tiny", Tiny()},
-		{"re", RE()},
+		{"tiny", Tiny(), []int64{1, 2, 3}},
+		{"re", RE(), []int64{1, 2, 3}},
+		// Extension scenarios (see DESIGN.md, "Scenario catalog"): one
+		// seed each — the point is the exact link set under the stressed
+		// assumption, not seed sensitivity.
+		{"remote-peering", RemotePeering(), []int64{1}},
+		{"hypergiant", Hypergiant(), []int64{1}},
+		{"route-server", RouteServerMix(), []int64{1}},
+		{"regional-vp", RegionalVP(), []int64{1}},
 	}
-	seeds := []int64{1, 2, 3}
 	for _, tc := range cases {
-		for _, seed := range seeds {
+		for _, seed := range tc.seeds {
 			t.Run(fmt.Sprintf("%s-seed%d", tc.name, seed), func(t *testing.T) {
 				world := NewWorld(tc.prof, seed)
 				rep := world.MapBorders(0)
@@ -67,6 +77,7 @@ func TestGoldenBorders(t *testing.T) {
 					fmt.Sprintf("%s-seed%d.json", tc.name, seed))
 
 				if *update {
+					goldenguard.Check(t)
 					raw, err := json.MarshalIndent(got, "", "  ")
 					if err != nil {
 						t.Fatal(err)
@@ -101,6 +112,35 @@ func TestGoldenBorders(t *testing.T) {
 func mustJSON(v any) string {
 	raw, _ := json.Marshal(v)
 	return string(raw)
+}
+
+// TestTopologyInvariantUnderWorkers: probing concurrency must never leak
+// into the world itself. The serialized topology — annotations included —
+// is byte-identical whether the map was measured with 1 worker or 4.
+func TestTopologyInvariantUnderWorkers(t *testing.T) {
+	profiles := []struct {
+		name string
+		prof Profile
+	}{
+		{"tiny", Tiny()},
+		{"remote-peering", RemotePeering()},
+	}
+	for _, p := range profiles {
+		t.Run(p.name, func(t *testing.T) {
+			serialize := func(workers int) []byte {
+				world := NewWorld(p.prof, 1)
+				world.MapBordersOpts(0, Options{Workers: workers})
+				var buf bytes.Buffer
+				if err := world.SaveWorld(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			if !bytes.Equal(serialize(1), serialize(4)) {
+				t.Fatal("serialized topology differs between Workers=1 and Workers=4")
+			}
+		})
+	}
 }
 
 // TestSnapshotDeterministic builds the same world twice and requires the

@@ -1,0 +1,32 @@
+// Package goldenguard stops golden-file regeneration from running in CI.
+//
+// Every golden suite in this repo accepts an -update flag that rewrites
+// its checked-in expectations. That is a local, review-the-diff workflow;
+// if it ever ran in CI the suite would trivially pass while silently
+// re-baselining whatever the code currently does. Each -update branch
+// therefore calls Check before writing anything.
+package goldenguard
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// Err reports whether the environment forbids golden regeneration:
+// non-nil when CI=true (the convention GitHub Actions and most CI systems
+// set), nil otherwise.
+func Err() error {
+	if os.Getenv("CI") == "true" {
+		return fmt.Errorf("goldenguard: refusing to rewrite golden files under CI=true; regenerate locally with -update and review the diff")
+	}
+	return nil
+}
+
+// Check fails the test immediately if golden regeneration is forbidden.
+func Check(t testing.TB) {
+	t.Helper()
+	if err := Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,24 @@
+package goldenguard
+
+import "testing"
+
+func TestErrUnderCI(t *testing.T) {
+	t.Setenv("CI", "true")
+	if Err() == nil {
+		t.Fatal("Err() = nil with CI=true, want refusal")
+	}
+}
+
+func TestErrOutsideCI(t *testing.T) {
+	for _, v := range []string{"", "false", "1", "TRUE"} {
+		t.Setenv("CI", v)
+		if err := Err(); err != nil {
+			t.Fatalf("Err() with CI=%q: %v", v, err)
+		}
+	}
+}
+
+func TestCheckPassesLocally(t *testing.T) {
+	t.Setenv("CI", "")
+	Check(t) // must not fail
+}

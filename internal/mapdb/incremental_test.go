@@ -15,6 +15,7 @@ import (
 
 	"bdrmap/internal/core"
 	"bdrmap/internal/eval"
+	"bdrmap/internal/goldenguard"
 	"bdrmap/internal/obs"
 	"bdrmap/internal/scamper"
 	"bdrmap/internal/topo"
@@ -74,6 +75,13 @@ func TestRunRoundsIncrementalEquivalence(t *testing.T) {
 	}{
 		{"tiny", topo.TinyProfile()},
 		{"small-access", topo.SmallAccessProfile()},
+		// Extension scenarios: churn must not disturb what each one
+		// stresses — remote circuits, hypergiant shortcuts, route-server
+		// vs bilateral sessions, regional VP placement.
+		{"remote-peering", topo.RemotePeeringProfile()},
+		{"hypergiant", topo.HypergiantProfile()},
+		{"route-server", topo.RouteServerMixProfile()},
+		{"regional-vp", topo.RegionalVPProfile()},
 	}
 	for _, pc := range profiles {
 		for _, workers := range []int{1, 4} {
@@ -115,6 +123,7 @@ func TestRunRoundsIncrementalEquivalence(t *testing.T) {
 				path := filepath.Join("testdata", "golden",
 					fmt.Sprintf("rounds-%s-seed1.json", pc.name))
 				if *update && workers == 1 {
+					goldenguard.Check(t)
 					raw, err := json.MarshalIndent(got, "", "  ")
 					if err != nil {
 						t.Fatal(err)

@@ -45,20 +45,37 @@ func (e *Engine) ClearCongestion() {
 }
 
 // linkDelay returns the one-way delay of crossing link l at simulated
-// time now.
+// time now. Annotated links (topo.Annotation, filled by Build) carry their
+// latency directly — for generated worlds the annotation reproduces the
+// geographic formula byte-for-byte, so annotating changed no RTT — and
+// per-interface AttachDelay adds the long-haul circuit of remote-peering
+// IXP members on top of the shared fabric's local latency. Unannotated
+// links (hand-built test networks that never ran Build) keep the
+// geographic formula.
 func (e *Engine) linkDelay(l *topo.Link, out, in *topo.Iface, now time.Duration) time.Duration {
-	d := 500 * time.Microsecond // serialization / local hop cost
-	if out != nil && in != nil {
-		a := e.Net.Router(out.Router)
-		b := e.Net.Router(in.Router)
-		if a != nil && b != nil {
-			diff := a.Longitude - b.Longitude
-			if diff < 0 {
-				diff = -diff
+	var d time.Duration
+	if l != nil && l.Annot.Latency > 0 && out != nil && in != nil && out.Link == l && in.Link == l {
+		d = l.Annot.Latency
+	} else {
+		d = 500 * time.Microsecond // serialization / local hop cost
+		if out != nil && in != nil {
+			a := e.Net.Router(out.Router)
+			b := e.Net.Router(in.Router)
+			if a != nil && b != nil {
+				diff := a.Longitude - b.Longitude
+				if diff < 0 {
+					diff = -diff
+				}
+				// ~0.35ms per degree of longitude: SF–NYC ≈ 17ms one way.
+				d += time.Duration(diff * 0.35 * float64(time.Millisecond))
 			}
-			// ~0.35ms per degree of longitude: SF–NYC ≈ 17ms one way.
-			d += time.Duration(diff * 0.35 * float64(time.Millisecond))
 		}
+	}
+	if out != nil {
+		d += out.AttachDelay
+	}
+	if in != nil {
+		d += in.AttachDelay
 	}
 	d += e.queueDelay(l, now)
 	return d

@@ -1,0 +1,380 @@
+package topo
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func saveBytes(t *testing.T, n *Network) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestGenerateSerializeDeterministic proves the full determinism property:
+// for every built-in profile, two generations with the same seed serialize
+// byte-identically — annotations, remote placements, and sessions included.
+func TestGenerateSerializeDeterministic(t *testing.T) {
+	profiles := BuiltinProfiles()
+	if testing.Short() {
+		profiles = []Profile{TinyProfile(), RemotePeeringProfile(), RouteServerMixProfile()}
+	}
+	for _, p := range profiles {
+		a := saveBytes(t, Generate(p, 7))
+		b := saveBytes(t, Generate(p, 7))
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: two generations serialize differently", p.Name)
+		}
+	}
+}
+
+// TestAnnotationProfileFieldOrderInvariant: constructing the same profile
+// with fields initialized in a different order (and mix slices built
+// element-by-element rather than literally) cannot change the generated
+// world — annotations are a function of (profile values, seed), not of how
+// the profile value was assembled.
+func TestAnnotationProfileFieldOrderInvariant(t *testing.T) {
+	p1 := RemotePeeringProfile()
+
+	var p2 Profile
+	p2.RemotePeerFrac = 0.5
+	p2.NumIXPs = 2
+	p2.IXPPeersPerIXP = 5
+	p2.MOASPairs = 1
+	p2.PADelegations = 1
+	p2.DistantPerTransit = 4
+	p2.CustMaxChildren = 1
+	p2.CustTransitFrac = 0.2
+	p2.NumCustomers = 5
+	p2.NumPeers = 2
+	p2.NumProviders = 1
+	p2.NumVPs = 1
+	p2.BordersPerRegion = 1
+	p2.NumRegions = 3
+	p2.HostTier = TierAccess
+	p2.Name = "remote-peering"
+
+	a := saveBytes(t, Generate(p1, 3))
+	b := saveBytes(t, Generate(p2, 3))
+	if !bytes.Equal(a, b) {
+		t.Fatal("field initialization order changed the generated world")
+	}
+}
+
+// TestAnnotationOrderInvariant: the per-AS hash stream makes a link's
+// annotation independent of the order links are added to a network.
+func TestAnnotationOrderInvariant(t *testing.T) {
+	build := func(reverse bool) *Network {
+		n := NewNetwork()
+		n.AnnotSeed = 99
+		n.AddAS(ASN(100), TierAccess, "org-a")
+		n.AddAS(ASN(200), TierStub, "org-b")
+		n.HostASN = ASN(100)
+		a := n.AddRouter(ASN(100), "a", -122.3)
+		b := n.AddRouter(ASN(200), "b", -74.0)
+		c := n.AddRouter(ASN(200), "c", -87.6)
+		subnets := []struct {
+			lo, hi *Router
+			pfx    string
+		}{
+			{a, b, "10.0.0.0/31"},
+			{a, c, "10.0.1.0/31"},
+			{b, c, "10.0.2.0/31"},
+		}
+		if reverse {
+			for i, j := 0, len(subnets)-1; i < j; i, j = i+1, j-1 {
+				subnets[i], subnets[j] = subnets[j], subnets[i]
+			}
+		}
+		for _, s := range subnets {
+			n.ConnectPtP(s.lo, s.hi, mustPrefix(t, s.pfx), LinkInterdomain, ASN(100))
+		}
+		n.Build()
+		return n
+	}
+	fwd, rev := build(false), build(true)
+	annotBySubnet := func(n *Network) map[string]Annotation {
+		m := make(map[string]Annotation)
+		for _, l := range n.Links {
+			m[l.Subnet.String()] = l.Annot
+		}
+		return m
+	}
+	fa, ra := annotBySubnet(fwd), annotBySubnet(rev)
+	for s, want := range fa {
+		if got := ra[s]; got != want {
+			t.Errorf("link %s: annotation depends on construction order: %+v vs %+v", s, got, want)
+		}
+	}
+}
+
+// TestAnnotationLatencyMatchesGeoFormula pins the baseline latency to the
+// probe engine's historical geographic model, so annotating a generated
+// world changes no measured RTT.
+func TestAnnotationLatencyMatchesGeoFormula(t *testing.T) {
+	n := Generate(TinyProfile(), 1)
+	for _, l := range n.Links {
+		if l.Annot == (Annotation{}) {
+			t.Fatalf("link %v not annotated after Build", l.Subnet)
+		}
+		if l.Annot.BandwidthMbps <= 0 {
+			t.Fatalf("link %v has no bandwidth class", l.Subnet)
+		}
+		if l.Kind == LinkIXPLAN {
+			if l.Annot.Latency != 500*time.Microsecond {
+				t.Errorf("LAN %v latency = %v, want local 500µs", l.Subnet, l.Annot.Latency)
+			}
+			continue
+		}
+		if len(l.Ifaces) < 2 {
+			continue
+		}
+		a := n.Router(l.Ifaces[0].Router)
+		b := n.Router(l.Ifaces[1].Router)
+		gap := a.Longitude - b.Longitude
+		if gap < 0 {
+			gap = -gap
+		}
+		want := 500*time.Microsecond + time.Duration(gap*0.35*float64(time.Millisecond))
+		if l.Annot.Latency != want {
+			t.Errorf("link %v latency = %v, want %v", l.Subnet, l.Annot.Latency, want)
+		}
+	}
+}
+
+// TestSaveLoadAnnotationFixedPoint: serializing, loading, and serializing
+// again is a fixed point — loaded annotations are kept, not recomputed.
+func TestSaveLoadAnnotationFixedPoint(t *testing.T) {
+	for _, p := range []Profile{TinyProfile(), RemotePeeringProfile(), RouteServerMixProfile()} {
+		n := Generate(p, 5)
+		first := saveBytes(t, n)
+		loaded, err := Load(bytes.NewReader(first))
+		if err != nil {
+			t.Fatalf("%s: load: %v", p.Name, err)
+		}
+		second := saveBytes(t, loaded)
+		if !bytes.Equal(first, second) {
+			t.Errorf("%s: save→load→save not a fixed point", p.Name)
+		}
+	}
+}
+
+// TestRemotePeeringTopology checks the remote-peering scenario's shape: a
+// deterministic subset of IXP members sits in a distant metro behind a
+// layer-2 circuit carried on the member's LAN interface.
+func TestRemotePeeringTopology(t *testing.T) {
+	p := RemotePeeringProfile()
+	n := Generate(p, 1)
+	remotes := 0
+	for _, ixp := range n.IXPs {
+		lan := findLAN(t, n, ixp)
+		for _, asn := range ixp.Remote {
+			remotes++
+			var memIf *Iface
+			for _, ifc := range lan.Ifaces {
+				if n.Router(ifc.Router).Owner == asn {
+					memIf = ifc
+				}
+			}
+			if memIf == nil {
+				t.Fatalf("remote member %v has no LAN interface", asn)
+			}
+			if memIf.AttachDelay < 5*time.Millisecond {
+				t.Errorf("remote member %v circuit delay = %v, want ≥5ms", asn, memIf.AttachDelay)
+			}
+			if d := geoDist(n.Router(memIf.Router).Longitude, ixp.Longitude); d < 25 {
+				t.Errorf("remote member %v only %.1f° from the IXP", asn, d)
+			}
+		}
+		// Local members stay local.
+		for _, ifc := range lan.Ifaces {
+			r := n.Router(ifc.Router)
+			if r.Owner == ixp.OperatorASN || isRemote(ixp, r.Owner) {
+				continue
+			}
+			if ifc.AttachDelay != 0 {
+				t.Errorf("local member %v carries a circuit delay", r.Owner)
+			}
+		}
+	}
+	if remotes == 0 {
+		t.Fatal("remote-peering profile generated no remote members")
+	}
+}
+
+// TestRouteServerMixTopology checks that bilateral members are BGP-visible
+// (not hidden) while route-server members stay hidden, all on one LAN.
+func TestRouteServerMixTopology(t *testing.T) {
+	p := RouteServerMixProfile()
+	n := Generate(p, 1)
+	var bilateral, hidden int
+	for _, ixp := range n.IXPs {
+		bilateral += len(ixp.Bilateral)
+		for _, asn := range ixp.Bilateral {
+			if n.HiddenNeighbors[asn] {
+				t.Errorf("bilateral member %v marked hidden", asn)
+			}
+		}
+		for _, asn := range ixp.Members {
+			if asn == n.HostASN || asn == ixp.OperatorASN || isBilateral(ixp, asn) {
+				continue
+			}
+			if !n.HiddenNeighbors[asn] {
+				t.Errorf("route-server member %v not hidden", asn)
+			}
+			hidden++
+		}
+	}
+	if bilateral == 0 || hidden == 0 {
+		t.Fatalf("want a mix, got bilateral=%d hidden=%d", bilateral, hidden)
+	}
+	// Every member, hidden or not, holds a session with the host.
+	want := p.NumIXPs * p.IXPPeersPerIXP
+	if got := len(n.Sessions()); got != want {
+		t.Fatalf("sessions = %d, want %d", got, want)
+	}
+}
+
+// TestHypergiantTopology checks the flattening fanout: the hypergiant peers
+// with the host and with many of the host's customers directly.
+func TestHypergiantTopology(t *testing.T) {
+	p := HypergiantProfile()
+	n := Generate(p, 1)
+	hg, ok := n.Tags["hypergiant-a"]
+	if !ok {
+		t.Fatal("hypergiant not tagged")
+	}
+	if n.ASes[hg].RelTo(n.HostASN) == RelNone {
+		t.Fatal("hypergiant not a neighbor of the host")
+	}
+	fanout := 0
+	host := n.ASes[n.HostASN]
+	for _, nb := range n.TrueNeighbors(hg) {
+		if nb.ASN == n.HostASN || nb.Rel != RelPeer {
+			continue
+		}
+		if host.RelTo(nb.ASN) == RelCustomer { // nb is a host customer
+			fanout++
+		}
+	}
+	if want := p.Hypergiants[0].AccessFanout; fanout != want {
+		t.Fatalf("hypergiant peers with %d host customers, want %d", fanout, want)
+	}
+	// The shortcut links are real interdomain links, not sessions.
+	links := 0
+	for _, lt := range n.InterdomainLinks(hg) {
+		if host.RelTo(lt.FarAS) == RelCustomer {
+			links++
+		}
+	}
+	if links != fanout {
+		t.Fatalf("hypergiant↔customer links = %d, want %d", links, fanout)
+	}
+}
+
+// TestRegionalVPPlacement checks each placement policy's region choice.
+func TestRegionalVPPlacement(t *testing.T) {
+	p := RegionalVPProfile()
+	n := Generate(p, 1)
+	regions := RegionsN(p.NumRegions)
+	westMax := regions[(p.NumRegions+1)/2-1].Longitude
+	if len(n.VPs) != p.NumVPs {
+		t.Fatalf("VPs = %d", len(n.VPs))
+	}
+	for _, vp := range n.VPs {
+		lon := n.Router(vp.Router).Longitude
+		if lon > westMax {
+			t.Errorf("west-coast VP %s at longitude %.1f, east of %.1f", vp.Name, lon, westMax)
+		}
+	}
+
+	east := p
+	east.Name = "regional-vp-east"
+	east.VPPlacement = VPEastCoast
+	ne := Generate(east, 1)
+	eastMin := regions[p.NumRegions-(p.NumRegions+1)/2].Longitude
+	for _, vp := range ne.VPs {
+		if lon := ne.Router(vp.Router).Longitude; lon < eastMin {
+			t.Errorf("east-coast VP %s at longitude %.1f, west of %.1f", vp.Name, lon, eastMin)
+		}
+	}
+
+	single := p
+	single.Name = "regional-vp-single"
+	single.VPPlacement = VPSingleRegion
+	ns := Generate(single, 1)
+	for _, vp := range ns.VPs {
+		if lon := ns.Router(vp.Router).Longitude; lon != regions[0].Longitude {
+			t.Errorf("single-region VP %s at longitude %.1f, want %.1f", vp.Name, lon, regions[0].Longitude)
+		}
+	}
+}
+
+// TestSanitizeMix: withDefaults never lets an invalid mix through.
+func TestSanitizeMix(t *testing.T) {
+	cases := []VisMix{
+		nil,
+		{},
+		{{VisFirewall, 0}},
+		{{VisFirewall, -1}, {VisOnenet, 2}},
+		{{Visibility(99), 1}},
+	}
+	for i, m := range cases {
+		p := TinyProfile()
+		p.CustVis = m
+		got := p.withDefaults()
+		var total float64
+		if len(got.CustVis) == 0 {
+			t.Fatalf("case %d: empty mix survived", i)
+		}
+		for _, w := range got.CustVis {
+			if !(w.W >= 0) {
+				t.Fatalf("case %d: negative/NaN weight survived", i)
+			}
+			total += w.W
+		}
+		if !(total > 0) {
+			t.Fatalf("case %d: zero-total mix survived", i)
+		}
+	}
+	// A valid custom mix passes through untouched.
+	valid := VisMix{{VisOnenet, 1}}
+	p := TinyProfile()
+	p.CustVis = valid
+	if got := p.withDefaults(); len(got.CustVis) != 1 || got.CustVis[0] != valid[0] {
+		t.Fatal("valid mix was replaced")
+	}
+}
+
+func isRemote(ixp *IXP, asn ASN) bool {
+	for _, a := range ixp.Remote {
+		if a == asn {
+			return true
+		}
+	}
+	return false
+}
+
+func isBilateral(ixp *IXP, asn ASN) bool {
+	for _, a := range ixp.Bilateral {
+		if a == asn {
+			return true
+		}
+	}
+	return false
+}
+
+func findLAN(t *testing.T, n *Network, ixp *IXP) *Link {
+	t.Helper()
+	for _, l := range n.Links {
+		if l.Kind == LinkIXPLAN && l.Subnet == ixp.LAN {
+			return l
+		}
+	}
+	t.Fatalf("no LAN link for %s", ixp.Name)
+	return nil
+}

@@ -1,0 +1,176 @@
+package topo
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// fuzzBound maps v into [-1, cap]: negative and zero values exercise the
+// withDefaults floors, while the cap keeps fuzzed worlds at test scale.
+func fuzzBound(v, cap int) int {
+	if v < 0 {
+		v = -v
+	}
+	if v < 0 { // math.MinInt
+		return -1
+	}
+	return v%(cap+2) - 1
+}
+
+// fuzzMix decodes a VisMix from raw bytes: (archetype, weight) pairs, with
+// out-of-range archetypes, negative weights, and NaN all representable —
+// sanitizeMix must reject every invalid combination.
+func fuzzMix(b []byte) VisMix {
+	if len(b) == 0 {
+		return nil
+	}
+	var m VisMix
+	for i := 0; i+1 < len(b); i += 2 {
+		w := float64(int8(b[i+1]))
+		if b[i+1] == 254 {
+			w = math.NaN()
+		}
+		m = append(m, VisWeight{Vis: Visibility(int8(b[i])), W: w})
+	}
+	return m
+}
+
+func checkMix(t *testing.T, class string, m VisMix) {
+	t.Helper()
+	if len(m) == 0 {
+		t.Fatalf("%s: withDefaults emitted an empty mix", class)
+	}
+	var total float64
+	for _, w := range m {
+		if !(w.W >= 0) {
+			t.Fatalf("%s: negative/NaN weight %v survived withDefaults", class, w.W)
+		}
+		if w.Vis < VisFirewall || w.Vis > VisSiblingUpstream {
+			t.Fatalf("%s: out-of-range archetype %d survived withDefaults", class, w.Vis)
+		}
+		total += w.W
+	}
+	if !(total > 0) {
+		t.Fatalf("%s: zero-total mix survived withDefaults", class)
+	}
+}
+
+// FuzzGenerate drives the generator over bounded Profile values: whatever
+// the fuzzer invents, withDefaults must emit a valid profile, Generate must
+// not panic, every link must come out annotated, and the serialized world
+// must round-trip as a fixed point.
+func FuzzGenerate(f *testing.F) {
+	// Seed corpus: the six original built-in profiles (by their field
+	// values) plus one entry exercising every extension knob at once.
+	f.Add(int64(1), 2, 1, 1, 1, 2, 6, 1, 3, 5, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0.3, 0.0, 0.0, int8(0), int8(0), []byte(nil))           // tiny
+	f.Add(int64(2), 4, 2, 1, 1, 2, 30, 3, 28, 30, 2, 1, 2, 0, 0, 0, 0, 0, 0, 0.2, 0.0, 0.0, int8(1), int8(0), []byte(nil))        // r&e
+	f.Add(int64(3), 3, 2, 1, 2, 4, 12, 1, 8, 15, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0.1, 0.0, 0.0, int8(0), int8(0), []byte(nil))         // small-access
+	f.Add(int64(4), 13, 3, 19, 5, 26, 217, 2, 11, 40, 3, 3, 8, 2, 0, 0, 0, 16, 48, 0.15, 0.0, 0.0, int8(0), int8(0), []byte(nil)) // large-access
+	f.Add(int64(5), 13, 4, 1, 0, 18, 411, 1, 15, 25, 3, 4, 10, 0, 0, 0, 0, 0, 0, 0.25, 0.0, 0.0, int8(2), int8(0), []byte(nil))   // tier1
+	f.Add(int64(6), 2, 1, 1, 3, 6, 0, 1, 10, 20, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0.0, 0.0, 0.0, int8(3), int8(0), []byte(nil))         // enterprise
+	f.Add(int64(7), 3, 1, 2, 1, 2, 5, 2, 5, 4, 1, 1, 1, 1, 4, 12, 20, 4, 8, 0.2, 0.5, 0.4, int8(0), int8(1),
+		[]byte{0, 10, 3, 5, 99, 1, 2, 254}) // all extension knobs + a dirty mix
+
+	f.Fuzz(func(t *testing.T, seed int64,
+		regions, borders, vps, provs, peers, custs, ixps, perIXP, distant,
+		maxChild, moas, pa, sibs, hgLinks, hgPfx, hgFan, cdnLinks, cdnPfx int,
+		ctf, rpf, ibf float64, tier, vpPlace int8, visBytes []byte) {
+
+		hostTiers := []Tier{TierAccess, TierRE, TierTier1, TierStub, TierTransit}
+		ti := int(tier)
+		if ti < 0 {
+			ti = -ti
+		}
+		if ti < 0 {
+			ti = 0
+		}
+		p := Profile{
+			Name:              "fuzz",
+			HostTier:          hostTiers[ti%len(hostTiers)],
+			NumRegions:        fuzzBound(regions, 8),
+			BordersPerRegion:  fuzzBound(borders, 4),
+			NumVPs:            fuzzBound(vps, 8),
+			HostSiblings:      fuzzBound(sibs, 3),
+			NumProviders:      fuzzBound(provs, 4),
+			NumPeers:          fuzzBound(peers, 10),
+			NumCustomers:      fuzzBound(custs, 48),
+			NumIXPs:           fuzzBound(ixps, 3),
+			IXPPeersPerIXP:    fuzzBound(perIXP, 10),
+			DistantPerTransit: fuzzBound(distant, 12),
+			CustTransitFrac:   ctf,
+			CustMaxChildren:   fuzzBound(maxChild, 4),
+			MOASPairs:         fuzzBound(moas, 4),
+			PADelegations:     fuzzBound(pa, 8),
+			RemotePeerFrac:    rpf,
+			IXPBilateralFrac:  ibf,
+			VPPlacement:       VPPlacement(vpPlace),
+			CustVis:           fuzzMix(visBytes),
+			PeerVis:           fuzzMix(visBytes),
+			ProvVis:           fuzzMix(visBytes),
+			IXPVis:            fuzzMix(visBytes),
+		}
+		if hgLinks != 0 {
+			p.Hypergiants = []HypergiantSpec{{
+				Name:         "hg-fuzz",
+				Links:        fuzzBound(hgLinks, 5),
+				Prefixes:     fuzzBound(hgPfx, 16),
+				AccessFanout: fuzzBound(hgFan, 24),
+			}}
+		}
+		if cdnLinks != 0 {
+			p.CDNs = []CDNSpec{{
+				Name:       "cdn-fuzz",
+				Links:      fuzzBound(cdnLinks, 6),
+				Prefixes:   fuzzBound(cdnPfx, 12),
+				Policy:     AnnouncePolicy(ti % 3),
+				Visibility: VisOnenet,
+			}}
+		}
+		// CustTransitFrac is not range-checked by withDefaults (the
+		// generator compares it against Float64() draws, where any value
+		// degenerates to all-or-nothing, both valid); keep the fuzz input
+		// finite so the comparison is well defined.
+		if math.IsNaN(p.CustTransitFrac) || math.IsInf(p.CustTransitFrac, 0) {
+			p.CustTransitFrac = 0
+		}
+
+		d := p.withDefaults()
+		checkMix(t, "cust", d.CustVis)
+		checkMix(t, "peer", d.PeerVis)
+		checkMix(t, "prov", d.ProvVis)
+		checkMix(t, "ixp", d.IXPVis)
+		if d.RemotePeerFrac < 0 || d.RemotePeerFrac > 1 || d.IXPBilateralFrac < 0 || d.IXPBilateralFrac > 1 {
+			t.Fatalf("fracs not clamped: remote=%v bilateral=%v", d.RemotePeerFrac, d.IXPBilateralFrac)
+		}
+		if d.VPPlacement < VPSpreadEven || d.VPPlacement > VPSingleRegion {
+			t.Fatalf("VPPlacement %d survived withDefaults", d.VPPlacement)
+		}
+
+		n := Generate(p, seed)
+		if len(n.VPs) != d.NumVPs {
+			t.Fatalf("VPs = %d, want %d", len(n.VPs), d.NumVPs)
+		}
+		for _, l := range n.Links {
+			if l.Annot == (Annotation{}) {
+				t.Fatalf("link %v not annotated", l.Subnet)
+			}
+		}
+
+		var first bytes.Buffer
+		if err := n.Save(&first); err != nil {
+			t.Fatalf("save: %v", err)
+		}
+		loaded, err := Load(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		var second bytes.Buffer
+		if err := loaded.Save(&second); err != nil {
+			t.Fatalf("re-save: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatal("save→load→save not a fixed point")
+		}
+	})
+}

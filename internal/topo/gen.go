@@ -3,6 +3,7 @@ package topo
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"bdrmap/internal/netx"
 )
@@ -16,14 +17,17 @@ func Generate(prof Profile, seed int64) *Network {
 		net:     NewNetwork(),
 		al:      NewAllocator(),
 		prof:    prof,
+		seed:    seed,
 		nextASN: 64500,
 	}
+	g.net.AnnotSeed = seed
 	g.buildHost()
 	g.buildBackbone()
 	g.buildProviders()
 	g.buildPeers()
 	g.buildCDNs()
 	g.buildCustomers()
+	g.buildHypergiants()
 	g.buildIXPs()
 	g.buildDistant()
 	g.applyMOAS()
@@ -69,6 +73,7 @@ type genCtx struct {
 	net     *Network
 	al      *Allocator
 	prof    Profile
+	seed    int64 // feeds the order-invariant per-AS annotation hashes
 	nextASN ASN
 
 	host       *AS
@@ -84,7 +89,8 @@ type genCtx struct {
 	transitPool []ASN // transit ASes usable as "other providers"
 	backbone    []*AS // the global Tier-1 clique
 	cdnPools    map[ASN]netx.Prefix
-	paCustomers []*AS // customers using provider-aggregatable space
+	paCustomers []*AS     // customers using provider-aggregatable space
+	custCores   []*Router // every customer's core router, for hypergiant fanout
 }
 
 func (g *genCtx) asn() ASN {
@@ -631,6 +637,7 @@ func (g *genCtx) buildCustomers() {
 		_, core := g.buildNeighbor(neighborSpec{
 			as: c, rel: RelCustomer, vis: vis, regions: regions,
 		})
+		g.custCores = append(g.custCores, core)
 		// Multihomed silent customers with several prefixes spread their
 		// (unobservable) traffic across exits, so §5.4.8 sees different
 		// final routers and cannot place them — the paper's coverage gap.
@@ -659,6 +666,38 @@ func (g *genCtx) buildCustomers() {
 			g.net.SetAnchor(pa, core.ID, false)
 			g.net.Delegations = append(g.net.Delegations, DelegationRecord{OrgID: "org-host", Prefix: pa})
 			g.paCustomers = append(g.paCustomers, c)
+		}
+	}
+}
+
+// buildHypergiants wires content hypergiants: each peers with the host like
+// a large CDN and additionally peers *directly* with up to AccessFanout of
+// the host's customers (hierarchy flattening). The shortcut links are
+// valley-free — a customer never exports a peer route upward — so the
+// host's ground truth is untouched while the hypergiant's neighbor degree
+// explodes, stressing §5.4.5/§5.4.6 exactly the way PARI predicts.
+func (g *genCtx) buildHypergiants() {
+	for i, spec := range g.prof.Hypergiants {
+		h := g.newEdgeAS(TierCDN, 18)
+		g.net.Tags[spec.Name] = h.ASN
+		regions := g.spreadRegions(spec.Links)
+		_, core := g.buildNeighbor(neighborSpec{
+			as: h, rel: RelPeer, vis: VisOnenet,
+			regions: regions, policy: AnnounceEverywhere, nPrefixes: spec.Prefixes,
+		})
+		// Reachable without the host's peering, like every content network.
+		g.attachUnder(g.backboneT1(i), core, h.ASN)
+		fan := spec.AccessFanout
+		if fan > len(g.custCores) {
+			fan = len(g.custCores)
+		}
+		for k := 0; k < fan; k++ {
+			cust := g.custCores[k]
+			if h.RelTo(cust.Owner) != RelNone {
+				continue
+			}
+			g.net.SetRel(cust.Owner, h.ASN, RelPeer)
+			g.net.ConnectPtP(core, cust, g.al.Sub(h.Infra, g.linkPlen()), LinkInterdomain, h.ASN)
 		}
 	}
 }
@@ -703,7 +742,11 @@ func (g *genCtx) buildIXPs() {
 		g.net.RegisterIface(hostIf)
 		ixp.Members = append(ixp.Members, g.net.HostASN)
 
-		// Route-server members: hidden peers of the host.
+		// IXP members: route-server sessions are hidden peers of the host;
+		// bilateral sessions (IXPBilateralFrac) stay BGP-visible. Remote
+		// members (RemotePeerFrac) sit in a distant metro behind a layer-2
+		// circuit — placement and circuit delay come from the per-AS hash
+		// stream so they cannot disturb the sequential rng.
 		for m := 0; m < g.prof.IXPPeersPerIXP; m++ {
 			vis := g.pickVis(g.prof.IXPVis)
 			pASN := g.asn()
@@ -712,17 +755,28 @@ func (g *genCtx) buildIXPs() {
 			p.Prefixes = append(p.Prefixes, pp)
 			p.Infra = pp
 			p.AnnounceInfra = true
-			border := g.net.AddRouter(pASN, "ixp-bdr", ixp.Longitude)
+			memberLon := ixp.Longitude
+			var circuit time.Duration
+			if g.prof.RemotePeerFrac > 0 && g.rng.Float64() < g.prof.RemotePeerFrac {
+				memberLon, circuit = remoteAttachment(g.seed, pASN, ixp.Longitude)
+				ixp.Remote = append(ixp.Remote, pASN)
+			}
+			border := g.net.AddRouter(pASN, "ixp-bdr", memberLon)
 			memIf := border.AddIface(lan.First()+netx.Addr(lanCursor), lanLink)
+			memIf.AttachDelay = circuit
 			lanCursor++
 			g.net.RegisterIface(memIf)
 			ixp.Members = append(ixp.Members, pASN)
 
 			g.net.SetRel(p.ASN, g.net.HostASN, RelPeer)
-			if g.net.HiddenNeighbors == nil {
-				g.net.HiddenNeighbors = make(map[ASN]bool)
+			if g.prof.IXPBilateralFrac > 0 && g.rng.Float64() < g.prof.IXPBilateralFrac {
+				ixp.Bilateral = append(ixp.Bilateral, pASN)
+			} else {
+				if g.net.HiddenNeighbors == nil {
+					g.net.HiddenNeighbors = make(map[ASN]bool)
+				}
+				g.net.HiddenNeighbors[p.ASN] = true
 			}
-			g.net.HiddenNeighbors[p.ASN] = true
 			g.net.AddIXPSession(ixpIdx, g.net.HostASN, hostBR.ID, p.ASN, border.ID)
 
 			// Each member is also a customer of a transit (so its prefix
@@ -732,8 +786,8 @@ func (g *genCtx) buildIXPs() {
 				interior = g.al.Next(23)
 				g.net.Delegations = append(g.net.Delegations, DelegationRecord{OrgID: p.Org, Prefix: interior})
 			}
-			core := g.net.AddRouter(pASN, "core1", ixp.Longitude)
-			agg := g.net.AddRouter(pASN, "agg1", ixp.Longitude)
+			core := g.net.AddRouter(pASN, "core1", memberLon)
+			agg := g.net.AddRouter(pASN, "agg1", memberLon)
 			g.net.ConnectPtP(border, core, g.al.Sub(interior, 31), LinkInternal, pASN)
 			g.net.ConnectPtP(core, agg, g.al.Sub(interior, 31), LinkInternal, pASN)
 			if len(g.transitPool) > 0 {
@@ -829,10 +883,28 @@ func (g *genCtx) recordDelegations() {
 	g.net.Delegations = append(g.net.Delegations, DelegationRecord{OrgID: "org-host", Prefix: g.hostHidden})
 }
 
-// placeVPs attaches VPs to access routers round-robin across regions.
+// vpRegion returns the region index for VP i under the profile's placement
+// policy. The historical default spreads round-robin across all regions;
+// coastal placements cycle through one half of the west→east footprint.
+func (g *genCtx) vpRegion(i int) int {
+	n := len(g.regions)
+	half := (n + 1) / 2
+	switch g.prof.VPPlacement {
+	case VPWestCoast:
+		return i % half
+	case VPEastCoast:
+		return n - 1 - i%half
+	case VPSingleRegion:
+		return 0
+	default:
+		return i % n
+	}
+}
+
+// placeVPs attaches VPs to access routers per the VP placement policy.
 func (g *genCtx) placeVPs() {
 	for i := 0; i < g.prof.NumVPs; i++ {
-		region := i % len(g.regions)
+		region := g.vpRegion(i)
 		acc := g.hostACC[region]
 		// The VP host hangs off the access router on a /31 from host space.
 		sub := g.al.Sub(g.hostInfra, 31)

@@ -316,7 +316,8 @@ func TestProfilesGenerate(t *testing.T) {
 	if testing.Short() {
 		t.Skip("profile generation in -short mode")
 	}
-	for _, p := range []Profile{REProfile(), SmallAccessProfile()} {
+	for _, p := range []Profile{REProfile(), SmallAccessProfile(),
+		RemotePeeringProfile(), HypergiantProfile(), RouteServerMixProfile(), RegionalVPProfile()} {
 		n := Generate(p, 1)
 		s := n.Stats()
 		if s.InterdomainLinks == 0 || s.Routers == 0 {

@@ -171,6 +171,7 @@ func (n *Network) Build() {
 	}
 	n.idx.internalAdj = make(map[RouterID][]Adj)
 	n.idx.attachments = make(map[ASN][]Attachment)
+	n.annotate()
 
 	for _, l := range n.Links {
 		switch l.Kind {

@@ -93,9 +93,13 @@ func AttachPeer(n *Network, hostBorder RouterID, asn ASN, transit ASN) (ASN, err
 }
 
 // Depeer removes the interdomain link(s) between the host and neighbor:
-// the physical de-provisioning of an interconnect. The neighbor AS and its
-// relationship survive (sessions are torn down elsewhere); with no
-// remaining attachment its prefixes route via any other transit it has.
+// the physical de-provisioning of an interconnect. BGP sessions across an
+// IXP LAN — route-server or bilateral — count as interconnects too and are
+// torn down; the LAN and its interfaces survive, since they belong to the
+// IXP operator, not the departing pair. The neighbor AS and its
+// relationship survive; with no remaining attachment its prefixes route
+// via any other transit it has. Returns the number of links plus sessions
+// removed.
 func Depeer(n *Network, neighbor ASN) int {
 	removed := 0
 	keep := n.Links[:0]
@@ -120,6 +124,17 @@ func Depeer(n *Network, neighbor ASN) int {
 		}
 	}
 	n.Links = keep
+	keepSess := n.ixpSessions[:0]
+	for _, s := range n.ixpSessions {
+		hostSide := n.sameOrgAsHost(s.A) || n.sameOrgAsHost(s.B)
+		neighborSide := s.A == neighbor || s.B == neighbor
+		if hostSide && neighborSide {
+			removed++
+			continue
+		}
+		keepSess = append(keepSess, s)
+	}
+	n.ixpSessions = keepSess
 	return removed
 }
 

@@ -1,6 +1,9 @@
 package topo
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 func hostBorderOf(n *Network) RouterID {
 	for _, lt := range n.InterdomainLinks(n.HostASN) {
@@ -129,5 +132,115 @@ func TestDepeer(t *testing.T) {
 	// Idempotent.
 	if Depeer(n, victim) != 0 {
 		t.Fatal("second depeer removed more")
+	}
+}
+
+// TestDepeerRouteServerSession: depeering an IXP member whose only
+// interconnect with the host is a route-server session tears down the
+// session but leaves the IXP LAN and the member's interfaces intact —
+// they belong to the IXP operator and the member, not the departing pair.
+func TestDepeerRouteServerSession(t *testing.T) {
+	n := Generate(RouteServerMixProfile(), 1)
+	// Pick a hidden (route-server) member: its host interconnect is
+	// session-only, no point-to-point link.
+	var victim ASN
+	for _, ixp := range n.IXPs {
+		for _, asn := range ixp.Members {
+			if asn != n.HostASN && asn != ixp.OperatorASN && n.HiddenNeighbors[asn] {
+				victim = asn
+			}
+		}
+	}
+	if victim == 0 {
+		t.Fatal("no route-server member found")
+	}
+	sessBefore, linksBefore := len(n.Sessions()), len(n.Links)
+	removed := Depeer(n, victim)
+	if removed != 1 {
+		t.Fatalf("removed = %d, want exactly the session", removed)
+	}
+	if got := len(n.Sessions()); got != sessBefore-1 {
+		t.Fatalf("sessions %d -> %d, want one fewer", sessBefore, got)
+	}
+	for _, s := range n.Sessions() {
+		if s.A == victim || s.B == victim {
+			t.Fatal("victim still holds a session")
+		}
+	}
+	// The LAN (and the member's transit uplink) survive: only the session
+	// between the pair is an interconnect of theirs.
+	if got := len(n.Links); got != linksBefore {
+		t.Fatalf("links %d -> %d: Depeer tore down physical links for a session-only interconnect", linksBefore, got)
+	}
+	n.Build() // the mutated world must still index cleanly
+	if Depeer(n, victim) != 0 {
+		t.Fatal("second depeer removed more")
+	}
+}
+
+// TestAttachCustomerToHypergiantRejected: the hypergiant's routers are not
+// host attachment points, even though the hypergiant peers with the host.
+func TestAttachCustomerToHypergiantRejected(t *testing.T) {
+	n := Generate(HypergiantProfile(), 1)
+	hg := n.Tags["hypergiant-a"]
+	if hg == 0 {
+		t.Fatal("hypergiant not tagged")
+	}
+	if len(n.ASes[hg].Routers) == 0 {
+		t.Fatal("hypergiant has no routers")
+	}
+	if _, err := AttachCustomer(n, n.ASes[hg].Routers[0].ID, 65520); err == nil {
+		t.Fatal("AttachCustomer accepted a hypergiant-owned router")
+	}
+	// A host border still works in the same world.
+	if _, err := AttachCustomer(n, hostBorderOf(n), 65521); err != nil {
+		t.Fatalf("AttachCustomer on a host border: %v", err)
+	}
+	n.Build()
+}
+
+// TestMutatePreservesAnnotations: mutating an annotated world and
+// rebuilding must keep every surviving link's annotation bit-for-bit —
+// annotate only fills zero values, and mutation never zeroes them.
+func TestMutatePreservesAnnotations(t *testing.T) {
+	n := Generate(RemotePeeringProfile(), 1)
+	before := make(map[*Link]Annotation, len(n.Links))
+	attach := make(map[*Iface]time.Duration)
+	for _, l := range n.Links {
+		before[l] = l.Annot
+		for _, ifc := range l.Ifaces {
+			if ifc.AttachDelay != 0 {
+				attach[ifc] = ifc.AttachDelay
+			}
+		}
+	}
+	var victim ASN
+	for _, lt := range n.InterdomainLinks(n.HostASN) {
+		victim = lt.FarAS
+		break
+	}
+	if Depeer(n, victim) == 0 {
+		t.Fatal("nothing depeered")
+	}
+	if _, err := AttachCustomer(n, hostBorderOf(n), 65530); err != nil {
+		t.Fatal(err)
+	}
+	n.Build()
+	for _, l := range n.Links {
+		want, existed := before[l]
+		if !existed {
+			if l.Annot == (Annotation{}) {
+				t.Fatalf("new link %v not annotated by Build", l.Subnet)
+			}
+			continue
+		}
+		if l.Annot != want {
+			t.Fatalf("link %v annotation changed across mutation: %+v -> %+v", l.Subnet, want, l.Annot)
+		}
+		for _, ifc := range l.Ifaces {
+			if want, ok := attach[ifc]; ok && ifc.AttachDelay != want {
+				t.Fatalf("iface %v circuit delay changed: %v -> %v", ifc.Addr, want, ifc.AttachDelay)
+			}
+		}
 	}
 }

@@ -16,6 +16,17 @@ type IXP struct {
 	Members      []ASN
 	AnnouncesLAN bool // whether the operator (or a member) originates the LAN subnet in BGP (§4 challenge 6)
 	Longitude    float64
+
+	// Remote lists members attached over long-haul layer-2 circuits: their
+	// routers sit in a distant metro and their LAN interfaces carry an
+	// AttachDelay, violating the distance assumptions local peering obeys.
+	Remote []ASN
+
+	// Bilateral lists members whose session with the host is a direct
+	// bilateral BGP session rather than a route-server multilateral one;
+	// bilateral sessions are visible in the public BGP view, route-server
+	// sessions are the hidden "trace"-only neighbors of Table 1.
+	Bilateral []ASN
 }
 
 // VP is a vantage point: a measurement host attached to a specific router
@@ -78,6 +89,10 @@ type Network struct {
 	// the topology can be mutated afterwards (new interconnections need
 	// fresh subnets). Nil for hand-built networks.
 	Alloc *Allocator
+
+	// AnnotSeed seeds the per-AS link-annotation hash (annot.go). Zero for
+	// hand-built networks, which still get deterministic annotations.
+	AnnotSeed int64
 
 	ifaceByAddr map[netx.Addr]*Iface
 	ixpSessions []IXPSession

@@ -140,7 +140,59 @@ type Profile struct {
 	// PADelegations is the number of customers whose announced prefix is
 	// carved from the host's block (provider-aggregatable space).
 	PADelegations int
+
+	// RemotePeerFrac is the probability that an IXP member peers remotely:
+	// its router sits in a distant metro and reaches the fabric over a
+	// long-haul layer-2 circuit (high-latency LAN attachment violating the
+	// distance assumptions of §5.4). Zero disables remote peering.
+	RemotePeerFrac float64
+
+	// IXPBilateralFrac is the probability that an IXP member's session with
+	// the host is bilateral (visible in the public BGP view) instead of a
+	// hidden route-server multilateral session. Zero keeps the historical
+	// all-route-server behavior.
+	IXPBilateralFrac float64
+
+	// Hypergiants are content ASes that flatten the hierarchy: besides
+	// peering with the host, each peers directly with many of the host's
+	// customers (valley-free, so those shortcuts never transit the host).
+	Hypergiants []HypergiantSpec
+
+	// VPPlacement selects where vantage points attach geographically.
+	VPPlacement VPPlacement
 }
+
+// HypergiantSpec describes one hypergiant content network.
+type HypergiantSpec struct {
+	Name string
+	// Links is the number of interconnection links with the host.
+	Links int
+	// Prefixes is the total announced prefix count (content networks
+	// announce many).
+	Prefixes int
+	// AccessFanout is the number of host customers the hypergiant also
+	// peers with directly (capped at the customer count).
+	AccessFanout int
+}
+
+// VPPlacement selects the geographic placement policy for vantage points.
+// The paper's figures 15/16 show VP longitude decides which interdomain
+// links hot-potato routing lets a VP observe; regional placements stress
+// that dependence deliberately.
+type VPPlacement int8
+
+// VPPlacement values.
+const (
+	// VPSpreadEven places VPs round-robin across all regions (historical
+	// default).
+	VPSpreadEven VPPlacement = iota
+	// VPWestCoast concentrates VPs in the western half of the footprint.
+	VPWestCoast
+	// VPEastCoast concentrates VPs in the eastern half of the footprint.
+	VPEastCoast
+	// VPSingleRegion puts every VP in region 0.
+	VPSingleRegion
+)
 
 // CDNSpec describes a CDN peer with a per-prefix announcement policy.
 type CDNSpec struct {
@@ -200,19 +252,46 @@ func defaultIXPVis() VisMix {
 	}
 }
 
+// sanitizeMix returns m unless it is nil, empty, or carries a negative,
+// NaN, or all-zero weight set — in which case the default mix replaces it.
+// pickVis divides by the total weight, so an invalid mix must never reach
+// the generator.
+func sanitizeMix(m VisMix, def func() VisMix) VisMix {
+	if m == nil {
+		return def()
+	}
+	var total float64
+	for _, w := range m {
+		if !(w.W >= 0) { // negative or NaN
+			return def()
+		}
+		if w.Vis < VisFirewall || w.Vis > VisSiblingUpstream {
+			return def()
+		}
+		total += w.W
+	}
+	if !(total > 0) {
+		return def()
+	}
+	return m
+}
+
+// clamp01 forces x into [0, 1]; NaN maps to 0.
+func clamp01(x float64) float64 {
+	if !(x > 0) {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
 func (p Profile) withDefaults() Profile {
-	if p.CustVis == nil {
-		p.CustVis = defaultCustVis()
-	}
-	if p.PeerVis == nil {
-		p.PeerVis = defaultPeerVis()
-	}
-	if p.ProvVis == nil {
-		p.ProvVis = defaultProvVis()
-	}
-	if p.IXPVis == nil {
-		p.IXPVis = defaultIXPVis()
-	}
+	p.CustVis = sanitizeMix(p.CustVis, defaultCustVis)
+	p.PeerVis = sanitizeMix(p.PeerVis, defaultPeerVis)
+	p.ProvVis = sanitizeMix(p.ProvVis, defaultProvVis)
+	p.IXPVis = sanitizeMix(p.IXPVis, defaultIXPVis)
 	if p.NumRegions <= 0 {
 		p.NumRegions = 1
 	}
@@ -224,6 +303,56 @@ func (p Profile) withDefaults() Profile {
 	}
 	if p.CustMaxChildren < 0 {
 		p.CustMaxChildren = 0
+	}
+	if p.NumIXPs < 0 {
+		p.NumIXPs = 0
+	}
+	if p.IXPPeersPerIXP < 0 {
+		p.IXPPeersPerIXP = 0
+	}
+	p.RemotePeerFrac = clamp01(p.RemotePeerFrac)
+	p.IXPBilateralFrac = clamp01(p.IXPBilateralFrac)
+	if len(p.BigPeerLinkCounts) > 0 {
+		bp := make([]int, len(p.BigPeerLinkCounts))
+		for i, c := range p.BigPeerLinkCounts {
+			if c < 1 {
+				c = 1
+			}
+			bp[i] = c
+		}
+		p.BigPeerLinkCounts = bp
+	}
+	if len(p.CDNs) > 0 {
+		cd := make([]CDNSpec, len(p.CDNs))
+		for i, c := range p.CDNs {
+			if c.Links < 1 {
+				c.Links = 1
+			}
+			if c.Prefixes < 0 {
+				c.Prefixes = 0
+			}
+			cd[i] = c
+		}
+		p.CDNs = cd
+	}
+	if len(p.Hypergiants) > 0 {
+		hg := make([]HypergiantSpec, len(p.Hypergiants))
+		for i, h := range p.Hypergiants {
+			if h.Links < 1 {
+				h.Links = 1
+			}
+			if h.Prefixes < 0 {
+				h.Prefixes = 0
+			}
+			if h.AccessFanout < 0 {
+				h.AccessFanout = 0
+			}
+			hg[i] = h
+		}
+		p.Hypergiants = hg
+	}
+	if p.VPPlacement < VPSpreadEven || p.VPPlacement > VPSingleRegion {
+		p.VPPlacement = VPSpreadEven
 	}
 	return p
 }
@@ -390,6 +519,143 @@ func TinyProfile() Profile {
 		NumIXPs:           1,
 		IXPPeersPerIXP:    3,
 		CustTransitFrac:   0.3,
+		CustMaxChildren:   1,
+		DistantPerTransit: 5,
+		MOASPairs:         1,
+		PADelegations:     1,
+	}
+}
+
+// RemotePeeringProfile stresses the distance assumptions of §5.4: half the
+// IXP members peer remotely, so their routers answer from metros far from
+// the IXP while their LAN interfaces carry a long-haul circuit delay. Hop
+// counts stay IXP-local but RTTs do not.
+func RemotePeeringProfile() Profile {
+	return Profile{
+		Name:              "remote-peering",
+		HostTier:          TierAccess,
+		NumRegions:        3,
+		BordersPerRegion:  1,
+		NumVPs:            1,
+		NumProviders:      1,
+		NumPeers:          2,
+		NumCustomers:      5,
+		NumIXPs:           2,
+		IXPPeersPerIXP:    5,
+		RemotePeerFrac:    0.5,
+		CustTransitFrac:   0.2,
+		CustMaxChildren:   1,
+		DistantPerTransit: 4,
+		MOASPairs:         1,
+		PADelegations:     1,
+	}
+}
+
+// HypergiantProfile models hierarchy flattening: one content AS peering
+// with the host AND directly with most of the host's customers. The
+// shortcut links never transit the host (valley-free), but the hypergiant's
+// many prefixes and wide peering stress the relationship heuristics
+// (§5.4.5) and the per-neighbor counting step (§5.4.6).
+func HypergiantProfile() Profile {
+	return Profile{
+		Name:             "hypergiant",
+		HostTier:         TierAccess,
+		NumRegions:       4,
+		BordersPerRegion: 2,
+		NumVPs:           1,
+		NumProviders:     1,
+		NumPeers:         2,
+		NumCustomers:     24,
+		Hypergiants: []HypergiantSpec{
+			{Name: "hypergiant-a", Links: 4, Prefixes: 12, AccessFanout: 20},
+		},
+		NumIXPs:           1,
+		IXPPeersPerIXP:    3,
+		CustTransitFrac:   0.2,
+		CustMaxChildren:   1,
+		DistantPerTransit: 5,
+		MOASPairs:         1,
+		PADelegations:     1,
+	}
+}
+
+// RouteServerMixProfile mixes hidden route-server sessions with visible
+// bilateral ones at the same IXPs: the bilateral members appear in the
+// public BGP view (classified peers, §5.4.5) while the route-server members
+// stay trace-only (§5.4.5 step 5.5 hidden peers), on one shared LAN.
+func RouteServerMixProfile() Profile {
+	return Profile{
+		Name:              "route-server",
+		HostTier:          TierAccess,
+		NumRegions:        2,
+		BordersPerRegion:  2,
+		NumVPs:            1,
+		NumProviders:      1,
+		NumPeers:          2,
+		NumCustomers:      6,
+		NumIXPs:           2,
+		IXPPeersPerIXP:    8,
+		IXPBilateralFrac:  0.4,
+		CustTransitFrac:   0.2,
+		CustMaxChildren:   1,
+		DistantPerTransit: 5,
+		MOASPairs:         1,
+		PADelegations:     1,
+	}
+}
+
+// BuiltinProfiles lists every predefined profile, the four §5.6 validation
+// networks and the extension scenarios alike, in presentation order.
+func BuiltinProfiles() []Profile {
+	return []Profile{
+		TinyProfile(),
+		REProfile(),
+		SmallAccessProfile(),
+		LargeAccessProfile(),
+		Tier1Profile(),
+		EnterpriseProfile(),
+		RemotePeeringProfile(),
+		HypergiantProfile(),
+		RouteServerMixProfile(),
+		RegionalVPProfile(),
+	}
+}
+
+// ProfileByName resolves a built-in profile by its Name field ("re" is
+// accepted as an alias for "r&e").
+func ProfileByName(name string) (Profile, bool) {
+	if name == "re" {
+		name = "r&e"
+	}
+	for _, p := range BuiltinProfiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// RegionalVPProfile places every VP on the west coast of a wide footprint
+// while a coastal-announcing CDN interconnects on both coasts: hot-potato
+// routing then hides the eastern interdomain links from every VP (the
+// figure 15/16 marginal-utility effect, made extreme).
+func RegionalVPProfile() Profile {
+	return Profile{
+		Name:             "regional-vp",
+		HostTier:         TierAccess,
+		NumRegions:       6,
+		BordersPerRegion: 1,
+		NumVPs:           3,
+		VPPlacement:      VPWestCoast,
+		NumProviders:     1,
+		NumPeers:         2,
+		NumCustomers:     8,
+		CDNs: []CDNSpec{
+			{Name: "coastal-cdn", Links: 4, Prefixes: 8, Policy: AnnounceCoastal, Visibility: VisOnenet},
+		},
+		NumIXPs:           1,
+		IXPPeersPerIXP:    3,
+		CustTransitFrac:   0.2,
 		CustMaxChildren:   1,
 		DistantPerTransit: 5,
 		MOASPairs:         1,

@@ -2,6 +2,7 @@ package topo
 
 import (
 	"fmt"
+	"time"
 
 	"bdrmap/internal/netx"
 )
@@ -118,6 +119,10 @@ type Link struct {
 	// AddrOwner is the AS whose address space numbers the subnet.
 	// For IXP LANs this is the IXP operator's AS.
 	AddrOwner ASN
+
+	// Annot carries the link's latency/bandwidth/geo annotation, filled by
+	// Build (see annot.go). A zero value means "not yet annotated".
+	Annot Annotation
 }
 
 // Other returns the interface on the link that is not on router r.
@@ -146,6 +151,13 @@ type Iface struct {
 	Addr   netx.Addr
 	Router RouterID
 	Link   *Link
+
+	// AttachDelay is extra one-way delay between this interface and the
+	// link medium: a remote-peering IXP member reaches the fabric over a
+	// long-haul layer-2 circuit, so its LAN interface carries the circuit
+	// latency while the shared LAN link itself stays local. Zero for
+	// ordinary directly-attached interfaces.
+	AttachDelay time.Duration
 }
 
 // Router is one physical router. Interfaces appear in attachment order;

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"bdrmap/internal/netx"
 )
@@ -17,6 +18,7 @@ import (
 type netJSON struct {
 	Version     int            `json:"version"`
 	HostASN     ASN            `json:"host_asn"`
+	AnnotSeed   int64          `json:"annot_seed,omitempty"`
 	ASes        []asJSON       `json:"ases"`
 	Routers     []rtrJSON      `json:"routers"`
 	Links       []linkJSON     `json:"links"`
@@ -62,11 +64,22 @@ type linkJSON struct {
 	AddrOwner ASN    `json:"addr_owner"`
 	// Ifaces: (router index, address) pairs in attachment order.
 	Ifaces []ifaceJSON `json:"ifaces"`
+	Annot  *annotJSON  `json:"annot,omitempty"`
+}
+
+type annotJSON struct {
+	LatencyNS     int64   `json:"latency_ns"`
+	BandwidthMbps int     `json:"bw_mbps"`
+	LonA          float64 `json:"lon_a"`
+	LonB          float64 `json:"lon_b"`
 }
 
 type ifaceJSON struct {
 	Router RouterID `json:"router"`
 	Addr   string   `json:"addr"`
+	// AttachNS is the interface's AttachDelay in nanoseconds (remote
+	// peering circuits); omitted when zero.
+	AttachNS int64 `json:"attach_ns,omitempty"`
 }
 
 type ixpJSON struct {
@@ -76,6 +89,8 @@ type ixpJSON struct {
 	Members      []ASN   `json:"members"`
 	AnnouncesLAN bool    `json:"announces_lan"`
 	Longitude    float64 `json:"lon"`
+	Remote       []ASN   `json:"remote,omitempty"`
+	Bilateral    []ASN   `json:"bilateral,omitempty"`
 }
 
 type vpJSON struct {
@@ -117,9 +132,10 @@ type pinJSON struct {
 // Save serializes the network as JSON.
 func (n *Network) Save(w io.Writer) error {
 	out := netJSON{
-		Version: 1,
-		HostASN: n.HostASN,
-		Tags:    n.Tags,
+		Version:   1,
+		HostASN:   n.HostASN,
+		AnnotSeed: n.AnnotSeed,
+		Tags:      n.Tags,
 	}
 	for _, asn := range n.ASNs() {
 		a := n.ASes[asn]
@@ -145,7 +161,17 @@ func (n *Network) Save(w io.Writer) error {
 		linkIdx[l] = i
 		lj := linkJSON{Kind: int8(l.Kind), Subnet: l.Subnet.String(), AddrOwner: l.AddrOwner}
 		for _, ifc := range l.Ifaces {
-			lj.Ifaces = append(lj.Ifaces, ifaceJSON{Router: ifc.Router, Addr: ifc.Addr.String()})
+			lj.Ifaces = append(lj.Ifaces, ifaceJSON{
+				Router: ifc.Router, Addr: ifc.Addr.String(), AttachNS: int64(ifc.AttachDelay),
+			})
+		}
+		if l.Annot != (Annotation{}) {
+			lj.Annot = &annotJSON{
+				LatencyNS:     int64(l.Annot.Latency),
+				BandwidthMbps: l.Annot.BandwidthMbps,
+				LonA:          l.Annot.LonA,
+				LonB:          l.Annot.LonB,
+			}
 		}
 		out.Links = append(out.Links, lj)
 	}
@@ -153,6 +179,7 @@ func (n *Network) Save(w io.Writer) error {
 		out.IXPs = append(out.IXPs, ixpJSON{
 			Name: x.Name, OperatorASN: x.OperatorASN, LAN: x.LAN.String(),
 			Members: x.Members, AnnouncesLAN: x.AnnouncesLAN, Longitude: x.Longitude,
+			Remote: x.Remote, Bilateral: x.Bilateral,
 		})
 	}
 	for _, vp := range n.VPs {
@@ -212,6 +239,7 @@ func Load(r io.Reader) (*Network, error) {
 	}
 	n := NewNetwork()
 	n.HostASN = in.HostASN
+	n.AnnotSeed = in.AnnotSeed
 	if in.Tags != nil {
 		n.Tags = in.Tags
 	}
@@ -244,6 +272,14 @@ func Load(r io.Reader) (*Network, error) {
 			return nil, err
 		}
 		l := n.AddLink(LinkKind(lj.Kind), subnet, lj.AddrOwner)
+		if lj.Annot != nil {
+			l.Annot = Annotation{
+				Latency:       time.Duration(lj.Annot.LatencyNS),
+				BandwidthMbps: lj.Annot.BandwidthMbps,
+				LonA:          lj.Annot.LonA,
+				LonB:          lj.Annot.LonB,
+			}
+		}
 		for _, ij := range lj.Ifaces {
 			r := n.Router(ij.Router)
 			if r == nil {
@@ -253,7 +289,9 @@ func Load(r io.Reader) (*Network, error) {
 			if err != nil {
 				return nil, err
 			}
-			n.RegisterIface(r.AddIface(a, l))
+			ifc := r.AddIface(a, l)
+			ifc.AttachDelay = time.Duration(ij.AttachNS)
+			n.RegisterIface(ifc)
 		}
 	}
 	for _, xj := range in.IXPs {
@@ -264,6 +302,7 @@ func Load(r io.Reader) (*Network, error) {
 		n.IXPs = append(n.IXPs, &IXP{
 			Name: xj.Name, OperatorASN: xj.OperatorASN, LAN: lan,
 			Members: xj.Members, AnnouncesLAN: xj.AnnouncesLAN, Longitude: xj.Longitude,
+			Remote: xj.Remote, Bilateral: xj.Bilateral,
 		})
 	}
 	for _, vj := range in.VPs {

@@ -167,6 +167,35 @@ func (w *World) WriteTrace(out io.Writer) error { return w.s.Trace.WriteJSONL(ou
 // it is byte-identical across runs regardless of worker count.
 func (w *World) TraceFingerprint() string { return w.s.Trace.Fingerprint() }
 
+// SpanRecord is one completed timeline span — the duration half of the
+// observability layer, where TraceEvent is the decision half. Spans form
+// a tree (run → round → vp → stage → target, plus remote agents' session
+// spans) on the simulated-time axis.
+type SpanRecord = obs.SpanRecord
+
+// SpanRecords returns the span tree recorded so far: completed spans in
+// completion order followed by the still-open ones (the run root stays
+// open for the world's life).
+func (w *World) SpanRecords() []SpanRecord { return w.s.Spans.Snapshot() }
+
+// WriteSpans exports the span tree as JSON Lines, one span per line.
+func (w *World) WriteSpans(out io.Writer) error { return w.s.Spans.WriteJSONL(out) }
+
+// WriteChromeTrace exports the span tree in Chrome trace_event format —
+// load the file in Perfetto (ui.perfetto.dev) or chrome://tracing to see
+// where the run's simulated time went.
+func (w *World) WriteChromeTrace(out io.Writer) error { return w.s.Spans.WriteChrome(out) }
+
+// ReadSpans loads a span log written by WriteSpans.
+func ReadSpans(r io.Reader) ([]SpanRecord, error) { return obs.ReadSpanJSONL(r) }
+
+// SpanFingerprint hashes the deterministic portion of the span tree
+// (IDs, parents, names, details, simulated durations, non-volatile
+// attrs). For a fixed profile, seed, and configuration it is identical
+// across runs, across worker counts, and across repeated runs of one
+// healing fault schedule; wall-clock durations are excluded.
+func (w *World) SpanFingerprint() string { return w.s.Spans.Fingerprint() }
+
 // Explain renders the evidence chain for one address, address pair, or AS:
 // the §5.4 decision that fired, the constraints it consulted, and the
 // probe/alias measurements mentioning the subject.

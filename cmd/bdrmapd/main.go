@@ -34,10 +34,11 @@ import (
 )
 
 // newMux assembles bdrmapd's HTTP surface: the obs registry as JSON on /,
-// Prometheus text on /metrics, the border-map query API under /v1/, and
-// optionally net/http/pprof. Every error answer — including the catch-all
-// 404 — is a structured JSON {"error":{"code","message"}} body.
-func newMux(reg *obs.Registry, store *mapdb.Store, pprofOn bool) *http.ServeMux {
+// Prometheus text on /metrics, the border-map query API plus the live
+// /v1/status ops surface under /v1/, and optionally net/http/pprof. Every
+// error answer — including the catch-all 404 — is a structured JSON
+// {"error":{"code","message"}} body.
+func newMux(reg *obs.Registry, store *mapdb.Store, spans *obs.SpanLog, pprofOn bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	obsHandler := obs.Handler(reg)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -48,7 +49,7 @@ func newMux(reg *obs.Registry, store *mapdb.Store, pprofOn bool) *http.ServeMux 
 		obsHandler.ServeHTTP(w, r)
 	})
 	mux.Handle("/metrics", obs.PromHandler(reg))
-	mux.Handle("/v1/", mapdb.Handler(store, reg))
+	mux.Handle("/v1/", mapdb.HandlerWithStatus(store, reg, spans))
 	if pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -74,6 +75,7 @@ func main() {
 		incremental = flag.Bool("incremental", false, "with -rounds, carry stop sets, trace caches, and prior attributions across rounds (see README: Continuous monitoring)")
 		refreshEach = flag.Int("refresh-every", 0, "with -incremental, force a full re-walk of each cached target every N rounds (0 = default cadence, -1 = never)")
 		verify      = flag.Bool("verify", false, "with -incremental, cross-check every round against a from-scratch run and abort on any divergence")
+		spanOut     = flag.String("span-out", "", "write the run's span timeline as a Chrome trace_event file on exit (open in Perfetto / chrome://tracing)")
 	)
 	flag.Parse()
 
@@ -91,18 +93,36 @@ func main() {
 	// immediately: /v1/* answers 503 no_generation until the first publish.
 	store := mapdb.NewStore(0, s.Obs)
 	var srv *http.Server
+	var sampler *obs.RuntimeSampler
 	if *metricsAddr != "" {
-		srv = &http.Server{Addr: *metricsAddr, Handler: newMux(s.Obs, store, *pprofOn)}
+		srv = &http.Server{Addr: *metricsAddr, Handler: newMux(s.Obs, store, s.Spans, *pprofOn)}
+		// Self-observation: heap, GC, and goroutine gauges refresh in the
+		// background so /metrics and /v1/status report live process health.
+		sampler = obs.StartRuntimeSampler(s.Obs, time.Second)
 		go func() {
-			log.Printf("serving on http://%s/ (Prometheus on /metrics, map queries under /v1/)", *metricsAddr)
+			log.Printf("serving on http://%s/ (Prometheus on /metrics, map queries and status under /v1/)", *metricsAddr)
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("metrics: %v", err)
 			}
 		}()
 	}
-	// finish handles the shared tail: the optional metrics dump, the
-	// optional serve-until-interrupted phase, and metrics-server drain.
+	// finish handles the shared tail: the optional metrics dump, the span
+	// timeline export, the optional serve-until-interrupted phase, and
+	// metrics-server drain.
 	finish := func() {
+		if *spanOut != "" {
+			f, err := os.Create(*spanOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := s.Spans.WriteChrome(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("span timeline written to %s (load in https://ui.perfetto.dev/)", *spanOut)
+		}
 		if *metricsJSON {
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
@@ -110,6 +130,7 @@ func main() {
 				log.Fatal(err)
 			}
 		}
+		sampler.Stop()
 		if srv != nil {
 			if *serve {
 				// Stay up as a map server: the published generations keep
@@ -136,6 +157,7 @@ func main() {
 			Profile: prof, Seed: *seed, Rounds: *rounds,
 			Incremental: *incremental, RefreshEvery: *refreshEach,
 			Verify: *verify, Obs: s.Obs,
+			Spans: s.Spans, SpanParent: s.SpanRoot.ID(),
 		}, store)
 		if err != nil {
 			log.Fatal(err)
@@ -171,7 +193,10 @@ func main() {
 	agentEngine := probe.New(s.Net, bgp.NewTable(s.Net))
 	agentEngine.SetObs(s.Obs)
 	agentEngine.SetFaults(inj)
-	agent := &scamper.Agent{E: agentEngine, VP: s.Net.VPs[0]}
+	// The agent keeps a small span log of its own sessions; the controller
+	// pulls and grafts it under the VP span after the run (protocol v2
+	// capability — older agents simply don't advertise it).
+	agent := &scamper.Agent{E: agentEngine, VP: s.Net.VPs[0], Spans: obs.NewSpanLog(256)}
 	go func() {
 		// DialRetry redials with backoff so a cut session resumes — the
 		// paper's agents reconnect after home-gateway reboots and churn.
@@ -189,17 +214,27 @@ func main() {
 	defer rp.Close()
 	log.Printf("agent %q connected", rp.Name())
 
-	d := &scamper.Driver{View: s.View, Prober: rp, HostASNs: s.HostASNs, Obs: s.Obs, Trace: s.Trace}
+	vsp := s.Spans.Begin(s.SpanRoot.ID(), "vp", s.Net.VPs[0].Name)
+	vsp.SetAttr("mode", "remote")
+	d := &scamper.Driver{
+		View: s.View, Prober: rp, HostASNs: s.HostASNs, Obs: s.Obs, Trace: s.Trace,
+		Spans: s.Spans, SpanParent: vsp.ID(),
+	}
 	ds := d.Run()
 	if err := rp.Err(); err != nil {
 		// A permanently lost session degrades to a partial map rather
 		// than aborting: whatever was measured is still inferred.
 		log.Printf("transport degraded: %v (%d target(s) lost)", err, ds.Stats.TargetsLost)
 	}
+	if recs, err := rp.PullSpans(); err == nil {
+		s.Spans.MergeRecords(recs, vsp.ID())
+	}
 	res := core.Infer(core.Input{
 		Data: ds, View: s.View, Rel: asrel.Infer(s.View), RIR: s.RIR, IXP: s.IXP,
 		HostASN: s.Net.HostASN, Siblings: s.Sibs, Obs: s.Obs, Trace: s.Trace,
+		Spans: s.Spans, SpanParent: vsp.ID(),
 	})
+	vsp.End()
 	store.Publish(mapdb.Compile(s.Net.HostASN, []*core.Result{res}))
 
 	out, in := rp.BytesTransferred()

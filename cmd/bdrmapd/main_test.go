@@ -43,7 +43,7 @@ func errCode(t *testing.T, body map[string]any) string {
 func TestMuxServesMapAndStructuredErrors(t *testing.T) {
 	reg := obs.New()
 	store := mapdb.NewStore(0, reg)
-	mux := newMux(reg, store, false)
+	mux := newMux(reg, store, obs.NewSpanLog(0), false)
 
 	// Before the first publish the query API is up but empty.
 	if code, body := get(t, mux, "/v1/gen"); code != http.StatusServiceUnavailable || errCode(t, body) != "no_generation" {

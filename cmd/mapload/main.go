@@ -1,0 +1,272 @@
+// Command mapload is a load harness for the serving tier: it drives the
+// /v1/ query API with a pool of concurrent workers while a rival publisher
+// churns map generations underneath them, then reports request-latency
+// quantiles (p50/p99/p999) from an obs histogram as a benchjson-compatible
+// JSON artifact CI can diff across PRs.
+//
+// The point is not raw throughput but tail behavior under generation
+// churn: Store.Publish swaps an atomic pointer, so a reader mid-request
+// keeps its snapshot and the p99 should stay flat no matter how fast the
+// publisher spins. A lock-based store would show up here immediately.
+//
+// By default mapload is self-contained: it measures a synthetic world
+// once, publishes it into an in-process Store, serves the real HTTP stack
+// (mapdb.HandlerWithStatus over a TCP loopback listener), and hammers
+// that. With -addr it instead targets an already-running bdrmapd, where
+// only the world-independent endpoints (/v1/gen, /v1/status) are driven.
+//
+// Usage:
+//
+//	mapload -duration 5s -workers 8 -publish-every 10ms -out BENCH_PR8.json
+//	mapload -addr 127.0.0.1:9100 -duration 10s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bdrmap/internal/eval"
+	"bdrmap/internal/mapdb"
+	"bdrmap/internal/obs"
+	"bdrmap/internal/scamper"
+	"bdrmap/internal/topo"
+)
+
+// loadEdgesUS buckets request latency in microseconds, geometric ×2 from
+// 25µs: loopback point lookups land in the low buckets, so the p999
+// interpolation keeps sub-millisecond resolution where it matters.
+var loadEdgesUS = []int64{25, 50, 100, 200, 400, 800, 1600, 3200, 6400, 12800, 25600, 51200, 102400, 204800}
+
+// config is one harness run, fully specified (main parses flags into it;
+// tests construct it directly).
+type config struct {
+	addr         string // target host:port; "" = self-contained mode
+	profile      string
+	seed         int64
+	workers      int
+	duration     time.Duration
+	publishEvery time.Duration
+}
+
+// benchResult matches cmd/benchjson's artifact schema so mapload's output
+// drops into the same CI diffing pipeline as `go test -bench` results.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// report is what one run measured.
+type report struct {
+	Requests  int64
+	Errors    int64
+	Published int64   // generations the rival publisher pushed mid-run
+	P50       float64 // microseconds
+	P99       float64
+	P999      float64
+	Results   []benchResult
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "", "drive an already-running bdrmapd at this host:port instead of a self-contained server")
+	flag.StringVar(&cfg.profile, "profile", "tiny", "world the self-contained server measures and serves")
+	flag.Int64Var(&cfg.seed, "seed", 1, "generation seed for the self-contained world")
+	flag.IntVar(&cfg.workers, "workers", 8, "concurrent query workers")
+	flag.DurationVar(&cfg.duration, "duration", 5*time.Second, "how long to sustain the load")
+	flag.DurationVar(&cfg.publishEvery, "publish-every", 10*time.Millisecond, "rival publisher's generation churn interval (self-contained mode)")
+	out := flag.String("out", "", "write the benchjson artifact to this file (default: stdout)")
+	flag.Parse()
+
+	rep, err := run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mapload:", err)
+		os.Exit(1)
+	}
+
+	// Human transcript on stderr, machine artifact on stdout (or -out) —
+	// so `mapload > bench.json` works without contaminating the JSON.
+	fmt.Fprintf(os.Stderr, "mapload: %d requests, %d errors, %d generations published mid-run\n",
+		rep.Requests, rep.Errors, rep.Published)
+	fmt.Fprintf(os.Stderr, "latency: p50=%.0fµs p99=%.0fµs p999=%.0fµs\n", rep.P50, rep.P99, rep.P999)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mapload:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep.Results); err != nil {
+		fmt.Fprintln(os.Stderr, "mapload:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes one load run and returns the measured report.
+func run(cfg config) (*report, error) {
+	base := "http://" + cfg.addr
+	paths := []string{"/v1/gen", "/v1/status"}
+	var published atomic.Int64
+	stop := func() {}
+
+	if cfg.addr == "" {
+		var err error
+		base, paths, stop, err = selfServe(cfg, &published)
+		if err != nil {
+			return nil, err
+		}
+	}
+	defer stop()
+
+	// The load registry is separate from the serving side's: the harness
+	// measures the client-observed round trip, server instrumentation
+	// included but not shared.
+	loadReg := obs.New()
+	lat := loadReg.Histogram("mapload.latency_us", loadEdgesUS)
+	reqs := loadReg.Counter("mapload.requests")
+	errs := loadReg.Counter("mapload.errors")
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	deadline := time.Now().Add(cfg.duration)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker rotates through the path mix from a different
+			// offset so the endpoints are hit concurrently, not in phase.
+			for i := w; time.Now().Before(deadline); i++ {
+				t0 := time.Now()
+				resp, err := client.Get(base + paths[i%len(paths)])
+				if err != nil {
+					errs.Inc()
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				lat.Observe(time.Since(t0).Microseconds())
+				reqs.Inc()
+				if resp.StatusCode >= http.StatusInternalServerError {
+					errs.Inc()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	stop()
+
+	snap := loadReg.Snapshot()
+	rep := &report{
+		Requests:  snap.Counter("mapload.requests"),
+		Errors:    snap.Counter("mapload.errors"),
+		Published: published.Load(),
+		P50:       snap.Quantile("mapload.latency_us", 0.50),
+		P99:       snap.Quantile("mapload.latency_us", 0.99),
+		P999:      snap.Quantile("mapload.latency_us", 0.999),
+	}
+	count := snap.Histogram("mapload.latency_us").Count
+	procs := runtime.GOMAXPROCS(0)
+	for _, q := range []struct {
+		name string
+		us   float64
+	}{
+		{"MapLoadLatencyP50", rep.P50},
+		{"MapLoadLatencyP99", rep.P99},
+		{"MapLoadLatencyP999", rep.P999},
+	} {
+		rep.Results = append(rep.Results, benchResult{
+			Name: q.name, Procs: procs, Iterations: count, NsPerOp: q.us * 1000,
+		})
+	}
+	return rep, nil
+}
+
+// selfServe builds the self-contained target: measure a world once,
+// publish it, serve the real HTTP stack on loopback, and start the rival
+// publisher that republishes fresh generations of the same results every
+// publishEvery. Returns the base URL, the query-path mix (seeded with real
+// addresses from the served map), and a stop function (idempotent).
+func selfServe(cfg config, published *atomic.Int64) (string, []string, func(), error) {
+	prof, ok := topo.ProfileByName(cfg.profile)
+	if !ok {
+		return "", nil, nil, fmt.Errorf("unknown profile %q", cfg.profile)
+	}
+	s := eval.Build(prof, cfg.seed)
+	s.RunAll(scamper.Config{})
+
+	reg := obs.New()
+	store := mapdb.NewStore(0, reg)
+	snap := mapdb.Compile(s.Net.HostASN, s.Results)
+	store.Publish(snap)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, nil, err
+	}
+	srv := &http.Server{Handler: mapdb.HandlerWithStatus(store, reg, s.Spans)}
+	go func() { _ = srv.Serve(ln) }()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(cfg.publishEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				store.Publish(mapdb.Compile(s.Net.HostASN, s.Results))
+				published.Add(1)
+			}
+		}
+	}()
+
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+			_ = srv.Close()
+		})
+	}
+	return "http://" + ln.Addr().String(), queryPaths(snap), stop, nil
+}
+
+// queryPaths assembles the path mix from the served map itself, so owner
+// and link lookups hit real entries (the hot path) rather than 404s.
+func queryPaths(snap *mapdb.Snapshot) []string {
+	paths := []string{"/v1/gen", "/v1/status"}
+	for i, l := range snap.Links() {
+		if i >= 8 {
+			break
+		}
+		if !l.Far.IsZero() {
+			paths = append(paths,
+				"/v1/owner?ip="+l.Far.String(),
+				"/v1/link?near="+l.Near.String()+"&far="+l.Far.String())
+		}
+		paths = append(paths, "/v1/neighbors?as="+l.FarAS.String())
+	}
+	return paths
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMapLoadSelfContained runs a short self-contained load burst and
+// checks the harness end to end: real requests flowed, the rival
+// publisher churned generations underneath them, the quantiles are
+// populated and ordered, and the artifact rows carry the benchjson shape.
+func TestMapLoadSelfContained(t *testing.T) {
+	rep, err := run(config{
+		profile:      "tiny",
+		seed:         1,
+		workers:      4,
+		duration:     500 * time.Millisecond,
+		publishEvery: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d request errors under load", rep.Errors)
+	}
+	if rep.Published == 0 {
+		t.Error("rival publisher never published a generation")
+	}
+	if rep.P99 <= 0 {
+		t.Errorf("p99 = %v, want > 0", rep.P99)
+	}
+	if !(rep.P50 <= rep.P99 && rep.P99 <= rep.P999) {
+		t.Errorf("quantiles out of order: p50=%v p99=%v p999=%v", rep.P50, rep.P99, rep.P999)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("got %d artifact rows, want 3", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.NsPerOp <= 0 || r.Iterations != rep.Requests || r.Procs == 0 {
+			t.Errorf("artifact row %+v malformed", r)
+		}
+	}
+}
+
+// TestMapLoadUnknownProfile exercises the config error path.
+func TestMapLoadUnknownProfile(t *testing.T) {
+	if _, err := run(config{profile: "no-such-world", workers: 1, duration: time.Millisecond}); err == nil {
+		t.Fatal("expected error for unknown profile")
+	}
+}

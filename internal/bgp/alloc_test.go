@@ -1,0 +1,60 @@
+package bgp
+
+import (
+	"testing"
+
+	"bdrmap/internal/topo"
+)
+
+// Alloc budgets for the candidate-set hot path. candidatesAt dominated
+// scenario-build allocations (sort.Slice closures plus a fresh result
+// slice per AS per prefix) before it moved to a pooled scratch buffer and
+// an inline insertion sort; these tests pin the steady state at zero so
+// the slab cannot silently regress.
+
+// TestCandidatesAtAllocFree drives the scratch-buffer path directly: once
+// the buffer has grown to the largest candidate set, a full sweep over
+// every AS of every cached RIB must not allocate.
+func TestCandidatesAtAllocFree(t *testing.T) {
+	n := topo.Generate(topo.TinyProfile(), 1)
+	tab := NewTable(n)
+	ribs := make([]*PrefixRIB, 0, len(tab.Prefixes()))
+	for _, p := range tab.Prefixes() {
+		ribs = append(ribs, tab.Routes(p))
+	}
+	buf := make([]int32, 0, 16)
+	avg := testing.AllocsPerRun(100, func() {
+		for _, r := range ribs {
+			for x := range tab.adj {
+				tab.candidatesAt(r, int32(x), &buf)
+			}
+		}
+	})
+	if avg != 0 {
+		t.Errorf("candidatesAt sweep allocates %.1f objects/run, want 0", avg)
+	}
+}
+
+// TestSuppressedAtAllocFree pins the public concurrent-safe lookup: with
+// warm RIB cache and pool, SuppressedAt must serve from scratch buffers.
+// The budget tolerates stray pool refills (a GC between runs empties
+// sync.Pool) but catches the per-call slice+closure regime this replaced.
+func TestSuppressedAtAllocFree(t *testing.T) {
+	n := topo.Generate(topo.TinyProfile(), 1)
+	tab := NewTable(n)
+	asns := n.ASNs()
+	var ribs []*PrefixRIB
+	for _, p := range tab.Prefixes() {
+		ribs = append(ribs, tab.Routes(p))
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for _, r := range ribs {
+			for _, a := range asns {
+				tab.SuppressedAt(a, r)
+			}
+		}
+	})
+	if avg > 1 {
+		t.Errorf("SuppressedAt sweep allocates %.1f objects/run, want ~0", avg)
+	}
+}

@@ -368,6 +368,8 @@ func (t *Table) relaxPeer(r *PrefixRIB) {
 // relaxProvider floods any route down provider → customer edges (and
 // sibling sessions) in BFS order.
 func (t *Table) relaxProvider(r *PrefixRIB) {
+	buf := candBufPool.Get().(*[]int32)
+	defer candBufPool.Put(buf)
 	var queue []int32
 	for x := range t.adj {
 		if r.Class[x] != ClassNone {
@@ -382,7 +384,7 @@ func (t *Table) relaxProvider(r *PrefixRIB) {
 			}
 			// Routes learned across hidden (no-export) sessions are never
 			// re-announced, by either party.
-			if t.bestViaHiddenSession(r, x) {
+			if t.bestViaHiddenSession(r, x, buf) {
 				continue
 			}
 			for _, e := range t.adj[x] {
@@ -430,11 +432,11 @@ func (t *Table) relaxSiblings(r *PrefixRIB, c Class) {
 
 // hostBestHidden reports whether every equal-best next hop at the host is a
 // hidden neighbor. Must be called after the peer phase.
-func (t *Table) hostBestHidden(r *PrefixRIB) bool {
+func (t *Table) hostBestHidden(r *PrefixRIB, buf *[]int32) bool {
 	if r.Class[t.hostIdx] != ClassPeer {
 		return false
 	}
-	cands := t.candidatesAt(r, t.hostIdx)
+	cands := t.candidatesAt(r, t.hostIdx, buf)
 	if len(cands) == 0 {
 		return false
 	}
@@ -451,14 +453,14 @@ func (t *Table) hostBestHidden(r *PrefixRIB) bool {
 // candidates are hidden neighbors, or x is a hidden neighbor and all its
 // candidates are the host. Such routes are used for forwarding but never
 // re-announced or reported to collectors.
-func (t *Table) bestViaHiddenSession(r *PrefixRIB, x int32) bool {
+func (t *Table) bestViaHiddenSession(r *PrefixRIB, x int32, buf *[]int32) bool {
 	if x == t.hostIdx {
-		return t.hostBestHidden(r)
+		return t.hostBestHidden(r, buf)
 	}
 	if !t.hidden[x] || r.Class[x] != ClassPeer {
 		return false
 	}
-	cands := t.candidatesAt(r, x)
+	cands := t.candidatesAt(r, x, buf)
 	if len(cands) == 0 {
 		return false
 	}
@@ -470,13 +472,22 @@ func (t *Table) bestViaHiddenSession(r *PrefixRIB, x int32) bool {
 	return true
 }
 
+// candBufPool recycles candidate scratch slices across propagation and
+// lookup calls. It is a pool rather than a Table field because the public
+// lookup API (SuppressedAt, and Routes through its cache) is documented
+// safe for concurrent use, so scratch state cannot live on shared structs.
+var candBufPool = sync.Pool{New: func() any { s := make([]int32, 0, 16); return &s }}
+
 // candidatesAt lists the dense indexes of all neighbors providing the
-// equal-best route to AS x.
-func (t *Table) candidatesAt(r *PrefixRIB, x int32) []int32 {
+// equal-best route to AS x, sorted by neighbor ASN. The result aliases
+// *buf and is only valid until the next call with the same buffer; growth
+// is written back through buf so callers amortize one allocation across a
+// whole propagation.
+func (t *Table) candidatesAt(r *PrefixRIB, x int32, buf *[]int32) []int32 {
 	if r.Class[x] == ClassOrigin || r.Class[x] == ClassNone {
 		return nil
 	}
-	var out []int32
+	out := (*buf)[:0]
 	for _, e := range t.adj[x] {
 		cN := r.Class[e.n]
 		if cN == ClassNone {
@@ -493,17 +504,26 @@ func (t *Table) candidatesAt(r *PrefixRIB, x int32) []int32 {
 			out = append(out, e.n)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return t.asns[out[i]] < t.asns[out[j]] })
+	*buf = out
+	// Candidate sets are tiny (the equal-best neighbors of one AS);
+	// insertion sort avoids sort.Slice's closure and interface allocations.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && t.asns[out[j]] < t.asns[out[j-1]]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
 	return out
 }
 
 // fillNextHops selects canonical next hops and the host candidate set.
 func (t *Table) fillNextHops(r *PrefixRIB) {
+	buf := candBufPool.Get().(*[]int32)
+	defer candBufPool.Put(buf)
 	for x := range t.adj {
 		if r.Class[x] == ClassOrigin || r.Class[x] == ClassNone {
 			continue
 		}
-		cands := t.candidatesAt(r, int32(x))
+		cands := t.candidatesAt(r, int32(x), buf)
 		if len(cands) == 0 {
 			// No neighbor can justify the route (should not happen in a
 			// consistent propagation); drop it defensively.
@@ -518,7 +538,7 @@ func (t *Table) fillNextHops(r *PrefixRIB) {
 			}
 		}
 	}
-	r.HostSuppressed = t.hostBestHidden(r)
+	r.HostSuppressed = t.hostBestHidden(r, buf)
 }
 
 // SuppressedAt reports whether vantage asn would report no path for this
@@ -528,7 +548,9 @@ func (t *Table) SuppressedAt(asn topo.ASN, r *PrefixRIB) bool {
 	if !ok {
 		return true
 	}
-	return t.bestViaHiddenSession(r, i)
+	buf := candBufPool.Get().(*[]int32)
+	defer candBufPool.Put(buf)
+	return t.bestViaHiddenSession(r, i, buf)
 }
 
 // Path returns the canonical AS path from AS from to the origin of p,

@@ -33,6 +33,12 @@ type Input struct {
 	// the router, hop distance, constraints consulted, and which earlier
 	// heuristics declined. Nil disables them.
 	Trace *obs.Tracer
+	// Spans receives one "stage" span ("infer") per inference, parented
+	// under SpanParent, carrying router/link counts. Nil disables it.
+	Spans *obs.SpanLog
+	// SpanParent is the span the infer span attaches under (typically the
+	// enclosing "vp" span; 0 makes it a root).
+	SpanParent obs.SpanID
 	// Prev, together with Data.Dirty, enables incremental re-inference:
 	// routers more than three hops from every dirty address splice their
 	// attribution from the previous round's result instead of re-running

@@ -16,6 +16,11 @@ func Infer(in Input) *Result {
 	}
 	span := in.Obs.StartStage("core.infer")
 	defer span.End()
+	// The inference span spends no simulated measurement time (SimNS 0);
+	// it exists so the timeline shows where each vp's probing ends and
+	// attribution begins, with the result sizes as attributes.
+	sp := in.Spans.Begin(in.SpanParent, "stage", "infer")
+	defer sp.End()
 	ar := in.Arena
 	if ar == nil {
 		ar = arenaPool.Get().(*Arena)
@@ -31,6 +36,8 @@ func Infer(in Input) *Result {
 	g.passSilent(res)
 	in.Obs.Add("core.routers", int64(len(res.Routers)))
 	in.Obs.Add("core.links", int64(len(res.Links)))
+	sp.SetAttr("routers", len(res.Routers))
+	sp.SetAttr("links", len(res.Links))
 	return res
 }
 

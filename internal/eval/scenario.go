@@ -46,6 +46,16 @@ type Scenario struct {
 	// non-nil after Build; the event stream (and its Fingerprint) is a pure
 	// function of (profile, seed, cfg) regardless of worker count.
 	Trace *obs.Tracer
+	// Spans records the run's hierarchical span timeline (run → vp →
+	// stage → target, plus remote agent-session spans grafted in after a
+	// remote run). Always non-nil after Build; like the Trace stream its
+	// deterministic portion is a pure function of (profile, seed, cfg)
+	// regardless of worker count or healing fault schedule.
+	Spans *obs.SpanLog
+	// SpanRoot is the open "run" root span every vp span parents under.
+	// It stays open for the scenario's lifetime; exporters include it via
+	// SpanLog.Snapshot.
+	SpanRoot *obs.OpenSpan
 
 	Datasets []*scamper.Dataset // per VP, filled by RunVP/RunAll
 	Results  []*core.Result
@@ -83,14 +93,29 @@ func BuildFromNetwork(n *topo.Network, seed int64) *Scenario {
 	reg := obs.New()
 	eng := probe.New(n, tab)
 	eng.SetObs(reg)
+	spans := obs.NewSpanLog(0)
+	root := spans.Begin(0, "run", fmt.Sprintf("host AS%d seed %d", n.HostASN, seed))
 	return &Scenario{
 		Seed: seed,
 		Net:  n, Tab: tab, View: view, Rel: rel, RIR: rdb, IXP: pl,
 		Sibs: sibs, Engine: eng, HostASNs: hosts, Obs: reg,
 		Trace:    obs.NewTracer(0),
+		Spans:    spans,
+		SpanRoot: root,
 		Datasets: make([]*scamper.Dataset, len(n.VPs)),
 		Results:  make([]*core.Result, len(n.VPs)),
 	}
+}
+
+// beginVPSpan opens the "vp" span VP i's driver stages and inference
+// attach under. It parents under SpanRoot — the scenario's run span, or
+// whatever the rounds runner re-pointed SpanRoot at (its round span).
+func (s *Scenario) beginVPSpan(i int, mode string) *obs.OpenSpan {
+	sp := s.Spans.Begin(s.SpanRoot.ID(), "vp", s.Net.VPs[i].Name)
+	if mode != "" {
+		sp.SetAttr("mode", mode)
+	}
+	return sp
 }
 
 // RunVP measures and infers from one vantage point.
@@ -98,20 +123,25 @@ func (s *Scenario) RunVP(i int, cfg scamper.Config, opts core.Options) *core.Res
 	if s.Results[i] != nil {
 		return s.Results[i]
 	}
+	vsp := s.beginVPSpan(i, "")
 	d := &scamper.Driver{
-		View:     s.View,
-		Prober:   scamper.LocalProber{E: s.Engine, VP: s.Net.VPs[i]},
-		HostASNs: s.HostASNs,
-		Cfg:      cfg,
-		Obs:      s.Obs,
-		Trace:    s.Trace,
+		View:       s.View,
+		Prober:     scamper.LocalProber{E: s.Engine, VP: s.Net.VPs[i]},
+		HostASNs:   s.HostASNs,
+		Cfg:        cfg,
+		Obs:        s.Obs,
+		Trace:      s.Trace,
+		Spans:      s.Spans,
+		SpanParent: vsp.ID(),
 	}
 	ds := d.Run()
 	res := core.Infer(core.Input{
 		Data: ds, View: s.View, Rel: s.Rel, RIR: s.RIR, IXP: s.IXP,
 		HostASN: s.Net.HostASN, Siblings: s.Sibs, Opts: opts,
-		Obs: s.Obs, Trace: s.Trace, Arena: &s.arena,
+		Obs: s.Obs, Trace: s.Trace, Spans: s.Spans, SpanParent: vsp.ID(),
+		Arena: &s.arena,
 	})
+	vsp.End()
 	s.Datasets[i] = ds
 	s.Results[i] = res
 	s.Obs.Inc("eval.vp_runs")
@@ -147,7 +177,14 @@ func (s *Scenario) RunVPRemote(i int, cfg scamper.Config, opts core.Options, fau
 	eng := probe.New(s.Net, s.Tab)
 	eng.SetObs(s.Obs)
 	eng.SetFaults(inj)
-	agent := &scamper.Agent{E: eng, VP: s.Net.VPs[i]}
+	// The agent keeps its own small span log (one span per protocol
+	// session); the controller pulls and grafts it under the vp span after
+	// the run, so redials and resumes are visible in the timeline.
+	var agentSpans *obs.SpanLog
+	if s.Spans.Enabled() {
+		agentSpans = obs.NewSpanLog(256)
+	}
+	agent := &scamper.Agent{E: eng, VP: s.Net.VPs[i], Spans: agentSpans}
 	agentDone := make(chan error, 1)
 	go func() {
 		agentDone <- agent.DialRetry(ctrl.Addr(), scamper.DialOptions{
@@ -207,15 +244,26 @@ func (s *Scenario) RunVPRemote(i int, cfg scamper.Config, opts core.Options, fau
 	})
 
 	cfg.Workers = 1
+	vsp := s.beginVPSpan(i, "remote")
 	d := &scamper.Driver{
-		View:     s.View,
-		Prober:   rp,
-		HostASNs: s.HostASNs,
-		Cfg:      cfg,
-		Obs:      s.Obs,
-		Trace:    s.Trace,
+		View:       s.View,
+		Prober:     rp,
+		HostASNs:   s.HostASNs,
+		Cfg:        cfg,
+		Obs:        s.Obs,
+		Trace:      s.Trace,
+		Spans:      s.Spans,
+		SpanParent: vsp.ID(),
 	}
 	ds := d.Run()
+	// Graft the agent's session spans into the vp span before the bye.
+	// Best-effort: a session the fault schedule killed for good has
+	// nothing to pull, and that must not fail a degraded-but-useful run.
+	if s.Spans.Enabled() {
+		if recs, err := rp.PullSpans(); err == nil {
+			s.Spans.MergeRecords(recs, vsp.ID())
+		}
+	}
 	rp.Close()
 	select {
 	case <-agentDone:
@@ -227,8 +275,10 @@ func (s *Scenario) RunVPRemote(i int, cfg scamper.Config, opts core.Options, fau
 	res := core.Infer(core.Input{
 		Data: ds, View: s.View, Rel: s.Rel, RIR: s.RIR, IXP: s.IXP,
 		HostASN: s.Net.HostASN, Siblings: s.Sibs, Opts: opts,
-		Obs: s.Obs, Trace: s.Trace, Arena: &s.arena,
+		Obs: s.Obs, Trace: s.Trace, Spans: s.Spans, SpanParent: vsp.ID(),
+		Arena: &s.arena,
 	})
+	vsp.End()
 	s.Datasets[i] = ds
 	s.Results[i] = res
 	s.Obs.Inc("eval.vp_runs_remote")
@@ -254,20 +304,25 @@ func (s *Scenario) RunVPIncremental(i int, cfg scamper.Config, opts core.Options
 		return s.Results[i]
 	}
 	cfg.State = state
+	vsp := s.beginVPSpan(i, "incremental")
 	d := &scamper.Driver{
-		View:     s.View,
-		Prober:   scamper.LocalProber{E: s.Engine, VP: s.Net.VPs[i]},
-		HostASNs: s.HostASNs,
-		Cfg:      cfg,
-		Obs:      s.Obs,
-		Trace:    s.Trace,
+		View:       s.View,
+		Prober:     scamper.LocalProber{E: s.Engine, VP: s.Net.VPs[i]},
+		HostASNs:   s.HostASNs,
+		Cfg:        cfg,
+		Obs:        s.Obs,
+		Trace:      s.Trace,
+		Spans:      s.Spans,
+		SpanParent: vsp.ID(),
 	}
 	ds := d.Run()
 	res := core.Infer(core.Input{
 		Data: ds, View: s.View, Rel: s.Rel, RIR: s.RIR, IXP: s.IXP,
 		HostASN: s.Net.HostASN, Siblings: s.Sibs, Opts: opts,
-		Obs: s.Obs, Trace: s.Trace, Prev: prev, Arena: &s.arena,
+		Obs: s.Obs, Trace: s.Trace, Spans: s.Spans, SpanParent: vsp.ID(),
+		Prev: prev, Arena: &s.arena,
 	})
+	vsp.End()
 	s.Datasets[i] = ds
 	s.Results[i] = res
 	s.Obs.Inc("eval.vp_runs_incremental")

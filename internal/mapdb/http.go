@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -78,6 +79,7 @@ var latencyEdgesUS = []int64{1, 5, 25, 100, 500, 2500, 10000, 100000}
 type api struct {
 	store *Store
 	reg   *obs.Registry
+	spans *obs.SpanLog
 }
 
 // Handler serves the query API for st. Routes (all GET):
@@ -91,13 +93,27 @@ type api struct {
 //
 // reg may be nil (no instrumentation).
 func Handler(st *Store, reg *obs.Registry) http.Handler {
-	a := &api{store: st, reg: reg}
+	return HandlerWithStatus(st, reg, nil)
+}
+
+// HandlerWithStatus is Handler plus the live operational surface:
+//
+//	/v1/status              serving + pipeline state: current generation,
+//	                        incremental-cache hit rates, span-log totals,
+//	                        currently open spans (round/stage/per-VP), and
+//	                        runtime health (heap, GC, goroutines)
+//
+// sl is the process-wide span log the pipeline records into; nil degrades
+// /v1/status to serving-and-runtime state only.
+func HandlerWithStatus(st *Store, reg *obs.Registry, sl *obs.SpanLog) http.Handler {
+	a := &api{store: st, reg: reg, spans: sl}
 	mux := http.NewServeMux()
 	mux.Handle("/v1/gen", a.wrap("gen", a.handleGen))
 	mux.Handle("/v1/owner", a.wrap("owner", a.handleOwner))
 	mux.Handle("/v1/link", a.wrap("link", a.handleLink))
 	mux.Handle("/v1/neighbors", a.wrap("neighbors", a.handleNeighbors))
 	mux.Handle("/v1/diff", a.wrap("diff", a.handleDiff))
+	mux.Handle("/v1/status", a.wrap("status", a.handleStatus))
 	mux.Handle("/", NotFoundHandler())
 	return mux
 }
@@ -281,6 +297,122 @@ func (a *api) handleDiff(w http.ResponseWriter, r *http.Request) bool {
 		NeighborsRemoved: toASNsJSON(d.NeighborsRemoved),
 		OwnerChanges:     changes,
 	})
+}
+
+// vpStatusJSON summarizes one vantage point's pipeline activity from its
+// span history: how many rounds it has completed, whether a run is open
+// right now, and the total simulated probing time it has accumulated.
+type vpStatusJSON struct {
+	VP    string `json:"vp"`
+	State string `json:"state"` // "running" or "idle"
+	Runs  int    `json:"runs"`
+	SimNS int64  `json:"sim_ns"`
+}
+
+// handleStatus is the live ops surface: unlike every other endpoint it
+// never errors — a daemon that has not published a generation yet still
+// answers 200 with published=false, because "not serving yet" is exactly
+// the state an operator polls this endpoint to see.
+func (a *api) handleStatus(w http.ResponseWriter, r *http.Request) bool {
+	type cacheJSON struct {
+		Hits      int64   `json:"hits"`
+		Misses    int64   `json:"misses"`
+		Refreshes int64   `json:"refreshes"`
+		HitRate   float64 `json:"hit_rate"`
+	}
+	type spansJSON struct {
+		Recorded int    `json:"recorded"`
+		Active   int    `json:"active"`
+		Dropped  uint64 `json:"dropped"`
+	}
+	type runtimeJSON struct {
+		Goroutines     int    `json:"goroutines"`
+		HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+		HeapObjects    uint64 `json:"heap_objects"`
+		GCRuns         uint32 `json:"gc_runs"`
+		GCPauseTotalNS uint64 `json:"gc_pause_total_ns"`
+	}
+	type statusJSON struct {
+		Published   bool             `json:"published"`
+		Gen         int              `json:"gen,omitempty"`
+		Generations []int            `json:"generations,omitempty"`
+		Cache       cacheJSON        `json:"cache"`
+		Spans       spansJSON        `json:"spans"`
+		Live        []obs.SpanRecord `json:"live,omitempty"`
+		VPs         []vpStatusJSON   `json:"vps,omitempty"`
+		Runtime     runtimeJSON      `json:"runtime"`
+	}
+
+	out := statusJSON{}
+	if s := a.store.Current(); s != nil {
+		out.Published = true
+		out.Gen = s.Gen()
+		out.Generations = a.store.Generations()
+	}
+
+	hits := a.reg.Counter("rounds.cache.hit").Load()
+	misses := a.reg.Counter("rounds.cache.miss").Load()
+	out.Cache = cacheJSON{
+		Hits:      hits,
+		Misses:    misses,
+		Refreshes: a.reg.Counter("rounds.cache.refresh").Load(),
+	}
+	if total := hits + misses; total > 0 {
+		out.Cache.HitRate = float64(hits) / float64(total)
+	}
+
+	if a.spans.Enabled() {
+		out.Spans = spansJSON{
+			Recorded: a.spans.Len(),
+			Active:   a.spans.ActiveCount(),
+			Dropped:  a.spans.Dropped(),
+		}
+		out.Live = a.spans.Active()
+		out.VPs = vpStatuses(a.spans)
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	out.Runtime = runtimeJSON{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapObjects:    ms.HeapObjects,
+		GCRuns:         ms.NumGC,
+		GCPauseTotalNS: ms.PauseTotalNs,
+	}
+	return writeJSON(w, out)
+}
+
+// vpStatuses folds the span log's vp spans into one row per vantage
+// point, in first-seen order (VP order, since vp spans are begun in VP
+// order each round).
+func vpStatuses(sl *obs.SpanLog) []vpStatusJSON {
+	idx := make(map[string]int)
+	var out []vpStatusJSON
+	row := func(vp string) *vpStatusJSON {
+		i, ok := idx[vp]
+		if !ok {
+			i = len(out)
+			idx[vp] = i
+			out = append(out, vpStatusJSON{VP: vp, State: "idle"})
+		}
+		return &out[i]
+	}
+	for _, rec := range sl.Records() {
+		if rec.Name != "vp" {
+			continue
+		}
+		v := row(rec.Detail)
+		v.Runs++
+		v.SimNS += rec.SimNS
+	}
+	for _, rec := range sl.Active() {
+		if rec.Name != "vp" {
+			continue
+		}
+		row(rec.Detail).State = "running"
+	}
+	return out
 }
 
 func toASNsJSON(as []topo.ASN) []uint32 {

@@ -61,6 +61,14 @@ type RoundsConfig struct {
 	// across rounds, and receives the rounds.round stage timer. The
 	// Verify shadow runs never report into it.
 	Obs *obs.Registry
+
+	// Spans, if non-nil, replaces each round's scenario span log so the
+	// whole run records one tree: round spans parented under SpanParent,
+	// per-VP subtrees under each round, and compile/publish stage spans
+	// bracketing the serving handoff. The Verify shadow runs keep their
+	// own private span logs and never report into it.
+	Spans      *obs.SpanLog
+	SpanParent obs.SpanID
 }
 
 // RoundEvent records what changed in the world before one generation was
@@ -121,27 +129,37 @@ func RunRoundsFull(cfg RoundsConfig, store *Store) ([]RoundEvent, *eval.Scenario
 	var s *eval.Scenario
 	for r := 0; r < cfg.Rounds; r++ {
 		span := cfg.Obs.StartStage("rounds.round")
+		rsp := cfg.Spans.Begin(cfg.SpanParent, "round", fmt.Sprintf("round %d", r))
 		action := "baseline measurement"
 		if r > 0 {
 			var err error
 			action, err = mutateWorld(n, rng, r)
 			if err != nil {
+				rsp.End()
 				span.End()
 				return events, nil, err
 			}
 			n.Build()
 			if vn != nil {
 				if _, err := mutateWorld(vn, vrng, r); err != nil {
+					rsp.End()
 					span.End()
 					return events, nil, err
 				}
 				vn.Build()
 			}
 		}
+		rsp.SetAttr("action", action)
 		s = eval.BuildFromNetwork(n, cfg.Seed)
 		if cfg.Obs != nil {
 			s.Obs = cfg.Obs
 			s.Engine.SetObs(cfg.Obs)
+		}
+		if cfg.Spans != nil {
+			// Per-VP span subtrees for this round nest under the round
+			// span rather than the scenario's own (discarded) run root.
+			s.Spans = cfg.Spans
+			s.SpanRoot = rsp
 		}
 		if cfg.Incremental {
 			s.RunAllIncremental(scfg, states, prevs)
@@ -149,19 +167,28 @@ func RunRoundsFull(cfg RoundsConfig, store *Store) ([]RoundEvent, *eval.Scenario
 		} else {
 			s.RunAll(scfg)
 		}
+		csp := cfg.Spans.Begin(rsp.ID(), "stage", "compile")
 		snap := Compile(n.HostASN, s.Results)
+		csp.SetAttr("links", snap.NumLinks())
+		csp.End()
+		psp := cfg.Spans.Begin(rsp.ID(), "stage", "publish")
 		store.Publish(snap)
+		psp.SetAttr("gen", snap.Gen())
+		psp.End()
 		// The event names the generation of the snapshot just published —
 		// not store.Current().Gen(), which a concurrent publisher could
 		// have already advanced past ours.
 		ev := RoundEvent{Gen: snap.Gen(), Action: action, TraceFP: roundFingerprint(s.Datasets)}
 		if vn != nil {
 			if err := verifyRound(cfg, r, vn, s, snap); err != nil {
+				rsp.End()
 				span.End()
 				return events, nil, err
 			}
 		}
 		events = append(events, ev)
+		rsp.SetAttr("gen", snap.Gen())
+		rsp.End()
 		span.End()
 	}
 	return events, s, nil

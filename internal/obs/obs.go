@@ -103,6 +103,28 @@ func (h *Histogram) Observe(v int64) {
 	h.count.Add(1)
 }
 
+// Gauge is an atomic last-value gauge: Set overwrites, Load reads. Unlike
+// Counter it is not monotone — it carries live process state (heap bytes,
+// goroutine count) sampled by the runtime self-sampler, which is why
+// gauges are exported on /metrics and /v1/status but excluded from
+// Snapshot.Fingerprint. The zero value is ready; all methods are nil-safe.
+type Gauge struct{ v atomic.Int64 }
+
+// Set records the current value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Load returns the last value set (0 on a nil gauge).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
 // stage aggregates timings for one named pipeline stage.
 type stage struct {
 	count   Counter
@@ -149,6 +171,7 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	maxes    map[string]*Max
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	stages   map[string]*stage
 }
@@ -158,6 +181,7 @@ func New() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		maxes:    make(map[string]*Max),
+		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 		stages:   make(map[string]*stage),
 	}
@@ -198,6 +222,21 @@ func (r *Registry) Max(name string) *Max {
 		r.maxes[name] = m
 	}
 	return m
+}
+
+// Gauge returns the named last-value gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Histogram returns the named histogram, creating it with the given bucket

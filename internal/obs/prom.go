@@ -44,6 +44,10 @@ func (s Snapshot) WritePrometheus(b *strings.Builder) {
 		n := PromName(k) + "_max"
 		fmt.Fprintf(b, "# HELP %s max gauge %q\n# TYPE %s gauge\n%s %d\n", n, k, n, n, s.Maxes[k])
 	}
+	for _, k := range sortedKeys(s.Gauges) {
+		n := PromName(k)
+		fmt.Fprintf(b, "# HELP %s gauge %q\n# TYPE %s gauge\n%s %d\n", n, k, n, n, s.Gauges[k])
+	}
 	for _, k := range sortedKeys(s.Histograms) {
 		h := s.Histograms[k]
 		n := PromName(k)

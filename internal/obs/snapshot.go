@@ -35,6 +35,7 @@ type StageSnap struct {
 type Snapshot struct {
 	Counters   map[string]int64     `json:"counters"`
 	Maxes      map[string]int64     `json:"maxes,omitempty"`
+	Gauges     map[string]int64     `json:"gauges,omitempty"`
 	Histograms map[string]HistSnap  `json:"histograms,omitempty"`
 	Stages     map[string]StageSnap `json:"stages,omitempty"`
 }
@@ -45,6 +46,7 @@ func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		Counters:   map[string]int64{},
 		Maxes:      map[string]int64{},
+		Gauges:     map[string]int64{},
 		Histograms: map[string]HistSnap{},
 		Stages:     map[string]StageSnap{},
 	}
@@ -58,6 +60,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, m := range r.maxes {
 		s.Maxes[name] = m.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
 	}
 	for name, h := range r.hists {
 		hs := HistSnap{
@@ -93,6 +98,58 @@ func (s Snapshot) Stage(name string) StageSnap { return s.Stages[name] }
 // Histogram returns a named histogram's snapshot (zero value when absent),
 // mirroring Counter and Stage.
 func (s Snapshot) Histogram(name string) HistSnap { return s.Histograms[name] }
+
+// Gauge returns a named gauge's last value (0 when absent).
+func (s Snapshot) Gauge(name string) int64 { return s.Gauges[name] }
+
+// Quantile estimates the q-quantile (0 <= q <= 1, clamped) of the
+// histogram from its bucket counts, interpolating linearly within the
+// containing bucket. The first bucket interpolates from zero; values in
+// the overflow bucket report the last edge (the histogram records no
+// upper bound past it). An empty histogram reports 0.
+func (h HistSnap) Quantile(q float64) float64 {
+	if h.Count <= 0 || len(h.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var seen int64
+	lo := float64(0)
+	for i, c := range h.Counts {
+		if c == 0 {
+			if i < len(h.Edges) {
+				lo = float64(h.Edges[i])
+			}
+			continue
+		}
+		hi := lo
+		if i < len(h.Edges) {
+			hi = float64(h.Edges[i])
+		} else {
+			// Overflow bucket: no upper bound recorded; clamp to the
+			// last edge rather than inventing one.
+			return float64(h.Edges[len(h.Edges)-1])
+		}
+		if float64(seen+c) >= rank {
+			frac := (rank - float64(seen)) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		seen += c
+		lo = hi
+	}
+	return lo
+}
+
+// Quantile estimates the q-quantile of the named histogram (0 when the
+// histogram is absent or empty).
+func (s Snapshot) Quantile(name string, q float64) float64 {
+	return s.Histograms[name].Quantile(q)
+}
 
 // SumPrefix sums every counter whose name starts with prefix — e.g.
 // SumPrefix("remote.retry.") totals the recovery-path counters.
@@ -131,6 +188,9 @@ func (s Snapshot) nameWidth() int {
 	for k := range s.Maxes {
 		grow(k)
 	}
+	for k := range s.Gauges {
+		grow(k)
+	}
 	for k := range s.Histograms {
 		grow(k)
 	}
@@ -157,6 +217,12 @@ func (s Snapshot) Format() string {
 			fmt.Fprintf(&b, "  %-*s %d\n", w, k, s.Maxes[k])
 		}
 	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("gauges:\n")
+		for _, k := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(&b, "  %-*s %d\n", w, k, s.Gauges[k])
+		}
+	}
 	if len(s.Histograms) > 0 {
 		b.WriteString("histograms:\n")
 		for _, k := range sortedKeys(s.Histograms) {
@@ -165,8 +231,8 @@ func (s Snapshot) Format() string {
 			if h.Count > 0 {
 				mean = float64(h.Sum) / float64(h.Count)
 			}
-			fmt.Fprintf(&b, "  %-*s count=%d mean=%.1f buckets(le %v)=%v\n",
-				w, k, h.Count, mean, h.Edges, h.Counts)
+			fmt.Fprintf(&b, "  %-*s count=%d mean=%.1f p50=%.1f p99=%.1f buckets(le %v)=%v\n",
+				w, k, h.Count, mean, h.Quantile(0.50), h.Quantile(0.99), h.Edges, h.Counts)
 		}
 	}
 	if len(s.Stages) > 0 {
@@ -187,8 +253,10 @@ func (s Snapshot) Format() string {
 
 // Fingerprint hashes the deterministic portion of the snapshot: counters,
 // maxes, histograms, and the per-stage run counts and simulated times.
-// Wall-clock stage timings are excluded, so for a fixed seed the
-// fingerprint is identical across repeated runs.
+// Wall-clock stage timings are excluded, and so are gauges — they carry
+// live process state (the runtime self-sampler's heap/GC/goroutine
+// readings), not measurement — so for a fixed seed the fingerprint is
+// identical across repeated runs.
 func (s Snapshot) Fingerprint() string {
 	var b strings.Builder
 	for _, k := range sortedKeys(s.Counters) {

@@ -197,6 +197,16 @@ type Driver struct {
 	// are merged in target order, so for a fixed seed the stream is
 	// identical across worker counts.
 	Trace *obs.Tracer
+	// Spans receives the hierarchical span timeline: one "stage" span each
+	// for probing and alias resolution (parented under SpanParent) and one
+	// "target" span per probed AS underneath the probe stage. Per-target
+	// spans are recorded into per-target fragment logs and merged in target
+	// order after the worker barrier, so — like the Trace stream — the span
+	// tree is identical across worker counts. Nil disables them.
+	Spans *obs.SpanLog
+	// SpanParent is the span the driver's stage spans attach under
+	// (typically the enclosing "vp" span; 0 makes them roots).
+	SpanParent obs.SpanID
 }
 
 // LaneProber is implemented by probers that support deterministic
@@ -259,9 +269,17 @@ func (d *Driver) Run() *Dataset {
 	}
 
 	probeSpan := d.Obs.StartStage("driver.probe")
+	probeSp := d.Spans.Begin(d.SpanParent, "stage", "probe")
+	probeSp.SetAttr("targets", len(targets))
 	results := make([][]TraceRecord, len(targets))
 	stopped := make([]int, len(targets))
 	lost := make([]bool, len(targets))
+	// Per-target simulated durations, written by exactly one worker each;
+	// their SUM is the probe stage span's duration on the canonical
+	// serialized timeline (a sum is partition-invariant, unlike the
+	// max-lane probeSim below, which depends on how targets land on
+	// workers).
+	tsims := make([]int64, len(targets))
 	// Per-target fragment tracers: each worker emits into its own target's
 	// fragment, and the fragments are folded into d.Trace in target order
 	// after the barrier — the merged stream is independent of which worker
@@ -273,6 +291,15 @@ func (d *Driver) Run() *Dataset {
 		}
 		frags[i] = obs.NewTracer(0)
 		return frags[i]
+	}
+	// Per-target fragment span logs, merged the same way.
+	sfrags := make([]*obs.SpanLog, len(targets))
+	newSFrag := func(i int) *obs.SpanLog {
+		if !d.Spans.Enabled() {
+			return nil
+		}
+		sfrags[i] = obs.NewSpanLog(0)
+		return sfrags[i]
 	}
 
 	// simEnd merges the per-worker virtual clocks with an atomic max: the
@@ -295,7 +322,7 @@ func (d *Driver) Run() *Dataset {
 					return lp.TraceLane(dst, ss, lane)
 				}
 				for i := w; i < len(targets); i += cfg.Workers {
-					results[i], stopped[i], lost[i] = d.probeTarget(targets[i], cfg, trace, newFrag(i), lane.Now, rpAt(i))
+					results[i], stopped[i], lost[i], tsims[i] = d.probeTarget(targets[i], cfg, trace, newFrag(i), newSFrag(i), lane.Now, rpAt(i))
 				}
 				simEnd.Observe(int64(lane.Now()))
 			}(w)
@@ -316,17 +343,19 @@ func (d *Driver) Run() *Dataset {
 			wg.Add(1)
 			sem <- struct{}{}
 			frag := newFrag(i)
+			sfrag := newSFrag(i)
 			go func(i int, t Target) {
 				defer wg.Done()
 				defer func() { <-sem }()
 				// No per-worker lane here: events carry SimNS 0 (reading the
 				// remote clock per event would perturb the frame stream the
 				// fault goldens pin) and order by sequence number alone.
-				recs, nStopped, wasLost := d.probeTarget(t, cfg, d.Prober.Trace, frag, nil, rpAt(i))
+				recs, nStopped, wasLost, simNS := d.probeTarget(t, cfg, d.Prober.Trace, frag, sfrag, nil, rpAt(i))
 				mu.Lock()
 				results[i] = recs
 				stopped[i] = nStopped
 				lost[i] = wasLost
+				tsims[i] = simNS
 				mu.Unlock()
 			}(i, t)
 		}
@@ -341,6 +370,7 @@ func (d *Driver) Run() *Dataset {
 			ds.Stats.TargetsLost++
 		}
 		d.Trace.Merge(frags[i])
+		d.Spans.Merge(sfrags[i], probeSp.ID())
 	}
 	ds.Stats.Traces = len(ds.Traces)
 	for _, tr := range ds.Traces {
@@ -422,8 +452,16 @@ func (d *Driver) Run() *Dataset {
 	probeSim := time.Duration(simEnd.Load()) - simStart
 	probeSpan.AddSim(probeSim)
 	probeSpan.End()
+	var targetSimNS int64
+	for _, s := range tsims {
+		targetSimNS += s
+	}
+	probeSp.SetAttr("traces", ds.Stats.Traces)
+	probeSp.AddSim(time.Duration(targetSimNS))
+	probeSp.End()
 
 	aliasSpan := d.Obs.StartStage("driver.alias")
+	aliasSp := d.Spans.Begin(d.SpanParent, "stage", "alias")
 	aliasStart := d.now()
 	d.resolveAliases(ds, cfg, st)
 	aliasSim := d.now() - aliasStart
@@ -434,6 +472,9 @@ func (d *Driver) Run() *Dataset {
 	}
 	aliasSpan.AddSim(aliasSim)
 	aliasSpan.End()
+	aliasSp.SetAttr("pairs", ds.Stats.AliasPairsRun)
+	aliasSp.AddSim(aliasSim)
+	aliasSp.End()
 
 	// Intern every responding interface address and its alias canonical,
 	// single-threaded now that probing and alias resolution are done. The
@@ -516,7 +557,7 @@ func (d *Driver) isExternal(addr netx.Addr) bool {
 // It returns early — reporting the target lost — when the prober's session
 // dies or the per-target timeout fires, so one dead VP degrades the run
 // instead of hanging it.
-func (d *Driver) probeTarget(t Target, cfg Config, trace func(netx.Addr, map[netx.Addr]bool) probe.TraceResult, frag *obs.Tracer, now func() time.Duration, rp *targetReplay) (recs []TraceRecord, nStopped int, targetLost bool) {
+func (d *Driver) probeTarget(t Target, cfg Config, trace func(netx.Addr, map[netx.Addr]bool) probe.TraceResult, frag *obs.Tracer, sfrag *obs.SpanLog, now func() time.Duration, rp *targetReplay) (recs []TraceRecord, nStopped int, targetLost bool, simNS int64) {
 	// Event timestamps are relative to this target's own start: trace
 	// pacing is a pure function of hop counts, so the relative times are
 	// identical no matter which worker (and absolute lane time) ran the
@@ -527,15 +568,28 @@ func (d *Driver) probeTarget(t Target, cfg Config, trace func(netx.Addr, map[net
 		rel = func() int64 { return int64(now() - start) }
 	}
 	frag.Emit(obs.StageProbe, "target", t.AS.String(), 0, obs.KV("blocks", len(t.Blocks)))
+	tsp := sfrag.Begin(0, "target", t.AS.String())
+	tsp.SetAttr("blocks", len(t.Blocks))
+	defer func() {
+		tsp.SetAttr("traces", len(recs))
+		if targetLost {
+			tsp.SetAttr("lost", true)
+		}
+		simNS = rel()
+		tsp.AddSim(time.Duration(simNS))
+		tsp.End()
+	}()
 
 	var deadline time.Time
 	if cfg.TargetTimeout > 0 {
 		deadline = time.Now().Add(cfg.TargetTimeout)
 	}
-	abandon := func() ([]TraceRecord, int, bool) {
+	// The 0 simNS below is a placeholder: the deferred span close above
+	// overwrites the named return with the target's final rel() reading.
+	abandon := func() ([]TraceRecord, int, bool, int64) {
 		d.Obs.Inc("driver.target.lost")
 		frag.Emit(obs.StageProbe, "target-lost", t.AS.String(), rel())
-		return recs, nStopped, true
+		return recs, nStopped, true, 0
 	}
 	stopSet := make(map[netx.Addr]bool)
 	for bi, b := range t.Blocks {
@@ -637,7 +691,7 @@ func (d *Driver) probeTarget(t Target, cfg Config, trace func(netx.Addr, map[net
 			// try the next address in the block.
 		}
 	}
-	return recs, nStopped, false
+	return recs, nStopped, false, 0
 }
 
 // pathString renders a trace's hop sequence as "ttl:class:addr" tokens —

@@ -1,6 +1,7 @@
 package scamper
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -53,7 +54,17 @@ const (
 	msgHelloAck = 0x09
 	msgClock    = 0x0a
 	msgClockRsp = 0x0b
+	msgSpanPull = 0x0c
+	msgSpanRsp  = 0x0d
 )
+
+// helloCapSpans advertises that the agent records session spans and
+// understands msgSpanPull. Capabilities ride in an optional trailing byte
+// of the hello body; a v2 peer that predates them parses the fixed fields
+// and ignores the tail, and a missing tail reads as "no capabilities" —
+// the controller then never sends the new message, so mixed-version
+// deployments keep working.
+const helloCapSpans = 0x01
 
 // maxFrame bounds a frame; a trace command carrying a full stop set is the
 // largest message.
@@ -154,9 +165,11 @@ func readMsg(r io.Reader) (seq uint32, body []byte, err error) {
 
 // buildHello encodes the agent's opening message:
 //
-//	msgHello nameLen(1) name flags(1) sessionID(8) lastSeq(4)
+//	msgHello nameLen(1) name flags(1) sessionID(8) lastSeq(4) [caps(1)]
 //
-// flags bit0 marks a resume (lastSeq is meaningful).
+// flags bit0 marks a resume (lastSeq is meaningful). The optional caps
+// byte is appended by buildHelloCaps; parseHello ignores it and
+// parseHelloCaps recovers it.
 func buildHello(name string, resume bool, sessionID uint64, lastSeq uint32) []byte {
 	b := make([]byte, 0, 2+len(name)+13)
 	b = append(b, msgHello, byte(len(name)))
@@ -172,8 +185,25 @@ func buildHello(name string, resume bool, sessionID uint64, lastSeq uint32) []by
 	return append(b, tail[:]...)
 }
 
+// buildHelloCaps is buildHello plus the trailing capability byte.
+func buildHelloCaps(name string, resume bool, sessionID uint64, lastSeq uint32, caps byte) []byte {
+	return append(buildHello(name, resume, sessionID, lastSeq), caps)
+}
+
+// parseHelloCaps extracts the capability byte from a hello body that
+// parseHello accepted. Hellos from peers predating capabilities have no
+// tail and read as 0.
+func parseHelloCaps(body []byte) byte {
+	n := int(body[1])
+	if len(body) > 2+n+13 {
+		return body[2+n+13]
+	}
+	return 0
+}
+
 // parseHello decodes a hello body. It is a pure function so the fuzzer can
-// hammer it directly.
+// hammer it directly. Bytes past the fixed fields (the capability tail)
+// are ignored here.
 func parseHello(body []byte) (name string, resume bool, sessionID uint64, lastSeq uint32, err error) {
 	if len(body) < 2 || body[0] != msgHello {
 		return "", false, 0, 0, fmt.Errorf("scamper: bad hello")
@@ -253,6 +283,12 @@ func (o DialOptions) withDefaults() DialOptions {
 type Agent struct {
 	E  *probe.Engine
 	VP *topo.VP
+	// Spans, when set, records one "agent-session" span per completed
+	// handshake (sim duration from the engine clock, resume flag, and a
+	// volatile command count) and advertises helloCapSpans so the
+	// controller can pull the log with msgSpanPull and graft it into the
+	// run's span tree. Nil keeps the agent at the pre-span protocol.
+	Spans *obs.SpanLog
 
 	mu       sync.Mutex
 	peakBuf  int
@@ -260,6 +296,7 @@ type Agent struct {
 	lastSeq  uint32
 	lastRsp  []byte
 	execs    map[uint32]int // per-seq execution count; must never exceed 1
+	sessEnd  func()         // closes the current session span; idempotent
 
 	helloTimeout time.Duration
 }
@@ -312,6 +349,57 @@ func (a *Agent) cache(seq uint32, rsp []byte) {
 	}
 	a.execs[seq]++
 	a.mu.Unlock()
+}
+
+// beginSession opens the session span and returns its (idempotent) end
+// function. The simulated duration is read from the engine clock, which
+// only advances when a command actually executes — replayed duplicates
+// don't move it — so session spans are deterministic for a fixed fault
+// schedule. The command count is retry-timing-dependent and therefore
+// volatile.
+func (a *Agent) beginSession(resume bool) func() {
+	if a.Spans == nil {
+		return func() {}
+	}
+	sp := a.Spans.Begin(0, "agent-session", a.VP.Name)
+	sp.SetAttr("resume", resume)
+	start := a.E.Now()
+	a.mu.Lock()
+	cmds := a.commands
+	a.mu.Unlock()
+	var once sync.Once
+	end := func() {
+		once.Do(func() {
+			a.mu.Lock()
+			delta := a.commands - cmds
+			a.mu.Unlock()
+			sp.SetAttr("~commands", delta)
+			sp.AddSim(a.E.Now() - start)
+			sp.End()
+		})
+	}
+	a.mu.Lock()
+	a.sessEnd = end
+	a.mu.Unlock()
+	return end
+}
+
+// spanDump closes the current session span (the pull is the session's
+// last measurement-relevant command) and returns the completed span log
+// as msgSpanRsp + JSONL.
+func (a *Agent) spanDump() ([]byte, error) {
+	a.mu.Lock()
+	end := a.sessEnd
+	a.mu.Unlock()
+	if end != nil {
+		end()
+	}
+	var buf bytes.Buffer
+	buf.WriteByte(msgSpanRsp)
+	if err := obs.WriteSpanJSONL(&buf, a.Spans.Records()); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 func (a *Agent) cached(seq uint32) ([]byte, bool) {
@@ -397,7 +485,11 @@ func (a *Agent) serve(conn net.Conn) (ended, progressed bool, err error) {
 	resume := a.lastRsp != nil
 	lastSeq := a.lastSeq
 	a.mu.Unlock()
-	hello := buildHello(a.VP.Name, resume, sessionIDFor(a.VP.Name), lastSeq)
+	var caps byte
+	if a.Spans != nil {
+		caps |= helloCapSpans
+	}
+	hello := buildHelloCaps(a.VP.Name, resume, sessionIDFor(a.VP.Name), lastSeq, caps)
 	if err := writeMsg(conn, 0, hello); err != nil {
 		return false, false, err
 	}
@@ -415,6 +507,8 @@ func (a *Agent) serve(conn net.Conn) (ended, progressed bool, err error) {
 	}
 	conn.SetReadDeadline(time.Time{})
 	progressed = true
+	endSession := a.beginSession(resume)
+	defer endSession()
 
 	for {
 		seq, req, err := readMsg(conn)
@@ -479,6 +573,8 @@ func (a *Agent) handle(req []byte) ([]byte, error) {
 		rsp[0] = msgClockRsp
 		binary.BigEndian.PutUint64(rsp[1:9], uint64(a.E.Now()))
 		return rsp, nil
+	case msgSpanPull:
+		return a.spanDump()
 	default:
 		return nil, fmt.Errorf("scamper: unknown message type %#x", req[0])
 	}
@@ -634,8 +730,12 @@ func (c *Controller) handshake(conn net.Conn) {
 	}
 	var name string
 	var sessionID uint64
+	var caps byte
 	if err == nil {
 		name, _, sessionID, _, err = parseHello(body)
+		if err == nil {
+			caps = parseHelloCaps(body)
+		}
 	}
 	if err != nil {
 		// A garbled or dropped hello only condemns this connection: the
@@ -668,6 +768,7 @@ func (c *Controller) handshake(conn net.Conn) {
 		p = newRemoteProber(name, c, c.obsReg)
 		c.sessions[name] = p
 	}
+	p.caps.Store(uint32(caps))
 	resumeCtr := c.resumes
 	c.mu.Unlock()
 
@@ -757,6 +858,7 @@ type RemoteProber struct {
 	ctrl   *Controller
 	reconn chan net.Conn
 	closed atomic.Bool
+	caps   atomic.Uint32 // capability bits from the agent's latest hello
 
 	opMu    sync.Mutex // serializes commands; guards conn, nextSeq, hard
 	conn    net.Conn
@@ -1063,4 +1165,20 @@ func (p *RemoteProber) Clock() (time.Duration, error) {
 		return 0, p.Err()
 	}
 	return time.Duration(binary.BigEndian.Uint64(rsp[1:9])), nil
+}
+
+// PullSpans retrieves the agent's session span records so the controller
+// can graft them into the run's span tree. An agent that did not
+// advertise helloCapSpans (or whose session is already lost) yields
+// (nil, nil)/(nil, Err): span retrieval is best-effort telemetry and
+// must never fail a run that produced a map.
+func (p *RemoteProber) PullSpans() ([]obs.SpanRecord, error) {
+	if p.caps.Load()&helloCapSpans == 0 {
+		return nil, nil
+	}
+	rsp := p.roundTrip([]byte{msgSpanPull}, msgSpanRsp)
+	if rsp == nil {
+		return nil, p.Err()
+	}
+	return obs.ReadSpanJSONL(bytes.NewReader(rsp[1:]))
 }

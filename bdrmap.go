@@ -36,6 +36,7 @@ import (
 	"bdrmap/internal/core"
 	"bdrmap/internal/eval"
 	"bdrmap/internal/export"
+	"bdrmap/internal/fleet"
 	"bdrmap/internal/mapdb"
 	"bdrmap/internal/netx"
 	"bdrmap/internal/obs"
@@ -281,10 +282,6 @@ type Options struct {
 	// equal hop distance (0 or 1 means sequential). The inferred map and
 	// its provenance fingerprint are identical for any worker count.
 	InferWorkers int
-	// UseLegacyCore runs the frozen map-based inference core instead of
-	// the slab core — the differential-testing oracle, kept for one
-	// release while the rewrite soaks.
-	UseLegacyCore bool
 }
 
 // MapBorders measures from vantage point vp and infers the hosting
@@ -303,7 +300,6 @@ func (w *World) MapBordersOpts(vp int, o Options) *Report {
 	opts := core.Options{
 		NoAnalyticalAlias: o.DisableAlias,
 		InferWorkers:      o.InferWorkers,
-		UseLegacy:         o.UseLegacyCore,
 	}
 	res := w.s.RunVP(vp, cfg, opts)
 	return w.buildReport(res)
@@ -323,9 +319,8 @@ type RemoteOptions struct {
 	// TargetTimeout bounds the wall-clock time spent on one target AS;
 	// zero means no limit (the deterministic default).
 	TargetTimeout time.Duration
-	// InferWorkers and UseLegacyCore are as in Options.
-	InferWorkers  int
-	UseLegacyCore bool
+	// InferWorkers is as in Options.
+	InferWorkers int
 }
 
 // MapBordersRemote measures from vantage point vp over the §5.8
@@ -344,7 +339,6 @@ func (w *World) MapBordersRemote(vp int, o RemoteOptions) (*Report, error) {
 	opts := core.Options{
 		NoAnalyticalAlias: o.DisableAlias,
 		InferWorkers:      o.InferWorkers,
-		UseLegacy:         o.UseLegacyCore,
 	}
 	res, err := w.s.RunVPRemote(vp, cfg, opts, o.FaultSpec)
 	if err != nil {
@@ -382,13 +376,62 @@ func (w *World) buildReport(res *core.Result) *Report {
 	return rep
 }
 
-// MapAll runs MapBorders from every vantage point.
+// FleetOptions tunes a coordinated multi-VP mapping run. The zero value
+// runs every VP locally on one worker in VP order — and produces exactly
+// the same map as any other worker count.
+type FleetOptions struct {
+	// Workers bounds how many vantage points measure concurrently
+	// (default 1). The merged map, per-VP reports, and trace/span
+	// fingerprints are byte-identical for any worker count.
+	Workers int
+	// Quorum, when in [1, NumVPs-1], delivers a partial merged generation
+	// through OnPublish once that many VPs complete, naming the rest
+	// degraded; the final (full) generation always follows. 0 disables
+	// partial publishing.
+	Quorum int
+	// Retries is each VP's budget of extra attempts after a failed one
+	// (only remote/faulted transports can fail).
+	Retries int
+	// StragglerTimeout is how long the coordinator waits after quorum
+	// before publishing the partial generation (0 = immediately).
+	StragglerTimeout time.Duration
+	// OnPublish receives the quorum-time partial and the final merged
+	// generations, on the coordinator goroutine.
+	OnPublish func(fleet.PublishEvent)
+}
+
+// MapAll runs MapBorders from every vantage point. It is the one-worker
+// case of MapAllFleet: a local fleet cannot fail.
 func (w *World) MapAll() []*Report {
-	out := make([]*Report, w.NumVPs())
-	for i := range out {
-		out[i] = w.MapBorders(i)
+	reps, err := w.MapAllFleet(FleetOptions{})
+	if err != nil {
+		panic(fmt.Sprintf("bdrmap: MapAll: %v", err))
 	}
-	return out
+	return reps
+}
+
+// MapAllFleet measures every vantage point through the fleet coordinator:
+// a bounded work-stealing worker pool with per-VP retry budgets, streaming
+// merge, and optional quorum publishing. Reports are indexed by VP.
+func (w *World) MapAllFleet(o FleetOptions) ([]*Report, error) {
+	_, err := w.s.RunFleet(scamper.Config{}, eval.FleetOptions{
+		Workers:          o.Workers,
+		Quorum:           o.Quorum,
+		Retries:          o.Retries,
+		StragglerTimeout: o.StragglerTimeout,
+		OnPublish:        o.OnPublish,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Report, w.NumVPs())
+	for i, res := range w.s.Results {
+		if res == nil {
+			continue // shard failed with nothing salvaged
+		}
+		out[i] = w.buildReport(res)
+	}
+	return out, nil
 }
 
 // BuildMapDB measures from every vantage point (if not already done) and

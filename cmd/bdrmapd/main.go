@@ -62,20 +62,22 @@ func newMux(reg *obs.Registry, store *mapdb.Store, spans *obs.SpanLog, pprofOn b
 
 func main() {
 	var (
-		addr        = flag.String("listen", "127.0.0.1:0", "listen address for agent callbacks")
-		profile     = flag.String("profile", "tiny", "world the demo agent lives in")
-		seed        = flag.Int64("seed", 1, "generation seed")
-		demo        = flag.Bool("demo", true, "spawn an in-process demo agent")
-		metricsAddr = flag.String("metrics-addr", "", "serve the obs registry over HTTP on this address (e.g. 127.0.0.1:9100): JSON on /, Prometheus text on /metrics")
-		metricsJSON = flag.Bool("metrics-json", false, "print the final metrics snapshot as JSON on exit")
-		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/ on -metrics-addr")
-		faultSpec   = flag.String("faults", "", "inject deterministic faults into the agent link, e.g. seed=11,drop=0.12,heal=40 (see internal/faults)")
-		serve       = flag.Bool("serve", false, "after inference, keep serving the map on -metrics-addr until interrupted")
-		rounds      = flag.Int("rounds", 0, "run the continuous-monitoring loop for this many generations instead of the single-agent demo")
-		incremental = flag.Bool("incremental", false, "with -rounds, carry stop sets, trace caches, and prior attributions across rounds (see README: Continuous monitoring)")
-		refreshEach = flag.Int("refresh-every", 0, "with -incremental, force a full re-walk of each cached target every N rounds (0 = default cadence, -1 = never)")
-		verify      = flag.Bool("verify", false, "with -incremental, cross-check every round against a from-scratch run and abort on any divergence")
-		spanOut     = flag.String("span-out", "", "write the run's span timeline as a Chrome trace_event file on exit (open in Perfetto / chrome://tracing)")
+		addr         = flag.String("listen", "127.0.0.1:0", "listen address for agent callbacks")
+		profile      = flag.String("profile", "tiny", "world the demo agent lives in")
+		seed         = flag.Int64("seed", 1, "generation seed")
+		demo         = flag.Bool("demo", true, "spawn an in-process demo agent")
+		metricsAddr  = flag.String("metrics-addr", "", "serve the obs registry over HTTP on this address (e.g. 127.0.0.1:9100): JSON on /, Prometheus text on /metrics")
+		metricsJSON  = flag.Bool("metrics-json", false, "print the final metrics snapshot as JSON on exit")
+		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/ on -metrics-addr")
+		faultSpec    = flag.String("faults", "", "inject deterministic faults into the agent link, e.g. seed=11,drop=0.12,heal=40 (see internal/faults)")
+		serve        = flag.Bool("serve", false, "after inference, keep serving the map on -metrics-addr until interrupted")
+		rounds       = flag.Int("rounds", 0, "run the continuous-monitoring loop for this many generations instead of the single-agent demo")
+		incremental  = flag.Bool("incremental", false, "with -rounds, carry stop sets, trace caches, and prior attributions across rounds (see README: Continuous monitoring)")
+		refreshEach  = flag.Int("refresh-every", 0, "with -incremental, force a full re-walk of each cached target every N rounds (0 = default cadence, -1 = never)")
+		verify       = flag.Bool("verify", false, "with -incremental, cross-check every round against a from-scratch run and abort on any divergence")
+		fleetWorkers = flag.Int("fleet-workers", 1, "with -rounds, measure each round's vantage points on this many coordinator workers (the served map is identical for any count)")
+		fleetQuorum  = flag.Int("fleet-quorum", 0, "with -rounds, publish a partial generation once this many VPs complete, marking the rest degraded (0 = full generations only; see /v1/fleet)")
+		spanOut      = flag.String("span-out", "", "write the run's span timeline as a Chrome trace_event file on exit (open in Perfetto / chrome://tracing)")
 	)
 	flag.Parse()
 
@@ -155,6 +157,7 @@ func main() {
 		// round's measurement memory, then serve/report like the demo.
 		events, err := mapdb.RunRounds(mapdb.RoundsConfig{
 			Profile: prof, Seed: *seed, Rounds: *rounds,
+			FleetWorkers: *fleetWorkers, FleetQuorum: *fleetQuorum,
 			Incremental: *incremental, RefreshEvery: *refreshEach,
 			Verify: *verify, Obs: s.Obs,
 			Spans: s.Spans, SpanParent: s.SpanRoot.ID(),

@@ -4,16 +4,22 @@ import (
 	"fmt"
 	"reflect"
 	"testing"
+
+	"bdrmap/internal/core"
+	"bdrmap/internal/eval"
+	"bdrmap/internal/scamper"
 )
 
-// Differential harness for the slab inference core: every golden scenario
-// runs through the frozen map-based core (Options.UseLegacyCore, the
-// oracle kept for one release) and the slab core, and the outputs must be
-// byte-identical — same link set, same per-router owner attributions, same
-// provenance trace fingerprint. The same harness pins InferWorkers=1
-// against InferWorkers=8, discharging the claim that equal-hop parallelism
-// cannot change the inferred map. Run under -race these tests double as
-// the data-race check on the parallel sweep.
+// Differential harness for the fleet coordinator: every golden scenario
+// runs through the sequential one-worker coordinator (MapAll) and through
+// wider fleets — workers 4 and 8, adversarial enqueue orders, remote
+// transports under healing fault schedules — and the outputs must be
+// byte-identical: same per-VP link sets and owner attributions, same
+// merged map, same provenance trace fingerprint, same span-tree
+// fingerprint. The same harness pins InferWorkers=1 against
+// InferWorkers=8, discharging the claim that equal-hop parallelism cannot
+// change the inferred map. Run under -race these tests double as the
+// data-race check on the worker pool and the parallel sweep.
 
 // ownerRow is the stable serialization of one router's attribution.
 type ownerRow struct {
@@ -63,31 +69,84 @@ func diffReports(t *testing.T, wantName, gotName string, want, got *Report, want
 	}
 }
 
-// TestDifferentialLegacyVsSlab runs the golden (profile, seed) scenarios
-// through both cores.
-func TestDifferentialLegacyVsSlab(t *testing.T) {
+// diffWorlds compares two worlds VP by VP plus their merged maps and both
+// observability fingerprints.
+func diffWorlds(t *testing.T, seqName, fltName string, seq, flt *World, seqReps, fltReps []*Report) {
+	t.Helper()
+	if len(seqReps) != len(fltReps) {
+		t.Fatalf("%s has %d reports, %s has %d", seqName, len(seqReps), fltName, len(fltReps))
+	}
+	for i := range seqReps {
+		if seqReps[i] == nil || fltReps[i] == nil {
+			t.Fatalf("vp %d: nil report (%s=%v %s=%v)", i, seqName, seqReps[i] == nil, fltName, fltReps[i] == nil)
+		}
+		diffReports(t, seqName, fltName, seqReps[i], fltReps[i],
+			seq.TraceFingerprint(), flt.TraceFingerprint())
+	}
+	sm := core.Merge(seq.Scenario().Results)
+	fm := core.Merge(flt.Scenario().Results)
+	if !reflect.DeepEqual(sm, fm) {
+		t.Errorf("merged maps diverged: %s %d links, %s %d links",
+			seqName, sm.LinkCount(), fltName, fm.LinkCount())
+	}
+	if sf, ff := seq.SpanFingerprint(), flt.SpanFingerprint(); sf != ff {
+		t.Errorf("span fingerprints diverged: %s=%s %s=%s", seqName, sf, fltName, ff)
+	}
+}
+
+// TestDifferentialSequentialVsFleet runs the golden (profile, seed)
+// scenarios through the sequential coordinator and 4- and 8-worker fleets.
+func TestDifferentialSequentialVsFleet(t *testing.T) {
 	cases := []struct {
 		name string
 		prof Profile
 	}{
 		{"tiny", Tiny()},
-		{"small-access", SmallAccess()},
+		{"regional-vp", RegionalVP()},
 	}
 	for _, tc := range cases {
 		for _, seed := range []int64{1, 2} {
-			t.Run(fmt.Sprintf("%s-seed%d", tc.name, seed), func(t *testing.T) {
-				lw := NewWorld(tc.prof, seed)
-				lrep := lw.MapBordersOpts(0, Options{UseLegacyCore: true})
-				sw := NewWorld(tc.prof, seed)
-				srep := sw.MapBordersOpts(0, Options{})
-				if len(srep.Links) == 0 {
-					t.Fatal("no links inferred")
-				}
-				diffReports(t, "legacy", "slab", lrep, srep,
-					lw.TraceFingerprint(), sw.TraceFingerprint())
-			})
+			seq := NewWorld(tc.prof, seed)
+			seqReps := seq.MapAll()
+			for _, workers := range []int{4, 8} {
+				t.Run(fmt.Sprintf("%s-seed%d-workers%d", tc.name, seed, workers), func(t *testing.T) {
+					flt := NewWorld(tc.prof, seed)
+					fltReps, err := flt.MapAllFleet(FleetOptions{Workers: workers})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(seqReps[0].Links) == 0 {
+						t.Fatal("no links inferred")
+					}
+					diffWorlds(t, "sequential", fmt.Sprintf("workers=%d", workers), seq, flt, seqReps, fltReps)
+				})
+			}
 		}
 	}
+}
+
+// TestDifferentialFleetAdversarialOrder permutes the enqueue order so
+// completion order inverts, and requires the same bytes anyway.
+func TestDifferentialFleetAdversarialOrder(t *testing.T) {
+	seq := NewWorld(RegionalVP(), 1)
+	seqReps := seq.MapAll()
+
+	flt := NewWorld(RegionalVP(), 1)
+	n := flt.NumVPs()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = n - 1 - i
+	}
+	if _, err := flt.Scenario().RunFleet(scamper.Config{}, eval.FleetOptions{
+		Workers: 8, Order: order,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fltReps := make([]*Report, n)
+	for i, res := range flt.Scenario().Results {
+		fltReps[i] = flt.buildReport(res)
+	}
+	diffWorlds(t, "sequential", "reversed-order", seq, flt, seqReps, fltReps)
 }
 
 // TestDifferentialInferWorkers pins the parallel sweep against the
@@ -113,7 +172,8 @@ func TestDifferentialInferWorkers(t *testing.T) {
 }
 
 // TestDifferentialRemoteChaos replays the remote-tiny chaos seeds through
-// both cores: the degraded (partial) datasets must infer identically.
+// the standalone remote runner and a fleet remote shard: the degraded
+// (partial) datasets must infer identically.
 func TestDifferentialRemoteChaos(t *testing.T) {
 	specs := []struct{ name, spec string }{
 		{"drop", "seed=11,drop=0.12,heal=40"},
@@ -121,18 +181,25 @@ func TestDifferentialRemoteChaos(t *testing.T) {
 	}
 	for _, tc := range specs {
 		t.Run(tc.name, func(t *testing.T) {
-			lw := NewWorld(Tiny(), 1)
-			lrep, err := lw.MapBordersRemote(0, RemoteOptions{FaultSpec: tc.spec, UseLegacyCore: true})
-			if err != nil {
-				t.Fatal(err)
-			}
 			sw := NewWorld(Tiny(), 1)
 			srep, err := sw.MapBordersRemote(0, RemoteOptions{FaultSpec: tc.spec, InferWorkers: 8})
 			if err != nil {
 				t.Fatal(err)
 			}
-			diffReports(t, "legacy", "slab", lrep, srep,
-				lw.TraceFingerprint(), sw.TraceFingerprint())
+			fw := NewWorld(Tiny(), 1)
+			if _, err := fw.Scenario().RunFleet(scamper.Config{}, eval.FleetOptions{
+				Workers: 4,
+				VPs:     map[int]eval.FleetVP{0: {Remote: true, FaultSpecs: []string{tc.spec}}},
+			}); err != nil {
+				t.Fatal(err)
+			}
+			res := fw.Scenario().Results[0]
+			if res == nil {
+				t.Fatal("fleet remote shard produced no result")
+			}
+			frep := fw.buildReport(res)
+			diffReports(t, "standalone", "fleet", srep, frep,
+				sw.TraceFingerprint(), fw.TraceFingerprint())
 		})
 	}
 }

@@ -1,0 +1,73 @@
+package bdrmap
+
+// BenchmarkFleetVsSequential times the same 8-VP measurement round on a
+// one-worker coordinator (the sequential baseline) and on a four-worker
+// fleet. Probing runs under scamper.Config.Pace so the benchmark lives in
+// the deployed system's wall-clock regime — lanes waiting between probes,
+// not CPU — which is exactly the time the coordinator exists to overlap.
+// The differential suite proves the outputs are byte-identical; this
+// benchmark proves the wider pool buys wall-clock without buying probes:
+// packets/op must not move between the two, only ns/op may.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"bdrmap/internal/eval"
+	"bdrmap/internal/scamper"
+)
+
+// fleetBenchProfile is regional-vp widened to 8 vantage points so a
+// 4-worker pool has real parallelism to exploit.
+func fleetBenchProfile() Profile {
+	prof := RegionalVP()
+	prof.NumVPs = 8
+	return prof
+}
+
+// fleetBenchPace is the real-time cost of one traceroute lane slot —
+// comfortably above the per-trace CPU cost, far below real probing so the
+// benchmark still completes in seconds.
+const fleetBenchPace = time.Millisecond
+
+// fleetBenchPackets records probe.packets_sent per worker count so each
+// sub-benchmark can assert the probing effort is schedule-invariant.
+var fleetBenchPackets sync.Map
+
+func benchFleet(b *testing.B, workers int) {
+	prof := fleetBenchProfile()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w := NewWorld(prof, 1)
+		b.StartTimer()
+		if _, err := w.Scenario().RunFleet(scamper.Config{Pace: fleetBenchPace},
+			eval.FleetOptions{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		for vp, res := range w.Scenario().Results {
+			if res == nil {
+				b.Fatalf("vp %d produced no result", vp)
+			}
+		}
+		pkts := w.Snapshot().Counter("probe.packets_sent")
+		b.ReportMetric(float64(pkts), "packets/op")
+		if prev, ok := fleetBenchPackets.LoadOrStore(workers, pkts); ok && prev.(int64) != pkts {
+			b.Fatalf("probe count drifted across iterations: %d then %d", prev, pkts)
+		}
+		fleetBenchPackets.Range(func(k, v any) bool {
+			if v.(int64) != pkts {
+				b.Fatalf("probe count depends on worker count: workers=%d sent %d, workers=%d sent %d",
+					workers, pkts, k, v)
+			}
+			return true
+		})
+		b.StartTimer()
+	}
+}
+
+func BenchmarkFleetVsSequential(b *testing.B) {
+	b.Run("workers=1", func(b *testing.B) { benchFleet(b, 1) })
+	b.Run("workers=4", func(b *testing.B) { benchFleet(b, 4) })
+}

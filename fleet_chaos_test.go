@@ -1,0 +1,157 @@
+package bdrmap
+
+// fleet_chaos_test.go is the coordinator half of the chaos suite: agents
+// die mid-shard and the FLEET — not just one hardened session — must heal.
+// A kill schedule that permanently destroys a shard's first session is
+// retried by the coordinator: the replacement agent redials, the shard's
+// surviving RoundState replays every target completed before the kill, and
+// the final merged map must be byte-identical to the fault-free run. The
+// straggler test pins the quorum-publish semantics end to end through
+// mapdb: the partial generation names the late VP degraded, and the
+// follow-up full generation heals it with an additions-only GenDiff.
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"bdrmap/internal/eval"
+	"bdrmap/internal/fleet"
+	"bdrmap/internal/mapdb"
+	"bdrmap/internal/scamper"
+)
+
+// TestFleetChaosKillRedialReplays kills the remote shard's session for
+// good at frame 30 of attempt 0. The coordinator must spend a retry, the
+// fresh agent must redial, the shard's RoundState must replay what the
+// dead session already measured, and the final links must match the
+// fault-free remote golden byte-for-byte.
+func TestFleetChaosKillRedialReplays(t *testing.T) {
+	world := NewWorld(Tiny(), 1)
+	sum, err := world.Scenario().RunFleet(scamper.Config{}, eval.FleetOptions{
+		Workers: 2,
+		Retries: 1,
+		States:  []*scamper.RoundState{scamper.NewRoundState()},
+		VPs: map[int]eval.FleetVP{
+			0: {Remote: true, FaultSpecs: []string{"seed=3,kill=30", ""}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.Shards[0].State; got != fleet.Done {
+		t.Fatalf("shard state = %v (err %v), want done", got, sum.Shards[0].Err)
+	}
+	if got := sum.Shards[0].Attempts; got != 2 {
+		t.Fatalf("shard took %d attempts, want 2 (kill, then clean retry)", got)
+	}
+
+	m := world.Snapshot()
+	if m.Counter("fleet.retries") == 0 {
+		t.Error("coordinator never spent a retry on the killed shard")
+	}
+	if m.Counter("remote.session_lost") == 0 {
+		t.Errorf("killed agent not reported as a lost session:\n%s", m.Format())
+	}
+	if m.Counter("rounds.cache.hit") == 0 {
+		t.Error("retry replayed nothing from the surviving RoundState")
+	}
+	if lost := world.Scenario().Datasets[0].Stats.TargetsLost; lost != 0 {
+		t.Errorf("healed fleet run still reports %d lost target(s)", lost)
+	}
+
+	rep := world.buildReport(world.Scenario().Results[0])
+	got := goldenLinks(rep)
+	want := loadGolden(t, remoteGoldenPath("tiny", 1))
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("healed fleet map diverged from the fault-free golden\ngot  (%d links): %s\nwant (%d links): %s",
+			len(got), mustJSON(got), len(want), mustJSON(want))
+	}
+}
+
+// TestFleetStragglerQuorumHealsGenDiff gates one of regional-vp's three
+// VPs behind a channel so it cannot finish before quorum. The quorum-time
+// partial generation must mark exactly that VP degraded in the published
+// mapdb snapshot, and the final full generation must heal it with a
+// GenDiff that only adds — nothing served by the partial generation may
+// vanish or change owner.
+func TestFleetStragglerQuorumHealsGenDiff(t *testing.T) {
+	world := NewWorld(RegionalVP(), 1)
+	s := world.Scenario()
+	store := mapdb.NewStore(0, s.Obs)
+	straggler := s.Net.VPs[2].Name
+	release := make(chan struct{})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.RunFleet(scamper.Config{}, eval.FleetOptions{
+			Workers: 3,
+			Quorum:  2,
+			Gate: func(vp int) {
+				if vp == 2 {
+					<-release
+				}
+			},
+			OnPublish: func(ev fleet.PublishEvent) {
+				snap := mapdb.Compile(s.Net.HostASN, ev.Results)
+				if !ev.Final {
+					snap.MarkDegraded(ev.Degraded)
+				}
+				store.Publish(snap)
+				if !ev.Final {
+					close(release) // let the straggler finish only after the partial is out
+				}
+			},
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("quorum fleet hung past the 60s watchdog")
+	}
+
+	partial, ok := store.Generation(1)
+	if !ok {
+		t.Fatal("quorum publish never reached the store")
+	}
+	if !partial.Partial() {
+		t.Error("quorum-time generation not marked partial")
+	}
+	if got := partial.Degraded(); !reflect.DeepEqual(got, []string{straggler}) {
+		t.Errorf("degraded VPs = %v, want [%s]", got, straggler)
+	}
+	final, ok := store.Generation(2)
+	if !ok {
+		t.Fatal("final generation never reached the store")
+	}
+	if final.Partial() {
+		t.Errorf("final generation still marked partial (degraded %v)", final.Degraded())
+	}
+	if len(final.VPs()) != 3 {
+		t.Errorf("final generation compiled %d VPs, want 3", len(final.VPs()))
+	}
+
+	d, err := store.Diff(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Removed) != 0 || len(d.NeighborsRemoved) != 0 {
+		t.Errorf("healing diff removed %d link(s) and %d neighbor(s); a late VP must only add",
+			len(d.Removed), len(d.NeighborsRemoved))
+	}
+	if len(d.OwnerChanges) != 0 {
+		t.Errorf("healing diff changed %d owner attribution(s): %v", len(d.OwnerChanges), d.OwnerChanges)
+	}
+
+	m := world.Snapshot()
+	if got := m.Counter("fleet.publish.partial"); got != 1 {
+		t.Errorf("fleet.publish.partial = %d, want 1", got)
+	}
+	if got := m.Counter("fleet.degraded.at_quorum"); got != 1 {
+		t.Errorf("fleet.degraded.at_quorum = %d, want 1", got)
+	}
+}

@@ -63,10 +63,6 @@ type Options struct {
 	// regardless, so links, owners, and trace fingerprints are identical
 	// for any worker count. 0 or 1 runs single-threaded.
 	InferWorkers int
-	// UseLegacy routes inference through the frozen map-based core — the
-	// oracle side of this PR's differential-testing harness. It will be
-	// removed with legacy.go once the slab core has soaked.
-	UseLegacy bool
 }
 
 // vpASNs returns the set of ASes belonging to the hosting organization.

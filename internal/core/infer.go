@@ -11,9 +11,6 @@ import (
 
 // Infer runs the full bdrmap algorithm over one vantage point's dataset.
 func Infer(in Input) *Result {
-	if in.Opts.UseLegacy {
-		return InferLegacy(in)
-	}
 	span := in.Obs.StartStage("core.infer")
 	defer span.End()
 	// The inference span spends no simulated measurement time (SimNS 0);

@@ -90,24 +90,20 @@ type Result struct {
 	// routerByID maps interned address IDs to indices in Routers (-1 for
 	// addresses with no router).
 	routerByID []int32
-
-	// byAddr is the map-based index the frozen legacy core still builds;
-	// the slab core uses routerByID instead.
-	byAddr map[netx.Addr]*RouterNode
 }
 
 // RouterByAddr returns the inferred router holding addr, if observed.
 func (r *Result) RouterByAddr(a netx.Addr) *RouterNode { return r.routerFor(a) }
 
 func (r *Result) routerFor(a netx.Addr) *RouterNode {
-	if r.Intern != nil && r.routerByID != nil {
-		id, ok := r.Intern.Lookup(a)
-		if !ok || int(id) >= len(r.routerByID) || r.routerByID[id] < 0 {
-			return nil
-		}
-		return r.Routers[r.routerByID[id]]
+	if r.Intern == nil || r.routerByID == nil {
+		return nil
 	}
-	return r.byAddr[a]
+	id, ok := r.Intern.Lookup(a)
+	if !ok || int(id) >= len(r.routerByID) || r.routerByID[id] < 0 {
+		return nil
+	}
+	return r.Routers[r.routerByID[id]]
 }
 
 // NeighborASes returns all inferred neighbor ASes, sorted.

@@ -1,0 +1,325 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"bdrmap/internal/core"
+	"bdrmap/internal/faults"
+	"bdrmap/internal/fleet"
+	"bdrmap/internal/obs"
+	"bdrmap/internal/probe"
+	"bdrmap/internal/scamper"
+)
+
+// The fleet runner: RunAll and RunAllIncremental are reimplemented on the
+// internal/fleet coordinator, with every vantage point as one shard.
+//
+// Isolation is what makes the schedule irrelevant: each shard attempt
+// runs on a fresh probe.Engine (the same "pure function of (profile,
+// seed, cfg, faultSpec)" construction RunVPRemote pioneered) and records
+// into private trace/span fragments the coordinator merges back in VP
+// order. The scenario's shared Engine is untouched — RunVP and the
+// single-VP World paths keep their exact historical behavior — and
+// Results/Datasets are only written after the pool drains, on the
+// caller's goroutine.
+
+// FleetVP configures one vantage point's transport for RunFleet.
+type FleetVP struct {
+	// Remote runs the VP as a protocol-v2 agent dialing the scenario's
+	// in-process controller over loopback TCP, instead of an in-process
+	// LocalProber.
+	Remote bool
+	// FaultSpecs injects deterministic faults into the remote session,
+	// one spec per attempt: attempt k uses FaultSpecs[min(k, len-1)], so
+	// {"seed=3,kill=30", ""} means "kill the session mid-shard once, then
+	// let the retry run clean". Empty means a clean link on every attempt.
+	FaultSpecs []string
+}
+
+// FleetOptions tunes one RunFleet invocation. The zero value runs every
+// VP locally on one worker in VP order — exactly RunAll.
+type FleetOptions struct {
+	// Workers, Quorum, Retries, StragglerTimeout and Order are the
+	// coordinator knobs; see fleet.Config.
+	Workers          int
+	Quorum           int
+	Retries          int
+	StragglerTimeout time.Duration
+	Order            []int
+	// VPs overrides transport per VP index; absent entries run locally.
+	VPs map[int]FleetVP
+	// States and Prevs carry per-VP cross-round state (indexed like
+	// Net.VPs), as in RunAllIncremental. A shard's RoundState stays with
+	// the shard across retries and worker reassignment.
+	States []*scamper.RoundState
+	Prevs  []*core.Result
+	// Opts is passed to every shard's inference.
+	Opts core.Options
+	// OnPublish receives the quorum-time partial and the final merged
+	// generations (see fleet.Config.OnPublish).
+	OnPublish func(fleet.PublishEvent)
+	// Gate, when set, is called at the start of every attempt of VP i —
+	// a test hook for pinning straggler and quorum schedules.
+	Gate func(vp int)
+	// ClaimTimeout bounds the wait for a remote agent's handshake per
+	// attempt (default 5s — generous against the millisecond redial
+	// schedule the loopback agents use).
+	ClaimTimeout time.Duration
+}
+
+// fleetRuntime is the shared remote-transport state of one RunFleet call:
+// a single controller and its session router, claimed by whichever worker
+// is running a remote shard.
+type fleetRuntime struct {
+	ctrl   *scamper.Controller
+	router *scamper.Router
+}
+
+// RunFleet measures every VP through the fleet coordinator and fills
+// Datasets/Results like RunAll. Already-run VPs (memoized Results) fold
+// into the merge without re-measuring. The returned summary carries
+// per-shard dispositions and the final merged map; err is non-nil only
+// for configuration or listener failures — per-shard failures are
+// reported in the summary (and leave that VP's Results slot nil).
+func (s *Scenario) RunFleet(cfg scamper.Config, fo FleetOptions) (*fleet.Summary, error) {
+	var rt *fleetRuntime
+	for _, vp := range fo.VPs {
+		if vp.Remote {
+			ctrl, err := scamper.Listen("127.0.0.1:0")
+			if err != nil {
+				return nil, err
+			}
+			ctrl.SetObs(s.Obs)
+			ctrl.SetHelloTimeout(time.Second)
+			rt = &fleetRuntime{ctrl: ctrl, router: scamper.NewRouter(ctrl)}
+			defer ctrl.Close()
+			break
+		}
+	}
+
+	shards := make([]fleet.Shard, len(s.Net.VPs))
+	for i := range s.Net.VPs {
+		i := i
+		shards[i] = fleet.Shard{
+			Name: s.Net.VPs[i].Name,
+			Run: func(ctx fleet.RunCtx) (*fleet.Output, error) {
+				if s.Results[i] != nil {
+					// Memoized by an earlier RunVP/RunFleet: fold the
+					// existing result, measure nothing.
+					return &fleet.Output{Result: s.Results[i]}, nil
+				}
+				if fo.Gate != nil {
+					fo.Gate(i)
+				}
+				if fo.VPs[i].Remote {
+					return s.fleetShardRemote(i, ctx, cfg, fo, rt)
+				}
+				return s.fleetShardLocal(i, ctx, cfg, fo)
+			},
+		}
+	}
+
+	sum, err := fleet.Run(fleet.Config{
+		Workers:          fo.Workers,
+		Quorum:           fo.Quorum,
+		Retries:          fo.Retries,
+		StragglerTimeout: fo.StragglerTimeout,
+		Order:            fo.Order,
+		Obs:              s.Obs,
+		Trace:            s.Trace,
+		Spans:            s.Spans,
+		SpanParent:       s.SpanRoot.ID(),
+		OnPublish:        fo.OnPublish,
+	}, shards)
+	if err != nil {
+		return nil, err
+	}
+	for i, out := range sum.Outputs {
+		if out == nil {
+			continue
+		}
+		if ds, ok := out.Aux.(*scamper.Dataset); ok {
+			s.Datasets[i] = ds
+		}
+		s.Results[i] = out.Result
+	}
+	return sum, nil
+}
+
+// fleetFrags allocates one attempt's private trace and span fragments,
+// mirroring the enabled-ness of the scenario's shared logs.
+func (s *Scenario) fleetFrags() (*obs.Tracer, *obs.SpanLog) {
+	var frag *obs.Tracer
+	var sfrag *obs.SpanLog
+	if s.Trace.Enabled() {
+		frag = obs.NewTracer(0)
+	}
+	if s.Spans.Enabled() {
+		sfrag = obs.NewSpanLog(0)
+	}
+	return frag, sfrag
+}
+
+// fleetShardLocal runs VP i in-process on a fresh engine. Local shards
+// cannot fail: the engine is simulated and lossless, so the first attempt
+// is the only one.
+func (s *Scenario) fleetShardLocal(i int, ctx fleet.RunCtx, cfg scamper.Config, fo FleetOptions) (*fleet.Output, error) {
+	frag, sfrag := s.fleetFrags()
+	eng := probe.New(s.Net, s.Tab)
+	eng.SetObs(s.Obs)
+	vsp := sfrag.Begin(0, "vp", s.Net.VPs[i].Name)
+	vsp.SetAttr("mode", "fleet")
+	if fo.States != nil {
+		cfg.State = fo.States[i]
+	}
+	d := &scamper.Driver{
+		View:       s.View,
+		Prober:     scamper.LocalProber{E: eng, VP: s.Net.VPs[i]},
+		HostASNs:   s.HostASNs,
+		Cfg:        cfg,
+		Obs:        s.Obs,
+		Trace:      frag,
+		Spans:      sfrag,
+		SpanParent: vsp.ID(),
+	}
+	ds := d.Run()
+	res := s.fleetInfer(i, ds, fo, frag, sfrag, vsp, ctx.Arena)
+	vsp.End()
+	s.Obs.Inc("eval.vp_runs")
+	return &fleet.Output{Result: res, Trace: frag, Spans: sfrag, Aux: ds}, nil
+}
+
+// fleetShardRemote runs one attempt of VP i as a remote agent through the
+// run's shared controller. A session the fault schedule permanently kills
+// returns its partial output *and* an error: the coordinator retries
+// within budget — the next attempt's agent redial resumes against the
+// shard's surviving RoundState — or keeps the salvage and marks the shard
+// degraded.
+func (s *Scenario) fleetShardRemote(i int, ctx fleet.RunCtx, cfg scamper.Config, fo FleetOptions, rt *fleetRuntime) (*fleet.Output, error) {
+	specs := fo.VPs[i].FaultSpecs
+	specStr := ""
+	if len(specs) > 0 {
+		k := ctx.Attempt
+		if k >= len(specs) {
+			k = len(specs) - 1
+		}
+		specStr = specs[k]
+	}
+	spec, err := faults.Parse(specStr)
+	if err != nil {
+		return nil, err
+	}
+	inj := faults.New(spec)
+
+	eng := probe.New(s.Net, s.Tab)
+	eng.SetObs(s.Obs)
+	eng.SetFaults(inj)
+	var agentSpans *obs.SpanLog
+	if s.Spans.Enabled() {
+		agentSpans = obs.NewSpanLog(256)
+	}
+	agent := &scamper.Agent{E: eng, VP: s.Net.VPs[i], Spans: agentSpans}
+	agentDone := make(chan error, 1)
+	go func() {
+		agentDone <- agent.DialRetry(rt.ctrl.Addr(), scamper.DialOptions{
+			Dial:         inj.DialFunc,
+			MaxRedials:   100,
+			RedialBase:   time.Millisecond,
+			RedialMax:    16 * time.Millisecond,
+			HelloTimeout: 250 * time.Millisecond,
+		})
+	}()
+	drainAgent := func() {
+		select {
+		case <-agentDone:
+		case <-time.After(10 * time.Second):
+		}
+	}
+
+	claimTimeout := fo.ClaimTimeout
+	if claimTimeout <= 0 {
+		claimTimeout = 5 * time.Second
+	}
+	rp, err := rt.router.Claim(s.Net.VPs[i].Name, claimTimeout)
+	if err != nil {
+		drainAgent()
+		return nil, fmt.Errorf("eval: fleet shard %s attempt %d: %w", s.Net.VPs[i].Name, ctx.Attempt, err)
+	}
+	rp.SetHardening(scamper.Hardening{
+		FrameTimeout: 100 * time.Millisecond,
+		RetryBudget:  12,
+		BackoffBase:  time.Millisecond,
+		BackoffMax:   16 * time.Millisecond,
+		ResumeWait:   2 * time.Second,
+	})
+
+	// Single-worker probing keeps the command stream — and therefore the
+	// fault schedule — deterministic, as in RunVPRemote.
+	cfg.Workers = 1
+	if fo.States != nil && fo.States[i] != nil {
+		if sp := rp.Signed(); sp != nil {
+			cfg.State = fo.States[i]
+			frag, sfrag := s.fleetFrags()
+			return s.fleetRemoteRun(i, ctx, cfg, fo, sp, rp, frag, sfrag, drainAgent)
+		}
+	}
+	frag, sfrag := s.fleetFrags()
+	return s.fleetRemoteRun(i, ctx, cfg, fo, rp, rp, frag, sfrag, drainAgent)
+}
+
+// fleetRemoteRun is the transport-independent tail of a remote attempt:
+// drive, pull spans, infer, decide success.
+func (s *Scenario) fleetRemoteRun(i int, ctx fleet.RunCtx, cfg scamper.Config, fo FleetOptions,
+	prober scamper.Prober, rp *scamper.RemoteProber, frag *obs.Tracer, sfrag *obs.SpanLog, drainAgent func()) (*fleet.Output, error) {
+	vsp := sfrag.Begin(0, "vp", s.Net.VPs[i].Name)
+	vsp.SetAttr("mode", "fleet-remote")
+	vsp.SetAttr("attempt", ctx.Attempt)
+	d := &scamper.Driver{
+		View:       s.View,
+		Prober:     prober,
+		HostASNs:   s.HostASNs,
+		Cfg:        cfg,
+		Obs:        s.Obs,
+		Trace:      frag,
+		Spans:      sfrag,
+		SpanParent: vsp.ID(),
+	}
+	ds := d.Run()
+	if sfrag.Enabled() {
+		if recs, err := rp.PullSpans(); err == nil {
+			sfrag.MergeRecords(recs, vsp.ID())
+		}
+	}
+	sessErr := rp.Err()
+	rp.Close()
+	drainAgent()
+
+	res := s.fleetInfer(i, ds, fo, frag, sfrag, vsp, ctx.Arena)
+	vsp.End()
+	s.Obs.Inc("eval.vp_runs_remote")
+	out := &fleet.Output{Result: res, Trace: frag, Spans: sfrag, Aux: ds}
+	if sessErr != nil || ds.Stats.TargetsLost > 0 {
+		if sessErr == nil {
+			sessErr = fmt.Errorf("%d targets lost", ds.Stats.TargetsLost)
+		}
+		return out, fmt.Errorf("eval: fleet shard %s attempt %d: %w", s.Net.VPs[i].Name, ctx.Attempt, sessErr)
+	}
+	return out, nil
+}
+
+// fleetInfer runs the shard's inference into the worker's arena, with the
+// shard's previous-round result spliced in when provided.
+func (s *Scenario) fleetInfer(i int, ds *scamper.Dataset, fo FleetOptions,
+	frag *obs.Tracer, sfrag *obs.SpanLog, vsp *obs.OpenSpan, arena *core.Arena) *core.Result {
+	var prev *core.Result
+	if fo.Prevs != nil {
+		prev = fo.Prevs[i]
+	}
+	return core.Infer(core.Input{
+		Data: ds, View: s.View, Rel: s.Rel, RIR: s.RIR, IXP: s.IXP,
+		HostASN: s.Net.HostASN, Siblings: s.Sibs, Opts: fo.Opts,
+		Obs: s.Obs, Trace: frag, Spans: sfrag, SpanParent: vsp.ID(),
+		Prev: prev, Arena: arena,
+	})
+}

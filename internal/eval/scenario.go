@@ -60,6 +60,11 @@ type Scenario struct {
 	Datasets []*scamper.Dataset // per VP, filled by RunVP/RunAll
 	Results  []*core.Result
 
+	// hostAdj is the public view's host-AS adjacency set, built once at
+	// Build time: classify is called per neighbor per report row, and a
+	// linear NeighborsOf scan per call is quadratic on large profiles.
+	hostAdj map[topo.ASN]bool
+
 	// arena backs every inference this scenario runs: the router-graph
 	// slabs are reset — not reallocated — between VPs and between RunAll
 	// scenarios that share the Scenario value. Scenario methods are not
@@ -90,6 +95,10 @@ func BuildFromNetwork(n *topo.Network, seed int64) *Scenario {
 	for _, s := range sibs.SiblingsOf(n.HostASN) {
 		hosts[s] = true
 	}
+	adj := make(map[topo.ASN]bool)
+	for _, nb := range view.NeighborsOf(n.HostASN) {
+		adj[nb] = true
+	}
 	reg := obs.New()
 	eng := probe.New(n, tab)
 	eng.SetObs(reg)
@@ -104,6 +113,7 @@ func BuildFromNetwork(n *topo.Network, seed int64) *Scenario {
 		SpanRoot: root,
 		Datasets: make([]*scamper.Dataset, len(n.VPs)),
 		Results:  make([]*core.Result, len(n.VPs)),
+		hostAdj:  adj,
 	}
 }
 
@@ -285,10 +295,15 @@ func (s *Scenario) RunVPRemote(i int, cfg scamper.Config, opts core.Options, fau
 	return res, nil
 }
 
-// RunAll measures from every VP.
+// RunAll measures from every VP. It is the one-worker degenerate case of
+// the fleet coordinator: every VP runs locally, in VP order, on a fresh
+// engine, and the outputs land in Datasets/Results exactly as before.
+// RunFleet with more workers produces byte-identical merged output.
 func (s *Scenario) RunAll(cfg scamper.Config) {
-	for i := range s.Net.VPs {
-		s.RunVP(i, cfg, core.Options{})
+	if _, err := s.RunFleet(cfg, FleetOptions{Workers: 1}); err != nil {
+		// Local-only fleets allocate no listener and validate no order:
+		// there is nothing left that can fail.
+		panic(fmt.Sprintf("eval: RunAll: %v", err))
 	}
 }
 
@@ -333,12 +348,8 @@ func (s *Scenario) RunVPIncremental(i int, cfg scamper.Config, opts core.Options
 // results. states and prevs are indexed like Net.VPs; prevs may be nil on
 // the first round.
 func (s *Scenario) RunAllIncremental(cfg scamper.Config, states []*scamper.RoundState, prevs []*core.Result) {
-	for i := range s.Net.VPs {
-		var prev *core.Result
-		if prevs != nil {
-			prev = prevs[i]
-		}
-		s.RunVPIncremental(i, cfg, core.Options{}, states[i], prev)
+	if _, err := s.RunFleet(cfg, FleetOptions{Workers: 1, States: states, Prevs: prevs}); err != nil {
+		panic(fmt.Sprintf("eval: RunAllIncremental: %v", err))
 	}
 }
 
@@ -373,14 +384,7 @@ func (c neighborClass) String() string {
 // classify buckets a neighbor AS: trace-only if absent from the public
 // view's host adjacencies, else by inferred relationship.
 func (s *Scenario) classify(asn topo.ASN) neighborClass {
-	inBGP := false
-	for _, nb := range s.View.NeighborsOf(s.Net.HostASN) {
-		if nb == asn {
-			inBGP = true
-			break
-		}
-	}
-	if !inBGP {
+	if !s.hostAdj[asn] {
 		return classTraceOnly
 	}
 	switch s.Rel.Rel(s.Net.HostASN, asn) {

@@ -11,16 +11,21 @@ import (
 	"bdrmap/internal/topo"
 )
 
-// TestDifferentialRoundsLegacyVsSlab drives the rounds-golden churn
-// schedule (same mutations as RunRounds) through the frozen map-based
-// core and the slab core, incremental state and attribution splicing
-// engaged on both sides, and requires every published generation to be
-// byte-identical: served links, owner attributions, and per-round trace
-// fingerprints.
-func TestDifferentialRoundsLegacyVsSlab(t *testing.T) {
+// TestDifferentialRoundsSequentialVsFleet drives the rounds-golden churn
+// schedule (same mutations as RunRounds) through the one-worker sequential
+// coordinator and a four-worker fleet, incremental state and attribution
+// splicing engaged on both sides, and requires every published generation
+// to be byte-identical: served links, owner attributions, and per-round
+// trace fingerprints. The multi-VP profile makes the schedule real — three
+// shards genuinely interleave on the fleet side.
+func TestDifferentialRoundsSequentialVsFleet(t *testing.T) {
 	const rounds = 3
-	run := func(opts core.Options) (snaps []*Snapshot, fps []uint64) {
-		n := topo.Generate(topo.TinyProfile(), 1)
+	prof, ok := topo.ProfileByName("regional-vp")
+	if !ok {
+		t.Fatal("regional-vp profile missing")
+	}
+	run := func(workers int) (snaps []*Snapshot, fps []uint64) {
+		n := topo.Generate(prof, 1)
 		rng := rand.New(rand.NewSource(1 ^ 0x6d617064))
 		states := make([]*scamper.RoundState, len(n.VPs))
 		for i := range states {
@@ -35,12 +40,10 @@ func TestDifferentialRoundsLegacyVsSlab(t *testing.T) {
 				n.Build()
 			}
 			s := eval.BuildFromNetwork(n, 1)
-			for i := range s.Net.VPs {
-				var prev *core.Result
-				if prevs != nil {
-					prev = prevs[i]
-				}
-				s.RunVPIncremental(i, scamper.Config{}, opts, states[i], prev)
+			if _, err := s.RunFleet(scamper.Config{}, eval.FleetOptions{
+				Workers: workers, States: states, Prevs: prevs,
+			}); err != nil {
+				t.Fatal(err)
 			}
 			prevs = s.Results
 			snaps = append(snaps, Compile(n.HostASN, s.Results))
@@ -49,20 +52,20 @@ func TestDifferentialRoundsLegacyVsSlab(t *testing.T) {
 		return snaps, fps
 	}
 
-	lsnaps, lfps := run(core.Options{UseLegacy: true})
-	ssnaps, sfps := run(core.Options{InferWorkers: 8})
+	seqSnaps, seqFPs := run(1)
+	fltSnaps, fltFPs := run(4)
 	for r := 0; r < rounds; r++ {
-		if lfps[r] != sfps[r] {
-			t.Errorf("round %d: trace fingerprints diverged: legacy %016x slab %016x", r, lfps[r], sfps[r])
+		if seqFPs[r] != fltFPs[r] {
+			t.Errorf("round %d: trace fingerprints diverged: sequential %016x fleet %016x", r, seqFPs[r], fltFPs[r])
 		}
-		if !reflect.DeepEqual(lsnaps[r].links, ssnaps[r].links) {
-			t.Errorf("round %d: link sets diverged (legacy %d, slab %d links)",
-				r, len(lsnaps[r].links), len(ssnaps[r].links))
+		if !reflect.DeepEqual(seqSnaps[r].links, fltSnaps[r].links) {
+			t.Errorf("round %d: link sets diverged (sequential %d, fleet %d links)",
+				r, len(seqSnaps[r].links), len(fltSnaps[r].links))
 		}
-		if !reflect.DeepEqual(lsnaps[r].ownerAddrs, ssnaps[r].ownerAddrs) ||
-			!reflect.DeepEqual(lsnaps[r].owners, ssnaps[r].owners) {
-			t.Errorf("round %d: owner attributions diverged (legacy %d, slab %d addrs)",
-				r, len(lsnaps[r].ownerAddrs), len(ssnaps[r].ownerAddrs))
+		if !reflect.DeepEqual(seqSnaps[r].ownerAddrs, fltSnaps[r].ownerAddrs) ||
+			!reflect.DeepEqual(seqSnaps[r].owners, fltSnaps[r].owners) {
+			t.Errorf("round %d: owner attributions diverged (sequential %d, fleet %d addrs)",
+				r, len(seqSnaps[r].ownerAddrs), len(fltSnaps[r].ownerAddrs))
 		}
 		if t.Failed() {
 			break

@@ -114,6 +114,7 @@ func HandlerWithStatus(st *Store, reg *obs.Registry, sl *obs.SpanLog) http.Handl
 	mux.Handle("/v1/neighbors", a.wrap("neighbors", a.handleNeighbors))
 	mux.Handle("/v1/diff", a.wrap("diff", a.handleDiff))
 	mux.Handle("/v1/status", a.wrap("status", a.handleStatus))
+	mux.Handle("/v1/fleet", a.wrap("fleet", a.handleFleet))
 	mux.Handle("/", NotFoundHandler())
 	return mux
 }
@@ -340,10 +341,11 @@ func (a *api) handleStatus(w http.ResponseWriter, r *http.Request) bool {
 		Spans       spansJSON        `json:"spans"`
 		Live        []obs.SpanRecord `json:"live,omitempty"`
 		VPs         []vpStatusJSON   `json:"vps,omitempty"`
+		Fleet       *fleetJSON       `json:"fleet,omitempty"`
 		Runtime     runtimeJSON      `json:"runtime"`
 	}
 
-	out := statusJSON{}
+	out := statusJSON{Fleet: a.fleetStatus()}
 	if s := a.store.Current(); s != nil {
 		out.Published = true
 		out.Gen = s.Gen()
@@ -381,6 +383,121 @@ func (a *api) handleStatus(w http.ResponseWriter, r *http.Request) bool {
 		GCPauseTotalNS: ms.PauseTotalNs,
 	}
 	return writeJSON(w, out)
+}
+
+// fleetVPJSON is one vantage point's shard state as the fleet coordinator
+// last saw it: completed or in-flight, and how many attempts its fault
+// budget has consumed.
+type fleetVPJSON struct {
+	VP       string `json:"vp"`
+	State    string `json:"state"` // "running" or "idle"
+	Attempts int    `json:"attempts"`
+	SimNS    int64  `json:"sim_ns"`
+}
+
+// fleetJSON is the coordinator section of /v1/status and the body of
+// /v1/fleet, folded from the fleet.* counters, the span log's fleet-mode
+// vp spans, and the current snapshot's degraded-VP marks. Counters are
+// cumulative across every coordinator run in the process.
+type fleetJSON struct {
+	Shards           int64         `json:"shards"`
+	Completed        int64         `json:"completed"`
+	DegradedShards   int64         `json:"degraded_shards"`
+	Failed           int64         `json:"failed"`
+	Retries          int64         `json:"retries"`
+	Steals           int64         `json:"steals"`
+	InFlight         int64         `json:"in_flight"`
+	Queued           int64         `json:"queued"`
+	PartialPublishes int64         `json:"partial_publishes"`
+	FinalPublishes   int64         `json:"final_publishes"`
+	Partial          bool          `json:"partial_generation"`
+	DegradedVPs      []string      `json:"degraded_vps,omitempty"`
+	VPs              []fleetVPJSON `json:"vps,omitempty"`
+}
+
+// fleetStatus folds the live coordinator state, or nil when no fleet has
+// run in this process.
+func (a *api) fleetStatus() *fleetJSON {
+	c := func(name string) int64 { return a.reg.Counter(name).Load() }
+	shards := c("fleet.shards")
+	if shards == 0 {
+		return nil
+	}
+	started := c("fleet.started")
+	completed := c("fleet.completed")
+	retries := c("fleet.retries")
+	degraded := c("fleet.shard_degraded")
+	failed := c("fleet.failed")
+	f := &fleetJSON{
+		Shards:           shards,
+		Completed:        completed,
+		DegradedShards:   degraded,
+		Failed:           failed,
+		Retries:          retries,
+		Steals:           c("fleet.steals"),
+		InFlight:         started - completed - retries - degraded - failed,
+		Queued:           c("fleet.enqueued") - started,
+		PartialPublishes: c("fleet.publish.partial"),
+		FinalPublishes:   c("fleet.publish.final"),
+	}
+	if s := a.store.Current(); s != nil {
+		f.Partial = s.Partial()
+		f.DegradedVPs = s.Degraded()
+	}
+	if a.spans.Enabled() {
+		f.VPs = fleetVPStatuses(a.spans)
+	}
+	return f
+}
+
+// handleFleet serves the coordinator's detailed state. Unlike /v1/status
+// (which simply omits the section), a process that never ran a fleet
+// answers a structured 404 here — the endpoint's subject does not exist.
+func (a *api) handleFleet(w http.ResponseWriter, r *http.Request) bool {
+	f := a.fleetStatus()
+	if f == nil {
+		WriteError(w, http.StatusNotFound, "no_fleet",
+			"no fleet coordinator has run in this process")
+		return false
+	}
+	return writeJSON(w, f)
+}
+
+// fleetVPStatuses folds the fleet-mode vp spans into one row per vantage
+// point, in first-seen order. Each completed span is one attempt; an
+// active span marks the shard running right now.
+func fleetVPStatuses(sl *obs.SpanLog) []fleetVPJSON {
+	idx := make(map[string]int)
+	var out []fleetVPJSON
+	row := func(vp string) *fleetVPJSON {
+		i, ok := idx[vp]
+		if !ok {
+			i = len(out)
+			idx[vp] = i
+			out = append(out, fleetVPJSON{VP: vp, State: "idle"})
+		}
+		return &out[i]
+	}
+	isFleet := func(rec obs.SpanRecord) bool {
+		return rec.Name == "vp" && strings.HasPrefix(rec.Attr("mode"), "fleet")
+	}
+	for _, rec := range sl.Records() {
+		if !isFleet(rec) {
+			continue
+		}
+		v := row(rec.Detail)
+		v.Attempts++
+		v.SimNS += rec.SimNS
+	}
+	for _, rec := range sl.Active() {
+		if !isFleet(rec) {
+			continue
+		}
+		v := row(rec.Detail)
+		v.Attempts++
+		v.State = "running"
+	}
+	return out
 }
 
 // vpStatuses folds the span log's vp spans into one row per vantage

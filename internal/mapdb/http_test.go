@@ -102,6 +102,7 @@ func TestHTTPQueries(t *testing.T) {
 		{"/v1/neighbors?as=65099", "unknown_neighbor", http.StatusNotFound},
 		{"/v1/diff?from=1", "missing_parameter", http.StatusBadRequest},
 		{"/v1/diff?from=1&to=99", "unknown_generation", http.StatusNotFound},
+		{"/v1/fleet", "no_fleet", http.StatusNotFound},
 		{"/v1/nope", "not_found", http.StatusNotFound},
 	} {
 		code, body := get(t, h, tc.url)

@@ -7,9 +7,11 @@ import (
 	"math/rand"
 	"reflect"
 	"sort"
+	"time"
 
 	"bdrmap/internal/core"
 	"bdrmap/internal/eval"
+	"bdrmap/internal/fleet"
 	"bdrmap/internal/obs"
 	"bdrmap/internal/scamper"
 	"bdrmap/internal/topo"
@@ -40,6 +42,19 @@ type RoundsConfig struct {
 	Rounds int
 	// Workers parallelizes probing within each round (default as scamper).
 	Workers int
+
+	// FleetWorkers runs each round's vantage points on that many fleet
+	// coordinator workers (<=1 keeps strict VP order on one worker). The
+	// round's served map is byte-identical for any worker count.
+	FleetWorkers int
+	// FleetQuorum, when in [1, numVPs-1], additionally publishes a partial
+	// generation once that many VPs have completed, marking the rest
+	// degraded (Snapshot.Degraded); the round's final full generation
+	// follows and heals it. 0 publishes only full generations.
+	FleetQuorum int
+	// FleetStragglerTimeout is how long the coordinator waits after quorum
+	// before publishing the partial generation (0 = immediately).
+	FleetStragglerTimeout time.Duration
 
 	// Incremental carries per-VP measurement state (stop set, trace
 	// transcripts, alias memos) and the previous inference result across
@@ -161,11 +176,41 @@ func RunRoundsFull(cfg RoundsConfig, store *Store) ([]RoundEvent, *eval.Scenario
 			s.Spans = cfg.Spans
 			s.SpanRoot = rsp
 		}
+		fo := eval.FleetOptions{
+			Workers:          cfg.FleetWorkers,
+			Quorum:           cfg.FleetQuorum,
+			StragglerTimeout: cfg.FleetStragglerTimeout,
+		}
 		if cfg.Incremental {
-			s.RunAllIncremental(scfg, states, prevs)
+			fo.States = states
+			fo.Prevs = prevs
+		}
+		if cfg.FleetQuorum > 0 {
+			// Quorum-time partial generations publish from the coordinator
+			// goroutine as soon as enough VPs land; the round's own full
+			// compile+publish below is the healing generation.
+			sc := s
+			round := rsp
+			fo.OnPublish = func(ev fleet.PublishEvent) {
+				if ev.Final {
+					return
+				}
+				qsp := cfg.Spans.Begin(round.ID(), "stage", "publish-partial")
+				psnap := Compile(sc.Net.HostASN, ev.Results)
+				psnap.MarkDegraded(ev.Degraded)
+				store.Publish(psnap)
+				qsp.SetAttr("gen", psnap.Gen())
+				qsp.SetAttr("degraded", len(ev.Degraded))
+				qsp.End()
+			}
+		}
+		if _, err := s.RunFleet(scfg, fo); err != nil {
+			rsp.End()
+			span.End()
+			return events, nil, err
+		}
+		if cfg.Incremental {
 			prevs = s.Results
-		} else {
-			s.RunAll(scfg)
 		}
 		csp := cfg.Spans.Begin(rsp.ID(), "stage", "compile")
 		snap := Compile(n.HostASN, s.Results)

@@ -40,11 +40,21 @@ type Config struct {
 	// exceeding it reports the target lost instead of hanging the run.
 	// Zero disables the cutoff (it is off for deterministic golden runs).
 	TargetTimeout time.Duration
+	// Pace throttles every probing lane to at most one traceroute per Pace
+	// of real time, modeling scamper's probing-rate cap: the deployed
+	// system is latency- and pps-bound, not CPU-bound, so wall-clock is
+	// dominated by waiting between probes. Pacing only spends real time —
+	// it cannot change a single measured byte — and the zero default runs
+	// the simulator at full speed, so golden and differential runs are
+	// unaffected. The fleet benchmark uses it to reproduce the wall-clock
+	// regime the coordinator exists to overlap.
+	Pace time.Duration
 	// State enables cross-round incremental probing: the driver replays
 	// the previous round's per-target transcripts wherever path signatures
 	// are unchanged, persisting the doubletree stop set (§5.2) across
 	// rounds instead of rebuilding it. Requires a SignatureProber; it is
-	// silently ignored for probers that cannot sign paths (remote agents).
+	// silently ignored for probers that cannot sign paths. Remote agents
+	// that advertise helloCapSig participate via RemoteProber.Signed.
 	State *RoundState
 	// RefreshEvery forces a full live re-walk of each cached target every
 	// N rounds so decayed paths are still re-walked (default
@@ -234,6 +244,10 @@ func (d *Driver) Run() *Dataset {
 	// (plan unchanged, refresh cadence not due) single-threaded before the
 	// workers start; the workers only read their own replay slot.
 	st := cfg.State
+	if st != nil {
+		st.Acquire(d.Prober.Name())
+		defer st.Release()
+	}
 	var replays []*targetReplay
 	if st != nil {
 		sp, ok := d.Prober.(SignatureProber)
@@ -319,6 +333,9 @@ func (d *Driver) Run() *Dataset {
 				defer wg.Done()
 				lane := lp.NewLane(simStart)
 				trace := func(dst netx.Addr, ss map[netx.Addr]bool) probe.TraceResult {
+					if cfg.Pace > 0 {
+						time.Sleep(cfg.Pace)
+					}
 					return lp.TraceLane(dst, ss, lane)
 				}
 				for i := w; i < len(targets); i += cfg.Workers {
@@ -336,6 +353,13 @@ func (d *Driver) Run() *Dataset {
 	} else {
 		// Shared-clock fallback (remote probers): bounded concurrency via
 		// a semaphore, pacing applied by the prober itself.
+		traceFn := d.Prober.Trace
+		if cfg.Pace > 0 {
+			traceFn = func(dst netx.Addr, ss map[netx.Addr]bool) probe.TraceResult {
+				time.Sleep(cfg.Pace)
+				return d.Prober.Trace(dst, ss)
+			}
+		}
 		var mu sync.Mutex
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, cfg.Workers)
@@ -350,7 +374,7 @@ func (d *Driver) Run() *Dataset {
 				// No per-worker lane here: events carry SimNS 0 (reading the
 				// remote clock per event would perturb the frame stream the
 				// fault goldens pin) and order by sequence number alone.
-				recs, nStopped, wasLost, simNS := d.probeTarget(t, cfg, d.Prober.Trace, frag, sfrag, nil, rpAt(i))
+				recs, nStopped, wasLost, simNS := d.probeTarget(t, cfg, traceFn, frag, sfrag, nil, rpAt(i))
 				mu.Lock()
 				results[i] = recs
 				stopped[i] = nStopped

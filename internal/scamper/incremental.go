@@ -1,8 +1,10 @@
 package scamper
 
 import (
+	"fmt"
 	"hash/fnv"
 	"sort"
+	"sync/atomic"
 
 	"bdrmap/internal/alias"
 	"bdrmap/internal/netx"
@@ -69,6 +71,32 @@ type RoundState struct {
 	// ID for the lifetime of the state, so the splice path can compare
 	// rounds by ID instead of address-keyed maps.
 	intern *netx.Intern
+
+	// owner enforces the single-driver contract at runtime. The fleet
+	// coordinator moves a shard's state between workers and across agent
+	// redials; a scheduling bug that let two drivers mutate one state
+	// concurrently would corrupt the cache silently, so acquisition
+	// panics instead.
+	owner atomic.Pointer[string]
+}
+
+// Acquire claims exclusive ownership of the state for the named driver,
+// panicking if another holder has it. Release returns it. Drivers call
+// this pair around Run; the panic is the loud version of the "owned by a
+// single Driver at a time" doc contract above.
+func (st *RoundState) Acquire(name string) {
+	if !st.owner.CompareAndSwap(nil, &name) {
+		holder := "?"
+		if h := st.owner.Load(); h != nil {
+			holder = *h
+		}
+		panic(fmt.Sprintf("scamper: RoundState for %q acquired while held by %q", name, holder))
+	}
+}
+
+// Release gives up ownership taken by Acquire.
+func (st *RoundState) Release() {
+	st.owner.Store(nil)
 }
 
 // NewRoundState creates empty cross-round state for one vantage point.

@@ -56,6 +56,8 @@ const (
 	msgClockRsp = 0x0b
 	msgSpanPull = 0x0c
 	msgSpanRsp  = 0x0d
+	msgSigReq   = 0x0e
+	msgSigRsp   = 0x0f
 )
 
 // helloCapSpans advertises that the agent records session spans and
@@ -65,6 +67,15 @@ const (
 // the controller then never sends the new message, so mixed-version
 // deployments keep working.
 const helloCapSpans = 0x01
+
+// helloCapSig advertises that the agent can compute path signatures
+// (msgSigReq), which is what lets the controller run the incremental
+// RoundState cache against a *remote* vantage point: the fleet
+// coordinator replays a killed shard's surviving transcript only when the
+// agent re-attests each destination's current signature. Same mixed-
+// version story as helloCapSpans — absent bit means the controller never
+// sends the message and the cache silently disables.
+const helloCapSig = 0x02
 
 // maxFrame bounds a frame; a trace command carrying a full stop set is the
 // largest message.
@@ -489,6 +500,8 @@ func (a *Agent) serve(conn net.Conn) (ended, progressed bool, err error) {
 	if a.Spans != nil {
 		caps |= helloCapSpans
 	}
+	// Signatures are pure engine CPU, so every agent build offers them.
+	caps |= helloCapSig
 	hello := buildHelloCaps(a.VP.Name, resume, sessionIDFor(a.VP.Name), lastSeq, caps)
 	if err := writeMsg(conn, 0, hello); err != nil {
 		return false, false, err
@@ -575,6 +588,15 @@ func (a *Agent) handle(req []byte) ([]byte, error) {
 		return rsp, nil
 	case msgSpanPull:
 		return a.spanDump()
+	case msgSigReq:
+		if len(req) < 5 {
+			return nil, fmt.Errorf("scamper: short signature request")
+		}
+		dst := netx.Addr(binary.BigEndian.Uint32(req[1:5]))
+		rsp := make([]byte, 9)
+		rsp[0] = msgSigRsp
+		binary.BigEndian.PutUint64(rsp[1:9], a.E.PathSignature(a.VP, dst))
+		return rsp, nil
 	default:
 		return nil, fmt.Errorf("scamper: unknown message type %#x", req[0])
 	}
@@ -1181,4 +1203,42 @@ func (p *RemoteProber) PullSpans() ([]obs.SpanRecord, error) {
 		return nil, p.Err()
 	}
 	return obs.ReadSpanJSONL(bytes.NewReader(rsp[1:]))
+}
+
+// HasSignatures reports whether the agent advertised helloCapSig.
+func (p *RemoteProber) HasSignatures() bool {
+	return p.caps.Load()&helloCapSig != 0
+}
+
+// Signed returns a SignatureProber view of the session, or nil if the
+// agent did not advertise helloCapSig. The capability gate matters: an
+// unconditional PathSignature method returning 0 on old agents would
+// *falsely match* a transcript recorded with a 0 signature, so the
+// signature surface only exists when the agent actually computes them.
+func (p *RemoteProber) Signed() SignatureProber {
+	if !p.HasSignatures() {
+		return nil
+	}
+	return remoteSigProber{p}
+}
+
+// remoteSigProber is the capability-gated SignatureProber view of a
+// RemoteProber.
+type remoteSigProber struct {
+	*RemoteProber
+}
+
+// PathSignature asks the agent to fingerprint its current forwarding path
+// toward dst. A lost session yields 0, which can never equal a signature
+// the agent attested while healthy (FNV of a nonempty walk), so replay
+// degrades to a live re-walk instead of serving stale hops.
+func (p remoteSigProber) PathSignature(dst netx.Addr) uint64 {
+	req := make([]byte, 5)
+	req[0] = msgSigReq
+	binary.BigEndian.PutUint32(req[1:5], uint32(dst))
+	rsp := p.roundTrip(req, msgSigRsp)
+	if rsp == nil || len(rsp) < 9 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(rsp[1:9])
 }

@@ -78,6 +78,8 @@ func main() {
 		fleetWorkers = flag.Int("fleet-workers", 1, "with -rounds, measure each round's vantage points on this many coordinator workers (the served map is identical for any count)")
 		fleetQuorum  = flag.Int("fleet-quorum", 0, "with -rounds, publish a partial generation once this many VPs complete, marking the rest degraded (0 = full generations only; see /v1/fleet)")
 		spanOut      = flag.String("span-out", "", "write the run's span timeline as a Chrome trace_event file on exit (open in Perfetto / chrome://tracing)")
+		dataDir      = flag.String("data-dir", "", "persist every published generation as a segment file in this directory and recover the retained history from it on boot (crash-safe; see README: Serving the map)")
+		follow       = flag.String("follow", "", "run as a read-only follower of the bdrmapd at this base URL (e.g. http://127.0.0.1:9100): tail its generation stream and serve /v1/ locally on -metrics-addr")
 	)
 	flag.Parse()
 
@@ -86,14 +88,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
 		os.Exit(2)
 	}
-	if !*demo && *rounds == 0 {
+	if !*demo && *rounds == 0 && *follow == "" {
 		log.Fatal("only -demo mode is supported offline: the agent needs a world to probe")
 	}
 
 	s := eval.Build(prof, *seed)
 	// The store exists before inference so the query API can come up
 	// immediately: /v1/* answers 503 no_generation until the first publish.
-	store := mapdb.NewStore(0, s.Obs)
+	// With -data-dir it is durable: generations recovered on boot, every
+	// publish fsynced to a segment file before it becomes visible.
+	var store *mapdb.Store
+	if *dataDir != "" {
+		var err error
+		store, err = mapdb.OpenStore(*dataDir, 0, s.Obs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if cur := store.Current(); cur != nil {
+			log.Printf("recovered generations %v from %s (serving %d)", store.Generations(), *dataDir, cur.Gen())
+		}
+	} else {
+		store = mapdb.NewStore(0, s.Obs)
+	}
 	var srv *http.Server
 	var sampler *obs.RuntimeSampler
 	if *metricsAddr != "" {
@@ -149,6 +165,27 @@ func main() {
 				log.Printf("metrics shutdown: %v", err)
 			}
 		}
+	}
+
+	if *follow != "" {
+		// Follower mode: no probing at all. Tail the leader's generation
+		// stream (full segment on first contact or history gap, diffs
+		// otherwise) and serve every /v1/ read locally until interrupted.
+		if srv == nil {
+			log.Fatal("-follow requires -metrics-addr: a follower's only job is serving /v1/ locally")
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		f := &mapdb.Follower{Leader: *follow, Store: store, Reg: s.Obs}
+		log.Printf("following %s; replicated generations served under /v1/", *follow)
+		if err := f.Run(ctx); err != nil && err != context.Canceled {
+			log.Printf("follower: %v", err)
+		}
+		if cur := store.Current(); cur != nil {
+			log.Printf("follower stopped at generation %d", cur.Gen())
+		}
+		finish()
+		return
 	}
 
 	if *rounds > 0 {

@@ -9,10 +9,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"sort"
 	"time"
 
 	"bdrmap"
@@ -50,6 +54,102 @@ func deriveTargets(snap *mapdb.Snapshot, echo func(netx.Addr) bool) []tslp.Targe
 	return targets
 }
 
+// runWatch replaces the poll-and-rebuild loop with the push path: it tails
+// a live bdrmapd's /v1/watch stream, counts border-flap events per link
+// identity as generations publish, and prints a flap leaderboard on exit.
+// Diff frames marked quorum-partial (a vantage point missing, not a border
+// moving) are reported but never counted — that churn is a measurement
+// artifact, and counting it is exactly the false-alarm class the degraded
+// marks exist to prevent.
+func runWatch(base string, maxFrames int) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	type ident struct {
+		near, far netx.Addr
+		farAS     topo.ASN
+	}
+	name := func(id ident) string {
+		return fmt.Sprintf("%s -> %s (AS%d)", id.near, id.far, id.farAS)
+	}
+	flaps := map[ident]int{}
+	count := func(ls []mapdb.Link) {
+		for _, l := range ls {
+			flaps[ident{l.Near, l.Far, l.FarAS}]++
+		}
+	}
+	frames, discounted, from := 0, 0, 0
+	errDone := errors.New("watch budget reached")
+	for ctx.Err() == nil {
+		wc := &mapdb.WatchClient{Base: base, From: from}
+		err := wc.Run(ctx, func(f mapdb.WatchFrame) error {
+			switch f.Type {
+			case "hello":
+				fmt.Printf("watching %s (host AS%d, generation %d)\n", base, f.HostAS, f.Gen)
+			case "diff":
+				d := f.Diff
+				if d == nil {
+					return nil
+				}
+				from = d.To
+				frames++
+				if d.Degraded() {
+					discounted++
+					fmt.Printf("generation %d -> %d: +%d/-%d links [quorum-partial, degraded VPs %v — not counted]\n",
+						d.From, d.To, len(d.Added), len(d.Removed), d.DegradedVPs)
+				} else {
+					count(d.Added)
+					count(d.Removed)
+					fmt.Printf("generation %d -> %d: +%d/-%d links, %d relabeled, %d owner change(s)\n",
+						d.From, d.To, len(d.Added), len(d.Removed), len(d.Relabeled), len(d.OwnerChanges))
+				}
+				if maxFrames > 0 && frames >= maxFrames {
+					return errDone
+				}
+			}
+			return nil
+		})
+		if errors.Is(err, errDone) || ctx.Err() != nil {
+			break
+		}
+		if errors.Is(err, mapdb.ErrGenUnknown) {
+			// The leader's history moved past our resume point: rejoin the
+			// live stream and keep the flap counts we already have.
+			from = 0
+			continue
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "watch: %v (redialing)\n", err)
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Second):
+		}
+	}
+	type row struct {
+		id ident
+		n  int
+	}
+	rows := make([]row, 0, len(flaps))
+	for id, n := range flaps {
+		rows = append(rows, row{id, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return name(rows[i].id) < name(rows[j].id)
+	})
+	fmt.Printf("\n%d diff frame(s) observed (%d quorum-partial, discounted); %d flapping link(s)\n",
+		frames, discounted, len(rows))
+	for i, r := range rows {
+		if i == 10 {
+			fmt.Printf("  ... and %d more\n", len(rows)-10)
+			break
+		}
+		fmt.Printf("  %s: %d flap event(s)\n", name(r.id), r.n)
+	}
+}
+
 func main() {
 	var (
 		profile  = flag.String("profile", "small-access", "tiny|re|small-access|enterprise")
@@ -59,8 +159,15 @@ func main() {
 		duration = flag.Duration("duration", 24*time.Hour, "monitoring duration")
 		rounds   = flag.Int("rounds", 0, "map borders through this many continuous-monitoring rounds of churn and monitor the final generation")
 		incr     = flag.Bool("incremental", false, "with -rounds, carry stop sets, trace caches, and prior attributions across rounds")
+		watch    = flag.String("watch", "", "stream /v1/watch from a running bdrmapd at this base URL and report border churn live instead of building a world (quorum-partial frames are reported but never counted as flaps)")
+		watchMax = flag.Int("watch-frames", 0, "with -watch, exit after this many diff frames (0 = run until interrupted)")
 	)
 	flag.Parse()
+
+	if *watch != "" {
+		runWatch(*watch, *watchMax)
+		return
+	}
 
 	var prof bdrmap.Profile
 	switch *profile {

@@ -3,6 +3,7 @@ package mapdb
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -80,6 +81,10 @@ type api struct {
 	store *Store
 	reg   *obs.Registry
 	spans *obs.SpanLog
+
+	// watchKeepalive is the idle-stream keepalive interval on /v1/watch
+	// (tests shorten it; zero means the 15s default).
+	watchKeepalive time.Duration
 }
 
 // Handler serves the query API for st. Routes (all GET):
@@ -90,6 +95,10 @@ type api struct {
 //	/v1/link?near=A         the silent link at A (§5.4.8)
 //	/v1/neighbors?as=N      all links attaching neighbor AS N
 //	/v1/diff?from=G&to=H    churn between two retained generations
+//	/v1/watch[?from=G]      NDJSON stream of GenDiffs as they publish,
+//	                        resumable from a retained generation
+//	/v1/segment[?gen=G]     a generation as a raw segment image (the
+//	                        on-disk format; the follower full-sync path)
 //
 // reg may be nil (no instrumentation).
 func Handler(st *Store, reg *obs.Registry) http.Handler {
@@ -113,6 +122,8 @@ func HandlerWithStatus(st *Store, reg *obs.Registry, sl *obs.SpanLog) http.Handl
 	mux.Handle("/v1/link", a.wrap("link", a.handleLink))
 	mux.Handle("/v1/neighbors", a.wrap("neighbors", a.handleNeighbors))
 	mux.Handle("/v1/diff", a.wrap("diff", a.handleDiff))
+	mux.Handle("/v1/watch", a.wrapStream("watch", a.handleWatch))
+	mux.Handle("/v1/segment", a.wrap("segment", a.handleSegment))
 	mux.Handle("/v1/status", a.wrap("status", a.handleStatus))
 	mux.Handle("/v1/fleet", a.wrap("fleet", a.handleFleet))
 	mux.Handle("/", NotFoundHandler())
@@ -139,6 +150,28 @@ func (a *api) wrap(name string, fn func(http.ResponseWriter, *http.Request) bool
 			errs.Inc()
 		}
 		lat.Observe(time.Since(t0).Microseconds())
+	})
+}
+
+// wrapStream instruments a long-lived streaming endpoint: request and
+// error counters only. A watch stream lives for minutes — folding its
+// lifetime into the point-query latency histogram would bury the p99 the
+// histogram exists to expose.
+func (a *api) wrapStream(name string, fn func(http.ResponseWriter, *http.Request) bool) http.Handler {
+	reqs := a.reg.Counter("mapdb.http." + name)
+	errs := a.reg.Counter("mapdb.http.errors")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqs.Inc()
+		ok := false
+		if r.Method != http.MethodGet {
+			WriteError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+				r.Method+" not supported; use GET")
+		} else {
+			ok = fn(w, r)
+		}
+		if !ok {
+			errs.Inc()
+		}
 	})
 }
 
@@ -291,13 +324,159 @@ func (a *api) handleDiff(w http.ResponseWriter, r *http.Request) bool {
 		NeighborsAdded   []uint32   `json:"neighbors_added"`
 		NeighborsRemoved []uint32   `json:"neighbors_removed"`
 		OwnerChanges     any        `json:"owner_changes"`
+		// Degraded-artifact marks: churn across a quorum-partial
+		// generation is (at least partly) a publishing artifact, not
+		// topology change. Omitted entirely for full↔full diffs so the
+		// established wire shape is unchanged where the marks are moot.
+		FromPartial bool     `json:"from_partial,omitempty"`
+		ToPartial   bool     `json:"to_partial,omitempty"`
+		DegradedVPs []string `json:"degraded_vps,omitempty"`
 	}{
 		From: d.From, To: d.To,
 		Added: toLinksJSON(d.Added), Removed: toLinksJSON(d.Removed),
 		NeighborsAdded:   toASNsJSON(d.NeighborsAdded),
 		NeighborsRemoved: toASNsJSON(d.NeighborsRemoved),
 		OwnerChanges:     changes,
+		FromPartial:      d.FromPartial,
+		ToPartial:        d.ToPartial,
+		DegradedVPs:      d.DegradedVPs,
 	})
+}
+
+// handleWatch streams GenDiffs as NDJSON frames: one "hello" frame naming
+// the generation the stream is current as of, then one "diff" frame per
+// publish, with periodic "keepalive" frames while idle. `?from=G` first
+// replays the retained backlog G→now; a G that fell out of history is a
+// 404 (unknown_generation) telling the client to full-sync /v1/segment.
+// This is the follower replication channel and the monitor push channel —
+// same frames, same resume rules.
+func (a *api) handleWatch(w http.ResponseWriter, r *http.Request) bool {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		WriteError(w, http.StatusInternalServerError, "not_streamable",
+			"response writer cannot stream")
+		return false
+	}
+	from := 0
+	if r.URL.Query().Get("from") != "" {
+		if from, ok = parseIntParam(w, r, "from"); !ok {
+			return false
+		}
+	}
+
+	ch, cancel, cur := a.store.Watch(256)
+	defer cancel()
+
+	// Assemble the backlog before committing the response status: a
+	// resume gap must surface as a clean 404, not a broken stream.
+	var backlog []*GenDiff
+	if from > 0 && from < cur {
+		for g := from; g < cur; g++ {
+			d, err := a.store.Diff(g, g+1)
+			if err != nil {
+				WriteError(w, http.StatusNotFound, "unknown_generation", err.Error())
+				return false
+			}
+			backlog = append(backlog, d)
+		}
+	}
+	if from > cur {
+		WriteError(w, http.StatusNotFound, "unknown_generation",
+			fmt.Sprintf("generation %d not published yet (current %d)", from, cur))
+		return false
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no")
+	enc := json.NewEncoder(w)
+
+	var host uint32
+	if s := a.store.Current(); s != nil {
+		host = uint32(s.HostASN())
+	}
+	send := func(f watchFrame) bool {
+		if err := enc.Encode(f); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	if !send(watchFrame{Type: "hello", Gen: cur, HostAS: host}) {
+		return true
+	}
+	last := cur
+	for _, d := range backlog {
+		if !send(watchFrame{Type: "diff", Gen: d.To, Diff: toDiffWire(d)}) {
+			return true
+		}
+		last = d.To
+	}
+	_ = last // backlog ends at cur; live frames below are all > cur
+
+	ka := a.watchKeepalive
+	if ka <= 0 {
+		ka = 15 * time.Second
+	}
+	ticker := time.NewTicker(ka)
+	defer ticker.Stop()
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return true
+		case d, ok := <-ch:
+			if !ok {
+				// This subscriber lagged past its buffer and was dropped;
+				// ending the stream tells it to resume (or full-sync).
+				return true
+			}
+			if d.To <= last {
+				continue
+			}
+			if !send(watchFrame{Type: "diff", Gen: d.To, Diff: toDiffWire(d)}) {
+				return true
+			}
+			last = d.To
+		case <-ticker.C:
+			if !send(watchFrame{Type: "keepalive", Gen: last}) {
+				return true
+			}
+		}
+	}
+}
+
+// handleSegment serves a generation as its raw segment image — the same
+// bytes writeSegmentFile persists — for follower full sync and offline
+// archival (`curl -o map.seg`). Default is the current generation;
+// `?gen=G` serves any retained one.
+func (a *api) handleSegment(w http.ResponseWriter, r *http.Request) bool {
+	var s *Snapshot
+	if g := r.URL.Query().Get("gen"); g != "" {
+		gen, ok := parseIntParam(w, r, "gen")
+		if !ok {
+			return false
+		}
+		snap, ok := a.store.Generation(gen)
+		if !ok {
+			WriteError(w, http.StatusNotFound, "unknown_generation",
+				(&NotRetainedError{Gen: gen}).Error())
+			return false
+		}
+		s = snap
+	} else {
+		snap, ok := a.snapshot(w)
+		if !ok {
+			return false
+		}
+		s = snap
+	}
+	img := s.marshalSegment()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Mapdb-Generation", strconv.Itoa(s.Gen()))
+	w.Header().Set("Content-Length", strconv.Itoa(len(img)))
+	_, _ = w.Write(img)
+	return true
 }
 
 // vpStatusJSON summarizes one vantage point's pipeline activity from its

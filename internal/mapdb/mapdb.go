@@ -28,6 +28,7 @@
 package mapdb
 
 import (
+	"runtime"
 	"sort"
 
 	"bdrmap/internal/core"
@@ -73,8 +74,18 @@ type Snapshot struct {
 	ownerAddrs []netx.Addr
 	lpm        lpmTable
 
-	pairIdx     map[uint64]int32
-	neighborIdx map[topo.ASN][]int32
+	// The pair and neighbor indices are sorted flat arrays rather than
+	// maps: binary-searchable with zero allocations, and — like the trie
+	// node slice — directly representable as raw segment bytes, so the
+	// mmap serving path reads them in place. pairKeys is sorted; on
+	// duplicate (near, far) keys the lowest link index (lowest FarAS)
+	// wins, matching the old first-write-wins map build. nbAS lists the
+	// neighbor ASes sorted ascending, and nbOff[i]:nbOff[i+1] is the span
+	// of nbAS[i]'s links in the (FarAS-major) sorted link slice.
+	pairKeys []uint64
+	pairVals []int32
+	nbAS     []topo.ASN
+	nbOff    []int32
 
 	merged *core.MergedMap
 
@@ -82,6 +93,12 @@ type Snapshot struct {
 	// fleet quorum publish before every VP completed). Empty for a full
 	// generation.
 	degraded []string
+
+	// seg pins the mapped segment file this snapshot serves from, nil for
+	// snapshots compiled in memory. The mapping is released by a finalizer
+	// once the snapshot is unreachable — never while any reader, retained
+	// diff, or history entry can still observe it.
+	seg *segment
 }
 
 func pairKey(near, far netx.Addr) uint64 {
@@ -114,10 +131,8 @@ func sharedIntern(results []*core.Result) *netx.Intern {
 // assigned when the snapshot is published to a Store (zero until then).
 func Compile(host topo.ASN, results []*core.Result) *Snapshot {
 	s := &Snapshot{
-		host:        host,
-		pairIdx:     make(map[uint64]int32),
-		neighborIdx: make(map[topo.ASN][]int32),
-		merged:      core.Merge(results),
+		host:   host,
+		merged: core.Merge(results),
 	}
 
 	// Interface attribution from the alias-merged router nodes: every
@@ -177,12 +192,6 @@ func Compile(host topo.ASN, results []*core.Result) *Snapshot {
 	}
 	sort.Strings(s.vps)
 
-	b := newLPMBuilder()
-	for i, a := range s.ownerAddrs {
-		b.insert(netx.MakePrefix(a, 32), int32(i))
-	}
-	s.lpm = b.table()
-
 	// Observed links, deduplicated across VPs by the observed
 	// (near, far, farAS) triple — the identity a hop-pair query carries.
 	seenLink := make(map[Link]bool)
@@ -200,8 +209,15 @@ func Compile(host topo.ASN, results []*core.Result) *Snapshot {
 			s.links = append(s.links, k)
 		}
 	}
-	sort.SliceStable(s.links, func(i, j int) bool {
-		a, b := s.links[i], s.links[j]
+	s.finishIndexes()
+	return s
+}
+
+// sortLinks orders links by (FarAS, Near, Far) — a total order, since the
+// triple is each link's deduplicated identity.
+func sortLinks(links []Link) {
+	sort.SliceStable(links, func(i, j int) bool {
+		a, b := links[i], links[j]
 		if a.FarAS != b.FarAS {
 			return a.FarAS < b.FarAS
 		}
@@ -210,13 +226,61 @@ func Compile(host topo.ASN, results []*core.Result) *Snapshot {
 		}
 		return a.Far < b.Far
 	})
-	for i, l := range s.links {
-		if _, dup := s.pairIdx[pairKey(l.Near, l.Far)]; !dup {
-			s.pairIdx[pairKey(l.Near, l.Far)] = int32(i)
-		}
-		s.neighborIdx[l.FarAS] = append(s.neighborIdx[l.FarAS], int32(i))
+}
+
+// finishIndexes (re)derives every lookup structure from the snapshot's
+// canonical data (links, ownerAddrs): the compiled trie, the sorted pair
+// index, and the neighbor spans. Compile, segment open (on platforms that
+// cannot map the index sections), and diff application all converge here,
+// so every construction path indexes identically.
+func (s *Snapshot) finishIndexes() {
+	sortLinks(s.links)
+
+	b := newLPMBuilder()
+	for i, a := range s.ownerAddrs {
+		b.insert(netx.MakePrefix(a, 32), int32(i))
 	}
-	return s
+	s.lpm = b.table()
+
+	// Neighbor spans: links are FarAS-major, so each AS's links occupy one
+	// contiguous range. nbOff carries len(nbAS)+1 boundaries.
+	s.nbAS = s.nbAS[:0]
+	s.nbOff = append(s.nbOff[:0], 0)
+	for i, l := range s.links {
+		if n := len(s.nbAS); n == 0 || s.nbAS[n-1] != l.FarAS {
+			s.nbAS = append(s.nbAS, l.FarAS)
+			s.nbOff = append(s.nbOff, 0)
+		}
+		s.nbOff[len(s.nbOff)-1] = int32(i + 1)
+	}
+
+	// Pair index: (near, far) keys sorted for binary search. Links sort
+	// FarAS-major, so equal keys (same hop pair claimed for two far ASes)
+	// are not adjacent; sort by (key, link index) and keep the lowest
+	// index per key — the same first-write-wins the old map build had.
+	type kv struct {
+		k uint64
+		v int32
+	}
+	kvs := make([]kv, len(s.links))
+	for i, l := range s.links {
+		kvs[i] = kv{pairKey(l.Near, l.Far), int32(i)}
+	}
+	sort.Slice(kvs, func(i, j int) bool {
+		if kvs[i].k != kvs[j].k {
+			return kvs[i].k < kvs[j].k
+		}
+		return kvs[i].v < kvs[j].v
+	})
+	s.pairKeys = s.pairKeys[:0]
+	s.pairVals = s.pairVals[:0]
+	for _, e := range kvs {
+		if n := len(s.pairKeys); n > 0 && s.pairKeys[n-1] == e.k {
+			continue
+		}
+		s.pairKeys = append(s.pairKeys, e.k)
+		s.pairVals = append(s.pairVals, e.v)
+	}
 }
 
 // MarkDegraded records the vantage points this generation was published
@@ -258,7 +322,13 @@ func (s *Snapshot) Links() []Link { return s.links }
 // Owner resolves an IP to the attribution of the router holding it, via
 // longest-prefix match over the indexed interface addresses. This is the
 // serving hot path: zero allocations per call.
+//
+// The KeepAlive in this and the other lookup methods pins mmap-backed
+// snapshots for the duration of the read: the trie and index slices may
+// point into a mapped segment whose finalizer unmaps it, and without the
+// pin the collector could deem the receiver dead mid-lookup.
 func (s *Snapshot) Owner(a netx.Addr) (OwnerInfo, bool) {
+	defer runtime.KeepAlive(s)
 	if e := s.lpm.lookup(a); e >= 0 {
 		return s.owners[e], true
 	}
@@ -268,6 +338,7 @@ func (s *Snapshot) Owner(a netx.Addr) (OwnerInfo, bool) {
 // ownerLinear is the naive linear-scan resolution the compiled trie
 // replaces, kept as the benchmark control and the fuzz oracle's shape.
 func (s *Snapshot) ownerLinear(a netx.Addr) (OwnerInfo, bool) {
+	defer runtime.KeepAlive(s)
 	for i, oa := range s.ownerAddrs {
 		if oa == a {
 			return s.owners[i], true
@@ -277,34 +348,65 @@ func (s *Snapshot) ownerLinear(a netx.Addr) (OwnerInfo, bool) {
 }
 
 // Link resolves an observed (near, far) hop pair to its interdomain link.
-// A far of zero queries the silent link at near. Zero allocations.
+// A far of zero queries the silent link at near. Zero allocations: the
+// binary search is hand-rolled so no closure escapes.
 func (s *Snapshot) Link(near, far netx.Addr) (Link, bool) {
-	if i, ok := s.pairIdx[pairKey(near, far)]; ok {
-		return s.links[i], true
+	defer runtime.KeepAlive(s)
+	k := pairKey(near, far)
+	lo, hi := 0, len(s.pairKeys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.pairKeys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.pairKeys) && s.pairKeys[lo] == k {
+		return s.links[s.pairVals[lo]], true
 	}
 	return Link{}, false
+}
+
+// neighborSpan returns the half-open range of as's links in the sorted
+// link slice, or (0, 0) when as has none.
+func (s *Snapshot) neighborSpan(as topo.ASN) (int32, int32) {
+	defer runtime.KeepAlive(s)
+	lo, hi := 0, len(s.nbAS)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.nbAS[mid] < as {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.nbAS) && s.nbAS[lo] == as {
+		return s.nbOff[lo], s.nbOff[lo+1]
+	}
+	return 0, 0
 }
 
 // Neighbors returns the interdomain links attaching neighbor AS `as`,
 // sorted by (Near, Far). The slice is freshly allocated.
 func (s *Snapshot) Neighbors(as topo.ASN) []Link {
-	idx := s.neighborIdx[as]
-	out := make([]Link, len(idx))
-	for i, li := range idx {
-		out[i] = s.links[li]
-	}
+	defer runtime.KeepAlive(s)
+	lo, hi := s.neighborSpan(as)
+	out := make([]Link, hi-lo)
+	copy(out, s.links[lo:hi])
 	return out
 }
 
 // NeighborASes returns every neighbor AS with at least one link, sorted.
 func (s *Snapshot) NeighborASes() []topo.ASN {
-	out := make([]topo.ASN, 0, len(s.neighborIdx))
-	for a := range s.neighborIdx {
-		out = append(out, a)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	defer runtime.KeepAlive(s)
+	out := make([]topo.ASN, len(s.nbAS))
+	copy(out, s.nbAS)
 	return out
 }
+
+// NumNeighbors returns the number of distinct neighbor ASes.
+func (s *Snapshot) NumNeighbors() int { return len(s.nbAS) }
 
 // Merged exposes the canonical merged map the snapshot was compiled from
 // (the diff substrate). Read-only.

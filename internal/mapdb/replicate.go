@@ -1,0 +1,491 @@
+package mapdb
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"time"
+
+	"bdrmap/internal/netx"
+	"bdrmap/internal/obs"
+	"bdrmap/internal/topo"
+)
+
+// Replication: a follower serves the leader's border map read-only. The
+// protocol is the same two artifacts the serving tier already produces —
+// the segment image (full state, fetched from /v1/segment on first
+// contact or after a history gap) and the GenDiff stream (/v1/watch
+// NDJSON frames, applied incrementally). A follower therefore holds
+// exactly the generations the leader published: same generation numbers,
+// same link bytes, same diffs (adopted verbatim, not recomputed).
+
+// Apply reconstructs generation d.To by replaying d on top of s (which
+// must be generation d.From). The result is a freshly indexed heap
+// snapshot; s is not modified. The merged-map substrate is not carried
+// by diffs, so the result serves queries but exposes Merged() == nil —
+// the same contract as a snapshot opened from a segment.
+func (s *Snapshot) Apply(d *GenDiff) (*Snapshot, error) {
+	defer runtime.KeepAlive(s)
+	if d.From != s.gen {
+		return nil, fmt.Errorf("mapdb: apply: diff is %d→%d but snapshot is generation %d", d.From, d.To, s.gen)
+	}
+	next := &Snapshot{
+		gen:      d.To,
+		host:     s.host,
+		vps:      append([]string(nil), d.VPs...),
+		degraded: append([]string(nil), d.DegradedVPs...),
+	}
+
+	removed := make(map[Link]bool, len(d.Removed))
+	for _, l := range d.Removed {
+		removed[stripHeur(l)] = true
+	}
+	relabeled := make(map[Link]string, len(d.Relabeled))
+	for _, l := range d.Relabeled {
+		relabeled[stripHeur(l)] = l.Heuristic
+	}
+	next.links = make([]Link, 0, len(s.links)+len(d.Added))
+	for _, l := range s.links {
+		id := stripHeur(l)
+		if removed[id] {
+			continue
+		}
+		if h, ok := relabeled[id]; ok {
+			l.Heuristic = h
+		}
+		next.links = append(next.links, l)
+	}
+	next.links = append(next.links, d.Added...)
+
+	byAddr := make(map[netx.Addr]OwnerInfo, len(s.ownerAddrs)+len(d.OwnersSet))
+	for i, a := range s.ownerAddrs {
+		byAddr[a] = s.owners[i]
+	}
+	for _, a := range d.OwnersRemoved {
+		delete(byAddr, a)
+	}
+	for _, od := range d.OwnersSet {
+		byAddr[od.Addr] = od.Info
+	}
+	next.ownerAddrs = make([]netx.Addr, 0, len(byAddr))
+	for a := range byAddr {
+		next.ownerAddrs = append(next.ownerAddrs, a)
+	}
+	// Sorted owner order (the leader keeps discovery order) — every query
+	// index is rebuilt below, so answers are unaffected.
+	sort.Slice(next.ownerAddrs, func(i, j int) bool { return next.ownerAddrs[i] < next.ownerAddrs[j] })
+	next.owners = make([]OwnerInfo, len(next.ownerAddrs))
+	for i, a := range next.ownerAddrs {
+		next.owners[i] = byAddr[a]
+	}
+
+	next.finishIndexes()
+	return next, nil
+}
+
+// ---------------------------------------------------------------------------
+// Wire shapes — shared by the /v1/watch handler and the clients below.
+
+// linkWire round-trips a Link exactly (no "silent" aliasing: a zero far
+// address is "0.0.0.0").
+type linkWire struct {
+	Near      string `json:"near"`
+	Far       string `json:"far"`
+	FarAS     uint32 `json:"far_as"`
+	Heuristic string `json:"heuristic,omitempty"`
+}
+
+func toLinkWire(l Link) linkWire {
+	return linkWire{Near: l.Near.String(), Far: l.Far.String(), FarAS: uint32(l.FarAS), Heuristic: l.Heuristic}
+}
+
+func (lw linkWire) link() (Link, error) {
+	near, err := netx.ParseAddr(lw.Near)
+	if err != nil {
+		return Link{}, fmt.Errorf("link near: %w", err)
+	}
+	far, err := netx.ParseAddr(lw.Far)
+	if err != nil {
+		return Link{}, fmt.Errorf("link far: %w", err)
+	}
+	return Link{Near: near, Far: far, FarAS: topo.ASN(lw.FarAS), Heuristic: lw.Heuristic}, nil
+}
+
+func toLinkWires(ls []Link) []linkWire {
+	if len(ls) == 0 {
+		return nil
+	}
+	out := make([]linkWire, len(ls))
+	for i, l := range ls {
+		out[i] = toLinkWire(l)
+	}
+	return out
+}
+
+func fromLinkWires(ws []linkWire) ([]Link, error) {
+	if len(ws) == 0 {
+		return nil, nil
+	}
+	out := make([]Link, len(ws))
+	for i, w := range ws {
+		l, err := w.link()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = l
+	}
+	return out, nil
+}
+
+type ownerChangeWire struct {
+	Addr string `json:"addr"`
+	From uint32 `json:"from"`
+	To   uint32 `json:"to"`
+}
+
+type ownerDeltaWire struct {
+	Addr      string `json:"addr"`
+	AS        uint32 `json:"as"`
+	Heuristic string `json:"heuristic,omitempty"`
+	Host      bool   `json:"host,omitempty"`
+	HopDist   int    `json:"hop_dist,omitempty"`
+}
+
+// diffWire is the JSON form of a GenDiff: complete enough that Apply on
+// the decoded value reconstructs the To generation.
+type diffWire struct {
+	From             int               `json:"from"`
+	To               int               `json:"to"`
+	Added            []linkWire        `json:"added,omitempty"`
+	Removed          []linkWire        `json:"removed,omitempty"`
+	Relabeled        []linkWire        `json:"relabeled,omitempty"`
+	NeighborsAdded   []uint32          `json:"neighbors_added,omitempty"`
+	NeighborsRemoved []uint32          `json:"neighbors_removed,omitempty"`
+	OwnerChanges     []ownerChangeWire `json:"owner_changes,omitempty"`
+	OwnersSet        []ownerDeltaWire  `json:"owners_set,omitempty"`
+	OwnersRemoved    []string          `json:"owners_removed,omitempty"`
+	VPs              []string          `json:"vps,omitempty"`
+	DegradedVPs      []string          `json:"degraded_vps,omitempty"`
+	FromPartial      bool              `json:"from_partial,omitempty"`
+	ToPartial        bool              `json:"to_partial,omitempty"`
+}
+
+func toDiffWire(d *GenDiff) *diffWire {
+	w := &diffWire{
+		From: d.From, To: d.To,
+		Added:            toLinkWires(d.Added),
+		Removed:          toLinkWires(d.Removed),
+		Relabeled:        toLinkWires(d.Relabeled),
+		NeighborsAdded:   toASNsJSON(d.NeighborsAdded),
+		NeighborsRemoved: toASNsJSON(d.NeighborsRemoved),
+		VPs:              d.VPs,
+		DegradedVPs:      d.DegradedVPs,
+		FromPartial:      d.FromPartial,
+		ToPartial:        d.ToPartial,
+	}
+	for _, c := range d.OwnerChanges {
+		w.OwnerChanges = append(w.OwnerChanges, ownerChangeWire{
+			Addr: c.Addr.String(), From: uint32(c.From), To: uint32(c.To),
+		})
+	}
+	for _, od := range d.OwnersSet {
+		w.OwnersSet = append(w.OwnersSet, ownerDeltaWire{
+			Addr: od.Addr.String(), AS: uint32(od.Info.AS),
+			Heuristic: od.Info.Heuristic, Host: od.Info.Host, HopDist: od.Info.HopDist,
+		})
+	}
+	for _, a := range d.OwnersRemoved {
+		w.OwnersRemoved = append(w.OwnersRemoved, a.String())
+	}
+	return w
+}
+
+func (w *diffWire) diff() (*GenDiff, error) {
+	d := &GenDiff{
+		From: w.From, To: w.To,
+		VPs:         w.VPs,
+		DegradedVPs: w.DegradedVPs,
+		FromPartial: w.FromPartial,
+		ToPartial:   w.ToPartial,
+	}
+	var err error
+	if d.Added, err = fromLinkWires(w.Added); err != nil {
+		return nil, err
+	}
+	if d.Removed, err = fromLinkWires(w.Removed); err != nil {
+		return nil, err
+	}
+	if d.Relabeled, err = fromLinkWires(w.Relabeled); err != nil {
+		return nil, err
+	}
+	for _, as := range w.NeighborsAdded {
+		d.NeighborsAdded = append(d.NeighborsAdded, topo.ASN(as))
+	}
+	for _, as := range w.NeighborsRemoved {
+		d.NeighborsRemoved = append(d.NeighborsRemoved, topo.ASN(as))
+	}
+	for _, c := range w.OwnerChanges {
+		a, err := netx.ParseAddr(c.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("owner change: %w", err)
+		}
+		d.OwnerChanges = append(d.OwnerChanges, OwnerChange{Addr: a, From: topo.ASN(c.From), To: topo.ASN(c.To)})
+	}
+	for _, od := range w.OwnersSet {
+		a, err := netx.ParseAddr(od.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("owner set: %w", err)
+		}
+		d.OwnersSet = append(d.OwnersSet, OwnerDelta{Addr: a, Info: OwnerInfo{
+			AS: topo.ASN(od.AS), Heuristic: od.Heuristic, Host: od.Host, HopDist: od.HopDist,
+		}})
+	}
+	for _, s := range w.OwnersRemoved {
+		a, err := netx.ParseAddr(s)
+		if err != nil {
+			return nil, fmt.Errorf("owner removed: %w", err)
+		}
+		d.OwnersRemoved = append(d.OwnersRemoved, a)
+	}
+	return d, nil
+}
+
+// watchFrame is one NDJSON line on /v1/watch.
+type watchFrame struct {
+	Type   string    `json:"type"` // "hello" | "diff" | "keepalive"
+	Gen    int       `json:"gen,omitempty"`
+	HostAS uint32    `json:"host_as,omitempty"`
+	Diff   *diffWire `json:"diff,omitempty"`
+}
+
+// WatchFrame is one decoded event from a leader's /v1/watch stream.
+type WatchFrame struct {
+	Type   string // "hello" | "diff" | "keepalive"
+	Gen    int    // hello: the leader's newest generation
+	HostAS topo.ASN
+	Diff   *GenDiff // non-nil for "diff"
+}
+
+// ---------------------------------------------------------------------------
+// Clients
+
+// ErrGenUnknown reports that the requested resume generation fell out of
+// the leader's bounded history: the watcher cannot be caught up by diffs
+// and must full-sync from /v1/segment.
+var ErrGenUnknown = errors.New("mapdb: resume generation not retained by leader")
+
+// WatchClient tails one /v1/watch stream. Zero value plus Base is usable.
+type WatchClient struct {
+	Base   string // leader base URL, e.g. "http://127.0.0.1:8080"
+	Client *http.Client
+	// From resumes the stream: the leader first replays diffs From→now,
+	// then pushes live. Zero starts live-only from the current generation.
+	From int
+}
+
+func (c *WatchClient) httpClient() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return http.DefaultClient
+}
+
+// Run connects and invokes fn for every frame until the stream ends (the
+// leader closed it, e.g. a lagging-watcher drop), fn returns an error, or
+// ctx is canceled. A resume gap surfaces as ErrGenUnknown.
+func (c *WatchClient) Run(ctx context.Context, fn func(WatchFrame) error) error {
+	url := c.Base + "/v1/watch"
+	if c.From > 0 {
+		url = fmt.Sprintf("%s?from=%d", url, c.From)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return ErrGenUnknown
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("mapdb: watch: leader answered %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var f watchFrame
+		if err := json.Unmarshal(line, &f); err != nil {
+			return fmt.Errorf("mapdb: watch: bad frame: %w", err)
+		}
+		out := WatchFrame{Type: f.Type, Gen: f.Gen, HostAS: topo.ASN(f.HostAS)}
+		if f.Diff != nil {
+			d, err := f.Diff.diff()
+			if err != nil {
+				return fmt.Errorf("mapdb: watch: bad diff frame: %w", err)
+			}
+			out.Diff = d
+		}
+		if err := fn(out); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// FetchSegment downloads the leader's current generation as a segment
+// image from /v1/segment and decodes it.
+func FetchSegment(ctx context.Context, client *http.Client, base string) (*Snapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/segment", nil)
+	if err != nil {
+		return nil, err
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("mapdb: segment fetch: leader answered %s", resp.Status)
+	}
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return ReadSegment(buf)
+}
+
+// Follower tails a leader and mirrors its generation stream into Store:
+// full segment on first contact or history gap, diff frames otherwise,
+// each adopted with the leader's own generation number and diff so every
+// /v1/ read on the follower answers identically to the leader.
+type Follower struct {
+	Leader string // leader base URL
+	Store  *Store
+	Reg    *obs.Registry
+	Client *http.Client
+
+	// Redial backoff bounds; defaults 100ms … 3s.
+	RedialMin, RedialMax time.Duration
+}
+
+// Run replicates until ctx is canceled. Connection loss, stream close,
+// and history gaps are all handled by redialing (with backoff) and — when
+// diffs cannot bridge — full-syncing; the error returned is ctx.Err().
+func (f *Follower) Run(ctx context.Context) error {
+	min, max := f.RedialMin, f.RedialMax
+	if min <= 0 {
+		min = 100 * time.Millisecond
+	}
+	if max < min {
+		max = 3 * time.Second
+	}
+	backoff := min
+	for ctx.Err() == nil {
+		err := f.stream(ctx)
+		if ctx.Err() != nil {
+			break
+		}
+		if errors.Is(err, ErrGenUnknown) {
+			// The leader's history moved past our resume point: catch up
+			// with a full segment, then re-enter the diff stream.
+			if serr := f.fullSync(ctx); serr == nil {
+				backoff = min
+				continue
+			}
+			f.Reg.Inc("mapdb.follower.sync_errors")
+		} else if err != nil {
+			f.Reg.Inc("mapdb.follower.redials")
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > max {
+			backoff = max
+		}
+	}
+	return ctx.Err()
+}
+
+// stream runs one watch connection: resume from our newest generation
+// (full-syncing first if we have none), then apply diff frames as they
+// arrive. Returns when the connection drops or a frame cannot be applied.
+func (f *Follower) stream(ctx context.Context) error {
+	cur := f.Store.Current()
+	if cur == nil {
+		if err := f.fullSync(ctx); err != nil {
+			return err
+		}
+		cur = f.Store.Current()
+	}
+	wc := &WatchClient{Base: f.Leader, Client: f.Client, From: cur.Gen()}
+	return wc.Run(ctx, func(fr WatchFrame) error {
+		if fr.Type != "diff" || fr.Diff == nil {
+			return nil
+		}
+		return f.apply(fr.Diff)
+	})
+}
+
+// apply replays one diff frame onto the follower's newest generation.
+// Frames at or behind the local generation are duplicates (a resume
+// overlap) and are skipped; a frame ahead of local+1 is a gap the caller
+// heals with a full sync.
+func (f *Follower) apply(d *GenDiff) error {
+	cur := f.Store.Current()
+	if cur == nil {
+		return ErrGenUnknown
+	}
+	if d.To <= cur.Gen() {
+		return nil
+	}
+	if d.From != cur.Gen() {
+		return ErrGenUnknown
+	}
+	next, err := cur.Apply(d)
+	if err != nil {
+		return err
+	}
+	if err := f.Store.Adopt(next, d); err != nil {
+		return err
+	}
+	f.Reg.Inc("mapdb.follower.diffs_applied")
+	return nil
+}
+
+// fullSync adopts the leader's current generation wholesale.
+func (f *Follower) fullSync(ctx context.Context) error {
+	snap, err := FetchSegment(ctx, f.Client, f.Leader)
+	if err != nil {
+		return err
+	}
+	if cur := f.Store.Current(); cur != nil && snap.Gen() <= cur.Gen() {
+		// Already there (leader hasn't moved); not an error.
+		return nil
+	}
+	if err := f.Store.Adopt(snap, nil); err != nil {
+		return err
+	}
+	f.Reg.Inc("mapdb.follower.full_syncs")
+	return nil
+}

@@ -1,0 +1,505 @@
+package mapdb
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"bdrmap/internal/core"
+	"bdrmap/internal/netx"
+	"bdrmap/internal/topo"
+)
+
+// vpResult is genResult with an explicit vantage point and address base,
+// so multi-VP worlds can be assembled link-set by link-set.
+func vpResult(vp string, base netx.Addr, tag, nLinks int) *core.Result {
+	res := &core.Result{VPName: vp, Neighbors: make(map[topo.ASN][]*core.Link)}
+	farAS := topo.ASN(50000 + tag)
+	for i := 0; i < nLinks; i++ {
+		b := base + netx.Addr(i)*4
+		near, far := b+1, b+2
+		nearNode := &core.RouterNode{
+			ID: 2 * i, Addrs: []netx.Addr{near},
+			Owner: topo.ASN(40000 + tag), Heuristic: core.HeurHostNetwork, IsHost: true, HopDist: tag,
+		}
+		farNode := &core.RouterNode{
+			ID: 2*i + 1, Addrs: []netx.Addr{far},
+			Owner: farAS, Heuristic: core.HeurRelationship, HopDist: tag + 1,
+		}
+		l := &core.Link{
+			Near: nearNode, Far: farNode, NearAddr: near, FarAddr: far,
+			FarAS: farAS, Heuristic: core.HeurRelationship,
+		}
+		res.Routers = append(res.Routers, nearNode, farNode)
+		res.Links = append(res.Links, l)
+		res.Neighbors[farAS] = append(res.Neighbors[farAS], l)
+	}
+	return res
+}
+
+// watchServer serves the full API for st with a test-friendly keepalive.
+func watchServer(st *Store, keepalive time.Duration) *httptest.Server {
+	a := &api{store: st, watchKeepalive: keepalive}
+	mux := http.NewServeMux()
+	mux.Handle("/v1/gen", a.wrap("gen", a.handleGen))
+	mux.Handle("/v1/diff", a.wrap("diff", a.handleDiff))
+	mux.Handle("/v1/watch", a.wrapStream("watch", a.handleWatch))
+	mux.Handle("/v1/segment", a.wrap("segment", a.handleSegment))
+	mux.Handle("/", NotFoundHandler())
+	return httptest.NewServer(mux)
+}
+
+// collectFrames runs a WatchClient and forwards frames on a channel until
+// ctx ends.
+func collectFrames(ctx context.Context, t *testing.T, base string, from int) (<-chan WatchFrame, <-chan error) {
+	frames := make(chan WatchFrame, 64)
+	errc := make(chan error, 1)
+	go func() {
+		defer close(frames)
+		wc := &WatchClient{Base: base, From: from}
+		errc <- wc.Run(ctx, func(f WatchFrame) error {
+			select {
+			case frames <- f:
+			case <-ctx.Done():
+			}
+			return nil
+		})
+	}()
+	return frames, errc
+}
+
+func nextFrame(t *testing.T, frames <-chan WatchFrame, want string) WatchFrame {
+	t.Helper()
+	select {
+	case f, ok := <-frames:
+		if !ok {
+			t.Fatalf("stream ended waiting for %q frame", want)
+		}
+		if f.Type != want {
+			t.Fatalf("frame type = %q, want %q", f.Type, want)
+		}
+		return f
+	case <-time.After(10 * time.Second):
+		t.Fatalf("timed out waiting for %q frame", want)
+	}
+	return WatchFrame{}
+}
+
+// TestWatchStreamsDiffs subscribes to /v1/watch and requires a hello
+// frame naming the current generation followed by one diff frame per
+// publish, matching the diffs Publish itself computed.
+func TestWatchStreamsDiffs(t *testing.T) {
+	st := NewStore(0, nil)
+	st.Publish(Compile(64500, []*core.Result{genResult(1, 8)}))
+	srv := watchServer(st, 0)
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	frames, _ := collectFrames(ctx, t, srv.URL, 0)
+
+	if f := nextFrame(t, frames, "hello"); f.Gen != 1 || f.HostAS != 64500 {
+		t.Fatalf("hello = gen %d host %d, want gen 1 host 64500", f.Gen, f.HostAS)
+	}
+	d2 := st.Publish(Compile(64500, []*core.Result{genResult(2, 8)}))
+	f := nextFrame(t, frames, "diff")
+	if f.Diff == nil || f.Diff.From != 1 || f.Diff.To != 2 {
+		t.Fatalf("diff frame = %+v, want 1→2", f.Diff)
+	}
+	if !reflect.DeepEqual(f.Diff, d2) {
+		t.Fatal("streamed diff does not round-trip the published diff")
+	}
+	d3 := st.Publish(Compile(64500, []*core.Result{genResult(3, 8)}))
+	if f := nextFrame(t, frames, "diff"); !reflect.DeepEqual(f.Diff, d3) {
+		t.Fatal("second streamed diff diverged")
+	}
+}
+
+// TestWatchResumeAndKeepalive resumes from a retained generation (backlog
+// replay, then live) and then sits idle long enough to receive keepalives.
+func TestWatchResumeAndKeepalive(t *testing.T) {
+	st := NewStore(0, nil)
+	for g := 1; g <= 4; g++ {
+		st.Publish(Compile(64500, []*core.Result{genResult(g, 8)}))
+	}
+	srv := watchServer(st, 50*time.Millisecond)
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	frames, _ := collectFrames(ctx, t, srv.URL, 2)
+
+	if f := nextFrame(t, frames, "hello"); f.Gen != 4 {
+		t.Fatalf("hello gen = %d, want 4", f.Gen)
+	}
+	for _, want := range []int{3, 4} {
+		f := nextFrame(t, frames, "diff")
+		if f.Diff.To != want {
+			t.Fatalf("backlog diff to = %d, want %d", f.Diff.To, want)
+		}
+	}
+	st.Publish(Compile(64500, []*core.Result{genResult(5, 8)}))
+	if f := nextFrame(t, frames, "diff"); f.Diff.To != 5 {
+		t.Fatalf("live diff to = %d, want 5", f.Diff.To)
+	}
+	nextFrame(t, frames, "keepalive")
+}
+
+// TestWatchResumeGap requires a resume generation that fell out of the
+// bounded history to answer a structured 404 — the client's signal to
+// full-sync from /v1/segment.
+func TestWatchResumeGap(t *testing.T) {
+	st := NewStore(2, nil)
+	for g := 1; g <= 6; g++ {
+		st.Publish(Compile(64500, []*core.Result{genResult(g, 8)}))
+	}
+	srv := watchServer(st, 0)
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	wc := &WatchClient{Base: srv.URL, From: 1}
+	if err := wc.Run(ctx, func(WatchFrame) error { return nil }); err != ErrGenUnknown {
+		t.Fatalf("resume from evicted generation returned %v, want ErrGenUnknown", err)
+	}
+	// Ahead of the leader is equally unknown.
+	wc = &WatchClient{Base: srv.URL, From: 99}
+	if err := wc.Run(ctx, func(WatchFrame) error { return nil }); err != ErrGenUnknown {
+		t.Fatalf("resume from future generation returned %v, want ErrGenUnknown", err)
+	}
+}
+
+// TestWatchFirstPublish attaches a watcher before any generation exists:
+// the first publish must arrive as a synthetic everything-added diff, so
+// monitors attached early see the initial map.
+func TestWatchFirstPublish(t *testing.T) {
+	st := NewStore(0, nil)
+	srv := watchServer(st, 0)
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	frames, _ := collectFrames(ctx, t, srv.URL, 0)
+	if f := nextFrame(t, frames, "hello"); f.Gen != 0 {
+		t.Fatalf("hello gen = %d, want 0", f.Gen)
+	}
+	snap := Compile(64500, []*core.Result{genResult(1, 8)})
+	st.Publish(snap)
+	f := nextFrame(t, frames, "diff")
+	if f.Diff.To != 1 || len(f.Diff.Added) != snap.NumLinks() {
+		t.Fatalf("first-publish frame = %d added into gen %d, want all %d links into gen 1",
+			len(f.Diff.Added), f.Diff.To, snap.NumLinks())
+	}
+}
+
+// TestSnapshotApplyReconstructs replays published diffs on top of the
+// previous generation and requires the reconstruction to answer every
+// query identically to the directly compiled snapshot — the follower's
+// correctness core.
+func TestSnapshotApplyReconstructs(t *testing.T) {
+	st := NewStore(0, nil)
+	snaps := []*Snapshot{Compile(64500, []*core.Result{genResult(1, 12)})}
+	st.Publish(snaps[0])
+	var diffs []*GenDiff
+	for g := 2; g <= 4; g++ {
+		s := Compile(64500, []*core.Result{genResult(g, 8+g)})
+		diffs = append(diffs, st.Publish(s))
+		snaps = append(snaps, s)
+	}
+
+	cur := snaps[0]
+	for i, d := range diffs {
+		next, err := cur.Apply(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSnapshotsAnswerIdentically(t, snaps[i+1], next)
+		cur = next
+	}
+
+	// A diff must refuse to apply to the wrong base generation.
+	if _, err := snaps[0].Apply(diffs[1]); err == nil {
+		t.Fatal("applying a 2→3 diff to generation 1 did not error")
+	}
+}
+
+// TestDiffWireRoundtrip pins the replication frame codec: a GenDiff with
+// every field populated must survive JSON encode/decode bit-exactly.
+func TestDiffWireRoundtrip(t *testing.T) {
+	d := &GenDiff{
+		From: 3, To: 4,
+		Added:            []Link{{Near: 1, Far: 2, FarAS: 7, Heuristic: "a"}},
+		Removed:          []Link{{Near: 3, Far: 0, FarAS: 8, Heuristic: "b"}},
+		Relabeled:        []Link{{Near: 5, Far: 6, FarAS: 9, Heuristic: "c"}},
+		NeighborsAdded:   []topo.ASN{7},
+		NeighborsRemoved: []topo.ASN{8},
+		OwnerChanges:     []OwnerChange{{Addr: 9, From: 1, To: 2}},
+		OwnersSet:        []OwnerDelta{{Addr: 9, Info: OwnerInfo{AS: 2, Heuristic: "h", Host: true, HopDist: 3}}},
+		OwnersRemoved:    []netx.Addr{11},
+		VPs:              []string{"east", "west"},
+		DegradedVPs:      []string{"west"},
+		FromPartial:      true,
+		ToPartial:        true,
+	}
+	raw, err := json.Marshal(toDiffWire(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w diffWire
+	if err := json.Unmarshal(raw, &w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.diff()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d, got) {
+		t.Fatalf("wire roundtrip diverged:\nwant %+v\ngot  %+v", d, got)
+	}
+}
+
+// TestDegradedGenerationMarksChurn is the satellite-2 regression: a
+// quorum publish missing one VP makes that VP's links vanish and
+// reappear across adjacent diffs. Those diffs must carry the partial
+// marks (so watch consumers can discount the phantom flap), and the
+// full→full diff spanning the partial generation must be clean.
+func TestDegradedGenerationMarksChurn(t *testing.T) {
+	east := func() *core.Result { return vpResult("east", 0x0a000000, 1, 8) }
+	west := func() *core.Result { return vpResult("west", 0x0b000000, 1, 8) }
+
+	st := NewStore(0, nil)
+	st.Publish(Compile(64500, []*core.Result{east(), west()}))
+	partial := Compile(64500, []*core.Result{east()})
+	partial.MarkDegraded([]string{"west"})
+	st.Publish(partial)
+	st.Publish(Compile(64500, []*core.Result{east(), west()}))
+
+	into, err := st.Diff(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !into.ToPartial || into.FromPartial {
+		t.Errorf("diff into partial: marks from=%v to=%v, want false/true", into.FromPartial, into.ToPartial)
+	}
+	if !reflect.DeepEqual(into.DegradedVPs, []string{"west"}) {
+		t.Errorf("diff into partial names degraded VPs %v, want [west]", into.DegradedVPs)
+	}
+	if !into.Degraded() {
+		t.Error("diff into partial not flagged Degraded()")
+	}
+	if len(into.Removed) != 8 {
+		t.Errorf("partial publish removed %d links, want the straggler's 8", len(into.Removed))
+	}
+
+	heal, err := st.Diff(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !heal.FromPartial || heal.ToPartial {
+		t.Errorf("healing diff: marks from=%v to=%v, want true/false", heal.FromPartial, heal.ToPartial)
+	}
+	if len(heal.Added) != 8 {
+		t.Errorf("healing publish re-added %d links, want 8", len(heal.Added))
+	}
+	if !heal.Degraded() {
+		t.Error("healing diff not flagged Degraded()")
+	}
+
+	// Spanning the partial generation: no phantom churn, no marks.
+	span, err := st.Diff(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span.Degraded() {
+		t.Error("full→full diff spanning the partial generation carries partial marks")
+	}
+	if !span.Empty() {
+		t.Errorf("full→full diff not empty: +%d -%d", len(span.Added), len(span.Removed))
+	}
+}
+
+// flakyProxy is a TCP relay whose active connections can be severed and
+// whose listener can be taken down, simulating a replication-link outage.
+type flakyProxy struct {
+	ln     net.Listener
+	target string
+
+	mu    sync.Mutex
+	conns map[net.Conn]bool
+	down  bool
+}
+
+func newFlakyProxy(t *testing.T, target string) *flakyProxy {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &flakyProxy{ln: ln, target: target, conns: make(map[net.Conn]bool)}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go p.handle(c)
+		}
+	}()
+	t.Cleanup(func() { ln.Close(); p.sever() })
+	return p
+}
+
+func (p *flakyProxy) URL() string { return "http://" + p.ln.Addr().String() }
+
+func (p *flakyProxy) handle(c net.Conn) {
+	p.mu.Lock()
+	if p.down {
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
+	up, err := net.Dial("tcp", p.target)
+	if err != nil {
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
+	p.conns[c] = true
+	p.conns[up] = true
+	p.mu.Unlock()
+	done := make(chan struct{}, 2)
+	cp := func(dst, src net.Conn) {
+		_, _ = io.Copy(dst, src)
+		done <- struct{}{}
+	}
+	go cp(up, c)
+	go cp(c, up)
+	<-done
+	c.Close()
+	up.Close()
+	p.mu.Lock()
+	delete(p.conns, c)
+	delete(p.conns, up)
+	p.mu.Unlock()
+}
+
+// sever closes every active relayed connection.
+func (p *flakyProxy) sever() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for c := range p.conns {
+		c.Close()
+	}
+}
+
+// setDown gates new connections (true refuses them at accept).
+func (p *flakyProxy) setDown(down bool) {
+	p.mu.Lock()
+	p.down = down
+	p.mu.Unlock()
+}
+
+// TestFollowerConvergesAcrossKillRedial is the replication acceptance
+// test: a follower joins mid-churn through a proxy, converges, survives a
+// severed replication link during which the leader's history moves past
+// the follower's resume point (forcing 404 → full segment sync), redials,
+// and converges again — ending with identical /v1/gen bytes and identical
+// served link sets.
+func TestFollowerConvergesAcrossKillRedial(t *testing.T) {
+	const maxHist = 4
+	leader := NewStore(maxHist, nil)
+	lsrv := watchServer(leader, 0)
+	defer lsrv.Close()
+	proxy := newFlakyProxy(t, lsrv.Listener.Addr().String())
+
+	// Mid-churn join: three generations exist before the follower starts.
+	for g := 1; g <= 3; g++ {
+		leader.Publish(Compile(64500, []*core.Result{genResult(g, 16)}))
+	}
+
+	fstore := NewStore(maxHist, nil)
+	fl := &Follower{
+		Leader: proxy.URL(), Store: fstore,
+		RedialMin: 10 * time.Millisecond, RedialMax: 50 * time.Millisecond,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go fl.Run(ctx)
+
+	waitGen := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			if cur := fstore.Current(); cur != nil && cur.Gen() >= want {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		cur := fstore.Current()
+		got := 0
+		if cur != nil {
+			got = cur.Gen()
+		}
+		t.Fatalf("follower stuck at generation %d, want %d", got, want)
+	}
+	waitGen(3)
+
+	// Outage: sever the replication link and keep it down while the
+	// leader publishes past the follower's resume window.
+	proxy.setDown(true)
+	proxy.sever()
+	for g := 4; g <= 9; g++ {
+		leader.Publish(Compile(64500, []*core.Result{genResult(g, 16)}))
+	}
+	proxy.setDown(false)
+	waitGen(9) // resume gen 3 evicted → 404 → full sync
+
+	// Live tail after the redial, enough to align both history windows.
+	for g := 10; g <= 12; g++ {
+		leader.Publish(Compile(64500, []*core.Result{genResult(g, 16)}))
+	}
+	waitGen(12)
+
+	// Identical /v1/gen bytes.
+	fsrv := watchServer(fstore, 0)
+	defer fsrv.Close()
+	genBody := func(base string) string {
+		resp, err := http.Get(base + "/v1/gen")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+	lb, fb := genBody(lsrv.URL), genBody(fsrv.URL)
+	if lb != fb {
+		t.Fatalf("/v1/gen diverged:\nleader   %s\nfollower %s", lb, fb)
+	}
+
+	// Identical link bytes, and every query answer with them.
+	lcur, fcur := leader.Current(), fstore.Current()
+	if !reflect.DeepEqual(lcur.Links(), fcur.Links()) {
+		t.Fatal("served link sets diverged")
+	}
+	requireSnapshotsAnswerIdentically(t, lcur, fcur)
+
+	// The follower adopted the leader's diffs verbatim: common retained
+	// generations serve the same /v1/diff content.
+	for g := 10; g <= 12; g++ {
+		ld, lerr := leader.Diff(g-1, g)
+		fd, ferr := fstore.Diff(g-1, g)
+		if lerr != nil || ferr != nil {
+			t.Fatalf("diff %d→%d: leader err %v, follower err %v", g-1, g, lerr, ferr)
+		}
+		if !reflect.DeepEqual(ld, fd) {
+			t.Fatalf("diff %d→%d diverged between leader and follower", g-1, g)
+		}
+	}
+}

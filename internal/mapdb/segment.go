@@ -1,0 +1,675 @@
+package mapdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"syscall"
+	"unsafe"
+
+	"bdrmap/internal/netx"
+	"bdrmap/internal/topo"
+)
+
+// Segment file format v1 — one published generation as a single
+// mmap-friendly file. The Snapshot's serving structures are already
+// pointer-free int32/uint64 slices (flat trie nodes, sorted pair index,
+// neighbor spans), so the file lays them out verbatim: OpenSegment maps
+// the file and serves lookups directly from the mapped bytes with zero
+// copy. Only the string-bearing records (links, owners, VP names) are
+// materialized on the heap at open, which guarantees that anything a
+// GenDiff retains is a value copy and never a pointer into the mapping.
+//
+// Layout, all little-endian, section payloads 8-byte aligned:
+//
+//	magic "BDRS" | version u32 | gen u64 | hostAS u32 | flags u32
+//	nsect u32
+//	nsect × { id u32, off u64, len u64, crc u32 }
+//	tableCRC u32   (covers every byte above)
+//	…padded section payloads, each covered by its table CRC…
+//
+// flags bit0 marks a quorum-partial generation (the degraded section
+// names the missing VPs). Strings live once in a shared string table and
+// are referenced as (offset, length) pairs; link and owner records refer
+// to their attributing heuristic through a small deduplicated name list.
+const (
+	segMagic   = "BDRS"
+	segVersion = 1
+
+	segSuffix    = ".seg"
+	segTmpSuffix = ".tmp"
+
+	segFlagPartial = 1 << 0
+)
+
+// Section ids. The table is id-addressed, so readers tolerate unknown
+// sections (forward compatibility) and reject missing required ones.
+const (
+	secStrtab     = 1
+	secVPs        = 2
+	secDegraded   = 3
+	secHeurs      = 4
+	secLinks      = 5
+	secOwners     = 6
+	secOwnerAddrs = 7
+	secLPM        = 8
+	secPairKeys   = 9
+	secPairVals   = 10
+	secNbAS       = 11
+	secNbOff      = 12
+)
+
+const (
+	segHeaderLen   = 28 // magic + version + gen + hostAS + flags + nsect
+	segTableEntLen = 24 // id + off + len + crc
+	linkRecLen     = 16 // near + far + farAS + heurIdx
+	ownerRecLen    = 16 // as + heurIdx + hopDist + flags
+	lpmNodeLen     = 12 // child[2] + entry
+)
+
+var segCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// nativeLE reports whether this host's byte order matches the file
+// format's. The zero-copy path requires it; big-endian hosts fall back to
+// decode-copy and stay correct.
+var nativeLE = func() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+func segmentPath(dir string, gen int) string {
+	return filepath.Join(dir, fmt.Sprintf("gen-%08d%s", gen, segSuffix))
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+
+// segWriter accumulates the shared string table while sections encode.
+type segWriter struct {
+	strtab []byte
+	idx    map[string][2]uint32
+}
+
+func (w *segWriter) str(s string) (off, ln uint32) {
+	if at, ok := w.idx[s]; ok {
+		return at[0], at[1]
+	}
+	off = uint32(len(w.strtab))
+	ln = uint32(len(s))
+	w.strtab = append(w.strtab, s...)
+	w.idx[s] = [2]uint32{off, ln}
+	return off, ln
+}
+
+func (w *segWriter) strList(names []string) []byte {
+	out := make([]byte, 4+8*len(names))
+	binary.LittleEndian.PutUint32(out, uint32(len(names)))
+	for i, s := range names {
+		off, ln := w.str(s)
+		binary.LittleEndian.PutUint32(out[4+8*i:], off)
+		binary.LittleEndian.PutUint32(out[8+8*i:], ln)
+	}
+	return out
+}
+
+// heuristicNames returns the deduplicated heuristic vocabulary of the
+// snapshot, sorted (a handful of §5.4 rule names), plus the index of each.
+func (s *Snapshot) heuristicNames() ([]string, map[string]uint32) {
+	set := make(map[string]bool)
+	for _, l := range s.links {
+		set[l.Heuristic] = true
+	}
+	for _, o := range s.owners {
+		set[o.Heuristic] = true
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	idx := make(map[string]uint32, len(names))
+	for i, n := range names {
+		idx[n] = uint32(i)
+	}
+	return names, idx
+}
+
+// marshalSegment renders the snapshot as a complete segment file image.
+func (s *Snapshot) marshalSegment() []byte {
+	w := &segWriter{idx: make(map[string][2]uint32)}
+	heurs, heurIdx := s.heuristicNames()
+
+	vps := w.strList(s.vps)
+	degraded := w.strList(s.degraded)
+	heurSec := w.strList(heurs)
+
+	links := make([]byte, linkRecLen*len(s.links))
+	for i, l := range s.links {
+		p := links[linkRecLen*i:]
+		binary.LittleEndian.PutUint32(p, uint32(l.Near))
+		binary.LittleEndian.PutUint32(p[4:], uint32(l.Far))
+		binary.LittleEndian.PutUint32(p[8:], uint32(l.FarAS))
+		binary.LittleEndian.PutUint32(p[12:], heurIdx[l.Heuristic])
+	}
+
+	owners := make([]byte, ownerRecLen*len(s.owners))
+	for i, o := range s.owners {
+		p := owners[ownerRecLen*i:]
+		binary.LittleEndian.PutUint32(p, uint32(o.AS))
+		binary.LittleEndian.PutUint32(p[4:], heurIdx[o.Heuristic])
+		binary.LittleEndian.PutUint32(p[8:], uint32(int32(o.HopDist)))
+		var fl uint32
+		if o.Host {
+			fl = 1
+		}
+		binary.LittleEndian.PutUint32(p[12:], fl)
+	}
+
+	u32s := func(n int, get func(i int) uint32) []byte {
+		out := make([]byte, 4*n)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(out[4*i:], get(i))
+		}
+		return out
+	}
+	ownerAddrs := u32s(len(s.ownerAddrs), func(i int) uint32 { return uint32(s.ownerAddrs[i]) })
+	pairVals := u32s(len(s.pairVals), func(i int) uint32 { return uint32(s.pairVals[i]) })
+	nbAS := u32s(len(s.nbAS), func(i int) uint32 { return uint32(s.nbAS[i]) })
+	nbOff := u32s(len(s.nbOff), func(i int) uint32 { return uint32(s.nbOff[i]) })
+
+	lpm := make([]byte, lpmNodeLen*len(s.lpm.nodes))
+	for i, n := range s.lpm.nodes {
+		p := lpm[lpmNodeLen*i:]
+		binary.LittleEndian.PutUint32(p, uint32(n.child[0]))
+		binary.LittleEndian.PutUint32(p[4:], uint32(n.child[1]))
+		binary.LittleEndian.PutUint32(p[8:], uint32(n.entry))
+	}
+
+	pairKeys := make([]byte, 8*len(s.pairKeys))
+	for i, k := range s.pairKeys {
+		binary.LittleEndian.PutUint64(pairKeys[8*i:], k)
+	}
+
+	sections := []struct {
+		id      uint32
+		payload []byte
+	}{
+		{secStrtab, w.strtab},
+		{secVPs, vps},
+		{secDegraded, degraded},
+		{secHeurs, heurSec},
+		{secLinks, links},
+		{secOwners, owners},
+		{secOwnerAddrs, ownerAddrs},
+		{secLPM, lpm},
+		{secPairKeys, pairKeys},
+		{secPairVals, pairVals},
+		{secNbAS, nbAS},
+		{secNbOff, nbOff},
+	}
+
+	pad8 := func(n int) int { return (n + 7) &^ 7 }
+	headLen := segHeaderLen + segTableEntLen*len(sections) + 4 // + tableCRC
+	off := pad8(headLen)
+	total := off
+	for _, sec := range sections {
+		total = pad8(total + len(sec.payload))
+	}
+
+	buf := make([]byte, total)
+	copy(buf, segMagic)
+	binary.LittleEndian.PutUint32(buf[4:], segVersion)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(s.gen))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(s.host))
+	var flags uint32
+	if s.Partial() {
+		flags |= segFlagPartial
+	}
+	binary.LittleEndian.PutUint32(buf[20:], flags)
+	binary.LittleEndian.PutUint32(buf[24:], uint32(len(sections)))
+
+	for i, sec := range sections {
+		ent := buf[segHeaderLen+segTableEntLen*i:]
+		binary.LittleEndian.PutUint32(ent, sec.id)
+		binary.LittleEndian.PutUint64(ent[4:], uint64(off))
+		binary.LittleEndian.PutUint64(ent[12:], uint64(len(sec.payload)))
+		binary.LittleEndian.PutUint32(ent[20:], crc32.Checksum(sec.payload, segCRC))
+		copy(buf[off:], sec.payload)
+		off = pad8(off + len(sec.payload))
+	}
+	binary.LittleEndian.PutUint32(buf[headLen-4:],
+		crc32.Checksum(buf[:headLen-4], segCRC))
+	return buf
+}
+
+// WriteTo serializes the snapshot in segment format v1. The byte stream
+// is exactly what OpenSegment maps — it is both the on-disk layout and
+// the full-sync replication wire format.
+func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(s.marshalSegment())
+	return int64(n), err
+}
+
+// writeSegmentFile publishes snap into dir crash-safely: the image is
+// written to a temp file, fsynced, atomically renamed to its final
+// gen-NNNNNNNN.seg name, and the directory entry fsynced. A crash at any
+// point leaves either the complete previous state or the complete new
+// file — never a partially visible segment.
+func writeSegmentFile(dir string, snap *Snapshot) error {
+	final := segmentPath(dir, snap.gen)
+	tmp := final + segTmpSuffix
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := snap.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+
+// segment owns one open backing buffer — a read-only mmap of a segment
+// file, or a plain heap buffer on platforms (or code paths) that cannot
+// map. The mapping is released by a finalizer once no Snapshot pins it;
+// lookup methods hold the pin with runtime.KeepAlive for the duration of
+// every read of possibly-mapped memory.
+type segment struct {
+	data   []byte
+	mapped bool
+}
+
+func (g *segment) release() {
+	if g.mapped && g.data != nil {
+		_ = syscall.Munmap(g.data)
+		g.data = nil
+	}
+}
+
+// OpenSegment maps a segment file and returns a Snapshot serving straight
+// from the mapped bytes: the trie nodes, pair index, neighbor spans, and
+// owner-address array are the file's bytes, zero-copy (on little-endian
+// hosts; others decode). The returned snapshot carries the generation
+// number recorded at publish time.
+func OpenSegment(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if fi.Size() == 0 {
+		return nil, fmt.Errorf("mapdb: segment %s: empty file", path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(fi.Size()),
+		syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// No mapping (exotic fs, platform limits): fall back to a heap read.
+		buf, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, rerr
+		}
+		return ReadSegment(buf)
+	}
+	seg := &segment{data: data, mapped: true}
+	snap, err := parseSegment(data, seg)
+	if err != nil {
+		seg.release()
+		return nil, fmt.Errorf("mapdb: segment %s: %w", path, err)
+	}
+	runtime.SetFinalizer(seg, (*segment).release)
+	return snap, nil
+}
+
+// ReadSegment decodes a segment image held in memory — the follower's
+// full-sync path receives one over HTTP. Everything is copied onto the
+// heap; data is not retained.
+func ReadSegment(data []byte) (*Snapshot, error) {
+	return parseSegment(data, nil)
+}
+
+// segReader carries the validated section table during parse.
+type segReader struct {
+	data []byte
+	secs map[uint32][]byte
+}
+
+// section returns the payload of id, or an error naming it as missing.
+func (r *segReader) section(id uint32) ([]byte, error) {
+	p, ok := r.secs[id]
+	if !ok {
+		return nil, fmt.Errorf("missing section %d", id)
+	}
+	return p, nil
+}
+
+func (r *segReader) strAt(off, ln uint32) (string, error) {
+	strtab := r.secs[secStrtab]
+	if int64(off)+int64(ln) > int64(len(strtab)) {
+		return "", fmt.Errorf("string ref %d+%d beyond string table (%d bytes)", off, ln, len(strtab))
+	}
+	return string(strtab[off : off+ln]), nil // copies: heap string, never mapped bytes
+}
+
+func (r *segReader) strList(id uint32) ([]string, error) {
+	p, err := r.section(id)
+	if err != nil {
+		return nil, err
+	}
+	if len(p) < 4 {
+		return nil, fmt.Errorf("section %d: truncated list header", id)
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	if len(p) < 4+8*n {
+		return nil, fmt.Errorf("section %d: %d entries beyond payload", id, n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		off := binary.LittleEndian.Uint32(p[4+8*i:])
+		ln := binary.LittleEndian.Uint32(p[8+8*i:])
+		s, err := r.strAt(off, ln)
+		if err != nil {
+			return nil, fmt.Errorf("section %d: %w", id, err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// viewU32 returns the section as a []uint32 — aliasing the backing bytes
+// when zero-copy is possible (mapped, native little-endian, aligned),
+// decoding a heap copy otherwise.
+func (r *segReader) viewU32(id uint32, zeroCopy bool) ([]uint32, error) {
+	p, err := r.section(id)
+	if err != nil {
+		return nil, err
+	}
+	if len(p)%4 != 0 {
+		return nil, fmt.Errorf("section %d: length %d not a multiple of 4", id, len(p))
+	}
+	n := len(p) / 4
+	if n == 0 {
+		return nil, nil
+	}
+	if zeroCopy && nativeLE && uintptr(unsafe.Pointer(&p[0]))%4 == 0 {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&p[0])), n), nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(p[4*i:])
+	}
+	return out, nil
+}
+
+func (r *segReader) viewU64(id uint32, zeroCopy bool) ([]uint64, error) {
+	p, err := r.section(id)
+	if err != nil {
+		return nil, err
+	}
+	if len(p)%8 != 0 {
+		return nil, fmt.Errorf("section %d: length %d not a multiple of 8", id, len(p))
+	}
+	n := len(p) / 8
+	if n == 0 {
+		return nil, nil
+	}
+	if zeroCopy && nativeLE && uintptr(unsafe.Pointer(&p[0]))%8 == 0 {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&p[0])), n), nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(p[8*i:])
+	}
+	return out, nil
+}
+
+func (r *segReader) viewLPM(zeroCopy bool) ([]lpmNode, error) {
+	p, err := r.section(secLPM)
+	if err != nil {
+		return nil, err
+	}
+	if len(p)%lpmNodeLen != 0 {
+		return nil, fmt.Errorf("lpm section: length %d not a multiple of %d", len(p), lpmNodeLen)
+	}
+	n := len(p) / lpmNodeLen
+	if n == 0 {
+		return nil, nil
+	}
+	if zeroCopy && nativeLE && uintptr(unsafe.Pointer(&p[0]))%4 == 0 {
+		return unsafe.Slice((*lpmNode)(unsafe.Pointer(&p[0])), n), nil
+	}
+	out := make([]lpmNode, n)
+	for i := range out {
+		q := p[lpmNodeLen*i:]
+		out[i] = lpmNode{
+			child: [2]int32{
+				int32(binary.LittleEndian.Uint32(q)),
+				int32(binary.LittleEndian.Uint32(q[4:])),
+			},
+			entry: int32(binary.LittleEndian.Uint32(q[8:])),
+		}
+	}
+	return out, nil
+}
+
+// parseSegment validates the image (magic, version, table CRC, bounds,
+// per-section CRCs) and assembles the Snapshot. seg non-nil marks data as
+// a live mapping: numeric sections alias it zero-copy and the snapshot
+// pins it; seg nil means data is heap memory and everything is copied.
+func parseSegment(data []byte, seg *segment) (*Snapshot, error) {
+	if len(data) < segHeaderLen+4 {
+		return nil, fmt.Errorf("truncated header (%d bytes)", len(data))
+	}
+	if string(data[:4]) != segMagic {
+		return nil, fmt.Errorf("bad magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != segVersion {
+		return nil, fmt.Errorf("unsupported format version %d (want %d)", v, segVersion)
+	}
+	gen := binary.LittleEndian.Uint64(data[8:])
+	host := topo.ASN(binary.LittleEndian.Uint32(data[16:]))
+	nsect := int(binary.LittleEndian.Uint32(data[24:]))
+	if nsect < 0 || nsect > 4096 {
+		return nil, fmt.Errorf("implausible section count %d", nsect)
+	}
+	headLen := segHeaderLen + segTableEntLen*nsect + 4
+	if len(data) < headLen {
+		return nil, fmt.Errorf("truncated section table (%d bytes, need %d)", len(data), headLen)
+	}
+	wantCRC := binary.LittleEndian.Uint32(data[headLen-4:])
+	if got := crc32.Checksum(data[:headLen-4], segCRC); got != wantCRC {
+		return nil, fmt.Errorf("header CRC mismatch (got %08x want %08x)", got, wantCRC)
+	}
+
+	r := &segReader{data: data, secs: make(map[uint32][]byte, nsect)}
+	for i := 0; i < nsect; i++ {
+		ent := data[segHeaderLen+segTableEntLen*i:]
+		id := binary.LittleEndian.Uint32(ent)
+		off := binary.LittleEndian.Uint64(ent[4:])
+		ln := binary.LittleEndian.Uint64(ent[12:])
+		crc := binary.LittleEndian.Uint32(ent[20:])
+		if off > uint64(len(data)) || ln > uint64(len(data))-off {
+			return nil, fmt.Errorf("section %d: range %d+%d beyond file (%d bytes)", id, off, ln, len(data))
+		}
+		p := data[off : off+ln : off+ln]
+		if got := crc32.Checksum(p, segCRC); got != crc {
+			return nil, fmt.Errorf("section %d: CRC mismatch (got %08x want %08x)", id, got, crc)
+		}
+		r.secs[id] = p
+	}
+
+	zeroCopy := seg != nil
+	s := &Snapshot{gen: int(gen), host: host, seg: seg}
+
+	var err error
+	if s.vps, err = r.strList(secVPs); err != nil {
+		return nil, err
+	}
+	if s.degraded, err = r.strList(secDegraded); err != nil {
+		return nil, err
+	}
+	heurs, err := r.strList(secHeurs)
+	if err != nil {
+		return nil, err
+	}
+	heurAt := func(i uint32, what string, rec int) (string, error) {
+		if int(i) >= len(heurs) {
+			return "", fmt.Errorf("%s record %d: heuristic index %d beyond vocabulary (%d)", what, rec, i, len(heurs))
+		}
+		return heurs[i], nil
+	}
+
+	// Links and owners carry Go strings, so they always materialize on the
+	// heap — this is what keeps retained GenDiffs (which copy Link and
+	// OwnerInfo values) free of pointers into the mapping.
+	lp, err := r.section(secLinks)
+	if err != nil {
+		return nil, err
+	}
+	if len(lp)%linkRecLen != 0 {
+		return nil, fmt.Errorf("links section: length %d not a multiple of %d", len(lp), linkRecLen)
+	}
+	s.links = make([]Link, len(lp)/linkRecLen)
+	for i := range s.links {
+		p := lp[linkRecLen*i:]
+		h, err := heurAt(binary.LittleEndian.Uint32(p[12:]), "link", i)
+		if err != nil {
+			return nil, err
+		}
+		s.links[i] = Link{
+			Near:      netx.Addr(binary.LittleEndian.Uint32(p)),
+			Far:       netx.Addr(binary.LittleEndian.Uint32(p[4:])),
+			FarAS:     topo.ASN(binary.LittleEndian.Uint32(p[8:])),
+			Heuristic: h,
+		}
+	}
+
+	op, err := r.section(secOwners)
+	if err != nil {
+		return nil, err
+	}
+	if len(op)%ownerRecLen != 0 {
+		return nil, fmt.Errorf("owners section: length %d not a multiple of %d", len(op), ownerRecLen)
+	}
+	s.owners = make([]OwnerInfo, len(op)/ownerRecLen)
+	for i := range s.owners {
+		p := op[ownerRecLen*i:]
+		h, err := heurAt(binary.LittleEndian.Uint32(p[4:]), "owner", i)
+		if err != nil {
+			return nil, err
+		}
+		s.owners[i] = OwnerInfo{
+			AS:        topo.ASN(binary.LittleEndian.Uint32(p)),
+			Heuristic: h,
+			HopDist:   int(int32(binary.LittleEndian.Uint32(p[8:]))),
+			Host:      binary.LittleEndian.Uint32(p[12:])&1 != 0,
+		}
+	}
+
+	// Numeric serving arrays: zero-copy views of the mapping when possible.
+	oa, err := r.viewU32(secOwnerAddrs, zeroCopy)
+	if err != nil {
+		return nil, err
+	}
+	s.ownerAddrs = *(*[]netx.Addr)(unsafe.Pointer(&oa))
+	nodes, err := r.viewLPM(zeroCopy)
+	if err != nil {
+		return nil, err
+	}
+	s.lpm = lpmTable{nodes: nodes}
+	if s.pairKeys, err = r.viewU64(secPairKeys, zeroCopy); err != nil {
+		return nil, err
+	}
+	pv, err := r.viewU32(secPairVals, zeroCopy)
+	if err != nil {
+		return nil, err
+	}
+	s.pairVals = *(*[]int32)(unsafe.Pointer(&pv))
+	nb, err := r.viewU32(secNbAS, zeroCopy)
+	if err != nil {
+		return nil, err
+	}
+	s.nbAS = *(*[]topo.ASN)(unsafe.Pointer(&nb))
+	no, err := r.viewU32(secNbOff, zeroCopy)
+	if err != nil {
+		return nil, err
+	}
+	s.nbOff = *(*[]int32)(unsafe.Pointer(&no))
+
+	if err := s.validateShape(len(heurs)); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// validateShape cross-checks the decoded sections against each other so a
+// segment that passed its CRCs (e.g. one crafted by a buggy writer) still
+// cannot index out of bounds at serving time.
+func (s *Snapshot) validateShape(nheurs int) error {
+	if len(s.owners) != len(s.ownerAddrs) {
+		return fmt.Errorf("owners (%d) and ownerAddrs (%d) disagree", len(s.owners), len(s.ownerAddrs))
+	}
+	if len(s.pairKeys) != len(s.pairVals) {
+		return fmt.Errorf("pairKeys (%d) and pairVals (%d) disagree", len(s.pairKeys), len(s.pairVals))
+	}
+	for i, v := range s.pairVals {
+		if int(v) < 0 || int(v) >= len(s.links) {
+			return fmt.Errorf("pair index %d references link %d of %d", i, v, len(s.links))
+		}
+	}
+	if len(s.nbAS) == 0 {
+		if len(s.nbOff) > 1 {
+			return fmt.Errorf("neighbor spans (%d boundaries) without neighbor ASes", len(s.nbOff))
+		}
+	} else if len(s.nbOff) != len(s.nbAS)+1 {
+		return fmt.Errorf("neighbor spans: %d ASes but %d boundaries", len(s.nbAS), len(s.nbOff))
+	}
+	for i := 1; i < len(s.nbOff); i++ {
+		if s.nbOff[i] < s.nbOff[i-1] || int(s.nbOff[i]) > len(s.links) {
+			return fmt.Errorf("neighbor span boundary %d (%d) out of order or beyond links (%d)", i, s.nbOff[i], len(s.links))
+		}
+	}
+	for i, n := range s.lpm.nodes {
+		for _, c := range n.child {
+			if int(c) >= len(s.lpm.nodes) {
+				return fmt.Errorf("lpm node %d: child %d beyond table (%d nodes)", i, c, len(s.lpm.nodes))
+			}
+		}
+		if int(n.entry) >= len(s.owners) {
+			return fmt.Errorf("lpm node %d: entry %d beyond owners (%d)", i, n.entry, len(s.owners))
+		}
+	}
+	return nil
+}

@@ -2,6 +2,8 @@ package mapdb
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -17,6 +19,11 @@ import (
 // a new one is being swapped in. Publishers hold a mutex only among
 // themselves to assign generation numbers, maintain the bounded history,
 // and compute the per-generation diff.
+//
+// A Store opened with OpenStore is additionally durable: every published
+// generation is serialized as a segment file (write-temp, fsync, atomic
+// rename), and a restart recovers the bounded history from the segment
+// directory, serving queries again from the mapped bytes.
 type Store struct {
 	cur atomic.Pointer[Snapshot]
 
@@ -26,31 +33,115 @@ type Store struct {
 	nextGen int
 	maxHist int
 
+	dir string // segment directory; "" = memory-only
+
+	watchers map[int64]*watcher
+	watchSeq int64
+
 	reg *obs.Registry
+}
+
+// watcher is one /v1/watch subscriber (or in-process follower tap): a
+// buffered diff channel. A watcher that cannot keep up is closed and
+// dropped — the consumer resynchronizes via the history or a full segment.
+type watcher struct {
+	ch     chan *GenDiff
+	closed bool
 }
 
 // DefaultHistory is the number of generations a Store retains when
 // NewStore is given no explicit bound.
 const DefaultHistory = 8
 
-// NewStore creates an empty store retaining up to maxHist generations
-// (DefaultHistory if maxHist <= 0). reg may be nil.
+// NewStore creates an empty in-memory store retaining up to maxHist
+// generations (DefaultHistory if maxHist <= 0). reg may be nil.
 func NewStore(maxHist int, reg *obs.Registry) *Store {
 	if maxHist <= 0 {
 		maxHist = DefaultHistory
 	}
 	return &Store{
-		diffs:   make(map[int]*GenDiff),
-		nextGen: 1,
-		maxHist: maxHist,
-		reg:     reg,
+		diffs:    make(map[int]*GenDiff),
+		nextGen:  1,
+		maxHist:  maxHist,
+		watchers: make(map[int64]*watcher),
+		reg:      reg,
 	}
+}
+
+// OpenStore creates (or reopens) a durable store backed by a segment
+// directory. Existing segment files are recovered oldest-to-newest: the
+// last maxHist generations whose checksums verify are mapped back into
+// the history, the newest becomes the serving generation, and publishing
+// resumes at the next generation number. Incomplete publishes (leftover
+// temp files) and corrupt segments are skipped — recovery always lands on
+// the last fully published generation.
+func OpenStore(dir string, maxHist int, reg *obs.Registry) (*Store, error) {
+	st := NewStore(maxHist, reg)
+	st.dir = dir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("mapdb: segment dir: %w", err)
+	}
+
+	names, err := filepath.Glob(filepath.Join(dir, "gen-*"+segSuffix))
+	if err != nil {
+		return nil, err
+	}
+	// A crash between temp-write and rename leaves a *.tmp behind; it was
+	// never published, so it is garbage to collect, not data to recover.
+	if tmps, err := filepath.Glob(filepath.Join(dir, "*"+segTmpSuffix)); err == nil {
+		for _, p := range tmps {
+			_ = os.Remove(p)
+		}
+	}
+
+	var recovered []*Snapshot
+	for _, p := range names {
+		snap, err := OpenSegment(p)
+		if err != nil {
+			// Torn write, truncation, or bit rot: skip the file. The
+			// publish protocol renames only after fsync, so a valid newer
+			// generation can never depend on a corrupt older one.
+			st.reg.Inc("mapdb.segment.corrupt")
+			continue
+		}
+		st.reg.Inc("mapdb.segment.recovered")
+		recovered = append(recovered, snap)
+	}
+	sort.Slice(recovered, func(i, j int) bool { return recovered[i].gen < recovered[j].gen })
+	if len(recovered) > st.maxHist {
+		recovered = recovered[len(recovered)-st.maxHist:]
+	}
+	if len(recovered) > 0 {
+		st.hist = recovered
+		last := recovered[len(recovered)-1]
+		st.nextGen = last.gen + 1
+		st.cur.Store(last)
+		st.reg.Max("mapdb.store.gen").Observe(int64(last.gen))
+	}
+	return st, nil
+}
+
+// Dir returns the segment directory, or "" for a memory-only store.
+func (st *Store) Dir() string { return st.dir }
+
+// latestLocked returns the newest history entry. This — not the atomic
+// serving pointer — is the publisher's single source of truth for "the
+// previous generation": restart recovery and follower adoption seed the
+// history first, and a diff computed against a divergent serving pointer
+// would silently mis-state the churn.
+func (st *Store) latestLocked() *Snapshot {
+	if len(st.hist) == 0 {
+		return nil
+	}
+	return st.hist[len(st.hist)-1]
 }
 
 // Publish assigns snap the next generation number, makes it the current
 // generation, and returns its diff against the previous generation (nil
 // for the first). snap must be freshly compiled and must not be mutated
-// or published again afterwards.
+// or published again afterwards. On a durable store the segment file is
+// written and fsynced before the generation becomes visible to readers
+// or watchers.
 func (st *Store) Publish(snap *Snapshot) *GenDiff {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -58,9 +149,48 @@ func (st *Store) Publish(snap *Snapshot) *GenDiff {
 	st.nextGen++
 
 	var d *GenDiff
-	if prev := st.cur.Load(); prev != nil {
+	if prev := st.latestLocked(); prev != nil {
 		d = diffSnapshots(prev, snap)
 		st.diffs[snap.gen] = d
+	}
+	st.installLocked(snap, d)
+	return d
+}
+
+// Adopt installs a snapshot that already carries its generation number —
+// a follower applying the leader's stream, or a full segment fetched to
+// close a history gap. The generation must be newer than everything
+// retained. d, when non-nil, is the leader's own diff into this
+// generation and is cached verbatim so the follower serves
+// byte-identical /v1/diff and /v1/watch content.
+func (st *Store) Adopt(snap *Snapshot, d *GenDiff) error {
+	if snap.gen <= 0 {
+		return fmt.Errorf("mapdb: adopt: snapshot carries no generation")
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if prev := st.latestLocked(); prev != nil && snap.gen <= prev.gen {
+		return fmt.Errorf("mapdb: adopt: generation %d is not newer than retained %d", snap.gen, prev.gen)
+	}
+	st.nextGen = snap.gen + 1
+	if d != nil && d.To == snap.gen && d.From == snap.gen-1 {
+		st.diffs[snap.gen] = d
+	}
+	st.installLocked(snap, d)
+	return nil
+}
+
+// installLocked is the shared tail of Publish and Adopt: persist, append
+// to history, evict, swap the serving pointer, notify watchers, account.
+func (st *Store) installLocked(snap *Snapshot, d *GenDiff) {
+	if st.dir != "" {
+		if err := writeSegmentFile(st.dir, snap); err != nil {
+			// Serving memory stays authoritative: a full disk degrades
+			// durability, not availability. The counter is the alarm.
+			st.reg.Inc("mapdb.segment.write_errors")
+		} else {
+			st.reg.Inc("mapdb.segment.writes")
+		}
 	}
 	st.hist = append(st.hist, snap)
 	if len(st.hist) > st.maxHist {
@@ -68,9 +198,17 @@ func (st *Store) Publish(snap *Snapshot) *GenDiff {
 		st.hist = st.hist[1:]
 		// The diff *into* the evicted generation references nothing
 		// retained; drop it so the cache stays bounded with the history.
+		// Diffs keyed by retained generations hold value copies (links,
+		// owner records, heap strings) — never pointers into the evicted
+		// snapshot's arrays — so the evicted segment's mapping may be
+		// released by GC without invalidating any retained diff.
 		delete(st.diffs, evicted.gen)
+		if st.dir != "" {
+			_ = os.Remove(segmentPath(st.dir, evicted.gen))
+		}
 	}
 	st.cur.Store(snap)
+	st.notifyLocked(snap, d)
 
 	st.reg.Inc("mapdb.store.publish")
 	st.reg.Max("mapdb.store.gen").Observe(int64(snap.gen))
@@ -80,7 +218,61 @@ func (st *Store) Publish(snap *Snapshot) *GenDiff {
 		st.reg.Add("mapdb.store.links_removed", int64(len(d.Removed)))
 		st.reg.Add("mapdb.store.owner_changes", int64(len(d.OwnerChanges)))
 	}
-	return d
+}
+
+// notifyLocked pushes the generation's diff to every watcher. The very
+// first generation has no predecessor; watchers still get a frame — a
+// synthetic everything-added diff from the empty map — so a monitor
+// attached before the first publish sees it. A watcher whose buffer is
+// full is lagging beyond redemption: its channel is closed (the consumer
+// resynchronizes) rather than allowed to block the publisher.
+func (st *Store) notifyLocked(snap *Snapshot, d *GenDiff) {
+	if len(st.watchers) == 0 {
+		return
+	}
+	if d == nil {
+		d = diffSnapshots(&Snapshot{host: snap.host}, snap)
+		d.To = snap.gen
+	}
+	for id, w := range st.watchers {
+		select {
+		case w.ch <- d:
+		default:
+			w.closed = true
+			close(w.ch)
+			delete(st.watchers, id)
+			st.reg.Inc("mapdb.watch.lagged")
+		}
+	}
+}
+
+// Watch subscribes to the publish stream: every generation published
+// after the call is delivered as its GenDiff on the returned channel.
+// cur is the newest generation at subscription time, letting the caller
+// serve backlog via Diff without racing a concurrent publish. The
+// channel is closed if the subscriber falls more than buf generations
+// behind. cancel is idempotent and must be called when done.
+func (st *Store) Watch(buf int) (ch <-chan *GenDiff, cancel func(), cur int) {
+	if buf <= 0 {
+		buf = 64
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	w := &watcher{ch: make(chan *GenDiff, buf)}
+	id := st.watchSeq
+	st.watchSeq++
+	st.watchers[id] = w
+	if last := st.latestLocked(); last != nil {
+		cur = last.gen
+	}
+	cancel = func() {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if got, ok := st.watchers[id]; ok && got == w {
+			delete(st.watchers, id)
+		}
+	}
+	return w.ch, cancel, cur
 }
 
 // Current returns the latest published generation (nil before the first
@@ -178,25 +370,65 @@ type OwnerChange struct {
 	From, To topo.ASN
 }
 
+// OwnerDelta carries the full new attribution of one interface address —
+// the replication payload letting a follower reconstruct the To
+// generation's owner index without the full segment.
+type OwnerDelta struct {
+	Addr netx.Addr
+	Info OwnerInfo
+}
+
 // GenDiff is the queryable churn between two generations: interdomain
 // links that appeared or vanished, neighbor ASes gained or lost, and
-// interface addresses whose owner attribution changed.
+// interface addresses whose owner attribution changed. It doubles as the
+// replication frame — OwnersSet/OwnersRemoved/Relabeled make it a
+// complete delta from which Apply reconstructs the To generation.
 type GenDiff struct {
 	From, To int
 
 	Added   []Link
 	Removed []Link
 
+	// Relabeled lists links whose identity (near, far, farAS) persists in
+	// both generations but whose attributing heuristic changed — not
+	// churn for monitors, but required to replicate byte-identically.
+	Relabeled []Link
+
 	NeighborsAdded   []topo.ASN
 	NeighborsRemoved []topo.ASN
 
 	OwnerChanges []OwnerChange
+
+	// Full owner-level delta: every address whose attribution record is
+	// new or changed in any field (OwnersSet carries the To-generation
+	// record), and every address that vanished.
+	OwnersSet     []OwnerDelta
+	OwnersRemoved []netx.Addr
+
+	// To-generation metadata, carried so a follower labels its adopted
+	// snapshot exactly as the leader labels the original.
+	VPs         []string
+	DegradedVPs []string
+
+	// Partial marks flag degraded-artifact churn: a diff into or out of a
+	// quorum-partial generation reports the straggler VP's links as
+	// Removed and then re-Added by the healing publish. Consumers tracking
+	// border flaps (tslpmon, /v1/watch subscribers) should discount diffs
+	// with either mark rather than alarm on phantom churn.
+	FromPartial bool
+	ToPartial   bool
 }
 
 // Empty reports whether nothing changed between the generations.
 func (d *GenDiff) Empty() bool {
-	return len(d.Added) == 0 && len(d.Removed) == 0 && len(d.OwnerChanges) == 0
+	return len(d.Added) == 0 && len(d.Removed) == 0 && len(d.OwnerChanges) == 0 &&
+		len(d.OwnersSet) == 0 && len(d.OwnersRemoved) == 0 && len(d.Relabeled) == 0
 }
+
+// Degraded reports whether the diff crosses a quorum-partial generation
+// on either side, i.e. some or all of its link churn may be a publishing
+// artifact rather than observed topology change.
+func (d *GenDiff) Degraded() bool { return d.FromPartial || d.ToPartial }
 
 // diffSnapshots computes the churn from a to b over the canonical merged
 // maps (link/neighbor level) and the interface-owner indexes.
@@ -207,40 +439,66 @@ func diffSnapshots(a, b *Snapshot) *GenDiff {
 		To:               b.gen,
 		Added:            cd.added,
 		Removed:          cd.removed,
+		Relabeled:        cd.relabeled,
 		NeighborsAdded:   cd.nbAdded,
 		NeighborsRemoved: cd.nbRemoved,
+		VPs:              append([]string(nil), b.vps...),
+		DegradedVPs:      append([]string(nil), b.degraded...),
+		FromPartial:      a.Partial(),
+		ToPartial:        b.Partial(),
 	}
 	for i, addr := range a.ownerAddrs {
-		if bo, ok := b.Owner(addr); ok && bo.AS != a.owners[i].AS {
+		bo, ok := b.Owner(addr)
+		if !ok {
+			d.OwnersRemoved = append(d.OwnersRemoved, addr)
+			continue
+		}
+		if bo != a.owners[i] {
+			d.OwnersSet = append(d.OwnersSet, OwnerDelta{Addr: addr, Info: bo})
+		}
+		if bo.AS != a.owners[i].AS {
 			d.OwnerChanges = append(d.OwnerChanges, OwnerChange{
 				Addr: addr, From: a.owners[i].AS, To: bo.AS,
 			})
 		}
 	}
+	for i, addr := range b.ownerAddrs {
+		if _, ok := a.Owner(addr); !ok {
+			d.OwnersSet = append(d.OwnersSet, OwnerDelta{Addr: addr, Info: b.owners[i]})
+		}
+	}
 	sort.Slice(d.OwnerChanges, func(i, j int) bool {
 		return d.OwnerChanges[i].Addr < d.OwnerChanges[j].Addr
+	})
+	sort.Slice(d.OwnersSet, func(i, j int) bool {
+		return d.OwnersSet[i].Addr < d.OwnersSet[j].Addr
+	})
+	sort.Slice(d.OwnersRemoved, func(i, j int) bool {
+		return d.OwnersRemoved[i] < d.OwnersRemoved[j]
 	})
 	return d
 }
 
 type linkChurn struct {
-	added, removed     []Link
-	nbAdded, nbRemoved []topo.ASN
+	added, removed, relabeled []Link
+	nbAdded, nbRemoved        []topo.ASN
 }
 
 // coreDiff diffs the observed link sets directly (the identity queries
 // carry), falling back to empty slices rather than nils for JSON shape.
 func coreDiff(a, b *Snapshot) linkChurn {
 	var c linkChurn
-	inA := make(map[Link]bool, len(a.links))
+	inA := make(map[Link]string, len(a.links))
 	for _, l := range a.links {
-		inA[stripHeur(l)] = true
+		inA[stripHeur(l)] = l.Heuristic
 	}
 	inB := make(map[Link]bool, len(b.links))
 	for _, l := range b.links {
 		inB[stripHeur(l)] = true
-		if !inA[stripHeur(l)] {
+		if h, ok := inA[stripHeur(l)]; !ok {
 			c.added = append(c.added, l)
+		} else if h != l.Heuristic {
+			c.relabeled = append(c.relabeled, l)
 		}
 	}
 	for _, l := range a.links {
@@ -248,13 +506,13 @@ func coreDiff(a, b *Snapshot) linkChurn {
 			c.removed = append(c.removed, l)
 		}
 	}
-	for _, as := range b.NeighborASes() {
-		if len(a.neighborIdx[as]) == 0 {
+	for _, as := range b.nbAS {
+		if lo, hi := a.neighborSpan(as); lo == hi {
 			c.nbAdded = append(c.nbAdded, as)
 		}
 	}
-	for _, as := range a.NeighborASes() {
-		if len(b.neighborIdx[as]) == 0 {
+	for _, as := range a.nbAS {
+		if lo, hi := b.neighborSpan(as); lo == hi {
 			c.nbRemoved = append(c.nbRemoved, as)
 		}
 	}
